@@ -1,0 +1,111 @@
+// E8 — the approval workflow (§III-A/B): provider decisions drive tagger
+// approval rates toward true worker reliability, and the platform's
+// qualification filter starves spammers of further tasks. Compares a
+// mixed-reliability MTurk pool with qualification ON vs OFF. Expected
+// shape: with qualification, spammers' share of completed tasks collapses
+// after their first rejections and corpus quality lands higher.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "crowd/mturk_sim.h"
+
+using namespace itag;         // NOLINT
+using namespace itag::bench;  // NOLINT
+
+namespace {
+
+struct ApprovalOutcome {
+  double spammer_task_share = 0.0;
+  double mean_spammer_approval = 0.0;
+  double mean_good_approval = 0.0;
+  double dq_truth = 0.0;
+  uint32_t rejected = 0;
+};
+
+ApprovalOutcome RunPool(bool qualification_on) {
+  sim::DeliciousConfig cfg = StandardConfig(/*seed=*/61);
+  cfg.num_resources = 150;
+  cfg.initial_posts = 600;
+  sim::SyntheticWorkload wl = sim::GenerateDelicious(cfg);
+
+  crowd::WorkerPoolConfig pool_cfg;
+  pool_cfg.num_workers = 40;
+  pool_cfg.spammer_fraction = 0.3;
+  pool_cfg.mean_service_ticks = 3.0;
+  pool_cfg.activity = 0.5;
+  Rng pool_rng(17);
+  auto pool = crowd::GenerateWorkerPool(pool_cfg, &pool_rng);
+  std::vector<bool> is_spammer(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    is_spammer[i] = pool[i].reliability < 0.5;
+  }
+
+  crowd::MTurkSimOptions mopts;
+  mopts.qualification_min_approval = qualification_on ? 0.55 : 0.0;
+  mopts.qualification_min_decisions = 4;
+  crowd::PaymentLedger ledger;
+  crowd::MTurkSim platform(pool, &ledger, mopts);
+
+  sim::PlatformRunOptions opts;
+  opts.base.budget = 800;
+  opts.base.sample_every = 800;
+  opts.base.seed = 23;
+  opts.approve_bad_prob = 0.1;  // strict-ish provider
+  sim::RunResult r = sim::RunWithPlatform(
+      &wl, &platform,
+      strategy::MakeStrategy(strategy::StrategyKind::kHybridFpMu), opts);
+
+  ApprovalOutcome out;
+  out.dq_truth = r.final_q_truth - r.initial_q_truth;
+  out.rejected = r.tasks_rejected;
+  uint64_t spam_tasks = 0, all_tasks = 0;
+  double spam_rate = 0.0, good_rate = 0.0;
+  int spam_n = 0, good_n = 0;
+  for (crowd::WorkerId w = 0; w < pool.size(); ++w) {
+    auto stats = platform.GetWorkerStats(w);
+    if (!stats.ok()) continue;
+    all_tasks += stats.value().submitted;
+    if (is_spammer[w]) {
+      spam_tasks += stats.value().submitted;
+      spam_rate += stats.value().ApprovalRate();
+      ++spam_n;
+    } else {
+      good_rate += stats.value().ApprovalRate();
+      ++good_n;
+    }
+  }
+  out.spammer_task_share =
+      all_tasks == 0 ? 0.0 : static_cast<double>(spam_tasks) / all_tasks;
+  out.mean_spammer_approval = spam_n == 0 ? 0.0 : spam_rate / spam_n;
+  out.mean_good_approval = good_n == 0 ? 0.0 : good_rate / good_n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: approval rates & spam suppression "
+              "(30%% spammer pool, B=800, FP-MU)\n\n");
+  TableWriter table({"qualification", "spam_task_share", "spam_approval",
+                     "good_approval", "tasks_rejected", "dq_truth"});
+  for (bool on : {false, true}) {
+    ApprovalOutcome o = RunPool(on);
+    table.BeginRow()
+        .Add(on ? "ON (bar 0.55)" : "OFF")
+        .Add(o.spammer_task_share)
+        .Add(o.mean_spammer_approval)
+        .Add(o.mean_good_approval)
+        .Add(static_cast<uint64_t>(o.rejected))
+        .Add(o.dq_truth);
+  }
+  table.WriteAscii(std::cout);
+  (void)table.SaveCsv("/tmp/itag_e8_approval.csv");
+  std::printf("\nExpected: qualification ON collapses spam_task_share and "
+              "tasks_rejected (the provider's moderation cost); dq_truth is "
+              "similar either way because rejected tasks are refunded and "
+              "retried.\nCSV: /tmp/itag_e8_approval.csv\n");
+  return 0;
+}

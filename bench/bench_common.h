@@ -1,0 +1,80 @@
+#ifndef ITAG_BENCH_BENCH_COMMON_H_
+#define ITAG_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses. Each bench_*.cc regenerates
+// one exhibit of the paper (see DESIGN.md's experiment index) and prints the
+// corresponding table to stdout; absolute numbers are simulator-scale, the
+// *shape* is what reproduces the paper.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quality/gain_estimator.h"
+#include "sim/dataset.h"
+#include "sim/driver.h"
+#include "strategy/greedy_strategies.h"
+#include "strategy/strategy.h"
+
+namespace itag::bench {
+
+/// The standard Delicious-like workload used across experiment benches
+/// (kept moderate so the whole bench suite runs in seconds).
+inline sim::DeliciousConfig StandardConfig(uint64_t seed) {
+  sim::DeliciousConfig cfg;
+  cfg.num_resources = 600;
+  cfg.vocab_size = 3000;
+  cfg.initial_posts = 3000;
+  cfg.popularity_zipf_s = 1.1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Names + factories for the strategy line-up of the §IV comparison:
+/// the four Table-I strategies, the two baselines, the estimated-gain
+/// greedy, and the oracle-optimal upper bound.
+struct StrategyEntry {
+  std::string name;
+  bool is_oracle = false;
+  strategy::StrategyKind kind = strategy::StrategyKind::kFreeChoice;
+};
+
+inline std::vector<StrategyEntry> ComparisonLineup(bool include_oracle = true) {
+  std::vector<StrategyEntry> out = {
+      {"FC", false, strategy::StrategyKind::kFreeChoice},
+      {"RAND", false, strategy::StrategyKind::kRandom},
+      {"FP", false, strategy::StrategyKind::kFewestPostsFirst},
+      {"MU", false, strategy::StrategyKind::kMostUnstableFirst},
+      {"FP-MU", false, strategy::StrategyKind::kHybridFpMu},
+      {"EG", false, strategy::StrategyKind::kEstimatedGain},
+  };
+  if (include_oracle) out.push_back({"OPT", true});
+  return out;
+}
+
+/// Builds the strategy named by `entry` for `workload` (the oracle needs the
+/// workload's ground truth).
+inline std::unique_ptr<strategy::Strategy> MakeEntry(
+    const StrategyEntry& entry, const sim::SyntheticWorkload& workload) {
+  if (!entry.is_oracle) return strategy::MakeStrategy(entry.kind);
+  auto oracle = std::make_shared<quality::OracleGainEstimator>(
+      workload.truth, workload.initial_posts,
+      workload.config.tagger.mean_tags_per_post);
+  return std::make_unique<strategy::OracleGreedyStrategy>(oracle);
+}
+
+/// Regenerates the workload and runs one strategy over it.
+inline sim::RunResult RunOne(const StrategyEntry& entry, uint64_t seed,
+                             sim::RunOptions opts,
+                             sim::SyntheticWorkload* out_workload = nullptr) {
+  sim::SyntheticWorkload wl = sim::GenerateDelicious(StandardConfig(seed));
+  sim::RunResult r = sim::RunDirect(&wl, MakeEntry(entry, wl), opts);
+  if (out_workload != nullptr) *out_workload = std::move(wl);
+  return r;
+}
+
+}  // namespace itag::bench
+
+#endif  // ITAG_BENCH_BENCH_COMMON_H_

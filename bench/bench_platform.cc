@@ -1,0 +1,93 @@
+// E11 — end-to-end platform throughput (the §IV audience-participation
+// setting at scale): simulated ticks needed to push a fixed batch of tasks
+// through MTurkSim and SocialNetSim as the worker pool grows. Expected
+// shape: MTurk throughput scales ~linearly with workers; the social
+// platform starts slower (exposure must spread) but catches up as shares
+// propagate.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "crowd/mturk_sim.h"
+#include "crowd/social_sim.h"
+
+using namespace itag;         // NOLINT
+using namespace itag::crowd;  // NOLINT
+
+namespace {
+
+struct Throughput {
+  Tick ticks_to_finish = 0;
+  double tasks_per_1k_ticks = 0.0;
+};
+
+Throughput Drain(CrowdPlatform* platform, uint32_t tasks) {
+  for (uint32_t i = 0; i < tasks; ++i) {
+    TaskSpec spec;
+    spec.project = 1;
+    spec.resource = i;
+    spec.pay_cents = 5;
+    (void)platform->PostTask(spec);
+  }
+  uint32_t done = 0;
+  Tick t = 0;
+  while (done < tasks && t < 500000) {
+    t += 5;
+    for (const TaskEvent& ev : platform->AdvanceTo(t)) {
+      if (ev.kind == TaskEventKind::kSubmitted) {
+        (void)platform->Approve(ev.task);
+        ++done;
+      }
+    }
+  }
+  Throughput out;
+  out.ticks_to_finish = t;
+  out.tasks_per_1k_ticks = 1000.0 * done / static_cast<double>(t);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t kTasks = 400;
+  std::printf("E11: ticks to complete %u tasks vs worker-pool size\n\n",
+              kTasks);
+  TableWriter table({"platform", "workers", "ticks", "tasks_per_1k_ticks"});
+
+  for (uint32_t workers : {10u, 25u, 50u, 100u}) {
+    WorkerPoolConfig cfg;
+    cfg.num_workers = workers;
+    cfg.mean_service_ticks = 8.0;
+    cfg.activity = 0.3;
+    {
+      Rng rng(41);
+      PaymentLedger ledger;
+      MTurkSim mturk(GenerateWorkerPool(cfg, &rng), &ledger);
+      Throughput t = Drain(&mturk, kTasks);
+      table.BeginRow()
+          .Add("mturk-sim")
+          .Add(static_cast<uint64_t>(workers))
+          .Add(static_cast<int64_t>(t.ticks_to_finish))
+          .Add(t.tasks_per_1k_ticks, 2);
+    }
+    {
+      Rng rng(41);
+      PaymentLedger ledger;
+      SocialNetSimOptions sopts;
+      sopts.share_prob = 0.5;
+      SocialNetSim social(GenerateWorkerPool(cfg, &rng), &ledger, sopts);
+      Throughput t = Drain(&social, kTasks);
+      table.BeginRow()
+          .Add("social-sim")
+          .Add(static_cast<uint64_t>(workers))
+          .Add(static_cast<int64_t>(t.ticks_to_finish))
+          .Add(t.tasks_per_1k_ticks, 2);
+    }
+  }
+  table.WriteAscii(std::cout);
+  (void)table.SaveCsv("/tmp/itag_e11_platform.csv");
+  std::printf("\nCSV: /tmp/itag_e11_platform.csv\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E10 — quality-metric machinery microbenchmarks: rfd maintenance,
+// stability distances across support sizes and metrics, quality-model
+// evaluation over a corpus, and gain estimation. These bound the per-task
+// cost of UPDATE() in Algorithm 1.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "quality/gain_estimator.h"
+#include "quality/quality_model.h"
+#include "tagging/corpus.h"
+
+namespace {
+
+using namespace itag;  // NOLINT
+
+SparseDist RandomDist(size_t support, Rng* rng) {
+  std::vector<SparseDist::Entry> entries;
+  entries.reserve(support);
+  for (size_t i = 0; i < support; ++i) {
+    entries.emplace_back(static_cast<uint32_t>(i * 3),
+                         0.05 + rng->NextDouble());
+  }
+  return SparseDist::FromWeights(std::move(entries));
+}
+
+void BM_Distance(benchmark::State& state) {
+  Rng rng(1);
+  auto kind = static_cast<DistanceKind>(state.range(0));
+  size_t support = static_cast<size_t>(state.range(1));
+  SparseDist p = RandomDist(support, &rng);
+  SparseDist q = RandomDist(support, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Distance(kind, p, q));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Distance)
+    ->Args({0, 16})
+    ->Args({0, 256})
+    ->Args({1, 16})
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({3, 256});
+
+void BM_TagStatsAddPost(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tagging::TagStats stats(16);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      tagging::Post post;
+      post.tags = {rng.Uniform(40), 40 + rng.Uniform(40)};
+      stats.AddPost(post);
+    }
+    benchmark::DoNotOptimize(stats.post_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TagStatsAddPost);
+
+void BM_StabilityQualityCorpus(benchmark::State& state) {
+  Rng rng(3);
+  tagging::Corpus corpus;
+  size_t n = static_cast<size_t>(state.range(0));
+  for (size_t r = 0; r < n; ++r) {
+    corpus.AddResource(tagging::ResourceKind::kWebUrl, "u");
+  }
+  for (size_t r = 0; r < n; ++r) {
+    for (int p = 0; p < 20; ++p) {
+      tagging::Post post;
+      post.tags = {rng.Uniform(30)};
+      (void)corpus.AddPost(static_cast<tagging::ResourceId>(r), post);
+    }
+  }
+  quality::StabilityQuality model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.CorpusQuality(corpus));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StabilityQualityCorpus)->Arg(100)->Arg(1000);
+
+void BM_ExpectedQualityClosedForm(benchmark::State& state) {
+  Rng rng(4);
+  SparseDist theta = RandomDist(static_cast<size_t>(state.range(0)), &rng);
+  uint32_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::ExpectedQualityClosedForm(theta, 1 + (k++ % 100), 3.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpectedQualityClosedForm)->Arg(16)->Arg(256);
+
+void BM_EmpiricalMarginalGain(benchmark::State& state) {
+  Rng rng(5);
+  tagging::TagStats stats(16);
+  for (int i = 0; i < 50; ++i) {
+    tagging::Post post;
+    post.tags = {rng.Uniform(25), 25 + rng.Uniform(25)};
+    stats.AddPost(post);
+  }
+  quality::EmpiricalGainEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.MarginalGain(stats));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmpiricalMarginalGain);
+
+void BM_MonteCarloExpectedQuality(benchmark::State& state) {
+  Rng rng(6);
+  SparseDist theta = RandomDist(24, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::ExpectedQualityMonteCarlo(theta, 20, 3, 50, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonteCarloExpectedQuality);
+
+}  // namespace
+
+BENCHMARK_MAIN();

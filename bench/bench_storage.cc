@@ -1,0 +1,156 @@
+// E9 — storage-engine microbenchmarks (the MySQL substrate of Fig. 2):
+// heap inserts, unique-index point lookups, ordered-index range scans,
+// B+-tree ops, WAL appends, and full checkpoint+recovery cycles. Validates
+// that the embedded engine sustains the manager workloads comfortably.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "storage/btree.h"
+#include "storage/database.h"
+
+namespace {
+
+using namespace itag;           // NOLINT
+using namespace itag::storage;  // NOLINT
+
+Schema PostSchema() {
+  return SchemaBuilder()
+      .Int("project")
+      .Int("resource")
+      .Int("tagger")
+      .Str("tags")
+      .Build();
+}
+
+Row PostRow(int64_t i) {
+  return {Value::Int(i % 13), Value::Int(i % 601), Value::Int(i % 97),
+          Value::Str("tag-a,tag-b,tag-c")};
+}
+
+void BM_TableInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table t("posts", PostSchema());
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(t.Insert(PostRow(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableInsert)->Arg(1000)->Arg(10000);
+
+void BM_TableInsertWithIndexes(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table t("posts", PostSchema());
+    (void)t.AddOrderedIndex("project");
+    (void)t.AddOrderedIndex("resource");
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(t.Insert(PostRow(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableInsertWithIndexes)->Arg(1000)->Arg(10000);
+
+void BM_UniqueLookup(benchmark::State& state) {
+  Table t("users", SchemaBuilder().Int("id").Str("name").Build());
+  (void)t.AddUniqueIndex("id");
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)t.Insert({Value::Int(i), Value::Str("user")});
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    int64_t key = rng.Uniform(10000);
+    benchmark::DoNotOptimize(t.LookupUnique("id", Value::Int(key)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UniqueLookup);
+
+void BM_OrderedRangeScan(benchmark::State& state) {
+  Table t("posts", PostSchema());
+  (void)t.AddOrderedIndex("resource");
+  for (int64_t i = 0; i < 20000; ++i) {
+    (void)t.Insert(PostRow(i));
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    int64_t lo = rng.Uniform(500);
+    benchmark::DoNotOptimize(
+        t.LookupRange("resource", Value::Int(lo), Value::Int(lo + 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderedRangeScan);
+
+void BM_BTreeInsertErase(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    BPlusTree<uint64_t> tree;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.NextU64());
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertErase)->Arg(10000);
+
+void BM_WalAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  std::string dir = (fs::temp_directory_path() / "itag_bench_wal").string();
+  fs::create_directories(dir);
+  WalWriter w;
+  (void)w.Open(dir + "/wal.log");
+  WalRecord rec;
+  rec.op = WalOp::kInsert;
+  rec.table = "posts";
+  rec.payload = EncodeRow(PostRow(1));
+  for (auto _ : state) {
+    rec.row_id++;
+    benchmark::DoNotOptimize(w.Append(rec).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  w.Close();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_CheckpointRecover(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  std::string dir = (fs::temp_directory_path() / "itag_bench_ckpt").string();
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+    {
+      Database db;
+      DatabaseOptions opts;
+      opts.directory = dir;
+      (void)db.Open(opts);
+      (void)db.CreateTable("posts", PostSchema());
+      for (int64_t i = 0; i < state.range(0); ++i) {
+        (void)db.Insert("posts", PostRow(i));
+      }
+      (void)db.Checkpoint();
+    }
+    Database db;
+    DatabaseOptions opts;
+    opts.directory = dir;
+    (void)db.Open(opts);
+    benchmark::DoNotOptimize(db.TotalRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointRecover)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E6 — the mid-run strategy-switch workflow (Fig. 5: "helps providers
+// decide whether it is necessary to switch to another strategy"). Starts
+// every run on FP and switches to MU after 0/25/50/75/100% of the budget;
+// compares against the built-in FP-MU hybrid. Expected shape: intermediate
+// switch points recover most of FP-MU's advantage; never switching (pure
+// FP) and switching immediately (pure MU) bracket the curve.
+
+#include "bench_common.h"
+#include "common/csv.h"
+
+using namespace itag;         // NOLINT
+using namespace itag::bench;  // NOLINT
+
+int main() {
+  const uint32_t kBudget = 2000;
+  const uint64_t kSeeds[] = {51, 52, 53};
+
+  std::printf("E6: switching FP -> MU at various points of B=%u (n=600, "
+              "avg of 3 seeds)\n\n", kBudget);
+  TableWriter table({"policy", "dq_truth"});
+
+  const double kSwitchPoints[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (double frac : kSwitchPoints) {
+    double dq = 0.0;
+    for (uint64_t seed : kSeeds) {
+      sim::SyntheticWorkload wl =
+          sim::GenerateDelicious(StandardConfig(seed));
+      sim::RunOptions opts;
+      opts.budget = kBudget;
+      opts.sample_every = kBudget;
+      opts.seed = seed;
+      uint32_t switch_at = static_cast<uint32_t>(frac * kBudget);
+      bool switched = frac == 0.0;  // 0%: start directly on MU
+      opts.step_hook = [&](strategy::AllocationEngine& engine,
+                           uint32_t done) {
+        if (!switched && done >= switch_at) {
+          engine.SwitchStrategy(strategy::MakeStrategy(
+              strategy::StrategyKind::kMostUnstableFirst));
+          switched = true;
+        }
+      };
+      auto start = strategy::MakeStrategy(
+          frac == 0.0 ? strategy::StrategyKind::kMostUnstableFirst
+                      : strategy::StrategyKind::kFewestPostsFirst);
+      sim::RunResult r = sim::RunDirect(&wl, std::move(start), opts);
+      dq += r.final_q_truth - r.initial_q_truth;
+    }
+    char label[48];
+    std::snprintf(label, sizeof(label), "switch@%.0f%%", frac * 100);
+    table.BeginRow().Add(label).Add(dq / std::size(kSeeds));
+  }
+
+  // Reference: the built-in hybrid.
+  double hybrid = 0.0;
+  for (uint64_t seed : kSeeds) {
+    sim::RunOptions opts;
+    opts.budget = kBudget;
+    opts.sample_every = kBudget;
+    opts.seed = seed;
+    sim::RunResult r =
+        RunOne({"FP-MU", false, strategy::StrategyKind::kHybridFpMu}, seed,
+               opts);
+    hybrid += r.final_q_truth - r.initial_q_truth;
+  }
+  table.BeginRow().Add("FP-MU (built-in)").Add(hybrid / std::size(kSeeds));
+
+  table.WriteAscii(std::cout);
+  (void)table.SaveCsv("/tmp/itag_e6_strategy_switch.csv");
+  std::printf("\nCSV: /tmp/itag_e6_strategy_switch.csv\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// The §IV "Real Dataset" demonstration: a Delicious-like corpus is split
+// into a provider-era history (the data "before February 1st 2007") and a
+// crowd era; the four allocation strategies of Table I plus the optimal
+// allocation race under the same budget, and the quality trajectories are
+// printed as the demo would chart them.
+//
+// Build & run:  ./build/examples/delicious_demo [budget]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "common/csv.h"
+#include "quality/gain_estimator.h"
+#include "sim/dataset.h"
+#include "sim/driver.h"
+#include "strategy/greedy_strategies.h"
+
+using namespace itag;  // NOLINT
+
+namespace {
+
+sim::DeliciousConfig DemoConfig(uint64_t seed) {
+  sim::DeliciousConfig cfg;
+  cfg.num_resources = 800;       // "Web URLs from Delicious"
+  cfg.vocab_size = 4000;
+  cfg.initial_posts = 4000;      // provider-era history
+  cfg.popularity_zipf_s = 1.1;   // the long tail of under-tagged URLs
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t budget = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 3000;
+  const uint64_t kSeed = 20100201;  // the demo's cut date, as a seed
+
+  std::printf("iTag demo: Delicious-like corpus, %u tagging tasks of budget\n",
+              budget);
+  std::printf("====================================================\n\n");
+
+  // Show the premise first: popularity skew in the provider era.
+  {
+    sim::SyntheticWorkload wl = sim::GenerateDelicious(DemoConfig(kSeed));
+    std::map<uint32_t, size_t> histogram;
+    for (uint32_t c : wl.initial_posts) {
+      uint32_t bucket = c == 0 ? 0 : c < 5 ? 1 : c < 20 ? 2 : c < 100 ? 3 : 4;
+      ++histogram[bucket];
+    }
+    const char* kBuckets[] = {"0 posts", "1-4", "5-19", "20-99", "100+"};
+    std::printf("Provider-era post counts (the premise: most resources are "
+                "under-tagged):\n");
+    for (const auto& [bucket, count] : histogram) {
+      std::printf("  %-8s : %zu resources\n", kBuckets[bucket], count);
+    }
+    std::printf("\n");
+  }
+
+  struct Entry {
+    const char* name;
+    bool oracle;
+    strategy::StrategyKind kind;
+  };
+  const Entry entries[] = {
+      {"FC", false, strategy::StrategyKind::kFreeChoice},
+      {"FP", false, strategy::StrategyKind::kFewestPostsFirst},
+      {"MU", false, strategy::StrategyKind::kMostUnstableFirst},
+      {"FP-MU", false, strategy::StrategyKind::kHybridFpMu},
+      {"OPT", true, strategy::StrategyKind::kFreeChoice},
+  };
+
+  TableWriter series({"tasks", "FC", "FP", "MU", "FP-MU", "OPT"});
+  std::map<std::string, sim::RunResult> results;
+  for (const Entry& e : entries) {
+    sim::SyntheticWorkload wl = sim::GenerateDelicious(DemoConfig(kSeed));
+    std::unique_ptr<strategy::Strategy> strat;
+    if (e.oracle) {
+      auto oracle = std::make_shared<quality::OracleGainEstimator>(
+          wl.truth, wl.initial_posts, wl.config.tagger.mean_tags_per_post);
+      strat = std::make_unique<strategy::OracleGreedyStrategy>(oracle);
+    } else {
+      strat = strategy::MakeStrategy(e.kind);
+    }
+    sim::RunOptions opts;
+    opts.budget = budget;
+    opts.sample_every = budget / 10;
+    opts.seed = 1848;
+    results[e.name] = sim::RunDirect(&wl, std::move(strat), opts);
+  }
+
+  // All runs sample at the same stride: zip their series.
+  size_t points = results["FC"].series.size();
+  for (size_t i = 0; i < points; ++i) {
+    series.BeginRow().Add(
+        static_cast<uint64_t>(results["FC"].series[i].tasks));
+    for (const char* name : {"FC", "FP", "MU", "FP-MU", "OPT"}) {
+      const auto& s = results[name].series;
+      series.Add(i < s.size() ? s[i].q_truth : s.back().q_truth);
+    }
+  }
+  std::printf("Ground-truth corpus quality q*(R) as the budget is spent:\n");
+  series.WriteAscii(std::cout);
+
+  std::printf("\nFinal quality improvement per strategy:\n");
+  for (const char* name : {"FC", "FP", "MU", "FP-MU", "OPT"}) {
+    const sim::RunResult& r = results[name];
+    std::printf("  %-6s : %+0.4f  (%.4f -> %.4f)\n", name,
+                r.final_q_truth - r.initial_q_truth, r.initial_q_truth,
+                r.final_q_truth);
+  }
+  std::printf("\nTable I's reading: FP-MU is the most effective heuristic; "
+              "FC, which lets\ntaggers follow popularity, barely moves the "
+              "corpus average.\n");
+  return 0;
+}

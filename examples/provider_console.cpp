@@ -1,0 +1,144 @@
+// A scripted provider session exercising every §III-A workflow behind the
+// provider UI (Figs. 3-6): create a project, upload resources with
+// historical tags, start on the simulated MTurk marketplace, monitor the
+// quality feed and notifications, drill into one resource, promote a
+// laggard, stop a finished resource, switch strategy mid-run, top up the
+// budget, and export the final tags.
+//
+// Build & run:  ./build/examples/provider_console
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.h"
+#include "itag/itag_system.h"
+
+using namespace itag;        // NOLINT
+using namespace itag::core;  // NOLINT
+
+namespace {
+
+void PrintProjectRow(const ProjectInfo& info) {
+  std::printf("  [%llu] %-18s state=%-8s resources=%zu tasks=%u "
+              "budget_left=%u quality=%.3f projected_gain=%.3f\n",
+              static_cast<unsigned long long>(info.id),
+              info.spec.name.c_str(), ProjectStateName(info.state),
+              info.num_resources, info.tasks_completed,
+              info.budget_remaining, info.quality, info.projected_gain);
+}
+
+void ShowDashboard(ITagSystem& system, ProviderId provider,
+                   const char* title) {
+  std::printf("\n--- %s ---\n", title);
+  for (const ProjectInfo& info : system.ListProjects(provider)) {
+    PrintProjectRow(info);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ITagSystem system;
+  if (Status s = system.Init(); !s.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ProviderId provider = system.RegisterProvider("city-archive").value();
+
+  // -- Add Project (Fig. 4) ------------------------------------------------
+  ProjectSpec spec;
+  spec.name = "historic-photos";
+  spec.kind = tagging::ResourceKind::kImage;
+  spec.description = "digitized city archive needing rich tags";
+  spec.budget = 200;
+  spec.pay_cents = 6;
+  spec.platform = PlatformChoice::kMTurk;
+  spec.strategy = strategy::StrategyKind::kFewestPostsFirst;  // start naive
+  ProjectId project = system.CreateProject(provider, spec).value();
+
+  // Upload 12 resources; a few carry historical tags, most are bare.
+  std::vector<tagging::ResourceId> resources;
+  for (int i = 0; i < 12; ++i) {
+    resources.push_back(
+        system.UploadResource(project, tagging::ResourceKind::kImage,
+                              "archive/photo-" + std::to_string(i) + ".tif",
+                              "")
+            .value());
+  }
+  (void)system.ImportPost(project, resources[0], {"harbor", "1920s"});
+  (void)system.ImportPost(project, resources[0], {"harbor", "ships"});
+  (void)system.ImportPost(project, resources[1], {"market", "street"});
+
+  std::printf("Recommended strategy: %s\n",
+              strategy::StrategyKindName(
+                  system.RecommendStrategy(project).value()));
+  ShowDashboard(system, provider, "dashboard after upload (Fig. 3)");
+
+  // -- Run phase 1 ----------------------------------------------------------
+  (void)system.StartProject(project);
+  (void)system.Step(800);
+  ShowDashboard(system, provider, "after the first marketplace burst");
+
+  // -- Quality feed (Fig. 5) ------------------------------------------------
+  std::printf("\nQuality feed (sampled):\n");
+  const auto& feed = system.QualityFeed(project);
+  TableWriter chart({"tasks", "quality"});
+  for (size_t i = 0; i < feed.size();
+       i += std::max<size_t>(1, feed.size() / 8)) {
+    chart.BeginRow()
+        .Add(static_cast<uint64_t>(feed[i].tasks))
+        .Add(feed[i].quality);
+  }
+  chart.WriteAscii(std::cout);
+
+  // -- Resource drill-down (Fig. 6) ------------------------------------------
+  auto detail = system.GetResourceDetail(project, resources[0]).value();
+  std::printf("\nResource %s: posts=%u quality=%.3f next-task gain=%.4f\n",
+              "archive/photo-0.tif", detail.posts, detail.quality,
+              detail.projected_gain_next_task);
+  std::printf("  tags:");
+  for (const auto& tf : detail.top_tags) {
+    std::printf(" %s(%u)", tf.tag.c_str(), tf.count);
+  }
+  std::printf("\n");
+
+  // -- Promote a laggard, stop a finished one --------------------------------
+  tagging::ResourceId laggard = resources.back();
+  (void)system.PromoteResource(project, laggard);
+  std::printf("\npromoted %s (will be chosen next)\n",
+              ("archive/photo-" + std::to_string(laggard) + ".tif").c_str());
+  (void)system.StopResource(project, resources[0]);
+  std::printf("stopped archive/photo-0.tif (good enough, save the budget)\n");
+
+  // -- Mid-run strategy switch (Fig. 5 button) --------------------------------
+  (void)system.SwitchStrategy(project,
+                              strategy::StrategyKind::kMostUnstableFirst);
+  std::printf("switched strategy to MU\n");
+  (void)system.Step(800);
+  ShowDashboard(system, provider, "after switching to MU");
+
+  // -- Budget top-up + finish -------------------------------------------------
+  (void)system.AddBudget(project, 60);
+  std::printf("\nadded 60 tasks of budget\n");
+  (void)system.Step(1500);
+  ShowDashboard(system, provider, "final state");
+
+  // -- Notifications (Fig. 6) ---------------------------------------------------
+  std::printf("\nLatest notifications:\n");
+  for (const Notification& n : system.LatestNotifications(provider, 5)) {
+    std::printf("  t=%lld project=%llu %s\n",
+                static_cast<long long>(n.time),
+                static_cast<unsigned long long>(n.project),
+                n.message.c_str());
+  }
+
+  // -- Spend + export ------------------------------------------------------------
+  std::printf("\ntotal incentives paid: %llu cents across %zu payments\n",
+              static_cast<unsigned long long>(system.ledger().TotalPaid()),
+              system.ledger().PaymentCount());
+  auto rows = system.ExportProject(project, "/tmp/itag_provider_export.csv");
+  std::printf("exported %zu tag rows to /tmp/itag_provider_export.csv\n",
+              rows.ok() ? rows.value() : 0);
+  (void)system.StopProject(project);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace itag {
+
+Tick RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace itag

@@ -1,0 +1,53 @@
+#ifndef ITAG_COMMON_CLOCK_H_
+#define ITAG_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace itag {
+
+/// Simulation timestamps are integer "ticks". One tick is the scheduling
+/// granularity of the discrete-event crowd platform (nominally one second of
+/// wall time in the simulated marketplace).
+using Tick = int64_t;
+
+/// Time source abstraction so that the iTag managers run identically under
+/// the discrete-event simulator (SimClock) and under wall time (RealClock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in ticks.
+  virtual Tick Now() const = 0;
+};
+
+/// Manually-advanced clock owned by the discrete-event simulator.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Tick start = 0) : now_(start) {}
+
+  Tick Now() const override { return now_; }
+
+  /// Advances to `t`; time never moves backwards.
+  void AdvanceTo(Tick t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Advances by `delta >= 0` ticks.
+  void Advance(Tick delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+ private:
+  Tick now_;
+};
+
+/// Wall-clock seconds since the unix epoch (coarse; used only by examples
+/// that want real timestamps in exports).
+class RealClock : public Clock {
+ public:
+  Tick Now() const override;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_CLOCK_H_

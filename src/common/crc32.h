@@ -1,0 +1,18 @@
+#ifndef ITAG_COMMON_CRC32_H_
+#define ITAG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace itag {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to frame write-ahead-log
+/// records so that torn or corrupted tails are detected during recovery.
+/// `Crc32(data, n)` computes the checksum of a buffer; `Crc32Extend` continues
+/// a running checksum (pass the previous return value as `crc`).
+uint32_t Crc32(const void* data, size_t n);
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_CRC32_H_

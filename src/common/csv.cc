@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace itag {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TableWriter& TableWriter::BeginRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+TableWriter& TableWriter::Add(const std::string& cell) {
+  if (rows_.empty()) BeginRow();
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TableWriter& TableWriter::Add(const char* cell) {
+  return Add(std::string(cell));
+}
+
+TableWriter& TableWriter::Add(int64_t v) { return Add(std::to_string(v)); }
+TableWriter& TableWriter::Add(uint64_t v) { return Add(std::to_string(v)); }
+TableWriter& TableWriter::Add(int v) { return Add(std::to_string(v)); }
+
+TableWriter& TableWriter::Add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return Add(os.str());
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TableWriter::WriteCsv(std::ostream& os) const {
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << ',';
+    os << CsvEscape(headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << CsvEscape(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void TableWriter::WriteAscii(std::ostream& os) const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto rule = [&]() {
+    os << '+';
+    for (size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << c << std::string(width[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+Status TableWriter::SaveCsv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + path);
+  WriteCsv(f);
+  f.flush();
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace itag

@@ -1,0 +1,53 @@
+#ifndef ITAG_COMMON_CSV_H_
+#define ITAG_COMMON_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itag {
+
+/// Row-oriented table builder that renders either CSV (for downstream
+/// plotting) or an aligned ASCII table (for terminal output). Benchmarks use
+/// this to print the paper-style series; examples use it for monitoring
+/// views.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  TableWriter& BeginRow();
+
+  /// Appends a cell to the current row.
+  TableWriter& Add(const std::string& cell);
+  TableWriter& Add(const char* cell);
+  TableWriter& Add(int64_t v);
+  TableWriter& Add(uint64_t v);
+  TableWriter& Add(int v);
+  /// Doubles are rendered with `precision` decimal places.
+  TableWriter& Add(double v, int precision = 4);
+
+  /// Number of completed + in-progress rows.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void WriteCsv(std::ostream& os) const;
+
+  /// Writes an aligned, boxed ASCII table.
+  void WriteAscii(std::ostream& os) const;
+
+  /// Saves CSV to a file path, creating/truncating it.
+  Status SaveCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_CSV_H_

@@ -1,0 +1,182 @@
+#include "common/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace itag {
+
+namespace {
+
+/// Iterates the union support of two sorted sparse vectors, invoking
+/// fn(p_i, q_i) for every id present in either.
+template <typename Fn>
+void ForEachUnion(const SparseDist& p, const SparseDist& q, Fn fn) {
+  const auto& a = p.entries();
+  const auto& b = q.entries();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      fn(a[i].second, 0.0);
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      fn(0.0, b[j].second);
+      ++j;
+    } else {
+      fn(a[i].second, b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) fn(a[i].second, 0.0);
+  for (; j < b.size(); ++j) fn(0.0, b[j].second);
+}
+
+}  // namespace
+
+SparseDist SparseDist::FromWeights(std::vector<Entry> weights) {
+  std::sort(weights.begin(), weights.end());
+  SparseDist d;
+  d.entries_.reserve(weights.size());
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {
+    if (w <= 0.0) continue;
+    if (!d.entries_.empty() && d.entries_.back().first == id) {
+      d.entries_.back().second += w;
+    } else {
+      d.entries_.emplace_back(id, w);
+    }
+    total += w;
+  }
+  if (total > 0.0) {
+    for (auto& e : d.entries_) e.second /= total;
+  } else {
+    d.entries_.clear();
+  }
+  return d;
+}
+
+SparseDist SparseDist::FromDense(const std::vector<double>& weights) {
+  std::vector<Entry> entries;
+  entries.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      entries.emplace_back(static_cast<uint32_t>(i), weights[i]);
+    }
+  }
+  return FromWeights(std::move(entries));
+}
+
+double SparseDist::Prob(uint32_t id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, uint32_t v) { return e.first < v; });
+  if (it != entries_.end() && it->first == id) return it->second;
+  return 0.0;
+}
+
+double SparseDist::Sum() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.second;
+  return s;
+}
+
+double SparseDist::Entropy() const {
+  double h = 0.0;
+  for (const auto& e : entries_) {
+    if (e.second > 0.0) h -= e.second * std::log(e.second);
+  }
+  return h;
+}
+
+uint32_t SparseDist::Mode() const {
+  assert(!entries_.empty());
+  const Entry* best = &entries_[0];
+  for (const auto& e : entries_) {
+    if (e.second > best->second) best = &e;
+  }
+  return best->first;
+}
+
+const char* DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kTotalVariation:
+      return "tv";
+    case DistanceKind::kJensenShannon:
+      return "js";
+    case DistanceKind::kCosine:
+      return "cos";
+    case DistanceKind::kHellinger:
+      return "hel";
+  }
+  return "?";
+}
+
+double TotalVariation(const SparseDist& p, const SparseDist& q) {
+  double l1 = 0.0;
+  ForEachUnion(p, q, [&](double a, double b) { l1 += std::fabs(a - b); });
+  return 0.5 * l1;
+}
+
+double JensenShannonDistance(const SparseDist& p, const SparseDist& q) {
+  double jsd = 0.0;
+  ForEachUnion(p, q, [&](double a, double b) {
+    double m = 0.5 * (a + b);
+    if (a > 0.0) jsd += 0.5 * a * std::log(a / m);
+    if (b > 0.0) jsd += 0.5 * b * std::log(b / m);
+  });
+  if (jsd < 0.0) jsd = 0.0;  // numeric guard
+  double d = std::sqrt(jsd / std::log(2.0));
+  return d > 1.0 ? 1.0 : d;
+}
+
+double CosineDistance(const SparseDist& p, const SparseDist& q) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  ForEachUnion(p, q, [&](double a, double b) {
+    dot += a * b;
+    na += a * a;
+    nb += b * b;
+  });
+  if (na == 0.0 || nb == 0.0) return p.empty() && q.empty() ? 0.0 : 1.0;
+  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  if (sim > 1.0) sim = 1.0;
+  if (sim < 0.0) sim = 0.0;
+  return 1.0 - sim;
+}
+
+double HellingerDistance(const SparseDist& p, const SparseDist& q) {
+  double acc = 0.0;
+  ForEachUnion(p, q, [&](double a, double b) {
+    double d = std::sqrt(a) - std::sqrt(b);
+    acc += d * d;
+  });
+  double h = std::sqrt(0.5 * acc);
+  return h > 1.0 ? 1.0 : h;
+}
+
+double KlDivergence(const SparseDist& p, const SparseDist& q, double epsilon) {
+  // Smoothed over the union support so that q-zeros do not yield infinity.
+  double kl = 0.0;
+  ForEachUnion(p, q, [&](double a, double b) {
+    double pa = a + epsilon;
+    double qb = b + epsilon;
+    kl += pa * std::log(pa / qb);
+  });
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+double Distance(DistanceKind kind, const SparseDist& p, const SparseDist& q) {
+  switch (kind) {
+    case DistanceKind::kTotalVariation:
+      return TotalVariation(p, q);
+    case DistanceKind::kJensenShannon:
+      return JensenShannonDistance(p, q);
+    case DistanceKind::kCosine:
+      return CosineDistance(p, q);
+    case DistanceKind::kHellinger:
+      return HellingerDistance(p, q);
+  }
+  return 0.0;
+}
+
+}  // namespace itag

@@ -1,0 +1,87 @@
+#ifndef ITAG_COMMON_DISTRIBUTION_H_
+#define ITAG_COMMON_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace itag {
+
+/// A sparse discrete probability distribution over uint32 ids (tag ids in the
+/// tagging model). Entries are (id, probability) pairs kept sorted by id with
+/// strictly positive probabilities. This is the shared currency between the
+/// tagging statistics, the quality metrics and the gain estimators.
+class SparseDist {
+ public:
+  using Entry = std::pair<uint32_t, double>;
+
+  SparseDist() = default;
+
+  /// Builds from unsorted (id, weight) pairs; duplicate ids are merged,
+  /// non-positive weights dropped, and the result normalized to sum 1
+  /// (an all-zero input yields an empty distribution).
+  static SparseDist FromWeights(std::vector<Entry> weights);
+
+  /// Builds from a dense weight vector indexed by id.
+  static SparseDist FromDense(const std::vector<double>& weights);
+
+  /// Number of support points.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Probability of `id` (0 if outside the support). O(log n).
+  double Prob(uint32_t id) const;
+
+  /// Sorted (id, prob) entries.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Sum of probabilities (1 for a well-formed non-empty distribution;
+  /// exposed for test assertions).
+  double Sum() const;
+
+  /// Shannon entropy in nats.
+  double Entropy() const;
+
+  /// The id with the largest probability; requires non-empty.
+  uint32_t Mode() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Bounded distances between distributions. All return values lie in [0, 1]
+/// so that quality `q = 1 - d` is itself in [0, 1].
+enum class DistanceKind {
+  kTotalVariation,    ///< 0.5 * L1; the ICDE'13 default in this reproduction
+  kJensenShannon,     ///< sqrt(JS divergence / ln 2), a metric in [0,1]
+  kCosine,            ///< 1 - cosine similarity
+  kHellinger,         ///< Hellinger distance
+};
+
+/// Canonical short name ("tv", "js", "cos", "hel").
+const char* DistanceKindName(DistanceKind kind);
+
+/// Total variation distance, 0.5 * Σ|p_i - q_i|, in [0,1].
+double TotalVariation(const SparseDist& p, const SparseDist& q);
+
+/// Jensen-Shannon distance: sqrt(JSD(p,q)/ln2), a bounded metric in [0,1].
+double JensenShannonDistance(const SparseDist& p, const SparseDist& q);
+
+/// Cosine distance 1 - (p.q)/(|p||q|), in [0,1] for nonnegative vectors.
+double CosineDistance(const SparseDist& p, const SparseDist& q);
+
+/// Hellinger distance sqrt(0.5 * Σ(sqrt p - sqrt q)^2), in [0,1].
+double HellingerDistance(const SparseDist& p, const SparseDist& q);
+
+/// Smoothed KL divergence KL(p || q) with additive epsilon smoothing over the
+/// union support. Unbounded; informational only (not used for quality).
+double KlDivergence(const SparseDist& p, const SparseDist& q,
+                    double epsilon = 1e-9);
+
+/// Dispatches to the distance selected by `kind`.
+double Distance(DistanceKind kind, const SparseDist& p, const SparseDist& q);
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_DISTRIBUTION_H_

@@ -1,0 +1,84 @@
+#ifndef ITAG_COMMON_FENWICK_H_
+#define ITAG_COMMON_FENWICK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace itag {
+
+/// Fenwick (binary-indexed) tree over nonnegative double weights, supporting
+/// O(log n) point updates, prefix sums, and inverse-CDF lookup. The Free
+/// Choice strategy uses it to sample resources proportionally to popularity
+/// with preferential-attachment updates after every post.
+class FenwickTree {
+ public:
+  /// Creates a tree of `n` zero weights.
+  explicit FenwickTree(size_t n) : n_(n), tree_(n + 1, 0.0), leaf_(n, 0.0) {}
+
+  /// Number of positions.
+  size_t size() const { return n_; }
+
+  /// Current weight at `i`.
+  double Get(size_t i) const {
+    assert(i < n_);
+    return leaf_[i];
+  }
+
+  /// Sets position `i` to `w` (w >= 0).
+  void Set(size_t i, double w) {
+    assert(i < n_);
+    assert(w >= 0.0);
+    Add(i, w - leaf_[i]);
+  }
+
+  /// Adds `delta` to position `i` (resulting weight must stay >= 0 up to
+  /// rounding).
+  void Add(size_t i, double delta) {
+    assert(i < n_);
+    leaf_[i] += delta;
+    for (size_t j = i + 1; j <= n_; j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of weights in [0, i).
+  double PrefixSum(size_t i) const {
+    assert(i <= n_);
+    double s = 0.0;
+    for (size_t j = i; j > 0; j -= j & (~j + 1)) {
+      s += tree_[j];
+    }
+    return s;
+  }
+
+  /// Total weight.
+  double Total() const { return PrefixSum(n_); }
+
+  /// Returns the smallest index i such that PrefixSum(i+1) > target, i.e.
+  /// the position selected by inverse-CDF sampling with `target` in
+  /// [0, Total()). Positions with zero weight are never returned (assuming
+  /// target < Total()).
+  size_t FindByPrefix(double target) const {
+    size_t pos = 0;
+    size_t bit = 1;
+    while ((bit << 1) <= n_) bit <<= 1;
+    for (; bit > 0; bit >>= 1) {
+      size_t next = pos + bit;
+      if (next <= n_ && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos < n_ ? pos : n_ - 1;
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> tree_;
+  std::vector<double> leaf_;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_FENWICK_H_

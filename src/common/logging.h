@@ -1,0 +1,53 @@
+#ifndef ITAG_COMMON_LOGGING_H_
+#define ITAG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace itag {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The global threshold defaults to
+/// kWarn so that tests and benchmarks stay quiet; examples raise it to kInfo.
+class Logger {
+ public:
+  /// Sets the global minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+
+  /// Current global minimum level.
+  static LogLevel GetLevel();
+
+  /// Emits one line at `level` (no-op below the threshold).
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style logging statement: ITAG_LOG(kInfo) << "budget=" << b;
+#define ITAG_LOG(level_suffix)                                     \
+  for (bool _itag_once =                                           \
+           ::itag::Logger::GetLevel() <=                           \
+           ::itag::LogLevel::level_suffix;                         \
+       _itag_once; _itag_once = false)                             \
+  ::itag::LogStatement(::itag::LogLevel::level_suffix)
+
+/// Helper that buffers a message and emits it on destruction.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_LOGGING_H_

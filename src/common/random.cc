@@ -1,0 +1,210 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace itag {
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  assert(bound > 0);
+  // Lemire-style unbiased bounded generation via rejection.
+  uint32_t threshold = -bound % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  uint64_t r = NextU64() % span;
+  return lo + static_cast<int64_t>(r);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; one draw per call (the partner draw is discarded, keeping the
+  // generator stateless w.r.t. caching).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+int Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth's multiplicative method.
+    double limit = std::exp(-lambda);
+    double prod = NextDouble();
+    int n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= NextDouble();
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double x = Normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1, then scale down (Marsaglia-Tsang trick).
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint32_t k) const {
+  assert(k < n_);
+  double lo = k == 0 ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - lo;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  pmf_.resize(n);
+  for (size_t i = 0; i < n; ++i) pmf_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng* rng) const {
+  uint32_t i = rng->Uniform(static_cast<uint32_t>(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+void SampleDirichlet(const std::vector<double>& alpha, Rng* rng,
+                     std::vector<double>* out) {
+  out->resize(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    double g = rng->Gamma(alpha[i], 1.0);
+    (*out)[i] = g;
+    total += g;
+  }
+  if (total <= 0.0) {
+    // Degenerate draw (all-zero gammas can occur only with tiny alphas);
+    // fall back to uniform.
+    double u = 1.0 / static_cast<double>(alpha.size());
+    for (double& v : *out) v = u;
+    return;
+  }
+  for (double& v : *out) v /= total;
+}
+
+}  // namespace itag

@@ -1,0 +1,121 @@
+#ifndef ITAG_COMMON_RANDOM_H_
+#define ITAG_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace itag {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill, PCG-XSH-RR 64/32).
+/// Every stochastic component in the library takes an explicit Rng (or seed)
+/// so that whole simulation runs are reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rngs with the same (seed, stream) produce the
+  /// same sequence; distinct streams are independent.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Next raw 32-bit draw.
+  uint32_t NextU32();
+
+  /// Next raw 64-bit draw (two 32-bit draws).
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses unbiased rejection.
+  uint32_t Uniform(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+
+  /// Poisson with mean lambda >= 0 (Knuth for small lambda, normal
+  /// approximation above 64).
+  int Poisson(double lambda);
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang.
+  double Gamma(double shape, double scale = 1.0);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(static_cast<uint32_t>(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf(s, n) sampler over {0, 1, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+/// Precomputes the CDF once (O(n)) and samples by binary search (O(log n)).
+/// Used for resource popularity and tag-rank skew, the regimes Golder &
+/// Huberman report for collaborative tagging.
+class ZipfSampler {
+ public:
+  /// Builds the sampler. Requires n >= 1 and s >= 0 (s == 0 is uniform).
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint32_t Sample(Rng* rng) const;
+
+  /// Probability of rank k.
+  double Pmf(uint32_t k) const;
+
+  uint32_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint32_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+/// Walker alias method: O(1) sampling from an arbitrary discrete
+/// distribution after O(n) setup. Used for per-resource "true" tag
+/// distributions, where posts draw many tags from the same distribution.
+class AliasSampler {
+ public:
+  /// Builds the table from (possibly unnormalized, nonnegative) weights.
+  /// Requires at least one strictly positive weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index in [0, size()).
+  uint32_t Sample(Rng* rng) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i (reconstructed from the table inputs).
+  double Pmf(uint32_t i) const { return pmf_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> pmf_;
+};
+
+/// Samples a Dirichlet(alpha) vector of dimension `alpha.size()` into `out`.
+/// Each component uses Gamma draws; the result sums to 1.
+void SampleDirichlet(const std::vector<double>& alpha, Rng* rng,
+                     std::vector<double>* out);
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_RANDOM_H_

@@ -1,0 +1,129 @@
+#ifndef ITAG_COMMON_STATUS_H_
+#define ITAG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace itag {
+
+/// Error category carried by a Status. Mirrors the RocksDB/Abseil convention:
+/// a small closed set of codes, with a free-form message for humans.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kResourceExhausted = 6,
+  kIOError = 7,
+  kCorruption = 8,
+  kUnimplemented = 9,
+  kAborted = 10,
+  kInternal = 11,
+};
+
+/// Returns the canonical lower-case name of a code ("ok", "not_found", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Library code never throws across
+/// module boundaries; every fallible public entry point returns a Status or a
+/// Result<T>. Statuses are cheap to copy (code + shared message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Per-code predicates, used in tests and retry logic.
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   ITAG_RETURN_IF_ERROR(table->Insert(row));
+#define ITAG_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::itag::Status _s = (expr);              \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace itag {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string NormalizeTag(std::string_view raw) {
+  std::string trimmed = Trim(raw);
+  std::string out;
+  out.reserve(trimmed.size());
+  bool pending_sep = false;
+  for (char ch : trimmed) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isspace(c)) {
+      pending_sep = !out.empty();
+      continue;
+    }
+    if (pending_sep) {
+      out += '-';
+      pending_sep = false;
+    }
+    out += static_cast<char>(std::tolower(c));
+  }
+  return out;
+}
+
+}  // namespace itag

@@ -1,0 +1,33 @@
+#ifndef ITAG_COMMON_STRING_UTIL_H_
+#define ITAG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itag {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (tags are normalized to lower case before interning,
+/// matching how Delicious folds case).
+std::string ToLower(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Normalizes a raw tag string the way the Tag Manager does before
+/// interning: lower-case, trimmed, inner whitespace collapsed to '-'.
+/// Returns an empty string for tags that normalize to nothing.
+std::string NormalizeTag(std::string_view raw);
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_STRING_UTIL_H_

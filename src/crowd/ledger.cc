@@ -1,0 +1,22 @@
+#include "crowd/ledger.h"
+
+namespace itag::crowd {
+
+void PaymentLedger::Pay(ProjectRef project, WorkerId worker, uint32_t cents) {
+  project_spend_[project] += cents;
+  worker_earnings_[worker] += cents;
+  total_ += cents;
+  ++count_;
+}
+
+uint64_t PaymentLedger::ProjectSpend(ProjectRef project) const {
+  auto it = project_spend_.find(project);
+  return it == project_spend_.end() ? 0 : it->second;
+}
+
+uint64_t PaymentLedger::WorkerEarnings(WorkerId worker) const {
+  auto it = worker_earnings_.find(worker);
+  return it == worker_earnings_.end() ? 0 : it->second;
+}
+
+}  // namespace itag::crowd

@@ -1,0 +1,42 @@
+#ifndef ITAG_CROWD_LEDGER_H_
+#define ITAG_CROWD_LEDGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crowd/task.h"
+
+namespace itag::crowd {
+
+/// Double-entry-lite payment ledger: approved tasks move money from the
+/// project's spend account to the worker's balance (the "unit of incentive"
+/// the Quality Manager releases on approval, §III-B). Rejected tasks cost
+/// nothing — the provider-side approval workflow exists precisely so
+/// providers only pay for accepted tags.
+class PaymentLedger {
+ public:
+  /// Records an approved payment of `cents` from `project` to `worker`.
+  void Pay(ProjectRef project, WorkerId worker, uint32_t cents);
+
+  /// Total paid out by a project.
+  uint64_t ProjectSpend(ProjectRef project) const;
+
+  /// Total earned by a worker.
+  uint64_t WorkerEarnings(WorkerId worker) const;
+
+  /// Grand total of all payments.
+  uint64_t TotalPaid() const { return total_; }
+
+  /// Number of payment records.
+  size_t PaymentCount() const { return count_; }
+
+ private:
+  std::unordered_map<ProjectRef, uint64_t> project_spend_;
+  std::unordered_map<WorkerId, uint64_t> worker_earnings_;
+  uint64_t total_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_LEDGER_H_

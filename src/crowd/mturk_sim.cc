@@ -1,0 +1,72 @@
+#include "crowd/mturk_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itag::crowd {
+
+MTurkSim::MTurkSim(std::vector<WorkerProfile> workers, PaymentLedger* ledger,
+                   MTurkSimOptions options)
+    : SimPlatformBase(std::move(workers), ledger),
+      options_(options),
+      rng_(options.seed),
+      state_(workers_.size()) {}
+
+bool MTurkSim::WorkerQualified(WorkerId w) const {
+  const WorkerStats& s = stats_[w];
+  uint32_t decided = s.approved + s.rejected;
+  if (decided < options_.qualification_min_decisions) return true;
+  return s.ApprovalRate() >= options_.qualification_min_approval;
+}
+
+TaskId MTurkSim::BrowseFor(WorkerId w) const {
+  const WorkerProfile& prof = workers_[w];
+  for (const auto& [neg_pay, id] : open_) {
+    uint32_t pay = static_cast<uint32_t>(-neg_pay);
+    if (pay < prof.min_pay_cents) break;  // pay-descending: nothing cheaper fits
+    const TaskRec& rec = tasks_.at(id);
+    if (rec.spec.requester_approval_rate < prof.min_requester_approval) {
+      continue;
+    }
+    return id;
+  }
+  return 0;
+}
+
+std::vector<TaskEvent> MTurkSim::AdvanceTo(Tick now) {
+  std::vector<TaskEvent> events;
+  while (now_ < now) {
+    ++now_;
+    // 1. Completions due at this tick.
+    for (WorkerId w = 0; w < state_.size(); ++w) {
+      WorkerState& ws = state_[w];
+      if (ws.busy && ws.busy_until <= now_) {
+        MarkSubmitted(ws.task, now_, &events);
+        ws.busy = false;
+        ws.task = 0;
+      }
+    }
+    // 2. Idle workers browse for work.
+    if (!open_.empty()) {
+      for (WorkerId w = 0; w < state_.size(); ++w) {
+        if (open_.empty()) break;
+        WorkerState& ws = state_[w];
+        if (ws.busy) continue;
+        if (!WorkerQualified(w)) continue;
+        if (!rng_.Bernoulli(workers_[w].activity)) continue;
+        TaskId id = BrowseFor(w);
+        if (id == 0) continue;
+        double service =
+            rng_.Exponential(1.0 / std::max(1.0, workers_[w].mean_service_ticks));
+        Tick completes = now_ + 1 + static_cast<Tick>(service);
+        MarkAccepted(id, w, now_, completes, &events);
+        ws.busy = true;
+        ws.task = id;
+        ws.busy_until = completes;
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace itag::crowd

@@ -1,0 +1,58 @@
+#ifndef ITAG_CROWD_MTURK_SIM_H_
+#define ITAG_CROWD_MTURK_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/sim_platform_base.h"
+
+namespace itag::crowd {
+
+/// Marketplace parameters of the MTurk-style simulator.
+struct MTurkSimOptions {
+  /// Workers whose approval rate falls below this are barred from accepting
+  /// further tasks — the qualification guarantee the User Manager relies on
+  /// ("approval rate of taggers from crowdsourcing platforms are at a
+  /// reliable level", §III-A). A worker needs at least
+  /// `qualification_min_decisions` decided tasks before the bar applies.
+  double qualification_min_approval = 0.5;
+  uint32_t qualification_min_decisions = 5;
+
+  uint64_t seed = 7;
+};
+
+/// Discrete-event simulator of an MTurk-like open marketplace:
+///  * per tick, each idle worker browses with probability `activity`;
+///  * a browsing worker scans open tasks in descending-pay order and takes
+///    the first one satisfying their pay floor and requester-approval floor
+///    (pay-ranked choice is the dominant observed MTurk behaviour);
+///  * an accepted task completes after an exponential service time, then
+///    surfaces as a Submitted event for the requester to approve/reject.
+class MTurkSim : public SimPlatformBase {
+ public:
+  MTurkSim(std::vector<WorkerProfile> workers, PaymentLedger* ledger,
+           MTurkSimOptions options = {});
+
+  std::string name() const override { return "mturk-sim"; }
+
+  std::vector<TaskEvent> AdvanceTo(Tick now) override;
+
+ private:
+  bool WorkerQualified(WorkerId w) const;
+  /// Picks the task `w` would accept at `now`, or 0 when none suits.
+  TaskId BrowseFor(WorkerId w) const;
+
+  MTurkSimOptions options_;
+  Rng rng_;
+  struct WorkerState {
+    bool busy = false;
+    TaskId task = 0;
+    Tick busy_until = 0;
+  };
+  std::vector<WorkerState> state_;
+};
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_MTURK_SIM_H_

@@ -1,0 +1,97 @@
+#include "crowd/sim_platform_base.h"
+
+namespace itag::crowd {
+
+SimPlatformBase::SimPlatformBase(std::vector<WorkerProfile> workers,
+                                 PaymentLedger* ledger)
+    : workers_(std::move(workers)),
+      stats_(workers_.size()),
+      ledger_(ledger) {}
+
+Result<TaskId> SimPlatformBase::PostTask(const TaskSpec& spec) {
+  TaskId id = next_task_++;
+  TaskRec rec;
+  rec.spec = spec;
+  tasks_.emplace(id, rec);
+  open_.emplace(-static_cast<int64_t>(spec.pay_cents), id);
+  return id;
+}
+
+Status SimPlatformBase::CancelTask(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status::NotFound("task " + std::to_string(id));
+  if (it->second.state != TaskState::kOpen) {
+    return Status::FailedPrecondition(
+        std::string("task is ") + TaskStateName(it->second.state));
+  }
+  open_.erase({-static_cast<int64_t>(it->second.spec.pay_cents), id});
+  it->second.state = TaskState::kCancelled;
+  return Status::OK();
+}
+
+Status SimPlatformBase::Approve(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status::NotFound("task " + std::to_string(id));
+  TaskRec& rec = it->second;
+  if (rec.state != TaskState::kSubmitted) {
+    return Status::FailedPrecondition(
+        std::string("task is ") + TaskStateName(rec.state));
+  }
+  rec.state = TaskState::kApproved;
+  --pending_;
+  if (rec.worker < stats_.size()) ++stats_[rec.worker].approved;
+  if (ledger_ != nullptr) {
+    ledger_->Pay(rec.spec.project, rec.worker, rec.spec.pay_cents);
+  }
+  return Status::OK();
+}
+
+Status SimPlatformBase::Reject(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status::NotFound("task " + std::to_string(id));
+  TaskRec& rec = it->second;
+  if (rec.state != TaskState::kSubmitted) {
+    return Status::FailedPrecondition(
+        std::string("task is ") + TaskStateName(rec.state));
+  }
+  rec.state = TaskState::kRejected;
+  --pending_;
+  if (rec.worker < stats_.size()) ++stats_[rec.worker].rejected;
+  return Status::OK();
+}
+
+Result<TaskState> SimPlatformBase::GetTaskState(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return Status::NotFound("task " + std::to_string(id));
+  return it->second.state;
+}
+
+Result<WorkerStats> SimPlatformBase::GetWorkerStats(WorkerId id) const {
+  if (id >= stats_.size()) {
+    return Status::NotFound("worker " + std::to_string(id));
+  }
+  return stats_[id];
+}
+
+void SimPlatformBase::MarkAccepted(TaskId id, WorkerId worker, Tick now,
+                                   Tick completes,
+                                   std::vector<TaskEvent>* events) {
+  TaskRec& rec = tasks_.at(id);
+  open_.erase({-static_cast<int64_t>(rec.spec.pay_cents), id});
+  rec.state = TaskState::kAccepted;
+  rec.worker = worker;
+  rec.accepted_at = now;
+  rec.completes_at = completes;
+  events->push_back({TaskEventKind::kAccepted, now, id, worker});
+}
+
+void SimPlatformBase::MarkSubmitted(TaskId id, Tick now,
+                                    std::vector<TaskEvent>* events) {
+  TaskRec& rec = tasks_.at(id);
+  rec.state = TaskState::kSubmitted;
+  ++pending_;
+  if (rec.worker < stats_.size()) ++stats_[rec.worker].submitted;
+  events->push_back({TaskEventKind::kSubmitted, now, id, rec.worker});
+}
+
+}  // namespace itag::crowd

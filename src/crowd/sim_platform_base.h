@@ -1,0 +1,68 @@
+#ifndef ITAG_CROWD_SIM_PLATFORM_BASE_H_
+#define ITAG_CROWD_SIM_PLATFORM_BASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crowd/ledger.h"
+#include "crowd/platform.h"
+
+namespace itag::crowd {
+
+/// Shared bookkeeping for the discrete-event platform simulators: task
+/// records and lifecycle transitions, worker approval statistics, and the
+/// payment hookup. Subclasses implement only the marketplace dynamics
+/// (AdvanceTo) that decide which worker takes which task when.
+class SimPlatformBase : public CrowdPlatform {
+ public:
+  /// `workers` seeds the pool; `ledger` (optional, may be null) receives a
+  /// payment on every approval.
+  SimPlatformBase(std::vector<WorkerProfile> workers, PaymentLedger* ledger);
+
+  Result<TaskId> PostTask(const TaskSpec& spec) override;
+  Status CancelTask(TaskId id) override;
+  Status Approve(TaskId id) override;
+  Status Reject(TaskId id) override;
+  Result<TaskState> GetTaskState(TaskId id) const override;
+  Result<WorkerStats> GetWorkerStats(WorkerId id) const override;
+  size_t OpenTaskCount() const override { return open_.size(); }
+  size_t PendingDecisionCount() const override { return pending_; }
+
+  /// The worker pool (tests and the tagger model key off profiles).
+  const std::vector<WorkerProfile>& worker_profiles() const override {
+    return workers_;
+  }
+
+ protected:
+  struct TaskRec {
+    TaskSpec spec;
+    TaskState state = TaskState::kOpen;
+    WorkerId worker = kNoWorker;
+    Tick accepted_at = 0;
+    Tick completes_at = 0;
+  };
+
+  /// Marks `id` accepted by `worker` at `now`, finishing at `completes`.
+  void MarkAccepted(TaskId id, WorkerId worker, Tick now, Tick completes,
+                    std::vector<TaskEvent>* events);
+
+  /// Marks `id` submitted at `now`.
+  void MarkSubmitted(TaskId id, Tick now, std::vector<TaskEvent>* events);
+
+  std::map<TaskId, TaskRec> tasks_;
+  /// Open tasks ordered by (pay descending, id ascending): the order
+  /// pay-sensitive workers browse in.
+  std::set<std::pair<int64_t, TaskId>> open_;
+  std::vector<WorkerProfile> workers_;
+  std::vector<WorkerStats> stats_;
+  PaymentLedger* ledger_;
+  TaskId next_task_ = 1;
+  size_t pending_ = 0;
+  Tick now_ = 0;
+};
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_SIM_PLATFORM_BASE_H_

@@ -1,0 +1,117 @@
+#include "crowd/social_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itag::crowd {
+
+SocialNetSim::SocialNetSim(std::vector<WorkerProfile> workers,
+                           PaymentLedger* ledger, SocialNetSimOptions options)
+    : SimPlatformBase(std::move(workers), ledger),
+      options_(options),
+      rng_(options.seed),
+      state_(workers_.size()) {
+  BuildGraph();
+}
+
+void SocialNetSim::BuildGraph() {
+  size_t n = workers_.size();
+  graph_.assign(n, {});
+  if (n < 2) return;
+  // Ring lattice with k neighbours per side, then rewiring (Watts-Strogatz).
+  for (WorkerId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= options_.ring_neighbors; ++j) {
+      WorkerId v = static_cast<WorkerId>((u + j) % n);
+      if (rng_.Bernoulli(options_.rewire_prob)) {
+        // Rewire to a uniform random non-self target.
+        v = static_cast<WorkerId>(rng_.Uniform(static_cast<uint32_t>(n)));
+        if (v == u) v = static_cast<WorkerId>((u + 1) % n);
+      }
+      graph_[u].push_back(v);
+      graph_[v].push_back(u);
+    }
+  }
+}
+
+void SocialNetSim::Expose(ProjectRef project, WorkerId w) {
+  exposed_[project].insert(w);
+}
+
+void SocialNetSim::SeedExposure(ProjectRef project) {
+  if (seeded_.count(project)) return;
+  seeded_.insert(project);
+  size_t n = workers_.size();
+  size_t want = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options_.seed_exposure * n)));
+  for (size_t i = 0; i < want && i < n; ++i) {
+    Expose(project,
+           static_cast<WorkerId>(rng_.Uniform(static_cast<uint32_t>(n))));
+  }
+}
+
+size_t SocialNetSim::ExposedCount(ProjectRef project) const {
+  auto it = exposed_.find(project);
+  return it == exposed_.end() ? 0 : it->second.size();
+}
+
+TaskId SocialNetSim::BrowseFor(WorkerId w) const {
+  const WorkerProfile& prof = workers_[w];
+  for (const auto& [neg_pay, id] : open_) {
+    uint32_t pay = static_cast<uint32_t>(-neg_pay);
+    if (pay < prof.min_pay_cents) break;
+    const TaskRec& rec = tasks_.at(id);
+    auto it = exposed_.find(rec.spec.project);
+    if (it == exposed_.end() || !it->second.count(w)) continue;
+    if (rec.spec.requester_approval_rate < prof.min_requester_approval) {
+      continue;
+    }
+    return id;
+  }
+  return 0;
+}
+
+std::vector<TaskEvent> SocialNetSim::AdvanceTo(Tick now) {
+  std::vector<TaskEvent> events;
+  while (now_ < now) {
+    ++now_;
+    // Seed exposure for any project with open tasks that hasn't been seeded.
+    for (const auto& [neg_pay, id] : open_) {
+      (void)neg_pay;
+      SeedExposure(tasks_.at(id).spec.project);
+    }
+    // Completions; submitting shares the project with friends.
+    for (WorkerId w = 0; w < state_.size(); ++w) {
+      WorkerState& ws = state_[w];
+      if (ws.busy && ws.busy_until <= now_) {
+        ProjectRef project = tasks_.at(ws.task).spec.project;
+        MarkSubmitted(ws.task, now_, &events);
+        ws.busy = false;
+        ws.task = 0;
+        for (WorkerId f : graph_[w]) {
+          if (rng_.Bernoulli(options_.share_prob)) Expose(project, f);
+        }
+      }
+    }
+    // Exposed idle workers browse.
+    if (!open_.empty()) {
+      for (WorkerId w = 0; w < state_.size(); ++w) {
+        if (open_.empty()) break;
+        WorkerState& ws = state_[w];
+        if (ws.busy) continue;
+        if (!rng_.Bernoulli(workers_[w].activity)) continue;
+        TaskId id = BrowseFor(w);
+        if (id == 0) continue;
+        double service = rng_.Exponential(
+            1.0 / std::max(1.0, workers_[w].mean_service_ticks));
+        Tick completes = now_ + 1 + static_cast<Tick>(service);
+        MarkAccepted(id, w, now_, completes, &events);
+        ws.busy = true;
+        ws.task = id;
+        ws.busy_until = completes;
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace itag::crowd

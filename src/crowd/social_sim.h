@@ -1,0 +1,74 @@
+#ifndef ITAG_CROWD_SOCIAL_SIM_H_
+#define ITAG_CROWD_SOCIAL_SIM_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/sim_platform_base.h"
+
+namespace itag::crowd {
+
+/// Parameters of the social-network crowdsourcing simulator (the Facebook
+/// extension the paper sketches via CrowdSearcher [6]).
+struct SocialNetSimOptions {
+  /// Watts-Strogatz small-world friendship graph: each worker is wired to
+  /// `ring_neighbors` neighbours per side, each edge rewired with
+  /// probability `rewire_prob`.
+  uint32_t ring_neighbors = 3;
+  double rewire_prob = 0.1;
+
+  /// Fraction of the pool organically exposed when a project first posts.
+  double seed_exposure = 0.05;
+
+  /// Probability that a worker shares the project with each friend after
+  /// submitting a task for it.
+  double share_prob = 0.4;
+
+  uint64_t seed = 11;
+};
+
+/// Discrete-event simulator of task propagation over a social network:
+/// tasks are not listed on a marketplace — workers only see projects they
+/// have been *exposed* to (organic seeding plus shares from friends who
+/// completed tasks). Exposure spreads virally, so throughput starts slow and
+/// accelerates; qualification and approval behave exactly as on MTurkSim.
+class SocialNetSim : public SimPlatformBase {
+ public:
+  SocialNetSim(std::vector<WorkerProfile> workers, PaymentLedger* ledger,
+               SocialNetSimOptions options = {});
+
+  std::string name() const override { return "social-sim"; }
+
+  std::vector<TaskEvent> AdvanceTo(Tick now) override;
+
+  /// Number of workers exposed to `project` (tests, monitoring).
+  size_t ExposedCount(ProjectRef project) const;
+
+  /// The friend lists (tests verify small-world shape).
+  const std::vector<std::vector<WorkerId>>& graph() const { return graph_; }
+
+ private:
+  void BuildGraph();
+  void Expose(ProjectRef project, WorkerId w);
+  void SeedExposure(ProjectRef project);
+  TaskId BrowseFor(WorkerId w) const;
+
+  SocialNetSimOptions options_;
+  Rng rng_;
+  std::vector<std::vector<WorkerId>> graph_;
+  std::unordered_map<ProjectRef, std::unordered_set<WorkerId>> exposed_;
+  std::unordered_set<ProjectRef> seeded_;
+  struct WorkerState {
+    bool busy = false;
+    TaskId task = 0;
+    Tick busy_until = 0;
+  };
+  std::vector<WorkerState> state_;
+};
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_SOCIAL_SIM_H_

@@ -1,0 +1,80 @@
+#ifndef ITAG_CROWD_TASK_H_
+#define ITAG_CROWD_TASK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace itag::crowd {
+
+/// Platform-assigned task (HIT) identifier.
+using TaskId = uint64_t;
+
+/// Worker identifier within a platform's pool.
+using WorkerId = uint32_t;
+
+/// Sentinel for "no worker".
+inline constexpr WorkerId kNoWorker = 0xFFFFFFFFu;
+
+/// Project identifier (mirrors itag::ProjectId; kept as a raw integer here
+/// so the crowd layer stays independent of the iTag layer).
+using ProjectRef = uint64_t;
+
+/// Lifecycle of a task on a crowdsourcing platform:
+///   Open -> Accepted -> Submitted -> Approved | Rejected
+/// with Open -> Cancelled available to the requester (Stop button) and
+/// Rejected tasks being reposted by iTag if budget remains.
+enum class TaskState : uint8_t {
+  kOpen = 0,
+  kAccepted = 1,
+  kSubmitted = 2,
+  kApproved = 3,
+  kRejected = 4,
+  kCancelled = 5,
+};
+
+/// Task state name ("open", "accepted", ...).
+inline const char* TaskStateName(TaskState s) {
+  switch (s) {
+    case TaskState::kOpen:
+      return "open";
+    case TaskState::kAccepted:
+      return "accepted";
+    case TaskState::kSubmitted:
+      return "submitted";
+    case TaskState::kApproved:
+      return "approved";
+    case TaskState::kRejected:
+      return "rejected";
+    case TaskState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// What a requester posts: "tag resource X of project P for `pay_cents`".
+struct TaskSpec {
+  ProjectRef project = 0;
+  uint32_t resource = 0;    ///< opaque to the platform
+  uint32_t pay_cents = 5;   ///< incentive per task (pay/task of Fig. 4)
+  double requester_approval_rate = 1.0;  ///< shown to workers (§III-A)
+};
+
+/// Events surfaced to the requester while the platform simulator advances.
+enum class TaskEventKind : uint8_t {
+  kAccepted = 0,   ///< a worker took the task
+  kSubmitted = 1,  ///< the worker handed in work; awaiting approval
+};
+
+/// One platform event.
+struct TaskEvent {
+  TaskEventKind kind;
+  Tick time = 0;
+  TaskId task = 0;
+  WorkerId worker = kNoWorker;
+};
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_TASK_H_

@@ -1,0 +1,29 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+
+namespace itag::crowd {
+
+std::vector<WorkerProfile> GenerateWorkerPool(const WorkerPoolConfig& config,
+                                              Rng* rng) {
+  std::vector<WorkerProfile> pool;
+  pool.reserve(config.num_workers);
+  for (uint32_t i = 0; i < config.num_workers; ++i) {
+    WorkerProfile w;
+    w.id = i;
+    bool spammer = rng->Bernoulli(config.spammer_fraction);
+    double base =
+        spammer ? config.spammer_reliability : config.good_reliability;
+    w.reliability = std::clamp(
+        base + rng->Normal(0.0, config.reliability_jitter), 0.01, 0.999);
+    // Service time and activity vary by +/-50% across the pool.
+    w.mean_service_ticks =
+        config.mean_service_ticks * (0.5 + rng->NextDouble());
+    w.activity = std::clamp(config.activity * (0.5 + rng->NextDouble()),
+                            0.01, 1.0);
+    pool.push_back(w);
+  }
+  return pool;
+}
+
+}  // namespace itag::crowd

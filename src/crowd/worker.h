@@ -1,0 +1,74 @@
+#ifndef ITAG_CROWD_WORKER_H_
+#define ITAG_CROWD_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/task.h"
+
+namespace itag::crowd {
+
+/// Behavioural profile of one simulated worker. The parameters are the knobs
+/// the crowdsourcing literature (and MTurk practice) identifies: how reliable
+/// the worker's output is, how fast they work, how picky they are about pay,
+/// and how active they are on the platform.
+struct WorkerProfile {
+  WorkerId id = 0;
+
+  /// Probability that a submission is conscientious (the tagger model maps
+  /// unreliable submissions to noisier posts; the requester's approval step
+  /// rejects bad work with high probability).
+  double reliability = 0.9;
+
+  /// Mean task service time in ticks (exponentially distributed).
+  double mean_service_ticks = 20.0;
+
+  /// Probability per tick that an idle worker browses for a task.
+  double activity = 0.2;
+
+  /// The worker ignores tasks paying less than this (cents).
+  uint32_t min_pay_cents = 1;
+
+  /// The worker ignores requesters whose approval rate (toward taggers, the
+  /// provider-side rate the User Manager tracks) is below this.
+  double min_requester_approval = 0.0;
+};
+
+/// Running approval statistics of a worker — the tagger approval rate of
+/// §III-A, maintained by the platform on approve/reject.
+struct WorkerStats {
+  uint32_t submitted = 0;
+  uint32_t approved = 0;
+  uint32_t rejected = 0;
+
+  /// Approved / decided, optimistic (1.0) before any decision so fresh
+  /// workers are not locked out by qualification filters.
+  double ApprovalRate() const {
+    uint32_t decided = approved + rejected;
+    return decided == 0 ? 1.0 : static_cast<double>(approved) / decided;
+  }
+};
+
+/// Configuration for synthesizing a worker pool.
+struct WorkerPoolConfig {
+  uint32_t num_workers = 50;
+
+  /// Reliability is drawn from Beta-like mixture: a fraction of spammers
+  /// with low reliability, the rest concentrated near `good_reliability`.
+  double spammer_fraction = 0.1;
+  double spammer_reliability = 0.2;
+  double good_reliability = 0.92;
+  double reliability_jitter = 0.05;
+
+  double mean_service_ticks = 20.0;
+  double activity = 0.2;
+};
+
+/// Draws a heterogeneous worker pool per `config`.
+std::vector<WorkerProfile> GenerateWorkerPool(const WorkerPoolConfig& config,
+                                              Rng* rng);
+
+}  // namespace itag::crowd
+
+#endif  // ITAG_CROWD_WORKER_H_

@@ -1,0 +1,23 @@
+#ifndef ITAG_ITAG_IDS_H_
+#define ITAG_ITAG_IDS_H_
+
+#include <cstdint>
+
+namespace itag::core {
+
+/// Provider (resource owner) identifier.
+using ProviderId = uint64_t;
+
+/// Registered tagger identifier (human audience members and platform
+/// workers share the space; platform workers are offset).
+using UserTaggerId = uint64_t;
+
+/// Project identifier.
+using ProjectId = uint64_t;
+
+/// A task handle given to human taggers through the tagger UI path.
+using TaskHandle = uint64_t;
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_IDS_H_

@@ -1,0 +1,450 @@
+#include "itag/itag_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace itag::core {
+
+using tagging::ResourceId;
+
+ITagSystem::ITagSystem(ITagSystemOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+Status ITagSystem::Init() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+  ITAG_RETURN_IF_ERROR(db_.Open(options_.db));
+  users_ = std::make_unique<UserManager>(&db_);
+  ITAG_RETURN_IF_ERROR(users_->Attach());
+  resources_ = std::make_unique<ResourceManager>(&db_);
+  ITAG_RETURN_IF_ERROR(resources_->Attach());
+  tag_manager_ = std::make_unique<TagManager>(&db_);
+  ITAG_RETURN_IF_ERROR(tag_manager_->Attach());
+  quality_ = std::make_unique<QualityManager>(resources_.get(),
+                                              tag_manager_.get(),
+                                              users_.get(), &clock_);
+
+  Rng pool_rng(options_.seed ^ 0xABCDEF);
+  mturk_ = std::make_unique<crowd::MTurkSim>(
+      crowd::GenerateWorkerPool(options_.mturk_pool, &pool_rng), &ledger_);
+  crowd::WorkerPoolConfig social_pool = options_.mturk_pool;
+  social_ = std::make_unique<crowd::SocialNetSim>(
+      crowd::GenerateWorkerPool(social_pool, &pool_rng), &ledger_,
+      options_.social);
+  initialized_ = true;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- users
+
+Result<ProviderId> ITagSystem::RegisterProvider(const std::string& name) {
+  return users_->RegisterProvider(name);
+}
+
+Result<UserTaggerId> ITagSystem::RegisterTagger(const std::string& name) {
+  return users_->RegisterTagger(name);
+}
+
+Result<ProviderProfile> ITagSystem::GetProvider(ProviderId id) const {
+  return users_->GetProvider(id);
+}
+
+Result<TaggerProfile> ITagSystem::GetTagger(UserTaggerId id) const {
+  return users_->GetTagger(id);
+}
+
+// ------------------------------------------------------------ provider API
+
+Result<ProjectId> ITagSystem::CreateProject(ProviderId provider,
+                                            const ProjectSpec& spec) {
+  return quality_->CreateProject(provider, spec);
+}
+
+Result<ResourceId> ITagSystem::UploadResource(ProjectId project,
+                                              tagging::ResourceKind kind,
+                                              const std::string& uri,
+                                              const std::string& description) {
+  return resources_->UploadResource(project, kind, uri, description);
+}
+
+Status ITagSystem::ImportPost(ProjectId project, ResourceId resource,
+                              const std::vector<std::string>& raw_tags) {
+  return resources_->ImportPost(project, resource, raw_tags);
+}
+
+Status ITagSystem::StartProject(ProjectId project) {
+  return quality_->Start(project);
+}
+
+Status ITagSystem::PauseProject(ProjectId project) {
+  return quality_->Pause(project);
+}
+
+Status ITagSystem::StopProject(ProjectId project) {
+  return quality_->Stop(project);
+}
+
+Status ITagSystem::AddBudget(ProjectId project, uint32_t tasks) {
+  return quality_->AddBudget(project, tasks);
+}
+
+Status ITagSystem::SwitchStrategy(ProjectId project,
+                                  strategy::StrategyKind kind) {
+  return quality_->SwitchStrategy(project, kind);
+}
+
+Result<strategy::StrategyKind> ITagSystem::RecommendStrategy(
+    ProjectId project) const {
+  return quality_->RecommendStrategy(project);
+}
+
+Status ITagSystem::PromoteResource(ProjectId project, ResourceId resource) {
+  return quality_->PromoteResource(project, resource);
+}
+
+Status ITagSystem::StopResource(ProjectId project, ResourceId resource) {
+  return quality_->StopResource(project, resource);
+}
+
+Status ITagSystem::ResumeResource(ProjectId project, ResourceId resource) {
+  return quality_->ResumeResource(project, resource);
+}
+
+Result<ProjectInfo> ITagSystem::GetProjectInfo(ProjectId project) const {
+  return quality_->GetInfo(project);
+}
+
+std::vector<ProjectInfo> ITagSystem::ListProjects(ProviderId provider) const {
+  return quality_->ListProjects(provider);
+}
+
+const std::vector<QualityPoint>& ITagSystem::QualityFeed(
+    ProjectId project) const {
+  return quality_->QualityFeed(project);
+}
+
+Result<QualityManager::ResourceDetail> ITagSystem::GetResourceDetail(
+    ProjectId project, ResourceId resource) const {
+  return quality_->GetResourceDetail(project, resource);
+}
+
+std::vector<Notification> ITagSystem::LatestNotifications(ProviderId provider,
+                                                          size_t limit) {
+  return quality_->Notifications(provider).Latest(limit);
+}
+
+std::vector<PendingSubmission> ITagSystem::PendingApprovals(
+    ProjectId project) const {
+  std::vector<PendingSubmission> out;
+  for (const auto& [handle, sub] : pending_) {
+    (void)handle;
+    if (sub.project == project) out.push_back(sub);
+  }
+  return out;
+}
+
+Status ITagSystem::ApplyDecision(const PendingSubmission& sub, bool approve) {
+  const QualityManager::ProjectRec* rec = quality_->GetRec(sub.project);
+  if (rec == nullptr) return Status::NotFound("project gone");
+
+  crowd::CrowdPlatform* platform = nullptr;
+  if (sub.platform_task != 0) {
+    platform = PlatformFor(sub.project);
+  }
+
+  if (approve) {
+    tagging::Corpus* corpus = resources_->GetCorpus(sub.project);
+    if (corpus == nullptr) return Status::Internal("corpus missing");
+    tagging::Post post;
+    post.time = clock_.Now();
+    post.tagger = static_cast<tagging::TaggerId>(
+        sub.tagger == static_cast<UserTaggerId>(-1) ? 0xFFFFFFFEu
+                                                    : sub.tagger);
+    for (const std::string& raw : sub.tags) {
+      tagging::TagId id = corpus->dict().Intern(raw);
+      if (id == tagging::kInvalidTag) continue;
+      if (std::find(post.tags.begin(), post.tags.end(), id) ==
+          post.tags.end()) {
+        post.tags.push_back(id);
+      }
+    }
+    if (post.tags.empty()) {
+      return Status::InvalidArgument("submission had no usable tags");
+    }
+    ITAG_RETURN_IF_ERROR(
+        quality_->CompletePost(sub.project, sub.resource, std::move(post)));
+    if (platform != nullptr) {
+      ITAG_RETURN_IF_ERROR(platform->Approve(sub.platform_task));
+    }
+    if (sub.tagger != static_cast<UserTaggerId>(-1)) {
+      ITAG_RETURN_IF_ERROR(users_->RecordDecision(
+          rec->provider, sub.tagger, true, rec->spec.pay_cents));
+      ledger_.Pay(sub.project, static_cast<crowd::WorkerId>(sub.tagger),
+                  rec->spec.pay_cents);
+    } else {
+      ITAG_RETURN_IF_ERROR(
+          users_->RecordProviderDecision(rec->provider, true));
+    }
+  } else {
+    if (platform != nullptr) {
+      ITAG_RETURN_IF_ERROR(platform->Reject(sub.platform_task));
+    }
+    if (sub.tagger != static_cast<UserTaggerId>(-1)) {
+      ITAG_RETURN_IF_ERROR(
+          users_->RecordDecision(rec->provider, sub.tagger, false, 0));
+    } else {
+      ITAG_RETURN_IF_ERROR(
+          users_->RecordProviderDecision(rec->provider, false));
+    }
+    // Refund the task and retry the resource.
+    ITAG_RETURN_IF_ERROR(quality_->RefundTask(sub.project));
+    (void)quality_->PromoteResource(sub.project, sub.resource);
+  }
+  return Status::OK();
+}
+
+Status ITagSystem::Decide(ProviderId provider, TaskHandle handle,
+                          bool approve) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::NotFound("submission " + std::to_string(handle));
+  }
+  const QualityManager::ProjectRec* rec = quality_->GetRec(it->second.project);
+  if (rec == nullptr || rec->provider != provider) {
+    return Status::FailedPrecondition("not this provider's project");
+  }
+  Status s = ApplyDecision(it->second, approve);
+  pending_.erase(it);
+  return s;
+}
+
+Result<size_t> ITagSystem::ExportProject(ProjectId project,
+                                         const std::string& path) const {
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  return tag_manager_->ExportCsv(*corpus, path);
+}
+
+// -------------------------------------------------------------- tagger API
+
+std::vector<ProjectInfo> ITagSystem::ListOpenProjects() const {
+  std::vector<ProjectInfo> out;
+  for (const ProjectInfo& info :
+       quality_->ListProjects(static_cast<ProviderId>(-1))) {
+    if (info.state == ProjectState::kRunning && info.budget_remaining > 0) {
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+Result<AcceptedTask> ITagSystem::AcceptTask(UserTaggerId tagger,
+                                            ProjectId project) {
+  ITAG_RETURN_IF_ERROR(users_->GetTagger(tagger).status());
+  ITAG_ASSIGN_OR_RETURN(ResourceId resource,
+                        quality_->ChooseNextTask(project));
+  const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  AcceptedTask task;
+  task.handle = next_handle_++;
+  task.project = project;
+  task.resource = resource;
+  task.uri = corpus->resource(resource).uri;
+  task.pay_cents = rec->spec.pay_cents;
+  accepted_.emplace(task.handle, task);
+  accepted_by_.emplace(task.handle, tagger);
+  return task;
+}
+
+Status ITagSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
+                              const std::vector<std::string>& raw_tags) {
+  auto it = accepted_.find(handle);
+  if (it == accepted_.end()) {
+    return Status::NotFound("task " + std::to_string(handle));
+  }
+  if (accepted_by_[handle] != tagger) {
+    return Status::FailedPrecondition("task accepted by another tagger");
+  }
+  std::vector<std::string> normalized;
+  for (const std::string& raw : raw_tags) {
+    std::string n = NormalizeTag(raw);
+    if (!n.empty()) normalized.push_back(std::move(n));
+  }
+  if (normalized.empty()) {
+    return Status::InvalidArgument("no usable tags in submission");
+  }
+  PendingSubmission sub;
+  sub.handle = handle;
+  sub.project = it->second.project;
+  sub.resource = it->second.resource;
+  sub.tagger = tagger;
+  sub.tags = std::move(normalized);
+  pending_.emplace(handle, std::move(sub));
+  accepted_.erase(it);
+  accepted_by_.erase(handle);
+  return users_->RecordSubmission(tagger);
+}
+
+// ------------------------------------------------------------- simulation
+
+void ITagSystem::SetApprovalPolicy(ProviderId provider,
+                                   ApprovalPolicy policy) {
+  policies_[provider] = std::move(policy);
+}
+
+crowd::CrowdPlatform* ITagSystem::PlatformFor(ProjectId project) {
+  const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+  if (rec == nullptr) return nullptr;
+  switch (rec->spec.platform) {
+    case PlatformChoice::kMTurk:
+      return mturk_.get();
+    case PlatformChoice::kSocialNetwork:
+      return social_.get();
+    case PlatformChoice::kAudience:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+sim::GeneratedPost ITagSystem::DefaultPostContent(ProjectId project,
+                                                  ResourceId resource,
+                                                  double reliability,
+                                                  Tick now) {
+  // Casual-tagger default: mostly echoes the resource's current popular
+  // tags (rich-get-richer), occasionally invents a fresh tag. Unreliable
+  // workers invent much more.
+  sim::GeneratedPost out;
+  out.conscientious = rng_.Bernoulli(reliability);
+  tagging::Corpus* corpus = resources_->GetCorpus(project);
+  out.post.time = now;
+  out.post.tagger = 0xFFFFFFFEu;
+  double invent_prob = out.conscientious ? 0.15 : 0.75;
+  int s = 1 + rng_.Poisson(1.5);
+  const SparseDist& rfd = corpus->stats(resource).Rfd();
+  for (int i = 0; i < s; ++i) {
+    tagging::TagId tag = tagging::kInvalidTag;
+    if (!rfd.empty() && !rng_.Bernoulli(invent_prob)) {
+      // Inverse-CDF over the current rfd.
+      double u = rng_.NextDouble();
+      double acc = 0.0;
+      for (const auto& [id, p] : rfd.entries()) {
+        acc += p;
+        if (u <= acc) {
+          tag = id;
+          break;
+        }
+      }
+    }
+    if (tag == tagging::kInvalidTag) {
+      tag = corpus->dict().Intern("ad-hoc-" +
+                                  std::to_string(rng_.NextU32() % 10000));
+    }
+    if (std::find(out.post.tags.begin(), out.post.tags.end(), tag) ==
+        out.post.tags.end()) {
+      out.post.tags.push_back(tag);
+    }
+  }
+  return out;
+}
+
+Status ITagSystem::HandleSubmission(crowd::CrowdPlatform* platform,
+                                    const crowd::TaskEvent& ev) {
+  std::map<crowd::TaskId, InFlight>& in_flight =
+      platform == mturk_.get() ? in_flight_mturk_ : in_flight_social_;
+  auto it = in_flight.find(ev.task);
+  if (it == in_flight.end()) return Status::OK();  // not ours
+  InFlight flight = it->second;
+  in_flight.erase(it);
+
+  const auto& profiles = platform->worker_profiles();
+  double reliability =
+      ev.worker < profiles.size() ? profiles[ev.worker].reliability : 0.9;
+
+  sim::GeneratedPost gp =
+      post_source_ != nullptr
+          ? post_source_(flight.project, flight.resource, reliability,
+                         ev.time, &rng_)
+          : DefaultPostContent(flight.project, flight.resource, reliability,
+                               ev.time);
+
+  tagging::Corpus* corpus = resources_->GetCorpus(flight.project);
+  PendingSubmission sub;
+  sub.handle = next_handle_++;
+  sub.project = flight.project;
+  sub.resource = flight.resource;
+  sub.platform_task = ev.task;
+  sub.conscientious_hint = gp.conscientious;
+  for (tagging::TagId t : gp.post.tags) {
+    sub.tags.push_back(corpus->dict().Text(t));
+  }
+
+  // Auto-moderate via the provider's policy (default approve-all).
+  const QualityManager::ProjectRec* rec = quality_->GetRec(flight.project);
+  if (rec == nullptr) return Status::OK();
+  auto pit = policies_.find(rec->provider);
+  bool approve =
+      pit == policies_.end() ? true : pit->second(sub);
+  return ApplyDecision(sub, approve);
+}
+
+Status ITagSystem::PumpProject(ProjectId project,
+                               QualityManager::ProjectRec* rec) {
+  crowd::CrowdPlatform* platform = PlatformFor(project);
+  if (platform == nullptr) return Status::OK();  // audience project
+  std::map<crowd::TaskId, InFlight>& in_flight =
+      platform == mturk_.get() ? in_flight_mturk_ : in_flight_social_;
+  size_t ours = 0;
+  for (const auto& [tid, flight] : in_flight) {
+    (void)tid;
+    if (flight.project == project) ++ours;
+  }
+  Result<ProviderProfile> provider = users_->GetProvider(rec->provider);
+  double approval_rate =
+      provider.ok() ? provider.value().ApprovalRate() : 1.0;
+  while (ours < kMaxOpenTasksPerProject) {
+    Result<ResourceId> chosen = quality_->ChooseNextTask(project);
+    if (!chosen.ok()) break;
+    crowd::TaskSpec spec;
+    spec.project = project;
+    spec.resource = chosen.value();
+    spec.pay_cents = rec->spec.pay_cents;
+    spec.requester_approval_rate = approval_rate;
+    ITAG_ASSIGN_OR_RETURN(crowd::TaskId tid, platform->PostTask(spec));
+    in_flight.emplace(tid, InFlight{project, chosen.value()});
+    ++ours;
+  }
+  return Status::OK();
+}
+
+Status ITagSystem::Step(Tick ticks) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  Tick target = clock_.Now() + ticks;
+  while (clock_.Now() < target) {
+    clock_.Advance(1);
+    // Keep task queues full for every running platform project.
+    for (const ProjectInfo& info :
+         quality_->ListProjects(static_cast<ProviderId>(-1))) {
+      if (info.state != ProjectState::kRunning) continue;
+      QualityManager::ProjectRec* rec = const_cast<QualityManager::ProjectRec*>(
+          quality_->GetRec(info.id));
+      ITAG_RETURN_IF_ERROR(PumpProject(info.id, rec));
+    }
+    // Advance both platforms one tick and route submissions.
+    for (crowd::CrowdPlatform* platform :
+         {static_cast<crowd::CrowdPlatform*>(mturk_.get()),
+          static_cast<crowd::CrowdPlatform*>(social_.get())}) {
+      std::vector<crowd::TaskEvent> events = platform->AdvanceTo(clock_.Now());
+      for (const crowd::TaskEvent& ev : events) {
+        if (ev.kind == crowd::TaskEventKind::kSubmitted) {
+          ITAG_RETURN_IF_ERROR(HandleSubmission(platform, ev));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace itag::core

@@ -1,0 +1,211 @@
+#ifndef ITAG_ITAG_ITAG_SYSTEM_H_
+#define ITAG_ITAG_ITAG_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "crowd/ledger.h"
+#include "crowd/mturk_sim.h"
+#include "crowd/social_sim.h"
+#include "itag/ids.h"
+#include "itag/project.h"
+#include "itag/quality_manager.h"
+#include "itag/resource_manager.h"
+#include "itag/tag_manager.h"
+#include "itag/user_manager.h"
+#include "sim/tagger_model.h"
+#include "storage/database.h"
+
+namespace itag::core {
+
+/// Construction options for the whole system.
+struct ITagSystemOptions {
+  /// Storage configuration; empty directory = in-memory.
+  storage::DatabaseOptions db;
+
+  /// Worker pools backing the simulated MTurk and social platforms.
+  crowd::WorkerPoolConfig mturk_pool;
+  crowd::SocialNetSimOptions social;
+
+  uint64_t seed = 2014;
+};
+
+/// A pending submission awaiting the provider's Approve/Disapprove decision
+/// (the Notification section workflow of Fig. 6).
+struct PendingSubmission {
+  TaskHandle handle = 0;
+  ProjectId project = 0;
+  tagging::ResourceId resource = 0;
+  /// Registered tagger for audience submissions; kInvalid for platform
+  /// workers (those are paid through the platform's ledger instead).
+  UserTaggerId tagger = static_cast<UserTaggerId>(-1);
+  crowd::TaskId platform_task = 0;  ///< 0 for audience submissions
+  std::vector<std::string> tags;    ///< normalized tag texts
+  /// Hidden simulation hint: whether the submitting worker was
+  /// conscientious. Approval policies may use it to model the provider's
+  /// quality judgement; it never reaches strategies.
+  bool conscientious_hint = true;
+};
+
+/// A task accepted by a human tagger through the tagger UI (Fig. 7/8).
+struct AcceptedTask {
+  TaskHandle handle = 0;
+  ProjectId project = 0;
+  tagging::ResourceId resource = 0;
+  std::string uri;
+  uint32_t pay_cents = 0;
+};
+
+/// Synthesizes the content of a platform worker's submission. The simulator
+/// installs a TaggerModel-backed source; the default source imitates a
+/// casual tagger (samples mostly from the resource's current rfd, sometimes
+/// invents a new tag), so the system is runnable standalone.
+using PostSource = std::function<sim::GeneratedPost(
+    ProjectId, tagging::ResourceId, double reliability, Tick, Rng*)>;
+
+/// Decides a pending submission; used by Step() to auto-moderate platform
+/// traffic. Defaults to approve-everything.
+using ApprovalPolicy = std::function<bool(const PendingSubmission&)>;
+
+/// The iTag system facade (Fig. 2): wires the four managers, the storage
+/// engine and the simulated crowdsourcing platforms behind the provider and
+/// tagger APIs of §III. Single-threaded; time advances through Step().
+class ITagSystem {
+ public:
+  explicit ITagSystem(ITagSystemOptions options = {});
+
+  /// Opens storage and attaches managers. Must be called once before use.
+  Status Init();
+
+  // ------------------------------------------------------------ users
+  Result<ProviderId> RegisterProvider(const std::string& name);
+  Result<UserTaggerId> RegisterTagger(const std::string& name);
+  Result<ProviderProfile> GetProvider(ProviderId id) const;
+  Result<TaggerProfile> GetTagger(UserTaggerId id) const;
+
+  // ------------------------------------------------------------ provider API
+  Result<ProjectId> CreateProject(ProviderId provider,
+                                  const ProjectSpec& spec);
+  Result<tagging::ResourceId> UploadResource(ProjectId project,
+                                             tagging::ResourceKind kind,
+                                             const std::string& uri,
+                                             const std::string& description);
+  /// Imports the provider's historical tags for a resource (Fig. 4 upload).
+  Status ImportPost(ProjectId project, tagging::ResourceId resource,
+                    const std::vector<std::string>& raw_tags);
+
+  Status StartProject(ProjectId project);
+  Status PauseProject(ProjectId project);
+  Status StopProject(ProjectId project);
+  Status AddBudget(ProjectId project, uint32_t tasks);
+  Status SwitchStrategy(ProjectId project, strategy::StrategyKind kind);
+  Result<strategy::StrategyKind> RecommendStrategy(ProjectId project) const;
+  Status PromoteResource(ProjectId project, tagging::ResourceId resource);
+  Status StopResource(ProjectId project, tagging::ResourceId resource);
+  Status ResumeResource(ProjectId project, tagging::ResourceId resource);
+
+  Result<ProjectInfo> GetProjectInfo(ProjectId project) const;
+  std::vector<ProjectInfo> ListProjects(ProviderId provider) const;
+  const std::vector<QualityPoint>& QualityFeed(ProjectId project) const;
+  Result<QualityManager::ResourceDetail> GetResourceDetail(
+      ProjectId project, tagging::ResourceId resource) const;
+  std::vector<Notification> LatestNotifications(ProviderId provider,
+                                                size_t limit);
+
+  /// Pending submissions of one project, oldest first.
+  std::vector<PendingSubmission> PendingApprovals(ProjectId project) const;
+
+  /// Provider decision on a pending submission (Approve/Disapprove buttons).
+  Status Decide(ProviderId provider, TaskHandle handle, bool approve);
+
+  /// Exports the project's resources with their top tags as CSV.
+  Result<size_t> ExportProject(ProjectId project,
+                               const std::string& path) const;
+
+  // ------------------------------------------------------------ tagger API
+  /// Projects a tagger can join, with pay and provider approval rate
+  /// (Fig. 7). Only Running projects with budget are listed.
+  std::vector<ProjectInfo> ListOpenProjects() const;
+
+  /// Joins a project: the strategy picks the resource the tagger should tag
+  /// (§III-B "they are assigned resources to tag, as decided by the
+  /// strategy").
+  Result<AcceptedTask> AcceptTask(UserTaggerId tagger, ProjectId project);
+
+  /// Submits tags for an accepted task; they await provider approval.
+  Status SubmitTags(UserTaggerId tagger, TaskHandle handle,
+                    const std::vector<std::string>& raw_tags);
+
+  // ------------------------------------------------------------ simulation
+  /// Installs the content source for platform-worker submissions.
+  void SetPostSource(PostSource source) { post_source_ = std::move(source); }
+
+  /// Installs a provider's auto-moderation policy.
+  void SetApprovalPolicy(ProviderId provider, ApprovalPolicy policy);
+
+  /// Advances simulated time by `ticks`, pumping every running
+  /// platform-backed project: posting tasks, collecting submissions,
+  /// auto-deciding them via the provider's policy.
+  Status Step(Tick ticks);
+
+  /// Direct manager access for tests/benchmarks.
+  QualityManager& quality_manager() { return *quality_; }
+  UserManager& user_manager() { return *users_; }
+  TagManager& tag_manager() { return *tag_manager_; }
+  ResourceManager& resource_manager() { return *resources_; }
+  storage::Database& database() { return db_; }
+  crowd::PaymentLedger& ledger() { return ledger_; }
+  SimClock& clock() { return clock_; }
+
+  /// The platform used by a project (nullptr for audience projects).
+  crowd::CrowdPlatform* PlatformFor(ProjectId project);
+
+ private:
+  struct InFlight {
+    ProjectId project = 0;
+    tagging::ResourceId resource = 0;
+  };
+
+  sim::GeneratedPost DefaultPostContent(ProjectId project,
+                                        tagging::ResourceId resource,
+                                        double reliability, Tick now);
+  Status PumpProject(ProjectId project, QualityManager::ProjectRec* rec);
+  Status HandleSubmission(crowd::CrowdPlatform* platform,
+                          const crowd::TaskEvent& ev);
+  Status ApplyDecision(const PendingSubmission& sub, bool approve);
+
+  ITagSystemOptions options_;
+  storage::Database db_;
+  SimClock clock_;
+  Rng rng_;
+  crowd::PaymentLedger ledger_;
+  std::unique_ptr<UserManager> users_;
+  std::unique_ptr<ResourceManager> resources_;
+  std::unique_ptr<TagManager> tag_manager_;
+  std::unique_ptr<QualityManager> quality_;
+  std::unique_ptr<crowd::MTurkSim> mturk_;
+  std::unique_ptr<crowd::SocialNetSim> social_;
+  PostSource post_source_;
+  std::map<ProviderId, ApprovalPolicy> policies_;
+  std::map<crowd::TaskId, InFlight> in_flight_mturk_;
+  std::map<crowd::TaskId, InFlight> in_flight_social_;
+  std::map<TaskHandle, PendingSubmission> pending_;
+  std::map<TaskHandle, AcceptedTask> accepted_;
+  std::map<TaskHandle, UserTaggerId> accepted_by_;
+  TaskHandle next_handle_ = 1;
+  bool initialized_ = false;
+
+  /// Concurrency cap per platform-backed project.
+  static constexpr size_t kMaxOpenTasksPerProject = 16;
+};
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_ITAG_SYSTEM_H_

@@ -1,0 +1,61 @@
+#ifndef ITAG_ITAG_NOTIFICATION_H_
+#define ITAG_ITAG_NOTIFICATION_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "itag/ids.h"
+
+namespace itag::core {
+
+/// Kinds of events surfaced in the provider's Notification section (Fig. 6):
+/// fresh taggings awaiting approval and quality-status changes.
+enum class NotificationKind : uint8_t {
+  kNewTagging = 0,       ///< a post awaits approve/disapprove
+  kQualityImproved = 1,  ///< a resource crossed the quality threshold
+  kBudgetExhausted = 2,  ///< project ran out of budget
+  kProjectStopped = 3,
+};
+
+/// One notification line.
+struct Notification {
+  NotificationKind kind;
+  Tick time = 0;
+  ProjectId project = 0;
+  std::string message;
+};
+
+/// Bounded per-provider notification inbox (oldest entries are dropped once
+/// `capacity` is exceeded — the UI shows only the latest anyway).
+class NotificationQueue {
+ public:
+  explicit NotificationQueue(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends a notification, evicting the oldest beyond capacity.
+  void Push(Notification n) {
+    items_.push_back(std::move(n));
+    while (items_.size() > capacity_) items_.pop_front();
+  }
+
+  /// Latest `limit` notifications, newest first.
+  std::vector<Notification> Latest(size_t limit) const {
+    std::vector<Notification> out;
+    size_t n = items_.size();
+    for (size_t i = 0; i < limit && i < n; ++i) {
+      out.push_back(items_[n - 1 - i]);
+    }
+    return out;
+  }
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  size_t capacity_;
+  std::deque<Notification> items_;
+};
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_NOTIFICATION_H_

@@ -1,0 +1,369 @@
+#include "itag/quality_manager.h"
+
+#include <algorithm>
+
+#include "strategy/allocator.h"
+
+namespace itag::core {
+
+using strategy::AllocationEngine;
+using strategy::EngineOptions;
+using tagging::ResourceId;
+
+QualityManager::QualityManager(ResourceManager* resources, TagManager* tags,
+                               UserManager* users, Clock* clock)
+    : resources_(resources), tags_(tags), users_(users), clock_(clock) {}
+
+QualityManager::ProjectRec* QualityManager::Rec(ProjectId project) {
+  auto it = projects_.find(project);
+  return it == projects_.end() ? nullptr : &it->second;
+}
+
+const QualityManager::ProjectRec* QualityManager::GetRec(
+    ProjectId project) const {
+  auto it = projects_.find(project);
+  return it == projects_.end() ? nullptr : &it->second;
+}
+
+Result<ProjectId> QualityManager::CreateProject(ProviderId provider,
+                                                const ProjectSpec& spec) {
+  if (!users_->GetProvider(provider).ok()) {
+    return Status::NotFound("provider " + std::to_string(provider));
+  }
+  if (spec.budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  ProjectId id = next_project_++;
+  ITAG_RETURN_IF_ERROR(resources_->CreateProjectCorpus(id));
+  ProjectRec rec;
+  rec.provider = provider;
+  rec.spec = spec;
+  projects_.emplace(id, std::move(rec));
+  return id;
+}
+
+Result<ProjectInfo> QualityManager::GetInfo(ProjectId project) const {
+  const ProjectRec* rec = GetRec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  ProjectInfo info;
+  info.id = project;
+  info.provider = rec->provider;
+  info.spec = rec->spec;
+  info.state = rec->state;
+  info.tasks_completed = rec->tasks_completed;
+  info.budget_remaining =
+      rec->engine != nullptr ? rec->engine->budget_remaining()
+                             : rec->spec.budget;
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  info.num_resources = corpus == nullptr ? 0 : corpus->size();
+  info.quality =
+      corpus == nullptr ? 0.0 : stability_.CorpusQuality(*corpus);
+  Result<double> projected = ProjectedGain(project);
+  info.projected_gain = projected.ok() ? projected.value() : 0.0;
+  return info;
+}
+
+std::vector<ProjectInfo> QualityManager::ListProjects(
+    ProviderId provider) const {
+  std::vector<ProjectInfo> out;
+  for (const auto& [id, rec] : projects_) {
+    if (provider != static_cast<ProviderId>(-1) && rec.provider != provider) {
+      continue;
+    }
+    Result<ProjectInfo> info = GetInfo(id);
+    if (info.ok()) out.push_back(info.value());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.quality != b.quality) return a.quality > b.quality;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+Status QualityManager::Start(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (corpus == nullptr || corpus->size() == 0) {
+    return Status::FailedPrecondition("project has no resources");
+  }
+  switch (rec->state) {
+    case ProjectState::kDraft: {
+      EngineOptions opts;
+      opts.budget = rec->spec.budget;
+      opts.seed = 0x5151 + project;
+      rec->engine = std::make_unique<AllocationEngine>(
+          corpus, strategy::MakeStrategy(rec->spec.strategy), opts);
+      rec->stopped.assign(corpus->size(), 0);
+      rec->state = ProjectState::kRunning;
+      EmitQualityPoint(project, *rec);
+      return Status::OK();
+    }
+    case ProjectState::kPaused:
+      rec->state = ProjectState::kRunning;
+      return Status::OK();
+    case ProjectState::kRunning:
+      return Status::FailedPrecondition("already running");
+    case ProjectState::kStopped:
+      return Status::FailedPrecondition("project is stopped");
+  }
+  return Status::Internal("bad state");
+}
+
+Status QualityManager::Pause(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (rec->state != ProjectState::kRunning) {
+    return Status::FailedPrecondition("not running");
+  }
+  rec->state = ProjectState::kPaused;
+  return Status::OK();
+}
+
+Status QualityManager::Stop(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (rec->state == ProjectState::kStopped) return Status::OK();
+  rec->state = ProjectState::kStopped;
+  Notifications(rec->provider)
+      .Push({NotificationKind::kProjectStopped, clock_->Now(), project,
+             "project '" + rec->spec.name + "' stopped"});
+  return Status::OK();
+}
+
+Status QualityManager::AddBudget(ProjectId project, uint32_t tasks) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (rec->engine == nullptr) {
+    rec->spec.budget += tasks;
+  } else {
+    rec->engine->AddBudget(tasks);
+  }
+  if (tasks > 0) rec->exhausted_notified = false;
+  return Status::OK();
+}
+
+Status QualityManager::SwitchStrategy(ProjectId project,
+                                      strategy::StrategyKind kind) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  rec->spec.strategy = kind;
+  if (rec->engine != nullptr) {
+    rec->engine->SwitchStrategy(strategy::MakeStrategy(kind));
+  }
+  return Status::OK();
+}
+
+Result<strategy::StrategyKind> QualityManager::RecommendStrategy(
+    ProjectId project) const {
+  const ProjectRec* rec = GetRec(project);
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (rec == nullptr || corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (corpus->size() == 0) return strategy::StrategyKind::kHybridFpMu;
+  // Share of resources still below the FP-MU switch threshold.
+  size_t under = 0;
+  for (ResourceId r = 0; r < corpus->size(); ++r) {
+    if (corpus->PostCount(r) < 5) ++under;
+  }
+  double frac = static_cast<double>(under) / corpus->size();
+  if (frac > 0.25) return strategy::StrategyKind::kHybridFpMu;
+  return strategy::StrategyKind::kMostUnstableFirst;
+}
+
+PlatformChoice QualityManager::RecommendPlatform(tagging::ResourceKind kind) {
+  switch (kind) {
+    case tagging::ResourceKind::kScientificPaper:
+      return PlatformChoice::kSocialNetwork;
+    case tagging::ResourceKind::kWebUrl:
+    case tagging::ResourceKind::kImage:
+    case tagging::ResourceKind::kVideo:
+    case tagging::ResourceKind::kSoundClip:
+      return PlatformChoice::kMTurk;
+  }
+  return PlatformChoice::kMTurk;
+}
+
+Status QualityManager::PromoteResource(ProjectId project,
+                                       ResourceId resource) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not started");
+  }
+  return rec->engine->Promote(resource);
+}
+
+Status QualityManager::StopResource(ProjectId project, ResourceId resource) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not started");
+  }
+  ITAG_RETURN_IF_ERROR(rec->engine->SetStopped(resource, true));
+  if (resource < rec->stopped.size()) rec->stopped[resource] = 1;
+  return Status::OK();
+}
+
+Status QualityManager::ResumeResource(ProjectId project,
+                                      ResourceId resource) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not started");
+  }
+  ITAG_RETURN_IF_ERROR(rec->engine->SetStopped(resource, false));
+  if (resource < rec->stopped.size()) rec->stopped[resource] = 0;
+  return Status::OK();
+}
+
+Result<ResourceId> QualityManager::ChooseNextTask(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (rec->state != ProjectState::kRunning || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not running");
+  }
+  Result<ResourceId> chosen = rec->engine->ChooseNext();
+  if (!chosen.ok() && chosen.status().IsResourceExhausted()) {
+    if (!rec->exhausted_notified) {
+      rec->exhausted_notified = true;
+      Notifications(rec->provider)
+          .Push({NotificationKind::kBudgetExhausted, clock_->Now(), project,
+                 "budget exhausted for '" + rec->spec.name + "'"});
+    }
+  }
+  return chosen;
+}
+
+Status QualityManager::RefundTask(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not started");
+  }
+  rec->engine->AddBudget(1);
+  rec->exhausted_notified = false;
+  return Status::OK();
+}
+
+void QualityManager::EmitQualityPoint(ProjectId project, ProjectRec& rec) {
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (corpus == nullptr) return;
+  QualityPoint p;
+  p.tasks = rec.tasks_completed;
+  p.quality = stability_.CorpusQuality(*corpus);
+  p.time = clock_->Now();
+  rec.feed.push_back(p);
+}
+
+Status QualityManager::CompletePost(ProjectId project, ResourceId resource,
+                                    tagging::Post post) {
+  ProjectRec* rec = Rec(project);
+  if (rec == nullptr || rec->engine == nullptr) {
+    return Status::FailedPrecondition("project not started");
+  }
+  tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (corpus == nullptr) return Status::Internal("corpus missing");
+
+  double before = stability_.ResourceQuality(resource,
+                                             corpus->stats(resource));
+  ITAG_RETURN_IF_ERROR(tags_->LinkPost(project, corpus, resource,
+                                       std::move(post)));
+  rec->engine->NotifyPost(resource);
+  ++rec->tasks_completed;
+  EmitQualityPoint(project, *rec);
+
+  double after = stability_.ResourceQuality(resource,
+                                            corpus->stats(resource));
+  if (before < kNotifyQualityBar && after >= kNotifyQualityBar) {
+    Notifications(rec->provider)
+        .Push({NotificationKind::kQualityImproved, clock_->Now(), project,
+               "resource " + corpus->resource(resource).uri +
+                   " reached quality " + std::to_string(after)});
+  }
+  Notifications(rec->provider)
+      .Push({NotificationKind::kNewTagging, clock_->Now(), project,
+             "new tagging on " + corpus->resource(resource).uri});
+  return Status::OK();
+}
+
+const std::vector<QualityPoint>& QualityManager::QualityFeed(
+    ProjectId project) const {
+  static const std::vector<QualityPoint> kEmpty;
+  const ProjectRec* rec = GetRec(project);
+  return rec == nullptr ? kEmpty : rec->feed;
+}
+
+Result<double> QualityManager::ProjectedGain(ProjectId project) const {
+  const ProjectRec* rec = GetRec(project);
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (rec == nullptr || corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (corpus->size() == 0) return 0.0;
+  uint32_t budget = rec->engine != nullptr ? rec->engine->budget_remaining()
+                                           : rec->spec.budget;
+  if (budget == 0) return 0.0;
+  // Cap the planning horizon: the projection view only needs a coarse
+  // number, and the greedy split is O(B log n).
+  budget = std::min<uint32_t>(budget, 5000);
+
+  // Quality curve from the empirical (Dirichlet-smoothed) estimator.
+  std::vector<SparseDist> thetas(corpus->size());
+  std::vector<uint32_t> k0(corpus->size());
+  for (ResourceId r = 0; r < corpus->size(); ++r) {
+    thetas[r] = gain_.EstimateTheta(corpus->stats(r));
+    k0[r] = corpus->PostCount(r);
+  }
+  auto curve = [&](uint32_t r, uint32_t extra) {
+    if (thetas[r].empty()) {
+      // No data at all: optimistic linear ramp to the first few posts.
+      return extra == 0 ? 0.0 : 1.0 - 1.0 / (1.0 + extra);
+    }
+    return quality::ExpectedQualityClosedForm(thetas[r], k0[r] + extra, 3.0);
+  };
+  std::vector<uint32_t> x =
+      strategy::GreedyAllocate(corpus->size(), budget, curve);
+  double gain = 0.0;
+  for (ResourceId r = 0; r < corpus->size(); ++r) {
+    gain += curve(r, x[r]) - curve(r, 0);
+  }
+  return gain / static_cast<double>(corpus->size());
+}
+
+Result<QualityManager::ResourceDetail> QualityManager::GetResourceDetail(
+    ProjectId project, ResourceId resource) const {
+  const ProjectRec* rec = GetRec(project);
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  if (rec == nullptr || corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  if (!corpus->IsValid(resource)) {
+    return Status::NotFound("resource " + std::to_string(resource));
+  }
+  ResourceDetail d;
+  d.resource = resource;
+  d.posts = corpus->PostCount(resource);
+  d.quality = stability_.ResourceQuality(resource, corpus->stats(resource));
+  d.projected_gain_next_task = gain_.MarginalGain(corpus->stats(resource));
+  d.stopped = resource < rec->stopped.size() && rec->stopped[resource] != 0;
+  d.top_tags = tags_->ResourceTags(*corpus, resource, 16);
+  return d;
+}
+
+NotificationQueue& QualityManager::Notifications(ProviderId provider) {
+  return inboxes_[provider];
+}
+
+}  // namespace itag::core

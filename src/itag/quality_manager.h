@@ -1,0 +1,152 @@
+#ifndef ITAG_ITAG_QUALITY_MANAGER_H_
+#define ITAG_ITAG_QUALITY_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "itag/ids.h"
+#include "itag/notification.h"
+#include "itag/project.h"
+#include "itag/resource_manager.h"
+#include "itag/tag_manager.h"
+#include "itag/user_manager.h"
+#include "quality/gain_estimator.h"
+#include "quality/quality_model.h"
+#include "strategy/engine.h"
+
+namespace itag::core {
+
+/// One point in a project's live quality feed (the Fig. 5 chart).
+struct QualityPoint {
+  uint32_t tasks = 0;
+  double quality = 0.0;
+  Tick time = 0;
+};
+
+/// The Quality Manager of Fig. 2: receives the provider's budget, creates a
+/// Project, "executes the best strategy to allocate resources to taggers",
+/// constantly feeds quality information back, and lets the provider change
+/// strategy, promote/stop individual resources, and top budget up mid-run.
+class QualityManager {
+ public:
+  QualityManager(ResourceManager* resources, TagManager* tags,
+                 UserManager* users, Clock* clock);
+
+  /// Creates a project in Draft state (and its corpus).
+  Result<ProjectId> CreateProject(ProviderId provider,
+                                  const ProjectSpec& spec);
+
+  /// Project info snapshot (Fig. 3 row).
+  Result<ProjectInfo> GetInfo(ProjectId project) const;
+
+  /// All projects of one provider (or all when provider == SIZE_MAX),
+  /// sorted by descending quality — the Fig. 3 listing order.
+  std::vector<ProjectInfo> ListProjects(ProviderId provider) const;
+
+  /// Starts (or resumes) task allocation. Requires at least one resource.
+  Status Start(ProjectId project);
+
+  /// Pauses allocation (ChooseNextTask refuses while paused).
+  Status Pause(ProjectId project);
+
+  /// Stops the project for good.
+  Status Stop(ProjectId project);
+
+  /// Adds budget (Fig. 3's "add budget to the project").
+  Status AddBudget(ProjectId project, uint32_t tasks);
+
+  /// Replaces the allocation strategy mid-run (Fig. 5).
+  Status SwitchStrategy(ProjectId project, strategy::StrategyKind kind);
+
+  /// Recommends a strategy from the current statistics: the paper's
+  /// "we will help providers choose the best strategy given the current
+  /// resources and tags statistics" (§III-A). Heuristic: if a substantial
+  /// share of resources is still under-posted, FP-MU; otherwise MU.
+  Result<strategy::StrategyKind> RecommendStrategy(ProjectId project) const;
+
+  /// Recommends a platform for a resource kind — the paper's "scientific
+  /// papers resources will highly likely be getting better tags with
+  /// taggers from scientific communities other than MTurk" (§I): papers go
+  /// to the community/social channel, mainstream media to the open market.
+  static PlatformChoice RecommendPlatform(tagging::ResourceKind kind);
+
+  /// §III-A Promote / Stop buttons on a single resource.
+  Status PromoteResource(ProjectId project, tagging::ResourceId resource);
+  Status StopResource(ProjectId project, tagging::ResourceId resource);
+  Status ResumeResource(ProjectId project, tagging::ResourceId resource);
+
+  /// Draws the next resource to task (the platform pump and the tagger UI
+  /// both call this). Decrements budget. Fails while not Running.
+  Result<tagging::ResourceId> ChooseNextTask(ProjectId project);
+
+  /// Refunds one task of budget (rejected submission).
+  Status RefundTask(ProjectId project);
+
+  /// Records an approved post into corpus + storage, refreshes strategy
+  /// state, appends to the quality feed, and emits notifications.
+  Status CompletePost(ProjectId project, tagging::ResourceId resource,
+                      tagging::Post post);
+
+  /// Live quality feed (Fig. 5).
+  const std::vector<QualityPoint>& QualityFeed(ProjectId project) const;
+
+  /// Projected additional quality if the remaining budget is spent with the
+  /// estimated-gain-optimal split (the "projected quality gains" shown
+  /// while the provider picks a budget).
+  Result<double> ProjectedGain(ProjectId project) const;
+
+  /// Per-resource detail for Fig. 6: current quality and the posts so far.
+  struct ResourceDetail {
+    tagging::ResourceId resource = 0;
+    uint32_t posts = 0;
+    double quality = 0.0;
+    double projected_gain_next_task = 0.0;
+    bool stopped = false;
+    std::vector<TagFrequency> top_tags;
+  };
+  Result<ResourceDetail> GetResourceDetail(ProjectId project,
+                                           tagging::ResourceId resource) const;
+
+  /// The provider's notification inbox.
+  NotificationQueue& Notifications(ProviderId provider);
+
+  /// Internal per-project record (exposed read-only for the facade).
+  struct ProjectRec {
+    ProviderId provider = 0;
+    ProjectSpec spec;
+    ProjectState state = ProjectState::kDraft;
+    std::unique_ptr<strategy::AllocationEngine> engine;
+    std::vector<QualityPoint> feed;
+    uint32_t tasks_completed = 0;
+    std::vector<uint8_t> stopped;  // provider's per-resource Stop flags
+    bool exhausted_notified = false;  // de-dups budget-exhausted alerts
+  };
+  const ProjectRec* GetRec(ProjectId project) const;
+
+ private:
+  ProjectRec* Rec(ProjectId project);
+  void EmitQualityPoint(ProjectId project, ProjectRec& rec);
+
+  ResourceManager* resources_;
+  TagManager* tags_;
+  UserManager* users_;
+  Clock* clock_;
+  quality::StabilityQuality stability_;
+  quality::EmpiricalGainEstimator gain_;
+  std::map<ProjectId, ProjectRec> projects_;
+  std::map<ProviderId, NotificationQueue> inboxes_;
+  ProjectId next_project_ = 1;
+
+  /// Resources crossing this stability-quality bar trigger a
+  /// kQualityImproved notification.
+  static constexpr double kNotifyQualityBar = 0.8;
+};
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_QUALITY_MANAGER_H_

@@ -1,0 +1,99 @@
+#include "itag/resource_manager.h"
+
+#include "common/string_util.h"
+
+namespace itag::core {
+
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::Value;
+
+namespace {
+constexpr char kResourcesTable[] = "resources";
+}
+
+ResourceManager::ResourceManager(storage::Database* db) : db_(db) {}
+
+Status ResourceManager::Attach() {
+  if (db_->GetTable(kResourcesTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(kResourcesTable,
+                                          SchemaBuilder()
+                                              .Int("project")
+                                              .Int("resource")
+                                              .Str("kind")
+                                              .Str("uri")
+                                              .Str("description")
+                                              .Build()));
+  }
+  return db_->AddOrderedIndex(kResourcesTable, "project");
+}
+
+Status ResourceManager::CreateProjectCorpus(ProjectId project) {
+  if (corpora_.count(project)) {
+    return Status::AlreadyExists("corpus for project " +
+                                 std::to_string(project));
+  }
+  corpora_.emplace(project, std::make_unique<tagging::Corpus>());
+  return Status::OK();
+}
+
+tagging::Corpus* ResourceManager::GetCorpus(ProjectId project) {
+  auto it = corpora_.find(project);
+  return it == corpora_.end() ? nullptr : it->second.get();
+}
+
+const tagging::Corpus* ResourceManager::GetCorpus(ProjectId project) const {
+  auto it = corpora_.find(project);
+  return it == corpora_.end() ? nullptr : it->second.get();
+}
+
+Result<tagging::ResourceId> ResourceManager::UploadResource(
+    ProjectId project, tagging::ResourceKind kind, const std::string& uri,
+    const std::string& description) {
+  tagging::Corpus* corpus = GetCorpus(project);
+  if (corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  tagging::ResourceId id = corpus->AddResource(kind, uri, description);
+  Row row = {Value::Int(static_cast<int64_t>(project)),
+             Value::Int(static_cast<int64_t>(id)),
+             Value::Str(tagging::ResourceKindName(kind)), Value::Str(uri),
+             Value::Str(description)};
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kResourcesTable, row));
+  (void)rid;
+  return id;
+}
+
+Status ResourceManager::ImportPost(ProjectId project,
+                                   tagging::ResourceId resource,
+                                   const std::vector<std::string>& raw_tags) {
+  tagging::Corpus* corpus = GetCorpus(project);
+  if (corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  tagging::Post post;
+  post.tagger = tagging::kProviderImport;
+  for (const std::string& raw : raw_tags) {
+    tagging::TagId id = corpus->dict().Intern(raw);
+    if (id == tagging::kInvalidTag) continue;
+    bool dup = false;
+    for (tagging::TagId existing : post.tags) {
+      if (existing == id) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) post.tags.push_back(id);
+  }
+  if (post.tags.empty()) {
+    return Status::InvalidArgument("post has no usable tags");
+  }
+  return corpus->AddPost(resource, std::move(post));
+}
+
+size_t ResourceManager::ResourceCount(ProjectId project) const {
+  const tagging::Corpus* corpus = GetCorpus(project);
+  return corpus == nullptr ? 0 : corpus->size();
+}
+
+}  // namespace itag::core

@@ -1,0 +1,58 @@
+#ifndef ITAG_ITAG_RESOURCE_MANAGER_H_
+#define ITAG_ITAG_RESOURCE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "itag/ids.h"
+#include "storage/database.h"
+#include "tagging/corpus.h"
+
+namespace itag::core {
+
+/// The Resource Manager of Fig. 2: "in charge of controlling the operations
+/// on resources and their related tags, and is responsible for storing
+/// resource and tagging information." Each project owns a Corpus (working
+/// set); the manager persists resource rows in the storage engine and hands
+/// out the corpus to the Quality Manager.
+class ResourceManager {
+ public:
+  explicit ResourceManager(storage::Database* db);
+
+  /// Creates backing tables (idempotent).
+  Status Attach();
+
+  /// Creates the working corpus for a project.
+  Status CreateProjectCorpus(ProjectId project);
+
+  /// The project's corpus (nullptr when the project is unknown).
+  tagging::Corpus* GetCorpus(ProjectId project);
+  const tagging::Corpus* GetCorpus(ProjectId project) const;
+
+  /// Uploads one resource into a project. Returns the project-local
+  /// resource id.
+  Result<tagging::ResourceId> UploadResource(ProjectId project,
+                                             tagging::ResourceKind kind,
+                                             const std::string& uri,
+                                             const std::string& description);
+
+  /// Imports a provider's pre-existing post (Upload File with "possible
+  /// tags", Fig. 4). Raw tag strings are normalized and interned.
+  Status ImportPost(ProjectId project, tagging::ResourceId resource,
+                    const std::vector<std::string>& raw_tags);
+
+  /// Number of resources in a project (0 for unknown projects).
+  size_t ResourceCount(ProjectId project) const;
+
+ private:
+  storage::Database* db_;
+  std::unordered_map<ProjectId, std::unique_ptr<tagging::Corpus>> corpora_;
+};
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_RESOURCE_MANAGER_H_

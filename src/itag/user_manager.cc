@@ -1,0 +1,191 @@
+#include "itag/user_manager.h"
+
+namespace itag::core {
+
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::Value;
+
+namespace {
+constexpr char kProvidersTable[] = "providers";
+constexpr char kTaggersTable[] = "taggers";
+}  // namespace
+
+UserManager::UserManager(storage::Database* db) : db_(db) {}
+
+Status UserManager::Attach() {
+  if (db_->GetTable(kProvidersTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(kProvidersTable,
+                                          SchemaBuilder()
+                                              .Int("id")
+                                              .Str("name")
+                                              .Int("approvals")
+                                              .Int("rejections")
+                                              .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(kProvidersTable, "id"));
+  if (db_->GetTable(kTaggersTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(kTaggersTable,
+                                          SchemaBuilder()
+                                              .Int("id")
+                                              .Str("name")
+                                              .Int("submitted")
+                                              .Int("approved")
+                                              .Int("rejected")
+                                              .Int("earned_cents")
+                                              .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(kTaggersTable, "id"));
+
+  // Reload any persisted rows (recovery path).
+  providers_.clear();
+  provider_rows_.clear();
+  db_->GetTable(kProvidersTable)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        ProviderProfile p;
+        p.id = static_cast<ProviderId>(row[0].as_int());
+        p.name = row[1].as_string();
+        p.approvals_given = static_cast<uint32_t>(row[2].as_int());
+        p.rejections_given = static_cast<uint32_t>(row[3].as_int());
+        if (p.id >= providers_.size()) {
+          providers_.resize(p.id + 1);
+          provider_rows_.resize(p.id + 1, 0);
+        }
+        providers_[p.id] = p;
+        provider_rows_[p.id] = rid;
+        return true;
+      });
+  taggers_.clear();
+  tagger_rows_.clear();
+  db_->GetTable(kTaggersTable)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        TaggerProfile t;
+        t.id = static_cast<UserTaggerId>(row[0].as_int());
+        t.name = row[1].as_string();
+        t.submitted = static_cast<uint32_t>(row[2].as_int());
+        t.approved = static_cast<uint32_t>(row[3].as_int());
+        t.rejected = static_cast<uint32_t>(row[4].as_int());
+        t.earned_cents = static_cast<uint64_t>(row[5].as_int());
+        if (t.id >= taggers_.size()) {
+          taggers_.resize(t.id + 1);
+          tagger_rows_.resize(t.id + 1, 0);
+        }
+        taggers_[t.id] = t;
+        tagger_rows_[t.id] = rid;
+        return true;
+      });
+  return Status::OK();
+}
+
+Status UserManager::PersistProvider(const ProviderProfile& p) {
+  Row row = {Value::Int(static_cast<int64_t>(p.id)), Value::Str(p.name),
+             Value::Int(p.approvals_given), Value::Int(p.rejections_given)};
+  return db_->Update(kProvidersTable, provider_rows_[p.id], row);
+}
+
+Status UserManager::PersistTagger(const TaggerProfile& t) {
+  Row row = {Value::Int(static_cast<int64_t>(t.id)),
+             Value::Str(t.name),
+             Value::Int(t.submitted),
+             Value::Int(t.approved),
+             Value::Int(t.rejected),
+             Value::Int(static_cast<int64_t>(t.earned_cents))};
+  return db_->Update(kTaggersTable, tagger_rows_[t.id], row);
+}
+
+Result<ProviderId> UserManager::RegisterProvider(const std::string& name) {
+  ProviderProfile p;
+  p.id = providers_.size();
+  p.name = name;
+  Row row = {Value::Int(static_cast<int64_t>(p.id)), Value::Str(name),
+             Value::Int(0), Value::Int(0)};
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kProvidersTable, row));
+  providers_.push_back(p);
+  provider_rows_.push_back(rid);
+  return p.id;
+}
+
+Result<UserTaggerId> UserManager::RegisterTagger(const std::string& name) {
+  TaggerProfile t;
+  t.id = taggers_.size();
+  t.name = name;
+  Row row = {Value::Int(static_cast<int64_t>(t.id)),
+             Value::Str(name),
+             Value::Int(0),
+             Value::Int(0),
+             Value::Int(0),
+             Value::Int(0)};
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kTaggersTable, row));
+  taggers_.push_back(t);
+  tagger_rows_.push_back(rid);
+  return t.id;
+}
+
+Result<ProviderProfile> UserManager::GetProvider(ProviderId id) const {
+  if (id >= providers_.size()) {
+    return Status::NotFound("provider " + std::to_string(id));
+  }
+  return providers_[id];
+}
+
+Result<TaggerProfile> UserManager::GetTagger(UserTaggerId id) const {
+  if (id >= taggers_.size()) {
+    return Status::NotFound("tagger " + std::to_string(id));
+  }
+  return taggers_[id];
+}
+
+Status UserManager::RecordSubmission(UserTaggerId tagger) {
+  if (tagger >= taggers_.size()) {
+    return Status::NotFound("tagger " + std::to_string(tagger));
+  }
+  ++taggers_[tagger].submitted;
+  return PersistTagger(taggers_[tagger]);
+}
+
+Status UserManager::RecordProviderDecision(ProviderId provider,
+                                           bool approved) {
+  if (provider >= providers_.size()) {
+    return Status::NotFound("provider " + std::to_string(provider));
+  }
+  if (approved) {
+    ++providers_[provider].approvals_given;
+  } else {
+    ++providers_[provider].rejections_given;
+  }
+  return PersistProvider(providers_[provider]);
+}
+
+Status UserManager::RecordDecision(ProviderId provider, UserTaggerId tagger,
+                                   bool approved, uint32_t pay_cents) {
+  if (provider >= providers_.size()) {
+    return Status::NotFound("provider " + std::to_string(provider));
+  }
+  if (tagger >= taggers_.size()) {
+    return Status::NotFound("tagger " + std::to_string(tagger));
+  }
+  if (approved) {
+    ++providers_[provider].approvals_given;
+    ++taggers_[tagger].approved;
+    taggers_[tagger].earned_cents += pay_cents;
+  } else {
+    ++providers_[provider].rejections_given;
+    ++taggers_[tagger].rejected;
+  }
+  ITAG_RETURN_IF_ERROR(PersistProvider(providers_[provider]));
+  return PersistTagger(taggers_[tagger]);
+}
+
+std::vector<TaggerProfile> UserManager::QualifiedTaggers(
+    double min_rate, uint32_t min_decided) const {
+  std::vector<TaggerProfile> out;
+  for (const TaggerProfile& t : taggers_) {
+    uint32_t decided = t.approved + t.rejected;
+    if (decided >= min_decided && t.ApprovalRate() >= min_rate) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace itag::core

@@ -1,0 +1,37 @@
+#include "quality/convergence_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itag::quality {
+
+void ConvergenceModel::Observe(uint32_t k, double d) {
+  if (k < 1) return;
+  d = std::clamp(d, 0.0, 1.0);
+  double sqrt_k = std::sqrt(static_cast<double>(k));
+  sum_d_over_sqrtk_ += d / sqrt_k;
+  sum_inv_k_ += 1.0 / static_cast<double>(k);
+  ++count_;
+}
+
+double ConvergenceModel::EstimateC() const {
+  if (count_ == 0 || sum_inv_k_ <= 0.0) return kDefaultC;
+  return sum_d_over_sqrtk_ / sum_inv_k_;
+}
+
+double ConvergenceModel::PredictDistance(uint32_t k) const {
+  if (k < 1) return 1.0;
+  double d = EstimateC() / std::sqrt(static_cast<double>(k));
+  return std::clamp(d, 0.0, 1.0);
+}
+
+double ConvergenceModel::PredictQuality(uint32_t k) const {
+  return 1.0 - PredictDistance(k);
+}
+
+double ConvergenceModel::PredictGain(uint32_t k) const {
+  double gain = PredictQuality(k + 1) - PredictQuality(k);
+  return gain < 0.0 ? 0.0 : gain;
+}
+
+}  // namespace itag::quality

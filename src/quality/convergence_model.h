@@ -1,0 +1,62 @@
+#ifndef ITAG_QUALITY_CONVERGENCE_MODEL_H_
+#define ITAG_QUALITY_CONVERGENCE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace itag::quality {
+
+/// Online fit of the rfd convergence law for one resource.
+///
+/// Under multinomial posting from a fixed true distribution θ, the expected
+/// distance between the empirical rfd after k posts and θ decays as
+/// E[d(k)] ≈ c / sqrt(k) (CLT: each relative frequency has standard error
+/// proportional to 1/sqrt(observations)). The model estimates the
+/// resource-specific constant c by least squares over the observed
+/// (k, d_k) pairs fed to Observe():
+///
+///     minimize Σ (d_j - c / sqrt(k_j))^2   =>   c = Σ d_j/√k_j / Σ 1/k_j.
+///
+/// From ĉ the model predicts quality at any future post count and the
+/// marginal gain of one more task — the basis of iTag's "projected quality
+/// gains" monitoring (§I) and of the estimated-gain greedy strategy.
+class ConvergenceModel {
+ public:
+  ConvergenceModel() = default;
+
+  /// Feeds one observation: after `k` posts the instability distance was
+  /// `d` (in [0,1]). Observations with k < 1 are ignored.
+  void Observe(uint32_t k, double d);
+
+  /// Number of observations absorbed.
+  size_t observation_count() const { return count_; }
+
+  /// Estimated constant ĉ; falls back to `kDefaultC` until the model has at
+  /// least one observation.
+  double EstimateC() const;
+
+  /// Predicted instability distance at post count k (k >= 1).
+  double PredictDistance(uint32_t k) const;
+
+  /// Predicted quality at post count k: clamp(1 - ĉ/√k).
+  double PredictQuality(uint32_t k) const;
+
+  /// Predicted gain in quality from the (k+1)-th post:
+  /// PredictQuality(k+1) - PredictQuality(k). Nonnegative, decreasing in k —
+  /// the diminishing-returns property the greedy allocators rely on.
+  double PredictGain(uint32_t k) const;
+
+  /// Prior constant used before any data: a fresh resource is assumed
+  /// maximally unstable (d(1) = 1).
+  static constexpr double kDefaultC = 1.0;
+
+ private:
+  double sum_d_over_sqrtk_ = 0.0;  // Σ d_j / sqrt(k_j)
+  double sum_inv_k_ = 0.0;         // Σ 1 / k_j
+  size_t count_ = 0;
+};
+
+}  // namespace itag::quality
+
+#endif  // ITAG_QUALITY_CONVERGENCE_MODEL_H_

@@ -1,0 +1,119 @@
+#include "quality/gain_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace itag::quality {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double ExpectedQualityClosedForm(const SparseDist& theta, uint32_t k,
+                                 double tags_per_post) {
+  if (k == 0) return 0.0;
+  double n = static_cast<double>(k) * tags_per_post;
+  if (n <= 0.0) return 0.0;
+  double etv = 0.0;
+  for (const auto& [id, p] : theta.entries()) {
+    (void)id;
+    etv += 0.5 * std::sqrt(2.0 * p * (1.0 - p) / (kPi * n));
+  }
+  double q = 1.0 - std::min(etv, 1.0);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double ExpectedQualityMonteCarlo(const SparseDist& theta, uint32_t k,
+                                 uint32_t tags_per_post, uint32_t trials,
+                                 Rng* rng) {
+  if (k == 0 || theta.empty()) return 0.0;
+  std::vector<double> weights;
+  std::vector<uint32_t> ids;
+  weights.reserve(theta.size());
+  ids.reserve(theta.size());
+  for (const auto& [id, p] : theta.entries()) {
+    ids.push_back(id);
+    weights.push_back(p);
+  }
+  AliasSampler sampler(weights);
+  double acc = 0.0;
+  std::vector<SparseDist::Entry> entries;
+  for (uint32_t t = 0; t < trials; ++t) {
+    std::vector<uint32_t> counts(ids.size(), 0);
+    uint64_t draws = static_cast<uint64_t>(k) * tags_per_post;
+    for (uint64_t d = 0; d < draws; ++d) {
+      counts[sampler.Sample(rng)]++;
+    }
+    entries.clear();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (counts[i] > 0) {
+        entries.emplace_back(ids[i], static_cast<double>(counts[i]));
+      }
+    }
+    SparseDist rfd = SparseDist::FromWeights(entries);
+    acc += 1.0 - TotalVariation(rfd, theta);
+  }
+  return acc / static_cast<double>(trials);
+}
+
+OracleGainEstimator::OracleGainEstimator(std::vector<SparseDist> truth,
+                                         std::vector<uint32_t> initial_posts,
+                                         double tags_per_post)
+    : truth_(std::move(truth)),
+      initial_posts_(std::move(initial_posts)),
+      tags_per_post_(tags_per_post) {
+  assert(truth_.size() == initial_posts_.size());
+  assert(tags_per_post_ > 0.0);
+}
+
+double OracleGainEstimator::ExpectedQuality(uint32_t resource,
+                                            uint32_t extra) const {
+  assert(resource < truth_.size());
+  return ExpectedQualityClosedForm(truth_[resource],
+                                   initial_posts_[resource] + extra,
+                                   tags_per_post_);
+}
+
+double OracleGainEstimator::MarginalGain(uint32_t resource,
+                                         uint32_t extra) const {
+  double g = ExpectedQuality(resource, extra + 1) -
+             ExpectedQuality(resource, extra);
+  return g < 0.0 ? 0.0 : g;
+}
+
+EmpiricalGainEstimator::EmpiricalGainEstimator(double alpha,
+                                               double tags_per_post)
+    : alpha_(alpha), tags_per_post_(tags_per_post) {
+  assert(alpha_ >= 0.0);
+  assert(tags_per_post_ > 0.0);
+}
+
+SparseDist EmpiricalGainEstimator::EstimateTheta(
+    const tagging::TagStats& stats) const {
+  const SparseDist& rfd = stats.Rfd();
+  if (rfd.empty()) return rfd;
+  double total = static_cast<double>(stats.tag_occurrences());
+  double m = static_cast<double>(stats.distinct_tags());
+  std::vector<SparseDist::Entry> entries;
+  entries.reserve(rfd.size());
+  for (const auto& [id, p] : rfd.entries()) {
+    double count = p * total;
+    entries.emplace_back(id, count + alpha_);
+  }
+  (void)m;
+  return SparseDist::FromWeights(std::move(entries));
+}
+
+double EmpiricalGainEstimator::MarginalGain(
+    const tagging::TagStats& stats) const {
+  uint32_t k = stats.post_count();
+  if (k == 0) return 1.0;
+  SparseDist theta = EstimateTheta(stats);
+  double now = ExpectedQualityClosedForm(theta, k, tags_per_post_);
+  double next = ExpectedQualityClosedForm(theta, k + 1, tags_per_post_);
+  double g = next - now;
+  return g < 0.0 ? 0.0 : g;
+}
+
+}  // namespace itag::quality

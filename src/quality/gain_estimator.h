@@ -1,0 +1,91 @@
+#ifndef ITAG_QUALITY_GAIN_ESTIMATOR_H_
+#define ITAG_QUALITY_GAIN_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distribution.h"
+#include "common/random.h"
+#include "tagging/tag_stats.h"
+
+namespace itag::quality {
+
+/// Expected ground-truth quality E[q*(k)] = 1 - E[TV(rfd_k, θ)] for a
+/// resource whose posts draw `tags_per_post` tags i.i.d. from θ, computed by
+/// the folded-normal closed form:
+///
+///   E|p̂_j - θ_j| ≈ sqrt(2 θ_j (1-θ_j) / (π N)),   N = k * tags_per_post,
+///   E[TV] = 0.5 Σ_j E|p̂_j - θ_j|.
+///
+/// The approximation is the standard CLT estimate, accurate for N θ_j ≳ 1
+/// and conservative below; it gives smooth, strictly concave quality curves.
+/// Returns 0 for k == 0.
+double ExpectedQualityClosedForm(const SparseDist& theta, uint32_t k,
+                                 double tags_per_post);
+
+/// Monte-Carlo estimate of the same quantity: simulates `trials` independent
+/// histories of k posts with `tags_per_post` tags drawn from θ (alias
+/// sampling) and averages 1 - TV(rfd, θ). Used in tests to validate the
+/// closed form and by the oracle when exactness matters more than speed.
+double ExpectedQualityMonteCarlo(const SparseDist& theta, uint32_t k,
+                                 uint32_t tags_per_post, uint32_t trials,
+                                 Rng* rng);
+
+/// Oracle gain curves for the optimal-allocation comparison: the simulator
+/// hands this estimator every resource's true θ_i; it produces the expected
+/// marginal quality gain of the x-th additional task for each resource.
+/// Gains are precomputed lazily and cached per resource.
+class OracleGainEstimator {
+ public:
+  /// `truth[i]` is θ of resource i; `initial_posts[i]` is c_i;
+  /// `tags_per_post` the mean tags a task contributes.
+  OracleGainEstimator(std::vector<SparseDist> truth,
+                      std::vector<uint32_t> initial_posts,
+                      double tags_per_post);
+
+  /// Expected quality of resource i after c_i + extra posts.
+  double ExpectedQuality(uint32_t resource, uint32_t extra) const;
+
+  /// Marginal gain of granting resource i its (extra+1)-th additional task:
+  /// ExpectedQuality(i, extra+1) - ExpectedQuality(i, extra).
+  double MarginalGain(uint32_t resource, uint32_t extra) const;
+
+  size_t num_resources() const { return truth_.size(); }
+  uint32_t initial_posts(uint32_t resource) const {
+    return initial_posts_[resource];
+  }
+
+ private:
+  std::vector<SparseDist> truth_;
+  std::vector<uint32_t> initial_posts_;
+  double tags_per_post_;
+};
+
+/// Data-driven gain estimator available to the live system (no ground
+/// truth): plugs the observed tag counts into a Dirichlet-smoothed point
+/// estimate θ̂ (counts + α over total + α·m) and applies the same closed
+/// form. This powers the EstimatedGainGreedy strategy and the projected
+/// quality gains shown to providers.
+class EmpiricalGainEstimator {
+ public:
+  /// `alpha` is the Dirichlet smoothing pseudo-count per observed tag;
+  /// `tags_per_post` the assumed mean tags per future post.
+  explicit EmpiricalGainEstimator(double alpha = 0.5,
+                                  double tags_per_post = 3.0);
+
+  /// Expected marginal quality gain of one more post for a resource with the
+  /// given statistics. Resources with no posts yet get the maximal gain 1.0
+  /// (cold start: first evidence is always worth the most).
+  double MarginalGain(const tagging::TagStats& stats) const;
+
+  /// θ̂ reconstructed from observed counts (exposed for tests).
+  SparseDist EstimateTheta(const tagging::TagStats& stats) const;
+
+ private:
+  double alpha_;
+  double tags_per_post_;
+};
+
+}  // namespace itag::quality
+
+#endif  // ITAG_QUALITY_GAIN_ESTIMATOR_H_

@@ -1,0 +1,58 @@
+#include "quality/quality_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itag::quality {
+
+double QualityModel::CorpusQuality(const tagging::Corpus& corpus) const {
+  if (corpus.size() == 0) return 0.0;
+  double total = 0.0;
+  for (tagging::ResourceId id = 0; id < corpus.size(); ++id) {
+    total += ResourceQuality(id, corpus.stats(id));
+  }
+  return total / static_cast<double>(corpus.size());
+}
+
+size_t QualityModel::CountAboveThreshold(const tagging::Corpus& corpus,
+                                         double threshold) const {
+  size_t n = 0;
+  for (tagging::ResourceId id = 0; id < corpus.size(); ++id) {
+    if (ResourceQuality(id, corpus.stats(id)) >= threshold) ++n;
+  }
+  return n;
+}
+
+StabilityQuality::StabilityQuality(StabilityQualityOptions options)
+    : options_(options) {
+  assert(options_.min_posts >= 2);
+  if (options_.window == 0) options_.window = 1;
+}
+
+double StabilityQuality::ResourceQuality(
+    tagging::ResourceId /*id*/, const tagging::TagStats& stats) const {
+  if (stats.post_count() < options_.min_posts) return 0.0;
+  size_t max_lag = std::min<size_t>(
+      {options_.window, stats.post_count() - 1, stats.history_window()});
+  if (max_lag == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t j = 1; j <= max_lag; ++j) {
+    acc += stats.StabilityDistance(options_.distance, j);
+  }
+  double q = 1.0 - acc / static_cast<double>(max_lag);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+GroundTruthQuality::GroundTruthQuality(std::vector<SparseDist> truth,
+                                       DistanceKind distance)
+    : truth_(std::move(truth)), distance_(distance) {}
+
+double GroundTruthQuality::ResourceQuality(
+    tagging::ResourceId id, const tagging::TagStats& stats) const {
+  assert(id < truth_.size());
+  if (stats.post_count() == 0) return 0.0;
+  double q = 1.0 - Distance(distance_, stats.Rfd(), truth_[id]);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+}  // namespace itag::quality

@@ -1,0 +1,89 @@
+#ifndef ITAG_QUALITY_QUALITY_MODEL_H_
+#define ITAG_QUALITY_QUALITY_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/distribution.h"
+#include "tagging/corpus.h"
+
+namespace itag::quality {
+
+/// Interface for the per-resource quality metric q_i(k_i) of §II. A quality
+/// is always in [0, 1]; corpus quality q(R, k) is the plain average over all
+/// resources (the paper's definition).
+class QualityModel {
+ public:
+  virtual ~QualityModel() = default;
+
+  /// Quality of resource `id` given its current statistics.
+  virtual double ResourceQuality(tagging::ResourceId id,
+                                 const tagging::TagStats& stats) const = 0;
+
+  /// q(R, k): average resource quality over the corpus.
+  double CorpusQuality(const tagging::Corpus& corpus) const;
+
+  /// Number of resources with quality >= threshold (the MU strategy's
+  /// objective of "resources that satisfy a certain quality requirement").
+  size_t CountAboveThreshold(const tagging::Corpus& corpus,
+                             double threshold) const;
+};
+
+/// Options for the stability-based quality metric.
+struct StabilityQualityOptions {
+  /// Distance between rfd snapshots.
+  DistanceKind distance = DistanceKind::kTotalVariation;
+
+  /// Stability window: the metric averages d(rfd_k, rfd_{k-j}) over lags
+  /// j = 1..window (clamped to available history).
+  size_t window = 8;
+
+  /// Resources with fewer than this many posts are pinned to quality 0 —
+  /// no stability evidence exists yet. Must be >= 2.
+  uint32_t min_posts = 2;
+};
+
+/// The operational quality metric of [4]: quality is the degree to which the
+/// resource's relative tag-frequency distribution has stopped moving.
+/// q_i(k) = 1 - mean_{j=1..w} d(rfd_i(k), rfd_i(k-j)), clamped to [0,1].
+/// This is computable from observed posts alone (no ground truth), which is
+/// what the live iTag system monitors and the MU strategy consumes.
+class StabilityQuality : public QualityModel {
+ public:
+  explicit StabilityQuality(StabilityQualityOptions options = {});
+
+  double ResourceQuality(tagging::ResourceId id,
+                         const tagging::TagStats& stats) const override;
+
+  const StabilityQualityOptions& options() const { return options_; }
+
+ private:
+  StabilityQualityOptions options_;
+};
+
+/// Evaluation-only metric available inside the simulator, where each
+/// resource's true tag distribution θ_i is known:
+/// q*_i(k) = 1 - d(rfd_i(k), θ_i). This is what the demo's offline Delicious
+/// replay measures (held-out posts reveal the converged distribution).
+class GroundTruthQuality : public QualityModel {
+ public:
+  /// `truth[i]` is θ for resource id i.
+  GroundTruthQuality(std::vector<SparseDist> truth,
+                     DistanceKind distance = DistanceKind::kTotalVariation);
+
+  double ResourceQuality(tagging::ResourceId id,
+                         const tagging::TagStats& stats) const override;
+
+  /// The true distribution of a resource.
+  const SparseDist& truth(tagging::ResourceId id) const { return truth_[id]; }
+
+  DistanceKind distance() const { return distance_; }
+
+ private:
+  std::vector<SparseDist> truth_;
+  DistanceKind distance_;
+};
+
+}  // namespace itag::quality
+
+#endif  // ITAG_QUALITY_QUALITY_MODEL_H_

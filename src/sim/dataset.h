@@ -1,0 +1,76 @@
+#ifndef ITAG_SIM_DATASET_H_
+#define ITAG_SIM_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/distribution.h"
+#include "common/random.h"
+#include "sim/tagger_model.h"
+#include "tagging/corpus.h"
+
+namespace itag::sim {
+
+/// Parameters of the synthetic Delicious-like workload. Defaults mirror the
+/// regimes reported for the 2010 Delicious crawl the demo replays: Zipfian
+/// resource popularity (most resources under-tagged, a few heavily tagged),
+/// Zipfian global tag usage, and small per-resource topical vocabularies.
+struct DeliciousConfig {
+  uint32_t num_resources = 500;
+
+  /// Size of the global tag vocabulary (before typos inflate it).
+  uint32_t vocab_size = 2000;
+
+  /// Zipf exponent of global tag popularity (tags ranked by global use).
+  double tag_zipf_s = 1.0;
+
+  /// Topical tags per resource: the support size of θ_i, uniform in
+  /// [min_topical_tags, max_topical_tags].
+  uint32_t min_topical_tags = 8;
+  uint32_t max_topical_tags = 25;
+
+  /// Dirichlet concentration for θ_i over its support — small values give
+  /// the peaked distributions real resources show (a few dominant tags).
+  double dirichlet_alpha = 0.4;
+
+  /// Zipf exponent of resource popularity (drives the skewed initial post
+  /// counts and the FC strategy's preferential attachment).
+  double popularity_zipf_s = 1.1;
+
+  /// Total provider-era posts to scatter across resources by popularity —
+  /// the "data before February 1st 2007" half of the demo's split.
+  uint32_t initial_posts = 2500;
+
+  /// Tagger behaviour for provider-era posts.
+  TaggerModelOptions tagger;
+
+  /// Mean reliability of provider-era taggers (pre-crowdsourcing history is
+  /// organic, so fairly reliable).
+  double initial_reliability = 0.95;
+
+  uint64_t seed = 1234;
+};
+
+/// A generated workload: the corpus (resources + provider-era posts), the
+/// hidden true distributions, the popularity weights, and a tagger model
+/// wired to all of it. The simulator hands `truth` only to evaluation
+/// components (GroundTruthQuality, OracleGainEstimator) — strategies never
+/// see it.
+struct SyntheticWorkload {
+  std::unique_ptr<tagging::Corpus> corpus;
+  std::vector<SparseDist> truth;        ///< θ_i per resource
+  std::vector<double> popularity;       ///< FC attraction weights
+  std::unique_ptr<TaggerModel> tagger;  ///< generator for crowd-era posts
+  DeliciousConfig config;
+
+  /// Initial post counts c_i (snapshot taken right after generation).
+  std::vector<uint32_t> initial_posts;
+};
+
+/// Builds a synthetic Delicious-like workload. Deterministic in
+/// `config.seed`.
+SyntheticWorkload GenerateDelicious(const DeliciousConfig& config);
+
+}  // namespace itag::sim
+
+#endif  // ITAG_SIM_DATASET_H_

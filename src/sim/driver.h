@@ -1,0 +1,95 @@
+#ifndef ITAG_SIM_DRIVER_H_
+#define ITAG_SIM_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "quality/quality_model.h"
+#include "sim/dataset.h"
+#include "sim/post_pool.h"
+#include "strategy/engine.h"
+#include "strategy/strategy.h"
+
+namespace itag::sim {
+
+/// One point of the quality-vs-budget time series the demo plots (Fig. 5's
+/// "change of quality score" panel, and the main §IV comparison).
+struct QualitySample {
+  uint32_t tasks = 0;          ///< tasks completed so far
+  double q_stability = 0.0;    ///< observable quality q(R,k)
+  double q_truth = 0.0;        ///< ground-truth quality q*(R,k)
+  size_t above_threshold = 0;  ///< resources with q* >= threshold
+};
+
+/// Outcome of one allocation run.
+struct RunResult {
+  std::vector<QualitySample> series;
+  std::vector<uint32_t> assignment;  ///< x_i actually granted per resource
+  uint32_t tasks_completed = 0;
+  uint32_t tasks_rejected = 0;  ///< platform runs only
+  Tick ticks_elapsed = 0;       ///< platform runs only
+  double initial_q_truth = 0.0;
+  double final_q_truth = 0.0;
+  double initial_q_stability = 0.0;
+  double final_q_stability = 0.0;
+};
+
+/// Options shared by both drivers.
+struct RunOptions {
+  uint32_t budget = 1000;
+  uint32_t sample_every = 50;      ///< time-series sampling stride (tasks)
+  double quality_threshold = 0.7;  ///< for the above-threshold series
+  double worker_reliability = 0.92;  ///< direct runs: a single homogeneous crowd
+  uint64_t seed = 99;
+
+  /// Optional per-step hook (called after every completed task) used by the
+  /// strategy-switching and promote/stop experiments.
+  std::function<void(strategy::AllocationEngine&, uint32_t)> step_hook;
+
+  /// Optional held-out replay pool (the paper's offline evaluation method):
+  /// when set, posts come from the pre-generated per-resource streams, so
+  /// different strategies receive *identical* content for the k-th task of
+  /// a resource. On-demand generation is the fallback when a stream runs
+  /// dry. Not owned; must outlive the run.
+  PostPool* replay_pool = nullptr;
+};
+
+/// Fast-path driver: no marketplace dynamics — every chosen task is
+/// instantly completed by a synthetic worker of fixed reliability. This
+/// isolates the *allocation* behaviour, which is what the paper's offline
+/// Delicious replay measures.
+RunResult RunDirect(SyntheticWorkload* workload,
+                    std::unique_ptr<strategy::Strategy> strat,
+                    const RunOptions& options);
+
+/// Extra knobs for the full-loop (platform) driver.
+struct PlatformRunOptions {
+  RunOptions base;
+  uint32_t pay_cents = 5;
+  uint32_t max_open_tasks = 25;   ///< concurrency cap on posted tasks
+  Tick max_ticks = 1'000'000;     ///< hard stop against starvation
+  Tick tick_stride = 4;           ///< platform advance per loop iteration
+
+  /// Provider approval model: conscientious work is approved with
+  /// `approve_good_prob`; careless work sneaks past the spot check with
+  /// `approve_bad_prob`. Rejected tasks are refunded and the resource is
+  /// re-promoted, so rejection costs time but not budget (§III-B: incentives
+  /// are paid only on approval).
+  double approve_good_prob = 0.98;
+  double approve_bad_prob = 0.15;
+};
+
+/// Full-loop driver: tasks flow through a CrowdPlatform (accept/submit
+/// latencies, heterogeneous workers, qualification) and through the
+/// provider's approval step before posts reach the corpus. Exercises the
+/// whole Fig. 2 architecture.
+RunResult RunWithPlatform(SyntheticWorkload* workload,
+                          crowd::CrowdPlatform* platform,
+                          std::unique_ptr<strategy::Strategy> strat,
+                          const PlatformRunOptions& options);
+
+}  // namespace itag::sim
+
+#endif  // ITAG_SIM_DRIVER_H_

@@ -1,0 +1,41 @@
+#include "sim/post_pool.h"
+
+namespace itag::sim {
+
+PostPool PostPool::Build(TaggerModel* tagger, size_t num_resources,
+                         uint32_t depth, double reliability, uint64_t seed) {
+  PostPool pool;
+  pool.streams_.resize(num_resources);
+  pool.cursor_.assign(num_resources, 0);
+  Rng rng(seed);
+  for (size_t r = 0; r < num_resources; ++r) {
+    pool.streams_[r].reserve(depth);
+    for (uint32_t k = 0; k < depth; ++k) {
+      pool.streams_[r].push_back(
+          tagger->Generate(static_cast<tagging::ResourceId>(r), reliability,
+                           static_cast<Tick>(k), /*tagger=*/k % 1000, &rng));
+    }
+  }
+  return pool;
+}
+
+std::optional<GeneratedPost> PostPool::Pop(tagging::ResourceId resource) {
+  if (resource >= streams_.size()) return std::nullopt;
+  if (cursor_[resource] >= streams_[resource].size()) return std::nullopt;
+  return streams_[resource][cursor_[resource]++];
+}
+
+size_t PostPool::Remaining(tagging::ResourceId resource) const {
+  if (resource >= streams_.size()) return 0;
+  return streams_[resource].size() - cursor_[resource];
+}
+
+size_t PostPool::TotalRemaining() const {
+  size_t n = 0;
+  for (size_t r = 0; r < streams_.size(); ++r) {
+    n += streams_[r].size() - cursor_[r];
+  }
+  return n;
+}
+
+}  // namespace itag::sim

@@ -1,0 +1,47 @@
+#ifndef ITAG_SIM_POST_POOL_H_
+#define ITAG_SIM_POST_POOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/tagger_model.h"
+
+namespace itag::sim {
+
+/// A held-out replay pool: the crowd-era posts for every resource are
+/// generated *once*, up front, and strategies consume them in per-resource
+/// order. This mirrors the paper's offline evaluation method (replay the
+/// post-cutoff Delicious data against each strategy) and makes strategy
+/// comparisons exactly paired — when two strategies give resource r its
+/// k-th task, they receive the identical post.
+class PostPool {
+ public:
+  PostPool() = default;
+
+  /// Pre-generates `depth` posts per resource from `tagger` with a single
+  /// worker reliability (the offline-replay abstraction).
+  static PostPool Build(TaggerModel* tagger, size_t num_resources,
+                        uint32_t depth, double reliability, uint64_t seed);
+
+  /// Pops the next held-out post for `resource`; nullopt once the
+  /// resource's stream is exhausted (callers fall back to on-demand
+  /// generation).
+  std::optional<GeneratedPost> Pop(tagging::ResourceId resource);
+
+  /// Posts remaining for `resource`.
+  size_t Remaining(tagging::ResourceId resource) const;
+
+  /// Total posts remaining across resources.
+  size_t TotalRemaining() const;
+
+  size_t num_resources() const { return streams_.size(); }
+
+ private:
+  std::vector<std::vector<GeneratedPost>> streams_;
+  std::vector<size_t> cursor_;
+};
+
+}  // namespace itag::sim
+
+#endif  // ITAG_SIM_POST_POOL_H_

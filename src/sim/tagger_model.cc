@@ -1,0 +1,116 @@
+#include "sim/tagger_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itag::sim {
+
+using tagging::TagId;
+
+TaggerModel::TaggerModel(const std::vector<SparseDist>* truth,
+                         std::vector<double> global_tag_weights,
+                         tagging::TagDictionary* dict,
+                         TaggerModelOptions options)
+    : truth_(truth), dict_(dict), options_(options) {
+  assert(truth_ != nullptr);
+  assert(dict_ != nullptr);
+  topical_samplers_.resize(truth_->size());
+  topical_ids_.resize(truth_->size());
+  for (size_t i = 0; i < truth_->size(); ++i) {
+    const SparseDist& theta = (*truth_)[i];
+    if (theta.empty()) continue;
+    std::vector<double> w;
+    w.reserve(theta.size());
+    topical_ids_[i].reserve(theta.size());
+    for (const auto& [id, p] : theta.entries()) {
+      topical_ids_[i].push_back(id);
+      w.push_back(p);
+    }
+    topical_samplers_[i] = std::make_unique<AliasSampler>(w);
+  }
+  if (!global_tag_weights.empty()) {
+    noise_sampler_ = std::make_unique<AliasSampler>(global_tag_weights);
+  }
+}
+
+TagId TaggerModel::SampleTopical(tagging::ResourceId resource,
+                                 Rng* rng) const {
+  const auto& sampler = topical_samplers_[resource];
+  if (sampler == nullptr) return tagging::kInvalidTag;
+  return topical_ids_[resource][sampler->Sample(rng)];
+}
+
+TagId TaggerModel::SampleNoise(Rng* rng) const {
+  if (noise_sampler_ == nullptr) return tagging::kInvalidTag;
+  return static_cast<TagId>(noise_sampler_->Sample(rng));
+}
+
+TagId TaggerModel::MakeTypo(TagId base, Rng* rng) {
+  // A typo produces a fresh, essentially-unique tag: we mutate the base
+  // tag's text by swapping/dropping a character and intern the result. Most
+  // mutations yield brand-new dictionary entries, exactly the long tail of
+  // junk tags real systems accumulate.
+  const std::string& text = dict_->Text(base);
+  std::string mutated = text;
+  if (mutated.size() >= 2) {
+    size_t pos = rng->Uniform(static_cast<uint32_t>(mutated.size() - 1));
+    if (rng->Bernoulli(0.5)) {
+      std::swap(mutated[pos], mutated[pos + 1]);  // transposition
+    } else {
+      mutated.erase(pos, 1);  // deletion
+    }
+  } else {
+    mutated += 'x';
+  }
+  if (mutated == text || mutated.empty()) {
+    mutated = text + "-" + std::to_string(typo_counter_);
+  }
+  ++typo_counter_;
+  TagId id = dict_->Intern(mutated);
+  return id == tagging::kInvalidTag ? base : id;
+}
+
+GeneratedPost TaggerModel::Generate(tagging::ResourceId resource,
+                                    double reliability, Tick time,
+                                    tagging::TaggerId tagger, Rng* rng) {
+  GeneratedPost out;
+  out.conscientious = rng->Bernoulli(reliability);
+  double noise = out.conscientious ? options_.noise_rate
+                                   : options_.careless_noise_rate;
+
+  int s = 1;
+  if (options_.mean_tags_per_post > 1.0) {
+    s = 1 + rng->Poisson(options_.mean_tags_per_post - 1.0);
+  }
+
+  out.post.tagger = tagger;
+  out.post.time = time;
+  out.post.tags.reserve(s);
+  for (int i = 0; i < s; ++i) {
+    TagId tag;
+    if (rng->Bernoulli(noise)) {
+      tag = SampleNoise(rng);
+      if (tag == tagging::kInvalidTag) tag = SampleTopical(resource, rng);
+    } else {
+      tag = SampleTopical(resource, rng);
+    }
+    if (tag == tagging::kInvalidTag) continue;
+    if (rng->Bernoulli(options_.typo_rate)) {
+      tag = MakeTypo(tag, rng);
+    }
+    // Posts are tag *sets*: drop duplicates within the post.
+    if (std::find(out.post.tags.begin(), out.post.tags.end(), tag) ==
+        out.post.tags.end()) {
+      out.post.tags.push_back(tag);
+    }
+  }
+  if (out.post.tags.empty()) {
+    // Guarantee a nonempty post (the data model requires it).
+    TagId tag = SampleTopical(resource, rng);
+    if (tag == tagging::kInvalidTag) tag = SampleNoise(rng);
+    if (tag != tagging::kInvalidTag) out.post.tags.push_back(tag);
+  }
+  return out;
+}
+
+}  // namespace itag::sim

@@ -1,0 +1,81 @@
+#ifndef ITAG_SIM_TAGGER_MODEL_H_
+#define ITAG_SIM_TAGGER_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/distribution.h"
+#include "common/random.h"
+#include "tagging/corpus.h"
+#include "tagging/post.h"
+
+namespace itag::sim {
+
+/// Behavioural parameters of simulated taggers, modelling the two quality
+/// problems the paper names (§I): *noisy* tags (typos and irrelevant tags)
+/// and *incomplete* tags (each post covers only a few of the resource's
+/// aspects, i.e. few tags per post).
+struct TaggerModelOptions {
+  /// Mean tags per post; actual count is 1 + Poisson(mean - 1), so every
+  /// post is nonempty. Delicious-era studies put this around 2-4.
+  double mean_tags_per_post = 3.0;
+
+  /// Probability that a tag from a conscientious tagger is off-topic
+  /// (drawn from the global vocabulary instead of the resource's θ).
+  double noise_rate = 0.05;
+
+  /// Probability that an emitted tag is corrupted into a fresh typo tag.
+  double typo_rate = 0.02;
+
+  /// Off-topic rate for careless submissions (a worker's unreliable
+  /// fraction); much higher, modelling spam/low-effort work.
+  double careless_noise_rate = 0.7;
+};
+
+/// A generated post plus the hidden ground-truth flag of whether the worker
+/// was conscientious — visible to the simulator (and the provider's
+/// spot-check approval model), never to the strategies.
+struct GeneratedPost {
+  tagging::Post post;
+  bool conscientious = true;
+};
+
+/// Generates posts for resources given their true tag distributions θ_i.
+/// One instance serves a whole corpus: it owns an alias sampler per resource
+/// plus a global-vocabulary sampler for off-topic noise.
+class TaggerModel {
+ public:
+  /// `truth[i]` is θ of resource i over tag ids interned in `dict`;
+  /// `global_tag_weights` weights the whole vocabulary for noise draws
+  /// (typically the Zipfian global tag popularity).
+  TaggerModel(const std::vector<SparseDist>* truth,
+              std::vector<double> global_tag_weights,
+              tagging::TagDictionary* dict, TaggerModelOptions options = {});
+
+  /// Generates one post for `resource` from a worker of the given
+  /// `reliability` (P(conscientious)). Deterministic given `rng` state.
+  GeneratedPost Generate(tagging::ResourceId resource, double reliability,
+                         Tick time, tagging::TaggerId tagger, Rng* rng);
+
+  const TaggerModelOptions& options() const { return options_; }
+
+  /// Mean tags per post (used by gain estimators to parameterize N = k·s̄).
+  double tags_per_post() const { return options_.mean_tags_per_post; }
+
+ private:
+  tagging::TagId SampleTopical(tagging::ResourceId resource, Rng* rng) const;
+  tagging::TagId SampleNoise(Rng* rng) const;
+  tagging::TagId MakeTypo(tagging::TagId base, Rng* rng);
+
+  const std::vector<SparseDist>* truth_;
+  tagging::TagDictionary* dict_;
+  TaggerModelOptions options_;
+  std::vector<std::unique_ptr<AliasSampler>> topical_samplers_;
+  std::vector<std::vector<tagging::TagId>> topical_ids_;
+  std::unique_ptr<AliasSampler> noise_sampler_;
+  uint64_t typo_counter_ = 0;
+};
+
+}  // namespace itag::sim
+
+#endif  // ITAG_SIM_TAGGER_MODEL_H_

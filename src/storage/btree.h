@@ -1,0 +1,301 @@
+#ifndef ITAG_STORAGE_BTREE_H_
+#define ITAG_STORAGE_BTREE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace itag::storage {
+
+/// In-memory B+-tree set with linked leaves, used as the ordered secondary
+/// index structure of the embedded engine. Keys are unique; index entries for
+/// non-unique columns append the row id to the key to disambiguate.
+///
+/// Design notes (documented deliberately, per the engine's conventions):
+///  * Insertions split nodes at `kFanout` and keep the tree height-balanced.
+///  * Deletions are lazy: a key is removed from its leaf, and a leaf/internal
+///    node is unlinked only when it becomes completely empty. Nodes are never
+///    merged or rebalanced on delete. This keeps deletes O(log n) and simple
+///    at the cost of transiently sparse nodes — the same trade made by many
+///    log-structured systems that defer compaction. All ordering and scan
+///    invariants hold regardless.
+///  * Single-writer: no internal locking (the engine is single-threaded by
+///    design; the simulator drives it from one event loop).
+template <typename Key, typename Compare = std::less<Key>>
+class BPlusTree {
+ public:
+  static constexpr size_t kFanout = 64;
+
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  /// Inserts `key`; returns false if it was already present.
+  bool Insert(const Key& key) {
+    InsertResult r = InsertInto(root_.get(), key);
+    if (!r.inserted) return false;
+    if (r.split_right != nullptr) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(r.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(r.split_right));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(const Key& key) {
+    if (!EraseFrom(root_.get(), key)) return false;
+    // Collapse a root that lost all separators down to its only child.
+    while (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children[0]);
+    }
+    --size_;
+    return true;
+  }
+
+  /// True iff `key` is present.
+  bool Contains(const Key& key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      size_t i = UpperBound(n->keys, key);
+      n = n->children[i].get();
+    }
+    size_t i = LowerBound(n->keys, key);
+    return i < n->keys.size() && !cmp_(key, n->keys[i]);
+  }
+
+  /// Number of keys.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits all keys in [lo, hi) in order; `fn` returns false to stop early.
+  void ScanRange(const Key& lo, const Key& hi,
+                 const std::function<bool(const Key&)>& fn) const {
+    const Node* n = DescendToLeaf(lo);
+    while (n != nullptr) {
+      for (size_t i = LowerBound(n->keys, lo); i < n->keys.size(); ++i) {
+        if (!cmp_(n->keys[i], hi)) return;
+        if (!fn(n->keys[i])) return;
+      }
+      n = n->next;
+    }
+  }
+
+  /// Visits every key in order.
+  void ScanAll(const std::function<bool(const Key&)>& fn) const {
+    const Node* n = LeftmostLeaf();
+    while (n != nullptr) {
+      for (const Key& k : n->keys) {
+        if (!fn(k)) return;
+      }
+      n = n->next;
+    }
+  }
+
+  /// Height of the tree (1 for a lone leaf). Exposed for invariant tests.
+  size_t Height() const {
+    size_t h = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children[0].get();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Verifies structural invariants (sorted keys, child counts, uniform leaf
+  /// depth, leaf chain ordering). Returns false on violation. Test hook.
+  bool CheckInvariants() const {
+    size_t depth = 0;
+    if (!CheckNode(root_.get(), 1, &depth, nullptr, nullptr)) return false;
+    // Leaf chain must produce globally sorted output.
+    const Node* n = LeftmostLeaf();
+    const Key* prev = nullptr;
+    size_t count = 0;
+    while (n != nullptr) {
+      for (const Key& k : n->keys) {
+        if (prev != nullptr && !cmp_(*prev, k)) return false;
+        prev = &k;
+        ++count;
+      }
+      n = n->next;
+    }
+    return count == size_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  struct InsertResult {
+    bool inserted = false;
+    Key split_key{};
+    std::unique_ptr<Node> split_right;
+  };
+
+  size_t LowerBound(const std::vector<Key>& keys, const Key& k) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cmp_(keys[mid], k)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t UpperBound(const std::vector<Key>& keys, const Key& k) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cmp_(k, keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  const Node* LeftmostLeaf() const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[0].get();
+    return n;
+  }
+
+  const Node* DescendToLeaf(const Key& k) const {
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      size_t i = UpperBound(n->keys, k);
+      n = n->children[i].get();
+    }
+    return n;
+  }
+
+  InsertResult InsertInto(Node* n, const Key& key) {
+    InsertResult out;
+    if (n->leaf) {
+      size_t i = LowerBound(n->keys, key);
+      if (i < n->keys.size() && !cmp_(key, n->keys[i])) return out;  // dup
+      n->keys.insert(n->keys.begin() + i, key);
+      out.inserted = true;
+      if (n->keys.size() >= kFanout) SplitLeaf(n, &out);
+      return out;
+    }
+    size_t i = UpperBound(n->keys, key);
+    InsertResult child = InsertInto(n->children[i].get(), key);
+    out.inserted = child.inserted;
+    if (child.split_right != nullptr) {
+      n->keys.insert(n->keys.begin() + i, child.split_key);
+      n->children.insert(n->children.begin() + i + 1,
+                         std::move(child.split_right));
+      if (n->keys.size() >= kFanout) SplitInternal(n, &out);
+    }
+    return out;
+  }
+
+  void SplitLeaf(Node* n, InsertResult* out) {
+    size_t mid = n->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    right->keys.assign(n->keys.begin() + mid, n->keys.end());
+    n->keys.resize(mid);
+    right->next = n->next;
+    n->next = right.get();
+    out->split_key = right->keys.front();
+    out->split_right = std::move(right);
+  }
+
+  void SplitInternal(Node* n, InsertResult* out) {
+    size_t mid = n->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    out->split_key = n->keys[mid];
+    right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+    right->children.reserve(n->keys.size() - mid);
+    for (size_t i = mid + 1; i < n->children.size(); ++i) {
+      right->children.push_back(std::move(n->children[i]));
+    }
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    out->split_right = std::move(right);
+  }
+
+  bool EraseFrom(Node* n, const Key& key) {
+    if (n->leaf) {
+      size_t i = LowerBound(n->keys, key);
+      if (i >= n->keys.size() || cmp_(key, n->keys[i])) return false;
+      n->keys.erase(n->keys.begin() + i);
+      return true;
+    }
+    size_t i = UpperBound(n->keys, key);
+    Node* child = n->children[i].get();
+    if (!EraseFrom(child, key)) return false;
+    // Unlink children that became completely empty (lazy rebalancing).
+    bool child_empty =
+        child->leaf ? child->keys.empty() : child->children.empty();
+    if (child_empty) {
+      if (child->leaf) UnlinkLeaf(child);
+      n->children.erase(n->children.begin() + i);
+      if (!n->keys.empty()) {
+        size_t sep = i > 0 ? i - 1 : 0;
+        n->keys.erase(n->keys.begin() + sep);
+      }
+    }
+    return true;
+  }
+
+  void UnlinkLeaf(Node* leaf) {
+    // Walk the leaf chain from the leftmost leaf to find the predecessor.
+    Node* n = root_.get();
+    while (!n->leaf) n = n->children[0].get();
+    if (n == leaf) return;  // leftmost leaves keep their place as root shrink
+    while (n != nullptr && n->next != leaf) n = n->next;
+    if (n != nullptr) n->next = leaf->next;
+  }
+
+  bool CheckNode(const Node* n, size_t depth, size_t* leaf_depth,
+                 const Key* lo, const Key* hi) const {
+    for (size_t i = 0; i + 1 < n->keys.size(); ++i) {
+      if (!cmp_(n->keys[i], n->keys[i + 1])) return false;
+    }
+    for (const Key& k : n->keys) {
+      if (lo != nullptr && cmp_(k, *lo)) return false;
+      if (hi != nullptr && !cmp_(k, *hi)) return false;
+    }
+    if (n->leaf) {
+      if (*leaf_depth == 0) {
+        *leaf_depth = depth;
+      } else if (*leaf_depth != depth) {
+        return false;
+      }
+      return true;
+    }
+    if (n->children.size() != n->keys.size() + 1) return false;
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      const Key* clo = i == 0 ? lo : &n->keys[i - 1];
+      const Key* chi = i == n->keys.size() ? hi : &n->keys[i];
+      if (!CheckNode(n->children[i].get(), depth + 1, leaf_depth, clo, chi)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace itag::storage
+
+#endif  // ITAG_STORAGE_BTREE_H_

@@ -1,0 +1,102 @@
+#ifndef ITAG_STORAGE_DATABASE_H_
+#define ITAG_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace itag::storage {
+
+/// Durability configuration for a Database.
+struct DatabaseOptions {
+  /// Directory holding the snapshot and WAL files. Empty means fully
+  /// in-memory (no durability) — the mode tests and benchmarks default to.
+  std::string directory;
+
+  /// Snapshot file name inside `directory`.
+  std::string snapshot_file = "snapshot.db";
+
+  /// WAL file name inside `directory`.
+  std::string wal_file = "wal.log";
+};
+
+/// The embedded relational engine standing in for the MySQL instance in the
+/// paper's architecture (Fig. 2). It is a catalog of named Tables with
+/// logical write-ahead logging and snapshot checkpointing:
+///
+///   * every mutation (create/drop/insert/update/delete) is appended to the
+///     WAL before being applied to the in-memory tables;
+///   * Checkpoint() serializes all tables to the snapshot file and truncates
+///     the WAL;
+///   * Open() loads the snapshot (if any) and replays the WAL tail, so a
+///     process crash between checkpoints loses nothing that was appended.
+///
+/// Single-writer by design: the simulator and the iTag managers drive it from
+/// one event loop, matching the demo system's single MySQL connection.
+class Database {
+ public:
+  Database() = default;
+
+  /// Opens (and recovers) a database per `options`.
+  Status Open(const DatabaseOptions& options);
+
+  /// Creates a table; fails with AlreadyExists on name collision.
+  Status CreateTable(const std::string& name, const Schema& schema);
+
+  /// Drops a table and its rows.
+  Status DropTable(const std::string& name);
+
+  /// Returns the table or nullptr. The pointer stays valid until the table
+  /// is dropped.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Declares indexes (not WAL-logged: index definitions are part of the
+  /// caller's schema-registration code path, re-run on every open).
+  Status AddUniqueIndex(const std::string& table, const std::string& column);
+  Status AddOrderedIndex(const std::string& table, const std::string& column);
+
+  /// Logged mutations. These are the only write paths the managers use.
+  Result<RowId> Insert(const std::string& table, const Row& row);
+  Status Update(const std::string& table, RowId id, const Row& row);
+  Status Delete(const std::string& table, RowId id);
+
+  /// Writes the snapshot and truncates the WAL.
+  Status Checkpoint();
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Total rows across all tables (monitoring).
+  size_t TotalRows() const;
+
+  bool durable() const { return durable_; }
+
+ private:
+  Status LogOp(WalOp op, const std::string& table, RowId row_id,
+               std::string payload);
+  Status Recover();
+  Status LoadSnapshot(const std::string& path);
+  Status ApplyWalRecord(const WalRecord& rec);
+
+  DatabaseOptions options_;
+  bool durable_ = false;
+  WalWriter wal_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// Encodes a row for WAL payloads.
+std::string EncodeRow(const Row& row);
+
+/// Decodes a row with `arity` columns; false on malformed input.
+bool DecodeRow(const std::string& data, size_t arity, Row* out);
+
+}  // namespace itag::storage
+
+#endif  // ITAG_STORAGE_DATABASE_H_

@@ -1,0 +1,78 @@
+#include "storage/schema.h"
+
+#include <cstring>
+
+namespace itag::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("column '" + col.name +
+                                       "' is not nullable");
+      }
+      continue;
+    }
+    if (row[i].type() != col.type) {
+      return Status::InvalidArgument(
+          "column '" + col.name + "' expects " + FieldTypeName(col.type) +
+          ", got " + FieldTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+void Schema::EncodeTo(std::string* out) const {
+  uint32_t n = static_cast<uint32_t>(columns_.size());
+  out->append(reinterpret_cast<const char*>(&n), 4);
+  for (const Column& c : columns_) {
+    uint32_t len = static_cast<uint32_t>(c.name.size());
+    out->append(reinterpret_cast<const char*>(&len), 4);
+    out->append(c.name);
+    out->push_back(static_cast<char>(c.type));
+    out->push_back(c.nullable ? 1 : 0);
+  }
+}
+
+bool Schema::DecodeFrom(const std::string& data, size_t* offset, Schema* out) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t n;
+  std::memcpy(&n, data.data() + *offset, 4);
+  *offset += 4;
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (*offset + 4 > data.size()) return false;
+    uint32_t len;
+    std::memcpy(&len, data.data() + *offset, 4);
+    *offset += 4;
+    if (*offset + len + 2 > data.size()) return false;
+    Column c;
+    c.name = data.substr(*offset, len);
+    *offset += len;
+    c.type = static_cast<FieldType>(data[*offset]);
+    ++*offset;
+    c.nullable = data[*offset] != 0;
+    ++*offset;
+    cols.push_back(std::move(c));
+  }
+  *out = Schema(std::move(cols));
+  return true;
+}
+
+}  // namespace itag::storage

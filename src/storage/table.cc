@@ -1,0 +1,286 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace itag::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::AddUniqueIndex(const std::string& column) {
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0) return Status::NotFound("no column '" + column + "'");
+  std::unordered_map<Value, RowId, ValueHash> built;
+  built.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) {
+    auto [it, inserted] = built.emplace(row[idx], id);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate key " + row[idx].ToString() +
+                                   " while building unique index on '" +
+                                   column + "'");
+    }
+  }
+  unique_col_ = idx;
+  unique_index_ = std::move(built);
+  return Status::OK();
+}
+
+Status Table::AddOrderedIndex(const std::string& column) {
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0) return Status::NotFound("no column '" + column + "'");
+  if (ordered_indexes_.count(idx)) return Status::OK();  // idempotent
+  BPlusTree<IndexKey>& tree = ordered_indexes_[idx];
+  for (const auto& [id, row] : rows_) {
+    tree.Insert(IndexKey{row[idx], id});
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(const Row& row) {
+  ITAG_RETURN_IF_ERROR(schema_.Validate(row));
+  if (unique_col_ >= 0) {
+    auto it = unique_index_.find(row[unique_col_]);
+    if (it != unique_index_.end()) {
+      return Status::AlreadyExists("duplicate key " +
+                                   row[unique_col_].ToString() + " in " +
+                                   name_);
+    }
+  }
+  RowId id = next_id_++;
+  rows_.emplace(id, row);
+  IndexRow(id, row);
+  return id;
+}
+
+Status Table::InsertWithId(RowId id, const Row& row) {
+  ITAG_RETURN_IF_ERROR(schema_.Validate(row));
+  if (rows_.count(id)) {
+    return Status::AlreadyExists("row id " + std::to_string(id) + " taken");
+  }
+  if (unique_col_ >= 0 && unique_index_.count(row[unique_col_])) {
+    return Status::AlreadyExists("duplicate key in " + name_);
+  }
+  rows_.emplace(id, row);
+  if (id >= next_id_) next_id_ = id + 1;
+  IndexRow(id, row);
+  return Status::OK();
+}
+
+Result<Row> Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+  }
+  return it->second;
+}
+
+Status Table::Update(RowId id, const Row& row) {
+  ITAG_RETURN_IF_ERROR(schema_.Validate(row));
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+  }
+  if (unique_col_ >= 0) {
+    auto u = unique_index_.find(row[unique_col_]);
+    if (u != unique_index_.end() && u->second != id) {
+      return Status::AlreadyExists("duplicate key in " + name_);
+    }
+  }
+  UnindexRow(id, it->second);
+  it->second = row;
+  IndexRow(id, row);
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+  }
+  UnindexRow(id, it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Result<RowId> Table::LookupUnique(const std::string& column,
+                                  const Value& key) const {
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0 || idx != unique_col_) {
+    return Status::NotFound("no unique index on '" + column + "'");
+  }
+  auto it = unique_index_.find(key);
+  if (it == unique_index_.end()) {
+    return Status::NotFound("key " + key.ToString() + " in " + name_);
+  }
+  return it->second;
+}
+
+std::vector<RowId> Table::LookupEqual(const std::string& column,
+                                      const Value& key) const {
+  std::vector<RowId> out;
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0) return out;
+  auto tree_it = ordered_indexes_.find(idx);
+  if (tree_it != ordered_indexes_.end()) {
+    IndexKey lo{key, 0};
+    IndexKey hi{key, UINT64_MAX};
+    tree_it->second.ScanRange(lo, hi, [&](const IndexKey& k) {
+      out.push_back(k.row_id);
+      return true;
+    });
+    // UINT64_MAX itself is excluded by the half-open range; it is never a
+    // real row id (ids start at 1 and are assigned sequentially).
+    return out;
+  }
+  for (const auto& [id, row] : rows_) {
+    if (row[idx] == key) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RowId> Table::LookupRange(const std::string& column,
+                                      const Value& lo, const Value& hi) const {
+  std::vector<RowId> out;
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0) return out;
+  auto tree_it = ordered_indexes_.find(idx);
+  if (tree_it != ordered_indexes_.end()) {
+    tree_it->second.ScanRange(IndexKey{lo, 0}, IndexKey{hi, 0},
+                              [&](const IndexKey& k) {
+                                out.push_back(k.row_id);
+                                return true;
+                              });
+    return out;
+  }
+  std::vector<std::pair<Value, RowId>> hits;
+  for (const auto& [id, row] : rows_) {
+    if (!(row[idx] < lo) && row[idx] < hi) hits.emplace_back(row[idx], id);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+  for (const auto& [v, id] : hits) out.push_back(id);
+  return out;
+}
+
+void Table::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) {
+    if (!fn(id, row)) return;
+  }
+}
+
+size_t Table::CountWhere(const std::function<bool(const Row&)>& pred) const {
+  size_t n = 0;
+  for (const auto& [id, row] : rows_) {
+    (void)id;
+    if (pred(row)) ++n;
+  }
+  return n;
+}
+
+void Table::IndexRow(RowId id, const Row& row) {
+  if (unique_col_ >= 0) unique_index_.emplace(row[unique_col_], id);
+  for (auto& [col, tree] : ordered_indexes_) {
+    tree.Insert(IndexKey{row[col], id});
+  }
+}
+
+void Table::UnindexRow(RowId id, const Row& row) {
+  if (unique_col_ >= 0) {
+    auto it = unique_index_.find(row[unique_col_]);
+    if (it != unique_index_.end() && it->second == id) {
+      unique_index_.erase(it);
+    }
+  }
+  for (auto& [col, tree] : ordered_indexes_) {
+    tree.Erase(IndexKey{row[col], id});
+  }
+}
+
+void Table::EncodeTo(std::string* out) const {
+  uint32_t nlen = static_cast<uint32_t>(name_.size());
+  out->append(reinterpret_cast<const char*>(&nlen), 4);
+  out->append(name_);
+  schema_.EncodeTo(out);
+  out->push_back(static_cast<char>(unique_col_ >= 0 ? unique_col_ + 1 : 0));
+  uint32_t nidx = static_cast<uint32_t>(ordered_indexes_.size());
+  out->append(reinterpret_cast<const char*>(&nidx), 4);
+  for (const auto& [col, tree] : ordered_indexes_) {
+    (void)tree;
+    uint32_t c = static_cast<uint32_t>(col);
+    out->append(reinterpret_cast<const char*>(&c), 4);
+  }
+  uint64_t next = next_id_;
+  out->append(reinterpret_cast<const char*>(&next), 8);
+  uint64_t nrows = rows_.size();
+  out->append(reinterpret_cast<const char*>(&nrows), 8);
+  for (const auto& [id, row] : rows_) {
+    out->append(reinterpret_cast<const char*>(&id), 8);
+    for (const Value& v : row) v.EncodeTo(out);
+  }
+}
+
+bool Table::DecodeFrom(const std::string& data, size_t* offset, Table* out) {
+  auto need = [&](size_t n) { return *offset + n <= data.size(); };
+  if (!need(4)) return false;
+  uint32_t nlen;
+  std::memcpy(&nlen, data.data() + *offset, 4);
+  *offset += 4;
+  if (!need(nlen)) return false;
+  std::string name = data.substr(*offset, nlen);
+  *offset += nlen;
+  Schema schema;
+  if (!Schema::DecodeFrom(data, offset, &schema)) return false;
+  *out = Table(name, schema);
+  if (!need(1)) return false;
+  int unique_plus1 = static_cast<unsigned char>(data[*offset]);
+  ++*offset;
+  if (unique_plus1 > 0) {
+    out->unique_col_ = unique_plus1 - 1;
+  }
+  if (!need(4)) return false;
+  uint32_t nidx;
+  std::memcpy(&nidx, data.data() + *offset, 4);
+  *offset += 4;
+  std::vector<int> index_cols;
+  for (uint32_t i = 0; i < nidx; ++i) {
+    if (!need(4)) return false;
+    uint32_t c;
+    std::memcpy(&c, data.data() + *offset, 4);
+    *offset += 4;
+    index_cols.push_back(static_cast<int>(c));
+  }
+  if (!need(8 + 8)) return false;
+  uint64_t next, nrows;
+  std::memcpy(&next, data.data() + *offset, 8);
+  *offset += 8;
+  std::memcpy(&nrows, data.data() + *offset, 8);
+  *offset += 8;
+  for (uint64_t i = 0; i < nrows; ++i) {
+    if (!need(8)) return false;
+    RowId id;
+    std::memcpy(&id, data.data() + *offset, 8);
+    *offset += 8;
+    Row row(out->schema_.num_columns());
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (!Value::DecodeFrom(data, offset, &row[c])) return false;
+    }
+    out->rows_.emplace(id, std::move(row));
+  }
+  out->next_id_ = next;
+  // Rebuild in-memory indexes from the restored heap.
+  for (int col : index_cols) {
+    out->ordered_indexes_.emplace(col, BPlusTree<IndexKey>());
+  }
+  for (const auto& [id, row] : out->rows_) {
+    out->IndexRow(id, row);
+  }
+  return true;
+}
+
+}  // namespace itag::storage

@@ -1,0 +1,121 @@
+#ifndef ITAG_STORAGE_TABLE_H_
+#define ITAG_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace itag::storage {
+
+/// Row identifier assigned by the table; monotonically increasing, never
+/// reused.
+using RowId = uint64_t;
+
+/// Composite key for ordered secondary indexes: (column value, row id).
+/// Appending the row id makes entries unique even for non-unique columns and
+/// gives deterministic scan order among duplicates.
+struct IndexKey {
+  Value value;
+  RowId row_id;
+
+  bool operator<(const IndexKey& other) const {
+    if (value < other.value) return true;
+    if (other.value < value) return false;
+    return row_id < other.row_id;
+  }
+};
+
+/// One heap table: schema-validated rows addressed by RowId, with an optional
+/// unique hash index and any number of ordered B+-tree secondary indexes.
+///
+/// The Table itself is storage-only; durability is layered on by Database,
+/// which write-ahead-logs every mutation before applying it here.
+class Table {
+ public:
+  /// Creates an empty table.
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Declares a unique index on `column`. Inserts that duplicate an existing
+  /// key fail with AlreadyExists. Existing rows are backfilled; declaring
+  /// the index fails with AlreadyExists if they contain duplicates.
+  Status AddUniqueIndex(const std::string& column);
+
+  /// Declares an ordered (non-unique) secondary index on `column`. May be
+  /// declared at any time; existing rows are indexed immediately.
+  Status AddOrderedIndex(const std::string& column);
+
+  /// Validates and inserts `row`, returning its new RowId.
+  Result<RowId> Insert(const Row& row);
+
+  /// Inserts with a caller-chosen row id (used only by recovery). Fails if
+  /// the id is already taken.
+  Status InsertWithId(RowId id, const Row& row);
+
+  /// Fetches a row by id.
+  Result<Row> Get(RowId id) const;
+
+  /// Replaces the row at `id` with `row` (revalidated; indexes maintained).
+  Status Update(RowId id, const Row& row);
+
+  /// Deletes the row at `id`.
+  Status Delete(RowId id);
+
+  /// Looks up by unique index; NotFound if no such key or index.
+  Result<RowId> LookupUnique(const std::string& column,
+                             const Value& key) const;
+
+  /// Collects ids of rows whose `column` equals `key`, via the ordered index
+  /// if one exists, else a full scan.
+  std::vector<RowId> LookupEqual(const std::string& column,
+                                 const Value& key) const;
+
+  /// Collects ids of rows with `lo <= column < hi` via the ordered index
+  /// (falls back to a scan when no index exists). Results are in key order.
+  std::vector<RowId> LookupRange(const std::string& column, const Value& lo,
+                                 const Value& hi) const;
+
+  /// Visits every (id, row); `fn` returns false to stop. Iteration order is
+  /// ascending RowId.
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Counts rows satisfying `pred`.
+  size_t CountWhere(const std::function<bool(const Row&)>& pred) const;
+
+  /// Serializes the full table (schema + rows) into `out` for snapshots.
+  void EncodeTo(std::string* out) const;
+
+  /// Restores a table from snapshot bytes; false on malformed input.
+  static bool DecodeFrom(const std::string& data, size_t* offset, Table* out);
+
+ private:
+  void IndexRow(RowId id, const Row& row);
+  void UnindexRow(RowId id, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::map<RowId, Row> rows_;  // ordered so Scan is id-ascending
+  RowId next_id_ = 1;
+
+  int unique_col_ = -1;
+  std::unordered_map<Value, RowId, ValueHash> unique_index_;
+
+  // column position -> ordered index
+  std::map<int, BPlusTree<IndexKey>> ordered_indexes_;
+};
+
+}  // namespace itag::storage
+
+#endif  // ITAG_STORAGE_TABLE_H_

@@ -1,0 +1,178 @@
+#include "storage/value.h"
+
+#include <cstring>
+#include <functional>
+
+namespace itag::storage {
+
+const char* FieldTypeName(FieldType t) {
+  switch (t) {
+    case FieldType::kNull:
+      return "null";
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+FieldType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return FieldType::kNull;
+    case 1:
+      return FieldType::kBool;
+    case 2:
+      return FieldType::kInt64;
+    case 3:
+      return FieldType::kDouble;
+    case 4:
+      return FieldType::kString;
+  }
+  return FieldType::kNull;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+bool Value::operator==(const Value& other) const { return data_ == other.data_; }
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case FieldType::kNull:
+      return "NULL";
+    case FieldType::kBool:
+      return as_bool() ? "true" : "false";
+    case FieldType::kInt64:
+      return std::to_string(as_int());
+    case FieldType::kDouble:
+      return std::to_string(as_double());
+    case FieldType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU32(const std::string& data, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, 4);
+  *offset += 4;
+  return true;
+}
+
+bool GetU64(const std::string& data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, 8);
+  *offset += 8;
+  return true;
+}
+
+}  // namespace
+
+void Value::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case FieldType::kNull:
+      break;
+    case FieldType::kBool:
+      out->push_back(as_bool() ? 1 : 0);
+      break;
+    case FieldType::kInt64:
+      PutU64(out, static_cast<uint64_t>(as_int()));
+      break;
+    case FieldType::kDouble: {
+      uint64_t bits;
+      double d = as_double();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case FieldType::kString: {
+      const std::string& s = as_string();
+      PutU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+bool Value::DecodeFrom(const std::string& data, size_t* offset, Value* out) {
+  if (*offset >= data.size()) return false;
+  FieldType t = static_cast<FieldType>(data[*offset]);
+  ++*offset;
+  switch (t) {
+    case FieldType::kNull:
+      *out = Value::Null();
+      return true;
+    case FieldType::kBool: {
+      if (*offset >= data.size()) return false;
+      *out = Value::Bool(data[*offset] != 0);
+      ++*offset;
+      return true;
+    }
+    case FieldType::kInt64: {
+      uint64_t v;
+      if (!GetU64(data, offset, &v)) return false;
+      *out = Value::Int(static_cast<int64_t>(v));
+      return true;
+    }
+    case FieldType::kDouble: {
+      uint64_t bits;
+      if (!GetU64(data, offset, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *out = Value::Real(d);
+      return true;
+    }
+    case FieldType::kString: {
+      uint32_t len;
+      if (!GetU32(data, offset, &len)) return false;
+      if (*offset + len > data.size()) return false;
+      *out = Value::Str(data.substr(*offset, len));
+      *offset += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case FieldType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case FieldType::kBool:
+      return as_bool() ? 0x1234567 : 0x7654321;
+    case FieldType::kInt64:
+      return std::hash<int64_t>{}(as_int());
+    case FieldType::kDouble:
+      return std::hash<double>{}(as_double());
+    case FieldType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+}  // namespace itag::storage

@@ -1,0 +1,104 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/crc32.h"
+
+namespace itag::storage {
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  path_ = path;
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) return Status::IOError("cannot open wal: " + path);
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (!out_.is_open()) return Status::FailedPrecondition("wal not open");
+  std::string payload = EncodeWalRecord(record);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  out_.write(reinterpret_cast<const char*>(&len), 4);
+  out_.write(reinterpret_cast<const char*>(&crc), 4);
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+  if (!out_) return Status::IOError("wal append failed: " + path_);
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+Status WalWriter::Reset() {
+  Close();
+  std::ofstream trunc(path_, std::ios::binary | std::ios::trunc);
+  if (!trunc) return Status::IOError("wal reset failed: " + path_);
+  trunc.close();
+  return Open(path_);
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string out;
+  out.push_back(static_cast<char>(record.op));
+  uint32_t tlen = static_cast<uint32_t>(record.table.size());
+  out.append(reinterpret_cast<const char*>(&tlen), 4);
+  out.append(record.table);
+  out.append(reinterpret_cast<const char*>(&record.row_id), 8);
+  uint32_t plen = static_cast<uint32_t>(record.payload.size());
+  out.append(reinterpret_cast<const char*>(&plen), 4);
+  out.append(record.payload);
+  return out;
+}
+
+bool DecodeWalRecord(const std::string& payload, WalRecord* out) {
+  size_t off = 0;
+  if (payload.size() < 1 + 4) return false;
+  out->op = static_cast<WalOp>(payload[off]);
+  off += 1;
+  uint32_t tlen;
+  std::memcpy(&tlen, payload.data() + off, 4);
+  off += 4;
+  if (off + tlen + 8 + 4 > payload.size()) return false;
+  out->table = payload.substr(off, tlen);
+  off += tlen;
+  std::memcpy(&out->row_id, payload.data() + off, 8);
+  off += 8;
+  uint32_t plen;
+  std::memcpy(&plen, payload.data() + off, 4);
+  off += 4;
+  if (off + plen != payload.size()) return false;
+  out->payload = payload.substr(off, plen);
+  return true;
+}
+
+Status ReadWal(const std::string& path, std::vector<WalRecord>* records) {
+  records->clear();
+  if (!std::filesystem::exists(path)) return Status::OK();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read wal: " + path);
+  for (;;) {
+    uint32_t len = 0, crc = 0;
+    in.read(reinterpret_cast<char*>(&len), 4);
+    if (in.gcount() < 4) break;  // clean EOF or torn header: stop
+    in.read(reinterpret_cast<char*>(&crc), 4);
+    if (in.gcount() < 4) break;
+    std::string payload(len, '\0');
+    in.read(payload.data(), len);
+    if (static_cast<uint32_t>(in.gcount()) < len) break;  // torn tail
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Corruption("wal checksum mismatch in " + path);
+    }
+    WalRecord rec;
+    if (!DecodeWalRecord(payload, &rec)) {
+      return Status::Corruption("wal record malformed in " + path);
+    }
+    records->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+}  // namespace itag::storage

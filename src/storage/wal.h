@@ -1,0 +1,74 @@
+#ifndef ITAG_STORAGE_WAL_H_
+#define ITAG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace itag::storage {
+
+/// Logical redo-log record kinds. The engine logs operations, not pages:
+/// replaying the sequence against an empty (or snapshotted) catalog
+/// reconstructs the exact table contents.
+enum class WalOp : uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kInsert = 3,
+  kUpdate = 4,
+  kDelete = 5,
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalOp op;
+  std::string table;    ///< table name
+  uint64_t row_id = 0;  ///< for insert/update/delete
+  std::string payload;  ///< encoded schema (create) or row (insert/update)
+};
+
+/// Append-only write-ahead log. Each record is framed as
+/// [u32 payload_len][u32 crc32(payload)][payload]; recovery stops cleanly at
+/// the first torn or corrupt frame (the RocksDB/LevelDB convention), so a
+/// crash mid-write never poisons earlier records.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  /// Opens (creating or appending to) the log at `path`.
+  Status Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const WalRecord& record);
+
+  /// Closes the file (no-op if unopened).
+  void Close();
+
+  /// Truncates the log to zero length (after a checkpoint made it redundant).
+  Status Reset();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Reads every valid record from a WAL file. Returns OK with the records
+/// decoded so far even when the tail is torn; returns Corruption only when a
+/// frame is malformed in a way that indicates a bug rather than a crash
+/// (checksum mismatch on a complete frame).
+Status ReadWal(const std::string& path, std::vector<WalRecord>* records);
+
+/// Serializes a record payload (everything after the frame header).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Parses a record payload. Returns false on malformed input.
+bool DecodeWalRecord(const std::string& payload, WalRecord* out);
+
+}  // namespace itag::storage
+
+#endif  // ITAG_STORAGE_WAL_H_

@@ -1,0 +1,219 @@
+#include "strategy/basic_strategies.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itag::strategy {
+
+using tagging::kInvalidResource;
+using tagging::ResourceId;
+
+// ---------------------------------------------------------------- FC
+
+FreeChoiceStrategy::FreeChoiceStrategy(double smoothing)
+    : smoothing_(smoothing) {
+  assert(smoothing_ > 0.0);
+}
+
+void FreeChoiceStrategy::Initialize(const StrategyContext& ctx) {
+  weights_ = std::make_unique<FenwickTree>(ctx.size());
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    double w = ctx.stopped(id)
+                   ? 0.0
+                   : static_cast<double>(ctx.corpus().PostCount(id)) +
+                         smoothing_;
+    weights_->Set(id, w);
+  }
+}
+
+ResourceId FreeChoiceStrategy::Choose(const StrategyContext& ctx) {
+  double total = weights_->Total();
+  if (total <= 0.0) return kInvalidResource;
+  // Stopped resources keep weight zero, so inverse-CDF sampling never lands
+  // on them while any eligible weight remains.
+  double target = ctx.rng()->NextDouble() * total;
+  ResourceId id = static_cast<ResourceId>(weights_->FindByPrefix(target));
+  if (ctx.stopped(id)) {
+    // Numeric edge (target at the very end of the CDF); fall back to the
+    // first eligible resource.
+    for (ResourceId r = 0; r < ctx.size(); ++r) {
+      if (!ctx.stopped(r)) return r;
+    }
+    return kInvalidResource;
+  }
+  return id;
+}
+
+void FreeChoiceStrategy::OnPost(const StrategyContext& ctx, ResourceId id) {
+  if (weights_ == nullptr || id >= weights_->size()) return;
+  if (ctx.stopped(id)) {
+    weights_->Set(id, 0.0);
+    return;
+  }
+  // Preferential attachment: one more post, one more unit of attraction.
+  weights_->Add(id, 1.0);
+}
+
+// ---------------------------------------------------------------- FP
+
+void FewestPostsFirstStrategy::Initialize(const StrategyContext& ctx) {
+  order_.clear();
+  key_.assign(ctx.size(), 0);
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    key_[id] = ctx.corpus().PostCount(id);
+    if (!ctx.stopped(id)) order_.emplace(key_[id], id);
+  }
+}
+
+ResourceId FewestPostsFirstStrategy::Choose(const StrategyContext& ctx) {
+  while (!order_.empty()) {
+    auto [count, id] = *order_.begin();
+    if (ctx.stopped(id)) {
+      order_.erase(order_.begin());
+      continue;
+    }
+    (void)count;
+    return id;
+  }
+  return kInvalidResource;
+}
+
+void FewestPostsFirstStrategy::OnPost(const StrategyContext& ctx,
+                                      ResourceId id) {
+  if (id >= key_.size()) return;
+  order_.erase({key_[id], id});
+  key_[id] = ctx.corpus().PostCount(id);
+  if (!ctx.stopped(id)) order_.emplace(key_[id], id);
+}
+
+// ---------------------------------------------------------------- MU
+
+MostUnstableFirstStrategy::MostUnstableFirstStrategy()
+    : MostUnstableFirstStrategy(Options()) {}
+
+MostUnstableFirstStrategy::MostUnstableFirstStrategy(Options options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+}
+
+double MostUnstableFirstStrategy::ComputeScore(const StrategyContext& ctx,
+                                               ResourceId id) const {
+  return ctx.corpus().stats(id).StabilityDistance(options_.distance,
+                                                  options_.window);
+}
+
+void MostUnstableFirstStrategy::Initialize(const StrategyContext& ctx) {
+  order_.clear();
+  score_.assign(ctx.size(), 1.0);
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    score_[id] = ComputeScore(ctx, id);
+    if (!ctx.stopped(id)) order_.emplace(score_[id], id);
+  }
+}
+
+ResourceId MostUnstableFirstStrategy::Choose(const StrategyContext& ctx) {
+  while (!order_.empty()) {
+    auto [score, id] = *order_.begin();
+    if (ctx.stopped(id)) {
+      order_.erase(order_.begin());
+      continue;
+    }
+    (void)score;
+    return id;
+  }
+  return kInvalidResource;
+}
+
+void MostUnstableFirstStrategy::OnPost(const StrategyContext& ctx,
+                                       ResourceId id) {
+  if (id >= score_.size()) return;
+  order_.erase({score_[id], id});
+  score_[id] = ComputeScore(ctx, id);
+  if (!ctx.stopped(id)) order_.emplace(score_[id], id);
+}
+
+// ---------------------------------------------------------------- FP-MU
+
+HybridFpMuStrategy::HybridFpMuStrategy()
+    : HybridFpMuStrategy(Options()) {}
+
+HybridFpMuStrategy::HybridFpMuStrategy(Options options)
+    : options_(options), mu_(options.mu) {
+  if (options_.switch_min_posts == 0) options_.switch_min_posts = 1;
+}
+
+bool HybridFpMuStrategy::FpPhaseDone(const StrategyContext& ctx) const {
+  // The FP phase is complete once the *least-posted* eligible resource has
+  // reached the switch threshold; FP's own ordered set gives that in O(1)
+  // via Choose (but without mutating state we recheck from the corpus).
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    if (ctx.stopped(id)) continue;
+    if (ctx.corpus().PostCount(id) < options_.switch_min_posts) return false;
+  }
+  return true;
+}
+
+void HybridFpMuStrategy::Initialize(const StrategyContext& ctx) {
+  fp_.Initialize(ctx);
+  mu_.Initialize(ctx);
+  in_mu_phase_ = FpPhaseDone(ctx);
+}
+
+ResourceId HybridFpMuStrategy::Choose(const StrategyContext& ctx) {
+  if (!in_mu_phase_) {
+    ResourceId id = fp_.Choose(ctx);
+    if (id == kInvalidResource) return id;
+    if (ctx.corpus().PostCount(id) < options_.switch_min_posts) return id;
+    // The least-posted resource already satisfies the threshold: the FP
+    // phase is over, permanently.
+    in_mu_phase_ = true;
+  }
+  return mu_.Choose(ctx);
+}
+
+void HybridFpMuStrategy::OnPost(const StrategyContext& ctx, ResourceId id) {
+  fp_.OnPost(ctx, id);
+  mu_.OnPost(ctx, id);
+}
+
+// ---------------------------------------------------------------- RAND
+
+void RandomStrategy::Initialize(const StrategyContext& /*ctx*/) {}
+
+ResourceId RandomStrategy::Choose(const StrategyContext& ctx) {
+  size_t eligible = ctx.EligibleCount();
+  if (eligible == 0) return kInvalidResource;
+  uint32_t target = ctx.rng()->Uniform(static_cast<uint32_t>(eligible));
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    if (ctx.stopped(id)) continue;
+    if (target == 0) return id;
+    --target;
+  }
+  return kInvalidResource;
+}
+
+void RandomStrategy::OnPost(const StrategyContext& /*ctx*/,
+                            ResourceId /*id*/) {}
+
+// ---------------------------------------------------------------- RR
+
+void RoundRobinStrategy::Initialize(const StrategyContext& /*ctx*/) {
+  next_ = 0;
+}
+
+ResourceId RoundRobinStrategy::Choose(const StrategyContext& ctx) {
+  if (ctx.size() == 0) return kInvalidResource;
+  for (size_t probe = 0; probe < ctx.size(); ++probe) {
+    ResourceId id = static_cast<ResourceId>((next_ + probe) % ctx.size());
+    if (!ctx.stopped(id)) {
+      next_ = static_cast<ResourceId>((id + 1) % ctx.size());
+      return id;
+    }
+  }
+  return kInvalidResource;
+}
+
+void RoundRobinStrategy::OnPost(const StrategyContext& /*ctx*/,
+                                ResourceId /*id*/) {}
+
+}  // namespace itag::strategy

@@ -1,0 +1,141 @@
+#ifndef ITAG_STRATEGY_BASIC_STRATEGIES_H_
+#define ITAG_STRATEGY_BASIC_STRATEGIES_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/distribution.h"
+#include "common/fenwick.h"
+#include "strategy/strategy.h"
+
+namespace itag::strategy {
+
+/// FC — Free Choice (Table I). Taggers pick resources themselves; empirically
+/// they flock to popular resources (Golder & Huberman), which we model as
+/// preferential attachment: resource i is chosen with probability
+/// proportional to (post_count_i + smoothing). A Fenwick tree gives O(log n)
+/// weighted sampling with O(log n) weight updates per completed post.
+class FreeChoiceStrategy : public Strategy {
+ public:
+  /// `smoothing` is the additive weight that keeps unseen resources
+  /// reachable (the paper's FC still exposes every resource to taggers).
+  explicit FreeChoiceStrategy(double smoothing = 1.0);
+
+  std::string name() const override { return "FC"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+ private:
+  double smoothing_;
+  std::unique_ptr<FenwickTree> weights_;
+};
+
+/// FP — Fewest Posts first (Table I): always picks the eligible resource
+/// with the fewest posts, ties broken by smallest id (deterministic).
+/// Maintains an ordered set keyed by (post_count, id) for O(log n) choice
+/// and update.
+class FewestPostsFirstStrategy : public Strategy {
+ public:
+  std::string name() const override { return "FP"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+ private:
+  std::set<std::pair<uint32_t, tagging::ResourceId>> order_;
+  std::vector<uint32_t> key_;  // current post count per resource
+};
+
+/// MU — Most Unstable first (Table I): always picks the eligible resource
+/// whose rfd moved the most over the recent window (largest stability
+/// distance). Resources with fewer than 2 posts are maximally unstable by
+/// definition. Ordered set keyed by (-instability, id).
+class MostUnstableFirstStrategy : public Strategy {
+ public:
+  struct Options {
+    DistanceKind distance = DistanceKind::kTotalVariation;
+    size_t window = 8;  ///< lag used for the instability score
+  };
+
+  MostUnstableFirstStrategy();
+  explicit MostUnstableFirstStrategy(Options options);
+
+  std::string name() const override { return "MU"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+  /// The instability score the strategy currently holds for `id`.
+  double score(tagging::ResourceId id) const { return score_[id]; }
+
+ private:
+  double ComputeScore(const StrategyContext& ctx,
+                      tagging::ResourceId id) const;
+
+  Options options_;
+  std::set<std::pair<double, tagging::ResourceId>,
+           std::greater<std::pair<double, tagging::ResourceId>>>
+      order_;
+  std::vector<double> score_;
+};
+
+/// FP-MU — the hybrid of Table I ("use FP first, then use MU"; the paper
+/// calls it the most effective at improving overall quality). Runs FP until
+/// every eligible resource has at least `switch_min_posts` posts, then
+/// switches to MU permanently.
+class HybridFpMuStrategy : public Strategy {
+ public:
+  struct Options {
+    /// FP phase ends once every eligible resource has this many posts.
+    uint32_t switch_min_posts = 5;
+    MostUnstableFirstStrategy::Options mu;
+  };
+
+  HybridFpMuStrategy();
+  explicit HybridFpMuStrategy(Options options);
+
+  std::string name() const override { return "FP-MU"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+  /// True once the strategy has moved to its MU phase.
+  bool in_mu_phase() const { return in_mu_phase_; }
+
+ private:
+  bool FpPhaseDone(const StrategyContext& ctx) const;
+
+  Options options_;
+  FewestPostsFirstStrategy fp_;
+  MostUnstableFirstStrategy mu_;
+  bool in_mu_phase_ = false;
+};
+
+/// Uniform-random baseline: every eligible resource is equally likely.
+class RandomStrategy : public Strategy {
+ public:
+  std::string name() const override { return "RAND"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+};
+
+/// Cyclic baseline: resources in id order, skipping ineligible ones.
+class RoundRobinStrategy : public Strategy {
+ public:
+  std::string name() const override { return "RR"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+ private:
+  tagging::ResourceId next_ = 0;
+};
+
+}  // namespace itag::strategy
+
+#endif  // ITAG_STRATEGY_BASIC_STRATEGIES_H_

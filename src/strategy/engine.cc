@@ -1,0 +1,82 @@
+#include "strategy/engine.h"
+
+#include <cassert>
+
+namespace itag::strategy {
+
+using tagging::kInvalidResource;
+using tagging::ResourceId;
+
+AllocationEngine::AllocationEngine(tagging::Corpus* corpus,
+                                   std::unique_ptr<Strategy> strategy,
+                                   EngineOptions options)
+    : corpus_(corpus),
+      strategy_(std::move(strategy)),
+      rng_(options.seed),
+      ctx_(corpus, &rng_),
+      budget_remaining_(options.budget),
+      assignment_(corpus->size(), 0) {
+  assert(corpus_ != nullptr);
+  assert(strategy_ != nullptr);
+  strategy_->Initialize(ctx_);
+}
+
+Result<ResourceId> AllocationEngine::ChooseNext() {
+  if (budget_remaining_ == 0) {
+    return Status::ResourceExhausted("budget spent");
+  }
+  ResourceId id = kInvalidResource;
+  // Drain promotions first (skipping any stopped since their promotion).
+  while (!promoted_.empty()) {
+    ResourceId cand = promoted_.front();
+    promoted_.pop_front();
+    if (!ctx_.stopped(cand)) {
+      id = cand;
+      break;
+    }
+  }
+  if (id == kInvalidResource) {
+    id = strategy_->Choose(ctx_);
+  }
+  if (id == kInvalidResource) {
+    return Status::FailedPrecondition("no eligible resource");
+  }
+  --budget_remaining_;
+  ++tasks_assigned_;
+  ++assignment_[id];
+  return id;
+}
+
+void AllocationEngine::NotifyPost(ResourceId id) {
+  strategy_->OnPost(ctx_, id);
+}
+
+Status AllocationEngine::Promote(ResourceId id) {
+  if (!corpus_->IsValid(id)) {
+    return Status::NotFound("resource " + std::to_string(id));
+  }
+  if (ctx_.stopped(id)) {
+    return Status::FailedPrecondition("resource is stopped");
+  }
+  promoted_.push_back(id);
+  return Status::OK();
+}
+
+Status AllocationEngine::SetStopped(ResourceId id, bool stopped) {
+  if (!corpus_->IsValid(id)) {
+    return Status::NotFound("resource " + std::to_string(id));
+  }
+  ctx_.set_stopped(id, stopped);
+  // Re-seed strategy state so its priority structures drop/readmit the
+  // resource. Strategies treat Initialize as idempotent w.r.t. the corpus.
+  strategy_->Initialize(ctx_);
+  return Status::OK();
+}
+
+void AllocationEngine::SwitchStrategy(std::unique_ptr<Strategy> strategy) {
+  assert(strategy != nullptr);
+  strategy_ = std::move(strategy);
+  strategy_->Initialize(ctx_);
+}
+
+}  // namespace itag::strategy

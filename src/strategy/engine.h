@@ -1,0 +1,99 @@
+#ifndef ITAG_STRATEGY_ENGINE_H_
+#define ITAG_STRATEGY_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "strategy/strategy.h"
+#include "tagging/corpus.h"
+
+namespace itag::strategy {
+
+/// Configuration of an allocation run.
+struct EngineOptions {
+  /// Budget B: total number of tagging tasks the provider pays for.
+  uint32_t budget = 0;
+
+  /// Seed for the engine's own randomness (FC sampling, RAND baseline).
+  uint64_t seed = 42;
+};
+
+/// The Algorithm-1 framework: as long as budget remains, CHOOSERESOURCES()
+/// picks the next resource(s), tasks are assigned, and UPDATE() refreshes the
+/// statistics after each completed task.
+///
+/// The engine owns the strategy, the per-resource assignment counters x_i,
+/// and the provider's live controls from §III-A:
+///  * Promote(r): r jumps the queue — guaranteed to be chosen by the next
+///    CHOOSERESOURCES() step(s) before the strategy is consulted again;
+///  * StopResource(r): r stops receiving tasks (its remaining budget flows
+///    to other resources);
+///  * SwitchStrategy(s): replaces the strategy mid-run, preserving budget
+///    and statistics (the monitoring workflow of Fig. 5);
+///  * AddBudget(b): tops the project up.
+///
+/// The engine deliberately does not talk to the crowdsourcing platform: the
+/// caller (simulation driver or QualityManager) takes each chosen resource,
+/// gets it tagged, appends the post to the corpus, and calls NotifyPost().
+class AllocationEngine {
+ public:
+  /// `corpus` must outlive the engine.
+  AllocationEngine(tagging::Corpus* corpus, std::unique_ptr<Strategy> strategy,
+                   EngineOptions options);
+
+  /// Chooses the resource for the next tagging task and debits one unit of
+  /// budget. Order of precedence: pending promotions first, then the
+  /// strategy. Fails with ResourceExhausted when the budget is spent and
+  /// FailedPrecondition when no resource is eligible.
+  Result<tagging::ResourceId> ChooseNext();
+
+  /// UPDATE() — the task on `id` completed and its post is already in the
+  /// corpus; refreshes strategy state.
+  void NotifyPost(tagging::ResourceId id);
+
+  /// §III-A Promote button. The resource is enqueued for guaranteed
+  /// selection (FIFO across repeated promotions). No-op on stopped
+  /// resources.
+  Status Promote(tagging::ResourceId id);
+
+  /// §III-A Stop button; `stopped=false` re-enables the resource.
+  Status SetStopped(tagging::ResourceId id, bool stopped);
+
+  /// Replaces the allocation strategy mid-run.
+  void SwitchStrategy(std::unique_ptr<Strategy> strategy);
+
+  /// Adds `amount` tasks to the remaining budget.
+  void AddBudget(uint32_t amount) { budget_remaining_ += amount; }
+
+  /// Remaining budget.
+  uint32_t budget_remaining() const { return budget_remaining_; }
+
+  /// Tasks assigned so far, total and per resource (the assignment vector x).
+  uint32_t tasks_assigned() const { return tasks_assigned_; }
+  const std::vector<uint32_t>& assignment() const { return assignment_; }
+
+  /// Current strategy name.
+  std::string strategy_name() const { return strategy_->name(); }
+
+  /// The context (for tests and monitoring).
+  const StrategyContext& context() const { return ctx_; }
+
+ private:
+  tagging::Corpus* corpus_;
+  std::unique_ptr<Strategy> strategy_;
+  Rng rng_;
+  StrategyContext ctx_;
+  uint32_t budget_remaining_;
+  uint32_t tasks_assigned_ = 0;
+  std::vector<uint32_t> assignment_;
+  std::deque<tagging::ResourceId> promoted_;
+};
+
+}  // namespace itag::strategy
+
+#endif  // ITAG_STRATEGY_ENGINE_H_

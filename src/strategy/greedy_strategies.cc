@@ -1,0 +1,82 @@
+#include "strategy/greedy_strategies.h"
+
+#include <cassert>
+
+namespace itag::strategy {
+
+using tagging::kInvalidResource;
+using tagging::ResourceId;
+
+EstimatedGainGreedyStrategy::EstimatedGainGreedyStrategy(
+    quality::EmpiricalGainEstimator estimator)
+    : estimator_(estimator) {}
+
+void EstimatedGainGreedyStrategy::Initialize(const StrategyContext& ctx) {
+  order_.clear();
+  gain_.assign(ctx.size(), 0.0);
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    gain_[id] = estimator_.MarginalGain(ctx.corpus().stats(id));
+    if (!ctx.stopped(id)) order_.emplace(gain_[id], id);
+  }
+}
+
+ResourceId EstimatedGainGreedyStrategy::Choose(const StrategyContext& ctx) {
+  while (!order_.empty()) {
+    auto [gain, id] = *order_.begin();
+    if (ctx.stopped(id)) {
+      order_.erase(order_.begin());
+      continue;
+    }
+    (void)gain;
+    return id;
+  }
+  return kInvalidResource;
+}
+
+void EstimatedGainGreedyStrategy::OnPost(const StrategyContext& ctx,
+                                         ResourceId id) {
+  if (id >= gain_.size()) return;
+  order_.erase({gain_[id], id});
+  gain_[id] = estimator_.MarginalGain(ctx.corpus().stats(id));
+  if (!ctx.stopped(id)) order_.emplace(gain_[id], id);
+}
+
+OracleGreedyStrategy::OracleGreedyStrategy(
+    std::shared_ptr<const quality::OracleGainEstimator> oracle)
+    : oracle_(std::move(oracle)) {
+  assert(oracle_ != nullptr);
+}
+
+void OracleGreedyStrategy::Initialize(const StrategyContext& ctx) {
+  assert(oracle_->num_resources() == ctx.size());
+  order_.clear();
+  gain_.assign(ctx.size(), 0.0);
+  extra_.assign(ctx.size(), 0);
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    gain_[id] = oracle_->MarginalGain(id, 0);
+    if (!ctx.stopped(id)) order_.emplace(gain_[id], id);
+  }
+}
+
+ResourceId OracleGreedyStrategy::Choose(const StrategyContext& ctx) {
+  while (!order_.empty()) {
+    auto [gain, id] = *order_.begin();
+    if (ctx.stopped(id)) {
+      order_.erase(order_.begin());
+      continue;
+    }
+    (void)gain;
+    return id;
+  }
+  return kInvalidResource;
+}
+
+void OracleGreedyStrategy::OnPost(const StrategyContext& ctx, ResourceId id) {
+  if (id >= gain_.size()) return;
+  order_.erase({gain_[id], id});
+  ++extra_[id];
+  gain_[id] = oracle_->MarginalGain(id, extra_[id]);
+  if (!ctx.stopped(id)) order_.emplace(gain_[id], id);
+}
+
+}  // namespace itag::strategy

@@ -1,0 +1,66 @@
+#ifndef ITAG_STRATEGY_GREEDY_STRATEGIES_H_
+#define ITAG_STRATEGY_GREEDY_STRATEGIES_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "quality/gain_estimator.h"
+#include "strategy/strategy.h"
+
+namespace itag::strategy {
+
+/// Greedy on *estimated* marginal gains: at every step, pick the eligible
+/// resource whose next post has the largest projected quality gain according
+/// to the data-driven EmpiricalGainEstimator (Dirichlet-smoothed θ̂ + CLT
+/// closed form). This is what a live deployment can run without ground
+/// truth; it is iTag's "simple but close to optimal" automatic mode.
+class EstimatedGainGreedyStrategy : public Strategy {
+ public:
+  explicit EstimatedGainGreedyStrategy(
+      quality::EmpiricalGainEstimator estimator =
+          quality::EmpiricalGainEstimator());
+
+  std::string name() const override { return "EG"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+ private:
+  quality::EmpiricalGainEstimator estimator_;
+  std::set<std::pair<double, tagging::ResourceId>,
+           std::greater<std::pair<double, tagging::ResourceId>>>
+      order_;
+  std::vector<double> gain_;
+};
+
+/// Greedy on *true* expected marginal gains — the optimal allocation the
+/// demo compares strategies against. Only constructible inside the
+/// simulator, where every resource's true distribution θ_i is known. Because
+/// the expected-quality curves are concave in the post count, greedy on
+/// marginal gains attains the optimal budget split (validated against the
+/// exact DP in tests).
+class OracleGreedyStrategy : public Strategy {
+ public:
+  explicit OracleGreedyStrategy(
+      std::shared_ptr<const quality::OracleGainEstimator> oracle);
+
+  std::string name() const override { return "OPT"; }
+  void Initialize(const StrategyContext& ctx) override;
+  tagging::ResourceId Choose(const StrategyContext& ctx) override;
+  void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+ private:
+  std::shared_ptr<const quality::OracleGainEstimator> oracle_;
+  std::set<std::pair<double, tagging::ResourceId>,
+           std::greater<std::pair<double, tagging::ResourceId>>>
+      order_;
+  std::vector<double> gain_;
+  std::vector<uint32_t> extra_;  // tasks granted so far per resource
+};
+
+}  // namespace itag::strategy
+
+#endif  // ITAG_STRATEGY_GREEDY_STRATEGIES_H_

@@ -1,0 +1,105 @@
+#include "tagging/corpus_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace itag::tagging {
+
+CorpusStats::CorpusStats(const Corpus* corpus) : corpus_(corpus) {}
+
+std::vector<uint32_t> CorpusStats::SortedCounts() const {
+  std::vector<uint32_t> counts;
+  counts.reserve(corpus_->size());
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    counts.push_back(corpus_->PostCount(r));
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+double CorpusStats::PostCountGini() const {
+  std::vector<uint32_t> counts = SortedCounts();
+  size_t n = counts.size();
+  if (n == 0) return 0.0;
+  // Gini = (2 Σ_i i*x_(i) / (n Σ x)) - (n+1)/n with 1-based ranks over the
+  // ascending order statistics.
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * counts[i];
+    total += counts[i];
+  }
+  if (total <= 0.0) return 0.0;
+  double g = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  return g < 0.0 ? 0.0 : g;
+}
+
+double CorpusStats::TopShare(double top_fraction) const {
+  std::vector<uint32_t> counts = SortedCounts();
+  size_t n = counts.size();
+  if (n == 0) return 0.0;
+  size_t top = static_cast<size_t>(top_fraction * static_cast<double>(n));
+  if (top == 0) top = 1;
+  double total = 0.0, head = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += counts[i];
+    if (i + top >= n) head += counts[i];  // the top `top` entries
+  }
+  return total <= 0.0 ? 0.0 : head / total;
+}
+
+size_t CorpusStats::UnderTaggedCount(uint32_t bar) const {
+  size_t n = 0;
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    n += corpus_->PostCount(r) < bar;
+  }
+  return n;
+}
+
+uint32_t CorpusStats::MedianPosts() const {
+  std::vector<uint32_t> counts = SortedCounts();
+  if (counts.empty()) return 0;
+  return counts[counts.size() / 2];
+}
+
+uint32_t CorpusStats::MaxPosts() const {
+  uint32_t mx = 0;
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    mx = std::max(mx, corpus_->PostCount(r));
+  }
+  return mx;
+}
+
+size_t CorpusStats::DistinctTagsInUse() const {
+  std::unordered_set<TagId> seen;
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    for (const auto& [tag, p] : corpus_->stats(r).Rfd().entries()) {
+      (void)p;
+      seen.insert(tag);
+    }
+  }
+  return seen.size();
+}
+
+double CorpusStats::MeanRfdEntropy() const {
+  if (corpus_->size() == 0) return 0.0;
+  double total = 0.0;
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    total += corpus_->stats(r).Rfd().Entropy();
+  }
+  return total / static_cast<double>(corpus_->size());
+}
+
+std::vector<size_t> CorpusStats::PostCountHistogram(
+    const std::vector<uint32_t>& edges) const {
+  std::vector<size_t> buckets(edges.size() + 1, 0);
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    uint32_t c = corpus_->PostCount(r);
+    size_t b = 0;
+    while (b < edges.size() && c >= edges[b]) ++b;
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+}  // namespace itag::tagging

@@ -1,0 +1,59 @@
+#ifndef ITAG_TAGGING_CORPUS_STATS_H_
+#define ITAG_TAGGING_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tagging/corpus.h"
+
+namespace itag::tagging {
+
+/// Descriptive statistics over a corpus — the numbers behind the paper's
+/// motivation (§I: "most tags are added to the few highly-popular
+/// resources, while most of the resources receive few tags") and behind the
+/// monitoring views. All functions are read-only and O(n) or O(n log n).
+class CorpusStats {
+ public:
+  explicit CorpusStats(const Corpus* corpus);
+
+  /// Gini coefficient of per-resource post counts, in [0, 1): 0 = perfectly
+  /// even tagging, →1 = all posts concentrated on one resource.
+  double PostCountGini() const;
+
+  /// Fraction of all posts held by the most-posted `top_fraction` of
+  /// resources (e.g. 0.1 → the top decile's share).
+  double TopShare(double top_fraction) const;
+
+  /// Number of resources with fewer than `bar` posts.
+  size_t UnderTaggedCount(uint32_t bar) const;
+
+  /// Median per-resource post count.
+  uint32_t MedianPosts() const;
+
+  /// Maximum per-resource post count.
+  uint32_t MaxPosts() const;
+
+  /// Distinct tags used anywhere in the corpus (vocabulary actually in use,
+  /// as opposed to dict().size() which counts every interned string).
+  size_t DistinctTagsInUse() const;
+
+  /// Mean per-resource rfd entropy (nats) — how spread resources' tag
+  /// distributions are; rises with tag noise.
+  double MeanRfdEntropy() const;
+
+  /// Histogram of post counts over the bucket upper bounds in `edges`
+  /// (right-open; a final bucket catches everything above the last edge).
+  /// Example: edges {1,5,20,100} yields buckets [0,1), [1,5), [5,20),
+  /// [20,100), [100,inf).
+  std::vector<size_t> PostCountHistogram(
+      const std::vector<uint32_t>& edges) const;
+
+ private:
+  std::vector<uint32_t> SortedCounts() const;
+
+  const Corpus* corpus_;
+};
+
+}  // namespace itag::tagging
+
+#endif  // ITAG_TAGGING_CORPUS_STATS_H_

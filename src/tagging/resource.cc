@@ -1,0 +1,21 @@
+#include "tagging/resource.h"
+
+namespace itag::tagging {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kWebUrl:
+      return "web_url";
+    case ResourceKind::kImage:
+      return "image";
+    case ResourceKind::kVideo:
+      return "video";
+    case ResourceKind::kSoundClip:
+      return "sound_clip";
+    case ResourceKind::kScientificPaper:
+      return "scientific_paper";
+  }
+  return "?";
+}
+
+}  // namespace itag::tagging

@@ -1,0 +1,37 @@
+#ifndef ITAG_TAGGING_RESOURCE_H_
+#define ITAG_TAGGING_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace itag::tagging {
+
+/// Identifier of a resource r_i in R. Dense, assigned by the Corpus.
+using ResourceId = uint32_t;
+
+/// Sentinel for "no resource".
+inline constexpr ResourceId kInvalidResource = 0xFFFFFFFFu;
+
+/// The media kinds iTag accepts from providers (§III-A).
+enum class ResourceKind : uint8_t {
+  kWebUrl = 0,
+  kImage = 1,
+  kVideo = 2,
+  kSoundClip = 3,
+  kScientificPaper = 4,
+};
+
+/// Human-readable kind name ("web_url", "image", ...).
+const char* ResourceKindName(ResourceKind kind);
+
+/// Static metadata of one uploaded resource.
+struct Resource {
+  ResourceId id = kInvalidResource;
+  ResourceKind kind = ResourceKind::kWebUrl;
+  std::string uri;          ///< locator shown to taggers (URL, file name...)
+  std::string description;  ///< provider-supplied description
+};
+
+}  // namespace itag::tagging
+
+#endif  // ITAG_TAGGING_RESOURCE_H_

@@ -1,0 +1,31 @@
+#include "tagging/tag_dictionary.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace itag::tagging {
+
+TagId TagDictionary::Intern(std::string_view raw) {
+  std::string norm = NormalizeTag(raw);
+  if (norm.empty()) return kInvalidTag;
+  auto it = ids_.find(norm);
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(texts_.size());
+  texts_.push_back(norm);
+  ids_.emplace(std::move(norm), id);
+  return id;
+}
+
+TagId TagDictionary::Find(std::string_view raw) const {
+  std::string norm = NormalizeTag(raw);
+  auto it = ids_.find(norm);
+  return it == ids_.end() ? kInvalidTag : it->second;
+}
+
+const std::string& TagDictionary::Text(TagId id) const {
+  assert(IsValid(id));
+  return texts_[id];
+}
+
+}  // namespace itag::tagging

@@ -1,0 +1,54 @@
+#ifndef ITAG_TAGGING_TAG_DICTIONARY_H_
+#define ITAG_TAGGING_TAG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace itag::tagging {
+
+/// Dense integer id of an interned tag. Ids are assigned sequentially from 0
+/// in interning order and never reused.
+using TagId = uint32_t;
+
+/// Sentinel for "no such tag".
+inline constexpr TagId kInvalidTag = 0xFFFFFFFFu;
+
+/// The global tag vocabulary T = {t_1 .. t_m} of the data model, implemented
+/// as a string-interning dictionary. Raw tag strings are normalized
+/// (lower-cased, trimmed, inner whitespace folded to '-') before interning,
+/// so "Machine Learning" and "machine  learning" intern to the same id while
+/// a typo like "machne-learning" becomes a distinct id — exactly the "noisy
+/// tags" phenomenon the paper describes.
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+
+  /// Interns `raw` (normalizing first). Returns kInvalidTag when the tag
+  /// normalizes to an empty string.
+  TagId Intern(std::string_view raw);
+
+  /// Looks up without interning; kInvalidTag when absent.
+  TagId Find(std::string_view raw) const;
+
+  /// The normalized text of `id`; requires a valid id.
+  const std::string& Text(TagId id) const;
+
+  /// Number of distinct tags interned.
+  size_t size() const { return texts_.size(); }
+
+  /// True when `id` names an interned tag.
+  bool IsValid(TagId id) const { return id < texts_.size(); }
+
+ private:
+  std::unordered_map<std::string, TagId> ids_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace itag::tagging
+
+#endif  // ITAG_TAGGING_TAG_DICTIONARY_H_

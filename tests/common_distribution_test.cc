@@ -1,0 +1,202 @@
+#include "common/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace itag {
+namespace {
+
+SparseDist Dist(std::vector<std::pair<uint32_t, double>> w) {
+  return SparseDist::FromWeights(std::move(w));
+}
+
+TEST(SparseDistTest, FromWeightsNormalizes) {
+  SparseDist d = Dist({{1, 2.0}, {5, 6.0}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d.Prob(1), 0.25, 1e-12);
+  EXPECT_NEAR(d.Prob(5), 0.75, 1e-12);
+  EXPECT_NEAR(d.Sum(), 1.0, 1e-12);
+}
+
+TEST(SparseDistTest, MergesDuplicatesAndDropsNonPositive) {
+  SparseDist d = Dist({{3, 1.0}, {3, 1.0}, {7, 2.0}, {9, 0.0}, {11, -4.0}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d.Prob(3), 0.5, 1e-12);
+  EXPECT_NEAR(d.Prob(7), 0.5, 1e-12);
+  EXPECT_EQ(d.Prob(9), 0.0);
+  EXPECT_EQ(d.Prob(11), 0.0);
+}
+
+TEST(SparseDistTest, EntriesSortedById) {
+  SparseDist d = Dist({{9, 1.0}, {1, 1.0}, {5, 1.0}});
+  ASSERT_EQ(d.entries().size(), 3u);
+  EXPECT_EQ(d.entries()[0].first, 1u);
+  EXPECT_EQ(d.entries()[1].first, 5u);
+  EXPECT_EQ(d.entries()[2].first, 9u);
+}
+
+TEST(SparseDistTest, AllZeroWeightsYieldEmpty) {
+  SparseDist d = Dist({{1, 0.0}, {2, 0.0}});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.Sum(), 0.0);
+}
+
+TEST(SparseDistTest, FromDense) {
+  SparseDist d = SparseDist::FromDense({0.0, 3.0, 0.0, 1.0});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d.Prob(1), 0.75, 1e-12);
+  EXPECT_NEAR(d.Prob(3), 0.25, 1e-12);
+}
+
+TEST(SparseDistTest, ProbOutsideSupportIsZero) {
+  SparseDist d = Dist({{2, 1.0}});
+  EXPECT_EQ(d.Prob(0), 0.0);
+  EXPECT_EQ(d.Prob(1), 0.0);
+  EXPECT_EQ(d.Prob(3), 0.0);
+  EXPECT_NEAR(d.Prob(2), 1.0, 1e-12);
+}
+
+TEST(SparseDistTest, EntropyUniformIsLogN) {
+  SparseDist d = Dist({{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}});
+  EXPECT_NEAR(d.Entropy(), std::log(4.0), 1e-12);
+}
+
+TEST(SparseDistTest, EntropyPointMassIsZero) {
+  SparseDist d = Dist({{4, 1.0}});
+  EXPECT_NEAR(d.Entropy(), 0.0, 1e-12);
+}
+
+TEST(SparseDistTest, Mode) {
+  SparseDist d = Dist({{1, 0.2}, {2, 0.5}, {3, 0.3}});
+  EXPECT_EQ(d.Mode(), 2u);
+}
+
+// -------------------------------------------------- distance properties
+
+class DistanceTest : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(DistanceTest, IdenticalDistributionsHaveZeroDistance) {
+  SparseDist p = Dist({{1, 0.4}, {2, 0.6}});
+  EXPECT_NEAR(Distance(GetParam(), p, p), 0.0, 1e-9);
+}
+
+TEST_P(DistanceTest, Symmetric) {
+  SparseDist p = Dist({{1, 0.3}, {2, 0.7}});
+  SparseDist q = Dist({{1, 0.6}, {3, 0.4}});
+  EXPECT_NEAR(Distance(GetParam(), p, q), Distance(GetParam(), q, p), 1e-12);
+}
+
+TEST_P(DistanceTest, BoundedInUnitInterval) {
+  SparseDist dists[] = {
+      Dist({{1, 1.0}}),
+      Dist({{2, 1.0}}),
+      Dist({{1, 0.5}, {2, 0.5}}),
+      Dist({{1, 0.1}, {2, 0.2}, {3, 0.7}}),
+      Dist({{10, 0.9}, {20, 0.1}}),
+  };
+  for (const auto& p : dists) {
+    for (const auto& q : dists) {
+      double d = Distance(GetParam(), p, q);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(DistanceTest, DisjointSupportsAreMaximallyDistant) {
+  SparseDist p = Dist({{1, 0.5}, {2, 0.5}});
+  SparseDist q = Dist({{3, 0.5}, {4, 0.5}});
+  EXPECT_NEAR(Distance(GetParam(), p, q), 1.0, 1e-6);
+}
+
+TEST_P(DistanceTest, CloserDistributionIsCloser) {
+  SparseDist target = Dist({{1, 0.5}, {2, 0.5}});
+  SparseDist near = Dist({{1, 0.45}, {2, 0.55}});
+  SparseDist far = Dist({{1, 0.05}, {2, 0.95}});
+  EXPECT_LT(Distance(GetParam(), target, near),
+            Distance(GetParam(), target, far));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DistanceTest,
+    ::testing::Values(DistanceKind::kTotalVariation,
+                      DistanceKind::kJensenShannon, DistanceKind::kCosine,
+                      DistanceKind::kHellinger),
+    [](const ::testing::TestParamInfo<DistanceKind>& info) {
+      switch (info.param) {
+        case DistanceKind::kTotalVariation: return std::string("tv");
+        case DistanceKind::kJensenShannon: return std::string("js");
+        case DistanceKind::kCosine: return std::string("cos");
+        case DistanceKind::kHellinger: return std::string("hel");
+      }
+      return std::string("unknown");
+    });
+
+TEST(DistanceTest, TotalVariationKnownValue) {
+  SparseDist p = Dist({{1, 0.5}, {2, 0.5}});
+  SparseDist q = Dist({{1, 0.25}, {2, 0.75}});
+  EXPECT_NEAR(TotalVariation(p, q), 0.25, 1e-12);
+}
+
+TEST(DistanceTest, TotalVariationTriangleInequality) {
+  SparseDist a = Dist({{1, 0.8}, {2, 0.2}});
+  SparseDist b = Dist({{1, 0.5}, {2, 0.5}});
+  SparseDist c = Dist({{1, 0.1}, {3, 0.9}});
+  EXPECT_LE(TotalVariation(a, c),
+            TotalVariation(a, b) + TotalVariation(b, c) + 1e-12);
+}
+
+TEST(DistanceTest, JensenShannonBinaryKnownValue) {
+  // JS distance between a point mass and the uniform mix of two point
+  // masses: JSD(δ1, δ2) = ln2, so the normalized distance is 1.
+  SparseDist p = Dist({{1, 1.0}});
+  SparseDist q = Dist({{2, 1.0}});
+  EXPECT_NEAR(JensenShannonDistance(p, q), 1.0, 1e-9);
+}
+
+TEST(DistanceTest, CosineOrthogonalIsOne) {
+  SparseDist p = Dist({{1, 1.0}});
+  SparseDist q = Dist({{2, 1.0}});
+  EXPECT_NEAR(CosineDistance(p, q), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, HellingerPointMassesIsOne) {
+  SparseDist p = Dist({{1, 1.0}});
+  SparseDist q = Dist({{2, 1.0}});
+  EXPECT_NEAR(HellingerDistance(p, q), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, KlDivergenceZeroForIdentical) {
+  SparseDist p = Dist({{1, 0.4}, {2, 0.6}});
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-6);
+}
+
+TEST(DistanceTest, KlDivergenceAsymmetric) {
+  SparseDist p = Dist({{1, 0.9}, {2, 0.1}});
+  SparseDist q = Dist({{1, 0.1}, {2, 0.9}});
+  // Both positive; values differ in general but are symmetric here by
+  // construction, so use a support-asymmetric pair instead.
+  SparseDist r = Dist({{1, 1.0}});
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_NE(KlDivergence(p, r), KlDivergence(r, p));
+}
+
+TEST(DistanceTest, EmptyVsEmptyIsZero) {
+  SparseDist e;
+  for (DistanceKind k :
+       {DistanceKind::kTotalVariation, DistanceKind::kJensenShannon,
+        DistanceKind::kCosine, DistanceKind::kHellinger}) {
+    EXPECT_NEAR(Distance(k, e, e), 0.0, 1e-12) << DistanceKindName(k);
+  }
+}
+
+TEST(DistanceTest, EmptyVsNonEmptyIsMaximal) {
+  SparseDist e;
+  SparseDist p = Dist({{1, 1.0}});
+  EXPECT_NEAR(TotalVariation(e, p), 0.5, 1e-12);  // half the missing mass
+  EXPECT_NEAR(CosineDistance(e, p), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace itag

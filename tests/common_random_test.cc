@@ -1,0 +1,316 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace itag {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DistinctSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, DistinctStreamsDiverge) {
+  Rng a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(9);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double mean = 0.0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= kN;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  const int kN = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(31);
+  const int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+TEST(RngTest, PoissonMomentsSmallLambda) {
+  Rng rng(37);
+  const int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMomentsLargeLambda) {
+  Rng rng(41);
+  const int kN = 5000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.Poisson(100.0);
+  EXPECT_NEAR(sum / kN, 100.0, 1.5);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, GammaMoments) {
+  Rng rng(47);
+  const int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Gamma(2.0, 3.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 6.0, 0.2);  // mean = shape * scale
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(53);
+  const int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Gamma(0.3, 1.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(61);
+  std::vector<int> e;
+  rng.Shuffle(&e);
+  EXPECT_TRUE(e.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+// ------------------------------------------------------------ Zipf
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, GetParam());
+  double total = 0.0;
+  for (uint32_t k = 0; k < 100; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ZipfTest, PmfMonotoneNonincreasing) {
+  ZipfSampler z(50, GetParam());
+  for (uint32_t k = 1; k < 50; ++k) {
+    EXPECT_LE(z.Pmf(k), z.Pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST_P(ZipfTest, EmpiricalMatchesPmf) {
+  double s = GetParam();
+  ZipfSampler z(20, s);
+  Rng rng(71);
+  const int kN = 50000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kN; ++i) ++counts[z.Sample(&rng)];
+  for (uint32_t k = 0; k < 20; ++k) {
+    double expected = z.Pmf(k);
+    double got = static_cast<double>(counts[k]) / kN;
+    EXPECT_NEAR(got, expected, 0.015) << "rank " << k << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+TEST(ZipfTest, UniformWhenSZero) {
+  ZipfSampler z(10, 0.0);
+  for (uint32_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(73);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ Alias
+
+TEST(AliasTest, MatchesWeights) {
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler a(w);
+  Rng rng(79);
+  const int kN = 100000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kN; ++i) ++counts[a.Sample(&rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, w[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasTest, PmfNormalized) {
+  AliasSampler a({5.0, 0.0, 5.0, 10.0});
+  EXPECT_NEAR(a.Pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(a.Pmf(1), 0.0, 1e-12);
+  EXPECT_NEAR(a.Pmf(3), 0.5, 1e-12);
+}
+
+TEST(AliasTest, ZeroWeightNeverSampled) {
+  AliasSampler a({1.0, 0.0, 1.0});
+  Rng rng(83);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(a.Sample(&rng), 1u);
+  }
+}
+
+TEST(AliasTest, SingleCategory) {
+  AliasSampler a({3.0});
+  Rng rng(89);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Sample(&rng), 0u);
+}
+
+TEST(AliasTest, HighlySkewed) {
+  AliasSampler a({1000.0, 1.0});
+  Rng rng(97);
+  int rare = 0;
+  for (int i = 0; i < 100000; ++i) rare += a.Sample(&rng) == 1;
+  EXPECT_NEAR(rare / 100000.0, 1.0 / 1001.0, 0.002);
+}
+
+// ------------------------------------------------------------ Dirichlet
+
+TEST(DirichletTest, SumsToOneAndNonnegative) {
+  Rng rng(101);
+  std::vector<double> alpha = {0.5, 1.0, 2.0, 0.3};
+  std::vector<double> out;
+  for (int trial = 0; trial < 100; ++trial) {
+    SampleDirichlet(alpha, &rng, &out);
+    ASSERT_EQ(out.size(), 4u);
+    double sum = 0.0;
+    for (double v : out) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DirichletTest, MeanMatchesAlphaRatios) {
+  Rng rng(103);
+  std::vector<double> alpha = {1.0, 3.0};
+  std::vector<double> out;
+  double mean0 = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    SampleDirichlet(alpha, &rng, &out);
+    mean0 += out[0];
+  }
+  EXPECT_NEAR(mean0 / kN, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace itag

@@ -1,0 +1,128 @@
+#include "tagging/corpus_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dataset.h"
+
+namespace itag::tagging {
+namespace {
+
+Post OneTag(TagId t) {
+  Post p;
+  p.tags = {t};
+  return p;
+}
+
+std::unique_ptr<Corpus> CorpusWithCounts(const std::vector<uint32_t>& counts) {
+  auto c = std::make_unique<Corpus>();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    c->AddResource(ResourceKind::kWebUrl, "r" + std::to_string(i));
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (uint32_t k = 0; k < counts[i]; ++k) {
+      EXPECT_TRUE(c->AddPost(static_cast<ResourceId>(i),
+                             OneTag(static_cast<TagId>(i)))
+                      .ok());
+    }
+  }
+  return c;
+}
+
+TEST(CorpusStatsTest, GiniZeroForEvenCounts) {
+  auto c = CorpusWithCounts({4, 4, 4, 4});
+  CorpusStats stats(c.get());
+  EXPECT_NEAR(stats.PostCountGini(), 0.0, 1e-12);
+}
+
+TEST(CorpusStatsTest, GiniHighForConcentratedCounts) {
+  auto c = CorpusWithCounts({0, 0, 0, 0, 0, 0, 0, 0, 0, 100});
+  CorpusStats stats(c.get());
+  EXPECT_GT(stats.PostCountGini(), 0.85);
+}
+
+TEST(CorpusStatsTest, GiniKnownTwoPointValue) {
+  // counts {0, 2}: mean 1, Gini = 0.5 for two points (x1=0,x2=2).
+  auto c = CorpusWithCounts({0, 2});
+  CorpusStats stats(c.get());
+  EXPECT_NEAR(stats.PostCountGini(), 0.5, 1e-12);
+}
+
+TEST(CorpusStatsTest, GiniEmptyAndZeroCorpus) {
+  Corpus empty;
+  EXPECT_EQ(CorpusStats(&empty).PostCountGini(), 0.0);
+  auto zero = CorpusWithCounts({0, 0, 0});
+  EXPECT_EQ(CorpusStats(zero.get()).PostCountGini(), 0.0);
+}
+
+TEST(CorpusStatsTest, TopShare) {
+  auto c = CorpusWithCounts({1, 1, 1, 1, 1, 1, 1, 1, 1, 91});
+  CorpusStats stats(c.get());
+  EXPECT_NEAR(stats.TopShare(0.1), 0.91, 1e-12);
+  EXPECT_NEAR(stats.TopShare(1.0), 1.0, 1e-12);
+}
+
+TEST(CorpusStatsTest, UnderTaggedAndMedianAndMax) {
+  auto c = CorpusWithCounts({0, 1, 2, 3, 10});
+  CorpusStats stats(c.get());
+  EXPECT_EQ(stats.UnderTaggedCount(2), 2u);   // 0 and 1
+  EXPECT_EQ(stats.UnderTaggedCount(100), 5u);
+  EXPECT_EQ(stats.MedianPosts(), 2u);
+  EXPECT_EQ(stats.MaxPosts(), 10u);
+}
+
+TEST(CorpusStatsTest, DistinctTagsInUse) {
+  auto c = std::make_unique<Corpus>();
+  c->AddResource(ResourceKind::kWebUrl, "a");
+  c->AddResource(ResourceKind::kWebUrl, "b");
+  ASSERT_TRUE(c->AddPost(0, OneTag(7)).ok());
+  ASSERT_TRUE(c->AddPost(1, OneTag(7)).ok());  // shared tag counts once
+  ASSERT_TRUE(c->AddPost(1, OneTag(9)).ok());
+  CorpusStats stats(c.get());
+  EXPECT_EQ(stats.DistinctTagsInUse(), 2u);
+}
+
+TEST(CorpusStatsTest, MeanRfdEntropy) {
+  auto c = std::make_unique<Corpus>();
+  c->AddResource(ResourceKind::kWebUrl, "point-mass");
+  c->AddResource(ResourceKind::kWebUrl, "uniform-2");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c->AddPost(0, OneTag(1)).ok());
+  }
+  ASSERT_TRUE(c->AddPost(1, OneTag(2)).ok());
+  ASSERT_TRUE(c->AddPost(1, OneTag(3)).ok());
+  CorpusStats stats(c.get());
+  // Resource 0: entropy 0; resource 1: ln 2. Mean = ln2 / 2.
+  EXPECT_NEAR(stats.MeanRfdEntropy(), std::log(2.0) / 2.0, 1e-9);
+}
+
+TEST(CorpusStatsTest, HistogramBuckets) {
+  auto c = CorpusWithCounts({0, 0, 3, 7, 30, 150});
+  CorpusStats stats(c.get());
+  std::vector<size_t> h = stats.PostCountHistogram({1, 5, 20, 100});
+  // [0,1): 2, [1,5): 1 (the 3), [5,20): 1 (the 7), [20,100): 1 (30),
+  // [100,inf): 1 (150).
+  EXPECT_EQ(h, (std::vector<size_t>{2, 1, 1, 1, 1}));
+}
+
+TEST(CorpusStatsTest, SyntheticDeliciousMatchesPaperPremise) {
+  // §I: "most tags are added to the few highly-popular resources, while
+  // most of the resources receive few tags" — the generated workload must
+  // exhibit that skew, quantified.
+  sim::DeliciousConfig cfg;
+  cfg.num_resources = 300;
+  cfg.initial_posts = 3000;
+  cfg.popularity_zipf_s = 1.1;
+  cfg.seed = 606;
+  sim::SyntheticWorkload wl = sim::GenerateDelicious(cfg);
+  CorpusStats stats(wl.corpus.get());
+  EXPECT_GT(stats.PostCountGini(), 0.5);
+  EXPECT_GT(stats.TopShare(0.1), 0.4);
+  EXPECT_GT(stats.UnderTaggedCount(5),
+            wl.corpus->size() / 4);
+  EXPECT_GT(stats.MaxPosts(), 10u * stats.MedianPosts());
+}
+
+}  // namespace
+}  // namespace itag::tagging

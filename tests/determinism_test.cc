@@ -1,0 +1,197 @@
+// Determinism and conservation properties across the whole stack: every
+// stochastic component is seed-driven, so equal seeds must give bit-equal
+// outcomes, and budgets must be conserved under any interleaving of
+// promotions, stops, switches, and refunds.
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+#include "sim/driver.h"
+#include "strategy/engine.h"
+
+namespace itag {
+namespace {
+
+using sim::DeliciousConfig;
+using sim::GenerateDelicious;
+using sim::RunDirect;
+using sim::RunOptions;
+using sim::RunResult;
+using sim::SyntheticWorkload;
+using strategy::StrategyKind;
+
+DeliciousConfig Cfg(uint64_t seed) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 60;
+  cfg.vocab_size = 400;
+  cfg.initial_posts = 250;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  RunResult results[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    SyntheticWorkload wl = GenerateDelicious(Cfg(404));
+    RunOptions opts;
+    opts.budget = 200;
+    opts.sample_every = 50;
+    opts.seed = 777;
+    results[trial] =
+        RunDirect(&wl, strategy::MakeStrategy(GetParam()), opts);
+  }
+  EXPECT_EQ(results[0].assignment, results[1].assignment);
+  ASSERT_EQ(results[0].series.size(), results[1].series.size());
+  for (size_t i = 0; i < results[0].series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[0].series[i].q_truth,
+                     results[1].series[i].q_truth);
+    EXPECT_DOUBLE_EQ(results[0].series[i].q_stability,
+                     results[1].series[i].q_stability);
+  }
+  EXPECT_DOUBLE_EQ(results[0].final_q_truth, results[1].final_q_truth);
+}
+
+TEST_P(DeterminismTest, DifferentEngineSeedsOnlyAffectStochasticStrategies) {
+  RunResult a, b;
+  {
+    SyntheticWorkload wl = GenerateDelicious(Cfg(405));
+    RunOptions opts;
+    opts.budget = 150;
+    opts.sample_every = 150;
+    opts.seed = 1;
+    a = RunDirect(&wl, strategy::MakeStrategy(GetParam()), opts);
+  }
+  {
+    SyntheticWorkload wl = GenerateDelicious(Cfg(405));
+    RunOptions opts;
+    opts.budget = 150;
+    opts.sample_every = 150;
+    opts.seed = 2;
+    b = RunDirect(&wl, strategy::MakeStrategy(GetParam()), opts);
+  }
+  bool deterministic_strategy =
+      GetParam() == StrategyKind::kFewestPostsFirst ||
+      GetParam() == StrategyKind::kRoundRobin;
+  if (deterministic_strategy) {
+    // FP/RR choices ignore the RNG; only post *content* changes (the
+    // driver's tagger RNG is derived from the seed), so the assignment
+    // may differ slightly once instability feedback kicks in — but FP's
+    // count-based keying is content-independent, so assignments match.
+    EXPECT_EQ(a.assignment, b.assignment);
+  } else {
+    // Stochastic strategies should explore differently.
+    EXPECT_NE(a.assignment, b.assignment);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DeterminismTest,
+    ::testing::Values(StrategyKind::kFreeChoice,
+                      StrategyKind::kFewestPostsFirst,
+                      StrategyKind::kRandom, StrategyKind::kRoundRobin),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      std::string name = strategy::StrategyKindName(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ConservationTest, BudgetConservedUnderChaoticControls) {
+  // Interleave promotions, stops, resumes, switches, refunds and top-ups;
+  // the invariant: tasks_assigned + budget_remaining == total granted.
+  SyntheticWorkload wl = GenerateDelicious(Cfg(999));
+  strategy::EngineOptions eopts;
+  eopts.budget = 300;
+  eopts.seed = 5;
+  strategy::AllocationEngine engine(
+      wl.corpus.get(),
+      strategy::MakeStrategy(StrategyKind::kHybridFpMu), eopts);
+  Rng rng(12);
+  uint32_t granted = 300;
+  int completed = 0;
+  for (int step = 0; step < 2000; ++step) {
+    switch (rng.Uniform(10)) {
+      case 0:
+        (void)engine.Promote(rng.Uniform(60));
+        break;
+      case 1:
+        (void)engine.SetStopped(rng.Uniform(60), true);
+        break;
+      case 2:
+        (void)engine.SetStopped(rng.Uniform(60), false);
+        break;
+      case 3:
+        if (rng.Bernoulli(0.1)) {
+          engine.SwitchStrategy(strategy::MakeStrategy(
+              rng.Bernoulli(0.5) ? StrategyKind::kMostUnstableFirst
+                                 : StrategyKind::kFreeChoice));
+        }
+        break;
+      case 4:
+        if (rng.Bernoulli(0.05)) {
+          engine.AddBudget(3);
+          granted += 3;
+        }
+        break;
+      default: {
+        auto chosen = engine.ChooseNext();
+        if (!chosen.ok()) break;
+        auto gp = wl.tagger->Generate(chosen.value(), 0.9, step, 1, &rng);
+        ASSERT_TRUE(wl.corpus->AddPost(chosen.value(), gp.post).ok());
+        engine.NotifyPost(chosen.value());
+        ++completed;
+        break;
+      }
+    }
+    ASSERT_EQ(engine.tasks_assigned() + engine.budget_remaining(), granted);
+  }
+  uint32_t assigned_sum = 0;
+  for (uint32_t x : engine.assignment()) assigned_sum += x;
+  EXPECT_EQ(assigned_sum, engine.tasks_assigned());
+  EXPECT_EQ(static_cast<int>(assigned_sum), completed);
+}
+
+TEST(ConservationTest, StoppedResourcesReceiveNothingEver) {
+  SyntheticWorkload wl = GenerateDelicious(Cfg(1001));
+  strategy::EngineOptions eopts;
+  eopts.budget = 400;
+  eopts.seed = 5;
+  strategy::AllocationEngine engine(
+      wl.corpus.get(), strategy::MakeStrategy(StrategyKind::kFreeChoice),
+      eopts);
+  // Stop the first 10 resources before any task flows.
+  for (tagging::ResourceId r = 0; r < 10; ++r) {
+    ASSERT_TRUE(engine.SetStopped(r, true).ok());
+  }
+  Rng rng(3);
+  for (int step = 0; step < 400; ++step) {
+    auto chosen = engine.ChooseNext();
+    ASSERT_TRUE(chosen.ok());
+    ASSERT_GE(chosen.value(), 10u);
+    auto gp = wl.tagger->Generate(chosen.value(), 0.9, step, 1, &rng);
+    ASSERT_TRUE(wl.corpus->AddPost(chosen.value(), gp.post).ok());
+    engine.NotifyPost(chosen.value());
+  }
+  for (tagging::ResourceId r = 0; r < 10; ++r) {
+    EXPECT_EQ(engine.assignment()[r], 0u);
+  }
+}
+
+TEST(ConservationTest, WorkloadGenerationIsPure) {
+  // GenerateDelicious must not leak state between calls: interleaving an
+  // unrelated generation must not change a later one.
+  SyntheticWorkload a1 = GenerateDelicious(Cfg(31415));
+  (void)GenerateDelicious(Cfg(999));  // unrelated
+  SyntheticWorkload a2 = GenerateDelicious(Cfg(31415));
+  ASSERT_EQ(a1.corpus->size(), a2.corpus->size());
+  for (tagging::ResourceId r = 0; r < a1.corpus->size(); ++r) {
+    EXPECT_EQ(a1.corpus->PostCount(r), a2.corpus->PostCount(r));
+  }
+  EXPECT_EQ(a1.popularity, a2.popularity);
+}
+
+}  // namespace
+}  // namespace itag

@@ -1,0 +1,349 @@
+#include "itag/itag_system.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace itag::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+using strategy::StrategyKind;
+using tagging::ResourceKind;
+
+ProjectSpec AudienceSpec(const std::string& name, uint32_t budget = 20) {
+  ProjectSpec spec;
+  spec.name = name;
+  spec.budget = budget;
+  spec.pay_cents = 4;
+  spec.platform = PlatformChoice::kAudience;
+  spec.strategy = StrategyKind::kFewestPostsFirst;
+  return spec;
+}
+
+class ITagSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<ITagSystem>();
+    ASSERT_TRUE(system_->Init().ok());
+    provider_ = system_->RegisterProvider("prof-chen").value();
+  }
+
+  ProjectId MakeStartedProject(uint32_t budget = 20, size_t resources = 3) {
+    ProjectId p =
+        system_->CreateProject(provider_, AudienceSpec("proj", budget))
+            .value();
+    for (size_t i = 0; i < resources; ++i) {
+      auto r = system_->UploadResource(p, ResourceKind::kWebUrl,
+                                       "http://r/" + std::to_string(i), "");
+      EXPECT_TRUE(r.ok());
+    }
+    EXPECT_TRUE(system_->StartProject(p).ok());
+    return p;
+  }
+
+  std::unique_ptr<ITagSystem> system_;
+  ProviderId provider_;
+};
+
+TEST_F(ITagSystemTest, RegistrationAndProfiles) {
+  auto t = system_->RegisterTagger("bob");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(system_->GetTagger(t.value()).value().name, "bob");
+  EXPECT_EQ(system_->GetProvider(provider_).value().name, "prof-chen");
+  EXPECT_TRUE(system_->GetProvider(999).status().IsNotFound());
+  EXPECT_TRUE(system_->GetTagger(999).status().IsNotFound());
+}
+
+TEST_F(ITagSystemTest, CreateProjectValidation) {
+  EXPECT_TRUE(
+      system_->CreateProject(999, AudienceSpec("x")).status().IsNotFound());
+  ProjectSpec zero = AudienceSpec("x");
+  zero.budget = 0;
+  EXPECT_TRUE(system_->CreateProject(provider_, zero)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ITagSystemTest, ProjectLifecycle) {
+  ProjectId p =
+      system_->CreateProject(provider_, AudienceSpec("life")).value();
+  // Cannot start with no resources.
+  EXPECT_TRUE(system_->StartProject(p).IsFailedPrecondition());
+  ASSERT_TRUE(
+      system_->UploadResource(p, ResourceKind::kImage, "a.jpg", "").ok());
+  ASSERT_TRUE(system_->StartProject(p).ok());
+  EXPECT_EQ(system_->GetProjectInfo(p).value().state, ProjectState::kRunning);
+  EXPECT_TRUE(system_->StartProject(p).IsFailedPrecondition());
+  ASSERT_TRUE(system_->PauseProject(p).ok());
+  EXPECT_EQ(system_->GetProjectInfo(p).value().state, ProjectState::kPaused);
+  ASSERT_TRUE(system_->StartProject(p).ok());  // resume
+  ASSERT_TRUE(system_->StopProject(p).ok());
+  EXPECT_EQ(system_->GetProjectInfo(p).value().state, ProjectState::kStopped);
+  EXPECT_TRUE(system_->StartProject(p).IsFailedPrecondition());
+}
+
+TEST_F(ITagSystemTest, ImportPostSeedsStatistics) {
+  ProjectId p =
+      system_->CreateProject(provider_, AudienceSpec("imports")).value();
+  auto r = system_->UploadResource(p, ResourceKind::kWebUrl, "u", "").value();
+  ASSERT_TRUE(
+      system_->ImportPost(p, r, {"Machine Learning", "AI", "ai "}).ok());
+  auto detail_status = system_->GetResourceDetail(p, r);
+  // Project not started yet: detail still works through the corpus.
+  ASSERT_TRUE(detail_status.ok());
+  EXPECT_EQ(detail_status.value().posts, 1u);
+  // "AI" and "ai " normalize to the same tag: post has 2 unique tags.
+  bool saw_ml = false;
+  for (const auto& tf : detail_status.value().top_tags) {
+    saw_ml |= tf.tag == "machine-learning";
+  }
+  EXPECT_TRUE(saw_ml);
+}
+
+TEST_F(ITagSystemTest, AudienceTaggingEndToEnd) {
+  ProjectId p = MakeStartedProject(/*budget=*/10);
+  UserTaggerId alice = system_->RegisterTagger("alice").value();
+
+  // Fig. 7: open projects are listed with pay.
+  auto open = system_->ListOpenProjects();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].id, p);
+
+  // Fig. 8: accept -> submit -> provider approves -> paid.
+  AcceptedTask task = system_->AcceptTask(alice, p).value();
+  EXPECT_EQ(task.pay_cents, 4u);
+  ASSERT_TRUE(
+      system_->SubmitTags(alice, task.handle, {"tag one", "tagtwo"}).ok());
+
+  auto pending = system_->PendingApprovals(p);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].tagger, alice);
+  ASSERT_TRUE(system_->Decide(provider_, pending[0].handle, true).ok());
+
+  // Tagger got credited, both approval rates updated, post landed.
+  TaggerProfile prof = system_->GetTagger(alice).value();
+  EXPECT_EQ(prof.approved, 1u);
+  EXPECT_EQ(prof.earned_cents, 4u);
+  EXPECT_EQ(system_->GetProvider(provider_).value().approvals_given, 1u);
+  EXPECT_EQ(system_->GetProjectInfo(p).value().tasks_completed, 1u);
+  EXPECT_EQ(system_->ledger().WorkerEarnings(
+                static_cast<crowd::WorkerId>(alice)),
+            4u);
+}
+
+TEST_F(ITagSystemTest, RejectionRefundsBudget) {
+  ProjectId p = MakeStartedProject(/*budget=*/5);
+  UserTaggerId spammer = system_->RegisterTagger("spammer").value();
+  AcceptedTask task = system_->AcceptTask(spammer, p).value();
+  EXPECT_EQ(system_->GetProjectInfo(p).value().budget_remaining, 4u);
+  ASSERT_TRUE(system_->SubmitTags(spammer, task.handle, {"junk"}).ok());
+  auto pending = system_->PendingApprovals(p);
+  ASSERT_EQ(pending.size(), 1u);
+  ASSERT_TRUE(system_->Decide(provider_, pending[0].handle, false).ok());
+  // Refund restores the debited task.
+  EXPECT_EQ(system_->GetProjectInfo(p).value().budget_remaining, 5u);
+  TaggerProfile prof = system_->GetTagger(spammer).value();
+  EXPECT_EQ(prof.rejected, 1u);
+  EXPECT_EQ(prof.earned_cents, 0u);
+  EXPECT_NEAR(prof.ApprovalRate(), 0.0, 1e-12);
+}
+
+TEST_F(ITagSystemTest, SubmitValidation) {
+  ProjectId p = MakeStartedProject();
+  UserTaggerId a = system_->RegisterTagger("a").value();
+  UserTaggerId b = system_->RegisterTagger("b").value();
+  AcceptedTask task = system_->AcceptTask(a, p).value();
+  // Another tagger cannot submit someone else's task.
+  EXPECT_TRUE(system_->SubmitTags(b, task.handle, {"x"})
+                  .IsFailedPrecondition());
+  // Empty/blank tags rejected.
+  EXPECT_TRUE(
+      system_->SubmitTags(a, task.handle, {"  "}).IsInvalidArgument());
+  // Unknown handle.
+  EXPECT_TRUE(system_->SubmitTags(a, 9999, {"x"}).IsNotFound());
+}
+
+TEST_F(ITagSystemTest, DecideValidation) {
+  ProjectId p = MakeStartedProject();
+  UserTaggerId a = system_->RegisterTagger("a").value();
+  AcceptedTask task = system_->AcceptTask(a, p).value();
+  ASSERT_TRUE(system_->SubmitTags(a, task.handle, {"x"}).ok());
+  ProviderId other = system_->RegisterProvider("intruder").value();
+  EXPECT_TRUE(
+      system_->Decide(other, task.handle, true).IsFailedPrecondition());
+  EXPECT_TRUE(system_->Decide(provider_, 424242, true).IsNotFound());
+}
+
+TEST_F(ITagSystemTest, PromoteAndStopThroughFacade) {
+  ProjectId p = MakeStartedProject(/*budget=*/10, /*resources=*/3);
+  UserTaggerId a = system_->RegisterTagger("a").value();
+  // Give resource 0 several posts so FP prefers others, then promote it.
+  ASSERT_TRUE(system_->ImportPost(p, 0, {"t1"}).ok());
+  ASSERT_TRUE(system_->ImportPost(p, 0, {"t2"}).ok());
+  ASSERT_TRUE(system_->PromoteResource(p, 0).ok());
+  AcceptedTask task = system_->AcceptTask(a, p).value();
+  EXPECT_EQ(task.resource, 0u);
+
+  // Stop resource 1: it is never assigned again.
+  ASSERT_TRUE(system_->StopResource(p, 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    AcceptedTask t = system_->AcceptTask(a, p).value();
+    EXPECT_NE(t.resource, 1u);
+  }
+  // Resume re-admits it.
+  ASSERT_TRUE(system_->ResumeResource(p, 1).ok());
+}
+
+TEST_F(ITagSystemTest, SwitchStrategyAndRecommend) {
+  ProjectId p = MakeStartedProject();
+  ASSERT_TRUE(
+      system_->SwitchStrategy(p, StrategyKind::kMostUnstableFirst).ok());
+  // Fresh project with under-posted resources recommends FP-MU.
+  EXPECT_EQ(system_->RecommendStrategy(p).value(),
+            StrategyKind::kHybridFpMu);
+}
+
+TEST_F(ITagSystemTest, QualityFeedAndNotifications) {
+  ProjectId p = MakeStartedProject(/*budget=*/30, /*resources=*/1);
+  UserTaggerId a = system_->RegisterTagger("a").value();
+  size_t feed_before = system_->QualityFeed(p).size();
+  for (int i = 0; i < 8; ++i) {
+    AcceptedTask task = system_->AcceptTask(a, p).value();
+    ASSERT_TRUE(system_->SubmitTags(a, task.handle, {"same-tag"}).ok());
+    auto pending = system_->PendingApprovals(p);
+    ASSERT_EQ(pending.size(), 1u);
+    ASSERT_TRUE(system_->Decide(provider_, pending[0].handle, true).ok());
+  }
+  EXPECT_GT(system_->QualityFeed(p).size(), feed_before);
+  // Identical tags stabilize the rfd: quality notification must fire.
+  auto notes = system_->LatestNotifications(provider_, 100);
+  bool improved = false, fresh_tagging = false;
+  for (const auto& n : notes) {
+    improved |= n.kind == NotificationKind::kQualityImproved;
+    fresh_tagging |= n.kind == NotificationKind::kNewTagging;
+  }
+  EXPECT_TRUE(improved);
+  EXPECT_TRUE(fresh_tagging);
+}
+
+TEST_F(ITagSystemTest, BudgetExhaustionStopsAssignment) {
+  ProjectId p = MakeStartedProject(/*budget=*/2, /*resources=*/2);
+  UserTaggerId a = system_->RegisterTagger("a").value();
+  ASSERT_TRUE(system_->AcceptTask(a, p).ok());
+  ASSERT_TRUE(system_->AcceptTask(a, p).ok());
+  auto exhausted = system_->AcceptTask(a, p);
+  EXPECT_TRUE(exhausted.status().IsResourceExhausted());
+  // Budget top-up reopens the tap (Fig. 3 "add budget").
+  ASSERT_TRUE(system_->AddBudget(p, 1).ok());
+  EXPECT_TRUE(system_->AcceptTask(a, p).ok());
+}
+
+TEST_F(ITagSystemTest, MTurkProjectRunsViaStep) {
+  ProjectSpec spec = AudienceSpec("crowd-run", /*budget=*/30);
+  spec.platform = PlatformChoice::kMTurk;
+  ProjectId p = system_->CreateProject(provider_, spec).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(system_
+                    ->UploadResource(p, ResourceKind::kWebUrl,
+                                     "http://r/" + std::to_string(i), "")
+                    .ok());
+  }
+  ASSERT_TRUE(system_->StartProject(p).ok());
+  ASSERT_TRUE(system_->Step(2500).ok());
+  ProjectInfo info = system_->GetProjectInfo(p).value();
+  EXPECT_GT(info.tasks_completed, 10u);
+  // Default policy approves everything: payments flowed via the ledger.
+  EXPECT_GT(system_->ledger().ProjectSpend(p), 0u);
+}
+
+TEST_F(ITagSystemTest, SocialProjectRunsViaStep) {
+  ProjectSpec spec = AudienceSpec("social-run", /*budget=*/20);
+  spec.platform = PlatformChoice::kSocialNetwork;
+  ProjectId p = system_->CreateProject(provider_, spec).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(system_
+                    ->UploadResource(p, ResourceKind::kImage,
+                                     "img" + std::to_string(i), "")
+                    .ok());
+  }
+  ASSERT_TRUE(system_->StartProject(p).ok());
+  ASSERT_TRUE(system_->Step(4000).ok());
+  EXPECT_GT(system_->GetProjectInfo(p).value().tasks_completed, 0u);
+}
+
+TEST_F(ITagSystemTest, ApprovalPolicyFiltersCarelessWork) {
+  ProjectSpec spec = AudienceSpec("moderated", /*budget=*/40);
+  spec.platform = PlatformChoice::kMTurk;
+  ProjectId p = system_->CreateProject(provider_, spec).value();
+  ASSERT_TRUE(
+      system_->UploadResource(p, ResourceKind::kWebUrl, "u", "").ok());
+  // Reject everything: tasks bounce forever, none complete, provider's
+  // approval rate collapses.
+  system_->SetApprovalPolicy(provider_,
+                             [](const PendingSubmission&) { return false; });
+  ASSERT_TRUE(system_->StartProject(p).ok());
+  ASSERT_TRUE(system_->Step(600).ok());
+  EXPECT_EQ(system_->GetProjectInfo(p).value().tasks_completed, 0u);
+  EXPECT_LT(system_->GetProvider(provider_).value().ApprovalRate(), 0.5);
+}
+
+TEST_F(ITagSystemTest, ExportProducesCsv) {
+  ProjectId p = MakeStartedProject(/*budget=*/10, /*resources=*/2);
+  ASSERT_TRUE(system_->ImportPost(p, 0, {"alpha", "beta"}).ok());
+  std::string path = "/tmp/itag_system_export_test.csv";
+  auto rows = system_->ExportProject(p, path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GE(rows.value(), 2u);
+  EXPECT_TRUE(fs::exists(path));
+  fs::remove(path);
+}
+
+TEST_F(ITagSystemTest, ProjectListingSortsByQuality) {
+  ProjectId low = MakeStartedProject(/*budget=*/10, /*resources=*/1);
+  ProjectId high = MakeStartedProject(/*budget=*/10, /*resources=*/1);
+  // Stabilize `high` with identical imported posts.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(system_->ImportPost(high, 0, {"stable"}).ok());
+  }
+  auto list = system_->ListProjects(provider_);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].id, high);
+  EXPECT_EQ(list[1].id, low);
+  EXPECT_GE(list[0].quality, list[1].quality);
+}
+
+TEST(ITagSystemDurabilityTest, StateSurvivesRestart) {
+  std::string dir =
+      (fs::temp_directory_path() / "itag_system_durability").string();
+  fs::remove_all(dir);
+  ITagSystemOptions opts;
+  opts.db.directory = dir;
+  ProviderId provider;
+  {
+    ITagSystem system(opts);
+    ASSERT_TRUE(system.Init().ok());
+    provider = system.RegisterProvider("persistent-pat").value();
+    UserTaggerId t = system.RegisterTagger("tess").value();
+    ASSERT_TRUE(system.user_manager()
+                    .RecordDecision(provider, t, true, 7)
+                    .ok());
+    ASSERT_TRUE(system.database().Checkpoint().ok());
+  }
+  {
+    ITagSystem system(opts);
+    ASSERT_TRUE(system.Init().ok());
+    // Users and their approval stats reload from storage.
+    EXPECT_EQ(system.GetProvider(provider).value().name, "persistent-pat");
+    EXPECT_EQ(system.GetProvider(provider).value().approvals_given, 1u);
+    auto taggers = system.user_manager().QualifiedTaggers(0.5, 1);
+    ASSERT_EQ(taggers.size(), 1u);
+    EXPECT_EQ(taggers[0].name, "tess");
+    EXPECT_EQ(taggers[0].earned_cents, 7u);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace itag::core

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crowd/mturk_sim.h"
+#include "sim/dataset.h"
+#include "sim/driver.h"
+#include "sim/tagger_model.h"
+
+namespace itag::sim {
+namespace {
+
+using tagging::ResourceId;
+using tagging::TagId;
+
+// --------------------------------------------------------- tagger model
+
+class TaggerModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two resources: θ0 concentrated on tags {0,1}, θ1 on {2,3}.
+    truth_.push_back(SparseDist::FromWeights({{0, 0.7}, {1, 0.3}}));
+    truth_.push_back(SparseDist::FromWeights({{2, 0.5}, {3, 0.5}}));
+    for (int t = 0; t < 10; ++t) {
+      dict_.Intern("tag-" + std::to_string(t));
+    }
+    noise_weights_.assign(10, 0.1);
+  }
+
+  TaggerModel MakeModel(TaggerModelOptions opts = {}) {
+    return TaggerModel(&truth_, noise_weights_, &dict_, opts);
+  }
+
+  std::vector<SparseDist> truth_;
+  tagging::TagDictionary dict_;
+  std::vector<double> noise_weights_;
+};
+
+TEST_F(TaggerModelTest, PostsAreNonemptyWithUniqueTags) {
+  TaggerModel model = MakeModel();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    GeneratedPost gp = model.Generate(0, 0.9, i, 1, &rng);
+    ASSERT_FALSE(gp.post.tags.empty());
+    std::set<TagId> unique(gp.post.tags.begin(), gp.post.tags.end());
+    EXPECT_EQ(unique.size(), gp.post.tags.size());
+  }
+}
+
+TEST_F(TaggerModelTest, ReliableTaggersStayTopical) {
+  TaggerModelOptions opts;
+  opts.noise_rate = 0.0;
+  opts.typo_rate = 0.0;
+  TaggerModel model = MakeModel(opts);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    GeneratedPost gp = model.Generate(0, 1.0, i, 1, &rng);
+    EXPECT_TRUE(gp.conscientious);
+    for (TagId t : gp.post.tags) {
+      EXPECT_TRUE(t == 0 || t == 1) << "off-topic tag " << t;
+    }
+  }
+}
+
+TEST_F(TaggerModelTest, TopicalFrequenciesMatchTheta) {
+  TaggerModelOptions opts;
+  opts.noise_rate = 0.0;
+  opts.typo_rate = 0.0;
+  opts.mean_tags_per_post = 1.0;  // exactly one tag per post
+  TaggerModel model = MakeModel(opts);
+  Rng rng(3);
+  int tag0 = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    GeneratedPost gp = model.Generate(0, 1.0, i, 1, &rng);
+    ASSERT_EQ(gp.post.tags.size(), 1u);
+    tag0 += gp.post.tags[0] == 0;
+    ++total;
+  }
+  EXPECT_NEAR(tag0 / static_cast<double>(total), 0.7, 0.02);
+}
+
+TEST_F(TaggerModelTest, CarelessWorkersProduceOffTopicTags) {
+  TaggerModelOptions opts;
+  opts.noise_rate = 0.0;
+  opts.careless_noise_rate = 1.0;
+  opts.typo_rate = 0.0;
+  TaggerModel model = MakeModel(opts);
+  Rng rng(4);
+  // reliability 0 => never conscientious => all tags from the noise pool.
+  int off_topic = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    GeneratedPost gp = model.Generate(0, 0.0, i, 1, &rng);
+    EXPECT_FALSE(gp.conscientious);
+    for (TagId t : gp.post.tags) {
+      ++total;
+      off_topic += !(t == 0 || t == 1);
+    }
+  }
+  // The noise pool is uniform over 10 tags, 8 of which are off-topic.
+  EXPECT_NEAR(off_topic / static_cast<double>(total), 0.8, 0.06);
+}
+
+TEST_F(TaggerModelTest, TyposGrowTheDictionary) {
+  TaggerModelOptions opts;
+  opts.typo_rate = 0.5;
+  TaggerModel model = MakeModel(opts);
+  Rng rng(5);
+  size_t before = dict_.size();
+  for (int i = 0; i < 200; ++i) {
+    model.Generate(0, 1.0, i, 1, &rng);
+  }
+  EXPECT_GT(dict_.size(), before) << "typos must mint new tags";
+}
+
+TEST_F(TaggerModelTest, MeanTagsPerPostHonoured) {
+  TaggerModelOptions opts;
+  opts.mean_tags_per_post = 4.0;
+  opts.noise_rate = 0.0;
+  opts.typo_rate = 0.0;
+  // Use a wide θ so dedup rarely shrinks the post.
+  truth_[0] = SparseDist::FromWeights({{0, 1.0}, {1, 1.0}, {2, 1.0},
+                                       {3, 1.0}, {4, 1.0}, {5, 1.0},
+                                       {6, 1.0}, {7, 1.0}, {8, 1.0},
+                                       {9, 1.0}});
+  TaggerModel model = MakeModel(opts);
+  Rng rng(6);
+  double total = 0.0;
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    total += model.Generate(0, 1.0, i, 1, &rng).post.tags.size();
+  }
+  // Draw count is 1 + Poisson(3); dedup over a 10-tag θ trims the expected
+  // distinct count to 10(1 - 0.9 e^{-0.3}) ≈ 3.33.
+  EXPECT_NEAR(total / kN, 3.33, 0.25);
+}
+
+// --------------------------------------------------------- dataset
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 50;
+  cfg.vocab_size = 200;
+  cfg.initial_posts = 300;
+  cfg.seed = 99;
+  SyntheticWorkload a = GenerateDelicious(cfg);
+  SyntheticWorkload b = GenerateDelicious(cfg);
+  ASSERT_EQ(a.corpus->size(), b.corpus->size());
+  for (ResourceId r = 0; r < a.corpus->size(); ++r) {
+    EXPECT_EQ(a.corpus->PostCount(r), b.corpus->PostCount(r));
+    ASSERT_EQ(a.truth[r].size(), b.truth[r].size());
+    for (size_t i = 0; i < a.truth[r].entries().size(); ++i) {
+      EXPECT_EQ(a.truth[r].entries()[i].first, b.truth[r].entries()[i].first);
+      EXPECT_DOUBLE_EQ(a.truth[r].entries()[i].second,
+                       b.truth[r].entries()[i].second);
+    }
+  }
+}
+
+TEST(DatasetTest, TruthDistributionsWellFormed) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 80;
+  cfg.seed = 7;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  ASSERT_EQ(wl.truth.size(), 80u);
+  for (const SparseDist& theta : wl.truth) {
+    ASSERT_FALSE(theta.empty());
+    EXPECT_NEAR(theta.Sum(), 1.0, 1e-9);
+    EXPECT_GE(theta.size(), cfg.min_topical_tags);
+    EXPECT_LE(theta.size(), cfg.max_topical_tags);
+  }
+}
+
+TEST(DatasetTest, InitialPostsSumToConfig) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 60;
+  cfg.initial_posts = 500;
+  cfg.seed = 13;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  EXPECT_EQ(wl.corpus->TotalPosts(), 500u);
+}
+
+TEST(DatasetTest, PopularitySkewsInitialPosts) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 200;
+  cfg.initial_posts = 4000;
+  cfg.popularity_zipf_s = 1.2;
+  cfg.seed = 21;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  // The paper's premise: most posts concentrate on few resources while many
+  // resources stay under-tagged. Check: the top decile of resources by
+  // popularity holds the majority of posts, and a large share of resources
+  // has fewer than 5 posts.
+  std::vector<uint32_t> counts = wl.initial_posts;
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t top_decile = 0, total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < counts.size() / 10) top_decile += counts[i];
+    total += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top_decile) / total, 0.4);
+  size_t under_tagged = 0;
+  for (uint32_t c : wl.initial_posts) under_tagged += c < 5;
+  EXPECT_GT(under_tagged, wl.initial_posts.size() / 3);
+}
+
+TEST(DatasetTest, PopularityVectorNormalizedish) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 40;
+  cfg.seed = 3;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  double sum = 0.0;
+  for (double p : wl.popularity) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --------------------------------------------------------- driver
+
+TEST(DriverTest, RunDirectConsumesBudgetAndImprovesQuality) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 60;
+  cfg.initial_posts = 200;
+  cfg.seed = 17;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  RunOptions opts;
+  opts.budget = 400;
+  opts.sample_every = 100;
+  RunResult res = RunDirect(
+      &wl, strategy::MakeStrategy(strategy::StrategyKind::kHybridFpMu), opts);
+  EXPECT_EQ(res.tasks_completed, 400u);
+  uint32_t sum = 0;
+  for (uint32_t x : res.assignment) sum += x;
+  EXPECT_EQ(sum, 400u);
+  EXPECT_GT(res.final_q_truth, res.initial_q_truth);
+  // Series is sampled in task order, ends at the final task count.
+  ASSERT_GE(res.series.size(), 2u);
+  EXPECT_EQ(res.series.front().tasks, 0u);
+  EXPECT_EQ(res.series.back().tasks, 400u);
+  for (size_t i = 1; i < res.series.size(); ++i) {
+    EXPECT_GT(res.series[i].tasks, res.series[i - 1].tasks);
+  }
+}
+
+TEST(DriverTest, StepHookSeesEveryTask) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 20;
+  cfg.initial_posts = 50;
+  cfg.seed = 19;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+  RunOptions opts;
+  opts.budget = 100;
+  uint32_t calls = 0;
+  opts.step_hook = [&](strategy::AllocationEngine& engine, uint32_t done) {
+    ++calls;
+    EXPECT_EQ(done, calls);
+    EXPECT_LE(engine.budget_remaining(), 100u);
+  };
+  RunResult res = RunDirect(
+      &wl, strategy::MakeStrategy(strategy::StrategyKind::kRandom), opts);
+  EXPECT_EQ(calls, res.tasks_completed);
+}
+
+TEST(DriverTest, RunWithPlatformDeliversApprovedPosts) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 25;
+  cfg.initial_posts = 60;
+  cfg.seed = 23;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+
+  crowd::WorkerPoolConfig pool_cfg;
+  pool_cfg.num_workers = 20;
+  pool_cfg.mean_service_ticks = 3.0;
+  pool_cfg.activity = 0.6;
+  Rng pool_rng(5);
+  crowd::PaymentLedger ledger;
+  crowd::MTurkSim platform(crowd::GenerateWorkerPool(pool_cfg, &pool_rng),
+                           &ledger);
+
+  PlatformRunOptions opts;
+  opts.base.budget = 150;
+  opts.base.sample_every = 50;
+  RunResult res = RunWithPlatform(
+      &wl, &platform,
+      strategy::MakeStrategy(strategy::StrategyKind::kFewestPostsFirst),
+      opts);
+  EXPECT_GT(res.tasks_completed, 100u);  // most of the budget lands
+  EXPECT_GT(res.final_q_truth, res.initial_q_truth);
+  EXPECT_GT(res.ticks_elapsed, 0);
+  // Approved tasks were paid.
+  EXPECT_EQ(ledger.PaymentCount(), res.tasks_completed);
+}
+
+TEST(DriverTest, RejectionsAreRefunded) {
+  DeliciousConfig cfg;
+  cfg.num_resources = 10;
+  cfg.initial_posts = 30;
+  cfg.seed = 29;
+  SyntheticWorkload wl = GenerateDelicious(cfg);
+
+  crowd::WorkerPoolConfig pool_cfg;
+  pool_cfg.num_workers = 10;
+  pool_cfg.spammer_fraction = 0.5;  // plenty of careless work
+  pool_cfg.mean_service_ticks = 2.0;
+  pool_cfg.activity = 0.8;
+  Rng pool_rng(7);
+  crowd::PaymentLedger ledger;
+  crowd::MTurkSim platform(crowd::GenerateWorkerPool(pool_cfg, &pool_rng),
+                           &ledger);
+
+  PlatformRunOptions opts;
+  opts.base.budget = 60;
+  opts.approve_bad_prob = 0.0;  // strict provider
+  RunResult res = RunWithPlatform(
+      &wl, &platform,
+      strategy::MakeStrategy(strategy::StrategyKind::kRandom), opts);
+  EXPECT_GT(res.tasks_rejected, 0u);
+  // Refund semantics: approved (completed) tasks eventually reach ~budget.
+  EXPECT_GE(res.tasks_completed, 55u);
+}
+
+}  // namespace
+}  // namespace itag::sim

@@ -1,0 +1,209 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace itag::storage {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_TRUE(t.CheckInvariants());
+  int visits = 0;
+  t.ScanAll([&](const int&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, InsertAndContains) {
+  BPlusTree<int> t;
+  EXPECT_TRUE(t.Insert(5));
+  EXPECT_TRUE(t.Insert(3));
+  EXPECT_TRUE(t.Insert(8));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Contains(3));
+  EXPECT_TRUE(t.Contains(5));
+  EXPECT_TRUE(t.Contains(8));
+  EXPECT_FALSE(t.Contains(4));
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  BPlusTree<int> t;
+  EXPECT_TRUE(t.Insert(1));
+  EXPECT_FALSE(t.Insert(1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTreeTest, ScanAllInOrder) {
+  BPlusTree<int> t;
+  std::vector<int> keys = {9, 2, 7, 4, 1, 8, 3, 6, 5};
+  for (int k : keys) t.Insert(k);
+  std::vector<int> out;
+  t.ScanAll([&](const int& k) {
+    out.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BPlusTreeTest, ScanRangeHalfOpen) {
+  BPlusTree<int> t;
+  for (int k = 0; k < 20; ++k) t.Insert(k);
+  std::vector<int> out;
+  t.ScanRange(5, 10, [&](const int& k) {
+    out.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7, 8, 9}));
+}
+
+TEST(BPlusTreeTest, ScanRangeEarlyStop) {
+  BPlusTree<int> t;
+  for (int k = 0; k < 100; ++k) t.Insert(k);
+  std::vector<int> out;
+  t.ScanRange(0, 100, [&](const int& k) {
+    out.push_back(k);
+    return out.size() < 3;
+  });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BPlusTreeTest, EraseLeavesRestIntact) {
+  BPlusTree<int> t;
+  for (int k = 0; k < 10; ++k) t.Insert(k);
+  EXPECT_TRUE(t.Erase(5));
+  EXPECT_FALSE(t.Erase(5));
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_FALSE(t.Contains(5));
+  for (int k = 0; k < 10; ++k) {
+    if (k != 5) {
+      EXPECT_TRUE(t.Contains(k)) << k;
+    }
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SplitsKeepBalance) {
+  BPlusTree<int> t;
+  const int kN = 10000;
+  for (int k = 0; k < kN; ++k) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  EXPECT_EQ(t.size(), static_cast<size_t>(kN));
+  EXPECT_TRUE(t.CheckInvariants());
+  // Height must be logarithmic: fanout 64 => 10k keys fit in height <= 4.
+  EXPECT_LE(t.Height(), 4u);
+  EXPECT_GE(t.Height(), 2u);
+}
+
+TEST(BPlusTreeTest, ReverseInsertionStillSorted) {
+  BPlusTree<int> t;
+  for (int k = 999; k >= 0; --k) t.Insert(k);
+  std::vector<int> out;
+  t.ScanAll([&](const int& k) {
+    out.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(out.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, EraseEverything) {
+  BPlusTree<int> t;
+  for (int k = 0; k < 500; ++k) t.Insert(k);
+  for (int k = 0; k < 500; ++k) {
+    ASSERT_TRUE(t.Erase(k)) << k;
+  }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.CheckInvariants());
+  // Reusable after total erase.
+  EXPECT_TRUE(t.Insert(42));
+  EXPECT_TRUE(t.Contains(42));
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string> t;
+  t.Insert("banana");
+  t.Insert("apple");
+  t.Insert("cherry");
+  std::vector<std::string> out;
+  t.ScanAll([&](const std::string& k) {
+    out.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(out, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+class BTreeRandomOpsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomOpsTest, MatchesReferenceSet) {
+  const int kOps = GetParam();
+  BPlusTree<uint32_t> t;
+  std::set<uint32_t> ref;
+  Rng rng(static_cast<uint64_t>(kOps) * 2654435761u);
+  for (int i = 0; i < kOps; ++i) {
+    uint32_t key = rng.Uniform(kOps / 2 + 1);
+    if (rng.Bernoulli(0.6)) {
+      EXPECT_EQ(t.Insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(t.Erase(key), ref.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_TRUE(t.CheckInvariants());
+  std::vector<uint32_t> scanned;
+  t.ScanAll([&](const uint32_t& k) {
+    scanned.push_back(k);
+    return true;
+  });
+  std::vector<uint32_t> expected(ref.begin(), ref.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeRandomOpsTest,
+                         ::testing::Values(50, 500, 2000, 20000));
+
+TEST(BPlusTreeTest, RangeScanAfterHeavyDeletes) {
+  BPlusTree<int> t;
+  for (int k = 0; k < 2000; ++k) t.Insert(k);
+  for (int k = 0; k < 2000; k += 2) t.Erase(k);  // drop evens
+  std::vector<int> out;
+  t.ScanRange(100, 110, [&](const int& k) {
+    out.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(out, (std::vector<int>{101, 103, 105, 107, 109}));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, IndexKeyOrdering) {
+  // The composite (Value, RowId) key used by table indexes must order by
+  // value first, then row id.
+  BPlusTree<IndexKey> t;
+  t.Insert({Value::Int(2), 1});
+  t.Insert({Value::Int(1), 9});
+  t.Insert({Value::Int(1), 3});
+  t.Insert({Value::Int(2), 0});
+  std::vector<std::pair<int64_t, RowId>> out;
+  t.ScanAll([&](const IndexKey& k) {
+    out.emplace_back(k.value.as_int(), k.row_id);
+    return true;
+  });
+  EXPECT_EQ(out, (std::vector<std::pair<int64_t, RowId>>{
+                     {1, 3}, {1, 9}, {2, 0}, {2, 1}}));
+}
+
+}  // namespace
+}  // namespace itag::storage

@@ -1,0 +1,229 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace itag::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+Schema KvSchema() {
+  return SchemaBuilder().Int("k").Str("v").Build();
+}
+
+Row Kv(int64_t k, const std::string& v) {
+  return {Value::Int(k), Value::Str(v)};
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "itag_db_test").string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DatabaseOptions Opts() {
+    DatabaseOptions o;
+    o.directory = dir_;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DatabaseTest, InMemoryModeWorksWithoutDirectory) {
+  Database db;
+  ASSERT_TRUE(db.Open(DatabaseOptions{}).ok());
+  EXPECT_FALSE(db.durable());
+  ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+  ASSERT_TRUE(db.Insert("t", Kv(1, "one")).ok());
+  EXPECT_EQ(db.GetTable("t")->row_count(), 1u);
+}
+
+TEST_F(DatabaseTest, CreateDropTable) {
+  Database db;
+  ASSERT_TRUE(db.Open(DatabaseOptions{}).ok());
+  ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+  EXPECT_TRUE(db.CreateTable("t", KvSchema()).IsAlreadyExists());
+  EXPECT_NE(db.GetTable("t"), nullptr);
+  ASSERT_TRUE(db.DropTable("t").ok());
+  EXPECT_EQ(db.GetTable("t"), nullptr);
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+}
+
+TEST_F(DatabaseTest, OpsOnMissingTableFail) {
+  Database db;
+  ASSERT_TRUE(db.Open(DatabaseOptions{}).ok());
+  EXPECT_TRUE(db.Insert("nope", Kv(1, "x")).status().IsNotFound());
+  EXPECT_TRUE(db.Update("nope", 1, Kv(1, "x")).IsNotFound());
+  EXPECT_TRUE(db.Delete("nope", 1).IsNotFound());
+  EXPECT_TRUE(db.AddUniqueIndex("nope", "k").IsNotFound());
+  EXPECT_TRUE(db.AddOrderedIndex("nope", "k").IsNotFound());
+}
+
+TEST_F(DatabaseTest, WalReplayRecoversEverything) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(1, "one")).ok());
+    RowId two = db.Insert("t", Kv(2, "two")).value();
+    ASSERT_TRUE(db.Insert("t", Kv(3, "three")).ok());
+    ASSERT_TRUE(db.Update("t", two, Kv(2, "two-updated")).ok());
+    ASSERT_TRUE(db.Delete("t", two).ok());
+    // no checkpoint: everything lives only in the WAL
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  Table* t = db.GetTable("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->row_count(), 2u);
+  size_t found = 0;
+  t->Scan([&](RowId, const Row& row) {
+    found += row[0] == Value::Int(1) || row[0] == Value::Int(3);
+    return true;
+  });
+  EXPECT_EQ(found, 2u);
+}
+
+TEST_F(DatabaseTest, CheckpointThenRecover) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db.Insert("t", Kv(i, "v" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(db.Checkpoint().ok());
+    // Post-checkpoint mutations land in the fresh WAL.
+    ASSERT_TRUE(db.Insert("t", Kv(100, "after")).ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  Table* t = db.GetTable("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->row_count(), 51u);
+}
+
+TEST_F(DatabaseTest, CheckpointTruncatesWal) {
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.Insert("t", Kv(i, "x")).ok());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(fs::file_size(fs::path(dir_) / "wal.log"), 0u);
+}
+
+TEST_F(DatabaseTest, RecoveredTablesAcceptIndexes) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(1, "a")).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(2, "b")).ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_TRUE(db.AddUniqueIndex("t", "k").ok());
+  EXPECT_TRUE(db.Insert("t", Kv(2, "dup")).status().IsAlreadyExists());
+  ASSERT_TRUE(db.AddOrderedIndex("t", "v").ok());
+  EXPECT_EQ(db.GetTable("t")->LookupEqual("v", Value::Str("b")).size(), 1u);
+}
+
+TEST_F(DatabaseTest, RowIdsContinueAfterRecovery) {
+  RowId last;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    last = db.Insert("t", Kv(1, "a")).value();
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  RowId next = db.Insert("t", Kv(2, "b")).value();
+  EXPECT_GT(next, last);
+}
+
+TEST_F(DatabaseTest, DropTableSurvivesRecovery) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("gone", KvSchema()).ok());
+    ASSERT_TRUE(db.CreateTable("kept", KvSchema()).ok());
+    ASSERT_TRUE(db.Insert("gone", Kv(1, "x")).ok());
+    ASSERT_TRUE(db.DropTable("gone").ok());
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  EXPECT_EQ(db.GetTable("gone"), nullptr);
+  EXPECT_NE(db.GetTable("kept"), nullptr);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"kept"}));
+}
+
+TEST_F(DatabaseTest, CorruptSnapshotIsDetected) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(1, "a")).ok());
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  // Flip a byte in the middle of the snapshot.
+  std::string snap = dir_ + "/snapshot.db";
+  {
+    std::fstream f(snap, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.put('\x5a');
+  }
+  Database db;
+  Status s = db.Open(Opts());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(DatabaseTest, TotalRowsAcrossTables) {
+  Database db;
+  ASSERT_TRUE(db.Open(DatabaseOptions{}).ok());
+  ASSERT_TRUE(db.CreateTable("a", KvSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", KvSchema()).ok());
+  ASSERT_TRUE(db.Insert("a", Kv(1, "x")).ok());
+  ASSERT_TRUE(db.Insert("b", Kv(1, "y")).ok());
+  ASSERT_TRUE(db.Insert("b", Kv(2, "z")).ok());
+  EXPECT_EQ(db.TotalRows(), 3u);
+}
+
+TEST_F(DatabaseTest, EncodeRowDecodeRowRoundtrip) {
+  Row row = Kv(77, "roundtrip");
+  std::string buf = EncodeRow(row);
+  Row out;
+  ASSERT_TRUE(DecodeRow(buf, 2, &out));
+  EXPECT_EQ(out, row);
+  EXPECT_FALSE(DecodeRow(buf, 3, &out));  // arity mismatch
+  EXPECT_FALSE(DecodeRow(buf.substr(0, buf.size() - 1), 2, &out));
+}
+
+TEST_F(DatabaseTest, ManyCheckpointCyclesStayConsistent) {
+  DatabaseOptions opts = Opts();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    Database db;
+    ASSERT_TRUE(db.Open(opts).ok());
+    if (cycle == 0) {
+      ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    }
+    ASSERT_TRUE(db.Insert("t", Kv(cycle, "cycle")).ok());
+    if (cycle % 2 == 0) {
+      ASSERT_TRUE(db.Checkpoint().ok());
+    }
+  }
+  Database db;
+  ASSERT_TRUE(db.Open(opts).ok());
+  EXPECT_EQ(db.GetTable("t")->row_count(), 5u);
+}
+
+}  // namespace
+}  // namespace itag::storage

@@ -1,0 +1,246 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace itag::storage {
+namespace {
+
+Schema UserSchema() {
+  return SchemaBuilder()
+      .Int("id")
+      .Str("name")
+      .Real("score", /*nullable=*/true)
+      .Build();
+}
+
+Row MakeUser(int64_t id, const std::string& name, double score) {
+  return {Value::Int(id), Value::Str(name), Value::Real(score)};
+}
+
+TEST(SchemaTest, ColumnIndex) {
+  Schema s = UserSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("name"), 1);
+  EXPECT_EQ(s.ColumnIndex("score"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateArity) {
+  Schema s = UserSchema();
+  EXPECT_TRUE(s.Validate(MakeUser(1, "a", 0.5)).ok());
+  Status bad = s.Validate({Value::Int(1)});
+  EXPECT_TRUE(bad.IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateTypes) {
+  Schema s = UserSchema();
+  Status bad = s.Validate({Value::Str("oops"), Value::Str("a"),
+                           Value::Real(0.0)});
+  EXPECT_TRUE(bad.IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateNullability) {
+  Schema s = UserSchema();
+  // score is nullable:
+  EXPECT_TRUE(
+      s.Validate({Value::Int(1), Value::Str("a"), Value::Null()}).ok());
+  // id is not:
+  EXPECT_TRUE(s.Validate({Value::Null(), Value::Str("a"), Value::Null()})
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, EncodeDecodeRoundtrip) {
+  Schema s = UserSchema();
+  std::string buf;
+  s.EncodeTo(&buf);
+  size_t off = 0;
+  Schema out;
+  ASSERT_TRUE(Schema::DecodeFrom(buf, &off, &out));
+  EXPECT_EQ(off, buf.size());
+  ASSERT_EQ(out.num_columns(), 3u);
+  EXPECT_EQ(out.column(0).name, "id");
+  EXPECT_EQ(out.column(2).type, FieldType::kDouble);
+  EXPECT_TRUE(out.column(2).nullable);
+  EXPECT_FALSE(out.column(0).nullable);
+}
+
+TEST(TableTest, InsertAssignsSequentialIds) {
+  Table t("users", UserSchema());
+  Result<RowId> a = t.Insert(MakeUser(1, "a", 0.1));
+  Result<RowId> b = t.Insert(MakeUser(2, "b", 0.2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value() + 1, b.value());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t("users", UserSchema());
+  Result<RowId> bad = t.Insert({Value::Int(1)});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TableTest, GetUpdateDelete) {
+  Table t("users", UserSchema());
+  RowId id = t.Insert(MakeUser(7, "gina", 0.9)).value();
+  Result<Row> got = t.Get(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value()[1], Value::Str("gina"));
+
+  ASSERT_TRUE(t.Update(id, MakeUser(7, "gina2", 1.0)).ok());
+  EXPECT_EQ(t.Get(id).value()[1], Value::Str("gina2"));
+
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_TRUE(t.Get(id).status().IsNotFound());
+  EXPECT_TRUE(t.Delete(id).IsNotFound());
+  EXPECT_TRUE(t.Update(id, MakeUser(7, "x", 0.0)).IsNotFound());
+}
+
+TEST(TableTest, UniqueIndexRejectsDuplicates) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddUniqueIndex("id").ok());
+  ASSERT_TRUE(t.Insert(MakeUser(1, "a", 0.0)).ok());
+  Result<RowId> dup = t.Insert(MakeUser(1, "b", 0.0));
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, UniqueIndexLookup) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddUniqueIndex("id").ok());
+  RowId a = t.Insert(MakeUser(10, "a", 0.0)).value();
+  ASSERT_TRUE(t.Insert(MakeUser(20, "b", 0.0)).ok());
+  Result<RowId> hit = t.LookupUnique("id", Value::Int(10));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), a);
+  EXPECT_TRUE(t.LookupUnique("id", Value::Int(99)).status().IsNotFound());
+  EXPECT_TRUE(t.LookupUnique("name", Value::Str("a")).status().IsNotFound());
+}
+
+TEST(TableTest, UniqueIndexBackfillDetectsDuplicates) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.Insert(MakeUser(1, "a", 0.0)).ok());
+  ASSERT_TRUE(t.Insert(MakeUser(1, "b", 0.0)).ok());  // no index yet
+  EXPECT_TRUE(t.AddUniqueIndex("id").IsAlreadyExists());
+}
+
+TEST(TableTest, UniqueIndexFollowsUpdates) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddUniqueIndex("id").ok());
+  RowId a = t.Insert(MakeUser(1, "a", 0.0)).value();
+  ASSERT_TRUE(t.Insert(MakeUser(2, "b", 0.0)).ok());
+  // Updating a's key to b's key must fail.
+  EXPECT_TRUE(t.Update(a, MakeUser(2, "a", 0.0)).IsAlreadyExists());
+  // Updating to a fresh key frees the old one.
+  ASSERT_TRUE(t.Update(a, MakeUser(3, "a", 0.0)).ok());
+  EXPECT_TRUE(t.LookupUnique("id", Value::Int(1)).status().IsNotFound());
+  EXPECT_TRUE(t.LookupUnique("id", Value::Int(3)).ok());
+}
+
+TEST(TableTest, OrderedIndexEqualLookup) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddOrderedIndex("name").ok());
+  RowId a = t.Insert(MakeUser(1, "bob", 0.0)).value();
+  RowId b = t.Insert(MakeUser(2, "bob", 0.0)).value();
+  ASSERT_TRUE(t.Insert(MakeUser(3, "eve", 0.0)).ok());
+  std::vector<RowId> hits = t.LookupEqual("name", Value::Str("bob"));
+  EXPECT_EQ(hits, (std::vector<RowId>{a, b}));
+  EXPECT_TRUE(t.LookupEqual("name", Value::Str("zed")).empty());
+}
+
+TEST(TableTest, OrderedIndexRangeLookup) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddOrderedIndex("id").ok());
+  std::vector<RowId> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back(t.Insert(MakeUser(i, "u", 0.0)).value());
+  }
+  std::vector<RowId> hits =
+      t.LookupRange("id", Value::Int(3), Value::Int(7));
+  EXPECT_EQ(hits, (std::vector<RowId>{rows[3], rows[4], rows[5], rows[6]}));
+}
+
+TEST(TableTest, LookupWithoutIndexFallsBackToScan) {
+  Table t("users", UserSchema());
+  RowId a = t.Insert(MakeUser(5, "x", 0.0)).value();
+  ASSERT_TRUE(t.Insert(MakeUser(6, "y", 0.0)).ok());
+  std::vector<RowId> hits = t.LookupEqual("id", Value::Int(5));
+  EXPECT_EQ(hits, (std::vector<RowId>{a}));
+  std::vector<RowId> range = t.LookupRange("id", Value::Int(5), Value::Int(6));
+  EXPECT_EQ(range, (std::vector<RowId>{a}));
+}
+
+TEST(TableTest, OrderedIndexDeclaredLateBackfills) {
+  Table t("users", UserSchema());
+  RowId a = t.Insert(MakeUser(1, "late", 0.0)).value();
+  ASSERT_TRUE(t.AddOrderedIndex("name").ok());
+  EXPECT_EQ(t.LookupEqual("name", Value::Str("late")),
+            (std::vector<RowId>{a}));
+}
+
+TEST(TableTest, IndexesFollowDeletes) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddOrderedIndex("name").ok());
+  RowId a = t.Insert(MakeUser(1, "dup", 0.0)).value();
+  RowId b = t.Insert(MakeUser(2, "dup", 0.0)).value();
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_EQ(t.LookupEqual("name", Value::Str("dup")),
+            (std::vector<RowId>{b}));
+}
+
+TEST(TableTest, ScanVisitsInRowIdOrder) {
+  Table t("users", UserSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert(MakeUser(i, "u", 0.0)).ok());
+  }
+  RowId prev = 0;
+  t.Scan([&](RowId id, const Row& row) {
+    (void)row;
+    EXPECT_GT(id, prev);
+    prev = id;
+    return true;
+  });
+}
+
+TEST(TableTest, CountWhere) {
+  Table t("users", UserSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(MakeUser(i, i % 2 ? "odd" : "even", 0.0)).ok());
+  }
+  EXPECT_EQ(t.CountWhere([](const Row& r) {
+    return r[1] == Value::Str("odd");
+  }), 5u);
+}
+
+TEST(TableTest, EncodeDecodeRoundtripWithIndexes) {
+  Table t("users", UserSchema());
+  ASSERT_TRUE(t.AddUniqueIndex("id").ok());
+  ASSERT_TRUE(t.AddOrderedIndex("name").ok());
+  RowId a = t.Insert(MakeUser(1, "alpha", 0.5)).value();
+  ASSERT_TRUE(t.Insert(MakeUser(2, "beta", 0.6)).ok());
+  ASSERT_TRUE(t.Delete(a).ok());
+  RowId c = t.Insert(MakeUser(3, "alpha", 0.7)).value();
+
+  std::string buf;
+  t.EncodeTo(&buf);
+  size_t off = 0;
+  Table out("", Schema());
+  ASSERT_TRUE(Table::DecodeFrom(buf, &off, &out));
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(out.name(), "users");
+  EXPECT_EQ(out.row_count(), 2u);
+  // Unique index is live after decode.
+  EXPECT_TRUE(out.LookupUnique("id", Value::Int(3)).ok());
+  EXPECT_TRUE(out.Insert(MakeUser(2, "dup", 0.0)).status().IsAlreadyExists());
+  // Ordered index is live after decode.
+  EXPECT_EQ(out.LookupEqual("name", Value::Str("alpha")),
+            (std::vector<RowId>{c}));
+  // Row ids keep counting from where they were.
+  RowId d = out.Insert(MakeUser(9, "new", 0.0)).value();
+  EXPECT_GT(d, c);
+}
+
+}  // namespace
+}  // namespace itag::storage

@@ -1,0 +1,355 @@
+#include "strategy/basic_strategies.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "strategy/greedy_strategies.h"
+
+namespace itag::strategy {
+namespace {
+
+using tagging::Corpus;
+using tagging::kInvalidResource;
+using tagging::Post;
+using tagging::ResourceId;
+using tagging::ResourceKind;
+using tagging::TagId;
+
+Post MakePost(std::vector<TagId> tags) {
+  Post p;
+  p.tags = std::move(tags);
+  return p;
+}
+
+/// Builds a corpus of `n` resources, with resource i receiving `posts[i]`
+/// single-tag posts of tag i (stable) unless churn is requested.
+std::unique_ptr<Corpus> BuildCorpus(const std::vector<uint32_t>& posts) {
+  auto c = std::make_unique<Corpus>();
+  for (size_t i = 0; i < posts.size(); ++i) {
+    c->AddResource(ResourceKind::kWebUrl, "r" + std::to_string(i));
+  }
+  for (size_t i = 0; i < posts.size(); ++i) {
+    for (uint32_t p = 0; p < posts[i]; ++p) {
+      EXPECT_TRUE(
+          c->AddPost(static_cast<ResourceId>(i),
+                     MakePost({static_cast<TagId>(i)}))
+              .ok());
+    }
+  }
+  return c;
+}
+
+// ------------------------------------------------------------------ FP
+
+TEST(FewestPostsTest, PicksMinimumPosts) {
+  auto c = BuildCorpus({5, 2, 9, 2, 7});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  FewestPostsFirstStrategy fp;
+  fp.Initialize(ctx);
+  // Ties (resources 1 and 3 both have 2) break to the lower id.
+  EXPECT_EQ(fp.Choose(ctx), 1u);
+}
+
+TEST(FewestPostsTest, TracksPostsViaOnPost) {
+  auto c = BuildCorpus({1, 1, 1});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  FewestPostsFirstStrategy fp;
+  fp.Initialize(ctx);
+  // Feed posts through the corpus + OnPost and watch the pick rotate.
+  std::map<ResourceId, int> picks;
+  for (int i = 0; i < 9; ++i) {
+    ResourceId r = fp.Choose(ctx);
+    ASSERT_NE(r, kInvalidResource);
+    ASSERT_TRUE(c->AddPost(r, MakePost({0})).ok());
+    fp.OnPost(ctx, r);
+    ++picks[r];
+  }
+  // Perfectly balanced: each of the 3 resources got 3 tasks.
+  EXPECT_EQ(picks[0], 3);
+  EXPECT_EQ(picks[1], 3);
+  EXPECT_EQ(picks[2], 3);
+}
+
+TEST(FewestPostsTest, SkipsStoppedResources) {
+  auto c = BuildCorpus({0, 5});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(0, true);
+  FewestPostsFirstStrategy fp;
+  fp.Initialize(ctx);
+  EXPECT_EQ(fp.Choose(ctx), 1u);
+}
+
+TEST(FewestPostsTest, AllStoppedReturnsInvalid) {
+  auto c = BuildCorpus({1, 1});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(0, true);
+  ctx.set_stopped(1, true);
+  FewestPostsFirstStrategy fp;
+  fp.Initialize(ctx);
+  EXPECT_EQ(fp.Choose(ctx), kInvalidResource);
+}
+
+// ------------------------------------------------------------------ MU
+
+TEST(MostUnstableTest, PrefersChurningResource) {
+  auto c = std::make_unique<Corpus>();
+  ResourceId stable = c->AddResource(ResourceKind::kWebUrl, "stable");
+  ResourceId churn = c->AddResource(ResourceKind::kWebUrl, "churn");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(c->AddPost(stable, MakePost({0})).ok());
+    ASSERT_TRUE(c->AddPost(churn, MakePost({static_cast<TagId>(i + 10)})).ok());
+  }
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  MostUnstableFirstStrategy mu;
+  mu.Initialize(ctx);
+  EXPECT_EQ(mu.Choose(ctx), churn);
+  EXPECT_GT(mu.score(churn), mu.score(stable));
+}
+
+TEST(MostUnstableTest, FreshResourcesAreMaximallyUnstable) {
+  auto c = BuildCorpus({0, 20});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  MostUnstableFirstStrategy mu;
+  mu.Initialize(ctx);
+  EXPECT_EQ(mu.Choose(ctx), 0u);
+  EXPECT_EQ(mu.score(0), 1.0);
+}
+
+TEST(MostUnstableTest, ScoreRefreshesOnPost) {
+  auto c = BuildCorpus({0, 0});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  MostUnstableFirstStrategy mu;
+  mu.Initialize(ctx);
+  // Stabilize resource 0 with identical posts; its score must drop and the
+  // strategy must switch to resource 1.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(c->AddPost(0, MakePost({7})).ok());
+    mu.OnPost(ctx, 0);
+  }
+  EXPECT_LT(mu.score(0), 1.0);
+  EXPECT_EQ(mu.Choose(ctx), 1u);
+}
+
+// ------------------------------------------------------------------ FC
+
+TEST(FreeChoiceTest, SamplesProportionallyToPopularity) {
+  auto c = BuildCorpus({0, 9});  // weights with smoothing 1: {1, 10}
+  Rng rng(99);
+  StrategyContext ctx(c.get(), &rng);
+  FreeChoiceStrategy fc(1.0);
+  fc.Initialize(ctx);
+  int popular = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    ResourceId r = fc.Choose(ctx);
+    popular += r == 1;
+  }
+  EXPECT_NEAR(popular / static_cast<double>(kN), 10.0 / 11.0, 0.02);
+}
+
+TEST(FreeChoiceTest, PreferentialAttachmentShiftsWeights) {
+  auto c = BuildCorpus({0, 0});
+  Rng rng(7);
+  StrategyContext ctx(c.get(), &rng);
+  FreeChoiceStrategy fc(1.0);
+  fc.Initialize(ctx);
+  // Pump 20 posts into resource 0 through OnPost.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(c->AddPost(0, MakePost({0})).ok());
+    fc.OnPost(ctx, 0);
+  }
+  int zero = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) zero += fc.Choose(ctx) == 0;
+  // Weights now {21, 1}: resource 0 dominates.
+  EXPECT_NEAR(zero / static_cast<double>(kN), 21.0 / 22.0, 0.02);
+}
+
+TEST(FreeChoiceTest, NeverPicksStopped) {
+  auto c = BuildCorpus({50, 1});
+  Rng rng(3);
+  StrategyContext ctx(c.get(), &rng);
+  FreeChoiceStrategy fc;
+  fc.Initialize(ctx);
+  ctx.set_stopped(0, true);
+  fc.Initialize(ctx);  // engine re-initializes on stop
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(fc.Choose(ctx), 1u);
+  }
+}
+
+// ------------------------------------------------------------------ FP-MU
+
+TEST(HybridTest, StartsInFpPhase) {
+  auto c = BuildCorpus({0, 3, 8});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  HybridFpMuStrategy::Options opts;
+  opts.switch_min_posts = 5;
+  HybridFpMuStrategy h(opts);
+  h.Initialize(ctx);
+  EXPECT_FALSE(h.in_mu_phase());
+  EXPECT_EQ(h.Choose(ctx), 0u);  // fewest posts
+}
+
+TEST(HybridTest, SwitchesToMuOnceAllCovered) {
+  auto c = BuildCorpus({0, 0});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  HybridFpMuStrategy::Options opts;
+  opts.switch_min_posts = 3;
+  HybridFpMuStrategy h(opts);
+  h.Initialize(ctx);
+  // Drive 6 tasks: FP levels both resources to 3 posts each, then the
+  // strategy flips to MU.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(h.in_mu_phase()) << "task " << i;
+    ResourceId r = h.Choose(ctx);
+    ASSERT_NE(r, kInvalidResource);
+    ASSERT_TRUE(c->AddPost(r, MakePost({static_cast<TagId>(i)})).ok());
+    h.OnPost(ctx, r);
+  }
+  EXPECT_EQ(c->PostCount(0), 3u);
+  EXPECT_EQ(c->PostCount(1), 3u);
+  (void)h.Choose(ctx);
+  EXPECT_TRUE(h.in_mu_phase());
+}
+
+TEST(HybridTest, InitializesDirectlyToMuWhenCovered) {
+  auto c = BuildCorpus({10, 10});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  HybridFpMuStrategy::Options opts;
+  opts.switch_min_posts = 5;
+  HybridFpMuStrategy h(opts);
+  h.Initialize(ctx);
+  EXPECT_TRUE(h.in_mu_phase());
+}
+
+// ------------------------------------------------------------------ RAND/RR
+
+TEST(RandomTest, RoughlyUniformOverEligible) {
+  auto c = BuildCorpus({1, 1, 1, 1});
+  Rng rng(13);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(2, true);
+  RandomStrategy rand;
+  rand.Initialize(ctx);
+  std::map<ResourceId, int> picks;
+  const int kN = 15000;
+  for (int i = 0; i < kN; ++i) ++picks[rand.Choose(ctx)];
+  EXPECT_EQ(picks.count(2), 0u);
+  EXPECT_NEAR(picks[0] / static_cast<double>(kN), 1.0 / 3, 0.02);
+  EXPECT_NEAR(picks[1] / static_cast<double>(kN), 1.0 / 3, 0.02);
+  EXPECT_NEAR(picks[3] / static_cast<double>(kN), 1.0 / 3, 0.02);
+}
+
+TEST(RoundRobinTest, CyclesSkippingStopped) {
+  auto c = BuildCorpus({1, 1, 1});
+  Rng rng(1);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(1, true);
+  RoundRobinStrategy rr;
+  rr.Initialize(ctx);
+  EXPECT_EQ(rr.Choose(ctx), 0u);
+  EXPECT_EQ(rr.Choose(ctx), 2u);
+  EXPECT_EQ(rr.Choose(ctx), 0u);
+}
+
+// ----------------------------------------------- generic invariants
+
+class AnyStrategyTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AnyStrategyTest, ChoosesOnlyValidEligibleResources) {
+  auto c = BuildCorpus({0, 3, 1, 7, 2});
+  Rng rng(21);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(3, true);
+  auto strat = MakeStrategy(GetParam());
+  ASSERT_NE(strat, nullptr);
+  strat->Initialize(ctx);
+  for (int i = 0; i < 100; ++i) {
+    ResourceId r = strat->Choose(ctx);
+    ASSERT_NE(r, kInvalidResource);
+    ASSERT_LT(r, c->size());
+    EXPECT_NE(r, 3u) << strat->name() << " chose a stopped resource";
+    ASSERT_TRUE(c->AddPost(r, MakePost({static_cast<TagId>(i % 5)})).ok());
+    strat->OnPost(ctx, r);
+  }
+}
+
+TEST_P(AnyStrategyTest, ReturnsInvalidWhenNothingEligible) {
+  auto c = BuildCorpus({1, 1});
+  Rng rng(22);
+  StrategyContext ctx(c.get(), &rng);
+  ctx.set_stopped(0, true);
+  ctx.set_stopped(1, true);
+  auto strat = MakeStrategy(GetParam());
+  strat->Initialize(ctx);
+  EXPECT_EQ(strat->Choose(ctx), kInvalidResource) << strat->name();
+}
+
+TEST_P(AnyStrategyTest, NameMatchesKind) {
+  auto strat = MakeStrategy(GetParam());
+  EXPECT_EQ(strat->name(), StrategyKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AnyStrategyTest,
+    ::testing::Values(StrategyKind::kFreeChoice,
+                      StrategyKind::kFewestPostsFirst,
+                      StrategyKind::kMostUnstableFirst,
+                      StrategyKind::kHybridFpMu, StrategyKind::kRandom,
+                      StrategyKind::kRoundRobin,
+                      StrategyKind::kEstimatedGain),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      std::string name = StrategyKindName(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ----------------------------------------------- greedy strategies
+
+TEST(EstimatedGainTest, PrefersColdResource) {
+  auto c = BuildCorpus({0, 30});
+  Rng rng(31);
+  StrategyContext ctx(c.get(), &rng);
+  EstimatedGainGreedyStrategy eg;
+  eg.Initialize(ctx);
+  EXPECT_EQ(eg.Choose(ctx), 0u);
+}
+
+TEST(OracleGreedyTest, FollowsTrueMarginalGains) {
+  auto c = BuildCorpus({2, 40});
+  SparseDist theta = SparseDist::FromWeights({{0, 0.5}, {1, 0.5}});
+  auto oracle = std::make_shared<quality::OracleGainEstimator>(
+      std::vector<SparseDist>{theta, theta}, std::vector<uint32_t>{2, 40},
+      3.0);
+  Rng rng(33);
+  StrategyContext ctx(c.get(), &rng);
+  OracleGreedyStrategy opt(oracle);
+  opt.Initialize(ctx);
+  // The 2-post resource has a larger true marginal gain.
+  EXPECT_EQ(opt.Choose(ctx), 0u);
+  // After enough grants, the oracle rebalances toward the other resource.
+  for (int i = 0; i < 60; ++i) {
+    ResourceId r = opt.Choose(ctx);
+    ASSERT_TRUE(c->AddPost(r, MakePost({0})).ok());
+    opt.OnPost(ctx, r);
+  }
+  // Both resources must have received tasks (diminishing returns).
+  EXPECT_GT(c->PostCount(1), 40u);
+}
+
+}  // namespace
+}  // namespace itag::strategy

@@ -1,0 +1,202 @@
+#include "strategy/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "strategy/basic_strategies.h"
+
+namespace itag::strategy {
+namespace {
+
+using tagging::Corpus;
+using tagging::Post;
+using tagging::ResourceId;
+using tagging::ResourceKind;
+using tagging::TagId;
+
+Post MakePost(std::vector<TagId> tags) {
+  Post p;
+  p.tags = std::move(tags);
+  return p;
+}
+
+std::unique_ptr<Corpus> BuildCorpus(size_t n) {
+  auto c = std::make_unique<Corpus>();
+  for (size_t i = 0; i < n; ++i) {
+    c->AddResource(ResourceKind::kWebUrl, "r" + std::to_string(i));
+  }
+  return c;
+}
+
+EngineOptions Opts(uint32_t budget) {
+  EngineOptions o;
+  o.budget = budget;
+  o.seed = 5;
+  return o;
+}
+
+TEST(EngineTest, BudgetAccounting) {
+  auto c = BuildCorpus(3);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kFewestPostsFirst),
+                     Opts(5));
+  EXPECT_EQ(e.budget_remaining(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    Result<ResourceId> r = e.ChooseNext();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(c->AddPost(r.value(), MakePost({0})).ok());
+    e.NotifyPost(r.value());
+  }
+  EXPECT_EQ(e.budget_remaining(), 0u);
+  EXPECT_EQ(e.tasks_assigned(), 5u);
+  Result<ResourceId> done = e.ChooseNext();
+  EXPECT_TRUE(done.status().IsResourceExhausted());
+}
+
+TEST(EngineTest, AssignmentVectorSumsToTasks) {
+  auto c = BuildCorpus(4);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(10));
+  for (int i = 0; i < 10; ++i) {
+    Result<ResourceId> r = e.ChooseNext();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(c->AddPost(r.value(), MakePost({0})).ok());
+    e.NotifyPost(r.value());
+  }
+  uint32_t sum = 0;
+  for (uint32_t x : e.assignment()) sum += x;
+  EXPECT_EQ(sum, 10u);
+  // Round-robin over 4 resources, 10 tasks: counts are {3,3,2,2}.
+  EXPECT_EQ(e.assignment()[0], 3u);
+  EXPECT_EQ(e.assignment()[3], 2u);
+}
+
+TEST(EngineTest, PromoteJumpsQueue) {
+  auto c = BuildCorpus(3);
+  // Give resource 2 many posts so FP would never pick it.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(c->AddPost(2, MakePost({0})).ok());
+  }
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kFewestPostsFirst),
+                     Opts(4));
+  ASSERT_TRUE(e.Promote(2).ok());
+  Result<ResourceId> first = e.ChooseNext();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 2u);  // promotion wins over FP order
+  Result<ResourceId> second = e.ChooseNext();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value(), 2u);  // back to the strategy
+}
+
+TEST(EngineTest, PromotionsQueueFifo) {
+  auto c = BuildCorpus(3);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(3));
+  ASSERT_TRUE(e.Promote(2).ok());
+  ASSERT_TRUE(e.Promote(1).ok());
+  EXPECT_EQ(e.ChooseNext().value(), 2u);
+  EXPECT_EQ(e.ChooseNext().value(), 1u);
+}
+
+TEST(EngineTest, PromoteValidation) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRandom), Opts(2));
+  EXPECT_TRUE(e.Promote(99).IsNotFound());
+  ASSERT_TRUE(e.SetStopped(1, true).ok());
+  EXPECT_TRUE(e.Promote(1).IsFailedPrecondition());
+}
+
+TEST(EngineTest, StoppedResourceNeverChosen) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kFewestPostsFirst),
+                     Opts(6));
+  ASSERT_TRUE(e.SetStopped(0, true).ok());
+  for (int i = 0; i < 6; ++i) {
+    Result<ResourceId> r = e.ChooseNext();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 1u);
+    ASSERT_TRUE(c->AddPost(1, MakePost({0})).ok());
+    e.NotifyPost(1);
+  }
+}
+
+TEST(EngineTest, StoppedPromotionIsSkipped) {
+  auto c = BuildCorpus(3);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(3));
+  ASSERT_TRUE(e.Promote(1).ok());
+  ASSERT_TRUE(e.SetStopped(1, true).ok());  // stopped after promotion
+  Result<ResourceId> r = e.ChooseNext();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value(), 1u);
+}
+
+TEST(EngineTest, ReenablingResourceRestoresIt) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kFewestPostsFirst),
+                     Opts(10));
+  ASSERT_TRUE(e.SetStopped(0, true).ok());
+  EXPECT_EQ(e.ChooseNext().value(), 1u);
+  ASSERT_TRUE(e.SetStopped(0, false).ok());
+  ASSERT_TRUE(c->AddPost(1, MakePost({0})).ok());
+  e.NotifyPost(1);
+  EXPECT_EQ(e.ChooseNext().value(), 0u);  // 0 has fewest posts again
+}
+
+TEST(EngineTest, AllStoppedFailsPrecondition) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRandom), Opts(2));
+  ASSERT_TRUE(e.SetStopped(0, true).ok());
+  ASSERT_TRUE(e.SetStopped(1, true).ok());
+  Result<ResourceId> r = e.ChooseNext();
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+  // Budget is not consumed by a failed choice.
+  EXPECT_EQ(e.budget_remaining(), 2u);
+}
+
+TEST(EngineTest, SwitchStrategyMidRunKeepsBudget) {
+  auto c = BuildCorpus(3);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c->AddPost(0, MakePost({0})).ok());
+  }
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kFreeChoice),
+                     Opts(8));
+  for (int i = 0; i < 3; ++i) {
+    Result<ResourceId> r = e.ChooseNext();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(c->AddPost(r.value(), MakePost({0})).ok());
+    e.NotifyPost(r.value());
+  }
+  EXPECT_EQ(e.strategy_name(), "FC");
+  e.SwitchStrategy(MakeStrategy(StrategyKind::kFewestPostsFirst));
+  EXPECT_EQ(e.strategy_name(), "FP");
+  EXPECT_EQ(e.budget_remaining(), 5u);
+  // New strategy takes over with current statistics.
+  Result<ResourceId> r = e.ChooseNext();
+  ASSERT_TRUE(r.ok());
+  uint32_t min_posts = UINT32_MAX;
+  for (ResourceId i = 0; i < 3; ++i) {
+    min_posts = std::min(min_posts, c->PostCount(i));
+  }
+  EXPECT_EQ(c->PostCount(r.value()), min_posts);
+}
+
+TEST(EngineTest, AddBudgetExtendsRun) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(1));
+  ASSERT_TRUE(e.ChooseNext().ok());
+  EXPECT_TRUE(e.ChooseNext().status().IsResourceExhausted());
+  e.AddBudget(2);
+  EXPECT_EQ(e.budget_remaining(), 2u);
+  EXPECT_TRUE(e.ChooseNext().ok());
+  EXPECT_TRUE(e.ChooseNext().ok());
+  EXPECT_TRUE(e.ChooseNext().status().IsResourceExhausted());
+}
+
+TEST(EngineTest, ZeroBudgetImmediatelyExhausted) {
+  auto c = BuildCorpus(1);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRandom), Opts(0));
+  EXPECT_TRUE(e.ChooseNext().status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace itag::strategy
