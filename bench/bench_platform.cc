@@ -4,10 +4,17 @@
 // shape: MTurk throughput scales ~linearly with workers; the social
 // platform starts slower (exposure must spread) but catches up as shares
 // propagate.
+//
+// Since the batch-API redesign the exhibit is driven through
+// itag::api::Service: the service's Step pump refills each project's open
+// task window with one ChooseBatch allocation pass per tick, which is the
+// path a production frontend would exercise. A raw-platform Drain section
+// is kept as the lower-bound baseline.
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/service.h"
 #include "common/csv.h"
 #include "common/random.h"
 #include "crowd/mturk_sim.h"
@@ -23,7 +30,9 @@ struct Throughput {
   double tasks_per_1k_ticks = 0.0;
 };
 
-Throughput Drain(CrowdPlatform* platform, uint32_t tasks) {
+/// Lower bound: tasks fed straight into the platform, no allocation, no
+/// moderation.
+Throughput DrainRaw(CrowdPlatform* platform, uint32_t tasks) {
   for (uint32_t i = 0; i < tasks; ++i) {
     TaskSpec spec;
     spec.project = 1;
@@ -48,13 +57,58 @@ Throughput Drain(CrowdPlatform* platform, uint32_t tasks) {
   return out;
 }
 
+/// Full stack: the same budget flows through api::Service — allocation
+/// engine, task window pump, platform, auto-moderation, quality feed.
+Throughput DrainService(core::PlatformChoice platform, uint32_t workers,
+                        uint32_t tasks) {
+  core::ITagSystemOptions options;
+  options.mturk_pool.num_workers = workers;
+  options.mturk_pool.mean_service_ticks = 8.0;
+  options.mturk_pool.activity = 0.3;
+  options.social.share_prob = 0.5;
+  api::Service service(std::move(options));
+  (void)service.Init();
+
+  core::ProviderId owner = service.RegisterProvider({"bench"}).provider;
+  api::CreateProjectRequest create;
+  create.provider = owner;
+  create.spec.name = "drain";
+  create.spec.budget = tasks;
+  create.spec.platform = platform;
+  create.spec.strategy = strategy::StrategyKind::kRoundRobin;
+  core::ProjectId project = service.CreateProject(create).project;
+
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
+  for (int i = 0; i < 40; ++i) {
+    api::UploadResourceItem item;
+    item.uri = "res-" + std::to_string(i);
+    upload.items.push_back(std::move(item));
+  }
+  (void)service.BatchUploadResources(upload);
+  (void)service.BatchControl({project, {{api::ControlAction::kStart}}});
+
+  Tick t = 0;
+  uint32_t done = 0;
+  while (done < tasks && t < 500000) {
+    (void)service.Step({100});
+    t += 100;
+    done = service.ProjectQuery({project, false, {}}).info.tasks_completed;
+  }
+  Throughput out;
+  out.ticks_to_finish = t;
+  out.tasks_per_1k_ticks = 1000.0 * done / static_cast<double>(t);
+  return out;
+}
+
 }  // namespace
 
 int main() {
   const uint32_t kTasks = 400;
   std::printf("E11: ticks to complete %u tasks vs worker-pool size\n\n",
               kTasks);
-  TableWriter table({"platform", "workers", "ticks", "tasks_per_1k_ticks"});
+  TableWriter table(
+      {"path", "platform", "workers", "ticks", "tasks_per_1k_ticks"});
 
   for (uint32_t workers : {10u, 25u, 50u, 100u}) {
     WorkerPoolConfig cfg;
@@ -65,8 +119,9 @@ int main() {
       Rng rng(41);
       PaymentLedger ledger;
       MTurkSim mturk(GenerateWorkerPool(cfg, &rng), &ledger);
-      Throughput t = Drain(&mturk, kTasks);
+      Throughput t = DrainRaw(&mturk, kTasks);
       table.BeginRow()
+          .Add("raw")
           .Add("mturk-sim")
           .Add(static_cast<uint64_t>(workers))
           .Add(static_cast<int64_t>(t.ticks_to_finish))
@@ -78,8 +133,29 @@ int main() {
       SocialNetSimOptions sopts;
       sopts.share_prob = 0.5;
       SocialNetSim social(GenerateWorkerPool(cfg, &rng), &ledger, sopts);
-      Throughput t = Drain(&social, kTasks);
+      Throughput t = DrainRaw(&social, kTasks);
       table.BeginRow()
+          .Add("raw")
+          .Add("social-sim")
+          .Add(static_cast<uint64_t>(workers))
+          .Add(static_cast<int64_t>(t.ticks_to_finish))
+          .Add(t.tasks_per_1k_ticks, 2);
+    }
+    {
+      Throughput t =
+          DrainService(core::PlatformChoice::kMTurk, workers, kTasks);
+      table.BeginRow()
+          .Add("service")
+          .Add("mturk-sim")
+          .Add(static_cast<uint64_t>(workers))
+          .Add(static_cast<int64_t>(t.ticks_to_finish))
+          .Add(t.tasks_per_1k_ticks, 2);
+    }
+    {
+      Throughput t =
+          DrainService(core::PlatformChoice::kSocialNetwork, workers, kTasks);
+      table.BeginRow()
+          .Add("service")
           .Add("social-sim")
           .Add(static_cast<uint64_t>(workers))
           .Add(static_cast<int64_t>(t.ticks_to_finish))

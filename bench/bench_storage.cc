@@ -2,11 +2,16 @@
 // heap inserts, unique-index point lookups, ordered-index range scans,
 // B+-tree ops, WAL appends, and full checkpoint+recovery cycles. Validates
 // that the embedded engine sustains the manager workloads comfortably.
+// Since the batch-API redesign it also measures the resource-ingest path
+// end to end through itag::api::Service — per-call UploadResource vs one
+// BatchUploadResources request hitting the same tables.
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <string>
 
+#include "api/service.h"
 #include "common/random.h"
 #include "storage/btree.h"
 #include "storage/database.h"
@@ -150,6 +155,60 @@ void BM_CheckpointRecover(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_CheckpointRecover)->Arg(5000);
+
+// --------------------------------------------------- service-level ingest
+
+/// A fresh in-memory service with one draft project, ready for uploads.
+struct IngestFixture {
+  api::Service service;
+  core::ProjectId project = 0;
+
+  IngestFixture() {
+    (void)service.Init();
+    core::ProviderId owner = service.RegisterProvider({"bench"}).provider;
+    api::CreateProjectRequest create;
+    create.provider = owner;
+    create.spec.name = "ingest";
+    create.spec.budget = 1;
+    project = service.CreateProject(create).project;
+  }
+};
+
+void BM_ServiceUploadPerCall(benchmark::State& state) {
+  std::vector<std::string> uris;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    uris.push_back("url-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    IngestFixture fx;
+    state.ResumeTiming();
+    for (const std::string& uri : uris) {
+      benchmark::DoNotOptimize(fx.service.system().UploadResource(
+          fx.project, tagging::ResourceKind::kWebUrl, uri, ""));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServiceUploadPerCall)->Arg(1000);
+
+void BM_ServiceUploadBatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    IngestFixture fx;
+    api::BatchUploadResourcesRequest req;
+    req.project = fx.project;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      api::UploadResourceItem item;
+      item.uri = "url-" + std::to_string(i);
+      req.items.push_back(std::move(item));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fx.service.BatchUploadResources(req));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServiceUploadBatch)->Arg(1000);
 
 }  // namespace
 

@@ -1,18 +1,19 @@
 // The §IV "Audience Participation" demonstration: human taggers (audience
-// members) work through the tagger UI (Figs. 7-8) — browsing projects by
-// pay and provider approval rate, accepting strategy-assigned tasks,
-// submitting tags, and earning incentives once the provider approves —
-// while a simulated audience fills in when participation runs low (exactly
-// the fallback the paper describes).
+// members) work through the tagger UI (Figs. 7-8), here speaking the
+// batch-first service API — browsing projects by pay and provider approval
+// rate, batch-accepting strategy-assigned tasks, submitting several posts
+// in one request, and earning incentives once the provider approves the
+// moderation batch — while a simulated audience fills in when participation
+// runs low (exactly the fallback the paper describes).
 //
 // Build & run:  ./build/examples/audience_session
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/service.h"
 #include "common/csv.h"
 #include "common/random.h"
-#include "itag/itag_system.h"
 
 using namespace itag;        // NOLINT
 using namespace itag::core;  // NOLINT
@@ -29,31 +30,37 @@ struct Audience {
 }  // namespace
 
 int main() {
-  ITagSystem system;
-  if (Status s = system.Init(); !s.ok()) {
+  api::Service service;
+  if (Status s = service.Init(); !s.ok()) {
     std::fprintf(stderr, "init failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  core::ITagSystem& system = service.system();
   Rng rng(2014);
 
   // Two providers publish audience projects with different pay.
-  ProviderId prof = system.RegisterProvider("prof-demo").value();
-  ProviderId museum = system.RegisterProvider("museum").value();
+  ProviderId prof = service.RegisterProvider({"prof-demo"}).provider;
+  ProviderId museum = service.RegisterProvider({"museum"}).provider;
 
   auto make_project = [&](ProviderId owner, const std::string& name,
                           uint32_t pay, uint32_t budget) {
-    ProjectSpec spec;
-    spec.name = name;
-    spec.budget = budget;
-    spec.pay_cents = pay;
-    spec.platform = PlatformChoice::kAudience;
-    spec.strategy = strategy::StrategyKind::kHybridFpMu;
-    ProjectId p = system.CreateProject(owner, spec).value();
+    api::CreateProjectRequest create;
+    create.provider = owner;
+    create.spec.name = name;
+    create.spec.budget = budget;
+    create.spec.pay_cents = pay;
+    create.spec.platform = PlatformChoice::kAudience;
+    create.spec.strategy = strategy::StrategyKind::kHybridFpMu;
+    ProjectId p = service.CreateProject(create).project;
+    api::BatchUploadResourcesRequest upload;
+    upload.project = p;
     for (int i = 0; i < 6; ++i) {
-      (void)system.UploadResource(p, tagging::ResourceKind::kWebUrl,
-                                  name + "/item-" + std::to_string(i), "");
+      api::UploadResourceItem item;
+      item.uri = name + "/item-" + std::to_string(i);
+      upload.items.push_back(std::move(item));
     }
-    (void)system.StartProject(p);
+    (void)service.BatchUploadResources(upload);
+    (void)service.BatchControl({p, {{api::ControlAction::kStart}}});
     return p;
   };
   ProjectId cheap = make_project(prof, "icde-papers", 2, 40);
@@ -63,7 +70,7 @@ int main() {
   std::vector<Audience> audience;
   const char* names[] = {"ada", "bo", "cy", "dee", "eli", "fox"};
   for (int i = 0; i < 6; ++i) {
-    audience.push_back({system.RegisterTagger(names[i]).value(), names[i],
+    audience.push_back({service.RegisterTagger({names[i]}).tagger, names[i],
                         i < 4 ? 0.95 : 0.35});
   }
 
@@ -86,8 +93,9 @@ int main() {
   listing.WriteAscii(std::cout);
 
   // The audience works: each member repeatedly joins the best-paying
-  // project with budget, tags the assigned resource (Fig. 8), and the
-  // provider moderates.
+  // project with budget, batch-accepts a couple of assigned resources,
+  // tags them in one submission request (Fig. 8), and the providers
+  // moderate their queues in one decision batch per project.
   int submitted = 0, approved = 0, rejected = 0;
   for (int round = 0; round < 120; ++round) {
     Audience& member = audience[round % audience.size()];
@@ -98,30 +106,39 @@ int main() {
     for (const ProjectInfo& info : open_now) {
       if (info.spec.pay_cents > best->spec.pay_cents) best = &info;
     }
-    auto task = system.AcceptTask(member.id, best->id);
-    if (!task.ok()) continue;
+    api::BatchAcceptTasksResponse accepted =
+        service.BatchAcceptTasks({member.id, best->id, 2});
+    if (!accepted.status.ok() || accepted.tasks.empty()) continue;
 
-    // Compose tags: diligent members use the project's topic pool, sloppy
-    // ones type noise.
+    // Compose tags per task: diligent members use the project's topic
+    // pool, sloppy ones type noise; all posts ship in one request.
     const auto& pool = kTopics[best->id == cheap ? 0 : 1];
-    std::vector<std::string> tags;
-    int k = 1 + static_cast<int>(rng.Uniform(3));
-    for (int i = 0; i < k; ++i) {
-      if (rng.Bernoulli(member.diligence)) {
-        tags.push_back(pool[rng.Uniform(static_cast<uint32_t>(pool.size()))]);
-      } else {
-        tags.push_back("zzz-" + std::to_string(rng.Uniform(1000)));
+    api::BatchSubmitTagsRequest submit;
+    for (const AcceptedTask& task : accepted.tasks) {
+      api::SubmitTagsItem item;
+      item.tagger = member.id;
+      item.handle = task.handle;
+      int k = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < k; ++i) {
+        if (rng.Bernoulli(member.diligence)) {
+          item.tags.push_back(
+              pool[rng.Uniform(static_cast<uint32_t>(pool.size()))]);
+        } else {
+          item.tags.push_back("zzz-" + std::to_string(rng.Uniform(1000)));
+        }
       }
+      submit.items.push_back(std::move(item));
     }
-    if (!system.SubmitTags(member.id, task.value().handle, tags).ok()) {
-      continue;
-    }
-    ++submitted;
+    submitted +=
+        static_cast<int>(service.BatchSubmitTags(submit).outcome.ok_count);
 
     // Providers moderate their queues: approve tags drawn from the topic
-    // pool, reject obvious noise (they can tell by looking).
+    // pool, reject obvious noise (they can tell by looking) — one
+    // decision batch per project.
     for (ProjectId p : {cheap, rich}) {
       ProviderId owner = p == cheap ? prof : museum;
+      api::BatchDecideRequest decide;
+      decide.provider = owner;
       for (const PendingSubmission& sub : system.PendingApprovals(p)) {
         bool looks_topical = false;
         const auto& topics = kTopics[p == cheap ? 0 : 1];
@@ -130,9 +147,13 @@ int main() {
             looks_topical |= t == topic;
           }
         }
-        if (system.Decide(owner, sub.handle, looks_topical).ok()) {
-          looks_topical ? ++approved : ++rejected;
-        }
+        decide.items.push_back({sub.handle, looks_topical});
+      }
+      if (decide.items.empty()) continue;
+      api::BatchDecideResponse decided = service.BatchDecide(decide);
+      for (size_t i = 0; i < decide.items.size(); ++i) {
+        if (!decided.outcome.statuses[i].ok()) continue;
+        decide.items[i].approve ? ++approved : ++rejected;
       }
     }
   }
@@ -158,7 +179,7 @@ int main() {
               system.GetProvider(prof).value().ApprovalRate(),
               system.GetProvider(museum).value().ApprovalRate());
   std::printf("Project quality: icde-papers=%.3f exhibit-photos=%.3f\n",
-              system.GetProjectInfo(cheap).value().quality,
-              system.GetProjectInfo(rich).value().quality);
+              service.ProjectQuery({cheap, false, {}}).info.quality,
+              service.ProjectQuery({rich, false, {}}).info.quality);
   return 0;
 }

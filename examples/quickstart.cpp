@@ -1,70 +1,86 @@
-// Quickstart: the smallest end-to-end iTag session.
+// Quickstart: the smallest end-to-end iTag session, through the batch-first
+// service API.
 //
-// A provider uploads a handful of under-tagged resources with their existing
-// tags, sets a budget, lets iTag pick a strategy, runs the project on the
-// simulated MTurk marketplace, and watches the quality improve.
+// A provider uploads a handful of under-tagged resources (one batch request,
+// tags included), sets a budget, lets iTag pick a strategy, runs the project
+// on the simulated MTurk marketplace, and watches the quality improve.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/service.h"
 #include "common/csv.h"
-#include "itag/itag_system.h"
 
 using namespace itag;        // NOLINT
 using namespace itag::core;  // NOLINT
 
 int main() {
-  ITagSystem system;
-  Status s = system.Init();
-  if (!s.ok()) {
+  api::Service service;
+  if (Status s = service.Init(); !s.ok()) {
     std::fprintf(stderr, "init failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  std::printf("iTag service, API v%u\n", api::Service::version());
 
   // 1. A provider signs up and creates a project (Fig. 4's Add Project).
-  ProviderId alice = system.RegisterProvider("alice").value();
-  ProjectSpec spec;
-  spec.name = "my-photo-collection";
-  spec.kind = tagging::ResourceKind::kImage;
-  spec.description = "holiday photos that need better tags";
-  spec.budget = 120;  // tagging tasks
-  spec.pay_cents = 5;
-  spec.platform = PlatformChoice::kMTurk;
-  spec.strategy = strategy::StrategyKind::kHybridFpMu;
-  ProjectId project = system.CreateProject(alice, spec).value();
+  ProviderId alice = service.RegisterProvider({"alice"}).provider;
+  api::CreateProjectRequest create;
+  create.provider = alice;
+  create.spec.name = "my-photo-collection";
+  create.spec.kind = tagging::ResourceKind::kImage;
+  create.spec.description = "holiday photos that need better tags";
+  create.spec.budget = 120;  // tagging tasks
+  create.spec.pay_cents = 5;
+  create.spec.platform = PlatformChoice::kMTurk;
+  create.spec.strategy = strategy::StrategyKind::kHybridFpMu;
+  ProjectId project = service.CreateProject(create).project;
 
-  // 2. Upload resources, each with whatever tags it already has.
+  // 2. Upload resources — one batch request, existing tags riding along.
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
   const char* uris[] = {"beach.jpg", "sunset.jpg", "harbor.jpg",
                         "market.jpg", "cathedral.jpg", "alley.jpg"};
   const std::vector<std::vector<std::string>> existing = {
       {"beach", "sand"}, {"sunset"}, {}, {"market", "food", "crowd"}, {}, {}};
-  std::vector<tagging::ResourceId> ids;
   for (int i = 0; i < 6; ++i) {
-    auto r = system.UploadResource(project, tagging::ResourceKind::kImage,
-                                   uris[i], "");
-    ids.push_back(r.value());
-    if (!existing[i].empty()) {
-      (void)system.ImportPost(project, ids.back(), existing[i]);
-    }
+    api::UploadResourceItem item;
+    item.kind = tagging::ResourceKind::kImage;
+    item.uri = uris[i];
+    item.initial_tags = existing[i];
+    upload.items.push_back(std::move(item));
   }
+  api::BatchUploadResourcesResponse uploaded =
+      service.BatchUploadResources(upload);
+  std::printf("uploaded %zu/%zu resources\n", uploaded.outcome.ok_count,
+              upload.items.size());
 
   // 3. iTag recommends a strategy from the current statistics.
-  auto rec = system.RecommendStrategy(project);
+  auto rec = service.system().RecommendStrategy(project);
   std::printf("recommended strategy: %s\n",
               strategy::StrategyKindName(rec.value()));
 
-  // 4. Start and let the simulated marketplace work through the budget.
-  s = system.StartProject(project);
-  if (!s.ok()) {
-    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+  // 4. Start, then let the simulated marketplace work through the budget.
+  api::BatchControlRequest control;
+  control.project = project;
+  control.items.push_back({api::ControlAction::kStart});
+  if (api::BatchControlResponse r = service.BatchControl(control);
+      !r.outcome.all_ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 r.outcome.statuses[0].ToString().c_str());
     return 1;
   }
-  (void)system.Step(4000);  // advance simulated marketplace time
+  (void)service.Step({4000});  // advance simulated marketplace time
 
-  // 5. Monitor: the Fig. 3 project row and the Fig. 5 quality feed.
-  ProjectInfo info = system.GetProjectInfo(project).value();
+  // 5. Monitor: the project row, quality feed, and one resource's detail —
+  // a single query request.
+  api::ProjectQueryRequest query;
+  query.project = project;
+  query.include_feed = true;
+  query.detail_resources = {uploaded.resources[2]};
+  api::ProjectQueryResponse status = service.ProjectQuery(query);
+  const ProjectInfo& info = status.info;
   std::printf("project '%s': state=%s tasks_done=%u budget_left=%u "
               "quality=%.3f projected_gain=%.3f\n",
               info.spec.name.c_str(), ProjectStateName(info.state),
@@ -72,23 +88,27 @@ int main() {
               info.projected_gain);
 
   TableWriter feed({"tasks", "quality"});
-  const auto& points = system.QualityFeed(project);
-  for (size_t i = 0; i < points.size(); i += std::max<size_t>(1, points.size() / 10)) {
+  const auto& points = status.feed;
+  for (size_t i = 0; i < points.size();
+       i += std::max<size_t>(1, points.size() / 10)) {
     feed.BeginRow().Add(static_cast<uint64_t>(points[i].tasks))
         .Add(points[i].quality);
   }
   feed.WriteAscii(std::cout);
 
   // 6. Inspect one resource (Fig. 6) and export the final tags.
-  auto detail = system.GetResourceDetail(project, ids[2]).value();
-  std::printf("resource %s: posts=%u quality=%.3f top tags:",
-              uris[2], detail.posts, detail.quality);
-  for (const auto& tf : detail.top_tags) {
-    std::printf(" %s(%u)", tf.tag.c_str(), tf.count);
+  if (!status.details.empty()) {
+    const auto& detail = status.details[0];
+    std::printf("resource %s: posts=%u quality=%.3f top tags:", uris[2],
+                detail.posts, detail.quality);
+    for (const auto& tf : detail.top_tags) {
+      std::printf(" %s(%u)", tf.tag.c_str(), tf.count);
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
 
-  auto rows = system.ExportProject(project, "/tmp/itag_quickstart_export.csv");
+  auto rows = service.system().ExportProject(
+      project, "/tmp/itag_quickstart_export.csv");
   std::printf("exported %zu tag rows to /tmp/itag_quickstart_export.csv\n",
               rows.ok() ? rows.value() : 0);
   return 0;

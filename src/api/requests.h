@@ -1,0 +1,201 @@
+#ifndef ITAG_API_REQUESTS_H_
+#define ITAG_API_REQUESTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "itag/ids.h"
+#include "itag/itag_system.h"
+#include "itag/project.h"
+#include "itag/quality_manager.h"
+#include "strategy/strategy.h"
+#include "tagging/resource.h"
+
+namespace itag::api {
+
+/// Version of the request/response surface in this header. Bumped on any
+/// incompatible change to a request or response struct; Service::version()
+/// reports it so callers built against older headers can bail out early.
+inline constexpr uint32_t kApiVersion = 1;
+
+/// Common header to every batch response: one Status per request item, in
+/// request order, plus the count that succeeded. A bad item never aborts the
+/// rest of the batch.
+struct BatchOutcome {
+  std::vector<Status> statuses;
+  size_t ok_count = 0;
+
+  /// True iff every item succeeded.
+  bool all_ok() const { return ok_count == statuses.size(); }
+};
+
+// ----------------------------------------------------------------- users
+
+struct RegisterProviderRequest {
+  std::string name;
+};
+struct RegisterProviderResponse {
+  Status status;
+  core::ProviderId provider = 0;
+};
+
+struct RegisterTaggerRequest {
+  std::string name;
+};
+struct RegisterTaggerResponse {
+  Status status;
+  core::UserTaggerId tagger = 0;
+};
+
+// -------------------------------------------------------------- projects
+
+struct CreateProjectRequest {
+  core::ProviderId provider = 0;
+  core::ProjectSpec spec;
+};
+struct CreateProjectResponse {
+  Status status;
+  core::ProjectId project = 0;
+};
+
+/// One resource of a batch upload, with whatever tags it already has (the
+/// Fig. 4 upload joins both steps).
+struct UploadResourceItem {
+  tagging::ResourceKind kind = tagging::ResourceKind::kWebUrl;
+  std::string uri;
+  std::string description;
+  /// Imported as a provider-era post when non-empty.
+  std::vector<std::string> initial_tags;
+};
+struct BatchUploadResourcesRequest {
+  core::ProjectId project = 0;
+  std::vector<UploadResourceItem> items;
+};
+struct BatchUploadResourcesResponse {
+  BatchOutcome outcome;
+  /// Aligned with the request items; kInvalidResource where the item failed.
+  std::vector<tagging::ResourceId> resources;
+};
+
+/// Project lifecycle and provider controls, one verb per item so a whole
+/// console session can ship as one request.
+enum class ControlAction : uint8_t {
+  kStart,
+  kPause,
+  kStop,
+  kPromoteResource,
+  kStopResource,
+  kResumeResource,
+  kAddBudget,
+  kSwitchStrategy,
+};
+struct ControlItem {
+  ControlAction action = ControlAction::kStart;
+  /// For the per-resource verbs.
+  tagging::ResourceId resource = tagging::kInvalidResource;
+  /// For kAddBudget.
+  uint32_t budget_tasks = 0;
+  /// For kSwitchStrategy.
+  strategy::StrategyKind strategy = strategy::StrategyKind::kHybridFpMu;
+};
+struct BatchControlRequest {
+  core::ProjectId project = 0;
+  std::vector<ControlItem> items;
+};
+struct BatchControlResponse {
+  BatchOutcome outcome;
+};
+
+struct ProjectQueryRequest {
+  core::ProjectId project = 0;
+  /// Appends the live quality feed (Fig. 5) to the response.
+  bool include_feed = false;
+  /// Appends per-resource details (Fig. 6) for these resources.
+  std::vector<tagging::ResourceId> detail_resources;
+};
+struct ProjectQueryResponse {
+  Status status;
+  core::ProjectInfo info;
+  std::vector<core::QualityPoint> feed;
+  std::vector<core::QualityManager::ResourceDetail> details;
+  /// Aligned with detail_resources.
+  BatchOutcome detail_outcome;
+};
+
+// ---------------------------------------------------------- tagger traffic
+
+/// Draws up to `count` strategy-assigned tasks for one tagger in a single
+/// allocation pass (AllocationEngine::ChooseBatch under the hood).
+struct BatchAcceptTasksRequest {
+  core::UserTaggerId tagger = 0;
+  core::ProjectId project = 0;
+  size_t count = 1;
+};
+struct BatchAcceptTasksResponse {
+  Status status;
+  std::vector<core::AcceptedTask> tasks;
+};
+
+struct SubmitTagsItem {
+  core::UserTaggerId tagger = 0;
+  core::TaskHandle handle = 0;
+  std::vector<std::string> tags;
+};
+struct BatchSubmitTagsRequest {
+  std::vector<SubmitTagsItem> items;
+};
+struct BatchSubmitTagsResponse {
+  BatchOutcome outcome;
+};
+
+// ------------------------------------------------------------- moderation
+
+struct DecideItem {
+  core::TaskHandle handle = 0;
+  bool approve = true;
+};
+struct BatchDecideRequest {
+  core::ProviderId provider = 0;
+  std::vector<DecideItem> items;
+};
+struct BatchDecideResponse {
+  BatchOutcome outcome;
+};
+
+// ------------------------------------------------------------- simulation
+
+struct StepRequest {
+  Tick ticks = 1;
+};
+struct StepResponse {
+  Status status;
+  Tick now = 0;
+};
+
+// ------------------------------------------------------------- dispatcher
+
+/// The closed set of requests Service::Dispatch routes. Kept in lock-step
+/// with kApiVersion: adding a request alternative is compatible, changing
+/// one is not.
+using AnyRequest =
+    std::variant<RegisterProviderRequest, RegisterTaggerRequest,
+                 CreateProjectRequest, BatchUploadResourcesRequest,
+                 BatchControlRequest, ProjectQueryRequest,
+                 BatchAcceptTasksRequest, BatchSubmitTagsRequest,
+                 BatchDecideRequest, StepRequest>;
+
+using AnyResponse =
+    std::variant<RegisterProviderResponse, RegisterTaggerResponse,
+                 CreateProjectResponse, BatchUploadResourcesResponse,
+                 BatchControlResponse, ProjectQueryResponse,
+                 BatchAcceptTasksResponse, BatchSubmitTagsResponse,
+                 BatchDecideResponse, StepResponse>;
+
+}  // namespace itag::api
+
+#endif  // ITAG_API_REQUESTS_H_

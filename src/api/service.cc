@@ -1,0 +1,249 @@
+#include "api/service.h"
+
+#include <utility>
+
+namespace itag::api {
+
+namespace {
+
+/// Appends `status` to the outcome, counting successes.
+void Record(BatchOutcome* outcome, Status status) {
+  if (status.ok()) ++outcome->ok_count;
+  outcome->statuses.push_back(std::move(status));
+}
+
+}  // namespace
+
+Service::Service(core::ITagSystemOptions options)
+    : owned_(std::make_unique<core::ITagSystem>(std::move(options))),
+      system_(owned_.get()) {}
+
+Service::Service(core::ITagSystem* system) : system_(system) {}
+
+Status Service::Init() {
+  return owned_ != nullptr ? owned_->Init() : Status::OK();
+}
+
+RegisterProviderResponse Service::RegisterProvider(
+    const RegisterProviderRequest& req) {
+  RegisterProviderResponse resp;
+  if (req.name.empty()) {
+    resp.status = Status::InvalidArgument("provider name must be non-empty");
+    return resp;
+  }
+  Result<core::ProviderId> r = system_->RegisterProvider(req.name);
+  resp.status = r.status();
+  if (r.ok()) resp.provider = r.value();
+  return resp;
+}
+
+RegisterTaggerResponse Service::RegisterTagger(
+    const RegisterTaggerRequest& req) {
+  RegisterTaggerResponse resp;
+  if (req.name.empty()) {
+    resp.status = Status::InvalidArgument("tagger name must be non-empty");
+    return resp;
+  }
+  Result<core::UserTaggerId> r = system_->RegisterTagger(req.name);
+  resp.status = r.status();
+  if (r.ok()) resp.tagger = r.value();
+  return resp;
+}
+
+CreateProjectResponse Service::CreateProject(const CreateProjectRequest& req) {
+  CreateProjectResponse resp;
+  if (req.spec.name.empty()) {
+    resp.status = Status::InvalidArgument("project name must be non-empty");
+    return resp;
+  }
+  Result<core::ProjectId> r = system_->CreateProject(req.provider, req.spec);
+  resp.status = r.status();
+  if (r.ok()) resp.project = r.value();
+  return resp;
+}
+
+BatchUploadResourcesResponse Service::BatchUploadResources(
+    const BatchUploadResourcesRequest& req) {
+  BatchUploadResourcesResponse resp;
+  resp.outcome.statuses.reserve(req.items.size());
+  resp.resources.reserve(req.items.size());
+  for (const UploadResourceItem& item : req.items) {
+    tagging::ResourceId id = tagging::kInvalidResource;
+    Status s;
+    if (item.uri.empty()) {
+      s = Status::InvalidArgument("resource uri must be non-empty");
+    } else {
+      Result<tagging::ResourceId> r = system_->UploadResource(
+          req.project, item.kind, item.uri, item.description);
+      s = r.status();
+      if (r.ok()) {
+        id = r.value();
+        if (!item.initial_tags.empty()) {
+          s = system_->ImportPost(req.project, id, item.initial_tags);
+        }
+      }
+    }
+    resp.resources.push_back(id);
+    Record(&resp.outcome, std::move(s));
+  }
+  return resp;
+}
+
+BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
+  BatchControlResponse resp;
+  resp.outcome.statuses.reserve(req.items.size());
+  for (const ControlItem& item : req.items) {
+    Status s;
+    switch (item.action) {
+      case ControlAction::kStart:
+        s = system_->StartProject(req.project);
+        break;
+      case ControlAction::kPause:
+        s = system_->PauseProject(req.project);
+        break;
+      case ControlAction::kStop:
+        s = system_->StopProject(req.project);
+        break;
+      case ControlAction::kPromoteResource:
+        s = system_->PromoteResource(req.project, item.resource);
+        break;
+      case ControlAction::kStopResource:
+        s = system_->StopResource(req.project, item.resource);
+        break;
+      case ControlAction::kResumeResource:
+        s = system_->ResumeResource(req.project, item.resource);
+        break;
+      case ControlAction::kAddBudget:
+        s = item.budget_tasks == 0
+                ? Status::InvalidArgument("budget_tasks must be positive")
+                : system_->AddBudget(req.project, item.budget_tasks);
+        break;
+      case ControlAction::kSwitchStrategy:
+        s = system_->SwitchStrategy(req.project, item.strategy);
+        break;
+    }
+    Record(&resp.outcome, std::move(s));
+  }
+  return resp;
+}
+
+ProjectQueryResponse Service::ProjectQuery(const ProjectQueryRequest& req) {
+  ProjectQueryResponse resp;
+  Result<core::ProjectInfo> info = system_->GetProjectInfo(req.project);
+  resp.status = info.status();
+  if (!info.ok()) return resp;
+  resp.info = info.value();
+  if (req.include_feed) resp.feed = system_->QualityFeed(req.project);
+  resp.detail_outcome.statuses.reserve(req.detail_resources.size());
+  for (tagging::ResourceId r : req.detail_resources) {
+    Result<core::QualityManager::ResourceDetail> d =
+        system_->GetResourceDetail(req.project, r);
+    if (d.ok()) resp.details.push_back(d.value());
+    Record(&resp.detail_outcome, d.status());
+  }
+  return resp;
+}
+
+BatchAcceptTasksResponse Service::BatchAcceptTasks(
+    const BatchAcceptTasksRequest& req) {
+  BatchAcceptTasksResponse resp;
+  if (req.count == 0) {
+    resp.status = Status::InvalidArgument("count must be positive");
+    return resp;
+  }
+  Result<std::vector<core::AcceptedTask>> r =
+      system_->AcceptTasks(req.tagger, req.project, req.count);
+  resp.status = r.status();
+  if (r.ok()) resp.tasks = std::move(r).value();
+  return resp;
+}
+
+BatchSubmitTagsResponse Service::BatchSubmitTags(
+    const BatchSubmitTagsRequest& req) {
+  BatchSubmitTagsResponse resp;
+  resp.outcome.statuses.reserve(req.items.size());
+  for (const SubmitTagsItem& item : req.items) {
+    Status s;
+    if (item.handle == 0) {
+      s = Status::InvalidArgument("handle must be non-zero");
+    } else if (item.tags.empty()) {
+      s = Status::InvalidArgument("submission must carry tags");
+    } else {
+      s = system_->SubmitTags(item.tagger, item.handle, item.tags);
+    }
+    Record(&resp.outcome, std::move(s));
+  }
+  return resp;
+}
+
+BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
+  BatchDecideResponse resp;
+  resp.outcome.statuses.reserve(req.items.size());
+  // Pre-validate, then let the facade group all approvals of a project into
+  // one CompletePostBatch pass. `routed` maps facade results back to the
+  // request slots that passed validation.
+  std::vector<std::pair<core::TaskHandle, bool>> decisions;
+  std::vector<size_t> routed;
+  for (size_t i = 0; i < req.items.size(); ++i) {
+    resp.outcome.statuses.emplace_back();
+    if (req.items[i].handle == 0) {
+      resp.outcome.statuses.back() =
+          Status::InvalidArgument("handle must be non-zero");
+    } else {
+      decisions.emplace_back(req.items[i].handle, req.items[i].approve);
+      routed.push_back(i);
+    }
+  }
+  std::vector<Status> statuses = system_->DecideBatch(req.provider, decisions);
+  for (size_t j = 0; j < statuses.size(); ++j) {
+    resp.outcome.statuses[routed[j]] = std::move(statuses[j]);
+  }
+  for (const Status& s : resp.outcome.statuses) {
+    if (s.ok()) ++resp.outcome.ok_count;
+  }
+  return resp;
+}
+
+StepResponse Service::Step(const StepRequest& req) {
+  StepResponse resp;
+  if (req.ticks < 0) {
+    resp.status = Status::InvalidArgument("ticks must be non-negative");
+    resp.now = system_->clock().Now();
+    return resp;
+  }
+  resp.status = req.ticks == 0 ? Status::OK() : system_->Step(req.ticks);
+  resp.now = system_->clock().Now();
+  return resp;
+}
+
+AnyResponse Service::Dispatch(const AnyRequest& req) {
+  return std::visit(
+      [this](const auto& r) -> AnyResponse {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, RegisterProviderRequest>) {
+          return RegisterProvider(r);
+        } else if constexpr (std::is_same_v<T, RegisterTaggerRequest>) {
+          return RegisterTagger(r);
+        } else if constexpr (std::is_same_v<T, CreateProjectRequest>) {
+          return CreateProject(r);
+        } else if constexpr (std::is_same_v<T, BatchUploadResourcesRequest>) {
+          return BatchUploadResources(r);
+        } else if constexpr (std::is_same_v<T, BatchControlRequest>) {
+          return BatchControl(r);
+        } else if constexpr (std::is_same_v<T, ProjectQueryRequest>) {
+          return ProjectQuery(r);
+        } else if constexpr (std::is_same_v<T, BatchAcceptTasksRequest>) {
+          return BatchAcceptTasks(r);
+        } else if constexpr (std::is_same_v<T, BatchSubmitTagsRequest>) {
+          return BatchSubmitTags(r);
+        } else if constexpr (std::is_same_v<T, BatchDecideRequest>) {
+          return BatchDecide(r);
+        } else {
+          static_assert(std::is_same_v<T, StepRequest>);
+          return Step(r);
+        }
+      },
+      req);
+}
+
+}  // namespace itag::api

@@ -1,0 +1,62 @@
+#ifndef ITAG_API_SERVICE_H_
+#define ITAG_API_SERVICE_H_
+
+#include <memory>
+
+#include "api/requests.h"
+#include "itag/itag_system.h"
+
+namespace itag::api {
+
+/// The batch-first service surface over the iTag facade: every call takes a
+/// typed request, validates it, routes it to ITagSystem, and returns a typed
+/// response whose per-item Status vector isolates bad items instead of
+/// aborting the whole ingest. This is the layer a network frontend would
+/// serialize; the facade underneath stays the single-threaded Fig. 2 core.
+///
+/// Construction: either own a fresh system (`Service(options)` + Init()) or
+/// wrap an existing one non-owningly (`Service(&system)`), e.g. in tests
+/// that also poke the facade directly.
+class Service {
+ public:
+  explicit Service(core::ITagSystemOptions options = {});
+  explicit Service(core::ITagSystem* system);
+
+  /// Initializes an owned system; no-op (OK) when wrapping, so callers can
+  /// Init() unconditionally.
+  Status Init();
+
+  /// The request/response schema version this binary serves.
+  static constexpr uint32_t version() { return kApiVersion; }
+
+  // -------------------------------------------------------------- endpoints
+  RegisterProviderResponse RegisterProvider(
+      const RegisterProviderRequest& req);
+  RegisterTaggerResponse RegisterTagger(const RegisterTaggerRequest& req);
+  CreateProjectResponse CreateProject(const CreateProjectRequest& req);
+  BatchUploadResourcesResponse BatchUploadResources(
+      const BatchUploadResourcesRequest& req);
+  BatchControlResponse BatchControl(const BatchControlRequest& req);
+  ProjectQueryResponse ProjectQuery(const ProjectQueryRequest& req);
+  BatchAcceptTasksResponse BatchAcceptTasks(
+      const BatchAcceptTasksRequest& req);
+  BatchSubmitTagsResponse BatchSubmitTags(const BatchSubmitTagsRequest& req);
+  BatchDecideResponse BatchDecide(const BatchDecideRequest& req);
+  StepResponse Step(const StepRequest& req);
+
+  /// Routes a type-erased request to its endpoint — the single entry point a
+  /// wire frontend needs.
+  AnyResponse Dispatch(const AnyRequest& req);
+
+  /// The wrapped facade, for flows the typed surface does not cover yet
+  /// (export, notifications, recommendations).
+  core::ITagSystem& system() { return *system_; }
+
+ private:
+  std::unique_ptr<core::ITagSystem> owned_;
+  core::ITagSystem* system_;
+};
+
+}  // namespace itag::api
+
+#endif  // ITAG_API_SERVICE_H_

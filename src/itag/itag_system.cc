@@ -144,6 +144,63 @@ std::vector<PendingSubmission> ITagSystem::PendingApprovals(
   return out;
 }
 
+Result<tagging::Post> ITagSystem::BuildPost(const PendingSubmission& sub,
+                                            tagging::Corpus* corpus) {
+  tagging::Post post;
+  post.time = clock_.Now();
+  post.tagger = static_cast<tagging::TaggerId>(
+      sub.tagger == static_cast<UserTaggerId>(-1) ? 0xFFFFFFFEu
+                                                  : sub.tagger);
+  for (const std::string& raw : sub.tags) {
+    tagging::TagId id = corpus->dict().Intern(raw);
+    if (id == tagging::kInvalidTag) continue;
+    if (std::find(post.tags.begin(), post.tags.end(), id) ==
+        post.tags.end()) {
+      post.tags.push_back(id);
+    }
+  }
+  if (post.tags.empty()) {
+    return Status::InvalidArgument("submission had no usable tags");
+  }
+  return post;
+}
+
+Status ITagSystem::SettleApproval(const PendingSubmission& sub,
+                                  const QualityManager::ProjectRec* rec,
+                                  crowd::CrowdPlatform* platform) {
+  if (platform != nullptr) {
+    ITAG_RETURN_IF_ERROR(platform->Approve(sub.platform_task));
+  }
+  if (sub.tagger != static_cast<UserTaggerId>(-1)) {
+    ITAG_RETURN_IF_ERROR(users_->RecordDecision(
+        rec->provider, sub.tagger, true, rec->spec.pay_cents));
+    ledger_.Pay(sub.project, static_cast<crowd::WorkerId>(sub.tagger),
+                rec->spec.pay_cents);
+  } else {
+    ITAG_RETURN_IF_ERROR(users_->RecordProviderDecision(rec->provider, true));
+  }
+  return Status::OK();
+}
+
+Status ITagSystem::ApplyRejection(const PendingSubmission& sub,
+                                  const QualityManager::ProjectRec* rec,
+                                  crowd::CrowdPlatform* platform) {
+  if (platform != nullptr) {
+    ITAG_RETURN_IF_ERROR(platform->Reject(sub.platform_task));
+  }
+  if (sub.tagger != static_cast<UserTaggerId>(-1)) {
+    ITAG_RETURN_IF_ERROR(
+        users_->RecordDecision(rec->provider, sub.tagger, false, 0));
+  } else {
+    ITAG_RETURN_IF_ERROR(
+        users_->RecordProviderDecision(rec->provider, false));
+  }
+  // Refund the task and retry the resource.
+  ITAG_RETURN_IF_ERROR(quality_->RefundTask(sub.project));
+  (void)quality_->PromoteResource(sub.project, sub.resource);
+  return Status::OK();
+}
+
 Status ITagSystem::ApplyDecision(const PendingSubmission& sub, bool approve) {
   const QualityManager::ProjectRec* rec = quality_->GetRec(sub.project);
   if (rec == nullptr) return Status::NotFound("project gone");
@@ -153,70 +210,116 @@ Status ITagSystem::ApplyDecision(const PendingSubmission& sub, bool approve) {
     platform = PlatformFor(sub.project);
   }
 
-  if (approve) {
-    tagging::Corpus* corpus = resources_->GetCorpus(sub.project);
-    if (corpus == nullptr) return Status::Internal("corpus missing");
-    tagging::Post post;
-    post.time = clock_.Now();
-    post.tagger = static_cast<tagging::TaggerId>(
-        sub.tagger == static_cast<UserTaggerId>(-1) ? 0xFFFFFFFEu
-                                                    : sub.tagger);
-    for (const std::string& raw : sub.tags) {
-      tagging::TagId id = corpus->dict().Intern(raw);
-      if (id == tagging::kInvalidTag) continue;
-      if (std::find(post.tags.begin(), post.tags.end(), id) ==
-          post.tags.end()) {
-        post.tags.push_back(id);
-      }
-    }
-    if (post.tags.empty()) {
-      return Status::InvalidArgument("submission had no usable tags");
-    }
-    ITAG_RETURN_IF_ERROR(
-        quality_->CompletePost(sub.project, sub.resource, std::move(post)));
-    if (platform != nullptr) {
-      ITAG_RETURN_IF_ERROR(platform->Approve(sub.platform_task));
-    }
-    if (sub.tagger != static_cast<UserTaggerId>(-1)) {
-      ITAG_RETURN_IF_ERROR(users_->RecordDecision(
-          rec->provider, sub.tagger, true, rec->spec.pay_cents));
-      ledger_.Pay(sub.project, static_cast<crowd::WorkerId>(sub.tagger),
-                  rec->spec.pay_cents);
-    } else {
-      ITAG_RETURN_IF_ERROR(
-          users_->RecordProviderDecision(rec->provider, true));
-    }
-  } else {
-    if (platform != nullptr) {
-      ITAG_RETURN_IF_ERROR(platform->Reject(sub.platform_task));
-    }
-    if (sub.tagger != static_cast<UserTaggerId>(-1)) {
-      ITAG_RETURN_IF_ERROR(
-          users_->RecordDecision(rec->provider, sub.tagger, false, 0));
-    } else {
-      ITAG_RETURN_IF_ERROR(
-          users_->RecordProviderDecision(rec->provider, false));
-    }
-    // Refund the task and retry the resource.
-    ITAG_RETURN_IF_ERROR(quality_->RefundTask(sub.project));
-    (void)quality_->PromoteResource(sub.project, sub.resource);
-  }
-  return Status::OK();
+  if (!approve) return ApplyRejection(sub, rec, platform);
+
+  tagging::Corpus* corpus = resources_->GetCorpus(sub.project);
+  if (corpus == nullptr) return Status::Internal("corpus missing");
+  ITAG_ASSIGN_OR_RETURN(tagging::Post post, BuildPost(sub, corpus));
+  ITAG_RETURN_IF_ERROR(
+      quality_->CompletePost(sub.project, sub.resource, std::move(post)));
+  return SettleApproval(sub, rec, platform);
 }
 
 Status ITagSystem::Decide(ProviderId provider, TaskHandle handle,
                           bool approve) {
   auto it = pending_.find(handle);
   if (it == pending_.end()) {
+    // Unknown handles are NotFound across the board — including handles
+    // still sitting in accepted_ (accepted but not yet submitted), which
+    // have no pending submission to decide on.
     return Status::NotFound("submission " + std::to_string(handle));
   }
   const QualityManager::ProjectRec* rec = quality_->GetRec(it->second.project);
-  if (rec == nullptr || rec->provider != provider) {
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(it->second.project));
+  }
+  if (rec->provider != provider) {
     return Status::FailedPrecondition("not this provider's project");
   }
   Status s = ApplyDecision(it->second, approve);
   pending_.erase(it);
   return s;
+}
+
+std::vector<Status> ITagSystem::DecideBatch(
+    ProviderId provider,
+    const std::vector<std::pair<TaskHandle, bool>>& decisions) {
+  std::vector<Status> out;
+  out.reserve(decisions.size());
+  // Approved items queued for the per-project flush, each remembering the
+  // `out` slot its final status lands in.
+  struct QueuedApproval {
+    ApprovedItem item;
+    size_t out_index;
+  };
+  std::map<ProjectId, std::vector<QueuedApproval>> approved;
+
+  for (const auto& [handle, approve] : decisions) {
+    auto it = pending_.find(handle);
+    if (it == pending_.end()) {
+      out.push_back(Status::NotFound("submission " + std::to_string(handle)));
+      continue;
+    }
+    const PendingSubmission& sub = it->second;
+    const QualityManager::ProjectRec* rec = quality_->GetRec(sub.project);
+    if (rec == nullptr) {
+      out.push_back(
+          Status::NotFound("project " + std::to_string(sub.project)));
+      continue;
+    }
+    if (rec->provider != provider) {
+      out.push_back(Status::FailedPrecondition("not this provider's project"));
+      continue;
+    }
+    crowd::CrowdPlatform* platform =
+        sub.platform_task != 0 ? PlatformFor(sub.project) : nullptr;
+    if (!approve) {
+      out.push_back(ApplyRejection(sub, rec, platform));
+      pending_.erase(it);
+      continue;
+    }
+    tagging::Corpus* corpus = resources_->GetCorpus(sub.project);
+    if (corpus == nullptr) {
+      out.push_back(Status::Internal("corpus missing"));
+      pending_.erase(it);
+      continue;
+    }
+    Result<tagging::Post> post = BuildPost(sub, corpus);
+    if (!post.ok()) {
+      out.push_back(post.status());
+      pending_.erase(it);
+      continue;
+    }
+    approved[sub.project].push_back(
+        {{sub, std::move(post).value()}, out.size()});
+    out.push_back(Status::OK());  // finalized by the flush below
+    pending_.erase(it);
+  }
+
+  // One corpus/quality pass per touched project; like the single-call path,
+  // a submission is only settled (worker paid, stats recorded) once its
+  // post is in the corpus.
+  for (auto& [project, queued] : approved) {
+    std::vector<std::pair<ResourceId, tagging::Post>> posts;
+    posts.reserve(queued.size());
+    for (QueuedApproval& q : queued) {
+      posts.emplace_back(q.item.sub.resource, std::move(q.item.post));
+    }
+    std::vector<Status> statuses =
+        quality_->CompletePostBatch(project, std::move(posts));
+    const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) {
+        out[queued[i].out_index] = std::move(statuses[i]);
+        continue;
+      }
+      const PendingSubmission& sub = queued[i].item.sub;
+      crowd::CrowdPlatform* platform =
+          sub.platform_task != 0 ? PlatformFor(project) : nullptr;
+      out[queued[i].out_index] = SettleApproval(sub, rec, platform);
+    }
+  }
+  return out;
 }
 
 Result<size_t> ITagSystem::ExportProject(ProjectId project,
@@ -259,13 +362,40 @@ Result<AcceptedTask> ITagSystem::AcceptTask(UserTaggerId tagger,
   return task;
 }
 
+Result<std::vector<AcceptedTask>> ITagSystem::AcceptTasks(UserTaggerId tagger,
+                                                          ProjectId project,
+                                                          size_t count) {
+  ITAG_RETURN_IF_ERROR(users_->GetTagger(tagger).status());
+  ITAG_ASSIGN_OR_RETURN(std::vector<ResourceId> resources,
+                        quality_->ChooseTaskBatch(project, count));
+  const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+  const tagging::Corpus* corpus = resources_->GetCorpus(project);
+  std::vector<AcceptedTask> tasks;
+  tasks.reserve(resources.size());
+  for (ResourceId resource : resources) {
+    AcceptedTask task;
+    task.handle = next_handle_++;
+    task.project = project;
+    task.resource = resource;
+    task.uri = corpus->resource(resource).uri;
+    task.pay_cents = rec->spec.pay_cents;
+    accepted_.emplace(task.handle, task);
+    accepted_by_.emplace(task.handle, tagger);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
 Status ITagSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
                               const std::vector<std::string>& raw_tags) {
   auto it = accepted_.find(handle);
   if (it == accepted_.end()) {
+    // NotFound for any handle without an open accepted task — never-issued
+    // handles and already-submitted ones look the same to the caller.
     return Status::NotFound("task " + std::to_string(handle));
   }
-  if (accepted_by_[handle] != tagger) {
+  auto by = accepted_by_.find(handle);
+  if (by == accepted_by_.end() || by->second != tagger) {
     return Status::FailedPrecondition("task accepted by another tagger");
   }
   std::vector<std::string> normalized;
@@ -351,7 +481,8 @@ sim::GeneratedPost ITagSystem::DefaultPostContent(ProjectId project,
 }
 
 Status ITagSystem::HandleSubmission(crowd::CrowdPlatform* platform,
-                                    const crowd::TaskEvent& ev) {
+                                    const crowd::TaskEvent& ev,
+                                    ApprovedPosts* approved) {
   std::map<crowd::TaskId, InFlight>& in_flight =
       platform == mturk_.get() ? in_flight_mturk_ : in_flight_social_;
   auto it = in_flight.find(ev.task);
@@ -387,7 +518,12 @@ Status ITagSystem::HandleSubmission(crowd::CrowdPlatform* platform,
   auto pit = policies_.find(rec->provider);
   bool approve =
       pit == policies_.end() ? true : pit->second(sub);
-  return ApplyDecision(sub, approve);
+  if (!approve) return ApplyRejection(sub, rec, platform);
+  // Approvals accumulate; the tick flushes them per project in one
+  // CompletePostBatch pass and only settles once the posts are recorded.
+  ITAG_ASSIGN_OR_RETURN(tagging::Post post, BuildPost(sub, corpus));
+  (*approved)[sub.project].push_back({std::move(sub), std::move(post)});
+  return Status::OK();
 }
 
 Status ITagSystem::PumpProject(ProjectId project,
@@ -404,17 +540,28 @@ Status ITagSystem::PumpProject(ProjectId project,
   Result<ProviderProfile> provider = users_->GetProvider(rec->provider);
   double approval_rate =
       provider.ok() ? provider.value().ApprovalRate() : 1.0;
-  while (ours < kMaxOpenTasksPerProject) {
-    Result<ResourceId> chosen = quality_->ChooseNextTask(project);
-    if (!chosen.ok()) break;
+  if (ours >= kMaxOpenTasksPerProject) return Status::OK();
+  // Refill the whole open-task window with one allocation pass instead of
+  // one engine round-trip per task.
+  Result<std::vector<ResourceId>> chosen =
+      quality_->ChooseTaskBatch(project, kMaxOpenTasksPerProject - ours);
+  if (!chosen.ok()) return Status::OK();  // paused / exhausted / no resource
+  const std::vector<ResourceId>& resources = chosen.value();
+  for (size_t i = 0; i < resources.size(); ++i) {
     crowd::TaskSpec spec;
     spec.project = project;
-    spec.resource = chosen.value();
+    spec.resource = resources[i];
     spec.pay_cents = rec->spec.pay_cents;
     spec.requester_approval_rate = approval_rate;
-    ITAG_ASSIGN_OR_RETURN(crowd::TaskId tid, platform->PostTask(spec));
-    in_flight.emplace(tid, InFlight{project, chosen.value()});
-    ++ours;
+    Result<crowd::TaskId> tid = platform->PostTask(spec);
+    if (!tid.ok()) {
+      // The batch debited every pick up front; give the unposted ones back.
+      for (size_t j = i; j < resources.size(); ++j) {
+        (void)quality_->RefundTask(project);
+      }
+      return tid.status();
+    }
+    in_flight.emplace(tid.value(), InFlight{project, resources[i]});
   }
   return Status::OK();
 }
@@ -432,15 +579,33 @@ Status ITagSystem::Step(Tick ticks) {
           quality_->GetRec(info.id));
       ITAG_RETURN_IF_ERROR(PumpProject(info.id, rec));
     }
-    // Advance both platforms one tick and route submissions.
+    // Advance both platforms one tick, route submissions, and flush the
+    // tick's approvals per project in one batched corpus/quality pass.
+    ApprovedPosts approved;
     for (crowd::CrowdPlatform* platform :
          {static_cast<crowd::CrowdPlatform*>(mturk_.get()),
           static_cast<crowd::CrowdPlatform*>(social_.get())}) {
       std::vector<crowd::TaskEvent> events = platform->AdvanceTo(clock_.Now());
       for (const crowd::TaskEvent& ev : events) {
         if (ev.kind == crowd::TaskEventKind::kSubmitted) {
-          ITAG_RETURN_IF_ERROR(HandleSubmission(platform, ev));
+          ITAG_RETURN_IF_ERROR(HandleSubmission(platform, ev, &approved));
         }
+      }
+    }
+    for (auto& [project, items] : approved) {
+      std::vector<std::pair<ResourceId, tagging::Post>> posts;
+      posts.reserve(items.size());
+      for (ApprovedItem& item : items) {
+        posts.emplace_back(item.sub.resource, std::move(item.post));
+      }
+      std::vector<Status> statuses =
+          quality_->CompletePostBatch(project, std::move(posts));
+      const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+      for (size_t i = 0; i < statuses.size(); ++i) {
+        ITAG_RETURN_IF_ERROR(statuses[i]);
+        crowd::CrowdPlatform* platform =
+            items[i].sub.platform_task != 0 ? PlatformFor(project) : nullptr;
+        ITAG_RETURN_IF_ERROR(SettleApproval(items[i].sub, rec, platform));
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -125,6 +126,15 @@ class ITagSystem {
   /// Provider decision on a pending submission (Approve/Disapprove buttons).
   Status Decide(ProviderId provider, TaskHandle handle, bool approve);
 
+  /// Batched moderation: decides every (handle, approve) pair, returning one
+  /// Status per item in request order — a bad handle never aborts the rest.
+  /// Approved posts of the same project are recorded through one
+  /// CompletePostBatch pass (one quality-feed point per project per call)
+  /// instead of one O(corpus) update per submission.
+  std::vector<Status> DecideBatch(
+      ProviderId provider,
+      const std::vector<std::pair<TaskHandle, bool>>& decisions);
+
   /// Exports the project's resources with their top tags as CSV.
   Result<size_t> ExportProject(ProjectId project,
                                const std::string& path) const;
@@ -138,6 +148,14 @@ class ITagSystem {
   /// (§III-B "they are assigned resources to tag, as decided by the
   /// strategy").
   Result<AcceptedTask> AcceptTask(UserTaggerId tagger, ProjectId project);
+
+  /// Batched join: draws up to `count` strategy-assigned tasks in one
+  /// allocation pass (ChooseBatch), amortizing the project/corpus lookups.
+  /// May return fewer tasks when budget runs out mid-batch; fails like
+  /// AcceptTask when nothing can be drawn at all.
+  Result<std::vector<AcceptedTask>> AcceptTasks(UserTaggerId tagger,
+                                                ProjectId project,
+                                                size_t count);
 
   /// Submits tags for an accepted task; they await provider approval.
   Status SubmitTags(UserTaggerId tagger, TaskHandle handle,
@@ -173,13 +191,34 @@ class ITagSystem {
     tagging::ResourceId resource = 0;
   };
 
+  /// One approved-but-not-yet-recorded submission of a Step tick, kept with
+  /// its built post until the per-project CompletePostBatch flush; settling
+  /// (payment, records) only happens after its post lands in the corpus.
+  struct ApprovedItem {
+    PendingSubmission sub;
+    tagging::Post post;
+  };
+  using ApprovedPosts = std::map<ProjectId, std::vector<ApprovedItem>>;
+
   sim::GeneratedPost DefaultPostContent(ProjectId project,
                                         tagging::ResourceId resource,
                                         double reliability, Tick now);
   Status PumpProject(ProjectId project, QualityManager::ProjectRec* rec);
   Status HandleSubmission(crowd::CrowdPlatform* platform,
-                          const crowd::TaskEvent& ev);
+                          const crowd::TaskEvent& ev, ApprovedPosts* approved);
   Status ApplyDecision(const PendingSubmission& sub, bool approve);
+  /// Interns the submission's tags into a corpus post; InvalidArgument when
+  /// nothing usable remains.
+  Result<tagging::Post> BuildPost(const PendingSubmission& sub,
+                                  tagging::Corpus* corpus);
+  /// The non-corpus side of an approval: platform payout and user records.
+  Status SettleApproval(const PendingSubmission& sub,
+                        const QualityManager::ProjectRec* rec,
+                        crowd::CrowdPlatform* platform);
+  /// A rejection end-to-end: platform reject, records, refund, re-promote.
+  Status ApplyRejection(const PendingSubmission& sub,
+                        const QualityManager::ProjectRec* rec,
+                        crowd::CrowdPlatform* platform);
 
   ITagSystemOptions options_;
   storage::Database db_;

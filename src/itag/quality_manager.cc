@@ -1,6 +1,7 @@
 #include "itag/quality_manager.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "strategy/allocator.h"
 
@@ -145,7 +146,10 @@ Status QualityManager::AddBudget(ProjectId project, uint32_t tasks) {
     return Status::NotFound("project " + std::to_string(project));
   }
   if (rec->engine == nullptr) {
-    rec->spec.budget += tasks;
+    // Saturate like AllocationEngine::AddBudget does once running.
+    uint64_t total = static_cast<uint64_t>(rec->spec.budget) + tasks;
+    rec->spec.budget =
+        total > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(total);
   } else {
     rec->engine->AddBudget(tasks);
   }
@@ -227,23 +231,44 @@ Status QualityManager::ResumeResource(ProjectId project,
   return Status::OK();
 }
 
-Result<ResourceId> QualityManager::ChooseNextTask(ProjectId project) {
-  ProjectRec* rec = Rec(project);
+namespace {
+
+/// Shared gate for the per-call and batched draw paths.
+Status CheckRunning(const QualityManager::ProjectRec* rec, ProjectId project) {
   if (rec == nullptr) {
     return Status::NotFound("project " + std::to_string(project));
   }
   if (rec->state != ProjectState::kRunning || rec->engine == nullptr) {
     return Status::FailedPrecondition("project not running");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+void QualityManager::NotifyIfExhausted(ProjectId project, ProjectRec* rec,
+                                       const Status& status) {
+  if (!status.IsResourceExhausted() || rec->exhausted_notified) return;
+  rec->exhausted_notified = true;
+  Notifications(rec->provider)
+      .Push({NotificationKind::kBudgetExhausted, clock_->Now(), project,
+             "budget exhausted for '" + rec->spec.name + "'"});
+}
+
+Result<ResourceId> QualityManager::ChooseNextTask(ProjectId project) {
+  ProjectRec* rec = Rec(project);
+  ITAG_RETURN_IF_ERROR(CheckRunning(rec, project));
   Result<ResourceId> chosen = rec->engine->ChooseNext();
-  if (!chosen.ok() && chosen.status().IsResourceExhausted()) {
-    if (!rec->exhausted_notified) {
-      rec->exhausted_notified = true;
-      Notifications(rec->provider)
-          .Push({NotificationKind::kBudgetExhausted, clock_->Now(), project,
-                 "budget exhausted for '" + rec->spec.name + "'"});
-    }
-  }
+  if (!chosen.ok()) NotifyIfExhausted(project, rec, chosen.status());
+  return chosen;
+}
+
+Result<std::vector<ResourceId>> QualityManager::ChooseTaskBatch(
+    ProjectId project, size_t k) {
+  ProjectRec* rec = Rec(project);
+  ITAG_RETURN_IF_ERROR(CheckRunning(rec, project));
+  Result<std::vector<ResourceId>> chosen = rec->engine->ChooseBatch(k);
+  if (!chosen.ok()) NotifyIfExhausted(project, rec, chosen.status());
   return chosen;
 }
 
@@ -296,6 +321,64 @@ Status QualityManager::CompletePost(ProjectId project, ResourceId resource,
       .Push({NotificationKind::kNewTagging, clock_->Now(), project,
              "new tagging on " + corpus->resource(resource).uri});
   return Status::OK();
+}
+
+std::vector<Status> QualityManager::CompletePostBatch(
+    ProjectId project,
+    std::vector<std::pair<ResourceId, tagging::Post>> posts) {
+  if (posts.empty()) return {};
+  ProjectRec* rec = Rec(project);
+  Status gate = rec == nullptr || rec->engine == nullptr
+                    ? Status::FailedPrecondition("project not started")
+                    : Status::OK();
+  tagging::Corpus* corpus =
+      gate.ok() ? resources_->GetCorpus(project) : nullptr;
+  if (gate.ok() && corpus == nullptr) {
+    gate = Status::Internal("corpus missing");
+  }
+  if (!gate.ok()) return std::vector<Status>(posts.size(), gate);
+
+  // Pre-batch quality per touched resource, for the notify bar.
+  std::map<ResourceId, double> before;
+  for (const auto& [resource, post] : posts) {
+    (void)post;
+    if (before.count(resource) == 0) {
+      before[resource] =
+          stability_.ResourceQuality(resource, corpus->stats(resource));
+    }
+  }
+
+  std::vector<Status> statuses;
+  statuses.reserve(posts.size());
+  size_t applied = 0;
+  for (auto& [resource, post] : posts) {
+    Status s = tags_->LinkPost(project, corpus, resource, std::move(post));
+    if (s.ok()) {
+      rec->engine->NotifyPost(resource);
+      ++rec->tasks_completed;
+      ++applied;
+    }
+    statuses.push_back(std::move(s));
+  }
+  if (applied == 0) return statuses;
+
+  // One O(corpus) feed point and one inbox entry for the whole batch.
+  EmitQualityPoint(project, *rec);
+  Notifications(rec->provider)
+      .Push({NotificationKind::kNewTagging, clock_->Now(), project,
+             std::to_string(applied) + " new taggings"});
+
+  for (const auto& [resource, q0] : before) {
+    double after =
+        stability_.ResourceQuality(resource, corpus->stats(resource));
+    if (q0 < kNotifyQualityBar && after >= kNotifyQualityBar) {
+      Notifications(rec->provider)
+          .Push({NotificationKind::kQualityImproved, clock_->Now(), project,
+                 "resource " + corpus->resource(resource).uri +
+                     " reached quality " + std::to_string(after)});
+    }
+  }
+  return statuses;
 }
 
 const std::vector<QualityPoint>& QualityManager::QualityFeed(

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -84,6 +85,14 @@ class QualityManager {
   /// both call this). Decrements budget. Fails while not Running.
   Result<tagging::ResourceId> ChooseNextTask(ProjectId project);
 
+  /// Batched draw: up to `k` resources in one engine pass, amortizing the
+  /// project lookup and state checks across the whole batch. Sequence-
+  /// equivalent to `k` ChooseNextTask calls; may return fewer than `k`
+  /// picks when the budget runs out mid-batch. Error statuses match
+  /// ChooseNextTask (including the one-shot budget-exhausted notification).
+  Result<std::vector<tagging::ResourceId>> ChooseTaskBatch(ProjectId project,
+                                                           size_t k);
+
   /// Refunds one task of budget (rejected submission).
   Status RefundTask(ProjectId project);
 
@@ -91,6 +100,17 @@ class QualityManager {
   /// state, appends to the quality feed, and emits notifications.
   Status CompletePost(ProjectId project, tagging::ResourceId resource,
                       tagging::Post post);
+
+  /// Batched UPDATE(): records a whole tick's (or request's) worth of
+  /// approved posts in one pass. Every post is linked and fed to the
+  /// strategy individually (a failing post is skipped, not fatal to the
+  /// rest — the returned statuses align with `posts`), but the O(corpus)
+  /// quality-feed point and the new-tagging notification are emitted once
+  /// per batch — the amortization that lets Step() pump heavy platform
+  /// traffic. Quality-improved notifications still fire per resource.
+  std::vector<Status> CompletePostBatch(
+      ProjectId project,
+      std::vector<std::pair<tagging::ResourceId, tagging::Post>> posts);
 
   /// Live quality feed (Fig. 5).
   const std::vector<QualityPoint>& QualityFeed(ProjectId project) const;
@@ -131,6 +151,9 @@ class QualityManager {
  private:
   ProjectRec* Rec(ProjectId project);
   void EmitQualityPoint(ProjectId project, ProjectRec& rec);
+  /// Pushes the one-shot budget-exhausted notification when `status` says so.
+  void NotifyIfExhausted(ProjectId project, ProjectRec* rec,
+                         const Status& status);
 
   ResourceManager* resources_;
   TagManager* tags_;

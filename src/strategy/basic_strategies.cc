@@ -78,6 +78,14 @@ ResourceId FewestPostsFirstStrategy::Choose(const StrategyContext& ctx) {
   return kInvalidResource;
 }
 
+void FewestPostsFirstStrategy::ChooseResources(const StrategyContext& ctx,
+                                               size_t k,
+                                               std::vector<ResourceId>* out) {
+  ResourceId id = Choose(ctx);
+  if (id == kInvalidResource) return;
+  out->insert(out->end(), k, id);
+}
+
 void FewestPostsFirstStrategy::OnPost(const StrategyContext& ctx,
                                       ResourceId id) {
   if (id >= key_.size()) return;
@@ -122,6 +130,14 @@ ResourceId MostUnstableFirstStrategy::Choose(const StrategyContext& ctx) {
     return id;
   }
   return kInvalidResource;
+}
+
+void MostUnstableFirstStrategy::ChooseResources(const StrategyContext& ctx,
+                                                size_t k,
+                                                std::vector<ResourceId>* out) {
+  ResourceId id = Choose(ctx);
+  if (id == kInvalidResource) return;
+  out->insert(out->end(), k, id);
 }
 
 void MostUnstableFirstStrategy::OnPost(const StrategyContext& ctx,
@@ -194,6 +210,22 @@ ResourceId RandomStrategy::Choose(const StrategyContext& ctx) {
 
 void RandomStrategy::OnPost(const StrategyContext& /*ctx*/,
                             ResourceId /*id*/) {}
+
+void RandomStrategy::ChooseResources(const StrategyContext& ctx, size_t k,
+                                     std::vector<ResourceId>* out) {
+  std::vector<ResourceId> eligible;
+  eligible.reserve(ctx.size());
+  for (ResourceId id = 0; id < ctx.size(); ++id) {
+    if (!ctx.stopped(id)) eligible.push_back(id);
+  }
+  if (eligible.empty()) return;
+  out->reserve(out->size() + k);
+  for (size_t i = 0; i < k; ++i) {
+    uint32_t target =
+        ctx.rng()->Uniform(static_cast<uint32_t>(eligible.size()));
+    out->push_back(eligible[target]);
+  }
+}
 
 // ---------------------------------------------------------------- RR
 

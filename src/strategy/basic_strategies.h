@@ -45,6 +45,11 @@ class FewestPostsFirstStrategy : public Strategy {
   tagging::ResourceId Choose(const StrategyContext& ctx) override;
   void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
 
+  /// Bulk override: post counts only move on OnPost, so k picks without an
+  /// UPDATE in between are k copies of the current minimum — one lookup.
+  void ChooseResources(const StrategyContext& ctx, size_t k,
+                       std::vector<tagging::ResourceId>* out) override;
+
  private:
   std::set<std::pair<uint32_t, tagging::ResourceId>> order_;
   std::vector<uint32_t> key_;  // current post count per resource
@@ -68,6 +73,11 @@ class MostUnstableFirstStrategy : public Strategy {
   void Initialize(const StrategyContext& ctx) override;
   tagging::ResourceId Choose(const StrategyContext& ctx) override;
   void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+  /// Bulk override: instability scores only move on OnPost, so k picks are
+  /// k copies of the current most-unstable resource — one lookup.
+  void ChooseResources(const StrategyContext& ctx, size_t k,
+                       std::vector<tagging::ResourceId>* out) override;
 
   /// The instability score the strategy currently holds for `id`.
   double score(tagging::ResourceId id) const { return score_[id]; }
@@ -122,6 +132,12 @@ class RandomStrategy : public Strategy {
   void Initialize(const StrategyContext& ctx) override;
   tagging::ResourceId Choose(const StrategyContext& ctx) override;
   void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+  /// Bulk override: one O(n) pass builds the eligible list, then each pick
+  /// is O(1). Draws one Uniform(eligible) per pick exactly like Choose(), so
+  /// the id sequence matches k repeated single calls bit-for-bit.
+  void ChooseResources(const StrategyContext& ctx, size_t k,
+                       std::vector<tagging::ResourceId>* out) override;
 };
 
 /// Cyclic baseline: resources in id order, skipping ineligible ones.
@@ -131,6 +147,10 @@ class RoundRobinStrategy : public Strategy {
   void Initialize(const StrategyContext& ctx) override;
   tagging::ResourceId Choose(const StrategyContext& ctx) override;
   void OnPost(const StrategyContext& ctx, tagging::ResourceId id) override;
+
+  // No ChooseResources override: the per-pick cursor walk is already O(1)
+  // when few resources are stopped, so the default fallback is the fastest
+  // batched form too.
 
  private:
   tagging::ResourceId next_ = 0;

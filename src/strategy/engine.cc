@@ -1,6 +1,8 @@
 #include "strategy/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace itag::strategy {
 
@@ -21,30 +23,69 @@ AllocationEngine::AllocationEngine(tagging::Corpus* corpus,
   strategy_->Initialize(ctx_);
 }
 
+ResourceId AllocationEngine::PopPromotion() {
+  // FIFO drain, skipping any resource stopped since its promotion.
+  while (!promoted_.empty()) {
+    ResourceId cand = promoted_.front();
+    promoted_.pop_front();
+    if (!ctx_.stopped(cand)) return cand;
+  }
+  return kInvalidResource;
+}
+
+void AllocationEngine::Account(ResourceId id) {
+  --budget_remaining_;
+  ++tasks_assigned_;
+  ++assignment_[id];
+}
+
 Result<ResourceId> AllocationEngine::ChooseNext() {
   if (budget_remaining_ == 0) {
     return Status::ResourceExhausted("budget spent");
   }
-  ResourceId id = kInvalidResource;
-  // Drain promotions first (skipping any stopped since their promotion).
-  while (!promoted_.empty()) {
-    ResourceId cand = promoted_.front();
-    promoted_.pop_front();
-    if (!ctx_.stopped(cand)) {
-      id = cand;
-      break;
-    }
-  }
+  ResourceId id = PopPromotion();
   if (id == kInvalidResource) {
     id = strategy_->Choose(ctx_);
   }
   if (id == kInvalidResource) {
     return Status::FailedPrecondition("no eligible resource");
   }
-  --budget_remaining_;
-  ++tasks_assigned_;
-  ++assignment_[id];
+  Account(id);
   return id;
+}
+
+Result<std::vector<ResourceId>> AllocationEngine::ChooseBatch(size_t k) {
+  // Zero repeated ChooseNext() calls succeed vacuously; so does a 0-batch.
+  if (k == 0) return std::vector<ResourceId>{};
+  if (budget_remaining_ == 0) {
+    return Status::ResourceExhausted("budget spent");
+  }
+  size_t want = std::min<size_t>(k, budget_remaining_);
+  std::vector<ResourceId> chosen;
+  chosen.reserve(want);
+  // Promotions keep their guaranteed-next position within the batch.
+  while (chosen.size() < want) {
+    ResourceId id = PopPromotion();
+    if (id == kInvalidResource) break;
+    chosen.push_back(id);
+  }
+  if (chosen.size() < want) {
+    strategy_->ChooseResources(ctx_, want - chosen.size(), &chosen);
+  }
+  if (chosen.empty()) {
+    return Status::FailedPrecondition("no eligible resource");
+  }
+  for (ResourceId id : chosen) Account(id);
+  return chosen;
+}
+
+uint32_t AllocationEngine::AddBudget(uint32_t amount) {
+  // Saturate instead of wrapping: a provider topping an (effectively
+  // unbounded) budget up must never see it collapse to a small number.
+  uint64_t total = static_cast<uint64_t>(budget_remaining_) + amount;
+  budget_remaining_ = total > UINT32_MAX ? UINT32_MAX
+                                         : static_cast<uint32_t>(total);
+  return budget_remaining_;
 }
 
 void AllocationEngine::NotifyPost(ResourceId id) {

@@ -52,6 +52,16 @@ class AllocationEngine {
   /// FailedPrecondition when no resource is eligible.
   Result<tagging::ResourceId> ChooseNext();
 
+  /// Batched CHOOSERESOURCES(): chooses up to `k` resources in one pass,
+  /// debiting one budget unit per pick. Promotions drain first (FIFO,
+  /// skipping stopped resources), then the strategy's ChooseResources()
+  /// fills the remainder. The result may be shorter than `k` when budget or
+  /// eligibility runs out; it is sequence-equivalent to `k` repeated
+  /// ChooseNext() calls under the same engine state. Fails with
+  /// ResourceExhausted when the budget is already spent and
+  /// FailedPrecondition when budget remains but nothing could be chosen.
+  Result<std::vector<tagging::ResourceId>> ChooseBatch(size_t k);
+
   /// UPDATE() — the task on `id` completed and its post is already in the
   /// corpus; refreshes strategy state.
   void NotifyPost(tagging::ResourceId id);
@@ -67,8 +77,9 @@ class AllocationEngine {
   /// Replaces the allocation strategy mid-run.
   void SwitchStrategy(std::unique_ptr<Strategy> strategy);
 
-  /// Adds `amount` tasks to the remaining budget.
-  void AddBudget(uint32_t amount) { budget_remaining_ += amount; }
+  /// Adds `amount` tasks to the remaining budget, saturating at UINT32_MAX
+  /// instead of wrapping. Returns the new remaining budget.
+  uint32_t AddBudget(uint32_t amount);
 
   /// Remaining budget.
   uint32_t budget_remaining() const { return budget_remaining_; }
@@ -84,6 +95,11 @@ class AllocationEngine {
   const StrategyContext& context() const { return ctx_; }
 
  private:
+  /// Pops the first non-stopped promoted resource, or kInvalidResource.
+  tagging::ResourceId PopPromotion();
+  /// Records one debited pick.
+  void Account(tagging::ResourceId id);
+
   tagging::Corpus* corpus_;
   std::unique_ptr<Strategy> strategy_;
   Rng rng_;

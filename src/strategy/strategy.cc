@@ -5,6 +5,15 @@
 
 namespace itag::strategy {
 
+void Strategy::ChooseResources(const StrategyContext& ctx, size_t k,
+                               std::vector<tagging::ResourceId>* out) {
+  for (size_t i = 0; i < k; ++i) {
+    tagging::ResourceId id = Choose(ctx);
+    if (id == tagging::kInvalidResource) break;
+    out->push_back(id);
+  }
+}
+
 size_t StrategyContext::EligibleCount() const {
   size_t n = 0;
   for (size_t i = 0; i < stopped_.size(); ++i) {

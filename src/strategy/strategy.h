@@ -64,6 +64,16 @@ class Strategy {
   /// UPDATE() hook: a completed task added one post to `id`; the strategy
   /// refreshes whatever priority state depends on it.
   virtual void OnPost(const StrategyContext& ctx, tagging::ResourceId id) = 0;
+
+  /// Batched CHOOSERESOURCES(): appends up to `k` picks to `out` (Algorithm 1
+  /// is explicitly plural — it may pick several resources per step). The
+  /// default implementation calls Choose() k times and stops at the first
+  /// kInvalidResource, so every strategy keeps its single-pick semantics.
+  /// Overrides must stay sequence-equivalent to the default under the same
+  /// RNG state (batched and repeated single calls are interchangeable); they
+  /// exist purely to amortize per-pick work.
+  virtual void ChooseResources(const StrategyContext& ctx, size_t k,
+                               std::vector<tagging::ResourceId>* out);
 };
 
 /// Identifiers for the built-in strategies (Table I plus the baselines and

@@ -1,0 +1,334 @@
+// The batch-first service surface: typed request/response routing, per-item
+// partial-failure semantics, batched moderation, and the NotFound contract
+// on unknown task handles.
+
+#include "api/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace itag::api {
+namespace {
+
+using core::AcceptedTask;
+using core::PendingSubmission;
+using core::ProjectId;
+using core::ProviderId;
+using core::UserTaggerId;
+
+class ApiServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(service_.Init().ok());
+    provider_ = service_.RegisterProvider({"prov"}).provider;
+    tagger_ = service_.RegisterTagger({"tagger"}).tagger;
+    CreateProjectRequest create;
+    create.provider = provider_;
+    create.spec.name = "proj";
+    create.spec.budget = 50;
+    create.spec.platform = core::PlatformChoice::kAudience;
+    CreateProjectResponse r = service_.CreateProject(create);
+    ASSERT_TRUE(r.status.ok());
+    project_ = r.project;
+  }
+
+  /// Uploads `n` bare resources and returns their ids.
+  std::vector<tagging::ResourceId> Upload(size_t n) {
+    BatchUploadResourcesRequest req;
+    req.project = project_;
+    for (size_t i = 0; i < n; ++i) {
+      UploadResourceItem item;
+      item.uri = "res-" + std::to_string(i);
+      req.items.push_back(std::move(item));
+    }
+    BatchUploadResourcesResponse resp = service_.BatchUploadResources(req);
+    EXPECT_TRUE(resp.outcome.all_ok());
+    return resp.resources;
+  }
+
+  void Start() {
+    BatchControlResponse r =
+        service_.BatchControl({project_, {{ControlAction::kStart}}});
+    ASSERT_TRUE(r.outcome.all_ok());
+  }
+
+  Service service_;
+  ProviderId provider_ = 0;
+  UserTaggerId tagger_ = 0;
+  ProjectId project_ = 0;
+};
+
+TEST_F(ApiServiceTest, RegisterValidation) {
+  EXPECT_TRUE(
+      service_.RegisterProvider({""}).status.IsInvalidArgument());
+  EXPECT_TRUE(service_.RegisterTagger({""}).status.IsInvalidArgument());
+  EXPECT_TRUE(service_.CreateProject({provider_, {}})
+                  .status.IsInvalidArgument());  // empty project name
+}
+
+TEST_F(ApiServiceTest, BatchUploadIsolatesBadItems) {
+  BatchUploadResourcesRequest req;
+  req.project = project_;
+  UploadResourceItem good1;
+  good1.uri = "a.jpg";
+  good1.initial_tags = {"sea", "sand"};
+  UploadResourceItem bad;  // empty uri
+  UploadResourceItem good2;
+  good2.uri = "b.jpg";
+  req.items = {good1, bad, good2};
+  BatchUploadResourcesResponse resp = service_.BatchUploadResources(req);
+  ASSERT_EQ(resp.outcome.statuses.size(), 3u);
+  EXPECT_TRUE(resp.outcome.statuses[0].ok());
+  EXPECT_TRUE(resp.outcome.statuses[1].IsInvalidArgument());
+  EXPECT_TRUE(resp.outcome.statuses[2].ok());
+  EXPECT_EQ(resp.outcome.ok_count, 2u);
+  EXPECT_FALSE(resp.outcome.all_ok());
+  EXPECT_NE(resp.resources[0], tagging::kInvalidResource);
+  EXPECT_EQ(resp.resources[1], tagging::kInvalidResource);
+  EXPECT_NE(resp.resources[2], tagging::kInvalidResource);
+  // The imported historical tags landed on the first resource.
+  ProjectQueryRequest query;
+  query.project = project_;
+  query.detail_resources = {resp.resources[0]};
+  ProjectQueryResponse detail = service_.ProjectQuery(query);
+  ASSERT_TRUE(detail.detail_outcome.all_ok());
+  EXPECT_EQ(detail.details[0].posts, 1u);
+}
+
+TEST_F(ApiServiceTest, UploadToUnknownProjectFailsPerItem) {
+  BatchUploadResourcesRequest req;
+  req.project = 9999;
+  UploadResourceItem item;
+  item.uri = "x.jpg";
+  req.items = {item};
+  BatchUploadResourcesResponse resp = service_.BatchUploadResources(req);
+  ASSERT_EQ(resp.outcome.statuses.size(), 1u);
+  EXPECT_FALSE(resp.outcome.statuses[0].ok());
+}
+
+TEST_F(ApiServiceTest, BatchControlRunsVerbsInOrder) {
+  std::vector<tagging::ResourceId> resources = Upload(4);
+  BatchControlRequest req;
+  req.project = project_;
+  ControlItem start;
+  start.action = ControlAction::kStart;
+  ControlItem promote;
+  promote.action = ControlAction::kPromoteResource;
+  promote.resource = resources[2];
+  ControlItem stop_res;
+  stop_res.action = ControlAction::kStopResource;
+  stop_res.resource = resources[0];
+  ControlItem bad_budget;  // zero tasks: rejected at the service layer
+  bad_budget.action = ControlAction::kAddBudget;
+  ControlItem topup;
+  topup.action = ControlAction::kAddBudget;
+  topup.budget_tasks = 10;
+  req.items = {start, promote, stop_res, bad_budget, topup};
+  BatchControlResponse resp = service_.BatchControl(req);
+  ASSERT_EQ(resp.outcome.statuses.size(), 5u);
+  EXPECT_TRUE(resp.outcome.statuses[0].ok());
+  EXPECT_TRUE(resp.outcome.statuses[1].ok());
+  EXPECT_TRUE(resp.outcome.statuses[2].ok());
+  EXPECT_TRUE(resp.outcome.statuses[3].IsInvalidArgument());
+  EXPECT_TRUE(resp.outcome.statuses[4].ok());
+  ProjectQueryResponse info = service_.ProjectQuery({project_, false, {}});
+  EXPECT_EQ(info.info.budget_remaining, 60u);
+  // The promoted resource is the next pick.
+  BatchAcceptTasksResponse accepted =
+      service_.BatchAcceptTasks({tagger_, project_, 1});
+  ASSERT_TRUE(accepted.status.ok());
+  EXPECT_EQ(accepted.tasks[0].resource, resources[2]);
+}
+
+TEST_F(ApiServiceTest, AcceptBatchRespectsBudget) {
+  Upload(3);
+  Start();
+  BatchAcceptTasksResponse r0 =
+      service_.BatchAcceptTasks({tagger_, project_, 0});
+  EXPECT_TRUE(r0.status.IsInvalidArgument());
+  BatchAcceptTasksResponse all =
+      service_.BatchAcceptTasks({tagger_, project_, 200});
+  ASSERT_TRUE(all.status.ok());
+  EXPECT_EQ(all.tasks.size(), 50u);  // truncated at the budget
+  BatchAcceptTasksResponse empty =
+      service_.BatchAcceptTasks({tagger_, project_, 1});
+  EXPECT_TRUE(empty.status.IsResourceExhausted());
+}
+
+TEST_F(ApiServiceTest, SubmitAndDecideBatchesWithPartialFailures) {
+  Upload(3);
+  Start();
+  BatchAcceptTasksResponse accepted =
+      service_.BatchAcceptTasks({tagger_, project_, 3});
+  ASSERT_TRUE(accepted.status.ok());
+  ASSERT_EQ(accepted.tasks.size(), 3u);
+
+  BatchSubmitTagsRequest submit;
+  submit.items.push_back({tagger_, accepted.tasks[0].handle, {"alpha"}});
+  submit.items.push_back({tagger_, 0, {"beta"}});           // invalid handle
+  submit.items.push_back({tagger_, 424242, {"gamma"}});     // unknown handle
+  submit.items.push_back({tagger_, accepted.tasks[1].handle, {}});  // no tags
+  submit.items.push_back({tagger_, accepted.tasks[2].handle, {"delta"}});
+  BatchSubmitTagsResponse submitted = service_.BatchSubmitTags(submit);
+  ASSERT_EQ(submitted.outcome.statuses.size(), 5u);
+  EXPECT_TRUE(submitted.outcome.statuses[0].ok());
+  EXPECT_TRUE(submitted.outcome.statuses[1].IsInvalidArgument());
+  EXPECT_TRUE(submitted.outcome.statuses[2].IsNotFound());
+  EXPECT_TRUE(submitted.outcome.statuses[3].IsInvalidArgument());
+  EXPECT_TRUE(submitted.outcome.statuses[4].ok());
+  EXPECT_EQ(submitted.outcome.ok_count, 2u);
+
+  // Re-submitting a consumed handle is NotFound, same as a never-issued one.
+  BatchSubmitTagsRequest again;
+  again.items.push_back({tagger_, accepted.tasks[0].handle, {"echo"}});
+  EXPECT_TRUE(
+      service_.BatchSubmitTags(again).outcome.statuses[0].IsNotFound());
+
+  BatchDecideRequest decide;
+  decide.provider = provider_;
+  decide.items.push_back({accepted.tasks[0].handle, true});
+  decide.items.push_back({accepted.tasks[2].handle, false});
+  decide.items.push_back({31337, true});  // unknown handle
+  decide.items.push_back({0, true});      // invalid handle
+  BatchDecideResponse decided = service_.BatchDecide(decide);
+  ASSERT_EQ(decided.outcome.statuses.size(), 4u);
+  EXPECT_TRUE(decided.outcome.statuses[0].ok());
+  EXPECT_TRUE(decided.outcome.statuses[1].ok());
+  EXPECT_TRUE(decided.outcome.statuses[2].IsNotFound());
+  EXPECT_TRUE(decided.outcome.statuses[3].IsInvalidArgument());
+
+  // One approval landed (the rejection was refunded into the budget).
+  ProjectQueryResponse info = service_.ProjectQuery({project_, false, {}});
+  EXPECT_EQ(info.info.tasks_completed, 1u);
+  EXPECT_EQ(info.info.budget_remaining, 48u);  // 50 - 3 accepted + 1 refund
+}
+
+TEST_F(ApiServiceTest, DecideByWrongProviderIsRejectedPerItem) {
+  Upload(2);
+  Start();
+  ProviderId other = service_.RegisterProvider({"other"}).provider;
+  BatchAcceptTasksResponse accepted =
+      service_.BatchAcceptTasks({tagger_, project_, 1});
+  ASSERT_TRUE(accepted.status.ok());
+  BatchSubmitTagsRequest submit;
+  submit.items.push_back({tagger_, accepted.tasks[0].handle, {"tag"}});
+  ASSERT_TRUE(service_.BatchSubmitTags(submit).outcome.all_ok());
+
+  BatchDecideRequest decide;
+  decide.provider = other;
+  decide.items.push_back({accepted.tasks[0].handle, true});
+  EXPECT_TRUE(
+      service_.BatchDecide(decide).outcome.statuses[0].IsFailedPrecondition());
+  // The submission is still pending for the real provider.
+  BatchDecideRequest rightful;
+  rightful.provider = provider_;
+  rightful.items.push_back({accepted.tasks[0].handle, true});
+  EXPECT_TRUE(service_.BatchDecide(rightful).outcome.all_ok());
+}
+
+TEST_F(ApiServiceTest, DecideOnAcceptedButUnsubmittedHandleIsNotFound) {
+  Upload(2);
+  Start();
+  BatchAcceptTasksResponse accepted =
+      service_.BatchAcceptTasks({tagger_, project_, 1});
+  ASSERT_TRUE(accepted.status.ok());
+  // The tagger has not submitted yet: there is nothing to decide on.
+  BatchDecideRequest decide;
+  decide.provider = provider_;
+  decide.items.push_back({accepted.tasks[0].handle, true});
+  EXPECT_TRUE(service_.BatchDecide(decide).outcome.statuses[0].IsNotFound());
+}
+
+TEST_F(ApiServiceTest, BatchedModerationEmitsOneFeedPointPerProject) {
+  Upload(4);
+  Start();
+  BatchAcceptTasksResponse accepted =
+      service_.BatchAcceptTasks({tagger_, project_, 8});
+  ASSERT_TRUE(accepted.status.ok());
+  BatchSubmitTagsRequest submit;
+  for (const AcceptedTask& t : accepted.tasks) {
+    submit.items.push_back({tagger_, t.handle, {"t1", "t2"}});
+  }
+  ASSERT_TRUE(service_.BatchSubmitTags(submit).outcome.all_ok());
+  size_t feed_before =
+      service_.ProjectQuery({project_, true, {}}).feed.size();
+  BatchDecideRequest decide;
+  decide.provider = provider_;
+  for (const AcceptedTask& t : accepted.tasks) {
+    decide.items.push_back({t.handle, true});
+  }
+  ASSERT_TRUE(service_.BatchDecide(decide).outcome.all_ok());
+  ProjectQueryResponse after = service_.ProjectQuery({project_, true, {}});
+  // All 8 posts landed but the whole batch produced exactly one feed point.
+  EXPECT_EQ(after.info.tasks_completed, 8u);
+  EXPECT_EQ(after.feed.size(), feed_before + 1);
+}
+
+TEST_F(ApiServiceTest, StepDrivesPlatformProjects) {
+  // A second, MTurk-backed project pumped by Step's batched tick loop.
+  CreateProjectRequest create;
+  create.provider = provider_;
+  create.spec.name = "mturk-proj";
+  create.spec.budget = 30;
+  create.spec.platform = core::PlatformChoice::kMTurk;
+  ProjectId mturk_project = service_.CreateProject(create).project;
+  BatchUploadResourcesRequest upload;
+  upload.project = mturk_project;
+  for (int i = 0; i < 3; ++i) {
+    UploadResourceItem item;
+    item.uri = "m-" + std::to_string(i);
+    upload.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(service_.BatchUploadResources(upload).outcome.all_ok());
+  ASSERT_TRUE(service_
+                  .BatchControl({mturk_project, {{ControlAction::kStart}}})
+                  .outcome.all_ok());
+  EXPECT_TRUE(service_.Step({-1}).status.IsInvalidArgument());
+  StepResponse stepped = service_.Step({2000});
+  ASSERT_TRUE(stepped.status.ok());
+  EXPECT_EQ(stepped.now, 2000);
+  ProjectQueryResponse info =
+      service_.ProjectQuery({mturk_project, true, {}});
+  EXPECT_EQ(info.info.tasks_completed, 30u);  // budget fully worked through
+  EXPECT_GE(info.feed.size(), 2u);
+}
+
+TEST_F(ApiServiceTest, DispatchRoutesVariantRequests) {
+  AnyResponse r1 = service_.Dispatch(RegisterTaggerRequest{"dispatched"});
+  ASSERT_TRUE(std::holds_alternative<RegisterTaggerResponse>(r1));
+  EXPECT_TRUE(std::get<RegisterTaggerResponse>(r1).status.ok());
+
+  AnyResponse r2 = service_.Dispatch(StepRequest{5});
+  ASSERT_TRUE(std::holds_alternative<StepResponse>(r2));
+  EXPECT_EQ(std::get<StepResponse>(r2).now, 5);
+
+  ProjectQueryRequest query;
+  query.project = 31337;
+  AnyResponse r3 = service_.Dispatch(query);
+  ASSERT_TRUE(std::holds_alternative<ProjectQueryResponse>(r3));
+  EXPECT_TRUE(std::get<ProjectQueryResponse>(r3).status.IsNotFound());
+}
+
+TEST_F(ApiServiceTest, NonOwningServiceWrapsExistingSystem) {
+  core::ITagSystem system;
+  ASSERT_TRUE(system.Init().ok());
+  Service wrapper(&system);
+  EXPECT_TRUE(wrapper.Init().ok());  // no-op on a wrapped system
+  RegisterProviderResponse r = wrapper.RegisterProvider({"direct"});
+  ASSERT_TRUE(r.status.ok());
+  // Visible through the facade too: same underlying system.
+  EXPECT_TRUE(system.GetProvider(r.provider).ok());
+}
+
+TEST_F(ApiServiceTest, FacadeAddBudgetSaturatesOnDraftProjects) {
+  // Satellite bugfix: topping up near UINT32_MAX clamps instead of wrapping.
+  ASSERT_TRUE(service_.system().AddBudget(project_, 0xFFFFFFF0u).ok());
+  ASSERT_TRUE(service_.system().AddBudget(project_, 0xFFFFFFF0u).ok());
+  ProjectQueryResponse info = service_.ProjectQuery({project_, false, {}});
+  EXPECT_EQ(info.info.budget_remaining, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace itag::api

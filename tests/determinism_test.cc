@@ -99,6 +99,76 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+class BatchEquivalenceTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(BatchEquivalenceTest, ChooseBatchMatchesRepeatedSingleCalls) {
+  // The batch-first allocation path must be a pure amortization: under the
+  // same seed, ChooseBatch(k) yields exactly the ids that k ChooseNext()
+  // calls would have, for every strategy (bulk overrides included).
+  SyntheticWorkload wl_single = GenerateDelicious(Cfg(606));
+  SyntheticWorkload wl_batch = GenerateDelicious(Cfg(606));
+  strategy::EngineOptions eopts;
+  eopts.budget = 240;
+  eopts.seed = 99;
+  strategy::AllocationEngine single(
+      wl_single.corpus.get(), strategy::MakeStrategy(GetParam()), eopts);
+  strategy::AllocationEngine batched(
+      wl_batch.corpus.get(), strategy::MakeStrategy(GetParam()), eopts);
+  // Mix of batch sizes, with promotions and stops interleaved identically.
+  (void)single.Promote(7);
+  (void)batched.Promote(7);
+  (void)single.SetStopped(3, true);
+  (void)batched.SetStopped(3, true);
+  Rng post_rng_single(4), post_rng_batch(4);
+  auto complete = [](strategy::AllocationEngine* engine,
+                     SyntheticWorkload* wl, Rng* rng,
+                     tagging::ResourceId id, int step) {
+    auto gp = wl->tagger->Generate(id, 0.9, step, 1, rng);
+    ASSERT_TRUE(wl->corpus->AddPost(id, gp.post).ok());
+    engine->NotifyPost(id);
+  };
+  int step = 0;
+  for (size_t k : {1u, 5u, 16u, 3u, 64u, 200u}) {
+    std::vector<tagging::ResourceId> singles;
+    for (size_t i = 0; i < k; ++i) {
+      auto r = single.ChooseNext();
+      if (!r.ok()) break;
+      singles.push_back(r.value());
+    }
+    auto batch = batched.ChooseBatch(k);
+    if (singles.empty()) {
+      EXPECT_FALSE(batch.ok());
+      break;
+    }
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch.value(), singles);
+    // Complete every task on both sides so UPDATE() state stays in step.
+    for (tagging::ResourceId id : singles) {
+      complete(&single, &wl_single, &post_rng_single, id, step);
+      complete(&batched, &wl_batch, &post_rng_batch, id, step);
+      ++step;
+    }
+  }
+  EXPECT_EQ(single.budget_remaining(), batched.budget_remaining());
+  EXPECT_EQ(single.assignment(), batched.assignment());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BatchEquivalenceTest,
+    ::testing::Values(StrategyKind::kFreeChoice,
+                      StrategyKind::kFewestPostsFirst,
+                      StrategyKind::kMostUnstableFirst,
+                      StrategyKind::kHybridFpMu, StrategyKind::kRandom,
+                      StrategyKind::kRoundRobin,
+                      StrategyKind::kEstimatedGain),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      std::string name = strategy::StrategyKindName(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
 TEST(ConservationTest, BudgetConservedUnderChaoticControls) {
   // Interleave promotions, stops, resumes, switches, refunds and top-ups;
   // the invariant: tasks_assigned + budget_remaining == total granted.

@@ -198,5 +198,98 @@ TEST(EngineTest, ZeroBudgetImmediatelyExhausted) {
   EXPECT_TRUE(e.ChooseNext().status().IsResourceExhausted());
 }
 
+// ------------------------------------------------------------ ChooseBatch
+
+TEST(ChooseBatchTest, DebitsOneUnitPerPick) {
+  auto c = BuildCorpus(4);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(10));
+  Result<std::vector<ResourceId>> batch = e.ChooseBatch(6);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().size(), 6u);
+  EXPECT_EQ(e.budget_remaining(), 4u);
+  EXPECT_EQ(e.tasks_assigned(), 6u);
+  uint32_t assigned = 0;
+  for (uint32_t x : e.assignment()) assigned += x;
+  EXPECT_EQ(assigned, 6u);
+}
+
+TEST(ChooseBatchTest, TruncatesAtBudgetThenExhausts) {
+  auto c = BuildCorpus(4);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(5));
+  Result<std::vector<ResourceId>> batch = e.ChooseBatch(64);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().size(), 5u);
+  EXPECT_EQ(e.budget_remaining(), 0u);
+  EXPECT_TRUE(e.ChooseBatch(1).status().IsResourceExhausted());
+}
+
+TEST(ChooseBatchTest, PromotionsComeFirstInFifoOrder) {
+  auto c = BuildCorpus(6);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(10));
+  ASSERT_TRUE(e.Promote(4).ok());
+  ASSERT_TRUE(e.Promote(2).ok());
+  Result<std::vector<ResourceId>> batch = e.ChooseBatch(4);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), 4u);
+  EXPECT_EQ(batch.value()[0], 4u);
+  EXPECT_EQ(batch.value()[1], 2u);
+  // Strategy fills the remainder (RR starts at id 0).
+  EXPECT_EQ(batch.value()[2], 0u);
+  EXPECT_EQ(batch.value()[3], 1u);
+}
+
+TEST(ChooseBatchTest, StoppedResourcesNeverAppear) {
+  auto c = BuildCorpus(5);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRandom), Opts(40));
+  ASSERT_TRUE(e.SetStopped(0, true).ok());
+  ASSERT_TRUE(e.SetStopped(3, true).ok());
+  // A promotion that is later stopped is skipped, not chosen.
+  ASSERT_TRUE(e.Promote(1).ok());
+  ASSERT_TRUE(e.SetStopped(1, true).ok());
+  Result<std::vector<ResourceId>> batch = e.ChooseBatch(40);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().size(), 40u);
+  for (ResourceId id : batch.value()) {
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, 1u);
+    EXPECT_NE(id, 3u);
+  }
+}
+
+TEST(ChooseBatchTest, ZeroBatchIsEmptySuccess) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(5));
+  Result<std::vector<ResourceId>> batch = e.ChooseBatch(0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch.value().empty());
+  EXPECT_EQ(e.budget_remaining(), 5u);
+}
+
+TEST(ChooseBatchTest, AllStoppedFailsPrecondition) {
+  auto c = BuildCorpus(2);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(5));
+  ASSERT_TRUE(e.SetStopped(0, true).ok());
+  ASSERT_TRUE(e.SetStopped(1, true).ok());
+  EXPECT_TRUE(e.ChooseBatch(3).status().IsFailedPrecondition());
+  // Nothing was debited by the failed batch.
+  EXPECT_EQ(e.budget_remaining(), 5u);
+}
+
+TEST(EngineTest, AddBudgetSaturatesInsteadOfWrapping) {
+  auto c = BuildCorpus(1);
+  AllocationEngine e(c.get(), MakeStrategy(StrategyKind::kRoundRobin),
+                     Opts(10));
+  EXPECT_EQ(e.AddBudget(0xFFFFFFFFu), 0xFFFFFFFFu);
+  EXPECT_EQ(e.budget_remaining(), 0xFFFFFFFFu);
+  // Still usable: picks debit from the saturated total.
+  ASSERT_TRUE(e.ChooseNext().ok());
+  EXPECT_EQ(e.budget_remaining(), 0xFFFFFFFEu);
+}
+
 }  // namespace
 }  // namespace itag::strategy
