@@ -36,14 +36,19 @@ struct BatchOutcome {
 
 // ----------------------------------------------------------------- users
 
+/// Registers a content provider. `name` must be non-empty
+/// (InvalidArgument) but need not be unique.
 struct RegisterProviderRequest {
   std::string name;
 };
 struct RegisterProviderResponse {
   Status status;
+  /// Valid only when status is OK. On the sharded backend this id is
+  /// broadcast to every shard and usable with any project.
   core::ProviderId provider = 0;
 };
 
+/// Registers a human tagger; same contract as RegisterProviderRequest.
 struct RegisterTaggerRequest {
   std::string name;
 };
@@ -54,12 +59,16 @@ struct RegisterTaggerResponse {
 
 // -------------------------------------------------------------- projects
 
+/// Creates a project in Draft state. `spec.name` must be non-empty
+/// (InvalidArgument); unknown `provider` yields NotFound.
 struct CreateProjectRequest {
   core::ProviderId provider = 0;
   core::ProjectSpec spec;
 };
 struct CreateProjectResponse {
   Status status;
+  /// Valid only when status is OK. On the sharded backend this is a global
+  /// id encoding the owning shard; pass it back verbatim everywhere.
   core::ProjectId project = 0;
 };
 
@@ -72,6 +81,10 @@ struct UploadResourceItem {
   /// Imported as a provider-era post when non-empty.
   std::vector<std::string> initial_tags;
 };
+/// Uploads resources into one project (all items share the project, so the
+/// whole request routes to a single shard). Per-item failures: empty uri →
+/// InvalidArgument; unknown project → NotFound; unusable initial_tags →
+/// InvalidArgument (the resource itself is still created).
 struct BatchUploadResourcesRequest {
   core::ProjectId project = 0;
   std::vector<UploadResourceItem> items;
@@ -103,6 +116,10 @@ struct ControlItem {
   /// For kSwitchStrategy.
   strategy::StrategyKind strategy = strategy::StrategyKind::kHybridFpMu;
 };
+/// Applies the control verbs to one project, in order, one Status per
+/// item. Per-item failures: NotFound for unknown project/resource,
+/// FailedPrecondition for illegal lifecycle transitions, InvalidArgument
+/// for a zero kAddBudget top-up.
 struct BatchControlRequest {
   core::ProjectId project = 0;
   std::vector<ControlItem> items;
@@ -111,6 +128,9 @@ struct BatchControlResponse {
   BatchOutcome outcome;
 };
 
+/// Reads one project's snapshot, optionally with its live quality feed and
+/// per-resource details. NotFound (top-level status) for unknown projects;
+/// bad detail_resources fail item-wise in detail_outcome.
 struct ProjectQueryRequest {
   core::ProjectId project = 0;
   /// Appends the live quality feed (Fig. 5) to the response.
@@ -130,7 +150,11 @@ struct ProjectQueryResponse {
 // ---------------------------------------------------------- tagger traffic
 
 /// Draws up to `count` strategy-assigned tasks for one tagger in a single
-/// allocation pass (AllocationEngine::ChooseBatch under the hood).
+/// allocation pass (AllocationEngine::ChooseBatch under the hood). `count`
+/// must be positive (InvalidArgument). May return fewer than `count` tasks
+/// when the budget runs out mid-batch; fails whole (NotFound /
+/// FailedPrecondition / ResourceExhausted, like AcceptTask) only when
+/// nothing can be drawn at all.
 struct BatchAcceptTasksRequest {
   core::UserTaggerId tagger = 0;
   core::ProjectId project = 0;
@@ -138,14 +162,22 @@ struct BatchAcceptTasksRequest {
 };
 struct BatchAcceptTasksResponse {
   Status status;
+  /// Task handles are opaque; on the sharded backend they are global ids
+  /// that route the later submit/decide to the owning shard.
   std::vector<core::AcceptedTask> tasks;
 };
 
+/// One tag submission against an accepted task handle.
 struct SubmitTagsItem {
   core::UserTaggerId tagger = 0;
   core::TaskHandle handle = 0;
-  std::vector<std::string> tags;
+  std::vector<std::string> tags;  ///< raw texts; normalized server-side
 };
+/// Items may target different projects (and shards); the sharded backend
+/// groups them per shard and submits shard-parallel, merging statuses back
+/// in request order. Per-item failures: zero handle / empty tags →
+/// InvalidArgument; unknown or already-submitted handle → NotFound; a
+/// handle accepted by a different tagger → FailedPrecondition.
 struct BatchSubmitTagsRequest {
   std::vector<SubmitTagsItem> items;
 };
@@ -155,10 +187,17 @@ struct BatchSubmitTagsResponse {
 
 // ------------------------------------------------------------- moderation
 
+/// One Approve/Disapprove decision on a pending submission.
 struct DecideItem {
   core::TaskHandle handle = 0;
   bool approve = true;
 };
+/// Batched moderation. Approvals of the same project are flushed through
+/// one CompletePostBatch pass (one quality-feed point per project per
+/// request); the sharded backend additionally fans groups out per shard.
+/// Per-item failures: zero/unknown handle → NotFound; a submission in a
+/// project not owned by `provider` → FailedPrecondition. A rejection is a
+/// *successful* decision (OK) that refunds the task.
 struct BatchDecideRequest {
   core::ProviderId provider = 0;
   std::vector<DecideItem> items;
@@ -169,12 +208,15 @@ struct BatchDecideResponse {
 
 // ------------------------------------------------------------- simulation
 
+/// Advances simulated time, pumping every running platform-backed project
+/// (all shards in parallel on the sharded backend). `ticks` must be >= 0
+/// (InvalidArgument); 0 is a no-op that just reads the clock.
 struct StepRequest {
   Tick ticks = 1;
 };
 struct StepResponse {
   Status status;
-  Tick now = 0;
+  Tick now = 0;  ///< clock after the step (set even on error)
 };
 
 // ------------------------------------------------------------- dispatcher

@@ -12,16 +12,29 @@ void Record(BatchOutcome* outcome, Status status) {
   outcome->statuses.push_back(std::move(status));
 }
 
+/// Current simulated time of either backend.
+Tick NowOf(core::ITagSystem* system) { return system->clock().Now(); }
+Tick NowOf(core::ShardedSystem* sharded) { return sharded->Now(); }
+
 }  // namespace
 
 Service::Service(core::ITagSystemOptions options)
     : owned_(std::make_unique<core::ITagSystem>(std::move(options))),
-      system_(owned_.get()) {}
+      backend_(owned_.get()) {}
 
-Service::Service(core::ITagSystem* system) : system_(system) {}
+Service::Service(core::ITagSystem* system) : backend_(system) {}
+
+Service::Service(core::ShardedSystemOptions options)
+    : owned_sharded_(
+          std::make_unique<core::ShardedSystem>(std::move(options))),
+      backend_(owned_sharded_.get()) {}
+
+Service::Service(core::ShardedSystem* sharded) : backend_(sharded) {}
 
 Status Service::Init() {
-  return owned_ != nullptr ? owned_->Init() : Status::OK();
+  if (owned_ != nullptr) return owned_->Init();
+  if (owned_sharded_ != nullptr) return owned_sharded_->Init();
+  return Status::OK();
 }
 
 RegisterProviderResponse Service::RegisterProvider(
@@ -31,9 +44,13 @@ RegisterProviderResponse Service::RegisterProvider(
     resp.status = Status::InvalidArgument("provider name must be non-empty");
     return resp;
   }
-  Result<core::ProviderId> r = system_->RegisterProvider(req.name);
-  resp.status = r.status();
-  if (r.ok()) resp.provider = r.value();
+  std::visit(
+      [&](auto* sys) {
+        Result<core::ProviderId> r = sys->RegisterProvider(req.name);
+        resp.status = r.status();
+        if (r.ok()) resp.provider = r.value();
+      },
+      backend_);
   return resp;
 }
 
@@ -44,9 +61,13 @@ RegisterTaggerResponse Service::RegisterTagger(
     resp.status = Status::InvalidArgument("tagger name must be non-empty");
     return resp;
   }
-  Result<core::UserTaggerId> r = system_->RegisterTagger(req.name);
-  resp.status = r.status();
-  if (r.ok()) resp.tagger = r.value();
+  std::visit(
+      [&](auto* sys) {
+        Result<core::UserTaggerId> r = sys->RegisterTagger(req.name);
+        resp.status = r.status();
+        if (r.ok()) resp.tagger = r.value();
+      },
+      backend_);
   return resp;
 }
 
@@ -56,35 +77,50 @@ CreateProjectResponse Service::CreateProject(const CreateProjectRequest& req) {
     resp.status = Status::InvalidArgument("project name must be non-empty");
     return resp;
   }
-  Result<core::ProjectId> r = system_->CreateProject(req.provider, req.spec);
-  resp.status = r.status();
-  if (r.ok()) resp.project = r.value();
+  std::visit(
+      [&](auto* sys) {
+        Result<core::ProjectId> r = sys->CreateProject(req.provider, req.spec);
+        resp.status = r.status();
+        if (r.ok()) resp.project = r.value();
+      },
+      backend_);
   return resp;
 }
 
 BatchUploadResourcesResponse Service::BatchUploadResources(
     const BatchUploadResourcesRequest& req) {
   BatchUploadResourcesResponse resp;
-  resp.outcome.statuses.reserve(req.items.size());
-  resp.resources.reserve(req.items.size());
-  for (const UploadResourceItem& item : req.items) {
-    tagging::ResourceId id = tagging::kInvalidResource;
-    Status s;
+  resp.outcome.statuses.resize(req.items.size());
+  resp.resources.assign(req.items.size(), tagging::kInvalidResource);
+  // Pre-validate, then upload the valid items as one backend batch — a
+  // single routed, locked pass on the sharded core. `routed` maps backend
+  // results back to the request slots that passed validation.
+  std::vector<core::ResourceUpload> uploads;
+  std::vector<size_t> routed;
+  for (size_t i = 0; i < req.items.size(); ++i) {
+    const UploadResourceItem& item = req.items[i];
     if (item.uri.empty()) {
-      s = Status::InvalidArgument("resource uri must be non-empty");
+      resp.outcome.statuses[i] =
+          Status::InvalidArgument("resource uri must be non-empty");
     } else {
-      Result<tagging::ResourceId> r = system_->UploadResource(
-          req.project, item.kind, item.uri, item.description);
-      s = r.status();
-      if (r.ok()) {
-        id = r.value();
-        if (!item.initial_tags.empty()) {
-          s = system_->ImportPost(req.project, id, item.initial_tags);
-        }
-      }
+      uploads.push_back(
+          {item.kind, item.uri, item.description, item.initial_tags});
+      routed.push_back(i);
     }
-    resp.resources.push_back(id);
-    Record(&resp.outcome, std::move(s));
+  }
+  std::visit(
+      [&](auto* sys) {
+        std::vector<tagging::ResourceId> ids;
+        std::vector<Status> statuses =
+            sys->UploadResourceBatch(req.project, uploads, &ids);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          resp.outcome.statuses[routed[j]] = std::move(statuses[j]);
+          resp.resources[routed[j]] = ids[j];
+        }
+      },
+      backend_);
+  for (const Status& s : resp.outcome.statuses) {
+    if (s.ok()) ++resp.outcome.ok_count;
   }
   return resp;
 }
@@ -92,55 +128,66 @@ BatchUploadResourcesResponse Service::BatchUploadResources(
 BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
   BatchControlResponse resp;
   resp.outcome.statuses.reserve(req.items.size());
-  for (const ControlItem& item : req.items) {
-    Status s;
-    switch (item.action) {
-      case ControlAction::kStart:
-        s = system_->StartProject(req.project);
-        break;
-      case ControlAction::kPause:
-        s = system_->PauseProject(req.project);
-        break;
-      case ControlAction::kStop:
-        s = system_->StopProject(req.project);
-        break;
-      case ControlAction::kPromoteResource:
-        s = system_->PromoteResource(req.project, item.resource);
-        break;
-      case ControlAction::kStopResource:
-        s = system_->StopResource(req.project, item.resource);
-        break;
-      case ControlAction::kResumeResource:
-        s = system_->ResumeResource(req.project, item.resource);
-        break;
-      case ControlAction::kAddBudget:
-        s = item.budget_tasks == 0
-                ? Status::InvalidArgument("budget_tasks must be positive")
-                : system_->AddBudget(req.project, item.budget_tasks);
-        break;
-      case ControlAction::kSwitchStrategy:
-        s = system_->SwitchStrategy(req.project, item.strategy);
-        break;
-    }
-    Record(&resp.outcome, std::move(s));
-  }
+  // Deliberately per-item on the sharded backend (one route + snapshot
+  // refresh per verb): control batches are a console session's worth of
+  // lifecycle verbs, not a bulk-ingest path like BatchUploadResources.
+  std::visit(
+      [&](auto* sys) {
+        for (const ControlItem& item : req.items) {
+          Status s;
+          switch (item.action) {
+            case ControlAction::kStart:
+              s = sys->StartProject(req.project);
+              break;
+            case ControlAction::kPause:
+              s = sys->PauseProject(req.project);
+              break;
+            case ControlAction::kStop:
+              s = sys->StopProject(req.project);
+              break;
+            case ControlAction::kPromoteResource:
+              s = sys->PromoteResource(req.project, item.resource);
+              break;
+            case ControlAction::kStopResource:
+              s = sys->StopResource(req.project, item.resource);
+              break;
+            case ControlAction::kResumeResource:
+              s = sys->ResumeResource(req.project, item.resource);
+              break;
+            case ControlAction::kAddBudget:
+              s = item.budget_tasks == 0
+                      ? Status::InvalidArgument("budget_tasks must be positive")
+                      : sys->AddBudget(req.project, item.budget_tasks);
+              break;
+            case ControlAction::kSwitchStrategy:
+              s = sys->SwitchStrategy(req.project, item.strategy);
+              break;
+          }
+          Record(&resp.outcome, std::move(s));
+        }
+      },
+      backend_);
   return resp;
 }
 
 ProjectQueryResponse Service::ProjectQuery(const ProjectQueryRequest& req) {
   ProjectQueryResponse resp;
-  Result<core::ProjectInfo> info = system_->GetProjectInfo(req.project);
-  resp.status = info.status();
-  if (!info.ok()) return resp;
-  resp.info = info.value();
-  if (req.include_feed) resp.feed = system_->QualityFeed(req.project);
-  resp.detail_outcome.statuses.reserve(req.detail_resources.size());
-  for (tagging::ResourceId r : req.detail_resources) {
-    Result<core::QualityManager::ResourceDetail> d =
-        system_->GetResourceDetail(req.project, r);
-    if (d.ok()) resp.details.push_back(d.value());
-    Record(&resp.detail_outcome, d.status());
-  }
+  std::visit(
+      [&](auto* sys) {
+        Result<core::ProjectInfo> info = sys->GetProjectInfo(req.project);
+        resp.status = info.status();
+        if (!info.ok()) return;
+        resp.info = info.value();
+        if (req.include_feed) resp.feed = sys->QualityFeed(req.project);
+        resp.detail_outcome.statuses.reserve(req.detail_resources.size());
+        for (tagging::ResourceId r : req.detail_resources) {
+          Result<core::QualityManager::ResourceDetail> d =
+              sys->GetResourceDetail(req.project, r);
+          if (d.ok()) resp.details.push_back(d.value());
+          Record(&resp.detail_outcome, d.status());
+        }
+      },
+      backend_);
   return resp;
 }
 
@@ -151,53 +198,78 @@ BatchAcceptTasksResponse Service::BatchAcceptTasks(
     resp.status = Status::InvalidArgument("count must be positive");
     return resp;
   }
-  Result<std::vector<core::AcceptedTask>> r =
-      system_->AcceptTasks(req.tagger, req.project, req.count);
-  resp.status = r.status();
-  if (r.ok()) resp.tasks = std::move(r).value();
+  std::visit(
+      [&](auto* sys) {
+        Result<std::vector<core::AcceptedTask>> r =
+            sys->AcceptTasks(req.tagger, req.project, req.count);
+        resp.status = r.status();
+        if (r.ok()) resp.tasks = std::move(r).value();
+      },
+      backend_);
   return resp;
 }
 
 BatchSubmitTagsResponse Service::BatchSubmitTags(
     const BatchSubmitTagsRequest& req) {
   BatchSubmitTagsResponse resp;
-  resp.outcome.statuses.reserve(req.items.size());
-  for (const SubmitTagsItem& item : req.items) {
-    Status s;
+  resp.outcome.statuses.resize(req.items.size());
+  // Pre-validate, then hand the valid items to the backend as one batch —
+  // the sharded core groups them per shard and fans out on its pool.
+  // `routed` maps backend results back to the request slots that passed.
+  std::vector<core::TagSubmission> submissions;
+  std::vector<size_t> routed;
+  for (size_t i = 0; i < req.items.size(); ++i) {
+    const SubmitTagsItem& item = req.items[i];
     if (item.handle == 0) {
-      s = Status::InvalidArgument("handle must be non-zero");
+      resp.outcome.statuses[i] =
+          Status::InvalidArgument("handle must be non-zero");
     } else if (item.tags.empty()) {
-      s = Status::InvalidArgument("submission must carry tags");
+      resp.outcome.statuses[i] =
+          Status::InvalidArgument("submission must carry tags");
     } else {
-      s = system_->SubmitTags(item.tagger, item.handle, item.tags);
+      submissions.push_back({item.tagger, item.handle, item.tags});
+      routed.push_back(i);
     }
-    Record(&resp.outcome, std::move(s));
+  }
+  std::visit(
+      [&](auto* sys) {
+        std::vector<Status> statuses = sys->SubmitTagsBatch(submissions);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          resp.outcome.statuses[routed[j]] = std::move(statuses[j]);
+        }
+      },
+      backend_);
+  for (const Status& s : resp.outcome.statuses) {
+    if (s.ok()) ++resp.outcome.ok_count;
   }
   return resp;
 }
 
 BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
   BatchDecideResponse resp;
-  resp.outcome.statuses.reserve(req.items.size());
-  // Pre-validate, then let the facade group all approvals of a project into
-  // one CompletePostBatch pass. `routed` maps facade results back to the
-  // request slots that passed validation.
+  resp.outcome.statuses.resize(req.items.size());
+  // Pre-validate, then let the backend group all approvals of a project into
+  // one CompletePostBatch pass (per-shard-parallel on the sharded core).
   std::vector<std::pair<core::TaskHandle, bool>> decisions;
   std::vector<size_t> routed;
   for (size_t i = 0; i < req.items.size(); ++i) {
-    resp.outcome.statuses.emplace_back();
     if (req.items[i].handle == 0) {
-      resp.outcome.statuses.back() =
+      resp.outcome.statuses[i] =
           Status::InvalidArgument("handle must be non-zero");
     } else {
       decisions.emplace_back(req.items[i].handle, req.items[i].approve);
       routed.push_back(i);
     }
   }
-  std::vector<Status> statuses = system_->DecideBatch(req.provider, decisions);
-  for (size_t j = 0; j < statuses.size(); ++j) {
-    resp.outcome.statuses[routed[j]] = std::move(statuses[j]);
-  }
+  std::visit(
+      [&](auto* sys) {
+        std::vector<Status> statuses =
+            sys->DecideBatch(req.provider, decisions);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          resp.outcome.statuses[routed[j]] = std::move(statuses[j]);
+        }
+      },
+      backend_);
   for (const Status& s : resp.outcome.statuses) {
     if (s.ok()) ++resp.outcome.ok_count;
   }
@@ -206,13 +278,16 @@ BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
 
 StepResponse Service::Step(const StepRequest& req) {
   StepResponse resp;
-  if (req.ticks < 0) {
-    resp.status = Status::InvalidArgument("ticks must be non-negative");
-    resp.now = system_->clock().Now();
-    return resp;
-  }
-  resp.status = req.ticks == 0 ? Status::OK() : system_->Step(req.ticks);
-  resp.now = system_->clock().Now();
+  std::visit(
+      [&](auto* sys) {
+        if (req.ticks < 0) {
+          resp.status = Status::InvalidArgument("ticks must be non-negative");
+        } else {
+          resp.status = req.ticks == 0 ? Status::OK() : sys->Step(req.ticks);
+        }
+        resp.now = NowOf(sys);
+      },
+      backend_);
   return resp;
 }
 

@@ -2,27 +2,46 @@
 #define ITAG_API_SERVICE_H_
 
 #include <memory>
+#include <variant>
 
 #include "api/requests.h"
 #include "itag/itag_system.h"
+#include "itag/sharded_system.h"
 
 namespace itag::api {
 
-/// The batch-first service surface over the iTag facade: every call takes a
-/// typed request, validates it, routes it to ITagSystem, and returns a typed
-/// response whose per-item Status vector isolates bad items instead of
-/// aborting the whole ingest. This is the layer a network frontend would
-/// serialize; the facade underneath stays the single-threaded Fig. 2 core.
+/// The batch-first service surface: every call takes a typed request,
+/// validates it, routes it to the backend, and returns a typed response
+/// whose per-item Status vector isolates bad items instead of aborting the
+/// whole ingest. This is the layer a network frontend would serialize.
 ///
-/// Construction: either own a fresh system (`Service(options)` + Init()) or
-/// wrap an existing one non-owningly (`Service(&system)`), e.g. in tests
-/// that also poke the facade directly.
+/// Two interchangeable backends:
+///  - `core::ITagSystem` — the single-threaded Fig. 2 facade. The service
+///    adds no locking; callers must serialize.
+///  - `core::ShardedSystem` — the sharded, thread-safe core. Every endpoint
+///    (and Dispatch) may then be called from any number of threads
+///    concurrently; cross-shard batches (BatchSubmitTags, BatchDecide) are
+///    grouped per shard and fanned out on the sharded system's worker
+///    pool, and Step() pumps all shards in parallel. Ids in requests and
+///    responses are the sharded layer's global ids.
+///
+/// Construction: own a fresh backend (`Service(ITagSystemOptions)` /
+/// `Service(ShardedSystemOptions)` + Init()) or wrap an existing one
+/// non-owningly (`Service(&system)` / `Service(&sharded)`), e.g. in tests
+/// that also poke the backend directly.
 class Service {
  public:
+  /// Owns a fresh single-threaded ITagSystem.
   explicit Service(core::ITagSystemOptions options = {});
+  /// Wraps an existing ITagSystem non-owningly.
   explicit Service(core::ITagSystem* system);
+  /// Owns a fresh sharded, thread-safe core (see ShardedSystemOptions for
+  /// the shard-count and worker-pool knobs).
+  explicit Service(core::ShardedSystemOptions options);
+  /// Wraps an existing ShardedSystem non-owningly.
+  explicit Service(core::ShardedSystem* sharded);
 
-  /// Initializes an owned system; no-op (OK) when wrapping, so callers can
+  /// Initializes an owned backend; no-op (OK) when wrapping, so callers can
   /// Init() unconditionally.
   Status Init();
 
@@ -30,31 +49,59 @@ class Service {
   static constexpr uint32_t version() { return kApiVersion; }
 
   // -------------------------------------------------------------- endpoints
+  // Each endpoint documents only what it adds on top of the backend call it
+  // routes to; per-item semantics live on the request structs in requests.h.
+
+  /// Validates the name (InvalidArgument when empty) and registers.
   RegisterProviderResponse RegisterProvider(
       const RegisterProviderRequest& req);
   RegisterTaggerResponse RegisterTagger(const RegisterTaggerRequest& req);
+  /// Validates spec.name; on the sharded backend the project lands on a
+  /// round-robin-chosen shard and the returned id is global.
   CreateProjectResponse CreateProject(const CreateProjectRequest& req);
+  /// Uploads item-by-item; an empty uri yields InvalidArgument for that
+  /// item only. `resources[i]` is kInvalidResource where item i failed.
   BatchUploadResourcesResponse BatchUploadResources(
       const BatchUploadResourcesRequest& req);
+  /// Applies lifecycle/budget/strategy verbs in order, one Status each.
   BatchControlResponse BatchControl(const BatchControlRequest& req);
+  /// Project snapshot + optional feed + optional per-resource details.
   ProjectQueryResponse ProjectQuery(const ProjectQueryRequest& req);
+  /// Draws up to `count` tasks in one allocation pass (count must be > 0).
   BatchAcceptTasksResponse BatchAcceptTasks(
       const BatchAcceptTasksRequest& req);
+  /// Validates items (non-zero handle, non-empty tags), then submits the
+  /// rest as one backend batch — per-shard-parallel on the sharded core.
   BatchSubmitTagsResponse BatchSubmitTags(const BatchSubmitTagsRequest& req);
+  /// Validates handles, then moderates as one backend batch (one quality
+  /// pass per project; per-shard-parallel on the sharded core).
   BatchDecideResponse BatchDecide(const BatchDecideRequest& req);
+  /// Advances simulated time (ticks must be >= 0); pumps every shard in
+  /// parallel on the sharded core.
   StepResponse Step(const StepRequest& req);
 
   /// Routes a type-erased request to its endpoint — the single entry point a
-  /// wire frontend needs.
+  /// wire frontend needs. Thread-safe iff the backend is sharded.
   AnyResponse Dispatch(const AnyRequest& req);
 
-  /// The wrapped facade, for flows the typed surface does not cover yet
-  /// (export, notifications, recommendations).
-  core::ITagSystem& system() { return *system_; }
+  /// The wrapped single-threaded facade, for flows the typed surface does
+  /// not cover yet (export, notifications, recommendations). Only valid on
+  /// an ITagSystem backend (throws std::bad_variant_access otherwise).
+  core::ITagSystem& system() {
+    return *std::get<core::ITagSystem*>(backend_);
+  }
+
+  /// The wrapped sharded core, or nullptr when the backend is the
+  /// single-threaded facade.
+  core::ShardedSystem* sharded() {
+    auto* p = std::get_if<core::ShardedSystem*>(&backend_);
+    return p == nullptr ? nullptr : *p;
+  }
 
  private:
   std::unique_ptr<core::ITagSystem> owned_;
-  core::ITagSystem* system_;
+  std::unique_ptr<core::ShardedSystem> owned_sharded_;
+  std::variant<core::ITagSystem*, core::ShardedSystem*> backend_;
 };
 
 }  // namespace itag::api

@@ -1,0 +1,78 @@
+#ifndef ITAG_COMMON_SEQLOCK_H_
+#define ITAG_COMMON_SEQLOCK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace itag {
+
+/// Single-writer seqlock over a trivially-copyable value: readers never
+/// block and never take a lock; a torn read is detected by the sequence
+/// counter and retried. Writers must already be serialized externally (in
+/// the sharded system, the owning shard's mutex plays that role).
+///
+/// The value is stored as relaxed atomic words (not a raw struct), so the
+/// implementation is free of data races by the letter of the C++ memory
+/// model — ThreadSanitizer-clean — following the classic fence-based seqlock
+/// construction (Boehm, "Can seqlocks get along with programming language
+/// memory models?", MSPC'12).
+template <typename T>
+class SeqLock {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SeqLock requires a trivially copyable payload");
+
+ public:
+  SeqLock() {
+    T zero{};
+    Write(zero);
+  }
+
+  /// Publishes a new value. Callers must serialize writers externally.
+  void Write(const T& value) {
+    uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t i = 0; i < kWords; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// Returns a consistent snapshot, retrying while a write is in flight.
+  T Read() const {
+    uint64_t words[kWords];
+    for (;;) {
+      uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // writer mid-flight
+      for (size_t i = 0; i < kWords; ++i) {
+        words[i] = words_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) {
+        T out;
+        std::memcpy(&out, words, sizeof(T));
+        return out;
+      }
+    }
+  }
+
+  /// The number of completed writes so far (monotonic; readers may use it
+  /// as a cheap change detector).
+  uint64_t version() const {
+    return seq_.load(std::memory_order_acquire) / 2;
+  }
+
+ private:
+  static constexpr size_t kWords = (sizeof(T) + 7) / 8;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> words_[kWords];
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_SEQLOCK_H_

@@ -1,0 +1,59 @@
+#ifndef ITAG_COMMON_SHARDING_H_
+#define ITAG_COMMON_SHARDING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace itag {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64→64 bit hash. Used to spread
+/// arbitrary keys (names, external ids) across shards without clustering.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Shard index for an arbitrary (possibly clustered) key. ShardedSystem
+/// itself routes by the id codec below (ids already carry their shard);
+/// this is for callers partitioning by *external* keys — e.g. a frontend
+/// spreading session or account keys over service replicas.
+inline size_t HashShard(uint64_t key, size_t num_shards) {
+  return static_cast<size_t>(Mix64(key) % num_shards);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded id codec.
+//
+// Shard-local ids (projects, task handles) are small sequential integers
+// starting at 1. The sharded layer hands out *global* ids that encode the
+// owning shard in the low bits:
+//
+//     global = local * num_shards + shard        (shard in [0, num_shards))
+//
+// so routing is stateless (`global % num_shards`), no cross-shard id table
+// is needed, and 0 is never a valid global id (callers use 0 as "unset").
+// The codec is only valid for a fixed num_shards — persisting global ids
+// across a resharding would need a migration.
+// ---------------------------------------------------------------------------
+
+/// Encodes a shard-local id as a global id.
+inline uint64_t EncodeShardedId(uint64_t local, size_t shard,
+                                size_t num_shards) {
+  return local * num_shards + shard;
+}
+
+/// The shard that owns a global id.
+inline size_t ShardOfId(uint64_t global, size_t num_shards) {
+  return static_cast<size_t>(global % num_shards);
+}
+
+/// Recovers the shard-local id from a global id.
+inline uint64_t LocalId(uint64_t global, size_t num_shards) {
+  return global / num_shards;
+}
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_SHARDING_H_

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace itag {
+
+/// Completion state shared by the tasks of one RunAll call.
+struct ThreadPool::Batch {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // Workers only exit once they observe an empty queue (the wait predicate
+  // keeps them draining while work remains), so pending Submits are
+  // honored and nothing is left queued after the joins.
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunItem(Item& item) {
+  item.fn();
+  if (item.batch != nullptr) {
+    std::lock_guard<std::mutex> lock(item.batch->mu);
+    if (--item.batch->remaining == 0) item.batch->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunItem(item);
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Item{std::move(fn), nullptr});
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  batch.remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& fn : tasks) {
+      queue_.push_back(Item{std::move(fn), &batch});
+    }
+  }
+  work_cv_.notify_all();
+  // Help drain our own batch instead of just blocking: keeps single-core
+  // hosts and size-1 pools making progress, and cuts fan-out latency.
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.front().batch != &batch) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunItem(item);
+  }
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+}
+
+}  // namespace itag

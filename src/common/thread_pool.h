@@ -1,0 +1,67 @@
+#ifndef ITAG_COMMON_THREAD_POOL_H_
+#define ITAG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace itag {
+
+/// Fixed-size worker pool for shard fan-out. Tasks are plain
+/// `std::function<void()>`; error propagation is the submitter's business
+/// (capture a Status slot in the closure).
+///
+/// Usage contract:
+///  - Submit() never blocks (the queue is unbounded).
+///  - RunAll() submits a batch and blocks until every task in the batch has
+///    finished; the calling thread also drains tasks of its *own batch* while
+///    waiting, so fan-out works even on a single-core host and a pool of
+///    size 1 cannot deadlock on nested waits.
+///  - Tasks must not submit new work to the same pool and wait for it
+///    (no nested RunAll from inside a task).
+///  - The destructor lets the workers drain the queue, then joins them.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks `hardware_concurrency()` (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> fn);
+
+  /// Runs every task of `tasks`, returning once all have completed. The
+  /// caller participates in executing its own batch.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  /// One submitted unit: the task plus the batch it belongs to (null for
+  /// fire-and-forget Submit()s).
+  struct Batch;
+  struct Item {
+    std::function<void()> fn;
+    Batch* batch = nullptr;
+  };
+
+  void WorkerLoop();
+  /// Runs `item` and signals its batch, if any.
+  static void RunItem(Item& item);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_THREAD_POOL_H_

@@ -73,6 +73,30 @@ Status ITagSystem::ImportPost(ProjectId project, ResourceId resource,
   return resources_->ImportPost(project, resource, raw_tags);
 }
 
+std::vector<Status> ITagSystem::UploadResourceBatch(
+    ProjectId project, const std::vector<ResourceUpload>& items,
+    std::vector<ResourceId>* ids) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  ids->clear();
+  ids->reserve(items.size());
+  for (const ResourceUpload& item : items) {
+    Result<ResourceId> r =
+        UploadResource(project, item.kind, item.uri, item.description);
+    Status s = r.status();
+    ResourceId id = tagging::kInvalidResource;
+    if (r.ok()) {
+      id = r.value();
+      if (!item.initial_tags.empty()) {
+        s = ImportPost(project, id, item.initial_tags);
+      }
+    }
+    ids->push_back(id);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 Status ITagSystem::StartProject(ProjectId project) {
   return quality_->Start(project);
 }
@@ -142,6 +166,14 @@ std::vector<PendingSubmission> ITagSystem::PendingApprovals(
     if (sub.project == project) out.push_back(sub);
   }
   return out;
+}
+
+Result<ProjectId> ITagSystem::PendingProjectOf(TaskHandle handle) const {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::NotFound("submission " + std::to_string(handle));
+  }
+  return it->second.project;
 }
 
 Result<tagging::Post> ITagSystem::BuildPost(const PendingSubmission& sub,
@@ -416,6 +448,16 @@ Status ITagSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
   accepted_.erase(it);
   accepted_by_.erase(handle);
   return users_->RecordSubmission(tagger);
+}
+
+std::vector<Status> ITagSystem::SubmitTagsBatch(
+    const std::vector<TagSubmission>& items) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  for (const TagSubmission& item : items) {
+    out.push_back(SubmitTags(item.tagger, item.handle, item.tags));
+  }
+  return out;
 }
 
 // ------------------------------------------------------------- simulation

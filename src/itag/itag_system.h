@@ -64,6 +64,24 @@ struct AcceptedTask {
   uint32_t pay_cents = 0;
 };
 
+/// One item of a batched tag submission (SubmitTagsBatch): the tagger who
+/// accepted `handle` plus the raw (un-normalized) tag texts they entered.
+struct TagSubmission {
+  UserTaggerId tagger = 0;
+  TaskHandle handle = 0;
+  std::vector<std::string> tags;
+};
+
+/// One resource of a batched upload (UploadResourceBatch): the Fig. 4
+/// upload joins creating the resource and importing its existing tags.
+struct ResourceUpload {
+  tagging::ResourceKind kind = tagging::ResourceKind::kWebUrl;
+  std::string uri;
+  std::string description;
+  /// Imported as a provider-era post when non-empty.
+  std::vector<std::string> initial_tags;
+};
+
 /// Synthesizes the content of a platform worker's submission. The simulator
 /// installs a TaggerModel-backed source; the default source imitates a
 /// casual tagger (samples mostly from the resource's current rfd, sometimes
@@ -86,28 +104,58 @@ class ITagSystem {
   Status Init();
 
   // ------------------------------------------------------------ users
+  /// Registers a provider. Names need not be unique; ids are dense and
+  /// assigned in registration order (the sharded layer relies on this to
+  /// broadcast registrations deterministically).
   Result<ProviderId> RegisterProvider(const std::string& name);
+  /// Registers a tagger; same id contract as RegisterProvider.
   Result<UserTaggerId> RegisterTagger(const std::string& name);
+  /// Profile + approval statistics; NotFound for unknown ids.
   Result<ProviderProfile> GetProvider(ProviderId id) const;
   Result<TaggerProfile> GetTagger(UserTaggerId id) const;
 
   // ------------------------------------------------------------ provider API
+  /// Creates a project in Draft state for `provider` (NotFound for unknown
+  /// providers); the spec's budget/pay/platform/strategy are fixed until
+  /// AddBudget/SwitchStrategy change them.
   Result<ProjectId> CreateProject(ProviderId provider,
                                   const ProjectSpec& spec);
+  /// Uploads one resource; returns its project-local id. NotFound for
+  /// unknown projects.
   Result<tagging::ResourceId> UploadResource(ProjectId project,
                                              tagging::ResourceKind kind,
                                              const std::string& uri,
                                              const std::string& description);
   /// Imports the provider's historical tags for a resource (Fig. 4 upload).
+  /// InvalidArgument when no tag survives normalization.
   Status ImportPost(ProjectId project, tagging::ResourceId resource,
                     const std::vector<std::string>& raw_tags);
 
+  /// Batched upload: one UploadResource (+ ImportPost when initial_tags are
+  /// present) per item, one Status per item in request order — a bad item
+  /// never aborts the rest. `ids` (required) is filled aligned with
+  /// `items`, kInvalidResource where an item failed; an item whose resource
+  /// was created but whose tag import failed keeps its id alongside the
+  /// import's error status. The sharded layer overrides this with a single
+  /// routed, locked pass.
+  std::vector<Status> UploadResourceBatch(
+      ProjectId project, const std::vector<ResourceUpload>& items,
+      std::vector<tagging::ResourceId>* ids);
+
+  /// Lifecycle transitions (§III-A). Each returns NotFound for unknown
+  /// projects and FailedPrecondition for illegal transitions (e.g. Start
+  /// with zero resources, controls on a stopped project).
   Status StartProject(ProjectId project);
   Status PauseProject(ProjectId project);
   Status StopProject(ProjectId project);
+  /// Tops up the budget by `tasks` (clamped to uint32 max).
   Status AddBudget(ProjectId project, uint32_t tasks);
+  /// Replaces the allocation strategy mid-run (Fig. 5 dropdown).
   Status SwitchStrategy(ProjectId project, strategy::StrategyKind kind);
+  /// Statistics-driven strategy suggestion (§III-A).
   Result<strategy::StrategyKind> RecommendStrategy(ProjectId project) const;
+  /// §III-A per-resource Promote / Stop / Resume buttons. NotFound for
+  /// unknown project or resource.
   Status PromoteResource(ProjectId project, tagging::ResourceId resource);
   Status StopResource(ProjectId project, tagging::ResourceId resource);
   Status ResumeResource(ProjectId project, tagging::ResourceId resource);
@@ -122,6 +170,12 @@ class ITagSystem {
 
   /// Pending submissions of one project, oldest first.
   std::vector<PendingSubmission> PendingApprovals(ProjectId project) const;
+
+  /// The project a pending submission belongs to; NotFound when the handle
+  /// has no pending submission (never issued, not yet submitted, or already
+  /// decided). Lets batch routers learn which projects a decision batch
+  /// touches without scanning.
+  Result<ProjectId> PendingProjectOf(TaskHandle handle) const;
 
   /// Provider decision on a pending submission (Approve/Disapprove buttons).
   Status Decide(ProviderId provider, TaskHandle handle, bool approve);
@@ -146,7 +200,9 @@ class ITagSystem {
 
   /// Joins a project: the strategy picks the resource the tagger should tag
   /// (§III-B "they are assigned resources to tag, as decided by the
-  /// strategy").
+  /// strategy"). NotFound for unknown tagger/project; FailedPrecondition
+  /// while the project is not Running; ResourceExhausted when the budget is
+  /// spent.
   Result<AcceptedTask> AcceptTask(UserTaggerId tagger, ProjectId project);
 
   /// Batched join: draws up to `count` strategy-assigned tasks in one
@@ -158,8 +214,20 @@ class ITagSystem {
                                                 size_t count);
 
   /// Submits tags for an accepted task; they await provider approval.
+  ///
+  /// @param tagger  Must be the tagger that accepted `handle`
+  ///                (FailedPrecondition otherwise).
+  /// @param handle  An open accepted task; NotFound for never-issued or
+  ///                already-submitted handles.
+  /// @param raw_tags Raw texts; normalized and deduplicated here.
+  ///                 InvalidArgument when nothing usable remains.
   Status SubmitTags(UserTaggerId tagger, TaskHandle handle,
                     const std::vector<std::string>& raw_tags);
+
+  /// Batched submission: one SubmitTags per item, returning one Status per
+  /// item in request order — a bad item never aborts the rest. Per-item
+  /// error statuses match SubmitTags.
+  std::vector<Status> SubmitTagsBatch(const std::vector<TagSubmission>& items);
 
   // ------------------------------------------------------------ simulation
   /// Installs the content source for platform-worker submissions.

@@ -1,0 +1,712 @@
+#include "itag/sharded_system.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace itag::core {
+
+using tagging::ResourceId;
+
+namespace {
+
+/// Smallest sensible fan-out pool: one thread per shard, capped by the
+/// hardware (RunAll's caller also helps drain, so even 1 works).
+size_t DefaultPoolThreads(size_t num_shards) {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::max<size_t>(1, std::min(num_shards, hw));
+}
+
+}  // namespace
+
+ShardedSystem::ShardedSystem(ShardedSystemOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    ITagSystemOptions shard_options = options_.shard;
+    if (!shard_options.db.directory.empty()) {
+      shard_options.db.directory += "/shard-" + std::to_string(i);
+    }
+    // Distinct seeds so the simulated worker pools differ per shard; shard 0
+    // keeps the template seed, matching a single-shard ITagSystem exactly.
+    shard_options.seed = options_.shard.seed + i;
+    auto shard = std::make_unique<Shard>();
+    shard->system = std::make_unique<ITagSystem>(std::move(shard_options));
+    shards_.push_back(std::move(shard));
+  }
+  size_t threads = options_.pool_threads != 0
+                       ? options_.pool_threads
+                       : DefaultPoolThreads(options_.num_shards);
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ShardedSystem::~ShardedSystem() = default;
+
+Status ShardedSystem::Init() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    ITAG_RETURN_IF_ERROR(shard->system->Init());
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- routing
+
+template <typename Fn>
+auto ShardedSystem::WithProject(ProjectId project, Fn&& fn) const
+    -> decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                   ProjectId{0})) {
+  using R = decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                        ProjectId{0}));
+  ProjectId local = ToLocal(project);
+  if (local == 0) {  // no shard hands out local id 0 — global id is bogus
+    return R(Status::NotFound("project " + std::to_string(project)));
+  }
+  size_t s = ShardOf(project);
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return fn(s, shard.system.get(), local);
+}
+
+template <typename Item, typename HandleOf, typename Relabel,
+          typename RunShard>
+std::vector<Status> ShardedSystem::RouteByHandle(
+    const std::vector<Item>& items, const char* noun, HandleOf handle_of,
+    Relabel relabel, RunShard run_shard) {
+  std::vector<Status> out(items.size());
+  struct Group {
+    std::vector<Item> items;    // handles rewritten shard-local
+    std::vector<size_t> slots;  // request positions
+  };
+  std::vector<Group> groups(shards_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    uint64_t handle = handle_of(items[i]);
+    uint64_t local = ToLocal(handle);
+    if (local == 0) {  // no shard hands out local id 0 — global is bogus
+      out[i] =
+          Status::NotFound(std::string(noun) + " " + std::to_string(handle));
+      continue;
+    }
+    Group& g = groups[ShardOf(handle)];
+    g.items.push_back(relabel(items[i], local));
+    g.slots.push_back(i);
+  }
+  std::vector<std::function<void()>> tasks;
+  for (size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].items.empty()) continue;
+    tasks.push_back([this, s, &groups, &out, &run_shard] {
+      const Group& g = groups[s];
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      run_shard(s, shard.system.get(), g.items, g.slots, &out);
+    });
+  }
+  if (tasks.size() == 1) {
+    tasks.front()();  // single shard involved — skip the pool round-trip
+  } else if (!tasks.empty()) {
+    pool_->RunAll(std::move(tasks));
+  }
+  return out;
+}
+
+void ShardedSystem::RefreshSnapshot(size_t shard_index,
+                                    ProjectId local) const {
+  Shard& shard = *shards_[shard_index];
+  Result<ProjectInfo> info = shard.system->GetProjectInfo(local);
+  std::unique_lock<std::shared_mutex> lock(shard.snap_mu);
+  if (!info.ok()) {
+    shard.snapshots.erase(local);
+    return;
+  }
+  QualitySnapshot& snap = shard.snapshots[local];
+  const ProjectInfo& pi = info.value();
+  snap.project = ToGlobal(local, shard_index);
+  snap.state = pi.state;
+  snap.quality = pi.quality;
+  snap.projected_gain = pi.projected_gain;
+  snap.budget_remaining = pi.budget_remaining;
+  snap.tasks_completed = pi.tasks_completed;
+  snap.num_resources = static_cast<uint32_t>(pi.num_resources);
+  ++snap.version;
+}
+
+void ShardedSystem::RefreshStats(size_t shard_index) const {
+  Shard& shard = *shards_[shard_index];
+  ShardStats stats;
+  stats.projects = shard.projects_created;
+  stats.tasks_accepted = shard.tasks_accepted;
+  stats.payments = shard.system->ledger().PaymentCount();
+  stats.paid_cents = shard.system->ledger().TotalPaid();
+  shard.stats.Write(stats);
+}
+
+void ShardedSystem::RefreshShard(size_t shard_index) const {
+  Shard& shard = *shards_[shard_index];
+  for (const ProjectInfo& info :
+       shard.system->ListProjects(static_cast<ProviderId>(-1))) {
+    RefreshSnapshot(shard_index, info.id);
+  }
+  RefreshStats(shard_index);
+}
+
+// ----------------------------------------------------------------- users
+
+Result<ProviderId> ShardedSystem::RegisterProvider(const std::string& name) {
+  std::lock_guard<std::mutex> users_lock(users_mu_);
+  ProviderId id = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Result<ProviderId> r = shard.system->RegisterProvider(name);
+    if (!r.ok()) {
+      // A mid-broadcast failure (only reachable with storage-backed shards
+      // hitting I/O errors) leaves the user on shards 0..i-1; see the
+      // broadcast invariant in docs/concurrency.md for the recovery story.
+      if (i == 0) return r;
+      return Status::Internal("provider registration diverged: shard " +
+                              std::to_string(i) + " failed (" +
+                              r.status().message() +
+                              ") after earlier shards committed");
+    }
+    if (i == 0) {
+      id = r.value();
+    } else if (r.value() != id) {
+      return Status::Internal(
+          "provider id diverged across shards (was a shard mutated "
+          "through shard_system()?)");
+    }
+  }
+  return id;
+}
+
+Result<UserTaggerId> ShardedSystem::RegisterTagger(const std::string& name) {
+  std::lock_guard<std::mutex> users_lock(users_mu_);
+  UserTaggerId id = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Result<UserTaggerId> r = shard.system->RegisterTagger(name);
+    if (!r.ok()) {
+      if (i == 0) return r;
+      return Status::Internal("tagger registration diverged: shard " +
+                              std::to_string(i) + " failed (" +
+                              r.status().message() +
+                              ") after earlier shards committed");
+    }
+    if (i == 0) {
+      id = r.value();
+    } else if (r.value() != id) {
+      return Status::Internal("tagger id diverged across shards");
+    }
+  }
+  return id;
+}
+
+Result<ProviderProfile> ShardedSystem::GetProvider(ProviderId id) const {
+  ProviderProfile total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Result<ProviderProfile> r = shard.system->GetProvider(id);
+    if (!r.ok()) return r;
+    if (i == 0) {
+      total = r.value();
+    } else {
+      total.approvals_given += r.value().approvals_given;
+      total.rejections_given += r.value().rejections_given;
+    }
+  }
+  return total;
+}
+
+Result<TaggerProfile> ShardedSystem::GetTagger(UserTaggerId id) const {
+  TaggerProfile total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Result<TaggerProfile> r = shard.system->GetTagger(id);
+    if (!r.ok()) return r;
+    if (i == 0) {
+      total = r.value();
+    } else {
+      total.submitted += r.value().submitted;
+      total.approved += r.value().approved;
+      total.rejected += r.value().rejected;
+      total.earned_cents += r.value().earned_cents;
+    }
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- provider API
+
+Result<ProjectId> ShardedSystem::CreateProject(ProviderId provider,
+                                               const ProjectSpec& spec) {
+  size_t s = static_cast<size_t>(
+      next_project_shard_.fetch_add(1, std::memory_order_relaxed) %
+      shards_.size());
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Result<ProjectId> r = shard.system->CreateProject(provider, spec);
+  if (!r.ok()) return r;
+  ++shard.projects_created;
+  RefreshSnapshot(s, r.value());
+  RefreshStats(s);
+  return ToGlobal(r.value(), s);
+}
+
+Result<ResourceId> ShardedSystem::UploadResource(
+    ProjectId project, tagging::ResourceKind kind, const std::string& uri,
+    const std::string& description) {
+  return WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys, ProjectId local) -> Result<ResourceId> {
+        Result<ResourceId> r =
+            sys->UploadResource(local, kind, uri, description);
+        if (r.ok()) RefreshSnapshot(s, local);
+        return r;
+      });
+}
+
+std::vector<Status> ShardedSystem::UploadResourceBatch(
+    ProjectId project, const std::vector<ResourceUpload>& items,
+    std::vector<ResourceId>* ids) {
+  ProjectId local = ToLocal(project);
+  if (local == 0) {
+    ids->assign(items.size(), tagging::kInvalidResource);
+    return std::vector<Status>(
+        items.size(),
+        Status::NotFound("project " + std::to_string(project)));
+  }
+  size_t s = ShardOf(project);
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Status> out =
+      shard.system->UploadResourceBatch(local, items, ids);
+  RefreshSnapshot(s, local);
+  return out;
+}
+
+Status ShardedSystem::ImportPost(ProjectId project, ResourceId resource,
+                                 const std::vector<std::string>& raw_tags) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->ImportPost(local, resource, raw_tags);
+                       // Imported posts move the corpus quality.
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::StartProject(ProjectId project) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->StartProject(local);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::PauseProject(ProjectId project) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->PauseProject(local);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::StopProject(ProjectId project) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->StopProject(local);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::AddBudget(ProjectId project, uint32_t tasks) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->AddBudget(local, tasks);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::SwitchStrategy(ProjectId project,
+                                     strategy::StrategyKind kind) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->SwitchStrategy(local, kind);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Result<strategy::StrategyKind> ShardedSystem::RecommendStrategy(
+    ProjectId project) const {
+  return WithProject(project,
+                     [&](size_t, ITagSystem* sys,
+                         ProjectId local) -> Result<strategy::StrategyKind> {
+                       return sys->RecommendStrategy(local);
+                     });
+}
+
+Status ShardedSystem::PromoteResource(ProjectId project,
+                                      ResourceId resource) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->PromoteResource(local, resource);
+                       // Per-resource switches feed the projected gain.
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::StopResource(ProjectId project, ResourceId resource) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->StopResource(local, resource);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Status ShardedSystem::ResumeResource(ProjectId project,
+                                     ResourceId resource) {
+  return WithProject(project,
+                     [&](size_t s, ITagSystem* sys, ProjectId local) -> Status {
+                       Status st = sys->ResumeResource(local, resource);
+                       if (st.ok()) RefreshSnapshot(s, local);
+                       return st;
+                     });
+}
+
+Result<ProjectInfo> ShardedSystem::GetProjectInfo(ProjectId project) const {
+  return WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys, ProjectId local) -> Result<ProjectInfo> {
+        Result<ProjectInfo> r = sys->GetProjectInfo(local);
+        if (!r.ok()) return r;
+        ProjectInfo info = std::move(r).value();
+        info.id = ToGlobal(local, s);
+        return info;
+      });
+}
+
+std::vector<ProjectInfo> ShardedSystem::ListProjects(
+    ProviderId provider) const {
+  std::vector<ProjectInfo> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (ProjectInfo info : shard.system->ListProjects(provider)) {
+      info.id = ToGlobal(info.id, s);
+      out.push_back(std::move(info));
+    }
+  }
+  // Restore the global Fig. 3 ordering (each shard sorted only its own).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProjectInfo& a, const ProjectInfo& b) {
+                     return a.quality > b.quality;
+                   });
+  return out;
+}
+
+std::vector<QualityPoint> ShardedSystem::QualityFeed(
+    ProjectId project) const {
+  ProjectId local = ToLocal(project);
+  if (local == 0) return {};
+  Shard& shard = *shards_[ShardOf(project)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.system->QualityFeed(local);
+}
+
+Result<QualityManager::ResourceDetail> ShardedSystem::GetResourceDetail(
+    ProjectId project, ResourceId resource) const {
+  return WithProject(
+      project,
+      [&](size_t, ITagSystem* sys,
+          ProjectId local) -> Result<QualityManager::ResourceDetail> {
+        return sys->GetResourceDetail(local, resource);
+      });
+}
+
+std::vector<Notification> ShardedSystem::LatestNotifications(
+    ProviderId provider, size_t limit) {
+  std::vector<Notification> merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Notification n : shard.system->LatestNotifications(provider, limit)) {
+      if (n.project != 0) n.project = ToGlobal(n.project, s);
+      merged.push_back(std::move(n));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Notification& a, const Notification& b) {
+                     return a.time > b.time;
+                   });
+  if (merged.size() > limit) merged.resize(limit);
+  return merged;
+}
+
+std::vector<PendingSubmission> ShardedSystem::PendingApprovals(
+    ProjectId project) const {
+  ProjectId local = ToLocal(project);
+  if (local == 0) return {};
+  size_t s = ShardOf(project);
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<PendingSubmission> out = shard.system->PendingApprovals(local);
+  for (PendingSubmission& sub : out) {
+    sub.handle = ToGlobal(sub.handle, s);
+    sub.project = project;
+  }
+  return out;
+}
+
+Status ShardedSystem::Decide(ProviderId provider, TaskHandle handle,
+                             bool approve) {
+  TaskHandle local = ToLocal(handle);
+  if (local == 0) {
+    return Status::NotFound("submission " + std::to_string(handle));
+  }
+  size_t s = ShardOf(handle);
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Resolve the touched project before the decision consumes the handle.
+  Result<ProjectId> project = shard.system->PendingProjectOf(local);
+  Status st = shard.system->Decide(provider, local, approve);
+  if (st.ok()) {
+    if (project.ok()) RefreshSnapshot(s, project.value());
+    RefreshStats(s);
+  }
+  return st;
+}
+
+std::vector<Status> ShardedSystem::DecideBatch(
+    ProviderId provider,
+    const std::vector<std::pair<TaskHandle, bool>>& decisions) {
+  using Decision = std::pair<TaskHandle, bool>;
+  return RouteByHandle(
+      decisions, "submission",
+      [](const Decision& d) { return d.first; },
+      [](Decision d, TaskHandle local) {
+        d.first = local;
+        return d;
+      },
+      [this, provider](size_t s, ITagSystem* sys,
+                       const std::vector<Decision>& items,
+                       const std::vector<size_t>& slots,
+                       std::vector<Status>* out) {
+        // Only the decided submissions' projects need a snapshot refresh;
+        // resolve them before the decisions consume the handles.
+        std::set<ProjectId> touched;
+        for (const Decision& d : items) {
+          Result<ProjectId> p = sys->PendingProjectOf(d.first);
+          if (p.ok()) touched.insert(p.value());
+        }
+        std::vector<Status> statuses = sys->DecideBatch(provider, items);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          (*out)[slots[j]] = std::move(statuses[j]);
+        }
+        for (ProjectId local : touched) RefreshSnapshot(s, local);
+        RefreshStats(s);
+      });
+}
+
+Result<size_t> ShardedSystem::ExportProject(ProjectId project,
+                                            const std::string& path) const {
+  return WithProject(
+      project,
+      [&](size_t, ITagSystem* sys, ProjectId local) -> Result<size_t> {
+        return sys->ExportProject(local, path);
+      });
+}
+
+// ------------------------------------------------------------- tagger API
+
+std::vector<ProjectInfo> ShardedSystem::ListOpenProjects() const {
+  std::vector<ProjectInfo> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (ProjectInfo info : shard.system->ListOpenProjects()) {
+      info.id = ToGlobal(info.id, s);
+      out.push_back(std::move(info));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProjectInfo& a, const ProjectInfo& b) {
+                     return a.quality > b.quality;
+                   });
+  return out;
+}
+
+Result<AcceptedTask> ShardedSystem::AcceptTask(UserTaggerId tagger,
+                                               ProjectId project) {
+  return WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys, ProjectId local) -> Result<AcceptedTask> {
+        Result<AcceptedTask> r = sys->AcceptTask(tagger, local);
+        if (!r.ok()) return r;
+        AcceptedTask task = std::move(r).value();
+        task.handle = ToGlobal(task.handle, s);
+        task.project = ToGlobal(local, s);
+        ++shards_[s]->tasks_accepted;
+        RefreshSnapshot(s, local);
+        RefreshStats(s);
+        return task;
+      });
+}
+
+Result<std::vector<AcceptedTask>> ShardedSystem::AcceptTasks(
+    UserTaggerId tagger, ProjectId project, size_t count) {
+  return WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys,
+          ProjectId local) -> Result<std::vector<AcceptedTask>> {
+        Result<std::vector<AcceptedTask>> r =
+            sys->AcceptTasks(tagger, local, count);
+        if (!r.ok()) return r;
+        std::vector<AcceptedTask> tasks = std::move(r).value();
+        for (AcceptedTask& task : tasks) {
+          task.handle = ToGlobal(task.handle, s);
+          task.project = ToGlobal(local, s);
+        }
+        shards_[s]->tasks_accepted += tasks.size();
+        RefreshSnapshot(s, local);
+        RefreshStats(s);
+        return tasks;
+      });
+}
+
+Status ShardedSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
+                                 const std::vector<std::string>& raw_tags) {
+  TaskHandle local = ToLocal(handle);
+  if (local == 0) return Status::NotFound("task " + std::to_string(handle));
+  Shard& shard = *shards_[ShardOf(handle)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.system->SubmitTags(tagger, local, raw_tags);
+}
+
+std::vector<Status> ShardedSystem::SubmitTagsBatch(
+    const std::vector<TagSubmission>& items) {
+  return RouteByHandle(
+      items, "task",
+      [](const TagSubmission& t) { return t.handle; },
+      [](TagSubmission t, TaskHandle local) {
+        t.handle = local;
+        return t;
+      },
+      [](size_t, ITagSystem* sys, const std::vector<TagSubmission>& group,
+         const std::vector<size_t>& slots, std::vector<Status>* out) {
+        // Submissions only move the pending set, which no snapshot tracks.
+        std::vector<Status> statuses = sys->SubmitTagsBatch(group);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          (*out)[slots[j]] = std::move(statuses[j]);
+        }
+      });
+}
+
+// ------------------------------------------------------------- simulation
+
+void ShardedSystem::SetPostSource(PostSource source) {
+  const size_t n = shards_.size();
+  for (size_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (source == nullptr) {
+      shard.system->SetPostSource(nullptr);
+      continue;
+    }
+    // The source sees global project ids, whatever shard it runs on.
+    shard.system->SetPostSource(
+        [source, s, n](ProjectId project, ResourceId resource,
+                       double reliability, Tick now, Rng* rng) {
+          return source(EncodeShardedId(project, s, n), resource, reliability,
+                        now, rng);
+        });
+  }
+}
+
+void ShardedSystem::SetApprovalPolicy(ProviderId provider,
+                                      ApprovalPolicy policy) {
+  const size_t n = shards_.size();
+  for (size_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (policy == nullptr) {
+      shard.system->SetApprovalPolicy(provider, nullptr);
+      continue;
+    }
+    // The policy sees global handle/project ids, whatever shard decides.
+    shard.system->SetApprovalPolicy(
+        provider, [policy, s, n](const PendingSubmission& sub) {
+          PendingSubmission global = sub;
+          global.handle = EncodeShardedId(sub.handle, s, n);
+          global.project = EncodeShardedId(sub.project, s, n);
+          return policy(global);
+        });
+  }
+}
+
+Status ShardedSystem::Step(Tick ticks) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  std::vector<Status> results(shards_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    tasks.push_back([this, s, ticks, &results] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      Tick target = shard.system->clock().Now() + (ticks > 0 ? ticks : 0);
+      results[s] = shard.system->Step(ticks);
+      // A failing Step returns mid-tick; time still passed. Re-align the
+      // shard clock so all shards stay in lockstep with Now().
+      shard.system->clock().AdvanceTo(target);
+      RefreshShard(s);
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+  if (ticks > 0) now_.fetch_add(ticks, std::memory_order_acq_rel);
+  for (const Status& st : results) {
+    ITAG_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- observability
+
+Result<QualitySnapshot> ShardedSystem::PeekQuality(ProjectId project) const {
+  ProjectId local = ToLocal(project);
+  if (local == 0) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  Shard& shard = *shards_[ShardOf(project)];
+  std::shared_lock<std::shared_mutex> lock(shard.snap_mu);
+  auto it = shard.snapshots.find(local);
+  if (it == shard.snapshots.end()) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  return it->second;
+}
+
+ShardStats ShardedSystem::StatsOf(size_t shard) const {
+  return shards_[shard]->stats.Read();
+}
+
+uint64_t ShardedSystem::TotalPaidCents() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->stats.Read().paid_cents;
+  }
+  return total;
+}
+
+}  // namespace itag::core

@@ -1,0 +1,261 @@
+#ifndef ITAG_ITAG_SHARDED_SYSTEM_H_
+#define ITAG_ITAG_SHARDED_SYSTEM_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/seqlock.h"
+#include "common/sharding.h"
+#include "common/thread_pool.h"
+#include "itag/itag_system.h"
+
+namespace itag::core {
+
+/// Construction knobs for the sharded engine.
+struct ShardedSystemOptions {
+  /// Number of shards. Each shard owns a private ITagSystem (its own
+  /// storage, clock, platforms, ledger) guarded by one mutex; projects are
+  /// partitioned across shards, so shards never contend with each other.
+  size_t num_shards = 4;
+
+  /// Worker threads of the fan-out pool used by Step() and the cross-shard
+  /// batch entry points. 0 picks min(num_shards, hardware_concurrency).
+  size_t pool_threads = 0;
+
+  /// Template for every shard's ITagSystem. A non-empty `db.directory`
+  /// becomes `<directory>/shard-<i>` per shard; `seed` is offset per shard
+  /// so the simulated worker pools differ across shards.
+  ITagSystemOptions shard;
+};
+
+/// Lock-free-readable per-project quality snapshot (the monitoring hot
+/// path: dashboards poll quality far more often than they mutate). All
+/// fields mirror ProjectInfo; `version` counts snapshot refreshes.
+struct QualitySnapshot {
+  ProjectId project = 0;  ///< global id
+  ProjectState state = ProjectState::kDraft;
+  double quality = 0.0;
+  double projected_gain = 0.0;
+  uint32_t budget_remaining = 0;
+  uint32_t tasks_completed = 0;
+  uint32_t num_resources = 0;
+  uint64_t version = 0;
+};
+
+/// Per-shard aggregate counters, published through a seqlock so monitors
+/// can poll without touching any shard mutex.
+struct ShardStats {
+  uint64_t projects = 0;        ///< projects created on this shard
+  uint64_t tasks_accepted = 0;  ///< audience tasks handed out
+  uint64_t payments = 0;        ///< ledger payment records
+  uint64_t paid_cents = 0;      ///< ledger grand total
+};
+
+/// The sharded, thread-safe core: partitions projects (and their
+/// resources, corpora, engines, ledgers and quality state) across
+/// `num_shards` private ITagSystem instances, each guarded by its own
+/// mutex. Any number of caller threads may invoke any method concurrently.
+///
+/// Identity model:
+///  - Provider/tagger registration is *broadcast*: every shard applies the
+///    registration in the same order (serialized by a global user mutex),
+///    so user ids are identical on every shard and valid everywhere.
+///  - Project ids and task handles are *global* ids that encode the owning
+///    shard in the low bits (see common/sharding.h); routing a request is a
+///    modulo, not a table lookup. All ids returned by this class are global
+///    and must be passed back as such.
+///  - Resource ids stay project-local, exactly as in ITagSystem.
+///
+/// Concurrency model (see docs/concurrency.md for the full invariants):
+///  - One mutex per shard serializes everything inside that shard.
+///  - Cross-shard batch calls (SubmitTagsBatch, DecideBatch, Step) group
+///    items per shard and fan out on an internal worker pool, then merge
+///    per-item statuses back into request order.
+///  - Quality reads (PeekQuality, StatsOf) bypass shard mutexes entirely:
+///    snapshots live behind a shared_mutex-guarded table refreshed on every
+///    mutation, and shard counters behind a seqlock.
+///  - Lock ordering: users_mu_ before any shard mutex; shard mutexes are
+///    never nested; snapshot locks only inside a shard lock.
+class ShardedSystem {
+ public:
+  explicit ShardedSystem(ShardedSystemOptions options = {});
+  ~ShardedSystem();
+
+  ShardedSystem(const ShardedSystem&) = delete;
+  ShardedSystem& operator=(const ShardedSystem&) = delete;
+
+  /// Initializes every shard. Must be called once before use.
+  Status Init();
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // ------------------------------------------------------------ users
+  /// Registers a provider on every shard (identical id everywhere).
+  Result<ProviderId> RegisterProvider(const std::string& name);
+  /// Registers a tagger on every shard (identical id everywhere).
+  Result<UserTaggerId> RegisterTagger(const std::string& name);
+  /// Profile with approval/earning counters summed across shards (a user's
+  /// activity is recorded on the shard owning each project they touch).
+  Result<ProviderProfile> GetProvider(ProviderId id) const;
+  Result<TaggerProfile> GetTagger(UserTaggerId id) const;
+
+  // ------------------------------------------------------------ provider API
+  /// Creates the project on a round-robin-chosen shard; returns its global
+  /// id. Errors match ITagSystem::CreateProject.
+  Result<ProjectId> CreateProject(ProviderId provider,
+                                  const ProjectSpec& spec);
+  Result<tagging::ResourceId> UploadResource(ProjectId project,
+                                             tagging::ResourceKind kind,
+                                             const std::string& uri,
+                                             const std::string& description);
+  Status ImportPost(ProjectId project, tagging::ResourceId resource,
+                    const std::vector<std::string>& raw_tags);
+  /// Whole batch in one routed pass: one shard-lock acquisition and one
+  /// snapshot refresh regardless of item count (vs per-item routing).
+  /// Unknown projects fail every item with NotFound.
+  std::vector<Status> UploadResourceBatch(
+      ProjectId project, const std::vector<ResourceUpload>& items,
+      std::vector<tagging::ResourceId>* ids);
+  Status StartProject(ProjectId project);
+  Status PauseProject(ProjectId project);
+  Status StopProject(ProjectId project);
+  Status AddBudget(ProjectId project, uint32_t tasks);
+  Status SwitchStrategy(ProjectId project, strategy::StrategyKind kind);
+  Result<strategy::StrategyKind> RecommendStrategy(ProjectId project) const;
+  Status PromoteResource(ProjectId project, tagging::ResourceId resource);
+  Status StopResource(ProjectId project, tagging::ResourceId resource);
+  Status ResumeResource(ProjectId project, tagging::ResourceId resource);
+
+  Result<ProjectInfo> GetProjectInfo(ProjectId project) const;
+  /// All shards' projects of `provider`, merged and re-sorted by
+  /// descending quality (the Fig. 3 listing order), with global ids.
+  std::vector<ProjectInfo> ListProjects(ProviderId provider) const;
+  /// Returns the feed by value (a reference into a shard would escape its
+  /// lock) — the one signature that differs from ITagSystem.
+  std::vector<QualityPoint> QualityFeed(ProjectId project) const;
+  Result<QualityManager::ResourceDetail> GetResourceDetail(
+      ProjectId project, tagging::ResourceId resource) const;
+  /// Inboxes merged across shards, newest first, project ids globalized.
+  std::vector<Notification> LatestNotifications(ProviderId provider,
+                                                size_t limit);
+  std::vector<PendingSubmission> PendingApprovals(ProjectId project) const;
+
+  Status Decide(ProviderId provider, TaskHandle handle, bool approve);
+  /// Cross-shard batched moderation: items are grouped by the shard their
+  /// handle encodes, decided shard-parallel on the worker pool, and the
+  /// per-item statuses merged back in request order.
+  std::vector<Status> DecideBatch(
+      ProviderId provider,
+      const std::vector<std::pair<TaskHandle, bool>>& decisions);
+
+  Result<size_t> ExportProject(ProjectId project,
+                               const std::string& path) const;
+
+  // ------------------------------------------------------------ tagger API
+  std::vector<ProjectInfo> ListOpenProjects() const;
+  Result<AcceptedTask> AcceptTask(UserTaggerId tagger, ProjectId project);
+  /// Routes to the owning shard; returned handles/project ids are global.
+  Result<std::vector<AcceptedTask>> AcceptTasks(UserTaggerId tagger,
+                                                ProjectId project,
+                                                size_t count);
+  Status SubmitTags(UserTaggerId tagger, TaskHandle handle,
+                    const std::vector<std::string>& raw_tags);
+  /// Cross-shard batched submission, same grouping/fan-out/merge contract
+  /// as DecideBatch.
+  std::vector<Status> SubmitTagsBatch(
+      const std::vector<TagSubmission>& items);
+
+  // ------------------------------------------------------------ simulation
+  /// Broadcast to every shard; the source sees *global* project ids.
+  void SetPostSource(PostSource source);
+  /// Broadcast to every shard; the policy sees global project/handle ids.
+  void SetApprovalPolicy(ProviderId provider, ApprovalPolicy policy);
+  /// Advances all shards by `ticks` in parallel on the worker pool, then
+  /// the sharded clock. Returns the first shard error, if any.
+  Status Step(Tick ticks);
+  /// Current simulated time (all shard clocks advance in lockstep).
+  Tick Now() const { return now_.load(std::memory_order_acquire); }
+
+  // ------------------------------------------------------------ observability
+  /// Lock-free-path read of a project's quality snapshot; never contends
+  /// with the owning shard's mutex. NotFound for unknown projects.
+  Result<QualitySnapshot> PeekQuality(ProjectId project) const;
+  /// Seqlock read of one shard's aggregate counters.
+  ShardStats StatsOf(size_t shard) const;
+  /// Grand total paid across all shard ledgers (seqlock reads, no mutex).
+  uint64_t TotalPaidCents() const;
+
+  /// Direct access to one shard's facade for tests — unsynchronized; the
+  /// caller must guarantee no concurrent use of this ShardedSystem.
+  ITagSystem& shard_system(size_t shard) { return *shards_[shard]->system; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<ITagSystem> system;
+    mutable std::mutex mu;  ///< serializes every access to `system`
+    /// Snapshot table (keyed by *local* project id). Guarded by snap_mu,
+    /// written only while `mu` is also held.
+    mutable std::shared_mutex snap_mu;
+    std::unordered_map<ProjectId, QualitySnapshot> snapshots;
+    SeqLock<ShardStats> stats;
+    // Counters feeding ShardStats; guarded by mu.
+    uint64_t projects_created = 0;
+    uint64_t tasks_accepted = 0;
+  };
+
+  size_t ShardOf(uint64_t global_id) const {
+    return ShardOfId(global_id, shards_.size());
+  }
+  uint64_t ToLocal(uint64_t global_id) const {
+    return LocalId(global_id, shards_.size());
+  }
+  uint64_t ToGlobal(uint64_t local_id, size_t shard) const {
+    return EncodeShardedId(local_id, shard, shards_.size());
+  }
+
+  /// Locks the owning shard and invokes fn(shard_index, system, local_id).
+  /// Centralizes routing + the bad-id (local == 0) guard.
+  template <typename Fn>
+  auto WithProject(ProjectId project, Fn&& fn) const
+      -> decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                     ProjectId{0}));
+
+  /// Shared scaffolding of the cross-shard batch entry points: groups
+  /// `items` by the shard their global handle (`handle_of(item)`) encodes
+  /// — items with a bogus handle get NotFound("<noun> <handle>") in place —
+  /// rewrites each grouped item's handle shard-local via `relabel`, then
+  /// runs `run_shard(shard_index, system, local_items, slots, &out)` under
+  /// each involved shard's mutex, pool-parallel when more than one shard is
+  /// involved. `slots` maps group positions back to request positions;
+  /// run_shard must write its statuses through them.
+  template <typename Item, typename HandleOf, typename Relabel,
+            typename RunShard>
+  std::vector<Status> RouteByHandle(const std::vector<Item>& items,
+                                    const char* noun, HandleOf handle_of,
+                                    Relabel relabel, RunShard run_shard);
+
+  /// Refreshes the snapshot of one local project (shard mutex held).
+  void RefreshSnapshot(size_t shard_index, ProjectId local) const;
+  /// Refreshes every project snapshot + shard stats (shard mutex held).
+  void RefreshShard(size_t shard_index) const;
+  /// Publishes current ledger/project counters (shard mutex held).
+  void RefreshStats(size_t shard_index) const;
+
+  ShardedSystemOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex users_mu_;  ///< serializes broadcast registrations
+  std::atomic<uint64_t> next_project_shard_{0};
+  std::atomic<Tick> now_{0};
+  bool initialized_ = false;
+};
+
+}  // namespace itag::core
+
+#endif  // ITAG_ITAG_SHARDED_SYSTEM_H_

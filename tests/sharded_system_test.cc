@@ -1,0 +1,392 @@
+// Functional (single-threaded) coverage of the sharded core: id encoding,
+// per-shard routing, broadcast user registration, cross-shard merges, the
+// lock-free quality snapshot path, and the api::Service sharded backend.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "common/sharding.h"
+#include "itag/sharded_system.h"
+
+namespace itag {
+namespace {
+
+using core::AcceptedTask;
+using core::PendingSubmission;
+using core::ProjectId;
+using core::ProjectInfo;
+using core::ProjectSpec;
+using core::ProviderId;
+using core::QualitySnapshot;
+using core::ShardedSystem;
+using core::ShardedSystemOptions;
+using core::TagSubmission;
+using core::TaskHandle;
+using core::UserTaggerId;
+
+ShardedSystemOptions Opts(size_t shards) {
+  ShardedSystemOptions opts;
+  opts.num_shards = shards;
+  opts.pool_threads = 2;
+  return opts;
+}
+
+ProjectSpec AudienceSpec(const std::string& name, uint32_t budget) {
+  ProjectSpec spec;
+  spec.name = name;
+  spec.budget = budget;
+  spec.platform = core::PlatformChoice::kAudience;
+  spec.strategy = strategy::StrategyKind::kFewestPostsFirst;
+  return spec;
+}
+
+TEST(ShardingCodecTest, RoundTripsAndNeverYieldsZero) {
+  for (size_t n : {1u, 2u, 4u, 7u}) {
+    for (uint64_t local = 1; local < 100; ++local) {
+      for (size_t s = 0; s < n; ++s) {
+        uint64_t global = EncodeShardedId(local, s, n);
+        EXPECT_NE(global, 0u);
+        EXPECT_EQ(ShardOfId(global, n), s);
+        EXPECT_EQ(LocalId(global, n), local);
+      }
+    }
+  }
+}
+
+TEST(ShardingCodecTest, HashShardSpreadsClusteredKeys) {
+  // Sequential (clustered) keys must land near-uniformly: no shard may see
+  // more than twice its fair share of 4096 keys over 8 shards.
+  constexpr size_t kShards = 8;
+  constexpr size_t kKeys = 4096;
+  size_t counts[kShards] = {};
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    size_t s = HashShard(key, kShards);
+    ASSERT_LT(s, kShards);
+    ++counts[s];
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], kKeys / kShards / 2) << "shard " << s;
+    EXPECT_LT(counts[s], kKeys / kShards * 2) << "shard " << s;
+  }
+}
+
+TEST(ShardedSystemTest, BroadcastRegistrationGivesOneIdValidEverywhere) {
+  ShardedSystem sys(Opts(4));
+  ASSERT_TRUE(sys.Init().ok());
+  auto alice = sys.RegisterProvider("alice");
+  auto bob = sys.RegisterProvider("bob");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+  EXPECT_NE(alice.value(), bob.value());
+  auto tagger = sys.RegisterTagger("tom");
+  ASSERT_TRUE(tagger.ok());
+  // Projects land on different shards, yet every shard recognizes the users.
+  for (int i = 0; i < 8; ++i) {
+    auto project = sys.CreateProject(
+        bob.value(), AudienceSpec("p" + std::to_string(i), 10));
+    ASSERT_TRUE(project.ok()) << project.status().ToString();
+  }
+  EXPECT_TRUE(sys.GetProvider(bob.value()).ok());
+  EXPECT_TRUE(sys.GetTagger(tagger.value()).ok());
+  EXPECT_TRUE(sys.GetProvider(999).status().IsNotFound());
+}
+
+TEST(ShardedSystemTest, ProjectsSpreadAcrossAllShards) {
+  ShardedSystem sys(Opts(4));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  std::set<size_t> used;
+  for (int i = 0; i < 8; ++i) {
+    ProjectId id =
+        sys.CreateProject(provider, AudienceSpec("p", 10)).value();
+    used.insert(ShardOfId(id, 4));
+  }
+  EXPECT_EQ(used.size(), 4u);  // round-robin fills every shard
+}
+
+TEST(ShardedSystemTest, FullTaggingRoundTripThroughGlobalIds) {
+  ShardedSystem sys(Opts(3));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("prov").value();
+  UserTaggerId tagger = sys.RegisterTagger("tag").value();
+  // Several projects so at least two live on non-zero shards.
+  std::vector<ProjectId> projects;
+  for (int i = 0; i < 5; ++i) {
+    ProjectId p = sys.CreateProject(provider, AudienceSpec("p", 20)).value();
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                     "uri-" + std::to_string(r), "")
+                      .ok());
+    }
+    ASSERT_TRUE(sys.StartProject(p).ok());
+    projects.push_back(p);
+  }
+  for (ProjectId p : projects) {
+    auto tasks = sys.AcceptTasks(tagger, p, 4);
+    ASSERT_TRUE(tasks.ok()) << tasks.status().ToString();
+    ASSERT_EQ(tasks.value().size(), 4u);
+    for (const AcceptedTask& task : tasks.value()) {
+      EXPECT_EQ(task.project, p);  // global id round-trips
+      ASSERT_TRUE(sys.SubmitTags(tagger, task.handle, {"alpha", "beta"}).ok());
+    }
+    // Pending approvals surface global ids.
+    std::vector<PendingSubmission> pending = sys.PendingApprovals(p);
+    ASSERT_EQ(pending.size(), 4u);
+    std::vector<std::pair<TaskHandle, bool>> decisions;
+    for (const PendingSubmission& sub : pending) {
+      EXPECT_EQ(sub.project, p);
+      decisions.emplace_back(sub.handle, true);
+    }
+    std::vector<Status> statuses = sys.DecideBatch(provider, decisions);
+    for (const Status& s : statuses) EXPECT_TRUE(s.ok()) << s.ToString();
+    auto info = sys.GetProjectInfo(p);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().id, p);
+    EXPECT_EQ(info.value().tasks_completed, 4u);
+    EXPECT_EQ(info.value().budget_remaining, 16u);
+  }
+  // Every payment was 5 cents (default pay) per approved task.
+  EXPECT_EQ(sys.TotalPaidCents(), 5u * 4u * projects.size());
+  auto profile = sys.GetTagger(tagger);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().approved, 4u * projects.size());
+  EXPECT_EQ(profile.value().earned_cents, 5u * 4u * projects.size());
+}
+
+TEST(ShardedSystemTest, CrossShardBatchesMergeStatusesInInputOrder) {
+  ShardedSystem sys(Opts(4));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("prov").value();
+  UserTaggerId tagger = sys.RegisterTagger("tag").value();
+  // One accepted task on each of several shards.
+  std::vector<AcceptedTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    ProjectId p = sys.CreateProject(provider, AudienceSpec("p", 5)).value();
+    ASSERT_TRUE(
+        sys.UploadResource(p, tagging::ResourceKind::kWebUrl, "u", "").ok());
+    ASSERT_TRUE(sys.StartProject(p).ok());
+    tasks.push_back(sys.AcceptTask(tagger, p).value());
+  }
+  // Interleave valid handles with bogus ones; statuses must line up.
+  std::vector<TagSubmission> submissions;
+  submissions.push_back({tagger, tasks[0].handle, {"a"}});
+  submissions.push_back({tagger, 3u, {"a"}});  // local id 0 on shard 3
+  submissions.push_back({tagger, tasks[1].handle, {"b"}});
+  submissions.push_back({tagger, tasks[2].handle, {"c"}});
+  submissions.push_back({tagger, 999999u, {"d"}});  // never issued
+  submissions.push_back({tagger, tasks[3].handle, {"e"}});
+  std::vector<Status> submitted = sys.SubmitTagsBatch(submissions);
+  ASSERT_EQ(submitted.size(), 6u);
+  EXPECT_TRUE(submitted[0].ok());
+  EXPECT_TRUE(submitted[1].IsNotFound());
+  EXPECT_TRUE(submitted[2].ok());
+  EXPECT_TRUE(submitted[3].ok());
+  EXPECT_TRUE(submitted[4].IsNotFound());
+  EXPECT_TRUE(submitted[5].ok());
+
+  std::vector<std::pair<TaskHandle, bool>> decisions = {
+      {tasks[3].handle, true}, {123456789u, true},  {tasks[0].handle, false},
+      {tasks[1].handle, true}, {tasks[2].handle, true},
+  };
+  std::vector<Status> decided = sys.DecideBatch(provider, decisions);
+  ASSERT_EQ(decided.size(), 5u);
+  EXPECT_TRUE(decided[0].ok());
+  EXPECT_TRUE(decided[1].IsNotFound());
+  EXPECT_TRUE(decided[2].ok());  // rejection is a successful decision
+  EXPECT_TRUE(decided[3].ok());
+  EXPECT_TRUE(decided[4].ok());
+  // 3 approvals at 5 cents, 1 rejection unpaid.
+  EXPECT_EQ(sys.TotalPaidCents(), 15u);
+}
+
+TEST(ShardedSystemTest, ListingsMergeAcrossShardsWithGlobalIds) {
+  ShardedSystem sys(Opts(3));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId a = sys.RegisterProvider("a").value();
+  ProviderId b = sys.RegisterProvider("b").value();
+  std::set<ProjectId> a_projects;
+  for (int i = 0; i < 6; ++i) {
+    ProjectId p = sys.CreateProject(a, AudienceSpec("pa", 10)).value();
+    ASSERT_TRUE(
+        sys.UploadResource(p, tagging::ResourceKind::kWebUrl, "u", "").ok());
+    ASSERT_TRUE(sys.StartProject(p).ok());
+    a_projects.insert(p);
+  }
+  (void)sys.CreateProject(b, AudienceSpec("pb", 10)).value();
+  std::vector<ProjectInfo> mine = sys.ListProjects(a);
+  ASSERT_EQ(mine.size(), 6u);
+  for (const ProjectInfo& info : mine) {
+    EXPECT_TRUE(a_projects.count(info.id)) << info.id;
+  }
+  // b's project is Draft (no resources, not started): not open.
+  EXPECT_EQ(sys.ListOpenProjects().size(), 6u);
+}
+
+TEST(ShardedSystemTest, PeekQualityTracksProjectWithoutShardLock) {
+  ShardedSystem sys(Opts(2));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  UserTaggerId tagger = sys.RegisterTagger("t").value();
+  ProjectId p = sys.CreateProject(provider, AudienceSpec("p", 10)).value();
+  EXPECT_TRUE(sys.PeekQuality(0).status().IsNotFound());
+  auto snap0 = sys.PeekQuality(p);
+  ASSERT_TRUE(snap0.ok());
+  EXPECT_EQ(snap0.value().project, p);
+  EXPECT_EQ(snap0.value().state, core::ProjectState::kDraft);
+  EXPECT_EQ(snap0.value().budget_remaining, 10u);
+
+  auto resource = sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                     "u", "");
+  ASSERT_TRUE(resource.ok());
+  // Imported provider tags move the corpus quality; the lock-free snapshot
+  // must follow without any other mutation happening (regression: stale
+  // PeekQuality after ImportPost).
+  ASSERT_TRUE(sys.ImportPost(p, resource.value(), {"seed", "tags"}).ok());
+  EXPECT_DOUBLE_EQ(sys.PeekQuality(p).value().quality,
+                   sys.GetProjectInfo(p).value().quality);
+  ASSERT_TRUE(sys.StartProject(p).ok());
+  AcceptedTask task = sys.AcceptTask(tagger, p).value();
+  ASSERT_TRUE(sys.SubmitTags(tagger, task.handle, {"x"}).ok());
+  ASSERT_TRUE(sys.Decide(provider, task.handle, true).ok());
+
+  auto snap1 = sys.PeekQuality(p);
+  ASSERT_TRUE(snap1.ok());
+  EXPECT_EQ(snap1.value().state, core::ProjectState::kRunning);
+  EXPECT_EQ(snap1.value().budget_remaining, 9u);
+  EXPECT_EQ(snap1.value().tasks_completed, 1u);
+  EXPECT_GT(snap1.value().version, snap0.value().version);
+  // Snapshot agrees with the locked read path.
+  auto info = sys.GetProjectInfo(p);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(snap1.value().tasks_completed, info.value().tasks_completed);
+  EXPECT_DOUBLE_EQ(snap1.value().quality, info.value().quality);
+
+  core::ShardStats stats = sys.StatsOf(ShardOfId(p, 2));
+  EXPECT_EQ(stats.projects, 1u);
+  EXPECT_EQ(stats.tasks_accepted, 1u);
+  EXPECT_EQ(stats.payments, 1u);
+  EXPECT_EQ(stats.paid_cents, 5u);
+}
+
+TEST(ShardedSystemTest, StepPumpsPlatformProjectsOnEveryShard) {
+  ShardedSystemOptions opts = Opts(3);
+  ShardedSystem sys(opts);
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  std::vector<ProjectId> projects;
+  for (int i = 0; i < 3; ++i) {
+    ProjectSpec spec;
+    spec.name = "mturk-" + std::to_string(i);
+    spec.budget = 40;
+    spec.platform = core::PlatformChoice::kMTurk;
+    ProjectId p = sys.CreateProject(provider, spec).value();
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_TRUE(sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                     "u" + std::to_string(r), "")
+                      .ok());
+    }
+    ASSERT_TRUE(sys.StartProject(p).ok());
+    projects.push_back(p);
+  }
+  ASSERT_TRUE(sys.Step(400).ok());
+  EXPECT_EQ(sys.Now(), 400);
+  for (ProjectId p : projects) {
+    auto info = sys.GetProjectInfo(p);
+    ASSERT_TRUE(info.ok());
+    EXPECT_GT(info.value().tasks_completed, 0u)
+        << "project " << p << " never pumped";
+    // The snapshot path saw the Step too.
+    EXPECT_EQ(sys.PeekQuality(p).value().tasks_completed,
+              info.value().tasks_completed);
+  }
+  EXPECT_GT(sys.TotalPaidCents(), 0u);
+}
+
+TEST(ShardedSystemTest, ApprovalPolicySeesGlobalIds) {
+  ShardedSystem sys(Opts(2));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  ProjectSpec spec;
+  spec.name = "m";
+  spec.budget = 30;
+  spec.platform = core::PlatformChoice::kMTurk;
+  ProjectId p = sys.CreateProject(provider, spec).value();
+  ASSERT_TRUE(
+      sys.UploadResource(p, tagging::ResourceKind::kWebUrl, "u", "").ok());
+  ASSERT_TRUE(sys.StartProject(p).ok());
+  std::vector<ProjectId> seen;
+  sys.SetApprovalPolicy(provider, [&](const PendingSubmission& sub) {
+    seen.push_back(sub.project);
+    return true;
+  });
+  ASSERT_TRUE(sys.Step(200).ok());
+  ASSERT_FALSE(seen.empty());
+  for (ProjectId id : seen) EXPECT_EQ(id, p);
+}
+
+TEST(ShardedServiceTest, EndpointsRouteThroughShardedBackend) {
+  api::Service service(Opts(4));
+  ASSERT_TRUE(service.Init().ok());
+  ASSERT_NE(service.sharded(), nullptr);
+
+  ProviderId provider = service.RegisterProvider({"alice"}).provider;
+  UserTaggerId tagger = service.RegisterTagger({"tom"}).tagger;
+  api::CreateProjectRequest create;
+  create.provider = provider;
+  create.spec = AudienceSpec("photos", 50);
+  auto created = service.CreateProject(create);
+  ASSERT_TRUE(created.status.ok());
+  ProjectId project = created.project;
+
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
+  for (int i = 0; i < 4; ++i) {
+    api::UploadResourceItem item;
+    item.uri = "img-" + std::to_string(i);
+    if (i == 0) item.initial_tags = {"seed", "tag"};
+    upload.items.push_back(std::move(item));
+  }
+  upload.items.push_back({});  // empty uri → per-item failure
+  auto uploaded = service.BatchUploadResources(upload);
+  EXPECT_EQ(uploaded.outcome.ok_count, 4u);
+  EXPECT_TRUE(uploaded.outcome.statuses.back().IsInvalidArgument());
+
+  auto controlled = service.BatchControl(
+      {project, {{api::ControlAction::kStart}}});
+  EXPECT_TRUE(controlled.outcome.all_ok());
+
+  auto accepted = service.BatchAcceptTasks({tagger, project, 8});
+  ASSERT_TRUE(accepted.status.ok());
+  ASSERT_EQ(accepted.tasks.size(), 8u);
+
+  api::BatchSubmitTagsRequest submit;
+  api::BatchDecideRequest decide;
+  decide.provider = provider;
+  for (const AcceptedTask& task : accepted.tasks) {
+    submit.items.push_back({tagger, task.handle, {"sea", "sun"}});
+    decide.items.push_back({task.handle, true});
+  }
+  EXPECT_TRUE(service.BatchSubmitTags(submit).outcome.all_ok());
+  EXPECT_TRUE(service.BatchDecide(decide).outcome.all_ok());
+
+  auto snap = service.ProjectQuery({project, true, {0}});
+  ASSERT_TRUE(snap.status.ok());
+  EXPECT_EQ(snap.info.id, project);
+  EXPECT_EQ(snap.info.tasks_completed, 8u);
+  EXPECT_FALSE(snap.feed.empty());
+  ASSERT_EQ(snap.details.size(), 1u);
+
+  // Dispatch routes the variant exactly like the typed endpoints.
+  api::AnyResponse any = service.Dispatch(api::StepRequest{10});
+  auto* step = std::get_if<api::StepResponse>(&any);
+  ASSERT_NE(step, nullptr);
+  EXPECT_TRUE(step->status.ok());
+  EXPECT_EQ(step->now, 10);
+}
+
+}  // namespace
+}  // namespace itag
