@@ -23,6 +23,16 @@ namespace itag::api {
 /// reports it so callers built against older headers can bail out early.
 inline constexpr uint32_t kApiVersion = 1;
 
+/// True iff a peer speaking `version` can be served by this binary. The rule
+/// is exact match while the surface still evolves; when a compatibility
+/// window opens (serving version N and N-1), only this predicate changes.
+/// Wire frontends must answer a frame that fails this check with a *typed*
+/// FailedPrecondition reply — never by dropping the connection — so old
+/// clients learn why they were refused (see docs/wire-protocol.md).
+inline constexpr bool IsCompatibleApiVersion(uint32_t version) {
+  return version == kApiVersion;
+}
+
 /// Common header to every batch response: one Status per request item, in
 /// request order, plus the count that succeeded. A bad item never aborts the
 /// rest of the batch.
@@ -237,6 +247,25 @@ using AnyResponse =
                  BatchControlResponse, ProjectQueryResponse,
                  BatchAcceptTasksResponse, BatchSubmitTagsResponse,
                  BatchDecideResponse, StepResponse>;
+
+/// Number of request alternatives. The wire protocol uses the variant index
+/// as its request/response type tag, so alternative order is part of the
+/// compatibility contract guarded by kApiVersion.
+inline constexpr size_t kRequestTypeCount = std::variant_size_v<AnyRequest>;
+
+/// Stable endpoint name of the AnyRequest alternative at `index`
+/// ("RegisterProvider", ...), for wire-level logs and error messages.
+inline const char* RequestTypeName(size_t index) {
+  static constexpr const char* kNames[] = {
+      "RegisterProvider", "RegisterTagger",  "CreateProject",
+      "BatchUploadResources", "BatchControl", "ProjectQuery",
+      "BatchAcceptTasks", "BatchSubmitTags", "BatchDecide",
+      "Step",
+  };
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) == kRequestTypeCount,
+                "RequestTypeName out of sync with AnyRequest");
+  return index < kRequestTypeCount ? kNames[index] : "?";
+}
 
 }  // namespace itag::api
 

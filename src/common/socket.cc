@@ -1,0 +1,158 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace itag {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> ParseAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Listen(const std::string& host, uint16_t port,
+                              int backlog) {
+  ITAG_ASSIGN_OR_RETURN(sockaddr_in addr, ParseAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  ITAG_ASSIGN_OR_RETURN(sockaddr_in addr, ParseAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect " + host + ":" + std::to_string(port));
+  return sock;
+}
+
+Result<Socket> Socket::Accept() const {
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  return Socket(fd);
+}
+
+Result<uint16_t> Socket::LocalPort() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status Socket::SetNonBlocking(bool on) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay(bool on) {
+  int v = on ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::ReadSome(void* buf, size_t n) const {
+  for (;;) {
+    ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got > 0) return static_cast<size_t>(got);
+    if (got == 0) return Status::IOError("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("recv");
+  }
+}
+
+Status Socket::WriteAll(const void* buf, size_t n, int timeout_ms) const {
+  const char* p = static_cast<const char*>(buf);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (n > 0) {
+    ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+        if (left <= 0) {
+          return Status::IOError("send timed out: peer not draining");
+        }
+        wait_ms = static_cast<int>(left);
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, wait_ms) < 0 && errno != EINTR) {
+        return Errno("poll");
+      }
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+}  // namespace itag

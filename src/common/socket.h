@@ -1,0 +1,75 @@
+#ifndef ITAG_COMMON_SOCKET_H_
+#define ITAG_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace itag {
+
+/// Thin RAII wrapper over a POSIX TCP socket, shared by the net server
+/// (nonblocking fds in an epoll loop) and the blocking client. Only IPv4 is
+/// supported — the system binds loopback or a concrete interface address;
+/// name resolution is the deployment layer's business.
+///
+/// IO helpers retry on EINTR and never raise SIGPIPE (writes use
+/// MSG_NOSIGNAL); on a nonblocking fd, WriteAll falls back to poll(POLLOUT)
+/// so callers can treat it as a blocking full write either way.
+class Socket {
+ public:
+  /// An empty (invalid) socket.
+  Socket() = default;
+  /// Adopts an already-open fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Creates a listening socket bound to `host:port` (SO_REUSEADDR set).
+  /// Port 0 binds an ephemeral port; read it back with LocalPort().
+  static Result<Socket> Listen(const std::string& host, uint16_t port,
+                               int backlog = 128);
+
+  /// Opens a blocking TCP connection to `host:port`.
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// Accepts one pending connection on a listening socket.
+  Result<Socket> Accept() const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// The locally bound port (useful after Listen with port 0).
+  Result<uint16_t> LocalPort() const;
+
+  Status SetNonBlocking(bool on);
+  /// Disables Nagle's algorithm — a request/response protocol wants its
+  /// small frames on the wire immediately.
+  Status SetNoDelay(bool on);
+
+  /// Reads at most `n` bytes. Returns the byte count (>= 1), 0 when the fd
+  /// is nonblocking and no data is available, or a Status error — an orderly
+  /// peer close surfaces as IOError("connection closed by peer").
+  Result<size_t> ReadSome(void* buf, size_t n) const;
+
+  /// Writes all `n` bytes, polling for writability on a nonblocking fd.
+  /// `timeout_ms` bounds the total time spent waiting for the peer to
+  /// drain its receive buffer (-1 = wait forever); on expiry the write
+  /// fails with IOError and the stream should be considered broken (an
+  /// unknown prefix of the data may have been sent).
+  Status WriteAll(const void* buf, size_t n, int timeout_ms = -1) const;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace itag
+
+#endif  // ITAG_COMMON_SOCKET_H_

@@ -1,0 +1,322 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+namespace itag::net {
+
+Server::Server(api::Service* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (io_thread_.joinable()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  ITAG_ASSIGN_OR_RETURN(listener_,
+                        Socket::Listen(options_.host, options_.port));
+  ITAG_ASSIGN_OR_RETURN(uint16_t port, listener_.LocalPort());
+  port_ = port;
+  ITAG_RETURN_IF_ERROR(listener_.SetNonBlocking(true));
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IOError("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  io_thread_ = std::thread(&Server::IoLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!io_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  io_thread_.join();
+  // Drain the workers: in-flight dispatches still write their responses
+  // (their Conn references keep the sockets open).
+  pool_.reset();
+  conns_.clear();
+  {
+    // Connections abandoned after the IO thread exited would otherwise
+    // hold their sockets open (and their peers' Awaits hostage) until the
+    // Server object itself is destroyed.
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead_conns_.clear();
+  }
+  listener_.Close();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.frames_received = frames_received_.load();
+  s.responses_sent = responses_sent_.load();
+  s.errors_sent = errors_sent_.load();
+  s.overload_rejections = overload_rejections_.load();
+  s.version_rejections = version_rejections_.load();
+  s.protocol_errors = protocol_errors_.load();
+  return s;
+}
+
+void Server::IoLoop() {
+  std::vector<epoll_event> events(64);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        [[maybe_unused]] ssize_t got = ::read(wake_fd_, &drain, sizeof(drain));
+        ReapDead();  // stop flag re-checked at the loop head
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        AcceptOne();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(fd);
+      } else if (events[i].events & EPOLLIN) {
+        HandleReadable(it->second);
+      }
+    }
+  }
+}
+
+void Server::AcceptOne() {
+  Result<Socket> accepted = listener_.Accept();
+  if (!accepted.ok()) return;  // transient (EAGAIN after a racing accept)
+  Socket sock = std::move(accepted).value();
+  if (!sock.SetNonBlocking(true).ok()) return;
+  (void)sock.SetNoDelay(true);
+  int fd = sock.fd();
+  auto conn = std::make_shared<Conn>(std::move(sock));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return;
+  conns_.emplace(fd, std::move(conn));
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second->dead.store(true, std::memory_order_release);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  // The fd itself closes when the last worker holding this Conn finishes.
+  conns_.erase(it);
+}
+
+void Server::ReapDead() {
+  std::vector<std::shared_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead.swap(dead_conns_);
+  }
+  for (const std::shared_ptr<Conn>& conn : dead) {
+    // Identity check: only close if this fd still maps to *this*
+    // connection (it may already have been reaped via EPOLLHUP).
+    int fd = conn->sock.fd();
+    auto it = conns_.find(fd);
+    if (it != conns_.end() && it->second == conn) CloseConn(fd);
+  }
+}
+
+void Server::Wake() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::AbandonConn(const std::shared_ptr<Conn>& conn) {
+  conn->dead.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead_conns_.push_back(conn);
+  }
+  Wake();
+}
+
+void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  int fd = conn->sock.fd();
+  if (conn->dead.load(std::memory_order_acquire)) {
+    // A worker gave up on this peer (write error or timeout); reap it.
+    CloseConn(fd);
+    return;
+  }
+  char buf[16384];
+  bool peer_gone = false;
+  for (;;) {
+    Result<size_t> got = conn->sock.ReadSome(buf, sizeof(buf));
+    if (!got.ok()) {
+      // EOF or socket error — but frames already received (possibly in
+      // this very read burst) must still be dispatched: a fire-and-forget
+      // client may send and close in one breath.
+      peer_gone = true;
+      break;
+    }
+    if (*got == 0) break;  // drained for now
+    conn->inbuf.append(buf, *got);
+  }
+  size_t parsed = 0;
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    Status s = TryDecodeFrame(
+        std::string_view(conn->inbuf).substr(parsed), &frame, &consumed,
+        options_.max_frame_bytes);
+    if (!s.ok()) {
+      // Unparseable stream (bad magic/CRC/kind): nothing after this point
+      // can be framed reliably, so the only safe move is to hang up.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(fd);
+      return;
+    }
+    if (consumed == 0) break;  // need more bytes
+    parsed += consumed;
+    HandleFrame(conn, std::move(frame));
+  }
+  conn->inbuf.erase(0, parsed);
+  if (peer_gone) CloseConn(fd);
+}
+
+void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  if (frame.kind != FrameKind::kRequest) {
+    SendError(conn, frame.correlation,
+              Status::InvalidArgument("expected a request frame"), frame.type);
+    return;
+  }
+  if (!api::IsCompatibleApiVersion(frame.version)) {
+    version_rejections_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, frame.correlation,
+              Status::FailedPrecondition(
+                  "api version mismatch: frame speaks v" +
+                  std::to_string(frame.version) + ", server speaks v" +
+                  std::to_string(api::kApiVersion)),
+              frame.type);
+    return;
+  }
+  if (conn->in_flight.load(std::memory_order_acquire) >=
+      options_.max_in_flight) {
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, frame.correlation,
+              Status::ResourceExhausted(
+                  "server overloaded: " +
+                  std::to_string(options_.max_in_flight) +
+                  " requests already in flight on this connection"),
+              frame.type);
+    return;
+  }
+  // Payload decoding (and everything after) runs on the pool: a frame near
+  // the size cap must not stall the IO thread's accepts and reads for
+  // every other connection. The IO thread does framing only.
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, conn, frame = std::move(frame)]() {
+    api::AnyRequest request;
+    Status decoded =
+        DecodeRequestPayload(frame.type, frame.payload, &request);
+    if (!decoded.ok()) {
+      errors_sent_.fetch_add(1, std::memory_order_relaxed);
+      WriteToConn(conn,
+                  EncodeErrorFrame(frame.correlation, decoded, frame.type));
+    } else {
+      if (options_.before_dispatch) options_.before_dispatch(request);
+      api::AnyResponse response = service_->Dispatch(request);
+      std::string bytes = EncodeResponseFrame(frame.correlation, response);
+      if (bytes.size() - kHeaderSize > options_.max_frame_bytes) {
+        // A legal request can amplify into a response the peer's decoder
+        // would reject as unrecoverable (its frame cap mirrors ours).
+        // Answer with a typed refusal instead of breaking the stream.
+        errors_sent_.fetch_add(1, std::memory_order_relaxed);
+        WriteToConn(conn,
+                    EncodeErrorFrame(
+                        frame.correlation,
+                        Status::ResourceExhausted(
+                            "response of " +
+                            std::to_string(bytes.size() - kHeaderSize) +
+                            " bytes exceeds the frame cap; narrow the "
+                            "request (fewer items / details)"),
+                        frame.type));
+      } else {
+        // Count before writing: once the client holds the reply, the stat
+        // must already reflect it (tests assert equality right after).
+        responses_sent_.fetch_add(1, std::memory_order_relaxed);
+        WriteToConn(conn, bytes);
+      }
+    }
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void Server::WriteToConn(const std::shared_ptr<Conn>& conn,
+                         const std::string& bytes) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  if (!conn->sock.WriteAll(bytes.data(), bytes.size(),
+                           options_.write_timeout_ms)
+           .ok()) {
+    // Peer went away mid-write, or stopped draining for longer than
+    // write_timeout_ms. Hand the connection to the IO thread for a real
+    // close — otherwise a peer with outstanding Awaits would hang forever
+    // on a half-abandoned socket.
+    AbandonConn(conn);
+  }
+}
+
+void Server::SendError(const std::shared_ptr<Conn>& conn,
+                       uint64_t correlation, const Status& error,
+                       uint16_t type) {
+  // Small slack above max_in_flight: enough for the overload refusal
+  // itself to ride the pool, while bounding how much queued write work a
+  // frame-flooding peer can pile up. Past the slack the peer is
+  // disconnected — never silently unanswered, which would strand its
+  // Await forever (see docs/wire-protocol.md).
+  constexpr size_t kErrorSlack = 16;
+  if (conn->in_flight.load(std::memory_order_acquire) >=
+      options_.max_in_flight + kErrorSlack) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    AbandonConn(conn);
+    return;
+  }
+  errors_sent_.fetch_add(1, std::memory_order_relaxed);
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit(
+      [this, conn, bytes = EncodeErrorFrame(correlation, error, type)]() {
+        WriteToConn(conn, bytes);
+        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      });
+}
+
+}  // namespace itag::net

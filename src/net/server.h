@@ -1,0 +1,163 @@
+#ifndef ITAG_NET_SERVER_H_
+#define ITAG_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/service.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/wire.h"
+
+namespace itag::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back with port().
+  uint16_t port = 0;
+  /// Dispatch worker threads; 0 picks hardware_concurrency (at least 1).
+  size_t workers = 0;
+  /// Per-connection cap on requests dispatched but not yet answered. A
+  /// frame arriving above the cap is answered immediately with a typed
+  /// ResourceExhausted error reply — backpressure the client can see and
+  /// retry on, instead of unbounded queueing.
+  size_t max_in_flight = 256;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Cap on how long one response write may wait for the peer to drain its
+  /// receive buffer. A client that stops reading while keeping requests in
+  /// flight would otherwise park dispatch workers forever inside
+  /// WriteAll's poll; on expiry the connection is marked dead and its
+  /// remaining responses are dropped.
+  int write_timeout_ms = 10000;
+  /// Test seam: runs on the worker thread right before Service::Dispatch.
+  /// Lets tests hold workers busy deterministically (e.g. to force the
+  /// overload path); leave unset in production.
+  std::function<void(const api::AnyRequest&)> before_dispatch;
+};
+
+/// Monotonic counters, readable while the server runs.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t errors_sent = 0;       ///< error replies (subset counted below)
+  uint64_t overload_rejections = 0;
+  uint64_t version_rejections = 0;
+  /// Connections the server closed defensively: unparseable framing (bad
+  /// magic/kind/CRC, oversized payload) or flooding past the error-reply
+  /// slack above max_in_flight.
+  uint64_t protocol_errors = 0;
+};
+
+/// Multi-client TCP front over an api::Service.
+///
+/// One epoll IO thread accepts connections and decodes frames; each decoded
+/// request is dispatched on a ThreadPool and its response frame is written
+/// back by the worker that finished it — out of request order when a later
+/// request completes first. The correlation id ties replies to requests, so
+/// clients may pipeline freely.
+///
+/// The wrapped Service must be thread-safe whenever `workers > 1` or more
+/// than one client connects — i.e. back it with a core::ShardedSystem
+/// (see api/service.h). Protocol rules, the error taxonomy, and the
+/// backpressure contract are specified in docs/wire-protocol.md.
+class Server {
+ public:
+  /// Serves `service` (borrowed; must outlive the server).
+  explicit Server(api::Service* service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, then spawns the IO thread and worker pool. Fails with IOError
+  /// when the address cannot be bound, FailedPrecondition when already
+  /// started.
+  Status Start();
+
+  /// Stops accepting, joins the IO thread, and drains in-flight dispatches
+  /// (their responses are still written). Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  /// Per-connection state. IO thread owns inbuf/parsing; workers share the
+  /// write side under write_mu. Kept alive by shared_ptr until the last
+  /// in-flight worker response has been written.
+  struct Conn {
+    explicit Conn(Socket s) : sock(std::move(s)) {}
+    Socket sock;
+    std::string inbuf;
+    std::mutex write_mu;
+    std::atomic<size_t> in_flight{0};
+    std::atomic<bool> dead{false};
+  };
+
+  void IoLoop();
+  void AcceptOne();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void CloseConn(int fd);
+  /// Reaps connections whose writer gave up (IO thread only).
+  void ReapDead();
+  /// Wakes the IO thread out of epoll_wait.
+  void Wake();
+  /// Marks `conn` dead and schedules it for an IO-thread close. Safe from
+  /// any thread.
+  void AbandonConn(const std::shared_ptr<Conn>& conn);
+  /// Serializes `bytes` onto the connection; drops them once it is dead.
+  /// On a write failure/timeout, marks the connection dead and schedules
+  /// it for reaping. Called from pool workers.
+  void WriteToConn(const std::shared_ptr<Conn>& conn,
+                   const std::string& bytes);
+  /// Queues a typed error reply on the worker pool (the IO thread must
+  /// never block on a peer's full receive buffer). Error tasks get a small
+  /// in-flight slack above max_in_flight so an overload refusal is still
+  /// deliverable; beyond the slack the reply is dropped — the peer is
+  /// flooding and nothing was executed for it anyway.
+  void SendError(const std::shared_ptr<Conn>& conn, uint64_t correlation,
+                 const Status& error, uint16_t type);
+
+  api::Service* service_;
+  ServerOptions options_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  /// fd -> connection; touched only by the IO thread.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  /// Connections a worker marked dead, awaiting an IO-thread close
+  /// (guarded by dead_mu_; workers push, IO thread drains). Holding the
+  /// shared_ptr (not the raw fd) keeps the fd from being reused before
+  /// the reap, and ReapDead double-checks identity against conns_.
+  std::mutex dead_mu_;
+  std::vector<std::shared_ptr<Conn>> dead_conns_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> errors_sent_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
+  std::atomic<uint64_t> version_rejections_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace itag::net
+
+#endif  // ITAG_NET_SERVER_H_

@@ -1,0 +1,687 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace itag::net {
+
+// ------------------------------------------------------------- primitives
+
+namespace {
+
+/// Appends `v` little-endian, independent of host byte order.
+template <typename T>
+void AppendLe(std::string* buf, T v) {
+  char bytes[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>(v & 0xFF);
+    v = static_cast<T>(v >> 8);
+  }
+  buf->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+void WireWriter::U16(uint16_t v) { AppendLe(&buf_, v); }
+void WireWriter::U32(uint32_t v) { AppendLe(&buf_, v); }
+void WireWriter::U64(uint64_t v) { AppendLe(&buf_, v); }
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+bool WireReader::Take(void* out, size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) { return Take(v, 1); }
+
+namespace {
+
+template <typename T>
+bool TakeLe(WireReader* r, bool (WireReader::*take8)(uint8_t*), T* v) {
+  *v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    uint8_t b;
+    if (!(r->*take8)(&b)) return false;
+    *v = static_cast<T>(*v | (static_cast<T>(b) << (8 * i)));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WireReader::U16(uint16_t* v) { return TakeLe(this, &WireReader::U8, v); }
+bool WireReader::U32(uint32_t* v) { return TakeLe(this, &WireReader::U8, v); }
+bool WireReader::U64(uint64_t* v) { return TakeLe(this, &WireReader::U8, v); }
+
+bool WireReader::I64(int64_t* v) {
+  uint64_t u;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::F64(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::Str(std::string* v) {
+  uint32_t n;
+  if (!U32(&n)) return false;
+  if (data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  v->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+// ------------------------------------------------- field (de)serializers
+//
+// One Put/Get overload pair per wire-visible type, fields in struct
+// declaration order. Enums are a single byte, range-checked on decode so a
+// corrupt or future-version value fails the parse instead of smuggling an
+// out-of-range enum into the core.
+
+namespace {
+
+void Put(WireWriter& w, uint32_t v) { w.U32(v); }
+bool Get(WireReader& r, uint32_t* v) { return r.U32(v); }
+
+void Put(WireWriter& w, const std::string& s) { w.Str(s); }
+bool Get(WireReader& r, std::string* s) { return r.Str(s); }
+
+void PutBool(WireWriter& w, bool v) { w.U8(v ? 1 : 0); }
+bool GetBool(WireReader& r, bool* v) {
+  uint8_t b;
+  if (!r.U8(&b) || b > 1) return false;
+  *v = b != 0;
+  return true;
+}
+
+template <typename E>
+void PutEnum(WireWriter& w, E v) {
+  w.U8(static_cast<uint8_t>(v));
+}
+template <typename E>
+bool GetEnum(WireReader& r, E* v, uint8_t max_value) {
+  uint8_t b;
+  if (!r.U8(&b) || b > max_value) return false;
+  *v = static_cast<E>(b);
+  return true;
+}
+
+void Put(WireWriter& w, const Status& s) { EncodeStatus(w, s); }
+bool Get(WireReader& r, Status* s) { return DecodeStatus(r, s); }
+
+// Forward declarations so the PutVec/GetVec templates below resolve
+// element overloads defined later in this file (the element types live in
+// itag::core / itag::api, so ADL cannot find these).
+void Put(WireWriter& w, const core::QualityPoint& p);
+bool Get(WireReader& r, core::QualityPoint* p);
+void Put(WireWriter& w, const core::TagFrequency& t);
+bool Get(WireReader& r, core::TagFrequency* t);
+void Put(WireWriter& w, const core::QualityManager::ResourceDetail& d);
+bool Get(WireReader& r, core::QualityManager::ResourceDetail* d);
+void Put(WireWriter& w, const core::AcceptedTask& t);
+bool Get(WireReader& r, core::AcceptedTask* t);
+void Put(WireWriter& w, const api::UploadResourceItem& m);
+bool Get(WireReader& r, api::UploadResourceItem* m);
+void Put(WireWriter& w, const api::ControlItem& m);
+bool Get(WireReader& r, api::ControlItem* m);
+void Put(WireWriter& w, const api::SubmitTagsItem& m);
+bool Get(WireReader& r, api::SubmitTagsItem* m);
+void Put(WireWriter& w, const api::DecideItem& m);
+bool Get(WireReader& r, api::DecideItem* m);
+
+template <typename T>
+void PutVec(WireWriter& w, const std::vector<T>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const T& e : v) Put(w, e);
+}
+template <typename T>
+bool GetVec(WireReader& r, std::vector<T>* v) {
+  uint32_t n;
+  if (!r.U32(&n)) return false;
+  v->clear();
+  // No reserve(n): every element consumes >= 1 byte, so a lying count
+  // fails fast on read instead of pre-allocating gigabytes.
+  for (uint32_t i = 0; i < n; ++i) {
+    T e{};
+    if (!Get(r, &e)) return false;
+    v->push_back(std::move(e));
+  }
+  return true;
+}
+
+// ---- shared core structs
+
+void Put(WireWriter& w, const core::ProjectSpec& s) {
+  w.Str(s.name);
+  PutEnum(w, s.kind);
+  w.Str(s.description);
+  w.U32(s.budget);
+  w.U32(s.pay_cents);
+  PutEnum(w, s.platform);
+  PutEnum(w, s.strategy);
+}
+bool Get(WireReader& r, core::ProjectSpec* s) {
+  return r.Str(&s->name) &&
+         GetEnum(r, &s->kind,
+                 static_cast<uint8_t>(tagging::ResourceKind::kScientificPaper)) &&
+         r.Str(&s->description) && r.U32(&s->budget) && r.U32(&s->pay_cents) &&
+         GetEnum(r, &s->platform,
+                 static_cast<uint8_t>(core::PlatformChoice::kAudience)) &&
+         GetEnum(r, &s->strategy,
+                 static_cast<uint8_t>(strategy::StrategyKind::kEstimatedGain));
+}
+
+void Put(WireWriter& w, const core::ProjectInfo& i) {
+  w.U64(i.id);
+  w.U64(i.provider);
+  Put(w, i.spec);
+  PutEnum(w, i.state);
+  w.U32(i.budget_remaining);
+  w.U32(i.tasks_completed);
+  w.U64(i.num_resources);
+  w.F64(i.quality);
+  w.F64(i.projected_gain);
+}
+bool Get(WireReader& r, core::ProjectInfo* i) {
+  uint64_t num_resources = 0;
+  bool ok =
+      r.U64(&i->id) && r.U64(&i->provider) && Get(r, &i->spec) &&
+      GetEnum(r, &i->state,
+              static_cast<uint8_t>(core::ProjectState::kStopped)) &&
+      r.U32(&i->budget_remaining) && r.U32(&i->tasks_completed) &&
+      r.U64(&num_resources) && r.F64(&i->quality) && r.F64(&i->projected_gain);
+  i->num_resources = static_cast<size_t>(num_resources);
+  return ok;
+}
+
+void Put(WireWriter& w, const core::QualityPoint& p) {
+  w.U32(p.tasks);
+  w.F64(p.quality);
+  w.I64(p.time);
+}
+bool Get(WireReader& r, core::QualityPoint* p) {
+  return r.U32(&p->tasks) && r.F64(&p->quality) && r.I64(&p->time);
+}
+
+void Put(WireWriter& w, const core::TagFrequency& t) {
+  w.Str(t.tag);
+  w.U32(t.count);
+}
+bool Get(WireReader& r, core::TagFrequency* t) {
+  return r.Str(&t->tag) && r.U32(&t->count);
+}
+
+void Put(WireWriter& w, const core::QualityManager::ResourceDetail& d) {
+  w.U32(d.resource);
+  w.U32(d.posts);
+  w.F64(d.quality);
+  w.F64(d.projected_gain_next_task);
+  PutBool(w, d.stopped);
+  PutVec(w, d.top_tags);
+}
+bool Get(WireReader& r, core::QualityManager::ResourceDetail* d) {
+  return r.U32(&d->resource) && r.U32(&d->posts) && r.F64(&d->quality) &&
+         r.F64(&d->projected_gain_next_task) && GetBool(r, &d->stopped) &&
+         GetVec(r, &d->top_tags);
+}
+
+void Put(WireWriter& w, const core::AcceptedTask& t) {
+  w.U64(t.handle);
+  w.U64(t.project);
+  w.U32(t.resource);
+  w.Str(t.uri);
+  w.U32(t.pay_cents);
+}
+bool Get(WireReader& r, core::AcceptedTask* t) {
+  return r.U64(&t->handle) && r.U64(&t->project) && r.U32(&t->resource) &&
+         r.Str(&t->uri) && r.U32(&t->pay_cents);
+}
+
+void Put(WireWriter& w, const api::BatchOutcome& o) {
+  PutVec(w, o.statuses);
+  w.U64(o.ok_count);
+}
+bool Get(WireReader& r, api::BatchOutcome* o) {
+  uint64_t ok_count = 0;
+  bool ok = GetVec(r, &o->statuses) && r.U64(&ok_count);
+  o->ok_count = static_cast<size_t>(ok_count);
+  return ok;
+}
+
+// ---- request structs
+
+void Put(WireWriter& w, const api::RegisterProviderRequest& m) {
+  w.Str(m.name);
+}
+bool Get(WireReader& r, api::RegisterProviderRequest* m) {
+  return r.Str(&m->name);
+}
+
+void Put(WireWriter& w, const api::RegisterTaggerRequest& m) { w.Str(m.name); }
+bool Get(WireReader& r, api::RegisterTaggerRequest* m) {
+  return r.Str(&m->name);
+}
+
+void Put(WireWriter& w, const api::CreateProjectRequest& m) {
+  w.U64(m.provider);
+  Put(w, m.spec);
+}
+bool Get(WireReader& r, api::CreateProjectRequest* m) {
+  return r.U64(&m->provider) && Get(r, &m->spec);
+}
+
+void Put(WireWriter& w, const api::UploadResourceItem& m) {
+  PutEnum(w, m.kind);
+  w.Str(m.uri);
+  w.Str(m.description);
+  PutVec(w, m.initial_tags);
+}
+bool Get(WireReader& r, api::UploadResourceItem* m) {
+  return GetEnum(r, &m->kind,
+                 static_cast<uint8_t>(
+                     tagging::ResourceKind::kScientificPaper)) &&
+         r.Str(&m->uri) && r.Str(&m->description) &&
+         GetVec(r, &m->initial_tags);
+}
+
+void Put(WireWriter& w, const api::BatchUploadResourcesRequest& m) {
+  w.U64(m.project);
+  PutVec(w, m.items);
+}
+bool Get(WireReader& r, api::BatchUploadResourcesRequest* m) {
+  return r.U64(&m->project) && GetVec(r, &m->items);
+}
+
+void Put(WireWriter& w, const api::ControlItem& m) {
+  PutEnum(w, m.action);
+  w.U32(m.resource);
+  w.U32(m.budget_tasks);
+  PutEnum(w, m.strategy);
+}
+bool Get(WireReader& r, api::ControlItem* m) {
+  return GetEnum(r, &m->action,
+                 static_cast<uint8_t>(api::ControlAction::kSwitchStrategy)) &&
+         r.U32(&m->resource) && r.U32(&m->budget_tasks) &&
+         GetEnum(r, &m->strategy,
+                 static_cast<uint8_t>(strategy::StrategyKind::kEstimatedGain));
+}
+
+void Put(WireWriter& w, const api::BatchControlRequest& m) {
+  w.U64(m.project);
+  PutVec(w, m.items);
+}
+bool Get(WireReader& r, api::BatchControlRequest* m) {
+  return r.U64(&m->project) && GetVec(r, &m->items);
+}
+
+void Put(WireWriter& w, const api::ProjectQueryRequest& m) {
+  w.U64(m.project);
+  PutBool(w, m.include_feed);
+  PutVec(w, m.detail_resources);
+}
+bool Get(WireReader& r, api::ProjectQueryRequest* m) {
+  return r.U64(&m->project) && GetBool(r, &m->include_feed) &&
+         GetVec(r, &m->detail_resources);
+}
+
+void Put(WireWriter& w, const api::BatchAcceptTasksRequest& m) {
+  w.U64(m.tagger);
+  w.U64(m.project);
+  w.U64(static_cast<uint64_t>(m.count));
+}
+bool Get(WireReader& r, api::BatchAcceptTasksRequest* m) {
+  uint64_t count = 0;
+  bool ok = r.U64(&m->tagger) && r.U64(&m->project) && r.U64(&count);
+  m->count = static_cast<size_t>(count);
+  return ok;
+}
+
+void Put(WireWriter& w, const api::SubmitTagsItem& m) {
+  w.U64(m.tagger);
+  w.U64(m.handle);
+  PutVec(w, m.tags);
+}
+bool Get(WireReader& r, api::SubmitTagsItem* m) {
+  return r.U64(&m->tagger) && r.U64(&m->handle) && GetVec(r, &m->tags);
+}
+
+void Put(WireWriter& w, const api::BatchSubmitTagsRequest& m) {
+  PutVec(w, m.items);
+}
+bool Get(WireReader& r, api::BatchSubmitTagsRequest* m) {
+  return GetVec(r, &m->items);
+}
+
+void Put(WireWriter& w, const api::DecideItem& m) {
+  w.U64(m.handle);
+  PutBool(w, m.approve);
+}
+bool Get(WireReader& r, api::DecideItem* m) {
+  return r.U64(&m->handle) && GetBool(r, &m->approve);
+}
+
+void Put(WireWriter& w, const api::BatchDecideRequest& m) {
+  w.U64(m.provider);
+  PutVec(w, m.items);
+}
+bool Get(WireReader& r, api::BatchDecideRequest* m) {
+  return r.U64(&m->provider) && GetVec(r, &m->items);
+}
+
+void Put(WireWriter& w, const api::StepRequest& m) { w.I64(m.ticks); }
+bool Get(WireReader& r, api::StepRequest* m) { return r.I64(&m->ticks); }
+
+// ---- response structs
+
+void Put(WireWriter& w, const api::RegisterProviderResponse& m) {
+  Put(w, m.status);
+  w.U64(m.provider);
+}
+bool Get(WireReader& r, api::RegisterProviderResponse* m) {
+  return Get(r, &m->status) && r.U64(&m->provider);
+}
+
+void Put(WireWriter& w, const api::RegisterTaggerResponse& m) {
+  Put(w, m.status);
+  w.U64(m.tagger);
+}
+bool Get(WireReader& r, api::RegisterTaggerResponse* m) {
+  return Get(r, &m->status) && r.U64(&m->tagger);
+}
+
+void Put(WireWriter& w, const api::CreateProjectResponse& m) {
+  Put(w, m.status);
+  w.U64(m.project);
+}
+bool Get(WireReader& r, api::CreateProjectResponse* m) {
+  return Get(r, &m->status) && r.U64(&m->project);
+}
+
+void Put(WireWriter& w, const api::BatchUploadResourcesResponse& m) {
+  Put(w, m.outcome);
+  PutVec(w, m.resources);
+}
+bool Get(WireReader& r, api::BatchUploadResourcesResponse* m) {
+  return Get(r, &m->outcome) && GetVec(r, &m->resources);
+}
+
+void Put(WireWriter& w, const api::BatchControlResponse& m) {
+  Put(w, m.outcome);
+}
+bool Get(WireReader& r, api::BatchControlResponse* m) {
+  return Get(r, &m->outcome);
+}
+
+void Put(WireWriter& w, const api::ProjectQueryResponse& m) {
+  Put(w, m.status);
+  Put(w, m.info);
+  PutVec(w, m.feed);
+  PutVec(w, m.details);
+  Put(w, m.detail_outcome);
+}
+bool Get(WireReader& r, api::ProjectQueryResponse* m) {
+  return Get(r, &m->status) && Get(r, &m->info) && GetVec(r, &m->feed) &&
+         GetVec(r, &m->details) && Get(r, &m->detail_outcome);
+}
+
+void Put(WireWriter& w, const api::BatchAcceptTasksResponse& m) {
+  Put(w, m.status);
+  PutVec(w, m.tasks);
+}
+bool Get(WireReader& r, api::BatchAcceptTasksResponse* m) {
+  return Get(r, &m->status) && GetVec(r, &m->tasks);
+}
+
+void Put(WireWriter& w, const api::BatchSubmitTagsResponse& m) {
+  Put(w, m.outcome);
+}
+bool Get(WireReader& r, api::BatchSubmitTagsResponse* m) {
+  return Get(r, &m->outcome);
+}
+
+void Put(WireWriter& w, const api::BatchDecideResponse& m) {
+  Put(w, m.outcome);
+}
+bool Get(WireReader& r, api::BatchDecideResponse* m) {
+  return Get(r, &m->outcome);
+}
+
+void Put(WireWriter& w, const api::StepResponse& m) {
+  Put(w, m.status);
+  w.I64(m.now);
+}
+bool Get(WireReader& r, api::StepResponse* m) {
+  return Get(r, &m->status) && r.I64(&m->now);
+}
+
+/// Parses `payload` as message type T (rejecting trailing bytes) and stores
+/// it into the variant `*out`.
+template <typename T, typename Variant>
+Status DecodeInto(std::string_view payload, Variant* out, const char* name) {
+  WireReader r(payload);
+  T msg{};
+  if (!Get(r, &msg) || !r.AtEnd()) {
+    return Status::InvalidArgument(std::string("malformed ") + name +
+                                   " payload");
+  }
+  *out = std::move(msg);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Status
+
+void EncodeStatus(WireWriter& w, const Status& status) {
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+}
+
+bool DecodeStatus(WireReader& r, Status* out) {
+  uint8_t code;
+  std::string message;
+  if (!r.U8(&code) || code > static_cast<uint8_t>(StatusCode::kInternal) ||
+      !r.Str(&message)) {
+    return false;
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+// ----------------------------------------------------------------- frames
+
+namespace {
+
+std::string EncodeFrame(FrameKind kind, uint16_t type, uint64_t correlation,
+                        uint32_t version, const std::string& payload) {
+  WireWriter w;
+  w.U32(kMagic);
+  w.U32(version);
+  w.U8(static_cast<uint8_t>(kind));
+  w.U8(0);  // reserved
+  w.U16(type);
+  w.U64(correlation);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32(w.buffer().data(), w.buffer().size());
+  crc = Crc32Extend(crc, payload.data(), payload.size());
+  w.U32(crc);
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(uint64_t correlation,
+                               const api::AnyRequest& request,
+                               uint32_t version) {
+  return EncodeFrame(FrameKind::kRequest, TypeTagOf(request), correlation,
+                     version, EncodeRequestPayload(request));
+}
+
+std::string EncodeResponseFrame(uint64_t correlation,
+                                const api::AnyResponse& response) {
+  return EncodeFrame(FrameKind::kResponse, TypeTagOf(response), correlation,
+                     api::kApiVersion, EncodeResponsePayload(response));
+}
+
+std::string EncodeErrorFrame(uint64_t correlation, const Status& error,
+                             uint16_t type) {
+  WireWriter w;
+  EncodeStatus(w, error);
+  return EncodeFrame(FrameKind::kError, type, correlation, api::kApiVersion,
+                     w.buffer());
+}
+
+Status TryDecodeFrame(std::string_view buf, Frame* out, size_t* consumed,
+                      size_t max_frame_bytes) {
+  *consumed = 0;
+  if (buf.size() < kHeaderSize) return Status::OK();
+  WireReader r(buf.substr(0, kHeaderSize));
+  uint32_t magic = 0, version = 0, payload_size = 0, crc = 0;
+  uint8_t kind = 0, reserved = 0;
+  uint16_t type = 0;
+  uint64_t correlation = 0;
+  r.U32(&magic);
+  r.U32(&version);
+  r.U8(&kind);
+  r.U8(&reserved);
+  r.U16(&type);
+  r.U64(&correlation);
+  r.U32(&payload_size);
+  r.U32(&crc);
+  if (magic != kMagic) return Status::Corruption("bad frame magic");
+  if (kind > static_cast<uint8_t>(FrameKind::kError)) {
+    return Status::Corruption("bad frame kind " + std::to_string(kind));
+  }
+  if (reserved != 0) {
+    return Status::Corruption("nonzero reserved header byte");
+  }
+  if (payload_size > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_size) +
+        " bytes exceeds cap of " + std::to_string(max_frame_bytes));
+  }
+  if (buf.size() - kHeaderSize < payload_size) return Status::OK();
+  uint32_t expected = Crc32(buf.data(), kHeaderSize - sizeof(uint32_t));
+  expected = Crc32Extend(expected, buf.data() + kHeaderSize, payload_size);
+  if (expected != crc) return Status::Corruption("frame crc mismatch");
+  out->kind = static_cast<FrameKind>(kind);
+  out->version = version;
+  out->type = type;
+  out->correlation = correlation;
+  out->payload.assign(buf.data() + kHeaderSize, payload_size);
+  *consumed = kHeaderSize + payload_size;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- payloads
+
+uint16_t TypeTagOf(const api::AnyRequest& request) {
+  return static_cast<uint16_t>(request.index());
+}
+
+uint16_t TypeTagOf(const api::AnyResponse& response) {
+  return static_cast<uint16_t>(response.index());
+}
+
+std::string EncodeRequestPayload(const api::AnyRequest& request) {
+  WireWriter w;
+  std::visit([&w](const auto& m) { Put(w, m); }, request);
+  return w.Take();
+}
+
+std::string EncodeResponsePayload(const api::AnyResponse& response) {
+  WireWriter w;
+  std::visit([&w](const auto& m) { Put(w, m); }, response);
+  return w.Take();
+}
+
+Status DecodeRequestPayload(uint16_t type, std::string_view payload,
+                            api::AnyRequest* out) {
+  static_assert(api::kRequestTypeCount == 10,
+                "new AnyRequest alternative: extend the codec switches");
+  const char* name = api::RequestTypeName(type);
+  switch (type) {
+    case 0:
+      return DecodeInto<api::RegisterProviderRequest>(payload, out, name);
+    case 1:
+      return DecodeInto<api::RegisterTaggerRequest>(payload, out, name);
+    case 2:
+      return DecodeInto<api::CreateProjectRequest>(payload, out, name);
+    case 3:
+      return DecodeInto<api::BatchUploadResourcesRequest>(payload, out, name);
+    case 4:
+      return DecodeInto<api::BatchControlRequest>(payload, out, name);
+    case 5:
+      return DecodeInto<api::ProjectQueryRequest>(payload, out, name);
+    case 6:
+      return DecodeInto<api::BatchAcceptTasksRequest>(payload, out, name);
+    case 7:
+      return DecodeInto<api::BatchSubmitTagsRequest>(payload, out, name);
+    case 8:
+      return DecodeInto<api::BatchDecideRequest>(payload, out, name);
+    case 9:
+      return DecodeInto<api::StepRequest>(payload, out, name);
+    default:
+      return Status::Unimplemented("unknown request type tag " +
+                                   std::to_string(type));
+  }
+}
+
+Status DecodeResponsePayload(uint16_t type, std::string_view payload,
+                             api::AnyResponse* out) {
+  const char* name = api::RequestTypeName(type);
+  switch (type) {
+    case 0:
+      return DecodeInto<api::RegisterProviderResponse>(payload, out, name);
+    case 1:
+      return DecodeInto<api::RegisterTaggerResponse>(payload, out, name);
+    case 2:
+      return DecodeInto<api::CreateProjectResponse>(payload, out, name);
+    case 3:
+      return DecodeInto<api::BatchUploadResourcesResponse>(payload, out, name);
+    case 4:
+      return DecodeInto<api::BatchControlResponse>(payload, out, name);
+    case 5:
+      return DecodeInto<api::ProjectQueryResponse>(payload, out, name);
+    case 6:
+      return DecodeInto<api::BatchAcceptTasksResponse>(payload, out, name);
+    case 7:
+      return DecodeInto<api::BatchSubmitTagsResponse>(payload, out, name);
+    case 8:
+      return DecodeInto<api::BatchDecideResponse>(payload, out, name);
+    case 9:
+      return DecodeInto<api::StepResponse>(payload, out, name);
+    default:
+      return Status::Unimplemented("unknown response type tag " +
+                                   std::to_string(type));
+  }
+}
+
+}  // namespace itag::net

@@ -1,0 +1,160 @@
+#ifndef ITAG_NET_WIRE_H_
+#define ITAG_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/requests.h"
+#include "common/status.h"
+
+namespace itag::net {
+
+// ---------------------------------------------------------------- framing
+//
+// Every message on an iTag connection is one length-prefixed frame:
+//
+//   offset  size  field
+//        0     4  magic        0x67615469 ("iTag" as little-endian bytes)
+//        4     4  version      api::kApiVersion of the sender
+//        8     1  kind         0 request / 1 response / 2 error reply
+//        9     1  reserved     must be 0
+//       10     2  type         AnyRequest/AnyResponse variant index
+//       12     8  correlation  echoed verbatim on the reply
+//       20     4  payload_size bytes following the header
+//       24     4  crc          CRC-32 over header[0..24) + payload
+//       28     …  payload      body, encoded per docs/wire-protocol.md
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern, so responses round-trip bit-exactly. The CRC (the WAL's
+// common/crc32.h) covers the header *and* payload: a flipped bit anywhere
+// is Corruption, not a silently wrong reply.
+
+inline constexpr uint32_t kMagic = 0x67615469;  // "iTag"
+inline constexpr size_t kHeaderSize = 28;
+/// Default cap on payload_size; a header announcing more is malformed
+/// (protects the server from one rogue frame allocating gigabytes).
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameKind : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+  /// A typed Status instead of a response: version mismatch
+  /// (FailedPrecondition), overload (ResourceExhausted), malformed payload
+  /// (InvalidArgument), unknown type tag (Unimplemented).
+  kError = 2,
+};
+
+/// One decoded frame. For kRequest/kResponse `type` is the variant index;
+/// for kError the payload is an encoded Status and `type` echoes the
+/// request's type when known.
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  uint32_t version = 0;
+  uint16_t type = 0;
+  uint64_t correlation = 0;
+  std::string payload;
+};
+
+// ------------------------------------------------------------- primitives
+
+/// Append-only little-endian writer the serializers build payloads with.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// u32 byte count + raw bytes (no terminator; embedded NULs survive).
+  void Str(std::string_view s);
+  void Raw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over an encoded payload. Every getter returns
+/// false (and poisons the reader) once the input is exhausted; decoders
+/// check the final AtEnd() so trailing garbage is rejected too.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* v);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Take(void* out, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ----------------------------------------------------------------- Status
+
+/// Statuses travel code **and** message, so a client sees exactly the
+/// per-item diagnostics an in-process caller would (error fidelity).
+void EncodeStatus(WireWriter& w, const Status& status);
+bool DecodeStatus(WireReader& r, Status* out);
+
+// ----------------------------------------------------------------- frames
+
+/// Encodes a whole request frame. `version` defaults to the binary's own
+/// api::kApiVersion; tests (and future compatibility shims) may stamp a
+/// different one to exercise the server's version negotiation.
+std::string EncodeRequestFrame(uint64_t correlation,
+                               const api::AnyRequest& request,
+                               uint32_t version = api::kApiVersion);
+std::string EncodeResponseFrame(uint64_t correlation,
+                                const api::AnyResponse& response);
+/// Encodes an error-reply frame carrying `error` (must not be OK).
+/// `type` should echo the offending request's type tag when known.
+std::string EncodeErrorFrame(uint64_t correlation, const Status& error,
+                             uint16_t type = 0);
+
+/// Extracts one frame from the front of `buf`. Returns OK with
+/// `*consumed > 0` when a full valid frame was parsed, OK with
+/// `*consumed == 0` when more bytes are needed, and an error when the
+/// stream is unrecoverable (bad magic → Corruption, oversized
+/// payload_size → InvalidArgument, CRC mismatch → Corruption).
+Status TryDecodeFrame(std::string_view buf, Frame* out, size_t* consumed,
+                      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// --------------------------------------------------------------- payloads
+
+/// The frame type tag of a request/response: its variant index.
+uint16_t TypeTagOf(const api::AnyRequest& request);
+uint16_t TypeTagOf(const api::AnyResponse& response);
+
+std::string EncodeRequestPayload(const api::AnyRequest& request);
+std::string EncodeResponsePayload(const api::AnyResponse& response);
+
+/// Rebuilds the request of variant index `type` from `payload`. Unknown
+/// `type` → Unimplemented; a payload that does not parse (or leaves
+/// trailing bytes) → InvalidArgument.
+Status DecodeRequestPayload(uint16_t type, std::string_view payload,
+                            api::AnyRequest* out);
+Status DecodeResponsePayload(uint16_t type, std::string_view payload,
+                             api::AnyResponse* out);
+
+}  // namespace itag::net
+
+#endif  // ITAG_NET_WIRE_H_
