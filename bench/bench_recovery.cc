@@ -1,0 +1,200 @@
+// bench_recovery — durability cost curves of the write-through core:
+// checkpoint latency and cold-recovery time as a function of state size
+// (1k / 10k / 100k approved posts driven through the full audience
+// accept→submit→decide workflow on a durable ITagSystem).
+//
+// Two recovery paths are timed per size:
+//   wal_recover_ms   reopen with NO checkpoint — full WAL replay;
+//   snap_recover_ms  reopen right after a checkpoint — snapshot load plus
+//                    an empty WAL tail (what a healthy daemon restart pays).
+//
+// Output: a table on stdout plus BENCH_recovery.json. Informational — the
+// CI step prints it without gating (shared runners are noisy); the numbers
+// seed the recovery-latency trajectory across PRs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+
+using namespace itag;  // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Sample {
+  uint32_t posts = 0;
+  double build_ms = 0;
+  double wal_recover_ms = 0;
+  double checkpoint_ms = 0;
+  double snap_recover_ms = 0;
+  uint64_t rows = 0;
+  uintmax_t wal_bytes = 0;
+  uintmax_t snapshot_bytes = 0;
+};
+
+core::ITagSystemOptions Opts(const std::string& dir) {
+  core::ITagSystemOptions opts;
+  opts.db.directory = dir;
+  return opts;
+}
+
+/// Drives `posts` approved posts through a durable system in `dir`.
+void BuildState(const std::string& dir, uint32_t posts) {
+  api::Service service(Opts(dir));
+  Status init = service.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", init.ToString().c_str());
+    std::exit(1);
+  }
+  core::ProviderId provider = service.RegisterProvider({"prov"}).provider;
+  core::UserTaggerId tagger = service.RegisterTagger({"tagger"}).tagger;
+  api::CreateProjectRequest create;
+  create.provider = provider;
+  create.spec.name = "recovery-bench";
+  create.spec.budget = posts;
+  create.spec.pay_cents = 2;
+  create.spec.platform = core::PlatformChoice::kAudience;
+  create.spec.strategy = strategy::StrategyKind::kFewestPostsFirst;
+  core::ProjectId project = service.CreateProject(create).project;
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
+  const uint32_t resources = std::max<uint32_t>(16, posts / 100);
+  for (uint32_t r = 0; r < resources; ++r) {
+    upload.items.push_back(
+        {tagging::ResourceKind::kWebUrl, "res-" + std::to_string(r), "", {}});
+  }
+  (void)service.BatchUploadResources(upload);
+  (void)service.BatchControl(
+      {project, {{api::ControlAction::kStart, 0, 0, {}}}});
+
+  uint32_t done = 0;
+  while (done < posts) {
+    api::BatchAcceptTasksResponse accepted =
+        service.BatchAcceptTasks({tagger, project, 512});
+    if (!accepted.status.ok() || accepted.tasks.empty()) break;
+    api::BatchSubmitTagsRequest submit;
+    api::BatchDecideRequest decide;
+    decide.provider = provider;
+    for (const core::AcceptedTask& task : accepted.tasks) {
+      submit.items.push_back({tagger, task.handle,
+                              {"tag-" + std::to_string(task.resource % 32),
+                               "common-" + std::to_string(task.handle % 7)}});
+      decide.items.push_back({task.handle, true});
+    }
+    (void)service.BatchSubmitTags(submit);
+    (void)service.BatchDecide(decide);
+    done += static_cast<uint32_t>(accepted.tasks.size());
+  }
+}
+
+/// Times one Init() (open + recover) on the existing directory.
+double TimeRecover(const std::string& dir, uint64_t* rows) {
+  auto start = std::chrono::steady_clock::now();
+  api::Service service(Opts(dir));
+  Status init = service.Init();
+  double ms = MsSince(start);
+  if (!init.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", init.ToString().c_str());
+    std::exit(1);
+  }
+  *rows = service.system().database().TotalRows();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  const std::string root =
+      (fs::temp_directory_path() / "itag_bench_recovery").string();
+  std::vector<Sample> samples;
+  for (uint32_t posts : {1000u, 10000u, 100000u}) {
+    const std::string dir = root + "/" + std::to_string(posts);
+    fs::remove_all(dir);
+    Sample s;
+    s.posts = posts;
+
+    auto build_start = std::chrono::steady_clock::now();
+    BuildState(dir, posts);
+    s.build_ms = MsSince(build_start);
+    s.wal_bytes = fs::exists(dir + "/wal.log")
+                      ? fs::file_size(dir + "/wal.log")
+                      : 0;
+
+    // Cold recovery #1: WAL replay only (no snapshot yet).
+    s.wal_recover_ms = TimeRecover(dir, &s.rows);
+
+    // Checkpoint latency, then cold recovery #2 off the snapshot.
+    {
+      api::Service service(Opts(dir));
+      if (!service.Init().ok()) return 1;
+      auto ck_start = std::chrono::steady_clock::now();
+      api::CheckpointResponse ck = service.Checkpoint({});
+      s.checkpoint_ms = MsSince(ck_start);
+      if (!ck.status.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     ck.status.ToString().c_str());
+        return 1;
+      }
+    }
+    s.snapshot_bytes = fs::exists(dir + "/snapshot.db")
+                           ? fs::file_size(dir + "/snapshot.db")
+                           : 0;
+    uint64_t rows_after = 0;
+    s.snap_recover_ms = TimeRecover(dir, &rows_after);
+    if (rows_after != s.rows) {
+      std::fprintf(stderr, "row count diverged across recovery paths\n");
+      return 1;
+    }
+    samples.push_back(s);
+    fs::remove_all(dir);
+  }
+
+  std::printf(
+      "%8s %10s %9s %12s %12s %13s %10s %12s\n", "posts", "rows",
+      "build_ms", "wal_rec_ms", "ckpt_ms", "snap_rec_ms", "wal_MB",
+      "snapshot_MB");
+  for (const Sample& s : samples) {
+    std::printf("%8u %10llu %9.1f %12.1f %12.1f %13.1f %10.2f %12.2f\n",
+                s.posts, static_cast<unsigned long long>(s.rows), s.build_ms,
+                s.wal_recover_ms, s.checkpoint_ms, s.snap_recover_ms,
+                s.wal_bytes / 1e6, s.snapshot_bytes / 1e6);
+  }
+
+  std::string json = "{\"bench\":\"recovery\",\"sizes\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"posts\":%u,\"rows\":%llu,\"build_ms\":%.1f,"
+                  "\"wal_recover_ms\":%.1f,\"checkpoint_ms\":%.1f,"
+                  "\"snap_recover_ms\":%.1f,\"wal_bytes\":%llu,"
+                  "\"snapshot_bytes\":%llu}",
+                  i == 0 ? "" : ",", s.posts,
+                  static_cast<unsigned long long>(s.rows), s.build_ms,
+                  s.wal_recover_ms, s.checkpoint_ms, s.snap_recover_ms,
+                  static_cast<unsigned long long>(s.wal_bytes),
+                  static_cast<unsigned long long>(s.snapshot_bytes));
+    json += buf;
+  }
+  json += "]}";
+  std::cout << "\n" << json << "\n";
+  std::ofstream("BENCH_recovery.json") << json << "\n";
+  std::printf(
+      "\ninformational: no gate — checkpoint cost and recovery time should "
+      "stay roughly linear in state size.\n");
+  return 0;
+}

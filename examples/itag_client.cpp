@@ -1,16 +1,28 @@
 // itag_client — a full provider + tagger session against a running
 // itag_server, over the binary wire protocol. Demonstrates the typed
 // client surface, per-item Status vectors crossing the wire (one upload
-// item is deliberately bad), and correlation-id pipelining.
+// item is deliberately bad), correlation-id pipelining, and the v2
+// Checkpoint admin endpoint.
 //
-//   ./itag_client [port]       (default 7421; start ./itag_server first)
+//   ./itag_client [port] [--dump FILE] [--query ID]
+//
+// Default (session mode): runs the provider+tagger session, checkpoints,
+// and — with --dump — writes the project's canonical final state (the
+// serialized ProjectQuery response) to FILE and prints `project id N`.
+// With --query ID the session is skipped: the client issues the same
+// canonical ProjectQuery against project ID and dumps it, so a restarted
+// server's state can be byte-compared against a pre-kill dump (the CI
+// kill -9 smoke does exactly that).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "net/client.h"
+#include "net/wire.h"
 
 using namespace itag;  // NOLINT
 
@@ -26,11 +38,53 @@ T Must(Result<T> r, const char* what) {
   return std::move(r).value();
 }
 
+/// The canonical monitoring query of a session project: snapshot + full
+/// feed + details of the six session resources. Session mode and --query
+/// mode issue the identical request, so their dumps are comparable.
+api::ProjectQueryRequest CanonicalQuery(core::ProjectId project) {
+  api::ProjectQueryRequest query;
+  query.project = project;
+  query.include_feed = true;
+  for (uint32_t r = 0; r < 6; ++r) query.detail_resources.push_back(r);
+  return query;
+}
+
+/// Serializes the canonical query's response into `path`.
+void DumpState(net::Client& client, core::ProjectId project,
+               const std::string& path) {
+  auto snap = Must(client.ProjectQuery(CanonicalQuery(project)),
+                   "ProjectQuery(dump)");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  std::string bytes = net::EncodeResponsePayload(api::AnyResponse{snap});
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write dump to %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("state dumped to %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7421;
-  if (argc > 1) port = static_cast<uint16_t>(std::atoi(argv[1]));
+  std::string dump_path;
+  long long query_id = -1;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      query_id = std::atoll(argv[++i]);
+    } else if (positional == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+      ++positional;
+    } else {
+      std::fprintf(stderr, "usage: %s [port] [--dump FILE] [--query ID]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   net::Client client;
   Status connected = client.Connect("127.0.0.1", port);
@@ -41,6 +95,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("connected (api v%u)\n", api::kApiVersion);
+
+  if (query_id >= 0) {
+    // Verification mode: no session, just the canonical state dump.
+    if (dump_path.empty()) {
+      std::fprintf(stderr, "--query requires --dump FILE\n");
+      return 2;
+    }
+    DumpState(client, static_cast<core::ProjectId>(query_id), dump_path);
+    return 0;
+  }
 
   // --- provider side ------------------------------------------------------
   auto provider =
@@ -141,6 +205,20 @@ int main(int argc, char** argv) {
   auto stepped = Must(client.Step({5}), "Step");
   std::printf("advanced the simulated clock by 5 ticks: %s\n",
               stepped.status.ok() ? "ok" : stepped.status.ToString().c_str());
+
+  // --- durability admin -----------------------------------------------
+  // Force a checkpoint (v2 endpoint): on a --db-dir server this snapshots
+  // every shard and truncates the WALs, so the next restart recovers from
+  // the snapshot instead of replaying this whole session.
+  auto checkpoint = Must(client.Checkpoint({}), "Checkpoint");
+  std::printf("checkpoint: %s (%s)\n",
+              checkpoint.status.ok() ? "ok"
+                                     : checkpoint.status.ToString().c_str(),
+              checkpoint.durable ? "durable" : "in-memory server");
+
+  std::printf("project id %llu\n",
+              static_cast<unsigned long long>(project));
+  if (!dump_path.empty()) DumpState(client, project, dump_path);
   std::printf("session complete\n");
   return 0;
 }

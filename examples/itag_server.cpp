@@ -1,11 +1,19 @@
 // itag_server — a standalone iTag daemon: the sharded, thread-safe core
 // behind the binary wire protocol, serving any number of TCP clients.
 //
-//   ./itag_server [port] [max_seconds]
+//   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
 //
-// Defaults: port 7421, run until SIGINT/SIGTERM. A non-zero max_seconds
-// self-terminates after that long (handy for CI smoke runs). Port 0 binds
-// an ephemeral port; the "listening on" line reports the real one.
+// Defaults: port 7421, run until SIGINT/SIGTERM, 4 shards, in-memory.
+// A non-zero max_seconds self-terminates after that long (handy for CI
+// smoke runs). Port 0 binds an ephemeral port; the "listening on" line
+// reports the real one.
+//
+// --db-dir makes the daemon durable: every shard persists to
+// DIR/shard-<i>, so a restart (or a kill -9 — the WAL replays to the last
+// complete record) on the same directory resumes serving the same state.
+// On SIGINT/SIGTERM the daemon shuts down gracefully: stop accepting,
+// drain in-flight requests, checkpoint (snapshot + WAL truncate, bounding
+// the next start's recovery time), exit 0.
 //
 // Pair with: ./itag_client [port]   (or any net::Client program)
 
@@ -14,6 +22,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "api/service.h"
@@ -31,13 +41,36 @@ int main(int argc, char** argv) {
   using namespace itag;  // NOLINT
   uint16_t port = 7421;
   long max_seconds = 0;
-  if (argc > 1) port = static_cast<uint16_t>(std::atoi(argv[1]));
-  if (argc > 2) max_seconds = std::atol(argv[2]);
+  std::string db_dir;
+  size_t shards = 4;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--db-dir=", 9) == 0) {
+      db_dir = arg + 9;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = static_cast<size_t>(std::atol(arg + 9));
+    } else if (positional == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg));
+      ++positional;
+    } else if (positional == 1) {
+      max_seconds = std::atol(arg);
+      ++positional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [port] [max_seconds] [--db-dir=DIR] "
+                   "[--shards=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   // The server front is concurrent, so the backend must be the sharded,
-  // thread-safe core.
+  // thread-safe core. With --db-dir, Init() is the recovery path: each
+  // shard reopens its directory (snapshot + WAL replay) in parallel.
   core::ShardedSystemOptions shard_opts;
-  shard_opts.num_shards = 4;
+  shard_opts.num_shards = shards == 0 ? 1 : shards;
+  shard_opts.shard.db.directory = db_dir;
   api::Service service(shard_opts);
   Status init = service.Init();
   if (!init.ok()) {
@@ -53,8 +86,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("itag_server listening on 127.0.0.1:%u (api v%u, %zu shards)\n",
-              server.port(), api::kApiVersion, shard_opts.num_shards);
+  std::printf(
+      "itag_server listening on 127.0.0.1:%u (api v%u, %zu shards, %s)\n",
+      server.port(), api::kApiVersion, shard_opts.num_shards,
+      db_dir.empty() ? "in-memory" : ("durable: " + db_dir).c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -68,7 +103,20 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  // Graceful shutdown: drain first (Stop joins in-flight dispatches), then
+  // checkpoint what they wrote, then report and exit 0.
   server.Stop();
+  api::CheckpointResponse checkpoint = service.Checkpoint({});
+  if (!checkpoint.status.ok()) {
+    std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
+                 checkpoint.status.ToString().c_str());
+    return 1;
+  }
+  if (checkpoint.durable) {
+    std::printf("itag_server: checkpointed %llu rows in %llu tables\n",
+                static_cast<unsigned long long>(checkpoint.rows),
+                static_cast<unsigned long long>(checkpoint.tables));
+  }
   net::ServerStats stats = server.stats();
   std::printf(
       "itag_server: served %llu connections, %llu frames "

@@ -21,7 +21,11 @@ namespace itag::api {
 /// Version of the request/response surface in this header. Bumped on any
 /// incompatible change to a request or response struct; Service::version()
 /// reports it so callers built against older headers can bail out early.
-inline constexpr uint32_t kApiVersion = 1;
+///
+/// History: v1 — the original ten-endpoint batch surface; v2 — added the
+/// Checkpoint admin endpoint (new AnyRequest/AnyResponse alternative, which
+/// shifts the wire's closed type-tag space and is therefore incompatible).
+inline constexpr uint32_t kApiVersion = 2;
 
 /// True iff a peer speaking `version` can be served by this binary. The rule
 /// is exact match while the surface still evolves; when a compatibility
@@ -229,6 +233,24 @@ struct StepResponse {
   Tick now = 0;  ///< clock after the step (set even on error)
 };
 
+// ------------------------------------------------------------------ admin
+
+/// Forces a durability checkpoint: every backend database serializes its
+/// tables to the snapshot file and truncates its WAL (all shards, pool-
+/// parallel, on the sharded backend). Mutations are already written through
+/// as they happen, so a checkpoint bounds *recovery time*, not durability;
+/// operators (and the daemon's SIGTERM handler) call this before planned
+/// restarts. A no-op success with durable=false on in-memory backends.
+struct CheckpointRequest {};
+struct CheckpointResponse {
+  Status status;
+  /// False when the backend is in-memory (nothing was written).
+  bool durable = false;
+  /// Tables and total rows covered by the snapshot, summed across shards.
+  uint64_t tables = 0;
+  uint64_t rows = 0;
+};
+
 // ------------------------------------------------------------- dispatcher
 
 /// The closed set of requests Service::Dispatch routes. Kept in lock-step
@@ -239,14 +261,14 @@ using AnyRequest =
                  CreateProjectRequest, BatchUploadResourcesRequest,
                  BatchControlRequest, ProjectQueryRequest,
                  BatchAcceptTasksRequest, BatchSubmitTagsRequest,
-                 BatchDecideRequest, StepRequest>;
+                 BatchDecideRequest, StepRequest, CheckpointRequest>;
 
 using AnyResponse =
     std::variant<RegisterProviderResponse, RegisterTaggerResponse,
                  CreateProjectResponse, BatchUploadResourcesResponse,
                  BatchControlResponse, ProjectQueryResponse,
                  BatchAcceptTasksResponse, BatchSubmitTagsResponse,
-                 BatchDecideResponse, StepResponse>;
+                 BatchDecideResponse, StepResponse, CheckpointResponse>;
 
 /// Number of request alternatives. The wire protocol uses the variant index
 /// as its request/response type tag, so alternative order is part of the
@@ -260,7 +282,7 @@ inline const char* RequestTypeName(size_t index) {
       "RegisterProvider", "RegisterTagger",  "CreateProject",
       "BatchUploadResources", "BatchControl", "ProjectQuery",
       "BatchAcceptTasks", "BatchSubmitTags", "BatchDecide",
-      "Step",
+      "Step", "Checkpoint",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kRequestTypeCount,
                 "RequestTypeName out of sync with AnyRequest");

@@ -291,6 +291,23 @@ StepResponse Service::Step(const StepRequest& req) {
   return resp;
 }
 
+CheckpointResponse Service::Checkpoint(const CheckpointRequest& req) {
+  (void)req;
+  CheckpointResponse resp;
+  std::visit(
+      [&](auto* sys) {
+        Result<core::CheckpointInfo> r = sys->Checkpoint();
+        resp.status = r.status();
+        if (r.ok()) {
+          resp.durable = r.value().durable;
+          resp.tables = r.value().tables;
+          resp.rows = r.value().rows;
+        }
+      },
+      backend_);
+  return resp;
+}
+
 AnyResponse Service::Dispatch(const AnyRequest& req) {
   return std::visit(
       [this](const auto& r) -> AnyResponse {
@@ -313,9 +330,11 @@ AnyResponse Service::Dispatch(const AnyRequest& req) {
           return BatchSubmitTags(r);
         } else if constexpr (std::is_same_v<T, BatchDecideRequest>) {
           return BatchDecide(r);
-        } else {
-          static_assert(std::is_same_v<T, StepRequest>);
+        } else if constexpr (std::is_same_v<T, StepRequest>) {
           return Step(r);
+        } else {
+          static_assert(std::is_same_v<T, CheckpointRequest>);
+          return Checkpoint(r);
         }
       },
       req);

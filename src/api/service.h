@@ -79,6 +79,9 @@ class Service {
   /// Advances simulated time (ticks must be >= 0); pumps every shard in
   /// parallel on the sharded core.
   StepResponse Step(const StepRequest& req);
+  /// Durability checkpoint (snapshot + WAL truncate; all shards on the
+  /// sharded core). durable=false when the backend is in-memory.
+  CheckpointResponse Checkpoint(const CheckpointRequest& req);
 
   /// Routes a type-erased request to its endpoint — the single entry point a
   /// wire frontend needs. Thread-safe iff the backend is sharded.

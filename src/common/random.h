@@ -8,6 +8,15 @@
 
 namespace itag {
 
+/// Opaque serializable position of an Rng stream: exactly the generator's
+/// two 64-bit words. Saving and later restoring the state resumes the
+/// sequence at the same draw — the persistence layer uses this so recovered
+/// systems produce the same randomness an uninterrupted run would.
+struct RngState {
+  uint64_t state = 0;
+  uint64_t inc = 0;
+};
+
 /// Deterministic PCG32 pseudo-random generator (O'Neill, PCG-XSH-RR 64/32).
 /// Every stochastic component in the library takes an explicit Rng (or seed)
 /// so that whole simulation runs are reproducible bit-for-bit.
@@ -47,6 +56,15 @@ class Rng {
 
   /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang.
   double Gamma(double shape, double scale = 1.0);
+
+  /// Current stream position, for persistence.
+  RngState SaveState() const { return {state_, inc_}; }
+
+  /// Resumes a previously saved stream position.
+  void RestoreState(const RngState& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
 
   /// Fisher-Yates shuffle of `v`.
   template <typename T>

@@ -7,6 +7,7 @@ void PaymentLedger::Pay(ProjectRef project, WorkerId worker, uint32_t cents) {
   worker_earnings_[worker] += cents;
   total_ += cents;
   ++count_;
+  if (sink_) sink_(project, worker, cents);
 }
 
 uint64_t PaymentLedger::ProjectSpend(ProjectRef project) const {

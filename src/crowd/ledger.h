@@ -2,6 +2,7 @@
 #define ITAG_CROWD_LEDGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "crowd/task.h"
@@ -30,11 +31,32 @@ class PaymentLedger {
   /// Number of payment records.
   size_t PaymentCount() const { return count_; }
 
+  /// Observer invoked after every Pay() with the payment just applied. The
+  /// iTag layer hooks this to write the updated balances through to the
+  /// storage engine (the crowd layer itself stays storage-agnostic). Pass
+  /// nullptr to detach.
+  using PaySink = std::function<void(ProjectRef, WorkerId, uint32_t)>;
+  void set_pay_sink(PaySink sink) { sink_ = std::move(sink); }
+
+  /// Recovery entry points: reinstate balances read back from storage.
+  /// Bypass the sink (the rows being restored already exist).
+  void RestoreProjectSpend(ProjectRef project, uint64_t cents) {
+    project_spend_[project] = cents;
+  }
+  void RestoreWorkerEarnings(WorkerId worker, uint64_t cents) {
+    worker_earnings_[worker] = cents;
+  }
+  void RestoreTotals(uint64_t total, uint64_t count) {
+    total_ = total;
+    count_ = count;
+  }
+
  private:
   std::unordered_map<ProjectRef, uint64_t> project_spend_;
   std::unordered_map<WorkerId, uint64_t> worker_earnings_;
   uint64_t total_ = 0;
   size_t count_ = 0;
+  PaySink sink_;
 };
 
 }  // namespace itag::crowd

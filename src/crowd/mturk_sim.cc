@@ -9,8 +9,20 @@ MTurkSim::MTurkSim(std::vector<WorkerProfile> workers, PaymentLedger* ledger,
                    MTurkSimOptions options)
     : SimPlatformBase(std::move(workers), ledger),
       options_(options),
-      rng_(options.seed),
-      state_(workers_.size()) {}
+      rng_(options.seed) {}
+
+void MTurkSim::EncodeExtra(ByteWriter* w) const {
+  RngState rng = rng_.SaveState();
+  w->U64(rng.state);
+  w->U64(rng.inc);
+}
+
+bool MTurkSim::DecodeExtra(ByteReader* r) {
+  RngState rng;
+  if (!r->U64(&rng.state) || !r->U64(&rng.inc)) return false;
+  rng_.RestoreState(rng);
+  return true;
+}
 
 bool MTurkSim::WorkerQualified(WorkerId w) const {
   const WorkerStats& s = stats_[w];

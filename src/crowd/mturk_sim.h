@@ -38,6 +38,10 @@ class MTurkSim : public SimPlatformBase {
 
   std::vector<TaskEvent> AdvanceTo(Tick now) override;
 
+ protected:
+  void EncodeExtra(ByteWriter* w) const override;
+  bool DecodeExtra(ByteReader* r) override;
+
  private:
   bool WorkerQualified(WorkerId w) const;
   /// Picks the task `w` would accept at `now`, or 0 when none suits.
@@ -45,12 +49,6 @@ class MTurkSim : public SimPlatformBase {
 
   MTurkSimOptions options_;
   Rng rng_;
-  struct WorkerState {
-    bool busy = false;
-    TaskId task = 0;
-    Tick busy_until = 0;
-  };
-  std::vector<WorkerState> state_;
 };
 
 }  // namespace itag::crowd

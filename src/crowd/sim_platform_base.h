@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.h"
 #include "crowd/ledger.h"
 #include "crowd/platform.h"
 
@@ -35,7 +36,23 @@ class SimPlatformBase : public CrowdPlatform {
     return workers_;
   }
 
+  /// Serializes the simulator's complete mutable state (task records,
+  /// worker statistics, clock, id counter, plus whatever the subclass adds
+  /// via EncodeExtra — RNG stream, exposure sets). The worker *pool* is not
+  /// included: it is regenerated from the seed at construction, so a blob
+  /// restored into an identically-configured simulator resumes the
+  /// marketplace bit-exactly. Used by the persistence layer.
+  std::string EncodeState() const;
+
+  /// Restores a blob produced by EncodeState on an identically-configured
+  /// simulator (same worker pool). False on malformed input, in which case
+  /// the simulator state is unspecified and must be discarded.
+  bool RestoreState(const std::string& blob);
+
  protected:
+  /// Subclass state riding the EncodeState blob (RNG position, exposure).
+  virtual void EncodeExtra(ByteWriter* w) const = 0;
+  virtual bool DecodeExtra(ByteReader* r) = 0;
   struct TaskRec {
     TaskSpec spec;
     TaskState state = TaskState::kOpen;
@@ -51,12 +68,25 @@ class SimPlatformBase : public CrowdPlatform {
   /// Marks `id` submitted at `now`.
   void MarkSubmitted(TaskId id, Tick now, std::vector<TaskEvent>* events);
 
+  /// What an accepted task's worker is doing right now. Shared by both
+  /// marketplace simulators; fully derivable from `tasks_` (RestoreState
+  /// rebuilds it via RebuildWorkerState).
+  struct WorkerState {
+    bool busy = false;
+    TaskId task = 0;
+    Tick busy_until = 0;
+  };
+
+  /// Recomputes `state_` (and `open_`, `pending_`) from `tasks_`.
+  void RebuildWorkerState();
+
   std::map<TaskId, TaskRec> tasks_;
   /// Open tasks ordered by (pay descending, id ascending): the order
   /// pay-sensitive workers browse in.
   std::set<std::pair<int64_t, TaskId>> open_;
   std::vector<WorkerProfile> workers_;
   std::vector<WorkerStats> stats_;
+  std::vector<WorkerState> state_;
   PaymentLedger* ledger_;
   TaskId next_task_ = 1;
   size_t pending_ = 0;

@@ -9,9 +9,69 @@ SocialNetSim::SocialNetSim(std::vector<WorkerProfile> workers,
                            PaymentLedger* ledger, SocialNetSimOptions options)
     : SimPlatformBase(std::move(workers), ledger),
       options_(options),
-      rng_(options.seed),
-      state_(workers_.size()) {
+      rng_(options.seed) {
   BuildGraph();
+}
+
+void SocialNetSim::EncodeExtra(ByteWriter* w) const {
+  RngState rng = rng_.SaveState();
+  w->U64(rng.state);
+  w->U64(rng.inc);
+  // The graph is rebuilt from the seed at construction; only the viral
+  // exposure state needs to travel. Unordered containers are serialized in
+  // sorted order so identical states encode to identical blobs.
+  std::vector<ProjectRef> seeded(seeded_.begin(), seeded_.end());
+  std::sort(seeded.begin(), seeded.end());
+  w->U32(static_cast<uint32_t>(seeded.size()));
+  for (ProjectRef p : seeded) w->U64(p);
+  std::vector<ProjectRef> projects;
+  projects.reserve(exposed_.size());
+  for (const auto& [project, who] : exposed_) {
+    (void)who;
+    projects.push_back(project);
+  }
+  std::sort(projects.begin(), projects.end());
+  w->U32(static_cast<uint32_t>(projects.size()));
+  for (ProjectRef p : projects) {
+    const std::unordered_set<WorkerId>& who = exposed_.at(p);
+    std::vector<WorkerId> sorted(who.begin(), who.end());
+    std::sort(sorted.begin(), sorted.end());
+    w->U64(p);
+    w->U32(static_cast<uint32_t>(sorted.size()));
+    for (WorkerId id : sorted) w->U32(id);
+  }
+}
+
+bool SocialNetSim::DecodeExtra(ByteReader* r) {
+  RngState rng;
+  uint32_t n_seeded;
+  if (!r->U64(&rng.state) || !r->U64(&rng.inc) || !r->U32(&n_seeded)) {
+    return false;
+  }
+  std::unordered_set<ProjectRef> seeded;
+  for (uint32_t i = 0; i < n_seeded; ++i) {
+    ProjectRef p;
+    if (!r->U64(&p)) return false;
+    seeded.insert(p);
+  }
+  uint32_t n_projects;
+  if (!r->U32(&n_projects)) return false;
+  std::unordered_map<ProjectRef, std::unordered_set<WorkerId>> exposed;
+  for (uint32_t i = 0; i < n_projects; ++i) {
+    ProjectRef p;
+    uint32_t n_workers;
+    if (!r->U64(&p) || !r->U32(&n_workers)) return false;
+    std::unordered_set<WorkerId>& who = exposed[p];
+    for (uint32_t j = 0; j < n_workers; ++j) {
+      WorkerId id;
+      if (!r->U32(&id)) return false;
+      who.insert(id);
+    }
+  }
+  rng_.RestoreState(rng);
+  seeded_ = std::move(seeded);
+  exposed_ = std::move(exposed);
+  return true;
 }
 
 void SocialNetSim::BuildGraph() {

@@ -50,6 +50,10 @@ class SocialNetSim : public SimPlatformBase {
   /// The friend lists (tests verify small-world shape).
   const std::vector<std::vector<WorkerId>>& graph() const { return graph_; }
 
+ protected:
+  void EncodeExtra(ByteWriter* w) const override;
+  bool DecodeExtra(ByteReader* r) override;
+
  private:
   void BuildGraph();
   void Expose(ProjectRef project, WorkerId w);
@@ -61,12 +65,6 @@ class SocialNetSim : public SimPlatformBase {
   std::vector<std::vector<WorkerId>> graph_;
   std::unordered_map<ProjectRef, std::unordered_set<WorkerId>> exposed_;
   std::unordered_set<ProjectRef> seeded_;
-  struct WorkerState {
-    bool busy = false;
-    TaskId task = 0;
-    Tick busy_until = 0;
-  };
-  std::vector<WorkerState> state_;
 };
 
 }  // namespace itag::crowd

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/binio.h"
 #include "common/string_util.h"
+#include "itag/tables.h"
 
 namespace itag::core {
 
+using storage::BatchScope;
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::Value;
 using tagging::ResourceId;
 
 ITagSystem::ITagSystem(ITagSystemOptions options)
@@ -23,8 +29,14 @@ Status ITagSystem::Init() {
   ITAG_RETURN_IF_ERROR(tag_manager_->Attach());
   quality_ = std::make_unique<QualityManager>(resources_.get(),
                                               tag_manager_.get(),
-                                              users_.get(), &clock_);
+                                              users_.get(), &clock_, &db_);
+  // Rebuilds corpora (dictionary + resources + post log), project records,
+  // engines, feeds and inboxes from storage.
+  ITAG_RETURN_IF_ERROR(quality_->Attach());
 
+  // The worker pools are regenerated from the seed — identical to the ones
+  // the original process held — and the simulators' runtime state (tasks,
+  // stats, RNG streams, exposure) is then restored on top from storage.
   Rng pool_rng(options_.seed ^ 0xABCDEF);
   mturk_ = std::make_unique<crowd::MTurkSim>(
       crowd::GenerateWorkerPool(options_.mturk_pool, &pool_rng), &ledger_);
@@ -32,8 +44,316 @@ Status ITagSystem::Init() {
   social_ = std::make_unique<crowd::SocialNetSim>(
       crowd::GenerateWorkerPool(social_pool, &pool_rng), &ledger_,
       options_.social);
+  ITAG_RETURN_IF_ERROR(AttachRuntimeState());
   initialized_ = true;
   return Status::OK();
+}
+
+Result<CheckpointInfo> ITagSystem::Checkpoint() {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  ITAG_RETURN_IF_ERROR(db_.Checkpoint());
+  CheckpointInfo info;
+  info.durable = db_.durable();
+  info.tables = db_.TableNames().size();
+  info.rows = db_.TotalRows();
+  return info;
+}
+
+// ------------------------------------------------------------- persistence
+
+namespace {
+
+/// sys-row keys of the facade scalars and platform blobs.
+constexpr char kSysCore[] = "core";
+constexpr char kSysLedger[] = "ledger";
+constexpr char kSysMTurk[] = "mturk";
+constexpr char kSysSocial[] = "social";
+
+}  // namespace
+
+Status ITagSystem::AttachRuntimeState() {
+  if (!persist()) return Status::OK();
+
+  if (db_.GetTable(tables::kAccepted) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(tables::kAccepted,
+                                         SchemaBuilder()
+                                             .Int("handle")
+                                             .Int("project")
+                                             .Int("resource")
+                                             .Str("uri")
+                                             .Int("pay_cents")
+                                             .Int("tagger")
+                                             .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_.AddUniqueIndex(tables::kAccepted, "handle"));
+  if (db_.GetTable(tables::kPending) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(tables::kPending,
+                                         SchemaBuilder()
+                                             .Int("handle")
+                                             .Int("project")
+                                             .Int("resource")
+                                             .Int("tagger")
+                                             .Int("platform_task")
+                                             .Bool("conscientious")
+                                             .Str("tags")
+                                             .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_.AddUniqueIndex(tables::kPending, "handle"));
+  if (db_.GetTable(tables::kInFlight) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(tables::kInFlight,
+                                         SchemaBuilder()
+                                             .Int("platform")
+                                             .Int("task")
+                                             .Int("project")
+                                             .Int("resource")
+                                             .Build()));
+  }
+  if (db_.GetTable(tables::kLedgerProjects) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(
+        tables::kLedgerProjects,
+        SchemaBuilder().Int("project").Int("cents").Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_.AddUniqueIndex(tables::kLedgerProjects, "project"));
+  if (db_.GetTable(tables::kLedgerWorkers) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(
+        tables::kLedgerWorkers,
+        SchemaBuilder().Int("worker").Int("cents").Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_.AddUniqueIndex(tables::kLedgerWorkers, "worker"));
+  if (db_.GetTable(tables::kSys) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_.CreateTable(
+        tables::kSys, SchemaBuilder().Str("k").Str("v").Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_.AddUniqueIndex(tables::kSys, "k"));
+
+  // ---- restore: workflow maps.
+  db_.GetTable(tables::kAccepted)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        (void)rid;
+        AcceptedTask task;
+        task.handle = static_cast<TaskHandle>(row[0].as_int());
+        task.project = static_cast<ProjectId>(row[1].as_int());
+        task.resource = static_cast<ResourceId>(row[2].as_int());
+        task.uri = row[3].as_string();
+        task.pay_cents = static_cast<uint32_t>(row[4].as_int());
+        accepted_by_[task.handle] =
+            static_cast<UserTaggerId>(row[5].as_int());
+        accepted_.emplace(task.handle, std::move(task));
+        return true;
+      });
+  Status restored = Status::OK();
+  db_.GetTable(tables::kPending)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        (void)rid;
+        PendingSubmission sub;
+        sub.handle = static_cast<TaskHandle>(row[0].as_int());
+        sub.project = static_cast<ProjectId>(row[1].as_int());
+        sub.resource = static_cast<ResourceId>(row[2].as_int());
+        sub.tagger = static_cast<UserTaggerId>(row[3].as_int());
+        sub.platform_task = static_cast<crowd::TaskId>(row[4].as_int());
+        sub.conscientious_hint = row[5].as_bool();
+        ByteReader r(row[6].as_string());
+        if (!r.StrVec(&sub.tags) || !r.AtEnd()) {
+          restored = Status::Corruption("malformed pending submission " +
+                                        std::to_string(sub.handle));
+          return false;
+        }
+        pending_.emplace(sub.handle, std::move(sub));
+        return true;
+      });
+  ITAG_RETURN_IF_ERROR(restored);
+  db_.GetTable(tables::kInFlight)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        int platform = static_cast<int>(row[0].as_int());
+        crowd::TaskId task = static_cast<crowd::TaskId>(row[1].as_int());
+        InFlight flight;
+        flight.project = static_cast<ProjectId>(row[2].as_int());
+        flight.resource = static_cast<ResourceId>(row[3].as_int());
+        (platform == 0 ? in_flight_mturk_ : in_flight_social_)
+            .emplace(task, flight);
+        in_flight_rows_[{platform, task}] = rid;
+        return true;
+      });
+
+  // ---- restore: ledger balances, then arm the write-through sink.
+  db_.GetTable(tables::kLedgerProjects)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        ProjectId project = static_cast<ProjectId>(row[0].as_int());
+        ledger_.RestoreProjectSpend(project,
+                                    static_cast<uint64_t>(row[1].as_int()));
+        ledger_project_rows_[project] = rid;
+        return true;
+      });
+  db_.GetTable(tables::kLedgerWorkers)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        crowd::WorkerId worker = static_cast<crowd::WorkerId>(row[0].as_int());
+        ledger_.RestoreWorkerEarnings(worker,
+                                      static_cast<uint64_t>(row[1].as_int()));
+        ledger_worker_rows_[worker] = rid;
+        return true;
+      });
+
+  // ---- restore: sys rows (scalars, ledger totals, platform blobs).
+  std::map<std::string, std::string> sys;
+  db_.GetTable(tables::kSys)->Scan([&](storage::RowId rid, const Row& row) {
+    sys_rows_[row[0].as_string()] = rid;
+    sys[row[0].as_string()] = row[1].as_string();
+    return true;
+  });
+  if (auto it = sys.find(kSysCore); it != sys.end()) {
+    ByteReader r(it->second);
+    uint64_t next_handle, accepted_total;
+    int64_t now;
+    RngState rng;
+    if (!r.U64(&next_handle) || !r.U64(&accepted_total) || !r.I64(&now) ||
+        !r.U64(&rng.state) || !r.U64(&rng.inc) || !r.AtEnd()) {
+      return Status::Corruption("malformed sys core row");
+    }
+    next_handle_ = next_handle;
+    tasks_accepted_total_ = accepted_total;
+    clock_.AdvanceTo(now);
+    rng_.RestoreState(rng);
+  }
+  if (auto it = sys.find(kSysLedger); it != sys.end()) {
+    ByteReader r(it->second);
+    uint64_t total, count;
+    if (!r.U64(&total) || !r.U64(&count) || !r.AtEnd()) {
+      return Status::Corruption("malformed sys ledger row");
+    }
+    ledger_.RestoreTotals(total, count);
+  }
+  if (auto it = sys.find(kSysMTurk); it != sys.end()) {
+    if (!mturk_->RestoreState(it->second)) {
+      return Status::Corruption("malformed mturk platform state");
+    }
+  }
+  if (auto it = sys.find(kSysSocial); it != sys.end()) {
+    if (!social_->RestoreState(it->second)) {
+      return Status::Corruption("malformed social platform state");
+    }
+  }
+
+  ledger_.set_pay_sink([this](crowd::ProjectRef project,
+                              crowd::WorkerId worker, uint32_t cents) {
+    (void)cents;  // rows carry the already-applied balances
+    Row prow = {Value::Int(static_cast<int64_t>(project)),
+                Value::Int(static_cast<int64_t>(ledger_.ProjectSpend(project)))};
+    auto pit = ledger_project_rows_.find(project);
+    if (pit == ledger_project_rows_.end()) {
+      Result<storage::RowId> rid = db_.Insert(tables::kLedgerProjects, prow);
+      if (rid.ok()) ledger_project_rows_[project] = rid.value();
+    } else {
+      (void)db_.Update(tables::kLedgerProjects, pit->second, prow);
+    }
+    Row wrow = {
+        Value::Int(static_cast<int64_t>(worker)),
+        Value::Int(static_cast<int64_t>(ledger_.WorkerEarnings(worker)))};
+    auto wit = ledger_worker_rows_.find(worker);
+    if (wit == ledger_worker_rows_.end()) {
+      Result<storage::RowId> rid = db_.Insert(tables::kLedgerWorkers, wrow);
+      if (rid.ok()) ledger_worker_rows_[worker] = rid.value();
+    } else {
+      (void)db_.Update(tables::kLedgerWorkers, wit->second, wrow);
+    }
+    ByteWriter totals;
+    totals.U64(ledger_.TotalPaid());
+    totals.U64(ledger_.PaymentCount());
+    PersistSys(kSysLedger, totals.Take());
+  });
+  return Status::OK();
+}
+
+void ITagSystem::PersistSys(const std::string& key, std::string value) {
+  if (!persist()) return;
+  Row row = {Value::Str(key), Value::Str(std::move(value))};
+  auto it = sys_rows_.find(key);
+  if (it == sys_rows_.end()) {
+    Result<storage::RowId> rid = db_.Insert(tables::kSys, row);
+    if (rid.ok()) sys_rows_[key] = rid.value();
+  } else {
+    (void)db_.Update(tables::kSys, it->second, row);
+  }
+}
+
+void ITagSystem::PersistCore() {
+  if (!persist()) return;
+  ByteWriter w;
+  w.U64(next_handle_);
+  w.U64(tasks_accepted_total_);
+  w.I64(clock_.Now());
+  RngState rng = rng_.SaveState();
+  w.U64(rng.state);
+  w.U64(rng.inc);
+  PersistSys(kSysCore, w.Take());
+}
+
+void ITagSystem::PersistPlatform(crowd::CrowdPlatform* platform) {
+  if (!persist()) return;
+  if (platform == mturk_.get()) {
+    PersistSys(kSysMTurk, mturk_->EncodeState());
+  } else if (platform == social_.get()) {
+    PersistSys(kSysSocial, social_->EncodeState());
+  }
+}
+
+void ITagSystem::PersistAccepted(const AcceptedTask& task,
+                                 UserTaggerId tagger) {
+  if (!persist()) return;
+  (void)db_.Insert(tables::kAccepted,
+                   {Value::Int(static_cast<int64_t>(task.handle)),
+                    Value::Int(static_cast<int64_t>(task.project)),
+                    Value::Int(static_cast<int64_t>(task.resource)),
+                    Value::Str(task.uri), Value::Int(task.pay_cents),
+                    Value::Int(static_cast<int64_t>(tagger))});
+}
+
+void ITagSystem::DeleteAccepted(TaskHandle handle) {
+  if (!persist()) return;
+  const storage::Table* t = db_.GetTable(tables::kAccepted);
+  Result<storage::RowId> rid =
+      t->LookupUnique("handle", Value::Int(static_cast<int64_t>(handle)));
+  if (rid.ok()) (void)db_.Delete(tables::kAccepted, rid.value());
+}
+
+void ITagSystem::PersistPending(const PendingSubmission& sub) {
+  if (!persist()) return;
+  ByteWriter tags;
+  tags.StrVec(sub.tags);
+  (void)db_.Insert(tables::kPending,
+                   {Value::Int(static_cast<int64_t>(sub.handle)),
+                    Value::Int(static_cast<int64_t>(sub.project)),
+                    Value::Int(static_cast<int64_t>(sub.resource)),
+                    Value::Int(static_cast<int64_t>(sub.tagger)),
+                    Value::Int(static_cast<int64_t>(sub.platform_task)),
+                    Value::Bool(sub.conscientious_hint),
+                    Value::Str(tags.Take())});
+}
+
+void ITagSystem::DeletePending(TaskHandle handle) {
+  if (!persist()) return;
+  const storage::Table* t = db_.GetTable(tables::kPending);
+  Result<storage::RowId> rid =
+      t->LookupUnique("handle", Value::Int(static_cast<int64_t>(handle)));
+  if (rid.ok()) (void)db_.Delete(tables::kPending, rid.value());
+}
+
+void ITagSystem::PersistInFlight(int platform, crowd::TaskId task,
+                                 const InFlight& flight) {
+  if (!persist()) return;
+  Result<storage::RowId> rid =
+      db_.Insert(tables::kInFlight,
+                 {Value::Int(platform), Value::Int(static_cast<int64_t>(task)),
+                  Value::Int(static_cast<int64_t>(flight.project)),
+                  Value::Int(static_cast<int64_t>(flight.resource))});
+  if (rid.ok()) in_flight_rows_[{platform, task}] = rid.value();
+}
+
+void ITagSystem::DeleteInFlight(int platform, crowd::TaskId task) {
+  if (!persist()) return;
+  auto it = in_flight_rows_.find({platform, task});
+  if (it == in_flight_rows_.end()) return;
+  (void)db_.Delete(tables::kInFlight, it->second);
+  in_flight_rows_.erase(it);
 }
 
 // ------------------------------------------------------------------- users
@@ -58,6 +378,7 @@ Result<TaggerProfile> ITagSystem::GetTagger(UserTaggerId id) const {
 
 Result<ProjectId> ITagSystem::CreateProject(ProviderId provider,
                                             const ProjectSpec& spec) {
+  BatchScope batch(&db_);
   return quality_->CreateProject(provider, spec);
 }
 
@@ -65,17 +386,20 @@ Result<ResourceId> ITagSystem::UploadResource(ProjectId project,
                                               tagging::ResourceKind kind,
                                               const std::string& uri,
                                               const std::string& description) {
+  BatchScope batch(&db_);
   return resources_->UploadResource(project, kind, uri, description);
 }
 
 Status ITagSystem::ImportPost(ProjectId project, ResourceId resource,
                               const std::vector<std::string>& raw_tags) {
+  BatchScope batch(&db_);
   return resources_->ImportPost(project, resource, raw_tags);
 }
 
 std::vector<Status> ITagSystem::UploadResourceBatch(
     ProjectId project, const std::vector<ResourceUpload>& items,
     std::vector<ResourceId>* ids) {
+  BatchScope batch(&db_);
   std::vector<Status> out;
   out.reserve(items.size());
   ids->clear();
@@ -268,14 +592,26 @@ Status ITagSystem::Decide(ProviderId provider, TaskHandle handle,
   if (rec->provider != provider) {
     return Status::FailedPrecondition("not this provider's project");
   }
+  BatchScope batch(&db_);
+  // A decision on a platform submission moves the simulator's task/worker
+  // state (Approve/Reject), which lives outside the relational tables —
+  // resolve which simulator that is before the decision consumes the entry.
+  crowd::CrowdPlatform* touched =
+      it->second.platform_task != 0 ? PlatformFor(it->second.project)
+                                    : nullptr;
   Status s = ApplyDecision(it->second, approve);
   pending_.erase(it);
+  DeletePending(handle);
+  if (touched != nullptr) PersistPlatform(touched);
   return s;
 }
 
 std::vector<Status> ITagSystem::DecideBatch(
     ProviderId provider,
     const std::vector<std::pair<TaskHandle, bool>>& decisions) {
+  BatchScope db_batch(&db_);
+  bool touched_mturk = false;
+  bool touched_social = false;
   std::vector<Status> out;
   out.reserve(decisions.size());
   // Approved items queued for the per-project flush, each remembering the
@@ -305,27 +641,33 @@ std::vector<Status> ITagSystem::DecideBatch(
     }
     crowd::CrowdPlatform* platform =
         sub.platform_task != 0 ? PlatformFor(sub.project) : nullptr;
+    touched_mturk |= platform == mturk_.get();
+    touched_social |= platform == social_.get();
     if (!approve) {
       out.push_back(ApplyRejection(sub, rec, platform));
       pending_.erase(it);
+      DeletePending(handle);
       continue;
     }
     tagging::Corpus* corpus = resources_->GetCorpus(sub.project);
     if (corpus == nullptr) {
       out.push_back(Status::Internal("corpus missing"));
       pending_.erase(it);
+      DeletePending(handle);
       continue;
     }
     Result<tagging::Post> post = BuildPost(sub, corpus);
     if (!post.ok()) {
       out.push_back(post.status());
       pending_.erase(it);
+      DeletePending(handle);
       continue;
     }
     approved[sub.project].push_back(
         {{sub, std::move(post).value()}, out.size()});
     out.push_back(Status::OK());  // finalized by the flush below
     pending_.erase(it);
+    DeletePending(handle);
   }
 
   // One corpus/quality pass per touched project; like the single-call path,
@@ -351,6 +693,8 @@ std::vector<Status> ITagSystem::DecideBatch(
       out[queued[i].out_index] = SettleApproval(sub, rec, platform);
     }
   }
+  if (touched_mturk) PersistPlatform(mturk_.get());
+  if (touched_social) PersistPlatform(social_.get());
   return out;
 }
 
@@ -379,6 +723,7 @@ std::vector<ProjectInfo> ITagSystem::ListOpenProjects() const {
 Result<AcceptedTask> ITagSystem::AcceptTask(UserTaggerId tagger,
                                             ProjectId project) {
   ITAG_RETURN_IF_ERROR(users_->GetTagger(tagger).status());
+  BatchScope batch(&db_);
   ITAG_ASSIGN_OR_RETURN(ResourceId resource,
                         quality_->ChooseNextTask(project));
   const QualityManager::ProjectRec* rec = quality_->GetRec(project);
@@ -391,6 +736,9 @@ Result<AcceptedTask> ITagSystem::AcceptTask(UserTaggerId tagger,
   task.pay_cents = rec->spec.pay_cents;
   accepted_.emplace(task.handle, task);
   accepted_by_.emplace(task.handle, tagger);
+  PersistAccepted(task, tagger);
+  ++tasks_accepted_total_;
+  PersistCore();
   return task;
 }
 
@@ -398,6 +746,7 @@ Result<std::vector<AcceptedTask>> ITagSystem::AcceptTasks(UserTaggerId tagger,
                                                           ProjectId project,
                                                           size_t count) {
   ITAG_RETURN_IF_ERROR(users_->GetTagger(tagger).status());
+  BatchScope batch(&db_);
   ITAG_ASSIGN_OR_RETURN(std::vector<ResourceId> resources,
                         quality_->ChooseTaskBatch(project, count));
   const QualityManager::ProjectRec* rec = quality_->GetRec(project);
@@ -413,8 +762,11 @@ Result<std::vector<AcceptedTask>> ITagSystem::AcceptTasks(UserTaggerId tagger,
     task.pay_cents = rec->spec.pay_cents;
     accepted_.emplace(task.handle, task);
     accepted_by_.emplace(task.handle, tagger);
+    PersistAccepted(task, tagger);
     tasks.push_back(std::move(task));
   }
+  tasks_accepted_total_ += tasks.size();
+  PersistCore();
   return tasks;
 }
 
@@ -438,20 +790,24 @@ Status ITagSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
   if (normalized.empty()) {
     return Status::InvalidArgument("no usable tags in submission");
   }
+  BatchScope batch(&db_);
   PendingSubmission sub;
   sub.handle = handle;
   sub.project = it->second.project;
   sub.resource = it->second.resource;
   sub.tagger = tagger;
   sub.tags = std::move(normalized);
+  PersistPending(sub);
   pending_.emplace(handle, std::move(sub));
   accepted_.erase(it);
   accepted_by_.erase(handle);
+  DeleteAccepted(handle);
   return users_->RecordSubmission(tagger);
 }
 
 std::vector<Status> ITagSystem::SubmitTagsBatch(
     const std::vector<TagSubmission>& items) {
+  BatchScope batch(&db_);
   std::vector<Status> out;
   out.reserve(items.size());
   for (const TagSubmission& item : items) {
@@ -531,6 +887,7 @@ Status ITagSystem::HandleSubmission(crowd::CrowdPlatform* platform,
   if (it == in_flight.end()) return Status::OK();  // not ours
   InFlight flight = it->second;
   in_flight.erase(it);
+  DeleteInFlight(platform == mturk_.get() ? 0 : 1, ev.task);
 
   const auto& profiles = platform->worker_profiles();
   double reliability =
@@ -603,14 +960,30 @@ Status ITagSystem::PumpProject(ProjectId project,
       }
       return tid.status();
     }
-    in_flight.emplace(tid.value(), InFlight{project, resources[i]});
+    InFlight flight{project, resources[i]};
+    in_flight.emplace(tid.value(), flight);
+    PersistInFlight(platform == mturk_.get() ? 0 : 1, tid.value(), flight);
   }
   return Status::OK();
 }
 
 Status ITagSystem::Step(Tick ticks) {
   if (!initialized_) return Status::FailedPrecondition("call Init() first");
-  Tick target = clock_.Now() + ticks;
+  BatchScope batch(&db_);
+  Tick start = clock_.Now();
+  Status result = RunTicks(start + ticks);
+  // Persist the non-relational runtime state whenever any tick ran — on
+  // the error paths too, so the committed batch never pairs fresh
+  // relational rows with a stale clock/RNG/simulator snapshot.
+  if (clock_.Now() != start) {
+    PersistCore();
+    PersistPlatform(mturk_.get());
+    PersistPlatform(social_.get());
+  }
+  return result;
+}
+
+Status ITagSystem::RunTicks(Tick target) {
   while (clock_.Now() < target) {
     clock_.Advance(1);
     // Keep task queues full for every running platform project.

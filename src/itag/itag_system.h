@@ -91,7 +91,19 @@ using PostSource = std::function<sim::GeneratedPost(
 
 /// Decides a pending submission; used by Step() to auto-moderate platform
 /// traffic. Defaults to approve-everything.
+///
+/// Policies (like PostSource) are *code*, not data: they cannot be
+/// persisted, so an embedder that installs them must re-install them after
+/// recovery (see docs/persistence.md).
 using ApprovalPolicy = std::function<bool(const PendingSubmission&)>;
+
+/// What a checkpoint covered; returned by ITagSystem::Checkpoint and
+/// ShardedSystem::Checkpoint (aggregated across shards there).
+struct CheckpointInfo {
+  bool durable = false;  ///< false = in-memory backend, nothing to write
+  uint64_t tables = 0;
+  uint64_t rows = 0;
+};
 
 /// The iTag system facade (Fig. 2): wires the four managers, the storage
 /// engine and the simulated crowdsourcing platforms behind the provider and
@@ -100,8 +112,20 @@ class ITagSystem {
  public:
   explicit ITagSystem(ITagSystemOptions options = {});
 
-  /// Opens storage and attaches managers. Must be called once before use.
+  /// Opens storage and attaches managers. On a durable database this is
+  /// also the recovery path: every manager rehydrates from its tables, the
+  /// workflow maps (accepted tasks, pending approvals, in-flight platform
+  /// tasks), the payment ledger, the platform simulators, the clock and the
+  /// RNG stream are restored, so close-and-reopen (or crash-and-reopen; the
+  /// WAL replays to the last complete record) resumes the system bit-equal
+  /// to the uninterrupted run. Must be called once before use.
   Status Init();
+
+  /// Compacts durability state: snapshots all tables and truncates the WAL
+  /// (storage::Database::Checkpoint). Every mutation is already written
+  /// through, so this bounds recovery time, not durability. OK with
+  /// durable=false on an in-memory system.
+  Result<CheckpointInfo> Checkpoint();
 
   // ------------------------------------------------------------ users
   /// Registers a provider. Names need not be unique; ids are dense and
@@ -250,6 +274,10 @@ class ITagSystem {
   crowd::PaymentLedger& ledger() { return ledger_; }
   SimClock& clock() { return clock_; }
 
+  /// Total audience tasks ever handed out through AcceptTask/AcceptTasks
+  /// (persisted; the sharded layer re-derives its per-shard stats from it).
+  uint64_t tasks_accepted_total() const { return tasks_accepted_total_; }
+
   /// The platform used by a project (nullptr for audience projects).
   crowd::CrowdPlatform* PlatformFor(ProjectId project);
 
@@ -268,9 +296,33 @@ class ITagSystem {
   };
   using ApprovedPosts = std::map<ProjectId, std::vector<ApprovedItem>>;
 
+  // ----------------------------------------------------------- persistence
+  /// True when runtime state must be written through to storage.
+  bool persist() const { return db_.durable(); }
+  /// Creates the workflow/ledger/sys tables and restores their contents.
+  Status AttachRuntimeState();
+  /// Upserts one sys key/value row.
+  void PersistSys(const std::string& key, std::string value);
+  /// Writes the facade scalars (next handle, accepted-task counter, clock,
+  /// RNG stream) as one sys row.
+  void PersistCore();
+  /// Serializes one platform simulator into its sys row.
+  void PersistPlatform(crowd::CrowdPlatform* platform);
+  /// Write-through for the workflow maps.
+  void PersistAccepted(const AcceptedTask& task, UserTaggerId tagger);
+  void DeleteAccepted(TaskHandle handle);
+  void PersistPending(const PendingSubmission& sub);
+  void DeletePending(TaskHandle handle);
+  void PersistInFlight(int platform, crowd::TaskId task,
+                       const InFlight& flight);
+  void DeleteInFlight(int platform, crowd::TaskId task);
+
   sim::GeneratedPost DefaultPostContent(ProjectId project,
                                         tagging::ResourceId resource,
                                         double reliability, Tick now);
+  /// The tick loop of Step(); split out so Step can persist the runtime
+  /// state after it regardless of how it returned.
+  Status RunTicks(Tick target);
   Status PumpProject(ProjectId project, QualityManager::ProjectRec* rec);
   Status HandleSubmission(crowd::CrowdPlatform* platform,
                           const crowd::TaskEvent& ev, ApprovedPosts* approved);
@@ -307,7 +359,14 @@ class ITagSystem {
   std::map<TaskHandle, AcceptedTask> accepted_;
   std::map<TaskHandle, UserTaggerId> accepted_by_;
   TaskHandle next_handle_ = 1;
+  uint64_t tasks_accepted_total_ = 0;
   bool initialized_ = false;
+
+  // Write-through bookkeeping (row ids of upserted rows).
+  std::map<std::pair<int, crowd::TaskId>, storage::RowId> in_flight_rows_;
+  std::map<std::string, storage::RowId> sys_rows_;
+  std::map<ProjectId, storage::RowId> ledger_project_rows_;
+  std::map<crowd::WorkerId, storage::RowId> ledger_worker_rows_;
 
   /// Concurrency cap per platform-backed project.
   static constexpr size_t kMaxOpenTasksPerProject = 16;

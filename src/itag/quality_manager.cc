@@ -3,17 +3,236 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/binio.h"
+#include "itag/tables.h"
 #include "strategy/allocator.h"
 
 namespace itag::core {
 
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::Value;
 using strategy::AllocationEngine;
 using strategy::EngineOptions;
+using strategy::EngineState;
 using tagging::ResourceId;
 
+namespace {
+
+/// Seed of a project's allocation engine; recovery reconstructs engines
+/// with the same seed before rewinding their RNG to the saved position.
+uint64_t EngineSeed(ProjectId project) { return 0x5151 + project; }
+
+/// Serializes the live part of a project record: the engine run (counters,
+/// assignment vector, pending promotions, RNG stream) and the provider's
+/// per-resource Stop flags.
+std::string EncodeEngine(const QualityManager::ProjectRec& rec) {
+  ByteWriter w;
+  if (rec.engine == nullptr) return w.Take();
+  EngineState s = rec.engine->SaveState();
+  w.U32(s.budget_remaining);
+  w.U32(s.tasks_assigned);
+  w.U64(s.rng.state);
+  w.U64(s.rng.inc);
+  w.U32Vec(s.assignment);
+  w.U32Vec(s.promoted);
+  w.U8Vec(s.stopped);
+  w.U8Vec(rec.stopped);
+  return w.Take();
+}
+
+bool DecodeEngine(const std::string& blob, EngineState* s,
+                  std::vector<uint8_t>* rec_stopped) {
+  ByteReader r(blob);
+  std::vector<uint32_t> promoted;
+  if (!r.U32(&s->budget_remaining) || !r.U32(&s->tasks_assigned) ||
+      !r.U64(&s->rng.state) || !r.U64(&s->rng.inc) ||
+      !r.U32Vec(&s->assignment) || !r.U32Vec(&promoted) ||
+      !r.U8Vec(&s->stopped) || !r.U8Vec(rec_stopped) || !r.AtEnd()) {
+    return false;
+  }
+  s->promoted.assign(promoted.begin(), promoted.end());
+  return true;
+}
+
+}  // namespace
+
 QualityManager::QualityManager(ResourceManager* resources, TagManager* tags,
-                               UserManager* users, Clock* clock)
-    : resources_(resources), tags_(tags), users_(users), clock_(clock) {}
+                               UserManager* users, Clock* clock,
+                               storage::Database* db)
+    : resources_(resources),
+      tags_(tags),
+      users_(users),
+      clock_(clock),
+      db_(db) {}
+
+Status QualityManager::Attach() {
+  if (!persist()) return Status::OK();
+  if (db_->GetTable(tables::kProjects) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kProjects,
+                                          SchemaBuilder()
+                                              .Int("id")
+                                              .Int("provider")
+                                              .Str("name")
+                                              .Int("kind")
+                                              .Str("description")
+                                              .Int("budget")
+                                              .Int("pay_cents")
+                                              .Int("platform")
+                                              .Int("strategy")
+                                              .Int("state")
+                                              .Int("tasks_completed")
+                                              .Bool("exhausted")
+                                              .Bool("started")
+                                              .Str("engine")
+                                              .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(tables::kProjects, "id"));
+  if (db_->GetTable(tables::kQualityFeed) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kQualityFeed,
+                                          SchemaBuilder()
+                                              .Int("project")
+                                              .Int("tasks")
+                                              .Real("quality")
+                                              .Int("time")
+                                              .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db_->AddOrderedIndex(tables::kQualityFeed, "project"));
+  if (db_->GetTable(tables::kNotifications) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kNotifications,
+                                          SchemaBuilder()
+                                              .Int("provider")
+                                              .Int("kind")
+                                              .Int("time")
+                                              .Int("project")
+                                              .Str("message")
+                                              .Build()));
+  }
+
+  // ---- recovery: project rows drive everything else.
+  projects_.clear();
+  project_rows_.clear();
+  inboxes_.clear();
+  inbox_rows_.clear();
+  next_project_ = 1;
+  Status recovered = Status::OK();
+  db_->GetTable(tables::kProjects)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        ProjectId id = static_cast<ProjectId>(row[0].as_int());
+        recovered = RestoreProject(id, row, rid);
+        return recovered.ok();
+      });
+  ITAG_RETURN_IF_ERROR(recovered);
+
+  db_->GetTable(tables::kQualityFeed)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        (void)rid;
+        ProjectRec* rec = Rec(static_cast<ProjectId>(row[0].as_int()));
+        if (rec != nullptr) {
+          rec->feed.push_back({static_cast<uint32_t>(row[1].as_int()),
+                               row[2].as_double(), row[3].as_int()});
+        }
+        return true;
+      });
+
+  db_->GetTable(tables::kNotifications)
+      ->Scan([&](storage::RowId rid, const Row& row) {
+        ProviderId provider = static_cast<ProviderId>(row[0].as_int());
+        Notification n;
+        n.kind = static_cast<NotificationKind>(row[1].as_int());
+        n.time = row[2].as_int();
+        n.project = static_cast<ProjectId>(row[3].as_int());
+        n.message = row[4].as_string();
+        Notifications(provider).Push(std::move(n));
+        inbox_rows_[provider].push_back(rid);
+        return true;
+      });
+  return Status::OK();
+}
+
+Status QualityManager::RestoreProject(ProjectId project, const Row& row,
+                                      storage::RowId rid) {
+  ITAG_RETURN_IF_ERROR(resources_->RestoreCorpus(project));
+  ProjectRec rec;
+  rec.provider = static_cast<ProviderId>(row[1].as_int());
+  rec.spec.name = row[2].as_string();
+  rec.spec.kind = static_cast<tagging::ResourceKind>(row[3].as_int());
+  rec.spec.description = row[4].as_string();
+  rec.spec.budget = static_cast<uint32_t>(row[5].as_int());
+  rec.spec.pay_cents = static_cast<uint32_t>(row[6].as_int());
+  rec.spec.platform = static_cast<PlatformChoice>(row[7].as_int());
+  rec.spec.strategy = static_cast<strategy::StrategyKind>(row[8].as_int());
+  rec.state = static_cast<ProjectState>(row[9].as_int());
+  rec.tasks_completed = static_cast<uint32_t>(row[10].as_int());
+  rec.exhausted_notified = row[11].as_bool();
+  if (row[12].as_bool()) {
+    EngineState state;
+    if (!DecodeEngine(row[13].as_string(), &state, &rec.stopped)) {
+      return Status::Corruption("malformed engine state for project " +
+                                std::to_string(project));
+    }
+    tagging::Corpus* corpus = resources_->GetCorpus(project);
+    if (corpus == nullptr) return Status::Internal("corpus missing");
+    EngineOptions opts;
+    opts.budget = state.budget_remaining;
+    opts.seed = EngineSeed(project);
+    rec.engine = std::make_unique<AllocationEngine>(
+        corpus, strategy::MakeStrategy(rec.spec.strategy), opts);
+    rec.engine->RestoreState(state);
+  }
+  projects_.emplace(project, std::move(rec));
+  project_rows_[project] = rid;
+  next_project_ = std::max(next_project_, project + 1);
+  return Status::OK();
+}
+
+void QualityManager::PersistProject(ProjectId project,
+                                    const ProjectRec& rec) {
+  if (!persist()) return;
+  Row row = {Value::Int(static_cast<int64_t>(project)),
+             Value::Int(static_cast<int64_t>(rec.provider)),
+             Value::Str(rec.spec.name),
+             Value::Int(static_cast<int64_t>(rec.spec.kind)),
+             Value::Str(rec.spec.description),
+             Value::Int(rec.spec.budget),
+             Value::Int(rec.spec.pay_cents),
+             Value::Int(static_cast<int64_t>(rec.spec.platform)),
+             Value::Int(static_cast<int64_t>(rec.spec.strategy)),
+             Value::Int(static_cast<int64_t>(rec.state)),
+             Value::Int(rec.tasks_completed),
+             Value::Bool(rec.exhausted_notified),
+             Value::Bool(rec.engine != nullptr),
+             Value::Str(EncodeEngine(rec))};
+  auto it = project_rows_.find(project);
+  if (it == project_rows_.end()) {
+    Result<storage::RowId> rid = db_->Insert(tables::kProjects, row);
+    if (rid.ok()) project_rows_[project] = rid.value();
+  } else {
+    (void)db_->Update(tables::kProjects, it->second, row);
+  }
+}
+
+void QualityManager::PushNotification(ProviderId provider, Notification n) {
+  NotificationQueue& inbox = Notifications(provider);
+  if (!persist()) {
+    inbox.Push(std::move(n));
+    return;
+  }
+  Row row = {Value::Int(static_cast<int64_t>(provider)),
+             Value::Int(static_cast<int64_t>(n.kind)), Value::Int(n.time),
+             Value::Int(static_cast<int64_t>(n.project)),
+             Value::Str(n.message)};
+  inbox.Push(std::move(n));
+  std::deque<storage::RowId>& rows = inbox_rows_[provider];
+  Result<storage::RowId> rid = db_->Insert(tables::kNotifications, row);
+  if (rid.ok()) rows.push_back(rid.value());
+  // The queue evicts beyond capacity; mirror the eviction so the persisted
+  // inbox stays bounded too.
+  while (rows.size() > inbox.size()) {
+    (void)db_->Delete(tables::kNotifications, rows.front());
+    rows.pop_front();
+  }
+}
 
 QualityManager::ProjectRec* QualityManager::Rec(ProjectId project) {
   auto it = projects_.find(project);
@@ -39,7 +258,9 @@ Result<ProjectId> QualityManager::CreateProject(ProviderId provider,
   ProjectRec rec;
   rec.provider = provider;
   rec.spec = spec;
-  projects_.emplace(id, std::move(rec));
+  auto [it, inserted] = projects_.emplace(id, std::move(rec));
+  (void)inserted;
+  PersistProject(id, it->second);
   return id;
 }
 
@@ -96,16 +317,18 @@ Status QualityManager::Start(ProjectId project) {
     case ProjectState::kDraft: {
       EngineOptions opts;
       opts.budget = rec->spec.budget;
-      opts.seed = 0x5151 + project;
+      opts.seed = EngineSeed(project);
       rec->engine = std::make_unique<AllocationEngine>(
           corpus, strategy::MakeStrategy(rec->spec.strategy), opts);
       rec->stopped.assign(corpus->size(), 0);
       rec->state = ProjectState::kRunning;
       EmitQualityPoint(project, *rec);
+      PersistProject(project, *rec);
       return Status::OK();
     }
     case ProjectState::kPaused:
       rec->state = ProjectState::kRunning;
+      PersistProject(project, *rec);
       return Status::OK();
     case ProjectState::kRunning:
       return Status::FailedPrecondition("already running");
@@ -124,6 +347,7 @@ Status QualityManager::Pause(ProjectId project) {
     return Status::FailedPrecondition("not running");
   }
   rec->state = ProjectState::kPaused;
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -134,9 +358,10 @@ Status QualityManager::Stop(ProjectId project) {
   }
   if (rec->state == ProjectState::kStopped) return Status::OK();
   rec->state = ProjectState::kStopped;
-  Notifications(rec->provider)
-      .Push({NotificationKind::kProjectStopped, clock_->Now(), project,
-             "project '" + rec->spec.name + "' stopped"});
+  PersistProject(project, *rec);
+  PushNotification(rec->provider,
+                   {NotificationKind::kProjectStopped, clock_->Now(), project,
+                    "project '" + rec->spec.name + "' stopped"});
   return Status::OK();
 }
 
@@ -154,6 +379,7 @@ Status QualityManager::AddBudget(ProjectId project, uint32_t tasks) {
     rec->engine->AddBudget(tasks);
   }
   if (tasks > 0) rec->exhausted_notified = false;
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -167,6 +393,7 @@ Status QualityManager::SwitchStrategy(ProjectId project,
   if (rec->engine != nullptr) {
     rec->engine->SwitchStrategy(strategy::MakeStrategy(kind));
   }
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -207,7 +434,9 @@ Status QualityManager::PromoteResource(ProjectId project,
   if (rec == nullptr || rec->engine == nullptr) {
     return Status::FailedPrecondition("project not started");
   }
-  return rec->engine->Promote(resource);
+  ITAG_RETURN_IF_ERROR(rec->engine->Promote(resource));
+  PersistProject(project, *rec);
+  return Status::OK();
 }
 
 Status QualityManager::StopResource(ProjectId project, ResourceId resource) {
@@ -217,6 +446,7 @@ Status QualityManager::StopResource(ProjectId project, ResourceId resource) {
   }
   ITAG_RETURN_IF_ERROR(rec->engine->SetStopped(resource, true));
   if (resource < rec->stopped.size()) rec->stopped[resource] = 1;
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -228,6 +458,7 @@ Status QualityManager::ResumeResource(ProjectId project,
   }
   ITAG_RETURN_IF_ERROR(rec->engine->SetStopped(resource, false));
   if (resource < rec->stopped.size()) rec->stopped[resource] = 0;
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -250,9 +481,9 @@ void QualityManager::NotifyIfExhausted(ProjectId project, ProjectRec* rec,
                                        const Status& status) {
   if (!status.IsResourceExhausted() || rec->exhausted_notified) return;
   rec->exhausted_notified = true;
-  Notifications(rec->provider)
-      .Push({NotificationKind::kBudgetExhausted, clock_->Now(), project,
-             "budget exhausted for '" + rec->spec.name + "'"});
+  PushNotification(rec->provider,
+                   {NotificationKind::kBudgetExhausted, clock_->Now(),
+                    project, "budget exhausted for '" + rec->spec.name + "'"});
 }
 
 Result<ResourceId> QualityManager::ChooseNextTask(ProjectId project) {
@@ -260,6 +491,9 @@ Result<ResourceId> QualityManager::ChooseNextTask(ProjectId project) {
   ITAG_RETURN_IF_ERROR(CheckRunning(rec, project));
   Result<ResourceId> chosen = rec->engine->ChooseNext();
   if (!chosen.ok()) NotifyIfExhausted(project, rec, chosen.status());
+  // Success moved budget/assignment/RNG; failure may have flagged the
+  // exhaustion notification. Either way the row is dirty.
+  PersistProject(project, *rec);
   return chosen;
 }
 
@@ -269,6 +503,7 @@ Result<std::vector<ResourceId>> QualityManager::ChooseTaskBatch(
   ITAG_RETURN_IF_ERROR(CheckRunning(rec, project));
   Result<std::vector<ResourceId>> chosen = rec->engine->ChooseBatch(k);
   if (!chosen.ok()) NotifyIfExhausted(project, rec, chosen.status());
+  PersistProject(project, *rec);
   return chosen;
 }
 
@@ -279,6 +514,7 @@ Status QualityManager::RefundTask(ProjectId project) {
   }
   rec->engine->AddBudget(1);
   rec->exhausted_notified = false;
+  PersistProject(project, *rec);
   return Status::OK();
 }
 
@@ -289,6 +525,12 @@ void QualityManager::EmitQualityPoint(ProjectId project, ProjectRec& rec) {
   p.tasks = rec.tasks_completed;
   p.quality = stability_.CorpusQuality(*corpus);
   p.time = clock_->Now();
+  if (persist()) {
+    (void)db_->Insert(tables::kQualityFeed,
+                      {Value::Int(static_cast<int64_t>(project)),
+                       Value::Int(p.tasks), Value::Real(p.quality),
+                       Value::Int(p.time)});
+  }
   rec.feed.push_back(p);
 }
 
@@ -308,18 +550,20 @@ Status QualityManager::CompletePost(ProjectId project, ResourceId resource,
   rec->engine->NotifyPost(resource);
   ++rec->tasks_completed;
   EmitQualityPoint(project, *rec);
+  PersistProject(project, *rec);
 
   double after = stability_.ResourceQuality(resource,
                                             corpus->stats(resource));
   if (before < kNotifyQualityBar && after >= kNotifyQualityBar) {
-    Notifications(rec->provider)
-        .Push({NotificationKind::kQualityImproved, clock_->Now(), project,
-               "resource " + corpus->resource(resource).uri +
-                   " reached quality " + std::to_string(after)});
+    PushNotification(rec->provider,
+                     {NotificationKind::kQualityImproved, clock_->Now(),
+                      project,
+                      "resource " + corpus->resource(resource).uri +
+                          " reached quality " + std::to_string(after)});
   }
-  Notifications(rec->provider)
-      .Push({NotificationKind::kNewTagging, clock_->Now(), project,
-             "new tagging on " + corpus->resource(resource).uri});
+  PushNotification(rec->provider,
+                   {NotificationKind::kNewTagging, clock_->Now(), project,
+                    "new tagging on " + corpus->resource(resource).uri});
   return Status::OK();
 }
 
@@ -362,20 +606,23 @@ std::vector<Status> QualityManager::CompletePostBatch(
   }
   if (applied == 0) return statuses;
 
-  // One O(corpus) feed point and one inbox entry for the whole batch.
+  // One O(corpus) feed point, one inbox entry and one project-row
+  // write-through for the whole batch.
   EmitQualityPoint(project, *rec);
-  Notifications(rec->provider)
-      .Push({NotificationKind::kNewTagging, clock_->Now(), project,
-             std::to_string(applied) + " new taggings"});
+  PersistProject(project, *rec);
+  PushNotification(rec->provider,
+                   {NotificationKind::kNewTagging, clock_->Now(), project,
+                    std::to_string(applied) + " new taggings"});
 
   for (const auto& [resource, q0] : before) {
     double after =
         stability_.ResourceQuality(resource, corpus->stats(resource));
     if (q0 < kNotifyQualityBar && after >= kNotifyQualityBar) {
-      Notifications(rec->provider)
-          .Push({NotificationKind::kQualityImproved, clock_->Now(), project,
-                 "resource " + corpus->resource(resource).uri +
-                     " reached quality " + std::to_string(after)});
+      PushNotification(rec->provider,
+                       {NotificationKind::kQualityImproved, clock_->Now(),
+                        project,
+                        "resource " + corpus->resource(resource).uri +
+                            " reached quality " + std::to_string(after)});
     }
   }
   return statuses;

@@ -1,6 +1,7 @@
 #ifndef ITAG_ITAG_QUALITY_MANAGER_H_
 #define ITAG_ITAG_QUALITY_MANAGER_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "itag/user_manager.h"
 #include "quality/gain_estimator.h"
 #include "quality/quality_model.h"
+#include "storage/database.h"
 #include "strategy/engine.h"
 
 namespace itag::core {
@@ -35,8 +37,22 @@ struct QualityPoint {
 /// strategy, promote/stop individual resources, and top budget up mid-run.
 class QualityManager {
  public:
+  /// `db` (optional) enables write-through persistence: on a durable
+  /// database every project mutation — spec, lifecycle state, engine
+  /// counters, RNG position, promotions, stop flags, the quality feed and
+  /// the notification inboxes — is written through, and Attach() rebuilds
+  /// it all (corpora included, via the ResourceManager) on reopen.
   QualityManager(ResourceManager* resources, TagManager* tags,
-                 UserManager* users, Clock* clock);
+                 UserManager* users, Clock* clock,
+                 storage::Database* db = nullptr);
+
+  /// Creates the backing tables (idempotent) and recovers every persisted
+  /// project: corpus replay, record + engine rebuild, feed and inbox
+  /// reload, and the project-id counter. No-op without a durable database.
+  Status Attach();
+
+  /// Number of projects (recovered ones included).
+  size_t ProjectCount() const { return projects_.size(); }
 
   /// Creates a project in Draft state (and its corpus).
   Result<ProjectId> CreateProject(ProviderId provider,
@@ -155,14 +171,28 @@ class QualityManager {
   void NotifyIfExhausted(ProjectId project, ProjectRec* rec,
                          const Status& status);
 
+  /// True when mutations must be written through to storage.
+  bool persist() const { return db_ != nullptr && db_->durable(); }
+  /// Writes the project row (spec, state, counters, serialized engine).
+  void PersistProject(ProjectId project, const ProjectRec& rec);
+  /// Appends to the provider's inbox, write-through + prune beyond the
+  /// queue capacity (the persisted inbox mirrors the in-memory one).
+  void PushNotification(ProviderId provider, Notification n);
+  /// Restores one persisted project row into projects_.
+  Status RestoreProject(ProjectId project, const storage::Row& row,
+                        storage::RowId rid);
+
   ResourceManager* resources_;
   TagManager* tags_;
   UserManager* users_;
   Clock* clock_;
+  storage::Database* db_;
   quality::StabilityQuality stability_;
   quality::EmpiricalGainEstimator gain_;
   std::map<ProjectId, ProjectRec> projects_;
+  std::map<ProjectId, storage::RowId> project_rows_;
   std::map<ProviderId, NotificationQueue> inboxes_;
+  std::map<ProviderId, std::deque<storage::RowId>> inbox_rows_;
   ProjectId next_project_ = 1;
 
   /// Resources crossing this stability-quality bar trigger a

@@ -1,6 +1,9 @@
 #include "itag/resource_manager.h"
 
+#include "common/binio.h"
 #include "common/string_util.h"
+#include "itag/tables.h"
+#include "tagging/post.h"
 
 namespace itag::core {
 
@@ -8,15 +11,11 @@ using storage::Row;
 using storage::SchemaBuilder;
 using storage::Value;
 
-namespace {
-constexpr char kResourcesTable[] = "resources";
-}
-
 ResourceManager::ResourceManager(storage::Database* db) : db_(db) {}
 
 Status ResourceManager::Attach() {
-  if (db_->GetTable(kResourcesTable) == nullptr) {
-    ITAG_RETURN_IF_ERROR(db_->CreateTable(kResourcesTable,
+  if (db_->GetTable(tables::kResources) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kResources,
                                           SchemaBuilder()
                                               .Int("project")
                                               .Int("resource")
@@ -25,7 +24,34 @@ Status ResourceManager::Attach() {
                                               .Str("description")
                                               .Build()));
   }
-  return db_->AddOrderedIndex(kResourcesTable, "project");
+  ITAG_RETURN_IF_ERROR(db_->AddOrderedIndex(tables::kResources, "project"));
+  if (db_->durable()) {
+    // Tag-id assignment order is corpus state: the dict table records every
+    // intern in order so recovery reassigns identical ids.
+    if (db_->GetTable(tables::kDict) == nullptr) {
+      ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kDict,
+                                            SchemaBuilder()
+                                                .Int("project")
+                                                .Int("tag")
+                                                .Str("text")
+                                                .Build()));
+    }
+    ITAG_RETURN_IF_ERROR(db_->AddOrderedIndex(tables::kDict, "project"));
+  }
+  return Status::OK();
+}
+
+void ResourceManager::ArmDictHook(ProjectId project,
+                                  tagging::Corpus* corpus) {
+  if (!db_->durable()) return;
+  storage::Database* db = db_;
+  corpus->dict().set_on_new_tag(
+      [db, project](tagging::TagId id, const std::string& text) {
+        (void)db->Insert(tables::kDict,
+                         {Value::Int(static_cast<int64_t>(project)),
+                          Value::Int(static_cast<int64_t>(id)),
+                          Value::Str(text)});
+      });
 }
 
 Status ResourceManager::CreateProjectCorpus(ProjectId project) {
@@ -33,7 +59,75 @@ Status ResourceManager::CreateProjectCorpus(ProjectId project) {
     return Status::AlreadyExists("corpus for project " +
                                  std::to_string(project));
   }
-  corpora_.emplace(project, std::make_unique<tagging::Corpus>());
+  auto corpus = std::make_unique<tagging::Corpus>();
+  ArmDictHook(project, corpus.get());
+  corpora_.emplace(project, std::move(corpus));
+  return Status::OK();
+}
+
+Status ResourceManager::RestoreCorpus(ProjectId project) {
+  if (corpora_.count(project)) {
+    return Status::AlreadyExists("corpus for project " +
+                                 std::to_string(project));
+  }
+  auto corpus = std::make_unique<tagging::Corpus>();
+  Value key = Value::Int(static_cast<int64_t>(project));
+
+  // 1. Dictionary, in intern order (row ids ascend within the index).
+  if (const storage::Table* dict = db_->GetTable(tables::kDict)) {
+    for (storage::RowId rid : dict->LookupEqual("project", key)) {
+      ITAG_ASSIGN_OR_RETURN(Row row, dict->Get(rid));
+      tagging::TagId want = static_cast<tagging::TagId>(row[1].as_int());
+      tagging::TagId got = corpus->dict().Intern(row[2].as_string());
+      if (got != want) {
+        return Status::Corruption(
+            "dict replay diverged for project " + std::to_string(project) +
+            ": tag '" + row[2].as_string() + "' got id " +
+            std::to_string(got) + ", expected " + std::to_string(want));
+      }
+    }
+  }
+
+  // 2. Resources, in upload order.
+  const storage::Table* resources = db_->GetTable(tables::kResources);
+  for (storage::RowId rid : resources->LookupEqual("project", key)) {
+    ITAG_ASSIGN_OR_RETURN(Row row, resources->Get(rid));
+    tagging::ResourceId want =
+        static_cast<tagging::ResourceId>(row[1].as_int());
+    tagging::ResourceId got =
+        corpus->AddResource(tagging::ParseResourceKind(row[2].as_string()),
+                            row[3].as_string(), row[4].as_string());
+    if (got != want) {
+      return Status::Corruption("resource replay diverged for project " +
+                                std::to_string(project));
+    }
+  }
+
+  // 3. The post log (imports and approved submissions interleaved in their
+  // original order), folded back into per-resource statistics.
+  if (const storage::Table* posts = db_->GetTable(tables::kPosts)) {
+    for (storage::RowId rid : posts->LookupEqual("project", key)) {
+      ITAG_ASSIGN_OR_RETURN(Row row, posts->Get(rid));
+      tagging::Post post;
+      post.tagger = static_cast<tagging::TaggerId>(row[2].as_int());
+      post.time = row[3].as_int();
+      ByteReader r(row[4].as_string());
+      std::vector<std::string> texts;
+      if (!r.StrVec(&texts) || !r.AtEnd()) {
+        return Status::Corruption("malformed post tags for project " +
+                                  std::to_string(project));
+      }
+      for (const std::string& text : texts) {
+        post.tags.push_back(corpus->dict().Intern(text));
+      }
+      ITAG_RETURN_IF_ERROR(corpus->AddPost(
+          static_cast<tagging::ResourceId>(row[1].as_int()),
+          std::move(post)));
+    }
+  }
+
+  ArmDictHook(project, corpus.get());
+  corpora_.emplace(project, std::move(corpus));
   return Status::OK();
 }
 
@@ -59,7 +153,8 @@ Result<tagging::ResourceId> ResourceManager::UploadResource(
              Value::Int(static_cast<int64_t>(id)),
              Value::Str(tagging::ResourceKindName(kind)), Value::Str(uri),
              Value::Str(description)};
-  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kResourcesTable, row));
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid,
+                        db_->Insert(tables::kResources, row));
   (void)rid;
   return id;
 }
@@ -88,7 +183,21 @@ Status ResourceManager::ImportPost(ProjectId project,
   if (post.tags.empty()) {
     return Status::InvalidArgument("post has no usable tags");
   }
-  return corpus->AddPost(resource, std::move(post));
+  // Imports ride the same post log as approved submissions (they are the
+  // provider-era posts of Fig. 4), so recovery replays them in place.
+  ByteWriter tags;
+  std::vector<std::string> texts;
+  texts.reserve(post.tags.size());
+  for (tagging::TagId t : post.tags) texts.push_back(corpus->dict().Text(t));
+  tags.StrVec(texts);
+  Row row = {Value::Int(static_cast<int64_t>(project)),
+             Value::Int(static_cast<int64_t>(resource)),
+             Value::Int(static_cast<int64_t>(post.tagger)),
+             Value::Int(post.time), Value::Str(tags.Take())};
+  ITAG_RETURN_IF_ERROR(corpus->AddPost(resource, std::move(post)));
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(tables::kPosts, row));
+  (void)rid;
+  return Status::OK();
 }
 
 size_t ResourceManager::ResourceCount(ProjectId project) const {

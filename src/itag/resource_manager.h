@@ -17,8 +17,10 @@ namespace itag::core {
 /// The Resource Manager of Fig. 2: "in charge of controlling the operations
 /// on resources and their related tags, and is responsible for storing
 /// resource and tagging information." Each project owns a Corpus (working
-/// set); the manager persists resource rows in the storage engine and hands
-/// out the corpus to the Quality Manager.
+/// set); the manager persists resource rows, the tag dictionary (in intern
+/// order — tag ids are positional) and imported posts in the storage
+/// engine, and can rebuild a project's complete corpus from those tables on
+/// recovery.
 class ResourceManager {
  public:
   explicit ResourceManager(storage::Database* db);
@@ -28,6 +30,13 @@ class ResourceManager {
 
   /// Creates the working corpus for a project.
   Status CreateProjectCorpus(ProjectId project);
+
+  /// Recovery: recreates the corpus of a persisted project by replaying the
+  /// dictionary (restoring tag-id assignment order), the resource rows and
+  /// the post log, then re-arms write-through. The rebuilt corpus is
+  /// bit-equal to the one the original process held — statistics included,
+  /// since TagStats is a pure fold over the post sequence.
+  Status RestoreCorpus(ProjectId project);
 
   /// The project's corpus (nullptr when the project is unknown).
   tagging::Corpus* GetCorpus(ProjectId project);
@@ -41,7 +50,8 @@ class ResourceManager {
                                              const std::string& description);
 
   /// Imports a provider's pre-existing post (Upload File with "possible
-  /// tags", Fig. 4). Raw tag strings are normalized and interned.
+  /// tags", Fig. 4). Raw tag strings are normalized and interned; the post
+  /// is appended to the shared post log so recovery replays it in place.
   Status ImportPost(ProjectId project, tagging::ResourceId resource,
                     const std::vector<std::string>& raw_tags);
 
@@ -49,6 +59,10 @@ class ResourceManager {
   size_t ResourceCount(ProjectId project) const;
 
  private:
+  /// Arms the corpus dictionary's new-tag hook to write-through into the
+  /// dict table (durable databases only).
+  void ArmDictHook(ProjectId project, tagging::Corpus* corpus);
+
   storage::Database* db_;
   std::unordered_map<ProjectId, std::unique_ptr<tagging::Corpus>> corpora_;
 };

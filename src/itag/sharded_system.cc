@@ -46,11 +46,71 @@ ShardedSystem::~ShardedSystem() = default;
 
 Status ShardedSystem::Init() {
   if (initialized_) return Status::FailedPrecondition("already initialized");
-  for (std::unique_ptr<Shard>& shard : shards_) {
-    ITAG_RETURN_IF_ERROR(shard->system->Init());
+  // Durable shards recover independently (own directory, own WAL), so the
+  // whole reopen parallelizes across the pool.
+  std::vector<Status> results(shards_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    tasks.push_back([this, s, &results] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      results[s] = shard.system->Init();
+      if (!results[s].ok()) return;
+      // Re-derive the per-shard counters from recovered state and publish
+      // fresh snapshots so the lock-free monitoring path works immediately.
+      shard.projects_created = shard.system->quality_manager().ProjectCount();
+      shard.tasks_accepted = shard.system->tasks_accepted_total();
+      RefreshShard(s);
+    });
   }
+  pool_->RunAll(std::move(tasks));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!results[s].ok()) {
+      return Status(results[s].code(), "shard " + std::to_string(s) +
+                                           " failed to open: " +
+                                           results[s].message());
+    }
+  }
+  // Cross-shard counters: the round-robin cursor equals the number of
+  // successful creates; all shard clocks advance in lockstep.
+  uint64_t projects = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    projects += shard->projects_created;
+  }
+  next_project_shard_.store(projects, std::memory_order_release);
+  now_.store(shards_[0]->system->clock().Now(), std::memory_order_release);
   initialized_ = true;
   return Status::OK();
+}
+
+Result<CheckpointInfo> ShardedSystem::Checkpoint() {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  std::vector<Result<CheckpointInfo>> results(
+      shards_.size(), Result<CheckpointInfo>(CheckpointInfo{}));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    tasks.push_back([this, s, &results] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      results[s] = shard.system->Checkpoint();
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+  CheckpointInfo total;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!results[s].ok()) {
+      return Status(results[s].status().code(),
+                    "shard " + std::to_string(s) + " checkpoint failed: " +
+                        results[s].status().message());
+    }
+    const CheckpointInfo& info = results[s].value();
+    total.durable = total.durable || info.durable;
+    total.tables += info.tables;
+    total.rows += info.rows;
+  }
+  return total;
 }
 
 // --------------------------------------------------------------- routing
@@ -245,13 +305,17 @@ Result<TaggerProfile> ShardedSystem::GetTagger(UserTaggerId id) const {
 
 Result<ProjectId> ShardedSystem::CreateProject(ProviderId provider,
                                                const ProjectSpec& spec) {
+  // Serialized placement (creates are rare): the cursor only advances when
+  // the create lands, so its value always equals the number of persisted
+  // projects and recovery can re-derive it exactly.
+  std::lock_guard<std::mutex> place(create_mu_);
   size_t s = static_cast<size_t>(
-      next_project_shard_.fetch_add(1, std::memory_order_relaxed) %
-      shards_.size());
+      next_project_shard_.load(std::memory_order_relaxed) % shards_.size());
   Shard& shard = *shards_[s];
   std::lock_guard<std::mutex> lock(shard.mu);
   Result<ProjectId> r = shard.system->CreateProject(provider, spec);
   if (!r.ok()) return r;
+  next_project_shard_.fetch_add(1, std::memory_order_relaxed);
   ++shard.projects_created;
   RefreshSnapshot(s, r.value());
   RefreshStats(s);

@@ -90,8 +90,18 @@ class ShardedSystem {
   ShardedSystem(const ShardedSystem&) = delete;
   ShardedSystem& operator=(const ShardedSystem&) = delete;
 
-  /// Initializes every shard. Must be called once before use.
+  /// Initializes every shard — in parallel on the worker pool, since a
+  /// durable shard's Init is a full recovery (snapshot load + WAL replay +
+  /// corpus rebuild). After recovery the cross-shard id counters
+  /// (round-robin project placement, clock, per-shard stats) are re-derived
+  /// from the shards' persisted state and every quality snapshot is
+  /// rebuilt, so monitors work immediately. Must be called once before use.
   Status Init();
+
+  /// Checkpoints every shard's database (snapshot + WAL truncate), each
+  /// under its shard mutex, pool-parallel. Returns the aggregate info; the
+  /// first shard error, if any, wins.
+  Result<CheckpointInfo> Checkpoint();
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -251,6 +261,10 @@ class ShardedSystem {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::mutex users_mu_;  ///< serializes broadcast registrations
+  /// Serializes project placement: the round-robin cursor advances only on
+  /// a *successful* create, so it stays re-derivable after recovery as the
+  /// total number of persisted projects (failed creates burn nothing).
+  std::mutex create_mu_;
   std::atomic<uint64_t> next_project_shard_{0};
   std::atomic<Tick> now_{0};
   bool initialized_ = false;

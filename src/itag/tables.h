@@ -1,0 +1,40 @@
+#ifndef ITAG_ITAG_TABLES_H_
+#define ITAG_ITAG_TABLES_H_
+
+namespace itag::core::tables {
+
+// The storage-engine catalog of the iTag layer (the "MySQL schema" of the
+// paper's Fig. 2), collected in one place because recovery crosses manager
+// boundaries: the Resource Manager replays the Tag Manager's post log to
+// rebuild corpora, the facade reads the Quality Manager's project rows to
+// re-derive id counters, and so on.
+//
+// Ownership (who writes / who else reads):
+//   providers, taggers      UserManager
+//   resources, dict         ResourceManager (dict also written through the
+//                           TagDictionary new-tag hook by any interner)
+//   posts                   TagManager (+ ResourceManager: imports, replay)
+//   projects, quality_feed,
+//   notifications           QualityManager
+//   accepted, pending,
+//   in_flight, ledger_*, sys  ITagSystem facade
+inline constexpr char kProviders[] = "providers";
+inline constexpr char kTaggers[] = "taggers";
+inline constexpr char kResources[] = "resources";
+inline constexpr char kDict[] = "dict";
+inline constexpr char kPosts[] = "posts";
+inline constexpr char kProjects[] = "projects";
+inline constexpr char kQualityFeed[] = "quality_feed";
+inline constexpr char kNotifications[] = "notifications";
+inline constexpr char kAccepted[] = "accepted";
+inline constexpr char kPending[] = "pending";
+inline constexpr char kInFlight[] = "in_flight";
+inline constexpr char kLedgerProjects[] = "ledger_projects";
+inline constexpr char kLedgerWorkers[] = "ledger_workers";
+/// Singleton key/value rows: clock, RNG streams, id counters, platform
+/// simulator blobs, ledger totals.
+inline constexpr char kSys[] = "sys";
+
+}  // namespace itag::core::tables
+
+#endif  // ITAG_ITAG_TABLES_H_

@@ -1,7 +1,9 @@
 #include "itag/tag_manager.h"
 
+#include "common/binio.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "itag/tables.h"
 
 namespace itag::core {
 
@@ -9,15 +11,11 @@ using storage::Row;
 using storage::SchemaBuilder;
 using storage::Value;
 
-namespace {
-constexpr char kPostsTable[] = "posts";
-}
-
 TagManager::TagManager(storage::Database* db) : db_(db) {}
 
 Status TagManager::Attach() {
-  if (db_->GetTable(kPostsTable) == nullptr) {
-    ITAG_RETURN_IF_ERROR(db_->CreateTable(kPostsTable,
+  if (db_->GetTable(tables::kPosts) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kPosts,
                                           SchemaBuilder()
                                               .Int("project")
                                               .Int("resource")
@@ -26,7 +24,7 @@ Status TagManager::Attach() {
                                               .Str("tags")
                                               .Build()));
   }
-  return db_->AddOrderedIndex(kPostsTable, "project");
+  return db_->AddOrderedIndex(tables::kPosts, "project");
 }
 
 Status TagManager::LinkPost(ProjectId project, tagging::Corpus* corpus,
@@ -35,17 +33,22 @@ Status TagManager::LinkPost(ProjectId project, tagging::Corpus* corpus,
   if (corpus == nullptr) {
     return Status::InvalidArgument("null corpus");
   }
+  // Tag texts travel as a length-prefixed list (not a joined string): tags
+  // may legally contain any byte after normalization, and recovery re-interns
+  // them verbatim to rebuild the corpus.
   std::vector<std::string> texts;
   texts.reserve(post.tags.size());
   for (tagging::TagId t : post.tags) {
     texts.push_back(corpus->dict().Text(t));
   }
+  ByteWriter tags;
+  tags.StrVec(texts);
   Row row = {Value::Int(static_cast<int64_t>(project)),
              Value::Int(static_cast<int64_t>(resource)),
              Value::Int(static_cast<int64_t>(post.tagger)),
-             Value::Int(post.time), Value::Str(Join(texts, ","))};
+             Value::Int(post.time), Value::Str(tags.Take())};
   ITAG_RETURN_IF_ERROR(corpus->AddPost(resource, std::move(post)));
-  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kPostsTable, row));
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(tables::kPosts, row));
   (void)rid;
   ++persisted_posts_;
   return Status::OK();

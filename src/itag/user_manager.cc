@@ -1,21 +1,18 @@
 #include "itag/user_manager.h"
 
+#include "itag/tables.h"
+
 namespace itag::core {
 
 using storage::Row;
 using storage::SchemaBuilder;
 using storage::Value;
 
-namespace {
-constexpr char kProvidersTable[] = "providers";
-constexpr char kTaggersTable[] = "taggers";
-}  // namespace
-
 UserManager::UserManager(storage::Database* db) : db_(db) {}
 
 Status UserManager::Attach() {
-  if (db_->GetTable(kProvidersTable) == nullptr) {
-    ITAG_RETURN_IF_ERROR(db_->CreateTable(kProvidersTable,
+  if (db_->GetTable(tables::kProviders) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kProviders,
                                           SchemaBuilder()
                                               .Int("id")
                                               .Str("name")
@@ -23,9 +20,9 @@ Status UserManager::Attach() {
                                               .Int("rejections")
                                               .Build()));
   }
-  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(kProvidersTable, "id"));
-  if (db_->GetTable(kTaggersTable) == nullptr) {
-    ITAG_RETURN_IF_ERROR(db_->CreateTable(kTaggersTable,
+  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(tables::kProviders, "id"));
+  if (db_->GetTable(tables::kTaggers) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db_->CreateTable(tables::kTaggers,
                                           SchemaBuilder()
                                               .Int("id")
                                               .Str("name")
@@ -35,12 +32,12 @@ Status UserManager::Attach() {
                                               .Int("earned_cents")
                                               .Build()));
   }
-  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(kTaggersTable, "id"));
+  ITAG_RETURN_IF_ERROR(db_->AddUniqueIndex(tables::kTaggers, "id"));
 
   // Reload any persisted rows (recovery path).
   providers_.clear();
   provider_rows_.clear();
-  db_->GetTable(kProvidersTable)
+  db_->GetTable(tables::kProviders)
       ->Scan([&](storage::RowId rid, const Row& row) {
         ProviderProfile p;
         p.id = static_cast<ProviderId>(row[0].as_int());
@@ -57,7 +54,7 @@ Status UserManager::Attach() {
       });
   taggers_.clear();
   tagger_rows_.clear();
-  db_->GetTable(kTaggersTable)
+  db_->GetTable(tables::kTaggers)
       ->Scan([&](storage::RowId rid, const Row& row) {
         TaggerProfile t;
         t.id = static_cast<UserTaggerId>(row[0].as_int());
@@ -80,7 +77,7 @@ Status UserManager::Attach() {
 Status UserManager::PersistProvider(const ProviderProfile& p) {
   Row row = {Value::Int(static_cast<int64_t>(p.id)), Value::Str(p.name),
              Value::Int(p.approvals_given), Value::Int(p.rejections_given)};
-  return db_->Update(kProvidersTable, provider_rows_[p.id], row);
+  return db_->Update(tables::kProviders, provider_rows_[p.id], row);
 }
 
 Status UserManager::PersistTagger(const TaggerProfile& t) {
@@ -90,7 +87,7 @@ Status UserManager::PersistTagger(const TaggerProfile& t) {
              Value::Int(t.approved),
              Value::Int(t.rejected),
              Value::Int(static_cast<int64_t>(t.earned_cents))};
-  return db_->Update(kTaggersTable, tagger_rows_[t.id], row);
+  return db_->Update(tables::kTaggers, tagger_rows_[t.id], row);
 }
 
 Result<ProviderId> UserManager::RegisterProvider(const std::string& name) {
@@ -99,7 +96,7 @@ Result<ProviderId> UserManager::RegisterProvider(const std::string& name) {
   p.name = name;
   Row row = {Value::Int(static_cast<int64_t>(p.id)), Value::Str(name),
              Value::Int(0), Value::Int(0)};
-  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kProvidersTable, row));
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(tables::kProviders, row));
   providers_.push_back(p);
   provider_rows_.push_back(rid);
   return p.id;
@@ -115,7 +112,7 @@ Result<UserTaggerId> UserManager::RegisterTagger(const std::string& name) {
              Value::Int(0),
              Value::Int(0),
              Value::Int(0)};
-  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(kTaggersTable, row));
+  ITAG_ASSIGN_OR_RETURN(storage::RowId rid, db_->Insert(tables::kTaggers, row));
   taggers_.push_back(t);
   tagger_rows_.push_back(rid);
   return t.id;

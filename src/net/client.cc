@@ -158,5 +158,9 @@ Result<api::BatchDecideResponse> Client::BatchDecide(
 Result<api::StepResponse> Client::Step(const api::StepRequest& req) {
   return Call<api::StepResponse>(req);
 }
+Result<api::CheckpointResponse> Client::Checkpoint(
+    const api::CheckpointRequest& req) {
+  return Call<api::CheckpointResponse>(req);
+}
 
 }  // namespace itag::net

@@ -82,6 +82,7 @@ class Client {
   Result<api::BatchDecideResponse> BatchDecide(
       const api::BatchDecideRequest& req);
   Result<api::StepResponse> Step(const api::StepRequest& req);
+  Result<api::CheckpointResponse> Checkpoint(const api::CheckpointRequest& req);
 
   /// The version stamped on outgoing frames. Defaults to api::kApiVersion;
   /// overridable so tests (and future downgrade shims) can exercise the

@@ -397,6 +397,13 @@ bool Get(WireReader& r, api::BatchDecideRequest* m) {
 void Put(WireWriter& w, const api::StepRequest& m) { w.I64(m.ticks); }
 bool Get(WireReader& r, api::StepRequest* m) { return r.I64(&m->ticks); }
 
+void Put(WireWriter& w, const api::CheckpointRequest& m) { (void)w; (void)m; }
+bool Get(WireReader& r, api::CheckpointRequest* m) {
+  (void)r;
+  (void)m;
+  return true;  // empty payload; DecodeInto's AtEnd() rejects extra bytes
+}
+
 // ---- response structs
 
 void Put(WireWriter& w, const api::RegisterProviderResponse& m) {
@@ -478,6 +485,17 @@ void Put(WireWriter& w, const api::StepResponse& m) {
 }
 bool Get(WireReader& r, api::StepResponse* m) {
   return Get(r, &m->status) && r.I64(&m->now);
+}
+
+void Put(WireWriter& w, const api::CheckpointResponse& m) {
+  Put(w, m.status);
+  PutBool(w, m.durable);
+  w.U64(m.tables);
+  w.U64(m.rows);
+}
+bool Get(WireReader& r, api::CheckpointResponse* m) {
+  return Get(r, &m->status) && GetBool(r, &m->durable) && r.U64(&m->tables) &&
+         r.U64(&m->rows);
 }
 
 /// Parses `payload` as message type T (rejecting trailing bytes) and stores
@@ -624,7 +642,7 @@ std::string EncodeResponsePayload(const api::AnyResponse& response) {
 
 Status DecodeRequestPayload(uint16_t type, std::string_view payload,
                             api::AnyRequest* out) {
-  static_assert(api::kRequestTypeCount == 10,
+  static_assert(api::kRequestTypeCount == 11,
                 "new AnyRequest alternative: extend the codec switches");
   const char* name = api::RequestTypeName(type);
   switch (type) {
@@ -648,6 +666,8 @@ Status DecodeRequestPayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::BatchDecideRequest>(payload, out, name);
     case 9:
       return DecodeInto<api::StepRequest>(payload, out, name);
+    case 10:
+      return DecodeInto<api::CheckpointRequest>(payload, out, name);
     default:
       return Status::Unimplemented("unknown request type tag " +
                                    std::to_string(type));
@@ -678,6 +698,8 @@ Status DecodeResponsePayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::BatchDecideResponse>(payload, out, name);
     case 9:
       return DecodeInto<api::StepResponse>(payload, out, name);
+    case 10:
+      return DecodeInto<api::CheckpointResponse>(payload, out, name);
     default:
       return Status::Unimplemented("unknown response type tag " +
                                    std::to_string(type));

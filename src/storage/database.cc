@@ -115,6 +115,34 @@ Status Database::ApplyWalRecord(const WalRecord& rec) {
                                                   rec.table);
       return t->Delete(rec.row_id);
     }
+    case WalOp::kBatch: {
+      // The group frame was CRC-complete, so every sub-record must parse;
+      // anything less is corruption, not a crash artifact.
+      size_t off = 0;
+      const std::string& buf = rec.payload;
+      while (off < buf.size()) {
+        if (buf.size() - off < 4) {
+          return Status::Corruption("torn batch sub-record header");
+        }
+        uint32_t len;
+        std::memcpy(&len, buf.data() + off, 4);
+        off += 4;
+        if (buf.size() - off < len) {
+          return Status::Corruption("torn batch sub-record body");
+        }
+        WalRecord sub;
+        if (!DecodeWalRecord(buf.substr(off, len), &sub) ||
+            sub.op == WalOp::kBatch) {
+          return Status::Corruption("malformed batch sub-record");
+        }
+        off += len;
+        Status s = ApplyWalRecord(sub);
+        // Same tolerance as the top-level replay loop: a snapshot taken
+        // between batch append and WAL truncate may already contain rows.
+        if (!s.ok() && !s.IsAlreadyExists()) return s;
+      }
+      return Status::OK();
+    }
   }
   return Status::Corruption("unknown wal op");
 }
@@ -149,12 +177,47 @@ Status Database::LoadSnapshot(const std::string& path) {
 Status Database::LogOp(WalOp op, const std::string& table, RowId row_id,
                        std::string payload) {
   if (!durable_) return Status::OK();
+  if (!wal_error_.ok()) return wal_error_;
   WalRecord rec;
   rec.op = op;
   rec.table = table;
   rec.row_id = row_id;
   rec.payload = std::move(payload);
-  return wal_.Append(rec);
+  if (batch_depth_ > 0) {
+    // Buffer into the open atomic group instead of framing immediately.
+    std::string encoded = EncodeWalRecord(rec);
+    uint32_t len = static_cast<uint32_t>(encoded.size());
+    batch_buf_.append(reinterpret_cast<const char*>(&len), 4);
+    batch_buf_.append(encoded);
+    return Status::OK();
+  }
+  Status s = wal_.Append(rec);
+  if (!s.ok()) wal_error_ = s;
+  return s;
+}
+
+void Database::BeginBatch() { ++batch_depth_; }
+
+Status Database::CommitBatch() {
+  if (batch_depth_ == 0) {
+    return Status::FailedPrecondition("no batch open");
+  }
+  if (--batch_depth_ > 0) return Status::OK();
+  if (!durable_ || batch_buf_.empty()) {
+    batch_buf_.clear();
+    return Status::OK();
+  }
+  if (!wal_error_.ok()) {
+    batch_buf_.clear();
+    return wal_error_;
+  }
+  WalRecord rec;
+  rec.op = WalOp::kBatch;
+  rec.payload = std::move(batch_buf_);
+  batch_buf_.clear();
+  Status s = wal_.Append(rec);
+  if (!s.ok()) wal_error_ = s;
+  return s;
 }
 
 Status Database::CreateTable(const std::string& name, const Schema& schema) {
@@ -227,6 +290,13 @@ Status Database::Delete(const std::string& table, RowId id) {
 
 Status Database::Checkpoint() {
   if (!durable_) return Status::OK();
+  if (batch_depth_ > 0) {
+    return Status::FailedPrecondition("checkpoint inside an open batch");
+  }
+  // Never snapshot past a lost append: the in-memory tables may contain
+  // acknowledged mutations the log does not, and a checkpoint would make
+  // that divergence permanent and invisible.
+  if (!wal_error_.ok()) return wal_error_;
   std::string data;
   uint32_t ntables = static_cast<uint32_t>(tables_.size());
   data.append(reinterpret_cast<const char*>(&ntables), 4);

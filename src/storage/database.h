@@ -67,7 +67,31 @@ class Database {
   Status Update(const std::string& table, RowId id, const Row& row);
   Status Delete(const std::string& table, RowId id);
 
-  /// Writes the snapshot and truncates the WAL.
+  /// Opens an atomic WAL batch: until the matching CommitBatch, logged
+  /// mutations are applied to the in-memory tables immediately but buffered
+  /// into ONE framed WAL record, so recovery replays the whole group or
+  /// none of it. Re-entrant (nested Begin/Commit pairs fold into the
+  /// outermost batch); pair every Begin with a Commit — prefer BatchScope.
+  void BeginBatch();
+
+  /// Closes the innermost batch; at depth zero, appends the buffered group
+  /// as one kBatch record (no-op when nothing was logged or not durable).
+  Status CommitBatch();
+
+  /// Current batch nesting depth (0 = not batching).
+  size_t batch_depth() const { return batch_depth_; }
+
+  /// First WAL-append failure, if any. Once an append fails the database
+  /// is sticky-poisoned: every further logged mutation and Checkpoint()
+  /// returns this status instead of silently diverging the durable state
+  /// from memory (a write acknowledged after a lost append would otherwise
+  /// vanish on recovery with no error ever surfaced — the RocksDB
+  /// "background error" convention).
+  const Status& wal_error() const { return wal_error_; }
+
+  /// Writes the snapshot and truncates the WAL. Fails with
+  /// FailedPrecondition while a batch is open (the snapshot would split an
+  /// atomic group).
   Status Checkpoint();
 
   /// Names of all tables, sorted.
@@ -89,6 +113,32 @@ class Database {
   bool durable_ = false;
   WalWriter wal_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  size_t batch_depth_ = 0;
+  std::string batch_buf_;  ///< length-prefixed sub-records of the open batch
+  Status wal_error_ = Status::OK();  ///< sticky first append failure
+};
+
+/// RAII guard for an atomic WAL batch. The destructor commits if Commit()
+/// was not called explicitly; a failure there is not lost — it poisons the
+/// database (see Database::wal_error), so the next logged mutation or
+/// checkpoint surfaces it. Call Commit() where an immediate Status matters.
+class BatchScope {
+ public:
+  explicit BatchScope(Database* db) : db_(db) { db_->BeginBatch(); }
+  ~BatchScope() {
+    if (!committed_) (void)db_->CommitBatch();
+  }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+  Status Commit() {
+    committed_ = true;
+    return db_->CommitBatch();
+  }
+
+ private:
+  Database* db_;
+  bool committed_ = false;
 };
 
 /// Encodes a row for WAL payloads.

@@ -19,6 +19,12 @@ enum class WalOp : uint8_t {
   kInsert = 3,
   kUpdate = 4,
   kDelete = 5,
+  /// Atomic group: the payload is a sequence of u32-length-prefixed encoded
+  /// sub-records (each itself an EncodeWalRecord payload, kBatch excluded).
+  /// Because the whole group rides one framed record, recovery either
+  /// replays all of it or none — a torn tail can never expose half of a
+  /// logical mutation (e.g. a budget debit without its task rows).
+  kBatch = 6,
 };
 
 /// One decoded WAL record.

@@ -120,4 +120,34 @@ void AllocationEngine::SwitchStrategy(std::unique_ptr<Strategy> strategy) {
   strategy_->Initialize(ctx_);
 }
 
+EngineState AllocationEngine::SaveState() const {
+  EngineState s;
+  s.budget_remaining = budget_remaining_;
+  s.tasks_assigned = tasks_assigned_;
+  s.assignment = assignment_;
+  s.promoted.assign(promoted_.begin(), promoted_.end());
+  s.stopped.resize(corpus_->size(), 0);
+  for (ResourceId r = 0; r < corpus_->size(); ++r) {
+    s.stopped[r] = ctx_.stopped(r) ? 1 : 0;
+  }
+  s.rng = rng_.SaveState();
+  return s;
+}
+
+void AllocationEngine::RestoreState(const EngineState& state) {
+  budget_remaining_ = state.budget_remaining;
+  tasks_assigned_ = state.tasks_assigned;
+  assignment_ = state.assignment;
+  assignment_.resize(corpus_->size(), 0);
+  promoted_.assign(state.promoted.begin(), state.promoted.end());
+  for (ResourceId r = 0; r < corpus_->size() && r < state.stopped.size();
+       ++r) {
+    ctx_.set_stopped(r, state.stopped[r] != 0);
+  }
+  strategy_->Initialize(ctx_);
+  // Last, so a strategy whose Initialize consumes randomness cannot move
+  // the restored stream off its saved position.
+  rng_.RestoreState(state.rng);
+}
+
 }  // namespace itag::strategy

@@ -23,6 +23,22 @@ struct EngineOptions {
   uint64_t seed = 42;
 };
 
+/// The complete mutable state of a running AllocationEngine, for
+/// persistence. Everything else the engine holds (strategy priority
+/// structures) is a pure function of (corpus, stopped flags) rebuilt via
+/// Strategy::Initialize on restore, so restoring this struct into a freshly
+/// constructed engine over the same corpus resumes the run bit-exactly.
+struct EngineState {
+  uint32_t budget_remaining = 0;
+  uint32_t tasks_assigned = 0;
+  std::vector<uint32_t> assignment;
+  /// Pending §III-A promotions, FIFO order.
+  std::vector<tagging::ResourceId> promoted;
+  /// Per-resource provider Stop flags (the StrategyContext view).
+  std::vector<uint8_t> stopped;
+  RngState rng;
+};
+
 /// The Algorithm-1 framework: as long as budget remains, CHOOSERESOURCES()
 /// picks the next resource(s), tasks are assigned, and UPDATE() refreshes the
 /// statistics after each completed task.
@@ -93,6 +109,15 @@ class AllocationEngine {
 
   /// The context (for tests and monitoring).
   const StrategyContext& context() const { return ctx_; }
+
+  /// Snapshots the engine's mutable state for persistence.
+  EngineState SaveState() const;
+
+  /// Resumes a saved run: restores counters, promotions and stop flags,
+  /// re-initializes the strategy against the (already recovered) corpus,
+  /// then rewinds the RNG to the saved stream position so the next pick
+  /// matches what the uninterrupted run would have drawn.
+  void RestoreState(const EngineState& state);
 
  private:
   /// Pops the first non-stopped promoted resource, or kInvalidResource.

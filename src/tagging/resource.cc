@@ -18,4 +18,13 @@ const char* ResourceKindName(ResourceKind kind) {
   return "?";
 }
 
+ResourceKind ParseResourceKind(const std::string& name) {
+  for (ResourceKind kind :
+       {ResourceKind::kWebUrl, ResourceKind::kImage, ResourceKind::kVideo,
+        ResourceKind::kSoundClip, ResourceKind::kScientificPaper}) {
+    if (name == ResourceKindName(kind)) return kind;
+  }
+  return ResourceKind::kWebUrl;
+}
+
 }  // namespace itag::tagging

@@ -24,6 +24,10 @@ enum class ResourceKind : uint8_t {
 /// Human-readable kind name ("web_url", "image", ...).
 const char* ResourceKindName(ResourceKind kind);
 
+/// Inverse of ResourceKindName; kWebUrl for unknown names (recovery treats
+/// the kind as display metadata, never as routing state).
+ResourceKind ParseResourceKind(const std::string& name);
+
 /// Static metadata of one uploaded resource.
 struct Resource {
   ResourceId id = kInvalidResource;

@@ -14,6 +14,7 @@ TagId TagDictionary::Intern(std::string_view raw) {
   TagId id = static_cast<TagId>(texts_.size());
   texts_.push_back(norm);
   ids_.emplace(std::move(norm), id);
+  if (on_new_tag_) on_new_tag_(id, texts_[id]);
   return id;
 }
 

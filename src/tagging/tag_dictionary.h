@@ -2,6 +2,7 @@
 #define ITAG_TAGGING_TAG_DICTIONARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,9 +45,18 @@ class TagDictionary {
   /// True when `id` names an interned tag.
   bool IsValid(TagId id) const { return id < texts_.size(); }
 
+  /// Observer invoked exactly once per *newly created* tag id, with the
+  /// normalized text, at the moment Intern assigns it. Because id order is
+  /// part of the corpus state (replaying posts must reproduce the same
+  /// ids), the persistence layer hooks this to write the dictionary through
+  /// to storage in assignment order. Pass nullptr to detach.
+  using NewTagHook = std::function<void(TagId, const std::string&)>;
+  void set_on_new_tag(NewTagHook hook) { on_new_tag_ = std::move(hook); }
+
  private:
   std::unordered_map<std::string, TagId> ids_;
   std::vector<std::string> texts_;
+  NewTagHook on_new_tag_;
 };
 
 }  // namespace itag::tagging

@@ -30,13 +30,12 @@ inline api::AnyResponse Play(api::Service& scratch,
   return scratch.Dispatch(req);
 }
 
-/// Builds the full-coverage script. Every AnyRequest alternative appears at
-/// least twice (one success, one failure), covering all per-item error
-/// codes the service layer can emit.
-inline std::vector<api::AnyRequest> FullCoverageScript() {
-  api::Service scratch{core::ITagSystemOptions{}};
-  [[maybe_unused]] Status init = scratch.Init();
-  assert(init.ok());
+/// Builds the full-coverage script against `scratch` — a fresh, in-memory
+/// Service whose backend topology must match the one the script will later
+/// replay against (ids learned here are baked into the requests: on a
+/// sharded scratch they come out as global ids routing to the same shards).
+inline std::vector<api::AnyRequest> BuildFullCoverageScript(
+    api::Service& scratch) {
   std::vector<api::AnyRequest> script;
 
   // --- users: ok + InvalidArgument(empty name)
@@ -162,14 +161,44 @@ inline std::vector<api::AnyRequest> FullCoverageScript() {
   Play(scratch, &script, api::StepRequest{-1});
   Play(scratch, &script, api::StepRequest{0});
 
+  // --- admin: checkpoint mid-traffic and again at the end (on durable
+  // replays the second one exercises snapshot-after-snapshot; on the
+  // in-memory scratch both are typed no-op successes).
+  Play(scratch, &script, api::CheckpointRequest{});
+
   // Final snapshot so the script's last response aggregates everything.
   Play(scratch, &script, api::ProjectQueryRequest{project, true, {}});
+  Play(scratch, &script, api::CheckpointRequest{});
 
   // Paranoia: the script must cover every request alternative.
   std::vector<bool> seen(api::kRequestTypeCount, false);
   for (const api::AnyRequest& r : script) seen[r.index()] = true;
   for ([[maybe_unused]] bool s : seen) assert(s);
   return script;
+}
+
+/// The script over the default single-system scratch (what the codec and
+/// loopback tests replay against 1-shard backends).
+inline std::vector<api::AnyRequest> FullCoverageScript() {
+  api::Service scratch{core::ITagSystemOptions{}};
+  [[maybe_unused]] Status init = scratch.Init();
+  assert(init.ok());
+  return BuildFullCoverageScript(scratch);
+}
+
+/// The script rebuilt over a sharded scratch of `num_shards` shards, so the
+/// learned project ids / task handles are global ids valid on any
+/// identically-sharded backend (the recovery tests replay it against a
+/// durable multi-shard core).
+inline std::vector<api::AnyRequest> FullCoverageScriptSharded(
+    size_t num_shards) {
+  core::ShardedSystemOptions opts;
+  opts.num_shards = num_shards;
+  opts.pool_threads = 1;
+  api::Service scratch{opts};
+  [[maybe_unused]] Status init = scratch.Init();
+  assert(init.ok());
+  return BuildFullCoverageScript(scratch);
 }
 
 }  // namespace itag::nettest

@@ -1,0 +1,516 @@
+// Durability and crash-recovery of the whole stack (PAPER Fig. 2's "every
+// workflow backed by the database"):
+//  - restart-equivalence: replaying the shared full-coverage Dispatch
+//    script against a durable backend with a close-and-reopen injected
+//    between every request yields responses bit-identical to an
+//    uninterrupted run — for a single ITagSystem and a multi-shard
+//    ShardedSystem (final QualitySnapshots included);
+//  - the same property over the wire, with the server torn down and
+//    restarted (no checkpoint — WAL-only recovery) mid-script;
+//  - torn-tail crash injection: truncating the WAL mid-record recovers to
+//    exactly the state after the last complete record, conservation
+//    invariants (budget spent + remaining, ledger totals) intact;
+//  - a platform-simulator workload (MTurk marketplace driven by Step)
+//    resumes bit-equal after restart: worker RNG streams, task records,
+//    in-flight windows and the payment ledger all survive.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "itag/itag_system.h"
+#include "itag/sharded_system.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "net_test_scenario.h"
+
+namespace itag {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::ITagSystemOptions;
+using core::ProjectId;
+using core::ShardedSystemOptions;
+
+/// Serialized response payload — the bit-equality yardstick (doubles travel
+/// as IEEE-754 bit patterns, Status messages included).
+std::string Bytes(const api::AnyResponse& resp) {
+  return net::EncodeResponsePayload(resp);
+}
+
+ITagSystemOptions DurableOpts(const std::string& dir) {
+  ITagSystemOptions opts;
+  opts.db.directory = dir;
+  return opts;
+}
+
+ShardedSystemOptions DurableShardOpts(const std::string& dir, size_t shards) {
+  ShardedSystemOptions opts;
+  opts.num_shards = shards;
+  opts.pool_threads = 2;
+  opts.shard.db.directory = dir;
+  return opts;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("itag_recovery_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Dir(const std::string& leaf) { return root_ + "/" + leaf; }
+
+  std::string root_;
+};
+
+// ---------------------------------------------------------------- helpers
+
+/// Replays `script` on one long-lived service.
+template <typename Options>
+std::vector<std::string> ReplayUninterrupted(
+    const Options& opts, const std::vector<api::AnyRequest>& script) {
+  api::Service service(opts);
+  EXPECT_TRUE(service.Init().ok());
+  std::vector<std::string> out;
+  out.reserve(script.size());
+  for (const api::AnyRequest& req : script) {
+    out.push_back(Bytes(service.Dispatch(req)));
+  }
+  return out;
+}
+
+/// Replays `script`, destroying and reopening the whole backend (full
+/// recovery from storage) before every single request.
+template <typename Options>
+std::vector<std::string> ReplayWithReopens(
+    const Options& opts, const std::vector<api::AnyRequest>& script) {
+  std::vector<std::string> out;
+  out.reserve(script.size());
+  for (const api::AnyRequest& req : script) {
+    api::Service service(opts);
+    EXPECT_TRUE(service.Init().ok());
+    out.push_back(Bytes(service.Dispatch(req)));
+  }
+  return out;
+}
+
+void ExpectSameResponses(const std::vector<api::AnyRequest>& script,
+                         const std::vector<std::string>& baseline,
+                         const std::vector<std::string>& recovered) {
+  ASSERT_EQ(baseline.size(), recovered.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i], recovered[i])
+        << "request #" << i << " ("
+        << api::RequestTypeName(script[i].index())
+        << ") diverged after recovery";
+  }
+}
+
+// ----------------------------------------------- restart equivalence
+
+TEST_F(RecoveryTest, RestartEquivalenceSingleSystem) {
+  std::vector<api::AnyRequest> script = nettest::FullCoverageScript();
+  std::vector<std::string> baseline =
+      ReplayUninterrupted(DurableOpts(Dir("a")), script);
+  std::vector<std::string> recovered =
+      ReplayWithReopens(DurableOpts(Dir("b")), script);
+  ExpectSameResponses(script, baseline, recovered);
+
+  // Beyond the wire surface: notification inboxes and ledgers line up too.
+  api::Service a(DurableOpts(Dir("a")));
+  api::Service b(DurableOpts(Dir("b")));
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  std::vector<core::Notification> na = a.system().LatestNotifications(0, 64);
+  std::vector<core::Notification> nb = b.system().LatestNotifications(0, 64);
+  ASSERT_EQ(na.size(), nb.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(na[i].kind), static_cast<int>(nb[i].kind));
+    EXPECT_EQ(na[i].time, nb[i].time);
+    EXPECT_EQ(na[i].project, nb[i].project);
+    EXPECT_EQ(na[i].message, nb[i].message);
+  }
+  EXPECT_EQ(a.system().ledger().TotalPaid(), b.system().ledger().TotalPaid());
+  EXPECT_EQ(a.system().ledger().PaymentCount(),
+            b.system().ledger().PaymentCount());
+  EXPECT_EQ(a.system().clock().Now(), b.system().clock().Now());
+}
+
+TEST_F(RecoveryTest, RestartEquivalenceShardedSystem) {
+  constexpr size_t kShards = 3;
+  std::vector<api::AnyRequest> script =
+      nettest::FullCoverageScriptSharded(kShards);
+  std::vector<std::string> baseline =
+      ReplayUninterrupted(DurableShardOpts(Dir("a"), kShards), script);
+  std::vector<std::string> recovered =
+      ReplayWithReopens(DurableShardOpts(Dir("b"), kShards), script);
+  ExpectSameResponses(script, baseline, recovered);
+
+  // Final per-project QualitySnapshots, bit-identical (monitoring works
+  // immediately after recovery; `version` counts refreshes since open and
+  // is zeroed for the comparison).
+  api::Service a(DurableShardOpts(Dir("a"), kShards));
+  api::Service b(DurableShardOpts(Dir("b"), kShards));
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  std::vector<core::ProjectInfo> projects =
+      a.sharded()->ListProjects(static_cast<core::ProviderId>(-1));
+  ASSERT_FALSE(projects.empty());
+  for (const core::ProjectInfo& info : projects) {
+    Result<core::QualitySnapshot> sa = a.sharded()->PeekQuality(info.id);
+    Result<core::QualitySnapshot> sb = b.sharded()->PeekQuality(info.id);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    core::QualitySnapshot x = sa.value(), y = sb.value();
+    x.version = y.version = 0;
+    EXPECT_EQ(x.project, y.project);
+    EXPECT_EQ(static_cast<int>(x.state), static_cast<int>(y.state));
+    EXPECT_EQ(x.quality, y.quality);
+    EXPECT_EQ(x.projected_gain, y.projected_gain);
+    EXPECT_EQ(x.budget_remaining, y.budget_remaining);
+    EXPECT_EQ(x.tasks_completed, y.tasks_completed);
+    EXPECT_EQ(x.num_resources, y.num_resources);
+  }
+  EXPECT_EQ(a.sharded()->TotalPaidCents(), b.sharded()->TotalPaidCents());
+  EXPECT_EQ(a.sharded()->Now(), b.sharded()->Now());
+
+  // The round-robin placement cursor was re-derived: the next create on
+  // both systems lands on the same shard (same global id).
+  api::CreateProjectRequest create;
+  create.provider = 0;
+  create.spec.name = "post-recovery";
+  create.spec.budget = 5;
+  api::CreateProjectResponse ca = a.CreateProject(create);
+  api::CreateProjectResponse cb = b.CreateProject(create);
+  ASSERT_TRUE(ca.status.ok());
+  ASSERT_TRUE(cb.status.ok());
+  EXPECT_EQ(ca.project, cb.project);
+}
+
+// A kill-9-shaped restart over the wire: the server process state is
+// discarded mid-script with no checkpoint (WAL-only recovery) and a new
+// server on the same directories must continue the conversation with
+// responses bit-identical to an uninterrupted wire run.
+TEST_F(RecoveryTest, RestartEquivalenceOverTheWire) {
+  constexpr size_t kShards = 2;
+  std::vector<api::AnyRequest> script =
+      nettest::FullCoverageScriptSharded(kShards);
+
+  std::vector<std::string> baseline =
+      ReplayUninterrupted(DurableShardOpts(Dir("a"), kShards), script);
+
+  std::vector<std::string> over_wire;
+  size_t cut = script.size() / 2;
+  for (size_t segment = 0; segment < 2; ++segment) {
+    // Abrupt teardown after the first segment: the Service and backend are
+    // destroyed without any checkpoint; only storage survives.
+    api::Service served(DurableShardOpts(Dir("b"), kShards));
+    ASSERT_TRUE(served.Init().ok());
+    net::Server server(&served);
+    ASSERT_TRUE(server.Start().ok());
+    net::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    size_t begin = segment == 0 ? 0 : cut;
+    size_t end = segment == 0 ? cut : script.size();
+    for (size_t i = begin; i < end; ++i) {
+      Result<api::AnyResponse> resp = client.Dispatch(script[i]);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      over_wire.push_back(Bytes(resp.value()));
+    }
+    server.Stop();
+  }
+  ExpectSameResponses(script, baseline, over_wire);
+}
+
+// ------------------------------------------------------- torn WAL tail
+
+/// Byte offsets of every frame boundary in a WAL file (frame = [u32 len]
+/// [u32 crc][payload]), including 0 and the file size.
+std::vector<uint64_t> WalFrameBoundaries(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<uint64_t> bounds = {0};
+  uint64_t off = 0;
+  for (;;) {
+    uint32_t len = 0, crc = 0;
+    in.read(reinterpret_cast<char*>(&len), 4);
+    if (in.gcount() < 4) break;
+    in.read(reinterpret_cast<char*>(&crc), 4);
+    if (in.gcount() < 4) break;
+    in.seekg(len, std::ios::cur);
+    if (!in) break;
+    off += 8 + len;
+    bounds.push_back(off);
+  }
+  return bounds;
+}
+
+TEST_F(RecoveryTest, TornWalTailLandsOnLastCompleteRecord) {
+  const std::string dir = Dir("db");
+  constexpr uint32_t kBudget = 40;
+  constexpr uint32_t kPay = 7;
+
+  // Drive an audience workload, fingerprinting the externally visible
+  // project state after every API call.
+  std::vector<std::string> fingerprints;
+  ProjectId project = 0;
+  {
+    api::Service service(DurableOpts(dir));
+    ASSERT_TRUE(service.Init().ok());
+    auto fingerprint = [&]() {
+      api::ProjectQueryRequest q;
+      q.project = project;
+      q.include_feed = true;
+      fingerprints.push_back(Bytes(service.Dispatch(api::AnyRequest{q})));
+    };
+    core::ProviderId provider =
+        service.RegisterProvider({"prov"}).provider;
+    core::UserTaggerId tagger = service.RegisterTagger({"tag"}).tagger;
+    api::CreateProjectRequest create;
+    create.provider = provider;
+    create.spec.name = "torn";
+    create.spec.budget = kBudget;
+    create.spec.pay_cents = kPay;
+    create.spec.platform = core::PlatformChoice::kAudience;
+    project = service.CreateProject(create).project;
+    api::BatchUploadResourcesRequest upload;
+    upload.project = project;
+    for (int i = 0; i < 5; ++i) {
+      upload.items.push_back(
+          {tagging::ResourceKind::kWebUrl, "u" + std::to_string(i), "", {}});
+    }
+    ASSERT_TRUE(service.BatchUploadResources(upload).outcome.all_ok());
+    ASSERT_TRUE(
+        service.BatchControl({project, {{api::ControlAction::kStart, 0, 0, {}}}})
+            .outcome.all_ok());
+    fingerprint();
+    for (int round = 0; round < 4; ++round) {
+      api::BatchAcceptTasksResponse accepted =
+          service.BatchAcceptTasks({tagger, project, 4});
+      ASSERT_TRUE(accepted.status.ok());
+      fingerprint();
+      api::BatchSubmitTagsRequest submit;
+      api::BatchDecideRequest decide;
+      decide.provider = provider;
+      for (size_t i = 0; i < accepted.tasks.size(); ++i) {
+        submit.items.push_back({tagger, accepted.tasks[i].handle,
+                                {"t" + std::to_string(i), "common"}});
+        decide.items.push_back({accepted.tasks[i].handle, i != 3});
+      }
+      ASSERT_TRUE(service.BatchSubmitTags(submit).outcome.all_ok());
+      fingerprint();
+      ASSERT_TRUE(service.BatchDecide(decide).outcome.all_ok());
+      fingerprint();
+    }
+  }
+
+  // Crash injection: chop the WAL mid-way through its LAST record. The
+  // last mutating call was a BatchDecide (one atomic batch record), so
+  // recovery must land exactly on the state after the preceding
+  // BatchSubmitTags — fingerprints[n-2].
+  const std::string wal = dir + "/wal.log";
+  std::vector<uint64_t> bounds = WalFrameBoundaries(wal);
+  ASSERT_GE(bounds.size(), 3u);
+  uint64_t last_start = bounds[bounds.size() - 2];
+  uint64_t size = bounds.back();
+  ASSERT_GT(size - last_start, 2u);
+  fs::resize_file(wal, last_start + (size - last_start) / 2);
+
+  api::Service service(DurableOpts(dir));
+  ASSERT_TRUE(service.Init().ok());
+  api::ProjectQueryRequest q;
+  q.project = project;
+  q.include_feed = true;
+  EXPECT_EQ(Bytes(service.Dispatch(api::AnyRequest{q})),
+            fingerprints[fingerprints.size() - 2])
+      << "recovery did not land on the last complete record";
+
+  // Conservation invariants on the recovered state. At the recovered point
+  // all 4 tasks of the last round are submitted-but-undecided.
+  core::ITagSystem& sys = service.system();
+  Result<core::ProjectInfo> info = sys.GetProjectInfo(project);
+  ASSERT_TRUE(info.ok());
+  size_t pending = sys.PendingApprovals(project).size();
+  EXPECT_EQ(pending, 4u);
+  // Budget: every unit is exactly one of {remaining, completed post,
+  // awaiting decision} — rejections refunded their unit, so the identity
+  // is exact, not an inequality.
+  EXPECT_EQ(info.value().budget_remaining + info.value().tasks_completed +
+                pending,
+            kBudget);
+  // Ledger: internally consistent and exactly one payment per approval.
+  EXPECT_EQ(sys.ledger().TotalPaid(),
+            static_cast<uint64_t>(info.value().tasks_completed) * kPay);
+  EXPECT_EQ(sys.ledger().ProjectSpend(project), sys.ledger().TotalPaid());
+  EXPECT_EQ(sys.ledger().PaymentCount(), info.value().tasks_completed);
+  Result<core::TaggerProfile> tagger_profile = sys.GetTagger(0);
+  ASSERT_TRUE(tagger_profile.ok());
+  EXPECT_EQ(tagger_profile.value().earned_cents, sys.ledger().TotalPaid());
+  EXPECT_EQ(tagger_profile.value().approved, info.value().tasks_completed);
+
+  // The torn system keeps serving: the pending batch can be re-decided.
+  std::vector<core::PendingSubmission> subs = sys.PendingApprovals(project);
+  api::BatchDecideRequest redo;
+  redo.provider = 0;
+  for (const core::PendingSubmission& sub : subs) {
+    redo.items.push_back({sub.handle, true});
+  }
+  EXPECT_TRUE(service.BatchDecide(redo).outcome.all_ok());
+}
+
+// ------------------------------------------- platform simulator restart
+
+TEST_F(RecoveryTest, PlatformWorkloadResumesBitEqualAfterRestart) {
+  auto build = [&](const std::string& dir) {
+    api::Service service(DurableOpts(dir));
+    EXPECT_TRUE(service.Init().ok());
+    core::ProviderId provider = service.RegisterProvider({"p"}).provider;
+    api::CreateProjectRequest create;
+    create.provider = provider;
+    create.spec.name = "mturk-run";
+    create.spec.budget = 64;
+    create.spec.pay_cents = 3;
+    create.spec.platform = core::PlatformChoice::kMTurk;
+    ProjectId project = service.CreateProject(create).project;
+    api::BatchUploadResourcesRequest upload;
+    upload.project = project;
+    for (int i = 0; i < 6; ++i) {
+      upload.items.push_back(
+          {tagging::ResourceKind::kImage, "img" + std::to_string(i), "", {}});
+    }
+    EXPECT_TRUE(service.BatchUploadResources(upload).outcome.all_ok());
+    EXPECT_TRUE(
+        service.BatchControl({project, {{api::ControlAction::kStart, 0, 0, {}}}})
+            .outcome.all_ok());
+    return project;
+  };
+
+  // Uninterrupted: 4 x Step(15) on one process.
+  ProjectId project = build(Dir("a"));
+  {
+    api::Service service(DurableOpts(Dir("a")));
+    ASSERT_TRUE(service.Init().ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(service.Step({15}).status.ok());
+    }
+  }
+
+  // Interrupted: the same 60 ticks, but the process is torn down and
+  // recovered between every Step call.
+  ProjectId project_b = build(Dir("b"));
+  ASSERT_EQ(project, project_b);
+  for (int i = 0; i < 4; ++i) {
+    api::Service service(DurableOpts(Dir("b")));
+    ASSERT_TRUE(service.Init().ok());
+    ASSERT_TRUE(service.Step({15}).status.ok());
+  }
+
+  api::Service a(DurableOpts(Dir("a")));
+  api::Service b(DurableOpts(Dir("b")));
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  api::ProjectQueryRequest q;
+  q.project = project;
+  q.include_feed = true;
+  for (int i = 0; i < 6; ++i) q.detail_resources.push_back(i);
+  EXPECT_EQ(Bytes(a.Dispatch(api::AnyRequest{q})),
+            Bytes(b.Dispatch(api::AnyRequest{q})));
+  EXPECT_EQ(a.system().ledger().TotalPaid(), b.system().ledger().TotalPaid());
+  EXPECT_EQ(a.system().ledger().PaymentCount(),
+            b.system().ledger().PaymentCount());
+  EXPECT_EQ(a.system().clock().Now(), b.system().clock().Now());
+  // The marketplace itself recovered: same open window, same pending
+  // decisions, same per-worker stats for a sample of workers.
+  crowd::CrowdPlatform* pa = a.system().PlatformFor(project);
+  crowd::CrowdPlatform* pb = b.system().PlatformFor(project);
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pa->OpenTaskCount(), pb->OpenTaskCount());
+  EXPECT_EQ(pa->PendingDecisionCount(), pb->PendingDecisionCount());
+  for (crowd::WorkerId w = 0; w < 8; ++w) {
+    Result<crowd::WorkerStats> sa = pa->GetWorkerStats(w);
+    Result<crowd::WorkerStats> sb = pb->GetWorkerStats(w);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(sa.value().submitted, sb.value().submitted);
+    EXPECT_EQ(sa.value().approved, sb.value().approved);
+    EXPECT_EQ(sa.value().rejected, sb.value().rejected);
+  }
+  // And both worlds keep stepping identically after the comparison.
+  ASSERT_TRUE(a.Step({10}).status.ok());
+  ASSERT_TRUE(b.Step({10}).status.ok());
+  EXPECT_EQ(Bytes(a.Dispatch(api::AnyRequest{q})),
+            Bytes(b.Dispatch(api::AnyRequest{q})));
+}
+
+// ----------------------------------------------------- checkpoint paths
+
+TEST_F(RecoveryTest, CheckpointBoundsRecoveryAndSurvivesRestart) {
+  const std::string dir = Dir("db");
+  ProjectId project = 0;
+  {
+    api::Service service(DurableOpts(dir));
+    ASSERT_TRUE(service.Init().ok());
+    core::ProviderId provider = service.RegisterProvider({"p"}).provider;
+    core::UserTaggerId tagger = service.RegisterTagger({"t"}).tagger;
+    api::CreateProjectRequest create;
+    create.provider = provider;
+    create.spec.name = "ckpt";
+    create.spec.budget = 10;
+    create.spec.platform = core::PlatformChoice::kAudience;
+    project = service.CreateProject(create).project;
+    api::BatchUploadResourcesRequest upload;
+    upload.project = project;
+    upload.items.push_back({tagging::ResourceKind::kWebUrl, "u", "", {}});
+    ASSERT_TRUE(service.BatchUploadResources(upload).outcome.all_ok());
+    ASSERT_TRUE(
+        service.BatchControl({project, {{api::ControlAction::kStart, 0, 0, {}}}})
+            .outcome.all_ok());
+    api::CheckpointResponse ck = service.Checkpoint({});
+    ASSERT_TRUE(ck.status.ok());
+    EXPECT_TRUE(ck.durable);
+    EXPECT_GT(ck.tables, 0u);
+    EXPECT_GT(ck.rows, 0u);
+    // The WAL is truncated; post-checkpoint traffic lands in the fresh WAL.
+    EXPECT_EQ(fs::file_size(dir + "/wal.log"), 0u);
+    api::BatchAcceptTasksResponse accepted =
+        service.BatchAcceptTasks({tagger, project, 2});
+    ASSERT_TRUE(accepted.status.ok());
+    ASSERT_TRUE(service
+                    .BatchSubmitTags({{{tagger, accepted.tasks[0].handle,
+                                        {"alpha"}}}})
+                    .outcome.all_ok());
+  }
+  // Snapshot + WAL tail recovery: the accepted task and the pending
+  // submission both survive.
+  api::Service service(DurableOpts(dir));
+  ASSERT_TRUE(service.Init().ok());
+  EXPECT_EQ(service.system().PendingApprovals(project).size(), 1u);
+  Result<core::ProjectInfo> info = service.system().GetProjectInfo(project);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().budget_remaining, 8u);
+  // The in-memory backend reports a typed non-durable no-op.
+  api::Service memory{core::ITagSystemOptions{}};
+  ASSERT_TRUE(memory.Init().ok());
+  api::CheckpointResponse ck = memory.Checkpoint({});
+  EXPECT_TRUE(ck.status.ok());
+  EXPECT_FALSE(ck.durable);
+}
+
+}  // namespace
+}  // namespace itag

@@ -225,5 +225,101 @@ TEST_F(DatabaseTest, ManyCheckpointCyclesStayConsistent) {
   EXPECT_EQ(db.GetTable("t")->row_count(), 5u);
 }
 
+// ------------------------------------------------------------ WAL batches
+
+TEST_F(DatabaseTest, BatchGroupsMutationsIntoOneWalRecordThatReplays) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    BatchScope batch(&db);
+    RowId a = db.Insert("t", Kv(1, "one")).value();
+    ASSERT_TRUE(db.Insert("t", Kv(2, "two")).ok());
+    ASSERT_TRUE(db.Update("t", a, Kv(1, "uno")).ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  // The group is one framed record after the CreateTable record.
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ReadWal(dir_ + "/wal.log", &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].op, WalOp::kBatch);
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_EQ(db.GetTable("t")->row_count(), 2u);
+  EXPECT_EQ(db.GetTable("t")->Get(1).value()[1].as_string(), "uno");
+}
+
+TEST_F(DatabaseTest, NestedBatchesFoldIntoTheOutermost) {
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    BatchScope outer(&db);
+    ASSERT_TRUE(db.Insert("t", Kv(1, "a")).ok());
+    {
+      BatchScope inner(&db);
+      ASSERT_TRUE(db.Insert("t", Kv(2, "b")).ok());
+      EXPECT_EQ(db.batch_depth(), 2u);
+    }
+    EXPECT_EQ(db.batch_depth(), 1u);
+    ASSERT_TRUE(db.Insert("t", Kv(3, "c")).ok());
+  }
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ReadWal(dir_ + "/wal.log", &records).ok());
+  ASSERT_EQ(records.size(), 2u);  // create + one fused batch
+  EXPECT_EQ(records[1].op, WalOp::kBatch);
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  EXPECT_EQ(db.GetTable("t")->row_count(), 3u);
+}
+
+TEST_F(DatabaseTest, TornBatchRecordDropsTheWholeGroup) {
+  uint64_t before_batch = 0;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(Opts()).ok());
+    ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(1, "keep")).ok());
+    before_batch = fs::file_size(dir_ + "/wal.log");
+    BatchScope batch(&db);
+    ASSERT_TRUE(db.Insert("t", Kv(2, "gone")).ok());
+    ASSERT_TRUE(db.Insert("t", Kv(3, "gone-too")).ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  // Tear the tail mid-way through the batch record: recovery must keep the
+  // pre-batch state and lose ALL of the group, never half of it.
+  uint64_t size = fs::file_size(dir_ + "/wal.log");
+  ASSERT_GT(size, before_batch + 1);
+  fs::resize_file(dir_ + "/wal.log", before_batch + (size - before_batch) / 2);
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_EQ(db.GetTable("t")->row_count(), 1u);
+  EXPECT_EQ(db.GetTable("t")->Get(1).value()[1].as_string(), "keep");
+}
+
+TEST_F(DatabaseTest, CheckpointInsideABatchIsRefused) {
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+  BatchScope batch(&db);
+  ASSERT_TRUE(db.Insert("t", Kv(1, "x")).ok());
+  EXPECT_TRUE(db.Checkpoint().IsFailedPrecondition());
+  ASSERT_TRUE(batch.Commit().ok());
+  EXPECT_TRUE(db.Checkpoint().ok());
+}
+
+TEST_F(DatabaseTest, EmptyBatchWritesNothing) {
+  Database db;
+  ASSERT_TRUE(db.Open(Opts()).ok());
+  ASSERT_TRUE(db.CreateTable("t", KvSchema()).ok());
+  uint64_t before = fs::file_size(dir_ + "/wal.log");
+  {
+    BatchScope batch(&db);
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  EXPECT_EQ(fs::file_size(dir_ + "/wal.log"), before);
+  EXPECT_TRUE(db.CommitBatch().IsFailedPrecondition());  // none open
+}
+
 }  // namespace
 }  // namespace itag::storage
