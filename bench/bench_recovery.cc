@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/service.h"
@@ -174,7 +175,11 @@ int main() {
                 s.wal_bytes / 1e6, s.snapshot_bytes / 1e6);
   }
 
-  std::string json = "{\"bench\":\"recovery\",\"sizes\":[";
+  // BENCH_*.json schema (see docs/benchmarks.md): one-line object with
+  // "bench" and "host_cores", validated by the CI schema step.
+  unsigned host_cores = std::thread::hardware_concurrency();
+  std::string json = "{\"bench\":\"recovery\",\"host_cores\":" +
+                     std::to_string(host_cores) + ",\"sizes\":[";
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     char buf[384];

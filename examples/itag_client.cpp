@@ -1,10 +1,10 @@
 // itag_client — a full provider + tagger session against a running
 // itag_server, over the binary wire protocol. Demonstrates the typed
 // client surface, per-item Status vectors crossing the wire (one upload
-// item is deliberately bad), correlation-id pipelining, and the v2
-// Checkpoint admin endpoint.
+// item is deliberately bad), correlation-id pipelining, the v2 Checkpoint
+// admin endpoint, and the v3 MetricsQuery observability endpoint.
 //
-//   ./itag_client [port] [--dump FILE] [--query ID]
+//   ./itag_client [port] [--dump FILE] [--query ID] [--metrics [PREFIX]]
 //
 // Default (session mode): runs the provider+tagger session, checkpoints,
 // and — with --dump — writes the project's canonical final state (the
@@ -13,6 +13,11 @@
 // canonical ProjectQuery against project ID and dumps it, so a restarted
 // server's state can be byte-compared against a pre-kill dump (the CI
 // kill -9 smoke does exactly that).
+// With --metrics the session is skipped too: the client fetches the
+// server's metrics snapshot (optionally filtered to names starting with
+// PREFIX) and prints the plain-text rendering — one `name value` line per
+// counter/gauge, `name count=… p50=…` per histogram (the CI loadgen smoke
+// greps this output). See docs/observability.md for the catalogue.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +28,7 @@
 
 #include "net/client.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 using namespace itag;  // NOLINT
 
@@ -70,17 +76,30 @@ int main(int argc, char** argv) {
   uint16_t port = 7421;
   std::string dump_path;
   long long query_id = -1;
+  bool metrics_mode = false;
+  std::string metrics_prefix;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       query_id = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_mode = true;
+      // Optional prefix operand: must look like a metric name (contain a
+      // non-digit), so `--metrics 7425` leaves the port positional alone.
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::strspn(argv[i + 1], "0123456789") !=
+              std::strlen(argv[i + 1])) {
+        metrics_prefix = argv[++i];
+      }
     } else if (positional == 0) {
       port = static_cast<uint16_t>(std::atoi(argv[i]));
       ++positional;
     } else {
-      std::fprintf(stderr, "usage: %s [port] [--dump FILE] [--query ID]\n",
+      std::fprintf(stderr,
+                   "usage: %s [port] [--dump FILE] [--query ID] "
+                   "[--metrics [PREFIX]]\n",
                    argv[0]);
       return 2;
     }
@@ -95,6 +114,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("connected (api v%u)\n", api::kApiVersion);
+
+  if (metrics_mode) {
+    // Observability mode: no session, just the server's metrics snapshot,
+    // rendered exactly like the server's own shutdown dump.
+    auto metrics = Must(client.Metrics({metrics_prefix}), "MetricsQuery");
+    std::printf("%s", obs::RenderText(metrics.metrics).c_str());
+    std::printf("metrics: %zu samples\n", metrics.metrics.size());
+    return 0;
+  }
 
   if (query_id >= 0) {
     // Verification mode: no session, just the canonical state dump.

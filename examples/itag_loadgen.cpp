@@ -1,0 +1,434 @@
+// itag_loadgen — scenario-driven load generator for a running itag_server.
+//
+//   ./itag_loadgen [port] [--scenario NAME] [--threads N] [--seconds S]
+//                  [--projects P] [--list]
+//
+// Drives the server with a named traffic shape from N concurrent
+// pipelined net::Clients, then prints a metrics-backed summary: the
+// client-side op counts next to the server's own api.* request counters
+// and latency histograms (fetched via the v3 MetricsQuery endpoint), so
+// the two sides can be cross-checked at a glance. The CI smoke runs the
+// mixed scenario for ~2 s and asserts the server counted the load.
+//
+// Scenarios model what tagging-system studies report rather than uniform
+// noise: project/resource popularity is Zipf-skewed (self-organizing
+// heavy tails — Golder & Huberman; Liu et al.), and tag choice draws from
+// a Zipf-ranked vocabulary (rank-frequency skew). `--scenario uniform` is
+// the control shape with the skew turned off.
+//
+// Exit status: 0 when every worker completed and at least one request
+// succeeded; 1 on transport failure or a dead server.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/client.h"
+#include "obs/metrics.h"
+
+using namespace itag;  // NOLINT
+
+namespace {
+
+// ------------------------------------------------------------- scenarios
+
+/// One named traffic shape. Weights are percentages (sum <= 100; the
+/// remainder is idle-free — the loop just redraws).
+struct ScenarioConfig {
+  const char* name;
+  const char* description;
+  /// Zipf skew of project popularity (0 = uniform).
+  double project_zipf_s;
+  /// Zipf skew of the tag vocabulary ranks workers draw tags from.
+  double tag_zipf_s = 1.05;
+  int query_weight;         ///< pipelined ProjectQuery reads
+  int tag_weight;           ///< accept → submit → decide cycles
+  int step_weight;          ///< Step(1) simulated-time advances
+  size_t accept_batch;      ///< tasks drawn per tag cycle
+  size_t query_pipeline;    ///< reads in flight per query op
+  /// Thread 0 issues a Checkpoint every this many of its ops (0 = never).
+  size_t checkpoint_every;
+  size_t num_projects = 8;
+  size_t resources_per_project = 12;
+};
+
+const ScenarioConfig kScenarios[] = {
+    {"uniform",
+     "control shape: uniform project popularity, balanced read/write",
+     /*project_zipf_s=*/0.0, /*tag_zipf_s=*/1.05,
+     /*query=*/60, /*tag=*/40, /*step=*/0,
+     /*accept_batch=*/8, /*query_pipeline=*/8, /*checkpoint_every=*/0},
+    {"zipf",
+     "balanced read/write with Zipf(1.1) project popularity (hot heads)",
+     1.1, 1.05, 60, 40, 0, 8, 8, 0},
+    {"read_heavy",
+     "monitoring-dominated: 96% pipelined ProjectQuery reads",
+     1.1, 1.05, 96, 4, 0, 8, 16, 0},
+    {"submit_heavy",
+     "ingest burst: 90% accept/submit/decide cycles, bigger task batches",
+     0.8, 1.05, 10, 90, 0, 16, 4, 0},
+    {"mixed",
+     "steady state: reads + tagging + occasional Step and periodic "
+     "Checkpoint",
+     1.1, 1.05, 50, 44, 1, 8, 8, 50},
+};
+
+const ScenarioConfig* FindScenario(const std::string& name) {
+  for (const ScenarioConfig& s : kScenarios) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+void ListScenarios() {
+  std::printf("scenarios:\n");
+  for (const ScenarioConfig& s : kScenarios) {
+    std::printf("  %-12s %s\n", s.name, s.description);
+  }
+}
+
+// ------------------------------------------------------------- worker side
+
+/// Client-side tallies of one worker thread.
+struct WorkerCounts {
+  uint64_t queries = 0;        ///< ProjectQuery replies received OK
+  uint64_t tag_cycles = 0;     ///< completed accept→submit→decide cycles
+  uint64_t tasks_submitted = 0;
+  uint64_t tasks_approved = 0;
+  uint64_t steps = 0;
+  uint64_t checkpoints = 0;
+  uint64_t starved = 0;        ///< accepts refused (budget/strategy empty)
+  uint64_t typed_errors = 0;   ///< typed error replies (overload etc.)
+  bool transport_ok = true;    ///< false once the connection broke
+};
+
+/// Exits the worker loop on transport failure; typed errors just count.
+template <typename T>
+bool CheckTransport(const Result<T>& r, WorkerCounts* counts) {
+  if (r.ok()) return true;
+  counts->transport_ok = false;
+  return false;
+}
+
+void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
+               core::ProviderId provider, core::UserTaggerId tagger,
+               const std::vector<core::ProjectId>& projects,
+               std::chrono::steady_clock::time_point deadline,
+               WorkerCounts* counts) {
+  net::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    counts->transport_ok = false;
+    return;
+  }
+  Rng rng(0x10ad0000 + thread_index, 2 * thread_index + 1);
+  ZipfSampler project_pick(static_cast<uint32_t>(projects.size()),
+                           cfg.project_zipf_s);
+  ZipfSampler tag_pick(200, cfg.tag_zipf_s);
+  uint64_t ops = 0;
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    ++ops;
+    if (cfg.checkpoint_every != 0 && thread_index == 0 &&
+        ops % cfg.checkpoint_every == 0) {
+      Result<api::CheckpointResponse> ck = client.Checkpoint({});
+      if (!CheckTransport(ck, counts)) return;
+      ++counts->checkpoints;
+      continue;
+    }
+    int draw = static_cast<int>(rng.Uniform(100));
+    if (draw < cfg.query_weight) {
+      // Pipelined monitoring reads: a flight of independent queries rides
+      // the socket back-to-back; Await matches out-of-order replies.
+      std::vector<uint64_t> flight;
+      for (size_t i = 0; i < cfg.query_pipeline; ++i) {
+        api::ProjectQueryRequest q;
+        q.project = projects[project_pick.Sample(&rng)];
+        q.include_feed = (i % 4 == 0);
+        Result<uint64_t> c = client.DispatchAsync(api::AnyRequest{q});
+        if (!CheckTransport(c, counts)) return;
+        flight.push_back(*c);
+      }
+      for (uint64_t c : flight) {
+        Result<api::AnyResponse> r = client.Await(c);
+        if (!CheckTransport(r, counts)) return;
+        ++counts->queries;
+      }
+    } else if (draw < cfg.query_weight + cfg.tag_weight) {
+      // One tagging cycle. The submit is pipelined with an independent
+      // monitoring peek (never with the decide that depends on it).
+      core::ProjectId project = projects[project_pick.Sample(&rng)];
+      Result<api::BatchAcceptTasksResponse> accepted = client.BatchAcceptTasks(
+          {tagger, project, cfg.accept_batch});
+      if (!CheckTransport(accepted, counts)) return;
+      if (!accepted.value().status.ok() || accepted.value().tasks.empty()) {
+        // Budget exhausted / project paused — expected under long runs.
+        ++counts->starved;
+        continue;
+      }
+      api::BatchSubmitTagsRequest submit;
+      api::BatchDecideRequest decide;
+      decide.provider = provider;
+      for (const core::AcceptedTask& task : accepted.value().tasks) {
+        submit.items.push_back(
+            {tagger, task.handle,
+             {"tag-" + std::to_string(tag_pick.Sample(&rng)),
+              "tag-" + std::to_string(tag_pick.Sample(&rng))}});
+        decide.items.push_back({task.handle, true});
+      }
+      api::ProjectQueryRequest peek;
+      peek.project = project;
+      Result<uint64_t> c1 = client.DispatchAsync(api::AnyRequest{submit});
+      if (!CheckTransport(c1, counts)) return;
+      Result<uint64_t> c2 = client.DispatchAsync(api::AnyRequest{peek});
+      if (!CheckTransport(c2, counts)) return;
+      Result<api::AnyResponse> submitted = client.Await(*c1);
+      if (!CheckTransport(submitted, counts)) return;
+      Result<api::AnyResponse> peeked = client.Await(*c2);
+      if (!CheckTransport(peeked, counts)) return;
+      ++counts->queries;
+      const auto* sub = std::get_if<api::BatchSubmitTagsResponse>(
+          &submitted.value());
+      if (sub == nullptr) {
+        ++counts->typed_errors;
+        continue;
+      }
+      counts->tasks_submitted += sub->outcome.ok_count;
+      Result<api::BatchDecideResponse> decided = client.BatchDecide(decide);
+      if (!CheckTransport(decided, counts)) return;
+      counts->tasks_approved += decided.value().outcome.ok_count;
+      ++counts->tag_cycles;
+    } else if (draw < cfg.query_weight + cfg.tag_weight + cfg.step_weight) {
+      Result<api::StepResponse> stepped = client.Step({1});
+      if (!CheckTransport(stepped, counts)) return;
+      ++counts->steps;
+    }
+    // Remainder of the weight space: redraw immediately.
+  }
+}
+
+// -------------------------------------------------------------- summaries
+
+const obs::MetricSample* FindMetric(
+    const std::vector<obs::MetricSample>& samples, const std::string& name) {
+  for (const obs::MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+uint64_t MetricCount(const std::vector<obs::MetricSample>& samples,
+                     const std::string& name) {
+  const obs::MetricSample* s = FindMetric(samples, name);
+  return s == nullptr ? 0 : s->count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7421;
+  std::string scenario_name = "mixed";
+  size_t threads = 4;
+  double seconds = 5.0;
+  size_t projects_override = 0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--projects") == 0 && i + 1 < argc) {
+      projects_override = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      ListScenarios();
+      return 0;
+    } else if (positional == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+      ++positional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [port] [--scenario NAME] [--threads N] "
+                   "[--seconds S] [--projects P] [--list]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const ScenarioConfig* found = FindScenario(scenario_name);
+  if (found == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario_name.c_str());
+    ListScenarios();
+    return 2;
+  }
+  ScenarioConfig cfg = *found;
+  if (projects_override != 0) cfg.num_projects = projects_override;
+  if (threads == 0) threads = 1;
+
+  // --- setup: one admin client provisions the workload --------------------
+  net::Client admin;
+  if (!admin.Connect("127.0.0.1", port).ok()) {
+    std::fprintf(stderr, "connect 127.0.0.1:%u failed — is itag_server up?\n",
+                 port);
+    return 1;
+  }
+  auto MustOk = [](auto r, const char* what) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", what,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(r).value();
+  };
+  core::ProviderId provider =
+      MustOk(admin.RegisterProvider({"loadgen-provider"}), "RegisterProvider")
+          .provider;
+  std::vector<core::UserTaggerId> taggers;
+  for (size_t t = 0; t < threads; ++t) {
+    taggers.push_back(
+        MustOk(admin.RegisterTagger({"loadgen-" + std::to_string(t)}),
+               "RegisterTagger")
+            .tagger);
+  }
+  std::vector<core::ProjectId> projects;
+  for (size_t p = 0; p < cfg.num_projects; ++p) {
+    api::CreateProjectRequest create;
+    create.provider = provider;
+    create.spec.name = "loadgen-" + std::string(cfg.name) + "-" +
+                       std::to_string(p);
+    create.spec.kind = tagging::ResourceKind::kImage;
+    create.spec.budget = 4u << 20;  // never the bottleneck in a timed run
+    create.spec.pay_cents = 1;
+    create.spec.platform = core::PlatformChoice::kAudience;
+    api::CreateProjectResponse created =
+        MustOk(admin.CreateProject(create), "CreateProject");
+    if (!created.status.ok()) {
+      std::fprintf(stderr, "CreateProject: %s\n",
+                   created.status.ToString().c_str());
+      return 1;
+    }
+    projects.push_back(created.project);
+
+    api::BatchUploadResourcesRequest upload;
+    upload.project = created.project;
+    for (size_t r = 0; r < cfg.resources_per_project; ++r) {
+      api::UploadResourceItem item;
+      item.kind = tagging::ResourceKind::kImage;
+      item.uri = "res-" + std::to_string(p) + "-" + std::to_string(r) + ".jpg";
+      upload.items.push_back(std::move(item));
+    }
+    MustOk(admin.BatchUploadResources(upload), "BatchUploadResources");
+    MustOk(admin.BatchControl(
+               {created.project, {{api::ControlAction::kStart, 0, 0, {}}}}),
+           "BatchControl(start)");
+  }
+  std::printf(
+      "itag_loadgen: scenario '%s' (%s)\n"
+      "  %zu threads x %.1fs against 127.0.0.1:%u — %zu projects x %zu "
+      "resources, project zipf s=%.2f\n",
+      cfg.name, cfg.description, threads, seconds, port, cfg.num_projects,
+      cfg.resources_per_project, cfg.project_zipf_s);
+
+  // --- drive --------------------------------------------------------------
+  auto start = std::chrono::steady_clock::now();
+  auto deadline =
+      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+  std::vector<WorkerCounts> counts(threads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back(RunWorker, port, std::cref(cfg), t, provider,
+                         taggers[t], std::cref(projects), deadline,
+                         &counts[t]);
+  }
+  for (std::thread& w : workers) w.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // --- client-side summary ------------------------------------------------
+  WorkerCounts total;
+  bool all_ok = true;
+  for (const WorkerCounts& c : counts) {
+    total.queries += c.queries;
+    total.tag_cycles += c.tag_cycles;
+    total.tasks_submitted += c.tasks_submitted;
+    total.tasks_approved += c.tasks_approved;
+    total.steps += c.steps;
+    total.checkpoints += c.checkpoints;
+    total.starved += c.starved;
+    total.typed_errors += c.typed_errors;
+    all_ok = all_ok && c.transport_ok;
+  }
+  std::printf("\nclient side (%.2fs):\n", elapsed);
+  std::printf("  %-18s %10s %10s\n", "op", "count", "rate/s");
+  auto row = [&](const char* op, uint64_t n) {
+    std::printf("  %-18s %10llu %10.0f\n", op,
+                static_cast<unsigned long long>(n),
+                static_cast<double>(n) / elapsed);
+  };
+  row("query", total.queries);
+  row("tag-cycle", total.tag_cycles);
+  row("task-submitted", total.tasks_submitted);
+  row("task-approved", total.tasks_approved);
+  row("step", total.steps);
+  row("checkpoint", total.checkpoints);
+  row("accept-starved", total.starved);
+  row("typed-error", total.typed_errors);
+
+  // --- server-side summary (MetricsQuery) ---------------------------------
+  api::MetricsQueryResponse metrics =
+      MustOk(admin.Metrics({""}), "MetricsQuery");
+  const std::vector<obs::MetricSample>& samples = metrics.metrics;
+  std::printf("\nserver side (api.* request counters + latency):\n");
+  std::printf("  %-22s %10s %8s %8s %8s\n", "endpoint", "requests",
+              "p50_us", "p95_us", "p99_us");
+  for (size_t i = 0; i < api::kRequestTypeCount; ++i) {
+    std::string base = std::string("api.") + api::RequestTypeName(i);
+    uint64_t n = MetricCount(samples, base + ".requests");
+    if (n == 0) continue;
+    const obs::MetricSample* lat = FindMetric(samples, base + ".latency_us");
+    std::printf("  %-22s %10llu %8llu %8llu %8llu\n",
+                api::RequestTypeName(i), static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(
+                    lat != nullptr ? obs::ApproxQuantile(*lat, 0.50) : 0),
+                static_cast<unsigned long long>(
+                    lat != nullptr ? obs::ApproxQuantile(*lat, 0.95) : 0),
+                static_cast<unsigned long long>(
+                    lat != nullptr ? obs::ApproxQuantile(*lat, 0.99) : 0));
+  }
+  std::printf("\nserver side (other layers):\n");
+  for (const char* name :
+       {"core.route.items", "core.route.fanouts", "core.step.ticks",
+        "net.connections", "net.frames", "net.bytes_in", "net.bytes_out",
+        "net.overload_rejections", "storage.wal.appends",
+        "storage.checkpoint.count"}) {
+    const obs::MetricSample* s = FindMetric(samples, name);
+    if (s != nullptr) {
+      std::printf("  %-26s %llu\n", name,
+                  static_cast<unsigned long long>(
+                      s->kind == obs::MetricKind::kGauge
+                          ? static_cast<uint64_t>(s->gauge)
+                          : s->count));
+    }
+  }
+
+  uint64_t total_ok = total.queries + total.tag_cycles + total.steps +
+                      total.checkpoints;
+  if (!all_ok) {
+    std::fprintf(stderr, "\nFAIL: a worker lost its connection\n");
+    return 1;
+  }
+  if (total_ok == 0) {
+    std::fprintf(stderr, "\nFAIL: no request succeeded\n");
+    return 1;
+  }
+  std::printf("\nitag_loadgen: ok (%llu client ops)\n",
+              static_cast<unsigned long long>(total_ok));
+  return 0;
+}

@@ -28,6 +28,7 @@
 
 #include "api/service.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -125,5 +126,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.frames_received),
       static_cast<unsigned long long>(stats.responses_sent),
       static_cast<unsigned long long>(stats.errors_sent));
+  // Plain-text metrics dump — the same rendering `itag_client --metrics`
+  // prints while the server is live (see docs/observability.md).
+  std::printf("--- metrics ---\n%s",
+              obs::RenderText(obs::MetricsRegistry::Default().Snapshot())
+                  .c_str());
   return 0;
 }

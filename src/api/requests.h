@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "itag/itag_system.h"
 #include "itag/project.h"
 #include "itag/quality_manager.h"
+#include "obs/metrics.h"
 #include "strategy/strategy.h"
 #include "tagging/resource.h"
 
@@ -24,8 +26,9 @@ namespace itag::api {
 ///
 /// History: v1 — the original ten-endpoint batch surface; v2 — added the
 /// Checkpoint admin endpoint (new AnyRequest/AnyResponse alternative, which
-/// shifts the wire's closed type-tag space and is therefore incompatible).
-inline constexpr uint32_t kApiVersion = 2;
+/// shifts the wire's closed type-tag space and is therefore incompatible);
+/// v3 — added the MetricsQuery observability endpoint (same reason).
+inline constexpr uint32_t kApiVersion = 3;
 
 /// True iff a peer speaking `version` can be served by this binary. The rule
 /// is exact match while the surface still evolves; when a compatibility
@@ -251,6 +254,27 @@ struct CheckpointResponse {
   uint64_t rows = 0;
 };
 
+// ----------------------------------------------------------- observability
+
+/// Reads a point-in-time snapshot of the process metrics registry
+/// (obs::MetricsRegistry::Default()) — the uniform monitoring surface over
+/// every layer: api.* per-request-type counts and latency histograms,
+/// core.* shard/step/routing stats, net.* connection and byte counters,
+/// storage.* WAL and checkpoint stats. See docs/observability.md for the
+/// full catalogue. Read-only and always OK; never touches a shard mutex
+/// (metrics are relaxed atomics).
+struct MetricsQueryRequest {
+  /// Only metrics whose dotted name starts with this prefix are returned
+  /// (e.g. "api." or "storage.wal."); empty returns everything.
+  std::string prefix;
+};
+struct MetricsQueryResponse {
+  Status status;
+  /// Samples sorted by name (a deterministic order, so two back-to-back
+  /// queries of an idle server encode byte-identically).
+  std::vector<obs::MetricSample> metrics;
+};
+
 // ------------------------------------------------------------- dispatcher
 
 /// The closed set of requests Service::Dispatch routes. Kept in lock-step
@@ -261,14 +285,16 @@ using AnyRequest =
                  CreateProjectRequest, BatchUploadResourcesRequest,
                  BatchControlRequest, ProjectQueryRequest,
                  BatchAcceptTasksRequest, BatchSubmitTagsRequest,
-                 BatchDecideRequest, StepRequest, CheckpointRequest>;
+                 BatchDecideRequest, StepRequest, CheckpointRequest,
+                 MetricsQueryRequest>;
 
 using AnyResponse =
     std::variant<RegisterProviderResponse, RegisterTaggerResponse,
                  CreateProjectResponse, BatchUploadResourcesResponse,
                  BatchControlResponse, ProjectQueryResponse,
                  BatchAcceptTasksResponse, BatchSubmitTagsResponse,
-                 BatchDecideResponse, StepResponse, CheckpointResponse>;
+                 BatchDecideResponse, StepResponse, CheckpointResponse,
+                 MetricsQueryResponse>;
 
 /// Number of request alternatives. The wire protocol uses the variant index
 /// as its request/response type tag, so alternative order is part of the
@@ -282,12 +308,39 @@ inline const char* RequestTypeName(size_t index) {
       "RegisterProvider", "RegisterTagger",  "CreateProject",
       "BatchUploadResources", "BatchControl", "ProjectQuery",
       "BatchAcceptTasks", "BatchSubmitTags", "BatchDecide",
-      "Step", "Checkpoint",
+      "Step", "Checkpoint", "MetricsQuery",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kRequestTypeCount,
                 "RequestTypeName out of sync with AnyRequest");
   return index < kRequestTypeCount ? kNames[index] : "?";
 }
+
+namespace detail {
+/// Index of alternative T inside a std::variant (compile-time).
+template <typename T, typename Variant>
+struct VariantIndexOf;
+template <typename T, typename... Alts>
+struct VariantIndexOf<T, std::variant<Alts...>> {
+  static constexpr size_t value = [] {
+    constexpr bool matches[] = {std::is_same_v<T, Alts>...};
+    for (size_t i = 0; i < sizeof...(Alts); ++i) {
+      if (matches[i]) return i;
+    }
+    return sizeof...(Alts);
+  }();
+};
+}  // namespace detail
+
+/// Compile-time variant index (== wire type tag) of a request struct, e.g.
+/// `kRequestTypeIndex<StepRequest>`. Used by the service instrumentation
+/// to key per-request-type metrics without hardcoding tag numbers.
+template <typename T>
+inline constexpr size_t kRequestTypeIndex =
+    detail::VariantIndexOf<T, AnyRequest>::value;
+
+static_assert(kRequestTypeIndex<MetricsQueryRequest> ==
+                  kRequestTypeCount - 1,
+              "kRequestTypeIndex out of sync with AnyRequest");
 
 }  // namespace itag::api
 

@@ -1,6 +1,9 @@
 #include "api/service.h"
 
+#include <array>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace itag::api {
 
@@ -11,6 +14,42 @@ void Record(BatchOutcome* outcome, Status status) {
   if (status.ok()) ++outcome->ok_count;
   outcome->statuses.push_back(std::move(status));
 }
+
+/// Per-request-type metric pointers, registered once per process under
+/// `api.<Endpoint>.requests` / `api.<Endpoint>.latency_us` and cached so
+/// the per-call cost is two relaxed atomic adds.
+struct EndpointMetrics {
+  obs::Counter* requests;
+  obs::Histogram* latency;
+};
+
+const EndpointMetrics& MetricsForType(size_t type) {
+  static const std::array<EndpointMetrics, kRequestTypeCount> kMetrics = [] {
+    std::array<EndpointMetrics, kRequestTypeCount> a{};
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    for (size_t i = 0; i < kRequestTypeCount; ++i) {
+      std::string base = std::string("api.") + RequestTypeName(i);
+      a[i] = {reg.GetCounter(base + ".requests"),
+              reg.GetHistogram(base + ".latency_us")};
+    }
+    return a;
+  }();
+  return kMetrics[type];
+}
+
+/// RAII per-endpoint probe: counts the call on entry, observes its wall
+/// time on exit. Instantiated at the top of every endpoint with that
+/// endpoint's compile-time type index.
+class ApiCallScope {
+ public:
+  explicit ApiCallScope(size_t type)
+      : timer_(MetricsForType(type).latency) {
+    MetricsForType(type).requests->Inc();
+  }
+
+ private:
+  obs::ScopedTimer timer_;
+};
 
 /// Current simulated time of either backend.
 Tick NowOf(core::ITagSystem* system) { return system->clock().Now(); }
@@ -39,6 +78,7 @@ Status Service::Init() {
 
 RegisterProviderResponse Service::RegisterProvider(
     const RegisterProviderRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<RegisterProviderRequest>);
   RegisterProviderResponse resp;
   if (req.name.empty()) {
     resp.status = Status::InvalidArgument("provider name must be non-empty");
@@ -56,6 +96,7 @@ RegisterProviderResponse Service::RegisterProvider(
 
 RegisterTaggerResponse Service::RegisterTagger(
     const RegisterTaggerRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<RegisterTaggerRequest>);
   RegisterTaggerResponse resp;
   if (req.name.empty()) {
     resp.status = Status::InvalidArgument("tagger name must be non-empty");
@@ -72,6 +113,7 @@ RegisterTaggerResponse Service::RegisterTagger(
 }
 
 CreateProjectResponse Service::CreateProject(const CreateProjectRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<CreateProjectRequest>);
   CreateProjectResponse resp;
   if (req.spec.name.empty()) {
     resp.status = Status::InvalidArgument("project name must be non-empty");
@@ -89,6 +131,7 @@ CreateProjectResponse Service::CreateProject(const CreateProjectRequest& req) {
 
 BatchUploadResourcesResponse Service::BatchUploadResources(
     const BatchUploadResourcesRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<BatchUploadResourcesRequest>);
   BatchUploadResourcesResponse resp;
   resp.outcome.statuses.resize(req.items.size());
   resp.resources.assign(req.items.size(), tagging::kInvalidResource);
@@ -126,6 +169,7 @@ BatchUploadResourcesResponse Service::BatchUploadResources(
 }
 
 BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<BatchControlRequest>);
   BatchControlResponse resp;
   resp.outcome.statuses.reserve(req.items.size());
   // Deliberately per-item on the sharded backend (one route + snapshot
@@ -171,6 +215,7 @@ BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
 }
 
 ProjectQueryResponse Service::ProjectQuery(const ProjectQueryRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<ProjectQueryRequest>);
   ProjectQueryResponse resp;
   std::visit(
       [&](auto* sys) {
@@ -193,6 +238,7 @@ ProjectQueryResponse Service::ProjectQuery(const ProjectQueryRequest& req) {
 
 BatchAcceptTasksResponse Service::BatchAcceptTasks(
     const BatchAcceptTasksRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<BatchAcceptTasksRequest>);
   BatchAcceptTasksResponse resp;
   if (req.count == 0) {
     resp.status = Status::InvalidArgument("count must be positive");
@@ -211,6 +257,7 @@ BatchAcceptTasksResponse Service::BatchAcceptTasks(
 
 BatchSubmitTagsResponse Service::BatchSubmitTags(
     const BatchSubmitTagsRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<BatchSubmitTagsRequest>);
   BatchSubmitTagsResponse resp;
   resp.outcome.statuses.resize(req.items.size());
   // Pre-validate, then hand the valid items to the backend as one batch —
@@ -246,6 +293,7 @@ BatchSubmitTagsResponse Service::BatchSubmitTags(
 }
 
 BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<BatchDecideRequest>);
   BatchDecideResponse resp;
   resp.outcome.statuses.resize(req.items.size());
   // Pre-validate, then let the backend group all approvals of a project into
@@ -277,6 +325,7 @@ BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
 }
 
 StepResponse Service::Step(const StepRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<StepRequest>);
   StepResponse resp;
   std::visit(
       [&](auto* sys) {
@@ -292,6 +341,7 @@ StepResponse Service::Step(const StepRequest& req) {
 }
 
 CheckpointResponse Service::Checkpoint(const CheckpointRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<CheckpointRequest>);
   (void)req;
   CheckpointResponse resp;
   std::visit(
@@ -305,6 +355,14 @@ CheckpointResponse Service::Checkpoint(const CheckpointRequest& req) {
         }
       },
       backend_);
+  return resp;
+}
+
+MetricsQueryResponse Service::MetricsQuery(const MetricsQueryRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<MetricsQueryRequest>);
+  MetricsQueryResponse resp;
+  resp.status = Status::OK();
+  resp.metrics = obs::MetricsRegistry::Default().Snapshot(req.prefix);
   return resp;
 }
 
@@ -332,9 +390,11 @@ AnyResponse Service::Dispatch(const AnyRequest& req) {
           return BatchDecide(r);
         } else if constexpr (std::is_same_v<T, StepRequest>) {
           return Step(r);
-        } else {
-          static_assert(std::is_same_v<T, CheckpointRequest>);
+        } else if constexpr (std::is_same_v<T, CheckpointRequest>) {
           return Checkpoint(r);
+        } else {
+          static_assert(std::is_same_v<T, MetricsQueryRequest>);
+          return MetricsQuery(r);
         }
       },
       req);

@@ -29,6 +29,11 @@ namespace itag::api {
 /// `Service(ShardedSystemOptions)` + Init()) or wrap an existing one
 /// non-owningly (`Service(&system)` / `Service(&sharded)`), e.g. in tests
 /// that also poke the backend directly.
+///
+/// Observability: every endpoint bumps `api.<Endpoint>.requests` and
+/// observes its wall time into `api.<Endpoint>.latency_us` in the process
+/// metrics registry (obs::MetricsRegistry::Default()); MetricsQuery reads
+/// the whole registry back. See docs/observability.md.
 class Service {
  public:
   /// Owns a fresh single-threaded ITagSystem.
@@ -82,6 +87,10 @@ class Service {
   /// Durability checkpoint (snapshot + WAL truncate; all shards on the
   /// sharded core). durable=false when the backend is in-memory.
   CheckpointResponse Checkpoint(const CheckpointRequest& req);
+  /// Point-in-time snapshot of the process metrics registry, filtered by
+  /// the request's name prefix. Read-only, always OK, lock-free against
+  /// the backend (metrics are relaxed atomics; no shard mutex is taken).
+  MetricsQueryResponse MetricsQuery(const MetricsQueryRequest& req);
 
   /// Routes a type-erased request to its endpoint — the single entry point a
   /// wire frontend needs. Thread-safe iff the backend is sharded.

@@ -34,12 +34,20 @@ ShardedSystem::ShardedSystem(ShardedSystemOptions options)
     shard_options.seed = options_.shard.seed + i;
     auto shard = std::make_unique<Shard>();
     shard->system = std::make_unique<ITagSystem>(std::move(shard_options));
+    shard->ops = obs::MetricsRegistry::Default().GetCounter(
+        "core.shard." + std::to_string(i) + ".ops");
     shards_.push_back(std::move(shard));
   }
   size_t threads = options_.pool_threads != 0
                        ? options_.pool_threads
                        : DefaultPoolThreads(options_.num_shards);
   pool_ = std::make_unique<ThreadPool>(threads);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metrics_.step_latency_us = reg.GetHistogram("core.step.latency_us");
+  metrics_.step_ticks = reg.GetCounter("core.step.ticks");
+  metrics_.route_items = reg.GetCounter("core.route.items");
+  metrics_.route_fanouts = reg.GetCounter("core.route.fanouts");
+  metrics_.route_bad_handle = reg.GetCounter("core.route.bad_handle");
 }
 
 ShardedSystem::~ShardedSystem() = default;
@@ -127,6 +135,7 @@ auto ShardedSystem::WithProject(ProjectId project, Fn&& fn) const
   }
   size_t s = ShardOf(project);
   Shard& shard = *shards_[s];
+  shard.ops->Inc();
   std::lock_guard<std::mutex> lock(shard.mu);
   return fn(s, shard.system.get(), local);
 }
@@ -148,15 +157,18 @@ std::vector<Status> ShardedSystem::RouteByHandle(
     if (local == 0) {  // no shard hands out local id 0 — global is bogus
       out[i] =
           Status::NotFound(std::string(noun) + " " + std::to_string(handle));
+      metrics_.route_bad_handle->Inc();
       continue;
     }
     Group& g = groups[ShardOf(handle)];
     g.items.push_back(relabel(items[i], local));
     g.slots.push_back(i);
   }
+  metrics_.route_items->Inc(items.size());
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < groups.size(); ++s) {
     if (groups[s].items.empty()) continue;
+    shards_[s]->ops->Inc(groups[s].items.size());
     tasks.push_back([this, s, &groups, &out, &run_shard] {
       const Group& g = groups[s];
       Shard& shard = *shards_[s];
@@ -167,6 +179,7 @@ std::vector<Status> ShardedSystem::RouteByHandle(
   if (tasks.size() == 1) {
     tasks.front()();  // single shard involved — skip the pool round-trip
   } else if (!tasks.empty()) {
+    metrics_.route_fanouts->Inc();
     pool_->RunAll(std::move(tasks));
   }
   return out;
@@ -312,6 +325,7 @@ Result<ProjectId> ShardedSystem::CreateProject(ProviderId provider,
   size_t s = static_cast<size_t>(
       next_project_shard_.load(std::memory_order_relaxed) % shards_.size());
   Shard& shard = *shards_[s];
+  shard.ops->Inc();
   std::lock_guard<std::mutex> lock(shard.mu);
   Result<ProjectId> r = shard.system->CreateProject(provider, spec);
   if (!r.ok()) return r;
@@ -722,6 +736,8 @@ void ShardedSystem::SetApprovalPolicy(ProviderId provider,
 
 Status ShardedSystem::Step(Tick ticks) {
   if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  obs::ScopedTimer step_timer(metrics_.step_latency_us);
+  if (ticks > 0) metrics_.step_ticks->Inc(static_cast<uint64_t>(ticks));
   std::vector<Status> results(shards_.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards_.size());

@@ -14,6 +14,7 @@
 #include "common/sharding.h"
 #include "common/thread_pool.h"
 #include "itag/itag_system.h"
+#include "obs/metrics.h"
 
 namespace itag::core {
 
@@ -217,6 +218,19 @@ class ShardedSystem {
     // Counters feeding ShardStats; guarded by mu.
     uint64_t projects_created = 0;
     uint64_t tasks_accepted = 0;
+    /// Registry mirror `core.shard.<i>.ops`: ops routed to this shard
+    /// (single-project routes, batch-group runs, creates). Relaxed atomic,
+    /// bumped outside mu by design.
+    obs::Counter* ops = nullptr;
+  };
+
+  /// Registry metrics of the cross-shard layer (core.*), cached once.
+  struct CoreMetrics {
+    obs::Histogram* step_latency_us;   ///< wall time of one Step() fan-out
+    obs::Counter* step_ticks;          ///< simulated ticks advanced
+    obs::Counter* route_items;         ///< items through RouteByHandle
+    obs::Counter* route_fanouts;       ///< RouteByHandle calls hitting >1 shard
+    obs::Counter* route_bad_handle;    ///< items rejected before routing
   };
 
   size_t ShardOf(uint64_t global_id) const {
@@ -260,6 +274,7 @@ class ShardedSystem {
   ShardedSystemOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
+  CoreMetrics metrics_{};
   std::mutex users_mu_;  ///< serializes broadcast registrations
   /// Serializes project placement: the round-robin cursor advances only on
   /// a *successful* create, so it stays re-derivable after recovery as the

@@ -162,5 +162,9 @@ Result<api::CheckpointResponse> Client::Checkpoint(
     const api::CheckpointRequest& req) {
   return Call<api::CheckpointResponse>(req);
 }
+Result<api::MetricsQueryResponse> Client::Metrics(
+    const api::MetricsQueryRequest& req) {
+  return Call<api::MetricsQueryResponse>(req);
+}
 
 }  // namespace itag::net

@@ -83,6 +83,9 @@ class Client {
       const api::BatchDecideRequest& req);
   Result<api::StepResponse> Step(const api::StepRequest& req);
   Result<api::CheckpointResponse> Checkpoint(const api::CheckpointRequest& req);
+  /// v3 observability endpoint: the server's metrics snapshot, optionally
+  /// filtered by name prefix (see api::MetricsQueryRequest).
+  Result<api::MetricsQueryResponse> Metrics(const api::MetricsQueryRequest& req);
 
   /// The version stamped on outgoing frames. Defaults to api::kApiVersion;
   /// overridable so tests (and future downgrade shims) can exercise the

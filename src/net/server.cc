@@ -8,10 +8,52 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace itag::net {
 
+/// Registry mirrors of the ServerStats counters plus the two live levels
+/// only the registry carries (in-flight dispatch depth, open connections).
+/// One process-wide set: servers are rare (one per daemon), and tests
+/// asserting exact counts use stats(), which stays per-instance.
+struct Server::Metrics {
+  obs::Counter* connections;
+  obs::Counter* frames;
+  obs::Counter* responses;
+  obs::Counter* errors;
+  obs::Counter* overload_rejections;
+  obs::Counter* version_rejections;
+  obs::Counter* protocol_errors;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Gauge* in_flight;
+  obs::Gauge* open_connections;
+
+  static const Metrics& Get() {
+    static const Metrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      Metrics n;
+      n.connections = reg.GetCounter("net.connections");
+      n.frames = reg.GetCounter("net.frames");
+      n.responses = reg.GetCounter("net.responses");
+      n.errors = reg.GetCounter("net.errors");
+      n.overload_rejections = reg.GetCounter("net.overload_rejections");
+      n.version_rejections = reg.GetCounter("net.version_rejections");
+      n.protocol_errors = reg.GetCounter("net.protocol_errors");
+      n.bytes_in = reg.GetCounter("net.bytes_in");
+      n.bytes_out = reg.GetCounter("net.bytes_out");
+      n.in_flight = reg.GetGauge("net.in_flight");
+      n.open_connections = reg.GetGauge("net.open_connections");
+      return n;
+    }();
+    return m;
+  }
+};
+
 Server::Server(api::Service* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service),
+      options_(std::move(options)),
+      metrics_(&Metrics::Get()) {}
 
 Server::~Server() { Stop(); }
 
@@ -55,6 +97,7 @@ void Server::Stop() {
   // Drain the workers: in-flight dispatches still write their responses
   // (their Conn references keep the sockets open).
   pool_.reset();
+  metrics_->open_connections->Sub(static_cast<int64_t>(conns_.size()));
   conns_.clear();
   {
     // Connections abandoned after the IO thread exited would otherwise
@@ -78,6 +121,8 @@ ServerStats Server::stats() const {
   s.overload_rejections = overload_rejections_.load();
   s.version_rejections = version_rejections_.load();
   s.protocol_errors = protocol_errors_.load();
+  s.bytes_received = bytes_received_.load();
+  s.bytes_sent = bytes_sent_.load();
   return s;
 }
 
@@ -127,6 +172,8 @@ void Server::AcceptOne() {
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return;
   conns_.emplace(fd, std::move(conn));
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->connections->Inc();
+  metrics_->open_connections->Add(1);
 }
 
 void Server::CloseConn(int fd) {
@@ -136,6 +183,7 @@ void Server::CloseConn(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   // The fd itself closes when the last worker holding this Conn finishes.
   conns_.erase(it);
+  metrics_->open_connections->Sub(1);
 }
 
 void Server::ReapDead() {
@@ -187,6 +235,8 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
     }
     if (*got == 0) break;  // drained for now
     conn->inbuf.append(buf, *got);
+    bytes_received_.fetch_add(*got, std::memory_order_relaxed);
+    metrics_->bytes_in->Inc(*got);
   }
   size_t parsed = 0;
   for (;;) {
@@ -199,6 +249,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
       // Unparseable stream (bad magic/CRC/kind): nothing after this point
       // can be framed reliably, so the only safe move is to hang up.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->protocol_errors->Inc();
       CloseConn(fd);
       return;
     }
@@ -212,6 +263,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
 
 void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   frames_received_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->frames->Inc();
   if (frame.kind != FrameKind::kRequest) {
     SendError(conn, frame.correlation,
               Status::InvalidArgument("expected a request frame"), frame.type);
@@ -219,6 +271,7 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   }
   if (!api::IsCompatibleApiVersion(frame.version)) {
     version_rejections_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->version_rejections->Inc();
     SendError(conn, frame.correlation,
               Status::FailedPrecondition(
                   "api version mismatch: frame speaks v" +
@@ -230,6 +283,7 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   if (conn->in_flight.load(std::memory_order_acquire) >=
       options_.max_in_flight) {
     overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->overload_rejections->Inc();
     SendError(conn, frame.correlation,
               Status::ResourceExhausted(
                   "server overloaded: " +
@@ -242,12 +296,14 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   // the size cap must not stall the IO thread's accepts and reads for
   // every other connection. The IO thread does framing only.
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  metrics_->in_flight->Add(1);
   pool_->Submit([this, conn, frame = std::move(frame)]() {
     api::AnyRequest request;
     Status decoded =
         DecodeRequestPayload(frame.type, frame.payload, &request);
     if (!decoded.ok()) {
       errors_sent_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->errors->Inc();
       WriteToConn(conn,
                   EncodeErrorFrame(frame.correlation, decoded, frame.type));
     } else {
@@ -259,6 +315,7 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
         // would reject as unrecoverable (its frame cap mirrors ours).
         // Answer with a typed refusal instead of breaking the stream.
         errors_sent_.fetch_add(1, std::memory_order_relaxed);
+        metrics_->errors->Inc();
         WriteToConn(conn,
                     EncodeErrorFrame(
                         frame.correlation,
@@ -272,10 +329,12 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
         // Count before writing: once the client holds the reply, the stat
         // must already reflect it (tests assert equality right after).
         responses_sent_.fetch_add(1, std::memory_order_relaxed);
+        metrics_->responses->Inc();
         WriteToConn(conn, bytes);
       }
     }
     conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_->in_flight->Sub(1);
   });
 }
 
@@ -284,9 +343,12 @@ void Server::WriteToConn(const std::shared_ptr<Conn>& conn,
   if (conn->dead.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->dead.load(std::memory_order_acquire)) return;
-  if (!conn->sock.WriteAll(bytes.data(), bytes.size(),
-                           options_.write_timeout_ms)
-           .ok()) {
+  if (conn->sock.WriteAll(bytes.data(), bytes.size(),
+                          options_.write_timeout_ms)
+          .ok()) {
+    bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    metrics_->bytes_out->Inc(bytes.size());
+  } else {
     // Peer went away mid-write, or stopped draining for longer than
     // write_timeout_ms. Hand the connection to the IO thread for a real
     // close — otherwise a peer with outstanding Awaits would hang forever
@@ -307,15 +369,19 @@ void Server::SendError(const std::shared_ptr<Conn>& conn,
   if (conn->in_flight.load(std::memory_order_acquire) >=
       options_.max_in_flight + kErrorSlack) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->protocol_errors->Inc();
     AbandonConn(conn);
     return;
   }
   errors_sent_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->errors->Inc();
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  metrics_->in_flight->Add(1);
   pool_->Submit(
       [this, conn, bytes = EncodeErrorFrame(correlation, error, type)]() {
         WriteToConn(conn, bytes);
         conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        metrics_->in_flight->Sub(1);
       });
 }
 

@@ -43,7 +43,9 @@ struct ServerOptions {
   std::function<void(const api::AnyRequest&)> before_dispatch;
 };
 
-/// Monotonic counters, readable while the server runs.
+/// Monotonic counters, readable while the server runs. Each one is
+/// mirrored into the process metrics registry under `net.*` (see
+/// docs/observability.md), so MetricsQuery sees the same numbers.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t frames_received = 0;
@@ -55,6 +57,8 @@ struct ServerStats {
   /// magic/kind/CRC, oversized payload) or flooding past the error-reply
   /// slack above max_in_flight.
   uint64_t protocol_errors = 0;
+  uint64_t bytes_received = 0;  ///< raw socket bytes in (incl. framing)
+  uint64_t bytes_sent = 0;      ///< raw socket bytes out (incl. framing)
 };
 
 /// Multi-client TCP front over an api::Service.
@@ -156,6 +160,13 @@ class Server {
   std::atomic<uint64_t> overload_rejections_{0};
   std::atomic<uint64_t> version_rejections_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+
+  /// Registry mirrors (net.* metrics), cached at construction; counters
+  /// aggregate across all Server instances in the process.
+  struct Metrics;
+  const Metrics* metrics_;
 };
 
 }  // namespace itag::net

@@ -109,6 +109,9 @@ namespace {
 void Put(WireWriter& w, uint32_t v) { w.U32(v); }
 bool Get(WireReader& r, uint32_t* v) { return r.U32(v); }
 
+void Put(WireWriter& w, uint64_t v) { w.U64(v); }
+bool Get(WireReader& r, uint64_t* v) { return r.U64(v); }
+
 void Put(WireWriter& w, const std::string& s) { w.Str(s); }
 bool Get(WireReader& r, std::string* s) { return r.Str(s); }
 
@@ -154,6 +157,8 @@ void Put(WireWriter& w, const api::SubmitTagsItem& m);
 bool Get(WireReader& r, api::SubmitTagsItem* m);
 void Put(WireWriter& w, const api::DecideItem& m);
 bool Get(WireReader& r, api::DecideItem* m);
+void Put(WireWriter& w, const obs::MetricSample& m);
+bool Get(WireReader& r, obs::MetricSample* m);
 
 template <typename T>
 void PutVec(WireWriter& w, const std::vector<T>& v) {
@@ -404,6 +409,13 @@ bool Get(WireReader& r, api::CheckpointRequest* m) {
   return true;  // empty payload; DecodeInto's AtEnd() rejects extra bytes
 }
 
+void Put(WireWriter& w, const api::MetricsQueryRequest& m) {
+  w.Str(m.prefix);
+}
+bool Get(WireReader& r, api::MetricsQueryRequest* m) {
+  return r.Str(&m->prefix);
+}
+
 // ---- response structs
 
 void Put(WireWriter& w, const api::RegisterProviderResponse& m) {
@@ -496,6 +508,37 @@ void Put(WireWriter& w, const api::CheckpointResponse& m) {
 bool Get(WireReader& r, api::CheckpointResponse* m) {
   return Get(r, &m->status) && GetBool(r, &m->durable) && r.U64(&m->tables) &&
          r.U64(&m->rows);
+}
+
+// ---- observability structs
+
+void Put(WireWriter& w, const obs::MetricSample& m) {
+  w.Str(m.name);
+  PutEnum(w, m.kind);
+  w.U64(m.count);
+  w.I64(m.gauge);
+  w.U64(m.sum);
+  PutVec(w, m.buckets);
+}
+bool Get(WireReader& r, obs::MetricSample* m) {
+  return r.Str(&m->name) &&
+         GetEnum(r, &m->kind,
+                 static_cast<uint8_t>(obs::MetricKind::kHistogram)) &&
+         r.U64(&m->count) && r.I64(&m->gauge) && r.U64(&m->sum) &&
+         GetVec(r, &m->buckets) &&
+         // The bucket model is fixed (kHistogramBuckets for histograms,
+         // empty otherwise); any other length is a malformed sample, not
+         // something ApproxQuantile/RenderText should be handed.
+         (m->buckets.empty() ||
+          m->buckets.size() == obs::kHistogramBuckets);
+}
+
+void Put(WireWriter& w, const api::MetricsQueryResponse& m) {
+  Put(w, m.status);
+  PutVec(w, m.metrics);
+}
+bool Get(WireReader& r, api::MetricsQueryResponse* m) {
+  return Get(r, &m->status) && GetVec(r, &m->metrics);
 }
 
 /// Parses `payload` as message type T (rejecting trailing bytes) and stores
@@ -642,7 +685,7 @@ std::string EncodeResponsePayload(const api::AnyResponse& response) {
 
 Status DecodeRequestPayload(uint16_t type, std::string_view payload,
                             api::AnyRequest* out) {
-  static_assert(api::kRequestTypeCount == 11,
+  static_assert(api::kRequestTypeCount == 12,
                 "new AnyRequest alternative: extend the codec switches");
   const char* name = api::RequestTypeName(type);
   switch (type) {
@@ -668,6 +711,8 @@ Status DecodeRequestPayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::StepRequest>(payload, out, name);
     case 10:
       return DecodeInto<api::CheckpointRequest>(payload, out, name);
+    case 11:
+      return DecodeInto<api::MetricsQueryRequest>(payload, out, name);
     default:
       return Status::Unimplemented("unknown request type tag " +
                                    std::to_string(type));
@@ -700,6 +745,8 @@ Status DecodeResponsePayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::StepResponse>(payload, out, name);
     case 10:
       return DecodeInto<api::CheckpointResponse>(payload, out, name);
+    case 11:
+      return DecodeInto<api::MetricsQueryResponse>(payload, out, name);
     default:
       return Status::Unimplemented("unknown response type tag " +
                                    std::to_string(type));

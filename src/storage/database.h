@@ -115,6 +115,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   size_t batch_depth_ = 0;
   std::string batch_buf_;  ///< length-prefixed sub-records of the open batch
+  size_t batch_ops_ = 0;   ///< sub-records buffered in the open batch
   Status wal_error_ = Status::OK();  ///< sticky first append failure
 };
 

@@ -156,18 +156,21 @@ TEST(NetServerTest, VersionMismatchGetsTypedReplyAndConnectionSurvives) {
   server.Stop();
 }
 
-// The v1→v2 bump (Checkpoint endpoint) in particular: a version-1 frame —
-// what any pre-durability client still sends — gets the typed
-// FailedPrecondition reply naming both versions, never a hangup, and the
-// negotiation hooks cover the new variant.
-TEST(NetServerTest, VersionOneFrameGetsTypedReplyAfterV2Bump) {
-  static_assert(api::kApiVersion == 2,
+// Stale-frame negotiation across the version history: a v1 frame (any
+// pre-durability client) and a v2 frame (any pre-observability client)
+// each get the typed FailedPrecondition reply naming both versions, never
+// a hangup, and the negotiation hooks cover the newest variant.
+TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
+  static_assert(api::kApiVersion == 3,
                 "update this test alongside the next version bump");
   static_assert(!api::IsCompatibleApiVersion(1),
-                "v1 frames must be refused by a v2 server");
+                "v1 frames must be refused by a v3 server");
+  static_assert(!api::IsCompatibleApiVersion(2),
+                "v2 frames must be refused by a v3 server");
   static_assert(api::IsCompatibleApiVersion(api::kApiVersion));
   EXPECT_STREQ(api::RequestTypeName(10), "Checkpoint");
-  EXPECT_EQ(api::kRequestTypeCount, 11u);
+  EXPECT_STREQ(api::RequestTypeName(11), "MetricsQuery");
+  EXPECT_EQ(api::kRequestTypeCount, 12u);
 
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
@@ -176,22 +179,30 @@ TEST(NetServerTest, VersionOneFrameGetsTypedReplyAfterV2Bump) {
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
 
-  client.set_wire_version(1);
-  Result<api::AnyResponse> r =
-      client.Dispatch(api::AnyRequest{api::CheckpointRequest{}});
-  ASSERT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status().ToString();
-  EXPECT_NE(r.status().message().find("1"), std::string::npos);
-  EXPECT_NE(r.status().message().find(std::to_string(api::kApiVersion)),
-            std::string::npos);
+  for (uint32_t stale : {uint32_t{1}, uint32_t{2}}) {
+    SCOPED_TRACE("stale version " + std::to_string(stale));
+    client.set_wire_version(stale);
+    Result<api::AnyResponse> r =
+        client.Dispatch(api::AnyRequest{api::CheckpointRequest{}});
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status().ToString();
+    EXPECT_NE(r.status().message().find(std::to_string(stale)),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find(std::to_string(api::kApiVersion)),
+              std::string::npos);
+  }
 
-  // Same connection, current version: the new endpoint is served.
+  // Same connection, current version: both newer endpoints are served.
   client.set_wire_version(api::kApiVersion);
   Result<api::CheckpointResponse> ck = client.Checkpoint({});
   ASSERT_TRUE(ck.ok()) << ck.status().ToString();
   EXPECT_TRUE(ck.value().status.ok());
   EXPECT_FALSE(ck.value().durable);  // in-memory backend
-  EXPECT_EQ(server.stats().version_rejections, 1u);
+  Result<api::MetricsQueryResponse> mq = client.Metrics({"api."});
+  ASSERT_TRUE(mq.ok()) << mq.status().ToString();
+  EXPECT_TRUE(mq.value().status.ok());
+  EXPECT_FALSE(mq.value().metrics.empty());
+  EXPECT_EQ(server.stats().version_rejections, 2u);
   server.Stop();
 }
 

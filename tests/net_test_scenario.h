@@ -166,6 +166,12 @@ inline std::vector<api::AnyRequest> BuildFullCoverageScript(
   // in-memory scratch both are typed no-op successes).
   Play(scratch, &script, api::CheckpointRequest{});
 
+  // --- observability: a prefix matching no registered metric, so the
+  // response (OK + empty vector) is deterministic across backends — live
+  // metric values are wall-clock-dependent and belong to obs_test, not to
+  // these bit-equality replays.
+  Play(scratch, &script, api::MetricsQueryRequest{"~no-such-metric~/"});
+
   // Final snapshot so the script's last response aggregates everything.
   Play(scratch, &script, api::ProjectQueryRequest{project, true, {}});
   Play(scratch, &script, api::CheckpointRequest{});
