@@ -1,7 +1,7 @@
 // itag_loadgen — scenario-driven load generator for a running itag_server.
 //
 //   ./itag_loadgen [port] [--scenario NAME] [--threads N] [--seconds S]
-//                  [--projects P] [--list]
+//                  [--projects P] [--page-cache-mb N] [--list]
 //
 // Drives the server with a named traffic shape from N concurrent
 // pipelined net::Clients, then prints a metrics-backed summary: the
@@ -15,6 +15,14 @@
 // heavy tails — Golder & Huberman; Liu et al.), and tag choice draws from
 // a Zipf-ranked vocabulary (rank-frequency skew). `--scenario uniform` is
 // the control shape with the skew turned off.
+//
+// --page-cache-mb N declares that the server was started with the paged
+// storage engine and an N-MiB page cache: the summary then includes the
+// storage.page.* counters and the run FAILS unless the server actually
+// wrote pages — and, for a tiny cache (N <= 4), unless the load forced
+// evictions. This is how the CI smoke proves the paged path (and its
+// eviction machinery) ran under concurrent traffic, not just that the
+// server stayed up.
 //
 // Exit status: 0 when every worker completed and at least one request
 // succeeded; 1 on transport failure or a dead server.
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
   size_t threads = 4;
   double seconds = 5.0;
   size_t projects_override = 0;
+  long page_cache_mb = -1;  // >=0: server runs the paged engine; verify it
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
@@ -247,6 +256,8 @@ int main(int argc, char** argv) {
       seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--projects") == 0 && i + 1 < argc) {
       projects_override = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--page-cache-mb") == 0 && i + 1 < argc) {
+      page_cache_mb = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--list") == 0) {
       ListScenarios();
       return 0;
@@ -256,7 +267,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [--scenario NAME] [--threads N] "
-                   "[--seconds S] [--projects P] [--list]\n",
+                   "[--seconds S] [--projects P] [--page-cache-mb N] "
+                   "[--list]\n",
                    argv[0]);
       return 2;
     }
@@ -407,7 +419,10 @@ int main(int argc, char** argv) {
        {"core.route.items", "core.route.fanouts", "core.step.ticks",
         "net.connections", "net.frames", "net.bytes_in", "net.bytes_out",
         "net.overload_rejections", "storage.wal.appends",
-        "storage.checkpoint.count"}) {
+        "storage.checkpoint.count", "storage.page.reads",
+        "storage.page.writes", "storage.page.cache_hits",
+        "storage.page.cache_misses", "storage.page.evictions",
+        "storage.page.cache_resident"}) {
     const obs::MetricSample* s = FindMetric(samples, name);
     if (s != nullptr) {
       std::printf("  %-26s %llu\n", name,
@@ -427,6 +442,30 @@ int main(int argc, char** argv) {
   if (total_ok == 0) {
     std::fprintf(stderr, "\nFAIL: no request succeeded\n");
     return 1;
+  }
+  if (page_cache_mb >= 0) {
+    // The server was declared paged: the load must have driven actual page
+    // IO, and a tiny cache must have been forced to evict.
+    uint64_t page_writes = MetricCount(samples, "storage.page.writes");
+    uint64_t evictions = MetricCount(samples, "storage.page.evictions");
+    if (page_writes == 0) {
+      std::fprintf(stderr,
+                   "\nFAIL: --page-cache-mb given but the server reported "
+                   "zero storage.page.writes (paged engine not active?)\n");
+      return 1;
+    }
+    if (page_cache_mb <= 4 && evictions == 0) {
+      std::fprintf(stderr,
+                   "\nFAIL: %ld MiB page cache saw zero evictions — the "
+                   "smoke did not exercise eviction\n",
+                   page_cache_mb);
+      return 1;
+    }
+    std::printf(
+        "\npaged engine verified: %llu page writes, %llu evictions "
+        "(%ld MiB cache)\n",
+        static_cast<unsigned long long>(page_writes),
+        static_cast<unsigned long long>(evictions), page_cache_mb);
   }
   std::printf("\nitag_loadgen: ok (%llu client ops)\n",
               static_cast<unsigned long long>(total_ok));

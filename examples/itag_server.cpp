@@ -2,6 +2,7 @@
 // behind the binary wire protocol, serving any number of TCP clients.
 //
 //   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
+//                 [--page-cache-mb=N]
 //
 // Defaults: port 7421, run until SIGINT/SIGTERM, 4 shards, in-memory.
 // A non-zero max_seconds self-terminates after that long (handy for CI
@@ -11,6 +12,11 @@
 // --db-dir makes the daemon durable: every shard persists to
 // DIR/shard-<i>, so a restart (or a kill -9 — the WAL replays to the last
 // complete record) on the same directory resumes serving the same state.
+// --page-cache-mb=N additionally switches storage to the paged engine
+// (storage/pager): shard state lives in fixed-size-page B+tree files with
+// an N-MiB page cache per shard, so tables may exceed RAM and a clean
+// restart reads only the page-file meta + catalog instead of replaying
+// the WAL (see docs/paged-storage.md). Requires --db-dir.
 // On SIGINT/SIGTERM the daemon shuts down gracefully: stop accepting,
 // drain in-flight requests, checkpoint (snapshot + WAL truncate, bounding
 // the next start's recovery time), exit 0.
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   long max_seconds = 0;
   std::string db_dir;
   size_t shards = 4;
+  long page_cache_mb = -1;  // <0 = snapshot engine, >=0 = paged engine
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -51,6 +58,8 @@ int main(int argc, char** argv) {
       db_dir = arg + 9;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       shards = static_cast<size_t>(std::atol(arg + 9));
+    } else if (std::strncmp(arg, "--page-cache-mb=", 16) == 0) {
+      page_cache_mb = std::atol(arg + 16);
     } else if (positional == 0) {
       port = static_cast<uint16_t>(std::atoi(arg));
       ++positional;
@@ -60,10 +69,14 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [max_seconds] [--db-dir=DIR] "
-                   "[--shards=N]\n",
+                   "[--shards=N] [--page-cache-mb=N]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (page_cache_mb >= 0 && db_dir.empty()) {
+    std::fprintf(stderr, "--page-cache-mb requires --db-dir\n");
+    return 2;
   }
 
   // The server front is concurrent, so the backend must be the sharded,
@@ -72,6 +85,10 @@ int main(int argc, char** argv) {
   core::ShardedSystemOptions shard_opts;
   shard_opts.num_shards = shards == 0 ? 1 : shards;
   shard_opts.shard.db.directory = db_dir;
+  if (page_cache_mb >= 0) {
+    shard_opts.shard.db.paged = true;
+    shard_opts.shard.db.page_cache_mb = static_cast<size_t>(page_cache_mb);
+  }
   api::Service service(shard_opts);
   Status init = service.Init();
   if (!init.ok()) {
@@ -87,10 +104,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
   }
+  std::string backend =
+      db_dir.empty() ? std::string("in-memory")
+                     : (page_cache_mb >= 0
+                            ? "durable (paged, " +
+                                  std::to_string(page_cache_mb) +
+                                  " MiB cache): " + db_dir
+                            : "durable: " + db_dir);
   std::printf(
       "itag_server listening on 127.0.0.1:%u (api v%u, %zu shards, %s)\n",
       server.port(), api::kApiVersion, shard_opts.num_shards,
-      db_dir.empty() ? "in-memory" : ("durable: " + db_dir).c_str());
+      backend.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

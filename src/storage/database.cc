@@ -8,6 +8,8 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "storage/pager/paged_engine.h"
+#include "storage/row_store.h"
 
 namespace itag::storage {
 
@@ -45,33 +47,16 @@ struct StorageMetrics {
 
 }  // namespace
 
-std::string EncodeRow(const Row& row) {
-  std::string out;
-  uint32_t n = static_cast<uint32_t>(row.size());
-  out.append(reinterpret_cast<const char*>(&n), 4);
-  for (const Value& v : row) v.EncodeTo(&out);
-  return out;
-}
-
-bool DecodeRow(const std::string& data, size_t arity, Row* out) {
-  size_t off = 0;
-  if (data.size() < 4) return false;
-  uint32_t n;
-  std::memcpy(&n, data.data(), 4);
-  off += 4;
-  if (n != arity) return false;
-  out->clear();
-  out->resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (!Value::DecodeFrom(data, &off, &(*out)[i])) return false;
-  }
-  return off == data.size();
-}
+Database::Database() = default;
+Database::~Database() = default;
 
 Status Database::Open(const DatabaseOptions& options) {
   options_ = options;
   durable_ = !options.directory.empty();
   tables_.clear();
+  engine_.reset();
+  next_lsn_ = 1;
+  recovery_stats_ = RecoveryStats{};
   if (!durable_) return Status::OK();
 
   std::error_code ec;
@@ -80,7 +65,11 @@ Status Database::Open(const DatabaseOptions& options) {
     return Status::IOError("cannot create " + options_.directory + ": " +
                            ec.message());
   }
-  ITAG_RETURN_IF_ERROR(Recover());
+  if (options_.paged) {
+    ITAG_RETURN_IF_ERROR(RecoverPaged());
+  } else {
+    ITAG_RETURN_IF_ERROR(Recover());
+  }
   return wal_.Open(options_.directory + "/" + options_.wal_file);
 }
 
@@ -92,7 +81,12 @@ Status Database::Recover() {
   std::vector<WalRecord> records;
   ITAG_RETURN_IF_ERROR(
       ReadWal(options_.directory + "/" + options_.wal_file, &records));
+  uint64_t max_lsn = 0;
   for (const WalRecord& rec : records) {
+    ++recovery_stats_.wal_records_scanned;
+    recovery_stats_.wal_bytes_scanned += rec.payload.size();
+    if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+    ++recovery_stats_.wal_records_replayed;
     Status s = ApplyWalRecord(rec);
     if (!s.ok()) {
       // Replay must be idempotent-ish against a snapshot that already
@@ -102,8 +96,80 @@ Status Database::Recover() {
       if (!s.IsAlreadyExists()) return s;
     }
   }
+  next_lsn_ = max_lsn + 1;
   ITAG_LOG(kInfo) << "recovered " << tables_.size() << " tables, replayed "
                   << records.size() << " wal records";
+  return Status::OK();
+}
+
+Status Database::RecoverPaged() {
+  engine_ = std::make_unique<pager::PagedEngine>();
+  pager::PagedEngineOptions eopts;
+  eopts.path = options_.directory + "/" + options_.page_file;
+  eopts.page_size = options_.page_size;
+  eopts.cache_bytes = options_.page_cache_mb << 20;
+  eopts.compression = options_.page_compression;
+  Status opened = engine_->Open(eopts);
+  if (!opened.ok()) {
+    engine_.reset();
+    return opened;
+  }
+
+  // Rehydrate table handles from the committed catalog — O(catalog); no row
+  // is read until a query faults its page in.
+  for (const std::string& name : engine_->TableNames()) {
+    pager::PagedTableState* state = engine_->GetTable(name);
+    Schema schema;
+    size_t off = 0;
+    if (!Schema::DecodeFrom(state->schema_blob, &off, &schema)) {
+      return Status::Corruption("catalog schema for " + name +
+                                " does not decode");
+    }
+    auto store = std::make_unique<PagedRowStore>(
+        state->tree.get(), schema.num_columns(), state->row_count);
+    tables_.emplace(name,
+                    std::make_unique<Table>(name, schema, std::move(store),
+                                            state->next_row_id));
+  }
+
+  // Replay only the WAL tail past the checkpoint: after a clean shutdown
+  // (checkpoint truncated the WAL) this loop reads nothing; after a crash it
+  // replays exactly the frames the page file does not contain yet.
+  const uint64_t ckpt = engine_->checkpoint_lsn();
+  uint64_t max_lsn = ckpt;
+  std::vector<WalRecord> records;
+  ITAG_RETURN_IF_ERROR(
+      ReadWal(options_.directory + "/" + options_.wal_file, &records));
+  for (const WalRecord& rec : records) {
+    ++recovery_stats_.wal_records_scanned;
+    recovery_stats_.wal_bytes_scanned += rec.payload.size();
+    if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+    if (rec.lsn <= ckpt) continue;  // already durable in the page file
+    ++recovery_stats_.wal_records_replayed;
+    Status s = ApplyWalRecord(rec);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  next_lsn_ = max_lsn + 1;
+  ITAG_LOG(kInfo) << "paged open: " << tables_.size() << " tables, replayed "
+                  << recovery_stats_.wal_records_replayed << "/"
+                  << recovery_stats_.wal_records_scanned
+                  << " wal records past lsn " << ckpt;
+  return Status::OK();
+}
+
+Status Database::MakeTable(const std::string& name, const Schema& schema) {
+  if (paged()) {
+    std::string blob;
+    schema.EncodeTo(&blob);
+    ITAG_RETURN_IF_ERROR(engine_->CreateTable(name, blob));
+    pager::PagedTableState* state = engine_->GetTable(name);
+    auto store = std::make_unique<PagedRowStore>(state->tree.get(),
+                                                 schema.num_columns(), 0);
+    tables_.emplace(name, std::make_unique<Table>(name, schema,
+                                                  std::move(store), 1));
+    return Status::OK();
+  }
+  tables_.emplace(name, std::make_unique<Table>(name, schema));
   return Status::OK();
 }
 
@@ -116,11 +182,12 @@ Status Database::ApplyWalRecord(const WalRecord& rec) {
         return Status::Corruption("bad schema in wal for " + rec.table);
       }
       if (tables_.count(rec.table)) return Status::AlreadyExists(rec.table);
-      tables_.emplace(rec.table,
-                      std::make_unique<Table>(rec.table, schema));
-      return Status::OK();
+      return MakeTable(rec.table, schema);
     }
     case WalOp::kDropTable:
+      if (paged() && tables_.count(rec.table)) {
+        ITAG_RETURN_IF_ERROR(engine_->DropTable(rec.table));
+      }
       tables_.erase(rec.table);
       return Status::OK();
     case WalOp::kInsert: {
@@ -218,7 +285,8 @@ Status Database::LogOp(WalOp op, const std::string& table, RowId row_id,
   rec.row_id = row_id;
   rec.payload = std::move(payload);
   if (batch_depth_ > 0) {
-    // Buffer into the open atomic group instead of framing immediately.
+    // Buffer into the open atomic group instead of framing immediately; the
+    // group frame's LSN covers every sub-record, so theirs stay 0.
     std::string encoded = EncodeWalRecord(rec);
     uint32_t len = static_cast<uint32_t>(encoded.size());
     batch_buf_.append(reinterpret_cast<const char*>(&len), 4);
@@ -226,6 +294,7 @@ Status Database::LogOp(WalOp op, const std::string& table, RowId row_id,
     ++batch_ops_;
     return Status::OK();
   }
+  rec.lsn = next_lsn_++;
   size_t payload_bytes = rec.payload.size();
   Status s = wal_.Append(rec);
   if (!s.ok()) {
@@ -256,6 +325,7 @@ Status Database::CommitBatch() {
   }
   WalRecord rec;
   rec.op = WalOp::kBatch;
+  rec.lsn = next_lsn_++;
   rec.payload = std::move(batch_buf_);
   batch_buf_.clear();
   size_t payload_bytes = rec.payload.size();
@@ -277,13 +347,15 @@ Status Database::CreateTable(const std::string& name, const Schema& schema) {
   std::string payload;
   schema.EncodeTo(&payload);
   ITAG_RETURN_IF_ERROR(LogOp(WalOp::kCreateTable, name, 0, payload));
-  tables_.emplace(name, std::make_unique<Table>(name, schema));
-  return Status::OK();
+  return MakeTable(name, schema);
 }
 
 Status Database::DropTable(const std::string& name) {
   if (!tables_.count(name)) return Status::NotFound("table " + name);
   ITAG_RETURN_IF_ERROR(LogOp(WalOp::kDropTable, name, 0, ""));
+  if (paged()) {
+    ITAG_RETURN_IF_ERROR(engine_->DropTable(name));
+  }
   tables_.erase(name);
   return Status::OK();
 }
@@ -348,6 +420,34 @@ Status Database::Checkpoint() {
   // that divergence permanent and invisible.
   if (!wal_error_.ok()) return wal_error_;
   auto checkpoint_start = std::chrono::steady_clock::now();
+
+  if (paged()) {
+    // Refresh the catalog scalars the engine persists alongside each tree
+    // root, then commit: flush dirty pages, write the catalog chain, flip
+    // the meta slot. No table is serialized — cost scales with dirty pages,
+    // not with total rows.
+    for (const auto& [name, table] : tables_) {
+      pager::PagedTableState* state = engine_->GetTable(name);
+      if (state == nullptr) {
+        return Status::Corruption("table " + name + " missing from catalog");
+      }
+      state->next_row_id = table->next_row_id();
+      state->row_count = table->row_count();
+    }
+    const uint64_t ckpt_lsn = next_lsn_ - 1;
+    ITAG_RETURN_IF_ERROR(engine_->Checkpoint(ckpt_lsn));
+    Status reset = wal_.Reset();
+    if (reset.ok()) {
+      StorageMetrics::Get().checkpoints->Inc();
+      StorageMetrics::Get().checkpoint_latency_us->Observe(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - checkpoint_start)
+                  .count()));
+    }
+    return reset;
+  }
+
   std::string data;
   uint32_t ntables = static_cast<uint32_t>(tables_.size());
   data.append(reinterpret_cast<const char*>(&ntables), 4);

@@ -13,6 +13,10 @@
 
 namespace itag::storage {
 
+namespace pager {
+class PagedEngine;
+}  // namespace pager
+
 /// Durability configuration for a Database.
 struct DatabaseOptions {
   /// Directory holding the snapshot and WAL files. Empty means fully
@@ -24,6 +28,34 @@ struct DatabaseOptions {
 
   /// WAL file name inside `directory`.
   std::string wal_file = "wal.log";
+
+  /// Paged mode: rows live in a fixed-size-page file (storage/pager) instead
+  /// of the monolithic snapshot. Checkpoint() flushes dirty pages and a
+  /// catalog root rather than serializing every table, and Open() reads only
+  /// the page-file meta + catalog — cold start is O(catalog), not O(rows),
+  /// and tables may exceed RAM. Ignored when `directory` is empty.
+  bool paged = false;
+
+  /// Page file name inside `directory` (paged mode).
+  std::string page_file = "pages.db";
+
+  /// Page-cache budget in MiB (paged mode).
+  size_t page_cache_mb = 64;
+
+  /// Page size in bytes when creating the page file; an existing file's
+  /// recorded size wins.
+  size_t page_size = 4096;
+
+  /// Compress page payloads (pagez) on write (paged mode).
+  bool page_compression = false;
+};
+
+/// What the last Open() had to do to reach the recovered state; tests use
+/// this to assert that a clean paged restart does not replay the full WAL.
+struct RecoveryStats {
+  uint64_t wal_records_scanned = 0;   ///< frames read from the WAL file
+  uint64_t wal_records_replayed = 0;  ///< frames actually applied
+  uint64_t wal_bytes_scanned = 0;     ///< payload bytes across scanned frames
 };
 
 /// The embedded relational engine standing in for the MySQL instance in the
@@ -41,7 +73,8 @@ struct DatabaseOptions {
 /// one event loop, matching the demo system's single MySQL connection.
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();
 
   /// Opens (and recovers) a database per `options`.
   Status Open(const DatabaseOptions& options);
@@ -102,17 +135,34 @@ class Database {
 
   bool durable() const { return durable_; }
 
+  /// True when this database runs on the paged engine.
+  bool paged() const { return engine_ != nullptr; }
+
+  /// What the last Open() replayed (see RecoveryStats).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// The paged engine underneath, or nullptr in snapshot/in-memory mode
+  /// (benchmarks and tests inspect page/cache counters through it).
+  pager::PagedEngine* engine() { return engine_.get(); }
+
  private:
   Status LogOp(WalOp op, const std::string& table, RowId row_id,
                std::string payload);
   Status Recover();
+  Status RecoverPaged();
   Status LoadSnapshot(const std::string& path);
   Status ApplyWalRecord(const WalRecord& rec);
+  /// Creates a Table (and, in paged mode, its engine-side tree+catalog
+  /// entry); shared by CreateTable and WAL replay.
+  Status MakeTable(const std::string& name, const Schema& schema);
 
   DatabaseOptions options_;
   bool durable_ = false;
   WalWriter wal_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::unique_ptr<pager::PagedEngine> engine_;  ///< set iff paged mode
+  uint64_t next_lsn_ = 1;  ///< LSN the next appended WAL frame gets
+  RecoveryStats recovery_stats_;
   size_t batch_depth_ = 0;
   std::string batch_buf_;  ///< length-prefixed sub-records of the open batch
   size_t batch_ops_ = 0;   ///< sub-records buffered in the open batch
@@ -141,12 +191,6 @@ class BatchScope {
   Database* db_;
   bool committed_ = false;
 };
-
-/// Encodes a row for WAL payloads.
-std::string EncodeRow(const Row& row);
-
-/// Decodes a row with `arity` columns; false on malformed input.
-bool DecodeRow(const std::string& data, size_t arity, Row* out);
 
 }  // namespace itag::storage
 

@@ -1,0 +1,203 @@
+#include "storage/pager/page_cache.h"
+
+#include <cassert>
+
+#include "obs/metrics.h"
+
+namespace itag::storage::pager {
+
+namespace {
+
+/// Process-wide storage.page.* cache metrics (docs/observability.md).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Gauge* resident;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      CacheMetrics s;
+      s.hits = reg.GetCounter("storage.page.cache_hits");
+      s.misses = reg.GetCounter("storage.page.cache_misses");
+      s.evictions = reg.GetCounter("storage.page.evictions");
+      s.resident = reg.GetGauge("storage.page.cache_resident");
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    id_ = other.id_;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(id_);
+    cache_ = nullptr;
+  }
+}
+
+PageImage& PageRef::image() {
+  assert(valid());
+  return cache_->ImageOf(id_);
+}
+
+const PageImage& PageRef::image() const {
+  assert(valid());
+  return cache_->ImageOf(id_);
+}
+
+void PageRef::MarkDirty() {
+  assert(valid());
+  cache_->MarkDirty(id_);
+}
+
+PageCache::PageCache(Pager* pager, size_t capacity_bytes) : pager_(pager) {
+  size_t frame_bytes = pager->page_size();
+  capacity_frames_ = capacity_bytes / frame_bytes;
+  if (capacity_frames_ == 0) capacity_frames_ = 1;
+}
+
+PageCache::~PageCache() {
+  CacheMetrics::Get().resident->Sub(static_cast<int64_t>(frames_.size()));
+}
+
+PageImage& PageCache::ImageOf(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  return it->second.image;
+}
+
+void PageCache::MarkDirty(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  it->second.dirty = true;
+}
+
+void PageCache::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end() && it->second.pins > 0);
+  --it->second.pins;
+}
+
+Result<PageRef> PageCache::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++it->second.pins;
+    it->second.referenced = true;
+    ++stats_.hits;
+    CacheMetrics::Get().hits->Inc();
+    return PageRef(this, id);
+  }
+  ++stats_.misses;
+  CacheMetrics::Get().misses->Inc();
+  ITAG_RETURN_IF_ERROR(EvictForSpace());
+  Frame frame;
+  ITAG_RETURN_IF_ERROR(pager_->ReadPage(id, &frame.image));
+  frame.pins = 1;
+  frame.referenced = true;
+  frames_.emplace(id, std::move(frame));
+  clock_order_.push_back(id);
+  CacheMetrics::Get().resident->Add(1);
+  return PageRef(this, id);
+}
+
+Result<PageRef> PageCache::PinNew(PageId id, PageType type) {
+  assert(frames_.find(id) == frames_.end());
+  ITAG_RETURN_IF_ERROR(EvictForSpace());
+  Frame frame;
+  frame.image.header.page_id = id;
+  frame.image.header.type = type;
+  frame.pins = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  frames_.emplace(id, std::move(frame));
+  clock_order_.push_back(id);
+  CacheMetrics::Get().resident->Add(1);
+  return PageRef(this, id);
+}
+
+void PageCache::Drop(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  assert(it->second.pins == 0 && "dropping a pinned page");
+  frames_.erase(it);  // ring entry goes stale; the clock skips it
+  CacheMetrics::Get().resident->Sub(1);
+}
+
+Status PageCache::WriteBack(PageId id, Frame* frame) {
+  (void)id;
+  ITAG_RETURN_IF_ERROR(pager_->WritePage(&frame->image));
+  frame->dirty = false;
+  ++stats_.dirty_writebacks;
+  return Status::OK();
+}
+
+Status PageCache::EvictForSpace() {
+  // Second-chance sweep; gives up (and lets the cache exceed budget) when a
+  // full lap finds only pinned frames.
+  while (frames_.size() >= capacity_frames_) {
+    bool evicted = false;
+    size_t steps = 0;
+    const size_t max_steps = 2 * clock_order_.size();
+    while (steps < max_steps && !clock_order_.empty()) {
+      if (clock_hand_ >= clock_order_.size()) clock_hand_ = 0;
+      PageId id = clock_order_[clock_hand_];
+      auto it = frames_.find(id);
+      if (it == frames_.end()) {
+        // Stale ticket of an evicted/dropped frame — retire it.
+        clock_order_.erase(clock_order_.begin() +
+                           static_cast<ptrdiff_t>(clock_hand_));
+        continue;
+      }
+      ++steps;
+      Frame& frame = it->second;
+      if (frame.pins > 0) {
+        ++clock_hand_;
+        continue;
+      }
+      if (frame.referenced) {
+        frame.referenced = false;
+        ++clock_hand_;
+        continue;
+      }
+      if (frame.dirty) {
+        ITAG_RETURN_IF_ERROR(WriteBack(id, &frame));
+      }
+      frames_.erase(it);
+      clock_order_.erase(clock_order_.begin() +
+                         static_cast<ptrdiff_t>(clock_hand_));
+      ++stats_.evictions;
+      CacheMetrics::Get().evictions->Inc();
+      CacheMetrics::Get().resident->Sub(1);
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;  // pin pressure: grow past budget rather than fail
+  }
+  return Status::OK();
+}
+
+Status PageCache::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      ITAG_RETURN_IF_ERROR(WriteBack(id, &frame));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace itag::storage::pager

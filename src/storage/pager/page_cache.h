@@ -1,0 +1,121 @@
+#ifndef ITAG_STORAGE_PAGER_PAGE_CACHE_H_
+#define ITAG_STORAGE_PAGER_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/pager/page.h"
+#include "storage/pager/pager.h"
+
+namespace itag::storage::pager {
+
+class PageCache;
+
+/// RAII pin on one cached page. While any PageRef to a page is alive the
+/// frame cannot be evicted; destruction unpins. Mutators go through
+/// image()/MarkDirty so write-back happens on eviction or FlushAll.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  bool valid() const { return cache_ != nullptr; }
+  PageId id() const { return id_; }
+  PageImage& image();
+  const PageImage& image() const;
+  PageHeader& header() { return image().header; }
+  std::vector<uint8_t>& payload() { return image().payload; }
+  const std::vector<uint8_t>& payload() const { return image().payload; }
+  /// Marks the frame dirty — it will be written back before eviction and
+  /// at FlushAll. Every mutation of image() must be paired with this.
+  void MarkDirty();
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class PageCache;
+  PageRef(PageCache* cache, PageId id) : cache_(cache), id_(id) {}
+  PageCache* cache_ = nullptr;
+  PageId id_ = kNullPage;
+};
+
+/// Per-cache counters (the process-wide storage.page.* metrics aggregate
+/// across caches; tests want per-instance numbers).
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Bounded cache of decoded page frames over one Pager, with pin counts
+/// and clock (second-chance) eviction.
+///
+///  * `Pin` faults the page in on miss, evicting the first unpinned frame
+///    whose reference bit is clear (dirty victims are written back first).
+///  * Pinned frames are never evicted. When every frame is pinned the cache
+///    grows past its budget instead of failing — pin pressure is a caller
+///    bug the engine survives — and shrinks back to budget as soon as later
+///    Pins find unpinned victims; the `storage.page.cache_resident` gauge
+///    makes an over-budget cache visible.
+///  * Single-writer like the Pager; no internal locking.
+class PageCache {
+ public:
+  /// `capacity_bytes` is a budget, floored at one frame.
+  PageCache(Pager* pager, size_t capacity_bytes);
+  ~PageCache();
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Pins page `id`, reading it from the pager on miss.
+  Result<PageRef> Pin(PageId id);
+
+  /// Pins a brand-new frame for freshly allocated page `id` without reading
+  /// the (garbage) slot; the frame starts dirty with the given type.
+  Result<PageRef> PinNew(PageId id, PageType type);
+
+  /// Discards the frame for `id` (page was freed): no write-back.
+  void Drop(PageId id);
+
+  /// Writes back every dirty frame (checkpoint). Frames stay resident.
+  Status FlushAll();
+
+  size_t resident() const { return frames_.size(); }
+  size_t capacity_frames() const { return capacity_frames_; }
+  const PageCacheStats& stats() const { return stats_; }
+
+ private:
+  friend class PageRef;
+  struct Frame {
+    PageImage image;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;  // clock second-chance bit
+  };
+
+  void Unpin(PageId id);
+  PageImage& ImageOf(PageId id);
+  void MarkDirty(PageId id);
+  /// Evicts down to capacity; stops early when only pinned frames remain.
+  Status EvictForSpace();
+  Status WriteBack(PageId id, Frame* frame);
+
+  Pager* pager_;
+  size_t capacity_frames_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::vector<PageId> clock_order_;  ///< insertion ring the clock hand walks
+  size_t clock_hand_ = 0;
+  PageCacheStats stats_;
+};
+
+}  // namespace itag::storage::pager
+
+#endif  // ITAG_STORAGE_PAGER_PAGE_CACHE_H_

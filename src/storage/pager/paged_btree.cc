@@ -1,0 +1,954 @@
+#include "storage/pager/paged_btree.h"
+
+#include <algorithm>
+#include <string>
+
+namespace itag::storage::pager {
+
+namespace {
+
+constexpr uint8_t kValInline = 0;
+constexpr uint8_t kValOverflow = 1;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+/// Bounds-checked little-endian reader over a node payload.
+struct Cursor {
+  const uint8_t* p;
+  size_t n;
+  size_t pos = 0;
+
+  bool U8(uint8_t* v) {
+    if (n - pos < 1) return false;
+    *v = p[pos++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (n - pos < 2) return false;
+    *v = static_cast<uint16_t>(p[pos] | (p[pos + 1] << 8));
+    pos += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (n - pos < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[pos + i]) << (8 * i);
+    pos += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (n - pos < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[pos + i]) << (8 * i);
+    pos += 8;
+    return true;
+  }
+  bool Bytes(std::vector<uint8_t>* v, size_t k) {
+    if (n - pos < k) return false;
+    v->assign(p + pos, p + pos + k);
+    pos += k;
+    return true;
+  }
+  bool AtEnd() const { return pos == n; }
+};
+
+Status NodeCorruption(PageId id, const char* what) {
+  return Status::Corruption("btree page " + std::to_string(id) + ": " + what);
+}
+
+}  // namespace
+
+PagedBTree::PagedBTree(Pager* pager, PageCache* cache, PageId root)
+    : pager_(pager), cache_(cache), root_(root) {}
+
+// ---------------------------------------------------------------------------
+// Node (de)serialization.
+
+size_t PagedBTree::LeafEntryBytes(const ValueRef& v) const {
+  return 8 + 1 + (v.head == kNullPage ? 2 + v.inline_value.size() : 8);
+}
+
+size_t PagedBTree::LeafBytes(const LeafNode& node) const {
+  size_t n = 2;
+  for (const ValueRef& v : node.values) n += LeafEntryBytes(v);
+  return n;
+}
+
+size_t PagedBTree::InternalBytes(const InternalNode& node) const {
+  return 2 + 4 * node.children.size() + 8 * node.keys.size();
+}
+
+void PagedBTree::EncodeLeaf(const LeafNode& node, std::vector<uint8_t>* out) {
+  out->clear();
+  PutU16(out, static_cast<uint16_t>(node.keys.size()));
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    PutU64(out, node.keys[i]);
+    const ValueRef& v = node.values[i];
+    if (v.head == kNullPage) {
+      out->push_back(kValInline);
+      PutU16(out, static_cast<uint16_t>(v.inline_value.size()));
+      out->insert(out->end(), v.inline_value.begin(), v.inline_value.end());
+    } else {
+      out->push_back(kValOverflow);
+      PutU32(out, v.total_len);
+      PutU32(out, v.head);
+    }
+  }
+}
+
+void PagedBTree::EncodeInternal(const InternalNode& node,
+                                std::vector<uint8_t>* out) {
+  out->clear();
+  PutU16(out, static_cast<uint16_t>(node.keys.size()));
+  for (PageId c : node.children) PutU32(out, c);
+  for (uint64_t k : node.keys) PutU64(out, k);
+}
+
+Status PagedBTree::DecodeLeaf(const PageImage& img, LeafNode* out) {
+  if (img.header.type != PageType::kLeaf) {
+    return NodeCorruption(img.header.page_id, "expected leaf");
+  }
+  Cursor c{img.payload.data(), img.payload.size()};
+  uint16_t count = 0;
+  if (!c.U16(&count)) return NodeCorruption(img.header.page_id, "truncated leaf");
+  out->keys.clear();
+  out->values.clear();
+  out->keys.reserve(count);
+  out->values.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    uint8_t kind = 0;
+    ValueRef v;
+    if (!c.U64(&key) || !c.U8(&kind)) {
+      return NodeCorruption(img.header.page_id, "truncated leaf entry");
+    }
+    if (kind == kValInline) {
+      uint16_t len = 0;
+      if (!c.U16(&len) || !c.Bytes(&v.inline_value, len)) {
+        return NodeCorruption(img.header.page_id, "truncated inline value");
+      }
+      v.total_len = len;
+    } else if (kind == kValOverflow) {
+      if (!c.U32(&v.total_len) || !c.U32(&v.head)) {
+        return NodeCorruption(img.header.page_id, "truncated overflow ref");
+      }
+      if (v.head == kNullPage) {
+        return NodeCorruption(img.header.page_id, "null overflow head");
+      }
+    } else {
+      return NodeCorruption(img.header.page_id, "unknown value kind");
+    }
+    out->keys.push_back(key);
+    out->values.push_back(std::move(v));
+  }
+  if (!c.AtEnd()) return NodeCorruption(img.header.page_id, "leaf trailing bytes");
+  return Status::OK();
+}
+
+Status PagedBTree::DecodeInternal(const PageImage& img, InternalNode* out) {
+  if (img.header.type != PageType::kInternal) {
+    return NodeCorruption(img.header.page_id, "expected internal");
+  }
+  Cursor c{img.payload.data(), img.payload.size()};
+  uint16_t count = 0;
+  if (!c.U16(&count)) {
+    return NodeCorruption(img.header.page_id, "truncated internal");
+  }
+  out->keys.clear();
+  out->children.clear();
+  out->keys.reserve(count);
+  out->children.reserve(count + 1);
+  for (uint16_t i = 0; i <= count; ++i) {
+    PageId child = kNullPage;
+    if (!c.U32(&child)) {
+      return NodeCorruption(img.header.page_id, "truncated child list");
+    }
+    out->children.push_back(child);
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    if (!c.U64(&key)) return NodeCorruption(img.header.page_id, "truncated keys");
+    out->keys.push_back(key);
+  }
+  if (!c.AtEnd()) {
+    return NodeCorruption(img.header.page_id, "internal trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Values and overflow chains.
+
+Result<PagedBTree::ValueRef> PagedBTree::StoreValue(
+    const std::vector<uint8_t>& value) {
+  ValueRef ref;
+  ref.total_len = static_cast<uint32_t>(value.size());
+  if (value.size() <= MaxInlineValue()) {
+    ref.inline_value = value;
+    return ref;
+  }
+  // Build the chain back to front so each page's `next` link is known when
+  // the page is filled.
+  const size_t chunk = pager_->payload_size();
+  const size_t nchunks = (value.size() + chunk - 1) / chunk;
+  PageId next = kNullPage;
+  for (size_t i = nchunks; i-- > 0;) {
+    const size_t off = i * chunk;
+    const size_t len = std::min(chunk, value.size() - off);
+    ITAG_ASSIGN_OR_RETURN(PageId pid, pager_->Allocate());
+    ITAG_ASSIGN_OR_RETURN(PageRef pref,
+                          cache_->PinNew(pid, PageType::kOverflow));
+    pref.payload().assign(value.begin() + static_cast<ptrdiff_t>(off),
+                          value.begin() + static_cast<ptrdiff_t>(off + len));
+    pref.header().next = next;
+    pref.MarkDirty();
+    next = pid;
+  }
+  ref.head = next;
+  return ref;
+}
+
+Status PagedBTree::LoadValue(const ValueRef& ref, std::vector<uint8_t>* out) {
+  if (ref.head == kNullPage) {
+    *out = ref.inline_value;
+    return Status::OK();
+  }
+  out->clear();
+  out->reserve(ref.total_len);
+  const size_t max_hops = ref.total_len / pager_->payload_size() + 2;
+  size_t hops = 0;
+  PageId pid = ref.head;
+  while (pid != kNullPage) {
+    if (++hops > max_hops) {
+      return NodeCorruption(ref.head, "overflow chain longer than its length");
+    }
+    ITAG_ASSIGN_OR_RETURN(PageRef pref, cache_->Pin(pid));
+    if (pref.header().type != PageType::kOverflow) {
+      return NodeCorruption(pid, "expected overflow page");
+    }
+    out->insert(out->end(), pref.payload().begin(), pref.payload().end());
+    pid = pref.header().next;
+  }
+  if (out->size() != ref.total_len) {
+    return NodeCorruption(ref.head, "overflow chain length mismatch");
+  }
+  return Status::OK();
+}
+
+Status PagedBTree::ReleaseValue(const ValueRef& ref) {
+  if (ref.head == kNullPage) return Status::OK();
+  const size_t max_hops = ref.total_len / pager_->payload_size() + 2;
+  size_t hops = 0;
+  PageId pid = ref.head;
+  while (pid != kNullPage) {
+    if (++hops > max_hops) {
+      return NodeCorruption(ref.head, "overflow chain longer than its length");
+    }
+    PageId next = kNullPage;
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef pref, cache_->Pin(pid));
+      if (pref.header().type != PageType::kOverflow) {
+        return NodeCorruption(pid, "expected overflow page");
+      }
+      next = pref.header().next;
+    }
+    pager_->Free(pid);
+    cache_->Drop(pid);
+    pid = next;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write node writers.
+
+Result<PageId> PagedBTree::MakeWritable(PageId id, PageType type,
+                                        const std::vector<uint8_t>& payload) {
+  if (pager_->IsFresh(id)) {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+    ref.image().payload = payload;
+    ref.header().type = type;
+    ref.MarkDirty();
+    return id;
+  }
+  ITAG_ASSIGN_OR_RETURN(PageId nid, WriteFreshNode(type, payload));
+  pager_->Free(id);
+  cache_->Drop(id);
+  return nid;
+}
+
+Result<PageId> PagedBTree::WriteNode(PageId id, PageType type,
+                                     const std::vector<uint8_t>& payload) {
+  return MakeWritable(id, type, payload);
+}
+
+Result<PageId> PagedBTree::WriteFreshNode(PageType type,
+                                          const std::vector<uint8_t>& payload) {
+  ITAG_ASSIGN_OR_RETURN(PageId nid, pager_->Allocate());
+  ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->PinNew(nid, type));
+  ref.image().payload = payload;
+  ref.MarkDirty();
+  return nid;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup.
+
+Result<bool> PagedBTree::Get(uint64_t key, std::vector<uint8_t>* value) {
+  if (root_ == kNullPage) return false;
+  PageId id = root_;
+  for (size_t depth = 0; depth < 64; ++depth) {
+    PageType type;
+    LeafNode leaf;
+    InternalNode internal;
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+      type = ref.header().type;
+      if (type == PageType::kLeaf) {
+        ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+      } else if (type == PageType::kInternal) {
+        ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+      } else {
+        return NodeCorruption(id, "unexpected page type on lookup path");
+      }
+    }
+    if (type == PageType::kLeaf) {
+      auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+      if (it == leaf.keys.end() || *it != key) return false;
+      size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+      ITAG_RETURN_IF_ERROR(LoadValue(leaf.values[pos], value));
+      return true;
+    }
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(internal.keys.begin(), internal.keys.end(), key) -
+        internal.keys.begin());
+    id = internal.children[idx];
+  }
+  return NodeCorruption(root_, "lookup exceeded maximum depth");
+}
+
+// ---------------------------------------------------------------------------
+// Insertion.
+
+Result<bool> PagedBTree::Put(uint64_t key, const std::vector<uint8_t>& value) {
+  if (root_ == kNullPage) {
+    LeafNode leaf;
+    leaf.keys.push_back(key);
+    ITAG_ASSIGN_OR_RETURN(ValueRef v, StoreValue(value));
+    leaf.values.push_back(std::move(v));
+    std::vector<uint8_t> enc;
+    EncodeLeaf(leaf, &enc);
+    ITAG_ASSIGN_OR_RETURN(root_, WriteFreshNode(PageType::kLeaf, enc));
+    return true;
+  }
+  ITAG_ASSIGN_OR_RETURN(InsertResult res, InsertRec(root_, key, value));
+  root_ = res.node;
+  if (res.split) {
+    InternalNode root;
+    root.keys.push_back(res.split_key);
+    root.children.push_back(res.node);
+    root.children.push_back(res.right);
+    std::vector<uint8_t> enc;
+    EncodeInternal(root, &enc);
+    ITAG_ASSIGN_OR_RETURN(root_, WriteFreshNode(PageType::kInternal, enc));
+  }
+  return !res.replaced;
+}
+
+Result<PagedBTree::InsertResult> PagedBTree::InsertRec(
+    PageId id, uint64_t key, const std::vector<uint8_t>& value) {
+  PageType type;
+  LeafNode leaf;
+  InternalNode internal;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+    type = ref.header().type;
+    if (type == PageType::kLeaf) {
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+    } else if (type == PageType::kInternal) {
+      ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+    } else {
+      return NodeCorruption(id, "unexpected page type on insert path");
+    }
+  }
+
+  bool replaced = false;
+  if (type == PageType::kLeaf) {
+    auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+    size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+    if (it != leaf.keys.end() && *it == key) {
+      replaced = true;
+      ITAG_RETURN_IF_ERROR(ReleaseValue(leaf.values[pos]));
+      ITAG_ASSIGN_OR_RETURN(leaf.values[pos], StoreValue(value));
+    } else {
+      ITAG_ASSIGN_OR_RETURN(ValueRef v, StoreValue(value));
+      leaf.keys.insert(it, key);
+      leaf.values.insert(leaf.values.begin() + static_cast<ptrdiff_t>(pos),
+                         std::move(v));
+    }
+    if (LeafBytes(leaf) <= pager_->payload_size()) {
+      std::vector<uint8_t> enc;
+      EncodeLeaf(leaf, &enc);
+      InsertResult res;
+      res.replaced = replaced;
+      ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kLeaf, enc));
+      return res;
+    }
+    // Split at the entry boundary closest to half the encoded size; both
+    // halves stay non-empty (a single over-wide entry cannot reach here —
+    // inline values are capped at a quarter page).
+    const size_t total = LeafBytes(leaf);
+    size_t acc = 2;
+    size_t split_at = leaf.keys.size() / 2;
+    for (size_t i = 0; i < leaf.keys.size(); ++i) {
+      acc += LeafEntryBytes(leaf.values[i]);
+      if (acc >= total / 2) {
+        split_at = i + 1;
+        break;
+      }
+    }
+    if (split_at == 0) split_at = 1;
+    if (split_at >= leaf.keys.size()) split_at = leaf.keys.size() - 1;
+    LeafNode right;
+    right.keys.assign(leaf.keys.begin() + static_cast<ptrdiff_t>(split_at),
+                      leaf.keys.end());
+    right.values.assign(
+        std::make_move_iterator(leaf.values.begin() +
+                                static_cast<ptrdiff_t>(split_at)),
+        std::make_move_iterator(leaf.values.end()));
+    leaf.keys.resize(split_at);
+    leaf.values.resize(split_at);
+    std::vector<uint8_t> left_enc, right_enc;
+    EncodeLeaf(leaf, &left_enc);
+    EncodeLeaf(right, &right_enc);
+    InsertResult res;
+    res.replaced = replaced;
+    res.split = true;
+    res.split_key = right.keys.front();
+    ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kLeaf, left_enc));
+    ITAG_ASSIGN_OR_RETURN(res.right,
+                          WriteFreshNode(PageType::kLeaf, right_enc));
+    return res;
+  }
+
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(internal.keys.begin(), internal.keys.end(), key) -
+      internal.keys.begin());
+  ITAG_ASSIGN_OR_RETURN(InsertResult child,
+                        InsertRec(internal.children[idx], key, value));
+  internal.children[idx] = child.node;
+  if (child.split) {
+    internal.keys.insert(internal.keys.begin() + static_cast<ptrdiff_t>(idx),
+                         child.split_key);
+    internal.children.insert(
+        internal.children.begin() + static_cast<ptrdiff_t>(idx + 1),
+        child.right);
+  }
+  if (InternalBytes(internal) <= pager_->payload_size()) {
+    std::vector<uint8_t> enc;
+    EncodeInternal(internal, &enc);
+    InsertResult res;
+    res.replaced = child.replaced;
+    ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kInternal, enc));
+    return res;
+  }
+  // Split the internal node, promoting the middle separator.
+  const size_t mid = internal.keys.size() / 2;
+  InternalNode right;
+  right.keys.assign(internal.keys.begin() + static_cast<ptrdiff_t>(mid + 1),
+                    internal.keys.end());
+  right.children.assign(
+      internal.children.begin() + static_cast<ptrdiff_t>(mid + 1),
+      internal.children.end());
+  uint64_t up = internal.keys[mid];
+  internal.keys.resize(mid);
+  internal.children.resize(mid + 1);
+  std::vector<uint8_t> left_enc, right_enc;
+  EncodeInternal(internal, &left_enc);
+  EncodeInternal(right, &right_enc);
+  InsertResult res;
+  res.replaced = child.replaced;
+  res.split = true;
+  res.split_key = up;
+  ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kInternal, left_enc));
+  ITAG_ASSIGN_OR_RETURN(res.right,
+                        WriteFreshNode(PageType::kInternal, right_enc));
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Deletion.
+
+Result<bool> PagedBTree::Erase(uint64_t key) {
+  if (root_ == kNullPage) return false;
+  ITAG_ASSIGN_OR_RETURN(EraseResult res, EraseRec(root_, key));
+  if (!res.found) return false;
+  root_ = res.node;
+  // Collapse trivial roots: an internal root with one child, or an empty
+  // leaf root (last entry deleted).
+  while (root_ != kNullPage) {
+    PageType type;
+    LeafNode leaf;
+    InternalNode internal;
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(root_));
+      type = ref.header().type;
+      if (type == PageType::kInternal) {
+        ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+      } else {
+        ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+      }
+    }
+    if (type == PageType::kInternal && internal.children.size() == 1) {
+      pager_->Free(root_);
+      cache_->Drop(root_);
+      root_ = internal.children.front();
+      continue;
+    }
+    if (type == PageType::kLeaf && leaf.keys.empty()) {
+      pager_->Free(root_);
+      cache_->Drop(root_);
+      root_ = kNullPage;
+    }
+    break;
+  }
+  return true;
+}
+
+Result<PagedBTree::EraseResult> PagedBTree::EraseRec(PageId id, uint64_t key) {
+  PageType type;
+  LeafNode leaf;
+  InternalNode internal;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+    type = ref.header().type;
+    if (type == PageType::kLeaf) {
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+    } else if (type == PageType::kInternal) {
+      ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+    } else {
+      return NodeCorruption(id, "unexpected page type on erase path");
+    }
+  }
+
+  const size_t quarter = pager_->payload_size() / 4;
+
+  if (type == PageType::kLeaf) {
+    auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+    if (it == leaf.keys.end() || *it != key) return EraseResult{id, false};
+    size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+    ITAG_RETURN_IF_ERROR(ReleaseValue(leaf.values[pos]));
+    leaf.keys.erase(it);
+    leaf.values.erase(leaf.values.begin() + static_cast<ptrdiff_t>(pos));
+    std::vector<uint8_t> enc;
+    EncodeLeaf(leaf, &enc);
+    EraseResult res;
+    res.found = true;
+    res.underflow = LeafBytes(leaf) < quarter;
+    ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kLeaf, enc));
+    return res;
+  }
+
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(internal.keys.begin(), internal.keys.end(), key) -
+      internal.keys.begin());
+  ITAG_ASSIGN_OR_RETURN(EraseResult child,
+                        EraseRec(internal.children[idx], key));
+  if (!child.found) return EraseResult{id, false};
+  internal.children[idx] = child.node;
+  if (child.underflow) {
+    ITAG_RETURN_IF_ERROR(Rebalance(&internal, idx));
+  }
+  std::vector<uint8_t> enc;
+  EncodeInternal(internal, &enc);
+  EraseResult res;
+  res.found = true;
+  res.underflow = internal.children.size() < 2 ||
+                  InternalBytes(internal) < quarter;
+  ITAG_ASSIGN_OR_RETURN(res.node, WriteNode(id, PageType::kInternal, enc));
+  return res;
+}
+
+Status PagedBTree::Rebalance(InternalNode* parent, size_t idx) {
+  if (parent->children.size() < 2) return Status::OK();
+  // Pair the underflowing child with its left sibling when one exists,
+  // otherwise its right one; `li` is also the parent separator index.
+  const size_t li = idx > 0 ? idx - 1 : idx;
+  const size_t ri = li + 1;
+  const PageId left_id = parent->children[li];
+  const PageId right_id = parent->children[ri];
+  const size_t payload = pager_->payload_size();
+  const size_t quarter = payload / 4;
+
+  PageType type;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(left_id));
+    type = ref.header().type;
+  }
+
+  if (type == PageType::kLeaf) {
+    LeafNode left, right;
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(left_id));
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &left));
+    }
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(right_id));
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &right));
+    }
+    if (LeafBytes(left) + LeafBytes(right) - 2 <= payload) {
+      // Merge right into left; drop the separator.
+      left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+      left.values.insert(left.values.end(),
+                         std::make_move_iterator(right.values.begin()),
+                         std::make_move_iterator(right.values.end()));
+      std::vector<uint8_t> enc;
+      EncodeLeaf(left, &enc);
+      ITAG_ASSIGN_OR_RETURN(parent->children[li],
+                            WriteNode(left_id, PageType::kLeaf, enc));
+      pager_->Free(right_id);
+      cache_->Drop(right_id);
+      parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(li));
+      parent->children.erase(parent->children.begin() +
+                             static_cast<ptrdiff_t>(ri));
+      return Status::OK();
+    }
+    // Borrow boundary entries from the richer sibling until the poor one is
+    // above a quarter page (or the donor cannot spare more).
+    const bool poor_is_left = idx == li;
+    while (true) {
+      LeafNode& poor = poor_is_left ? left : right;
+      LeafNode& rich = poor_is_left ? right : left;
+      if (LeafBytes(poor) >= quarter || rich.keys.size() <= 1) break;
+      const size_t at = poor_is_left ? 0 : rich.keys.size() - 1;
+      const size_t moving = LeafEntryBytes(rich.values[at]);
+      if (LeafBytes(rich) - moving < quarter) break;
+      if (poor_is_left) {
+        // Move right's first entry onto left's back.
+        left.keys.push_back(right.keys.front());
+        left.values.push_back(std::move(right.values.front()));
+        right.keys.erase(right.keys.begin());
+        right.values.erase(right.values.begin());
+      } else {
+        // Move left's last entry onto right's front.
+        right.keys.insert(right.keys.begin(), left.keys.back());
+        right.values.insert(right.values.begin(),
+                            std::move(left.values.back()));
+        left.keys.pop_back();
+        left.values.pop_back();
+      }
+    }
+    if (right.keys.empty()) {
+      return NodeCorruption(right_id, "rebalance emptied a leaf");
+    }
+    parent->keys[li] = right.keys.front();
+    std::vector<uint8_t> left_enc, right_enc;
+    EncodeLeaf(left, &left_enc);
+    EncodeLeaf(right, &right_enc);
+    ITAG_ASSIGN_OR_RETURN(parent->children[li],
+                          WriteNode(left_id, PageType::kLeaf, left_enc));
+    ITAG_ASSIGN_OR_RETURN(parent->children[ri],
+                          WriteNode(right_id, PageType::kLeaf, right_enc));
+    return Status::OK();
+  }
+
+  InternalNode left, right;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(left_id));
+    ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &left));
+  }
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(right_id));
+    ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &right));
+  }
+  uint64_t sep = parent->keys[li];
+  const size_t merged_bytes = 2 + 4 * (left.children.size() + right.children.size()) +
+                              8 * (left.keys.size() + right.keys.size() + 1);
+  if (merged_bytes <= payload) {
+    // Merge: left ++ sep ++ right.
+    left.keys.push_back(sep);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.children.insert(left.children.end(), right.children.begin(),
+                         right.children.end());
+    std::vector<uint8_t> enc;
+    EncodeInternal(left, &enc);
+    ITAG_ASSIGN_OR_RETURN(parent->children[li],
+                          WriteNode(left_id, PageType::kInternal, enc));
+    pager_->Free(right_id);
+    cache_->Drop(right_id);
+    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(li));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(ri));
+    return Status::OK();
+  }
+  // Rotate children through the parent separator.
+  const bool poor_is_left = idx == li;
+  while (true) {
+    InternalNode& poor = poor_is_left ? left : right;
+    InternalNode& rich = poor_is_left ? right : left;
+    if (InternalBytes(poor) >= quarter || rich.keys.size() <= 1) break;
+    if (poor_is_left) {
+      left.keys.push_back(sep);
+      sep = right.keys.front();
+      right.keys.erase(right.keys.begin());
+      left.children.push_back(right.children.front());
+      right.children.erase(right.children.begin());
+    } else {
+      right.keys.insert(right.keys.begin(), sep);
+      sep = left.keys.back();
+      left.keys.pop_back();
+      right.children.insert(right.children.begin(), left.children.back());
+      left.children.pop_back();
+    }
+  }
+  parent->keys[li] = sep;
+  std::vector<uint8_t> left_enc, right_enc;
+  EncodeInternal(left, &left_enc);
+  EncodeInternal(right, &right_enc);
+  ITAG_ASSIGN_OR_RETURN(parent->children[li],
+                        WriteNode(left_id, PageType::kInternal, left_enc));
+  ITAG_ASSIGN_OR_RETURN(parent->children[ri],
+                        WriteNode(right_id, PageType::kInternal, right_enc));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Ordered scan.
+
+Status PagedBTree::Scan(
+    uint64_t start,
+    const std::function<bool(uint64_t, const std::vector<uint8_t>&)>& fn) {
+  if (root_ == kNullPage) return Status::OK();
+  struct StackEntry {
+    InternalNode node;
+    size_t idx;
+  };
+  std::vector<StackEntry> stack;
+
+  // Descend to the leaf that may contain `start`.
+  PageId id = root_;
+  LeafNode leaf;
+  size_t pos = 0;
+  for (;;) {
+    PageType type;
+    InternalNode internal;
+    {
+      ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+      type = ref.header().type;
+      if (type == PageType::kLeaf) {
+        ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+      } else if (type == PageType::kInternal) {
+        ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+      } else {
+        return NodeCorruption(id, "unexpected page type on scan path");
+      }
+    }
+    if (type == PageType::kLeaf) {
+      pos = static_cast<size_t>(
+          std::lower_bound(leaf.keys.begin(), leaf.keys.end(), start) -
+          leaf.keys.begin());
+      break;
+    }
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(internal.keys.begin(), internal.keys.end(), start) -
+        internal.keys.begin());
+    PageId child = internal.children[idx];
+    stack.push_back(StackEntry{std::move(internal), idx});
+    id = child;
+    if (stack.size() > 64) {
+      return NodeCorruption(root_, "scan exceeded maximum depth");
+    }
+  }
+
+  std::vector<uint8_t> value;
+  for (;;) {
+    for (; pos < leaf.keys.size(); ++pos) {
+      ITAG_RETURN_IF_ERROR(LoadValue(leaf.values[pos], &value));
+      if (!fn(leaf.keys[pos], value)) return Status::OK();
+    }
+    // Climb to the first ancestor with an unvisited child, then descend its
+    // next subtree along the leftmost edge.
+    while (!stack.empty() &&
+           stack.back().idx + 1 == stack.back().node.children.size()) {
+      stack.pop_back();
+    }
+    if (stack.empty()) return Status::OK();
+    ++stack.back().idx;
+    id = stack.back().node.children[stack.back().idx];
+    for (;;) {
+      PageType type;
+      InternalNode internal;
+      {
+        ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+        type = ref.header().type;
+        if (type == PageType::kLeaf) {
+          ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+        } else if (type == PageType::kInternal) {
+          ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+        } else {
+          return NodeCorruption(id, "unexpected page type on scan path");
+        }
+      }
+      if (type == PageType::kLeaf) {
+        pos = 0;
+        break;
+      }
+      PageId child = internal.children.front();
+      stack.push_back(StackEntry{std::move(internal), 0});
+      id = child;
+      if (stack.size() > 64) {
+        return NodeCorruption(root_, "scan exceeded maximum depth");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree teardown.
+
+Status PagedBTree::Destroy() {
+  if (root_ == kNullPage) return Status::OK();
+  ITAG_RETURN_IF_ERROR(DestroyRec(root_));
+  root_ = kNullPage;
+  return Status::OK();
+}
+
+Status PagedBTree::DestroyRec(PageId id) {
+  PageType type;
+  LeafNode leaf;
+  InternalNode internal;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+    type = ref.header().type;
+    if (type == PageType::kLeaf) {
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+    } else if (type == PageType::kInternal) {
+      ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+    } else {
+      return NodeCorruption(id, "unexpected page type in destroy");
+    }
+  }
+  if (type == PageType::kLeaf) {
+    for (const ValueRef& v : leaf.values) {
+      ITAG_RETURN_IF_ERROR(ReleaseValue(v));
+    }
+  } else {
+    for (PageId child : internal.children) {
+      ITAG_RETURN_IF_ERROR(DestroyRec(child));
+    }
+  }
+  pager_->Free(id);
+  cache_->Drop(id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (test hook).
+
+Status PagedBTree::LeafDepth(PageId id, size_t depth, size_t* out) {
+  ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+  if (ref.header().type == PageType::kLeaf) {
+    *out = depth;
+    return Status::OK();
+  }
+  if (ref.header().type != PageType::kInternal) {
+    return NodeCorruption(id, "unexpected page type");
+  }
+  InternalNode node;
+  ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &node));
+  ref.Release();
+  if (depth > 64) return NodeCorruption(id, "tree too deep");
+  return LeafDepth(node.children.front(), depth + 1, out);
+}
+
+Result<uint64_t> PagedBTree::CheckInvariants() {
+  if (root_ == kNullPage) return uint64_t{0};
+  size_t leaf_depth = 0;
+  ITAG_RETURN_IF_ERROR(LeafDepth(root_, 0, &leaf_depth));
+  return CheckRec(root_, 0, leaf_depth, false, 0, false, 0);
+}
+
+Result<uint64_t> PagedBTree::CheckRec(PageId id, size_t depth,
+                                      size_t leaf_depth, bool has_low,
+                                      uint64_t low, bool has_high,
+                                      uint64_t high) {
+  PageType type;
+  LeafNode leaf;
+  InternalNode internal;
+  {
+    ITAG_ASSIGN_OR_RETURN(PageRef ref, cache_->Pin(id));
+    type = ref.header().type;
+    if (type == PageType::kLeaf) {
+      ITAG_RETURN_IF_ERROR(DecodeLeaf(ref.image(), &leaf));
+    } else if (type == PageType::kInternal) {
+      ITAG_RETURN_IF_ERROR(DecodeInternal(ref.image(), &internal));
+    } else {
+      return NodeCorruption(id, "unexpected page type");
+    }
+  }
+
+  auto in_bounds = [&](uint64_t k) {
+    if (has_low && k < low) return false;
+    if (has_high && k >= high) return false;
+    return true;
+  };
+
+  if (type == PageType::kLeaf) {
+    if (depth != leaf_depth) return NodeCorruption(id, "uneven leaf depth");
+    if (LeafBytes(leaf) > pager_->payload_size()) {
+      return NodeCorruption(id, "leaf overflows its page");
+    }
+    std::vector<uint8_t> value;
+    for (size_t i = 0; i < leaf.keys.size(); ++i) {
+      if (!in_bounds(leaf.keys[i])) return NodeCorruption(id, "key out of bounds");
+      if (i > 0 && leaf.keys[i - 1] >= leaf.keys[i]) {
+        return NodeCorruption(id, "unsorted leaf keys");
+      }
+      ITAG_RETURN_IF_ERROR(LoadValue(leaf.values[i], &value));
+    }
+    return static_cast<uint64_t>(leaf.keys.size());
+  }
+
+  if (depth >= leaf_depth) return NodeCorruption(id, "internal below leaf depth");
+  if (internal.children.size() != internal.keys.size() + 1) {
+    return NodeCorruption(id, "child/key count mismatch");
+  }
+  if (internal.children.size() < 2) {
+    return NodeCorruption(id, "internal with a single child");
+  }
+  if (InternalBytes(internal) > pager_->payload_size()) {
+    return NodeCorruption(id, "internal overflows its page");
+  }
+  uint64_t count = 0;
+  for (size_t i = 0; i < internal.children.size(); ++i) {
+    bool child_has_low = has_low || i > 0;
+    uint64_t child_low = i > 0 ? internal.keys[i - 1] : low;
+    bool child_has_high = has_high || i < internal.keys.size();
+    uint64_t child_high = i < internal.keys.size() ? internal.keys[i] : high;
+    if (i > 0 && !in_bounds(internal.keys[i - 1])) {
+      return NodeCorruption(id, "separator out of bounds");
+    }
+    if (i > 1 && internal.keys[i - 2] >= internal.keys[i - 1]) {
+      return NodeCorruption(id, "unsorted separators");
+    }
+    ITAG_ASSIGN_OR_RETURN(
+        uint64_t sub, CheckRec(internal.children[i], depth + 1, leaf_depth,
+                               child_has_low, child_low, child_has_high,
+                               child_high));
+    count += sub;
+  }
+  return count;
+}
+
+}  // namespace itag::storage::pager

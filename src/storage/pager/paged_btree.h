@@ -1,0 +1,145 @@
+#ifndef ITAG_STORAGE_PAGER_PAGED_BTREE_H_
+#define ITAG_STORAGE_PAGER_PAGED_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/pager/page.h"
+#include "storage/pager/page_cache.h"
+#include "storage/pager/pager.h"
+
+namespace itag::storage::pager {
+
+/// On-disk B+tree mapping u64 keys to byte-string values, built on the
+/// copy-on-write Pager/PageCache pair.
+///
+/// Layout:
+///  * Internal pages (kInternal): `count` separator keys and `count + 1`
+///    child page ids; child[i] covers keys < key[i], the last child covers
+///    the rest.
+///  * Leaf pages (kLeaf): sorted (key, value) entries. Values above
+///    ~payload/4 spill into a chain of kOverflow pages linked by
+///    `header.next`; the leaf keeps the head id and total length.
+///  * No sibling links between leaves — copy-on-write would have to rewrite
+///    every left neighbour of a relocated leaf. Ordered scans instead walk a
+///    parent stack, which the COW discipline keeps valid for the duration
+///    of a read.
+///
+/// Mutations copy-on-write every non-fresh page on the descent path (so
+/// parents are already writable when a child split/merge propagates up) and
+/// may therefore change the root id: callers must re-read `root()` after any
+/// mutation and persist it at checkpoint. Splits trigger on encoded size
+/// overflow, borrows/merges when a node falls under a quarter of the payload
+/// budget. Single-writer, like the layers below.
+class PagedBTree {
+ public:
+  /// `root` is the committed root id, or kNullPage for an empty tree.
+  PagedBTree(Pager* pager, PageCache* cache, PageId root);
+
+  PageId root() const { return root_; }
+  bool empty() const { return root_ == kNullPage; }
+
+  /// Looks `key` up; returns false (untouched `*value`) when absent.
+  Result<bool> Get(uint64_t key, std::vector<uint8_t>* value);
+
+  /// Inserts or replaces `key`; returns true when the key was new.
+  Result<bool> Put(uint64_t key, const std::vector<uint8_t>& value);
+
+  /// Removes `key`; returns false when it was absent.
+  Result<bool> Erase(uint64_t key);
+
+  /// In-order visit of every entry with key >= `start`. `fn` returns false
+  /// to stop early. The tree must not be mutated during the scan.
+  Status Scan(uint64_t start,
+              const std::function<bool(uint64_t, const std::vector<uint8_t>&)>&
+                  fn);
+
+  /// Frees every page of the tree (leaves, internals, overflow chains) and
+  /// resets the root — used by DropTable and Clear.
+  Status Destroy();
+
+  /// Test hook: walks the whole tree validating key order, child separators,
+  /// uniform leaf depth, and per-node size bounds. Returns the entry count.
+  Result<uint64_t> CheckInvariants();
+
+ private:
+  // Decoded node images. Nodes are rewritten wholesale on mutation — pages
+  // are small and this keeps split/merge arithmetic in plain vectors.
+  struct ValueRef {
+    std::vector<uint8_t> inline_value;  // when head == kNullPage
+    PageId head = kNullPage;            // overflow chain head otherwise
+    uint32_t total_len = 0;
+  };
+  struct LeafNode {
+    std::vector<uint64_t> keys;
+    std::vector<ValueRef> values;
+  };
+  struct InternalNode {
+    std::vector<uint64_t> keys;      // separators, size() == children-1
+    std::vector<PageId> children;
+  };
+
+  size_t MaxInlineValue() const { return pager_->payload_size() / 4; }
+  size_t LeafEntryBytes(const ValueRef& v) const;
+  size_t LeafBytes(const LeafNode& node) const;
+  size_t InternalBytes(const InternalNode& node) const;
+
+  static void EncodeLeaf(const LeafNode& node, std::vector<uint8_t>* out);
+  static void EncodeInternal(const InternalNode& node,
+                             std::vector<uint8_t>* out);
+  static Status DecodeLeaf(const PageImage& img, LeafNode* out);
+  static Status DecodeInternal(const PageImage& img, InternalNode* out);
+
+  /// Materializes `value` as a ValueRef, spilling to an overflow chain when
+  /// it exceeds MaxInlineValue().
+  Result<ValueRef> StoreValue(const std::vector<uint8_t>& value);
+  Status LoadValue(const ValueRef& ref, std::vector<uint8_t>* out);
+  /// Frees an overflow chain (no-op for inline values).
+  Status ReleaseValue(const ValueRef& ref);
+
+  /// Copy-on-write: returns a writable page id holding `img`'s contents —
+  /// `id` itself when fresh, otherwise a fresh copy (the old page is freed).
+  Result<PageId> MakeWritable(PageId id, PageType type,
+                              const std::vector<uint8_t>& payload);
+  Result<PageId> WriteNode(PageId id, PageType type,
+                           const std::vector<uint8_t>& payload);
+  Result<PageId> WriteFreshNode(PageType type,
+                                const std::vector<uint8_t>& payload);
+
+  struct InsertResult {
+    PageId node = kNullPage;     // (possibly COW'd) node id
+    bool replaced = false;       // key existed and its value was overwritten
+    bool split = false;
+    uint64_t split_key = 0;      // first key of `right` when split
+    PageId right = kNullPage;
+  };
+  Result<InsertResult> InsertRec(PageId id, uint64_t key,
+                                 const std::vector<uint8_t>& value);
+
+  struct EraseResult {
+    PageId node = kNullPage;
+    bool found = false;
+    bool underflow = false;
+  };
+  Result<EraseResult> EraseRec(PageId id, uint64_t key);
+  /// Fixes an underflowing child `idx` of `parent` by borrowing from or
+  /// merging with an adjacent sibling. All three touched nodes end fresh.
+  Status Rebalance(InternalNode* parent, size_t idx);
+
+  Status DestroyRec(PageId id);
+  Result<uint64_t> CheckRec(PageId id, size_t depth, size_t leaf_depth,
+                            bool has_low, uint64_t low, bool has_high,
+                            uint64_t high);
+  Status LeafDepth(PageId id, size_t depth, size_t* out);
+
+  Pager* pager_;
+  PageCache* cache_;
+  PageId root_;
+};
+
+}  // namespace itag::storage::pager
+
+#endif  // ITAG_STORAGE_PAGER_PAGED_BTREE_H_

@@ -1,0 +1,129 @@
+#include "storage/pager/pagez.h"
+
+#include <cstring>
+
+namespace itag::storage::pager {
+
+namespace {
+
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;            // len-3 fits the high nibble
+constexpr size_t kMaxOffset = 4095;         // 12 offset bits
+constexpr size_t kHashBits = 12;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Hash3(const uint8_t* p) {
+  // Multiplicative hash of 3 bytes; only a heads-up for match finding, so
+  // collisions cost compression ratio, never correctness.
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+bool PagezCompress(const uint8_t* src, size_t n, std::vector<uint8_t>* out) {
+  if (n < kMinMatch + 1) return false;
+  std::vector<uint8_t> buf;
+  buf.reserve(n);
+  // last position that hashed to each bucket; n is < 64 KiB so u16 + a
+  // "none yet" sentinel via u32 keeps the table tiny.
+  uint32_t table[kHashSize];
+  std::memset(table, 0xFF, sizeof(table));
+
+  size_t pos = 0;
+  size_t ctrl_at = 0;  // index of the pending control byte in buf
+  int ctrl_bits = 8;   // forces a fresh control byte on the first token
+  uint8_t ctrl = 0;
+  auto begin_token = [&](bool is_match) {
+    if (ctrl_bits == 8) {
+      if (ctrl_at != 0 || !buf.empty()) buf[ctrl_at] = ctrl;
+      ctrl_at = buf.size();
+      buf.push_back(0);
+      ctrl = 0;
+      ctrl_bits = 0;
+    }
+    if (is_match) ctrl |= static_cast<uint8_t>(1u << ctrl_bits);
+    ++ctrl_bits;
+  };
+
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    if (pos + kMinMatch <= n) {
+      uint32_t h = Hash3(src + pos);
+      uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(pos);
+      if (cand != 0xFFFFFFFFu && pos - cand <= kMaxOffset && cand < pos) {
+        size_t limit = n - pos < kMaxMatch ? n - pos : kMaxMatch;
+        size_t len = 0;
+        while (len < limit && src[cand + len] == src[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_off = pos - cand;
+        }
+      }
+    }
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      buf.push_back(static_cast<uint8_t>(((best_len - kMinMatch) << 4) |
+                                         (best_off >> 8)));
+      buf.push_back(static_cast<uint8_t>(best_off & 0xFF));
+      // Seed the table with the skipped positions so later matches can
+      // reach into this match's body.
+      size_t end = pos + best_len;
+      for (size_t p = pos + 1; p + kMinMatch <= n && p < end; ++p) {
+        table[Hash3(src + p)] = static_cast<uint32_t>(p);
+      }
+      pos = end;
+    } else {
+      begin_token(false);
+      buf.push_back(src[pos]);
+      ++pos;
+    }
+    if (buf.size() >= n) return false;  // not going to win; store raw
+  }
+  buf[ctrl_at] = ctrl;
+  if (buf.size() >= n) return false;
+  out->insert(out->end(), buf.begin(), buf.end());
+  return true;
+}
+
+bool PagezDecompress(const uint8_t* src, size_t n, size_t expected,
+                     std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(expected);
+  size_t pos = 0;
+  uint8_t ctrl = 0;
+  int ctrl_bits = 0;
+  while (out->size() < expected) {
+    if (ctrl_bits == 0) {
+      if (pos >= n) return false;
+      ctrl = src[pos++];
+      ctrl_bits = 8;
+    }
+    bool is_match = (ctrl & 1u) != 0;
+    ctrl >>= 1;
+    --ctrl_bits;
+    if (is_match) {
+      if (pos + 2 > n) return false;
+      size_t len = (static_cast<size_t>(src[pos]) >> 4) + kMinMatch;
+      size_t off =
+          ((static_cast<size_t>(src[pos]) & 0x0F) << 8) | src[pos + 1];
+      pos += 2;
+      if (off == 0 || off > out->size()) return false;
+      if (out->size() + len > expected) return false;
+      size_t start = out->size() - off;
+      for (size_t i = 0; i < len; ++i) {
+        out->push_back((*out)[start + i]);  // overlapping copies are legal
+      }
+    } else {
+      if (pos >= n) return false;
+      out->push_back(src[pos++]);
+    }
+  }
+  // Trailing garbage means the stream and the header disagree — corrupt.
+  return pos == n && out->size() == expected;
+}
+
+}  // namespace itag::storage::pager

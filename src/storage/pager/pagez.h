@@ -1,0 +1,37 @@
+#ifndef ITAG_STORAGE_PAGER_PAGEZ_H_
+#define ITAG_STORAGE_PAGER_PAGEZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace itag::storage::pager {
+
+// pagez — the pager's self-contained per-page codec: a byte-oriented LZ77
+// with a 4 KiB sliding window and greedy hash-chain matching, in the LZRW/
+// LZJB family. No entropy stage and no external dependency (the container
+// image pins the toolchain, so the engine cannot assume zlib): row payloads
+// are length-prefixed repetitive records, which is exactly the redundancy
+// a short-window LZ removes.
+//
+// Token stream: a control byte carries 8 flags (LSB first); flag 0 = one
+// literal byte follows, flag 1 = a 2-byte match token
+// [len-3 (high nibble) | offset high bits][offset low byte] copying
+// `len` in [3,18] bytes from `offset` in [1,4095] bytes back. The format
+// is only ever decoded from a CRC-verified page, so the decoder treats
+// malformed input (offset past start, output overrun) as failure, never UB.
+
+/// Appends the compressed form of [src, src+n) to `out`. Returns false —
+/// leaving `out` untouched — when the result would not be smaller than
+/// `n` (incompressible input stores raw; the page flag records which).
+bool PagezCompress(const uint8_t* src, size_t n, std::vector<uint8_t>* out);
+
+/// Decompresses exactly `expected` bytes into `out` (resized by the call).
+/// False on malformed input or when the stream does not produce exactly
+/// `expected` bytes.
+bool PagezDecompress(const uint8_t* src, size_t n, size_t expected,
+                     std::vector<uint8_t>* out);
+
+}  // namespace itag::storage::pager
+
+#endif  // ITAG_STORAGE_PAGER_PAGEZ_H_

@@ -1,0 +1,117 @@
+#include "storage/row_store.h"
+
+#include <cstring>
+#include <vector>
+
+namespace itag::storage {
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  uint32_t n = static_cast<uint32_t>(row.size());
+  out.append(reinterpret_cast<const char*>(&n), 4);
+  for (const Value& v : row) v.EncodeTo(&out);
+  return out;
+}
+
+bool DecodeRow(const std::string& data, size_t arity, Row* out) {
+  size_t off = 0;
+  if (data.size() < 4) return false;
+  uint32_t n;
+  std::memcpy(&n, data.data(), 4);
+  off += 4;
+  if (n != arity) return false;
+  out->clear();
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!Value::DecodeFrom(data, &off, &(*out)[i])) return false;
+  }
+  return off == data.size();
+}
+
+// ---------------------------------------------------------------------------
+// MemRowStore
+
+Result<Row> MemRowStore::Get(RowId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return Status::NotFound("row " + std::to_string(id));
+  return it->second;
+}
+
+bool MemRowStore::Contains(RowId id) const { return rows_.count(id) != 0; }
+
+Status MemRowStore::Put(RowId id, const Row& row) {
+  rows_[id] = row;
+  return Status::OK();
+}
+
+Status MemRowStore::Erase(RowId id) {
+  if (rows_.erase(id) == 0) {
+    return Status::NotFound("row " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status MemRowStore::Scan(
+    const std::function<bool(RowId, const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) {
+    if (!fn(id, row)) break;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PagedRowStore
+
+namespace {
+
+std::vector<uint8_t> ToBytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+}  // namespace
+
+Result<Row> PagedRowStore::Get(RowId id) const {
+  std::vector<uint8_t> bytes;
+  ITAG_ASSIGN_OR_RETURN(bool found, tree_->Get(id, &bytes));
+  if (!found) return Status::NotFound("row " + std::to_string(id));
+  Row row;
+  if (!DecodeRow(std::string(bytes.begin(), bytes.end()), arity_, &row)) {
+    return Status::Corruption("stored row " + std::to_string(id) +
+                              " does not decode");
+  }
+  return row;
+}
+
+bool PagedRowStore::Contains(RowId id) const {
+  std::vector<uint8_t> bytes;
+  Result<bool> found = tree_->Get(id, &bytes);
+  return found.ok() && found.value();
+}
+
+Status PagedRowStore::Put(RowId id, const Row& row) {
+  ITAG_ASSIGN_OR_RETURN(bool inserted, tree_->Put(id, ToBytes(EncodeRow(row))));
+  if (inserted) ++count_;
+  return Status::OK();
+}
+
+Status PagedRowStore::Erase(RowId id) {
+  ITAG_ASSIGN_OR_RETURN(bool found, tree_->Erase(id));
+  if (!found) return Status::NotFound("row " + std::to_string(id));
+  --count_;
+  return Status::OK();
+}
+
+Status PagedRowStore::Scan(
+    const std::function<bool(RowId, const Row&)>& fn) const {
+  return tree_->Scan(0, [&](uint64_t key, const std::vector<uint8_t>& bytes) {
+    Row row;
+    if (!DecodeRow(std::string(bytes.begin(), bytes.end()), arity_, &row)) {
+      // Scan's visitor cannot surface a Status; stop. The corrupt row also
+      // fails loudly through Get on the same key.
+      return false;
+    }
+    return fn(key, row);
+  });
+}
+
+}  // namespace itag::storage

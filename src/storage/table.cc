@@ -6,21 +6,38 @@
 namespace itag::storage {
 
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {}
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      store_(std::make_unique<MemRowStore>()) {}
+
+Table::Table(std::string name, Schema schema, std::unique_ptr<RowStore> store,
+             RowId next_row_id)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      store_(std::move(store)),
+      next_id_(next_row_id) {}
 
 Status Table::AddUniqueIndex(const std::string& column) {
   int idx = schema_.ColumnIndex(column);
   if (idx < 0) return Status::NotFound("no column '" + column + "'");
   std::unordered_map<Value, RowId, ValueHash> built;
-  built.reserve(rows_.size());
-  for (const auto& [id, row] : rows_) {
+  built.reserve(store_->size());
+  Value dup;
+  bool has_dup = false;
+  ITAG_RETURN_IF_ERROR(store_->Scan([&](RowId id, const Row& row) {
     auto [it, inserted] = built.emplace(row[idx], id);
     (void)it;
     if (!inserted) {
-      return Status::AlreadyExists("duplicate key " + row[idx].ToString() +
-                                   " while building unique index on '" +
-                                   column + "'");
+      dup = row[idx];
+      has_dup = true;
+      return false;
     }
+    return true;
+  }));
+  if (has_dup) {
+    return Status::AlreadyExists("duplicate key " + dup.ToString() +
+                                 " while building unique index on '" + column +
+                                 "'");
   }
   unique_col_ = idx;
   unique_index_ = std::move(built);
@@ -32,10 +49,10 @@ Status Table::AddOrderedIndex(const std::string& column) {
   if (idx < 0) return Status::NotFound("no column '" + column + "'");
   if (ordered_indexes_.count(idx)) return Status::OK();  // idempotent
   BPlusTree<IndexKey>& tree = ordered_indexes_[idx];
-  for (const auto& [id, row] : rows_) {
+  return store_->Scan([&](RowId id, const Row& row) {
     tree.Insert(IndexKey{row[idx], id});
-  }
-  return Status::OK();
+    return true;
+  });
 }
 
 Result<RowId> Table::Insert(const Row& row) {
@@ -48,39 +65,43 @@ Result<RowId> Table::Insert(const Row& row) {
                                    name_);
     }
   }
-  RowId id = next_id_++;
-  rows_.emplace(id, row);
+  RowId id = next_id_;
+  ITAG_RETURN_IF_ERROR(store_->Put(id, row));
+  next_id_ = id + 1;
   IndexRow(id, row);
   return id;
 }
 
 Status Table::InsertWithId(RowId id, const Row& row) {
   ITAG_RETURN_IF_ERROR(schema_.Validate(row));
-  if (rows_.count(id)) {
+  if (store_->Contains(id)) {
     return Status::AlreadyExists("row id " + std::to_string(id) + " taken");
   }
   if (unique_col_ >= 0 && unique_index_.count(row[unique_col_])) {
     return Status::AlreadyExists("duplicate key in " + name_);
   }
-  rows_.emplace(id, row);
+  ITAG_RETURN_IF_ERROR(store_->Put(id, row));
   if (id >= next_id_) next_id_ = id + 1;
   IndexRow(id, row);
   return Status::OK();
 }
 
 Result<Row> Table::Get(RowId id) const {
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
+  Result<Row> row = store_->Get(id);
+  if (!row.ok() && row.status().IsNotFound()) {
     return Status::NotFound("row " + std::to_string(id) + " in " + name_);
   }
-  return it->second;
+  return row;
 }
 
 Status Table::Update(RowId id, const Row& row) {
   ITAG_RETURN_IF_ERROR(schema_.Validate(row));
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
-    return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+  Result<Row> old = store_->Get(id);
+  if (!old.ok()) {
+    if (old.status().IsNotFound()) {
+      return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+    }
+    return old.status();
   }
   if (unique_col_ >= 0) {
     auto u = unique_index_.find(row[unique_col_]);
@@ -88,19 +109,30 @@ Status Table::Update(RowId id, const Row& row) {
       return Status::AlreadyExists("duplicate key in " + name_);
     }
   }
-  UnindexRow(id, it->second);
-  it->second = row;
+  UnindexRow(id, old.value());
+  Status s = store_->Put(id, row);
+  if (!s.ok()) {
+    IndexRow(id, old.value());  // keep indexes consistent with the heap
+    return s;
+  }
   IndexRow(id, row);
   return Status::OK();
 }
 
 Status Table::Delete(RowId id) {
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
-    return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+  Result<Row> old = store_->Get(id);
+  if (!old.ok()) {
+    if (old.status().IsNotFound()) {
+      return Status::NotFound("row " + std::to_string(id) + " in " + name_);
+    }
+    return old.status();
   }
-  UnindexRow(id, it->second);
-  rows_.erase(it);
+  UnindexRow(id, old.value());
+  Status s = store_->Erase(id);
+  if (!s.ok()) {
+    IndexRow(id, old.value());
+    return s;
+  }
   return Status::OK();
 }
 
@@ -134,9 +166,10 @@ std::vector<RowId> Table::LookupEqual(const std::string& column,
     // real row id (ids start at 1 and are assigned sequentially).
     return out;
   }
-  for (const auto& [id, row] : rows_) {
+  (void)store_->Scan([&](RowId id, const Row& row) {
     if (row[idx] == key) out.push_back(id);
-  }
+    return true;
+  });
   return out;
 }
 
@@ -155,9 +188,10 @@ std::vector<RowId> Table::LookupRange(const std::string& column,
     return out;
   }
   std::vector<std::pair<Value, RowId>> hits;
-  for (const auto& [id, row] : rows_) {
+  (void)store_->Scan([&](RowId id, const Row& row) {
     if (!(row[idx] < lo) && row[idx] < hi) hits.emplace_back(row[idx], id);
-  }
+    return true;
+  });
   std::sort(hits.begin(), hits.end(),
             [](const auto& a, const auto& b) {
               if (a.first < b.first) return true;
@@ -169,17 +203,16 @@ std::vector<RowId> Table::LookupRange(const std::string& column,
 }
 
 void Table::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
-  for (const auto& [id, row] : rows_) {
-    if (!fn(id, row)) return;
-  }
+  (void)store_->Scan(fn);
 }
 
 size_t Table::CountWhere(const std::function<bool(const Row&)>& pred) const {
   size_t n = 0;
-  for (const auto& [id, row] : rows_) {
+  (void)store_->Scan([&](RowId id, const Row& row) {
     (void)id;
     if (pred(row)) ++n;
-  }
+    return true;
+  });
   return n;
 }
 
@@ -217,12 +250,13 @@ void Table::EncodeTo(std::string* out) const {
   }
   uint64_t next = next_id_;
   out->append(reinterpret_cast<const char*>(&next), 8);
-  uint64_t nrows = rows_.size();
+  uint64_t nrows = store_->size();
   out->append(reinterpret_cast<const char*>(&nrows), 8);
-  for (const auto& [id, row] : rows_) {
+  (void)store_->Scan([&](RowId id, const Row& row) {
     out->append(reinterpret_cast<const char*>(&id), 8);
     for (const Value& v : row) v.EncodeTo(out);
-  }
+    return true;
+  });
 }
 
 bool Table::DecodeFrom(const std::string& data, size_t* offset, Table* out) {
@@ -270,16 +304,17 @@ bool Table::DecodeFrom(const std::string& data, size_t* offset, Table* out) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (!Value::DecodeFrom(data, offset, &row[c])) return false;
     }
-    out->rows_.emplace(id, std::move(row));
+    if (!out->store_->Put(id, row).ok()) return false;
   }
   out->next_id_ = next;
   // Rebuild in-memory indexes from the restored heap.
   for (int col : index_cols) {
     out->ordered_indexes_.emplace(col, BPlusTree<IndexKey>());
   }
-  for (const auto& [id, row] : out->rows_) {
+  (void)out->store_->Scan([&](RowId id, const Row& row) {
     out->IndexRow(id, row);
-  }
+    return true;
+  });
   return true;
 }
 

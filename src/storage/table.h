@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,14 +12,11 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/btree.h"
+#include "storage/row_store.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
 namespace itag::storage {
-
-/// Row identifier assigned by the table; monotonically increasing, never
-/// reused.
-using RowId = uint64_t;
 
 /// Composite key for ordered secondary indexes: (column value, row id).
 /// Appending the row id makes entries unique even for non-unique columns and
@@ -41,12 +39,21 @@ struct IndexKey {
 /// which write-ahead-logs every mutation before applying it here.
 class Table {
  public:
-  /// Creates an empty table.
+  /// Creates an empty table over the in-memory row heap.
   Table(std::string name, Schema schema);
+
+  /// Creates a table over a caller-supplied row heap (the paged engine
+  /// passes a PagedRowStore rehydrated from its catalog) with the row-id
+  /// counter restored to `next_row_id`.
+  Table(std::string name, Schema schema, std::unique_ptr<RowStore> store,
+        RowId next_row_id);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t row_count() const { return rows_.size(); }
+  size_t row_count() const { return static_cast<size_t>(store_->size()); }
+
+  /// The id the next Insert will assign (persisted by paged checkpoints).
+  RowId next_row_id() const { return next_id_; }
 
   /// Declares a unique index on `column`. Inserts that duplicate an existing
   /// key fail with AlreadyExists. Existing rows are backfilled; declaring
@@ -106,7 +113,7 @@ class Table {
 
   std::string name_;
   Schema schema_;
-  std::map<RowId, Row> rows_;  // ordered so Scan is id-ascending
+  std::unique_ptr<RowStore> store_;  // id-ordered, so Scan is id-ascending
   RowId next_id_ = 1;
 
   int unique_col_ = -1;

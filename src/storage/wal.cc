@@ -44,6 +44,7 @@ Status WalWriter::Reset() {
 std::string EncodeWalRecord(const WalRecord& record) {
   std::string out;
   out.push_back(static_cast<char>(record.op));
+  out.append(reinterpret_cast<const char*>(&record.lsn), 8);
   uint32_t tlen = static_cast<uint32_t>(record.table.size());
   out.append(reinterpret_cast<const char*>(&tlen), 4);
   out.append(record.table);
@@ -56,9 +57,11 @@ std::string EncodeWalRecord(const WalRecord& record) {
 
 bool DecodeWalRecord(const std::string& payload, WalRecord* out) {
   size_t off = 0;
-  if (payload.size() < 1 + 4) return false;
+  if (payload.size() < 1 + 8 + 4) return false;
   out->op = static_cast<WalOp>(payload[off]);
   off += 1;
+  std::memcpy(&out->lsn, payload.data() + off, 8);
+  off += 8;
   uint32_t tlen;
   std::memcpy(&tlen, payload.data() + off, 4);
   off += 4;

@@ -30,6 +30,12 @@ enum class WalOp : uint8_t {
 /// One decoded WAL record.
 struct WalRecord {
   WalOp op;
+  /// Log sequence number the Database stamps on every appended frame
+  /// (monotonic, one per frame — a kBatch group shares one). The paged
+  /// engine's checkpoint records the highest LSN it contains, so recovery
+  /// replays only frames with lsn > checkpoint_lsn. Sub-records inside a
+  /// kBatch payload carry 0 (the frame's LSN covers the group).
+  uint64_t lsn = 0;
   std::string table;    ///< table name
   uint64_t row_id = 0;  ///< for insert/update/delete
   std::string payload;  ///< encoded schema (create) or row (insert/update)

@@ -1,0 +1,431 @@
+#include "storage/pager/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "storage/pager/page_cache.h"
+#include "storage/pager/pagez.h"
+
+namespace itag::storage::pager {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "itag_pager_test").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ + "/pages.db";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PagerOptions Opts() {
+    PagerOptions o;
+    o.path = path_;
+    o.page_size = 512;  // small pages keep multi-page structures cheap
+    return o;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+// --------------------------------------------------------------------------
+// pagez codec
+
+TEST(PagezTest, RoundTripsCompressibleData) {
+  std::vector<uint8_t> src;
+  for (int i = 0; i < 500; ++i) {
+    src.push_back(static_cast<uint8_t>("abcabcab"[i % 8]));
+  }
+  std::vector<uint8_t> packed;
+  ASSERT_TRUE(PagezCompress(src.data(), src.size(), &packed));
+  ASSERT_LT(packed.size(), src.size());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(PagezDecompress(packed.data(), packed.size(), src.size(), &out));
+  EXPECT_EQ(out, src);
+}
+
+TEST(PagezTest, StoresRandomDataRaw) {
+  std::mt19937 rng(7);
+  std::vector<uint8_t> src(2048);
+  for (uint8_t& b : src) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> packed;
+  // Incompressible input must be rejected (caller stores it raw).
+  EXPECT_FALSE(PagezCompress(src.data(), src.size(), &packed));
+}
+
+TEST(PagezTest, RoundTripsManyRandomMixtures) {
+  std::mt19937 rng(11);
+  for (int round = 0; round < 50; ++round) {
+    // Mix of runs and noise so some inputs compress and some do not.
+    std::vector<uint8_t> src;
+    size_t n = 1 + rng() % 3000;
+    while (src.size() < n) {
+      if (rng() % 2 == 0) {
+        uint8_t b = static_cast<uint8_t>(rng());
+        size_t run = 1 + rng() % 40;
+        for (size_t i = 0; i < run && src.size() < n; ++i) src.push_back(b);
+      } else {
+        src.push_back(static_cast<uint8_t>(rng()));
+      }
+    }
+    std::vector<uint8_t> packed;
+    if (!PagezCompress(src.data(), src.size(), &packed)) continue;
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(
+        PagezDecompress(packed.data(), packed.size(), src.size(), &out));
+    ASSERT_EQ(out, src) << "round " << round;
+  }
+}
+
+TEST(PagezTest, DecompressRejectsTruncatedStream) {
+  std::vector<uint8_t> src(600, 'x');
+  std::vector<uint8_t> packed;
+  ASSERT_TRUE(PagezCompress(src.data(), src.size(), &packed));
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(
+      PagezDecompress(packed.data(), packed.size() - 1, src.size(), &out));
+  EXPECT_FALSE(
+      PagezDecompress(packed.data(), packed.size(), src.size() + 1, &out));
+}
+
+// --------------------------------------------------------------------------
+// Pager: format, read/write, reopen
+
+TEST_F(PagerTest, FormatsAndReopensEmptyFile) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  EXPECT_EQ(pager.epoch(), 1u);
+  EXPECT_EQ(pager.page_count(), kFirstDataPage);
+  pager.Close();
+
+  Pager again;
+  ASSERT_TRUE(again.Open(Opts()).ok());
+  EXPECT_EQ(again.page_count(), kFirstDataPage);
+}
+
+TEST_F(PagerTest, RejectsPageSizeMismatchOnReopen) {
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    // Commit once so the even-epoch meta lands in slot A (offset 0), which
+    // is readable at any assumed page size — the mismatch then surfaces as
+    // InvalidArgument instead of "no valid meta slot".
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+  }
+  PagerOptions other = Opts();
+  other.page_size = 1024;
+  Pager pager;
+  EXPECT_TRUE(pager.Open(other).IsInvalidArgument());
+}
+
+TEST_F(PagerTest, WriteReadRoundTripSurvivesReopenAfterCommit) {
+  PageId id;
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    id = alloc.value();
+    PageImage img;
+    img.header.page_id = id;
+    img.header.type = PageType::kLeaf;
+    img.payload = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(pager.WritePage(&img).ok());
+    ASSERT_TRUE(pager.Commit(kNullPage, 7).ok());
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  EXPECT_EQ(pager.epoch(), 2u);
+  EXPECT_EQ(pager.checkpoint_lsn(), 7u);
+  PageImage img;
+  ASSERT_TRUE(pager.ReadPage(id, &img).ok());
+  EXPECT_EQ(img.payload, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(img.header.type, PageType::kLeaf);
+}
+
+TEST_F(PagerTest, TornPageReadsAsTypedCorruption) {
+  PageId id;
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    id = alloc.value();
+    PageImage img;
+    img.header.page_id = id;
+    img.header.type = PageType::kLeaf;
+    img.payload = std::vector<uint8_t>(100, 0xAB);
+    ASSERT_TRUE(pager.WritePage(&img).ok());
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+  }
+  {
+    // Flip one payload byte on disk — simulates a torn/corrupted sector.
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(id) * 512 + kPageHeaderSize + 10);
+    char b = 0x00;
+    f.write(&b, 1);
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageImage img;
+  Status s = pager.ReadPage(id, &img);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("checksum"), std::string::npos);
+}
+
+TEST_F(PagerTest, MisdirectedWriteDetectedBySelfId) {
+  PageId a, b;
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    Result<PageId> ra = pager.Allocate();
+    Result<PageId> rb = pager.Allocate();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    a = ra.value();
+    b = rb.value();
+    for (PageId id : {a, b}) {
+      PageImage img;
+      img.header.page_id = id;
+      img.header.type = PageType::kLeaf;
+      img.payload = {static_cast<uint8_t>(id)};
+      ASSERT_TRUE(pager.WritePage(&img).ok());
+    }
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+  }
+  {
+    // Copy page a's slot over page b's slot: the copy has a valid CRC but
+    // the wrong self-id — a misdirected write.
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    std::vector<char> buf(512);
+    f.seekg(static_cast<std::streamoff>(a) * 512);
+    f.read(buf.data(), 512);
+    f.seekp(static_cast<std::streamoff>(b) * 512);
+    f.write(buf.data(), 512);
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageImage img;
+  Status s = pager.ReadPage(b, &img);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("misdirected"), std::string::npos);
+}
+
+TEST_F(PagerTest, CompressedPagesRoundTrip) {
+  PagerOptions opts = Opts();
+  opts.compression = true;
+  PageId id;
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(opts).ok());
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    id = alloc.value();
+    PageImage img;
+    img.header.page_id = id;
+    img.header.type = PageType::kLeaf;
+    img.payload = std::vector<uint8_t>(400, 'z');  // highly compressible
+    ASSERT_TRUE(pager.WritePage(&img).ok());
+    EXPECT_EQ(pager.stats().compressed_writes, 1u);
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+  }
+  // Reopen WITHOUT compression: the per-page flag still decodes the slot.
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageImage img;
+  ASSERT_TRUE(pager.ReadPage(id, &img).ok());
+  EXPECT_EQ(img.payload, std::vector<uint8_t>(400, 'z'));
+}
+
+// --------------------------------------------------------------------------
+// Free-list epochs and the dual-meta commit protocol
+
+TEST_F(PagerTest, FreedPageNotReusedUntilNextCommit) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  Result<PageId> ra = pager.Allocate();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+
+  // Freed after the commit: the committed tree may reference it, so it must
+  // sit in pending and not be handed out this epoch.
+  pager.Free(ra.value());
+  EXPECT_EQ(pager.free_pending(), 1u);
+  Result<PageId> rb = pager.Allocate();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_NE(rb.value(), ra.value());
+
+  // After the next commit the page is allocatable again.
+  ASSERT_TRUE(pager.Commit(kNullPage, 2).ok());
+  bool seen = false;
+  for (int i = 0; i < 8 && !seen; ++i) {
+    Result<PageId> r = pager.Allocate();
+    ASSERT_TRUE(r.ok());
+    seen = r.value() == ra.value();
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(PagerTest, FreshPageFreedReturnsToAllocatable) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  Result<PageId> ra = pager.Allocate();
+  ASSERT_TRUE(ra.ok());
+  EXPECT_TRUE(pager.IsFresh(ra.value()));
+  uint32_t count_before = pager.page_count();
+  // Never committed, so nothing durable references it — free_now directly.
+  pager.Free(ra.value());
+  Result<PageId> rb = pager.Allocate();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb.value(), ra.value());
+  EXPECT_EQ(pager.page_count(), count_before);
+}
+
+TEST_F(PagerTest, FreeListSurvivesReopen) {
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    Result<PageId> ra = pager.Allocate();
+    Result<PageId> rb = pager.Allocate();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());
+    pager.Free(ra.value());
+    ASSERT_TRUE(pager.Commit(kNullPage, 2).ok());
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  // The freed page is on the durable free list and gets reused before the
+  // file grows.
+  uint32_t count_before = pager.page_count();
+  Result<PageId> r = pager.Allocate();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pager.page_count(), count_before);
+}
+
+TEST_F(PagerTest, TornMetaWriteFallsBackToPreviousEpoch) {
+  PageId id;
+  {
+    Pager pager;
+    ASSERT_TRUE(pager.Open(Opts()).ok());
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    id = alloc.value();
+    PageImage img;
+    img.header.page_id = id;
+    img.header.type = PageType::kLeaf;
+    img.payload = {42};
+    ASSERT_TRUE(pager.WritePage(&img).ok());
+    ASSERT_TRUE(pager.Commit(kNullPage, 1).ok());  // epoch 2 -> slot A
+    ASSERT_TRUE(pager.Commit(kNullPage, 2).ok());  // epoch 3 -> slot B
+  }
+  {
+    // Corrupt the epoch-3 meta (slot B): simulates a torn meta write. Open
+    // must fall back to epoch 2 in slot A.
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kMetaSlotB) * 512 + kPageHeaderSize);
+    char junk[4] = {0, 0, 0, 0};
+    f.write(junk, 4);
+  }
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  EXPECT_EQ(pager.epoch(), 2u);
+  EXPECT_EQ(pager.checkpoint_lsn(), 1u);
+  PageImage img;
+  ASSERT_TRUE(pager.ReadPage(id, &img).ok());
+  EXPECT_EQ(img.payload, std::vector<uint8_t>{42});
+}
+
+// --------------------------------------------------------------------------
+// PageCache
+
+TEST_F(PagerTest, CacheHitsMissesAndWriteBack) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageCache cache(&pager, 8 * 512);
+
+  Result<PageId> alloc = pager.Allocate();
+  ASSERT_TRUE(alloc.ok());
+  PageId id = alloc.value();
+  {
+    Result<PageRef> ref = cache.PinNew(id, PageType::kLeaf);
+    ASSERT_TRUE(ref.ok());
+    ref.value().payload() = {9, 9, 9};
+  }
+  {
+    Result<PageRef> ref = cache.Pin(id);  // hit: still resident
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value().payload(), (std::vector<uint8_t>{9, 9, 9}));
+  }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_EQ(cache.stats().dirty_writebacks, 1u);
+
+  PageImage img;
+  ASSERT_TRUE(pager.ReadPage(id, &img).ok());
+  EXPECT_EQ(img.payload, (std::vector<uint8_t>{9, 9, 9}));
+}
+
+TEST_F(PagerTest, CacheEvictsUnpinnedAndWritesBackDirtyVictims) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageCache cache(&pager, 4 * 512);  // 4 frames
+
+  std::vector<PageId> ids;
+  for (int i = 0; i < 12; ++i) {
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    ids.push_back(alloc.value());
+    Result<PageRef> ref = cache.PinNew(alloc.value(), PageType::kLeaf);
+    ASSERT_TRUE(ref.ok());
+    ref.value().payload() = {static_cast<uint8_t>(i)};
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.resident(), 4u);
+  // Every dirty victim was written back: all 12 payloads are readable.
+  for (int i = 0; i < 12; ++i) {
+    Result<PageRef> ref = cache.Pin(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value().payload(),
+              std::vector<uint8_t>{static_cast<uint8_t>(i)});
+  }
+}
+
+TEST_F(PagerTest, CacheGrowsPastBudgetUnderPinPressureThenShrinksBack) {
+  Pager pager;
+  ASSERT_TRUE(pager.Open(Opts()).ok());
+  PageCache cache(&pager, 2 * 512);  // 2 frames
+
+  std::vector<PageRef> pins;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Result<PageId> alloc = pager.Allocate();
+    ASSERT_TRUE(alloc.ok());
+    ids.push_back(alloc.value());
+    Result<PageRef> ref = cache.PinNew(alloc.value(), PageType::kLeaf);
+    ASSERT_TRUE(ref.ok());
+    pins.push_back(std::move(ref.value()));
+  }
+  // All six frames pinned: the cache had no choice but to exceed budget.
+  EXPECT_EQ(cache.resident(), 6u);
+
+  pins.clear();  // unpin everything
+  // The next miss finds victims again and drains the cache back to budget.
+  Result<PageId> extra = pager.Allocate();
+  ASSERT_TRUE(extra.ok());
+  {
+    Result<PageRef> ref = cache.PinNew(extra.value(), PageType::kLeaf);
+    ASSERT_TRUE(ref.ok());
+  }
+  EXPECT_LE(cache.resident(), 2u);
+}
+
+}  // namespace
+}  // namespace itag::storage::pager
