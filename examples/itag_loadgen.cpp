@@ -1,7 +1,8 @@
 // itag_loadgen — scenario-driven load generator for a running itag_server.
 //
 //   ./itag_loadgen [port] [--scenario NAME] [--threads N] [--seconds S]
-//                  [--projects P] [--page-cache-mb N] [--list]
+//                  [--projects P] [--page-cache-mb N] [--idle-conns N]
+//                  [--list]
 //
 // Drives the server with a named traffic shape from N concurrent
 // pipelined net::Clients, then prints a metrics-backed summary: the
@@ -9,6 +10,20 @@
 // and latency histograms (fetched via the v3 MetricsQuery endpoint), so
 // the two sides can be cross-checked at a glance. The CI smoke runs the
 // mixed scenario for ~2 s and asserts the server counted the load.
+//
+// When every connection stays healthy, the run ends with an exact
+// reconciliation: the per-endpoint request counts the clients sent must
+// equal the server's api.<Endpoint>.requests deltas between a snapshot
+// taken before the drive and one taken after. A mismatch means a frame
+// was dropped or double-counted somewhere in the wire tier and the run
+// FAILS — this is the zero-dropped-frames check the soak CI relies on.
+//
+// --idle-conns N models a fleet: N extra connections are opened before
+// the hot phase and parked (the scenario threads remain the hot Zipf
+// subset). Each idle connection must answer a Step(0) ping when opened
+// and again after the hot phase — proving the server holds N+threads
+// sockets concurrently and its reaper only ever kills stalled writers,
+// never parked-idle peers. Idle pings participate in the reconciliation.
 //
 // Scenarios model what tagging-system studies report rather than uniform
 // noise: project/resource popularity is Zipf-skewed (self-organizing
@@ -33,10 +48,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/requests.h"
 #include "common/random.h"
 #include "net/client.h"
 #include "obs/metrics.h"
@@ -115,6 +132,10 @@ struct WorkerCounts {
   uint64_t starved = 0;        ///< accepts refused (budget/strategy empty)
   uint64_t typed_errors = 0;   ///< typed error replies (overload etc.)
   bool transport_ok = true;    ///< false once the connection broke
+  /// Requests this worker put on the wire, by api request-type index —
+  /// the client side of the end-of-run reconciliation against the
+  /// server's api.<Endpoint>.requests counters.
+  uint64_t sent[api::kRequestTypeCount] = {};
 };
 
 /// Exits the worker loop on transport failure; typed errors just count.
@@ -148,6 +169,7 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       Result<api::CheckpointResponse> ck = client.Checkpoint({});
       if (!CheckTransport(ck, counts)) return;
       ++counts->checkpoints;
+      ++counts->sent[api::kRequestTypeIndex<api::CheckpointRequest>];
       continue;
     }
     int draw = static_cast<int>(rng.Uniform(100));
@@ -161,6 +183,7 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
         q.include_feed = (i % 4 == 0);
         Result<uint64_t> c = client.DispatchAsync(api::AnyRequest{q});
         if (!CheckTransport(c, counts)) return;
+        ++counts->sent[api::kRequestTypeIndex<api::ProjectQueryRequest>];
         flight.push_back(*c);
       }
       for (uint64_t c : flight) {
@@ -175,6 +198,7 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       Result<api::BatchAcceptTasksResponse> accepted = client.BatchAcceptTasks(
           {tagger, project, cfg.accept_batch});
       if (!CheckTransport(accepted, counts)) return;
+      ++counts->sent[api::kRequestTypeIndex<api::BatchAcceptTasksRequest>];
       if (!accepted.value().status.ok() || accepted.value().tasks.empty()) {
         // Budget exhausted / project paused — expected under long runs.
         ++counts->starved;
@@ -194,8 +218,10 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       peek.project = project;
       Result<uint64_t> c1 = client.DispatchAsync(api::AnyRequest{submit});
       if (!CheckTransport(c1, counts)) return;
+      ++counts->sent[api::kRequestTypeIndex<api::BatchSubmitTagsRequest>];
       Result<uint64_t> c2 = client.DispatchAsync(api::AnyRequest{peek});
       if (!CheckTransport(c2, counts)) return;
+      ++counts->sent[api::kRequestTypeIndex<api::ProjectQueryRequest>];
       Result<api::AnyResponse> submitted = client.Await(*c1);
       if (!CheckTransport(submitted, counts)) return;
       Result<api::AnyResponse> peeked = client.Await(*c2);
@@ -210,14 +236,57 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       counts->tasks_submitted += sub->outcome.ok_count;
       Result<api::BatchDecideResponse> decided = client.BatchDecide(decide);
       if (!CheckTransport(decided, counts)) return;
+      ++counts->sent[api::kRequestTypeIndex<api::BatchDecideRequest>];
       counts->tasks_approved += decided.value().outcome.ok_count;
       ++counts->tag_cycles;
     } else if (draw < cfg.query_weight + cfg.tag_weight + cfg.step_weight) {
       Result<api::StepResponse> stepped = client.Step({1});
       if (!CheckTransport(stepped, counts)) return;
       ++counts->steps;
+      ++counts->sent[api::kRequestTypeIndex<api::StepRequest>];
     }
     // Remainder of the weight space: redraw immediately.
+  }
+}
+
+// ------------------------------------------------------------- idle fleet
+
+/// Outcome of one shepherd thread's slice of the idle fleet.
+struct IdleCounts {
+  uint64_t pings = 0;   ///< Step(0) round trips answered OK
+  bool ok = true;       ///< false on connect/ping failure anywhere
+};
+
+/// Holds `conns` connections open across the hot phase. Every connection
+/// answers a Step(0) ping right after connecting (fleet is live before the
+/// hot subset starts) and again after `drain` is raised (the soak may not
+/// have dropped a single parked peer — the server's reaper is only allowed
+/// to kill stalled writers). `ready` is bumped exactly once per shepherd,
+/// success or not, so main never waits forever.
+void RunIdleShepherd(uint16_t port, size_t conns, std::atomic<size_t>* ready,
+                     const std::atomic<bool>* drain, IdleCounts* counts) {
+  std::vector<std::unique_ptr<net::Client>> fleet;
+  fleet.reserve(conns);
+  for (size_t i = 0; i < conns && counts->ok; ++i) {
+    auto c = std::make_unique<net::Client>();
+    if (!c->Connect("127.0.0.1", port).ok() || !c->Step({0}).ok()) {
+      counts->ok = false;
+      break;
+    }
+    ++counts->pings;
+    fleet.push_back(std::move(c));
+  }
+  ready->fetch_add(1, std::memory_order_acq_rel);
+  if (!counts->ok) return;
+  while (!drain->load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (std::unique_ptr<net::Client>& c : fleet) {
+    if (!c->Step({0}).ok()) {
+      counts->ok = false;
+      return;
+    }
+    ++counts->pings;
   }
 }
 
@@ -246,6 +315,7 @@ int main(int argc, char** argv) {
   double seconds = 5.0;
   size_t projects_override = 0;
   long page_cache_mb = -1;  // >=0: server runs the paged engine; verify it
+  size_t idle_conns = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
@@ -258,6 +328,8 @@ int main(int argc, char** argv) {
       projects_override = static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--page-cache-mb") == 0 && i + 1 < argc) {
       page_cache_mb = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--idle-conns") == 0 && i + 1 < argc) {
+      idle_conns = static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--list") == 0) {
       ListScenarios();
       return 0;
@@ -268,7 +340,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [port] [--scenario NAME] [--threads N] "
                    "[--seconds S] [--projects P] [--page-cache-mb N] "
-                   "[--list]\n",
+                   "[--idle-conns N] [--list]\n",
                    argv[0]);
       return 2;
     }
@@ -343,9 +415,35 @@ int main(int argc, char** argv) {
   std::printf(
       "itag_loadgen: scenario '%s' (%s)\n"
       "  %zu threads x %.1fs against 127.0.0.1:%u — %zu projects x %zu "
-      "resources, project zipf s=%.2f\n",
+      "resources, project zipf s=%.2f, %zu idle conns\n",
       cfg.name, cfg.description, threads, seconds, port, cfg.num_projects,
-      cfg.resources_per_project, cfg.project_zipf_s);
+      cfg.resources_per_project, cfg.project_zipf_s, idle_conns);
+
+  // The reconciliation baseline: server counters after provisioning but
+  // before any load. Everything the run sends from here on is inside the
+  // snapshot window (no other client may be attached).
+  api::MetricsQueryResponse before_metrics =
+      MustOk(admin.Metrics({""}), "MetricsQuery(before)");
+
+  // --- idle fleet ---------------------------------------------------------
+  // Open and ping the whole fleet before the hot subset starts, so the
+  // server holds idle_conns + threads live sockets for the entire drive.
+  size_t shepherds = idle_conns == 0 ? 0 : std::min<size_t>(idle_conns, 8);
+  std::vector<IdleCounts> idle_counts(shepherds);
+  std::vector<std::thread> idle_threads;
+  std::atomic<size_t> idle_ready{0};
+  std::atomic<bool> idle_drain{false};
+  for (size_t s = 0; s < shepherds; ++s) {
+    size_t share = idle_conns / shepherds + (s < idle_conns % shepherds);
+    idle_threads.emplace_back(RunIdleShepherd, port, share, &idle_ready,
+                              &idle_drain, &idle_counts[s]);
+  }
+  while (idle_ready.load(std::memory_order_acquire) < shepherds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (shepherds != 0) {
+    std::printf("  idle fleet connected and pinged\n");
+  }
 
   // --- drive --------------------------------------------------------------
   auto start = std::chrono::steady_clock::now();
@@ -359,6 +457,8 @@ int main(int argc, char** argv) {
                          &counts[t]);
   }
   for (std::thread& w : workers) w.join();
+  idle_drain.store(true, std::memory_order_release);
+  for (std::thread& s : idle_threads) s.join();
   double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -376,7 +476,19 @@ int main(int argc, char** argv) {
     total.starved += c.starved;
     total.typed_errors += c.typed_errors;
     all_ok = all_ok && c.transport_ok;
+    for (size_t i = 0; i < api::kRequestTypeCount; ++i) {
+      total.sent[i] += c.sent[i];
+    }
   }
+  uint64_t idle_pings = 0;
+  bool idle_ok = true;
+  for (const IdleCounts& c : idle_counts) {
+    idle_pings += c.pings;
+    idle_ok = idle_ok && c.ok;
+  }
+  // Idle pings are Step(0) requests — they ride the same reconciliation.
+  total.sent[api::kRequestTypeIndex<api::StepRequest>] += idle_pings;
+  all_ok = all_ok && idle_ok;
   std::printf("\nclient side (%.2fs):\n", elapsed);
   std::printf("  %-18s %10s %10s\n", "op", "count", "rate/s");
   auto row = [&](const char* op, uint64_t n) {
@@ -392,6 +504,12 @@ int main(int argc, char** argv) {
   row("checkpoint", total.checkpoints);
   row("accept-starved", total.starved);
   row("typed-error", total.typed_errors);
+  if (idle_conns != 0) {
+    std::printf("  idle fleet: %zu conns, %llu/%llu pings ok (%s)\n",
+                idle_conns, static_cast<unsigned long long>(idle_pings),
+                static_cast<unsigned long long>(2 * idle_conns),
+                idle_ok ? "healthy" : "FAILED");
+  }
 
   // --- server-side summary (MetricsQuery) ---------------------------------
   api::MetricsQueryResponse metrics =
@@ -434,14 +552,54 @@ int main(int argc, char** argv) {
   }
 
   uint64_t total_ok = total.queries + total.tag_cycles + total.steps +
-                      total.checkpoints;
+                      total.checkpoints + idle_pings;
   if (!all_ok) {
-    std::fprintf(stderr, "\nFAIL: a worker lost its connection\n");
+    std::fprintf(stderr, "\nFAIL: a worker or idle connection broke\n");
     return 1;
   }
   if (total_ok == 0) {
     std::fprintf(stderr, "\nFAIL: no request succeeded\n");
     return 1;
+  }
+
+  // --- reconciliation: zero dropped frames --------------------------------
+  // Every transport stayed healthy, so each request a client dispatched got
+  // exactly one reply — the server's per-endpoint counters must therefore
+  // have advanced by exactly what the clients sent. Any difference is a
+  // frame dropped or double-counted in the wire tier. MetricsQuery is
+  // excluded (the snapshots themselves issue it), and a run with typed
+  // errors skips the check: an overload rejection is answered at the net
+  // layer without reaching the api counters.
+  if (total.typed_errors == 0) {
+    std::printf("\nreconciliation (client sends vs server api.* deltas):\n");
+    bool reconciled = true;
+    for (size_t i = 0; i < api::kRequestTypeCount; ++i) {
+      if (i == api::kRequestTypeIndex<api::MetricsQueryRequest>) continue;
+      std::string name =
+          std::string("api.") + api::RequestTypeName(i) + ".requests";
+      uint64_t delta = MetricCount(samples, name) -
+                       MetricCount(before_metrics.metrics, name);
+      if (total.sent[i] == 0 && delta == 0) continue;
+      bool match = total.sent[i] == delta;
+      std::printf("  %-22s sent %10llu  counted %10llu%s\n",
+                  api::RequestTypeName(i),
+                  static_cast<unsigned long long>(total.sent[i]),
+                  static_cast<unsigned long long>(delta),
+                  match ? "" : "  MISMATCH");
+      reconciled = reconciled && match;
+    }
+    if (!reconciled) {
+      std::fprintf(stderr,
+                   "\nFAIL: client sends and server api.* counters disagree "
+                   "— the wire tier dropped or duplicated frames\n");
+      return 1;
+    }
+    std::printf("  zero dropped frames: every request counted exactly once\n");
+  } else {
+    std::printf(
+        "\nreconciliation skipped: %llu typed errors (rejected frames never "
+        "reach the api counters)\n",
+        static_cast<unsigned long long>(total.typed_errors));
   }
   if (page_cache_mb >= 0) {
     // The server was declared paged: the load must have driven actual page

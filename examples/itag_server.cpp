@@ -2,9 +2,10 @@
 // behind the binary wire protocol, serving any number of TCP clients.
 //
 //   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
-//                 [--page-cache-mb=N]
+//                 [--page-cache-mb=N] [--reactors=N]
 //
-// Defaults: port 7421, run until SIGINT/SIGTERM, 4 shards, in-memory.
+// Defaults: port 7421, run until SIGINT/SIGTERM, 4 shards, 1 reactor,
+// in-memory.
 // A non-zero max_seconds self-terminates after that long (handy for CI
 // smoke runs). Port 0 binds an ephemeral port; the "listening on" line
 // reports the real one.
@@ -17,6 +18,9 @@
 // an N-MiB page cache per shard, so tables may exceed RAM and a clean
 // restart reads only the page-file meta + catalog instead of replaying
 // the WAL (see docs/paged-storage.md). Requires --db-dir.
+// --reactors=N runs N IO reactor threads (epoll loops), each owning a
+// disjoint, round-robin-assigned subset of the connections — the knob for
+// many-connection fleets; 0 picks one reactor per hardware thread.
 // On SIGINT/SIGTERM the daemon shuts down gracefully: stop accepting,
 // drain in-flight requests, checkpoint (snapshot + WAL truncate, bounding
 // the next start's recovery time), exit 0.
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   std::string db_dir;
   size_t shards = 4;
   long page_cache_mb = -1;  // <0 = snapshot engine, >=0 = paged engine
+  size_t reactors = 1;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
       shards = static_cast<size_t>(std::atol(arg + 9));
     } else if (std::strncmp(arg, "--page-cache-mb=", 16) == 0) {
       page_cache_mb = std::atol(arg + 16);
+    } else if (std::strncmp(arg, "--reactors=", 11) == 0) {
+      reactors = static_cast<size_t>(std::atol(arg + 11));
     } else if (positional == 0) {
       port = static_cast<uint16_t>(std::atoi(arg));
       ++positional;
@@ -69,7 +76,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [max_seconds] [--db-dir=DIR] "
-                   "[--shards=N] [--page-cache-mb=N]\n",
+                   "[--shards=N] [--page-cache-mb=N] [--reactors=N]\n",
                    argv[0]);
       return 2;
     }
@@ -98,6 +105,7 @@ int main(int argc, char** argv) {
 
   net::ServerOptions opts;
   opts.port = port;
+  opts.reactors = reactors;
   net::Server server(&service, opts);
   Status started = server.Start();
   if (!started.ok()) {
@@ -112,9 +120,10 @@ int main(int argc, char** argv) {
                                   " MiB cache): " + db_dir
                             : "durable: " + db_dir);
   std::printf(
-      "itag_server listening on 127.0.0.1:%u (api v%u, %zu shards, %s)\n",
+      "itag_server listening on 127.0.0.1:%u (api v%u, %zu shards, "
+      "%zu reactors, %s)\n",
       server.port(), api::kApiVersion, shard_opts.num_shards,
-      backend.c_str());
+      server.reactor_count(), backend.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -292,6 +292,59 @@ BatchSubmitTagsResponse Service::BatchSubmitTags(
   return resp;
 }
 
+std::vector<BatchSubmitTagsResponse> Service::BatchSubmitTagsMulti(
+    const std::vector<BatchSubmitTagsRequest>& reqs) {
+  // Metrics parity with the one-request path: N requests served by this
+  // merged call bump the requests counter N times, and each observes the
+  // full merged wall time (that IS the latency each request experienced).
+  const EndpointMetrics& em =
+      MetricsForType(kRequestTypeIndex<BatchSubmitTagsRequest>);
+  em.requests->Inc(reqs.size());
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<BatchSubmitTagsResponse> resps(reqs.size());
+  // Same per-item validation as BatchSubmitTags, with (request, slot)
+  // routing so backend statuses scatter back to the right response.
+  std::vector<core::TagSubmission> submissions;
+  std::vector<std::pair<size_t, size_t>> routed;
+  for (size_t r = 0; r < reqs.size(); ++r) {
+    resps[r].outcome.statuses.resize(reqs[r].items.size());
+    for (size_t i = 0; i < reqs[r].items.size(); ++i) {
+      const SubmitTagsItem& item = reqs[r].items[i];
+      if (item.handle == 0) {
+        resps[r].outcome.statuses[i] =
+            Status::InvalidArgument("handle must be non-zero");
+      } else if (item.tags.empty()) {
+        resps[r].outcome.statuses[i] =
+            Status::InvalidArgument("submission must carry tags");
+      } else {
+        submissions.push_back({item.tagger, item.handle, item.tags});
+        routed.emplace_back(r, i);
+      }
+    }
+  }
+  std::visit(
+      [&](auto* sys) {
+        std::vector<Status> statuses = sys->SubmitTagsBatch(submissions);
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          resps[routed[j].first].outcome.statuses[routed[j].second] =
+              std::move(statuses[j]);
+        }
+      },
+      backend_);
+  for (BatchSubmitTagsResponse& resp : resps) {
+    for (const Status& s : resp.outcome.statuses) {
+      if (s.ok()) ++resp.outcome.ok_count;
+    }
+  }
+  uint64_t elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  for (size_t r = 0; r < reqs.size(); ++r) em.latency->Observe(elapsed_us);
+  return resps;
+}
+
 BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<BatchDecideRequest>);
   BatchDecideResponse resp;

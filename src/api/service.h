@@ -78,6 +78,17 @@ class Service {
   /// Validates items (non-zero handle, non-empty tags), then submits the
   /// rest as one backend batch — per-shard-parallel on the sharded core.
   BatchSubmitTagsResponse BatchSubmitTags(const BatchSubmitTagsRequest& req);
+  /// Batch-dispatch entry point for a wire frontend: serves `reqs.size()`
+  /// independent BatchSubmitTags requests through ONE backend batch (their
+  /// valid items concatenated in request order), so one routed, locked
+  /// per-shard pass amortizes over every request in the group. Responses
+  /// are bit-identical to dispatching each request sequentially — item
+  /// semantics depend only on per-handle state and in-order processing,
+  /// both of which concatenation preserves. Each constituent request is
+  /// still counted (and its wall time observed) in the api.BatchSubmitTags
+  /// metrics, so client-vs-server reconciliation stays exact.
+  std::vector<BatchSubmitTagsResponse> BatchSubmitTagsMulti(
+      const std::vector<BatchSubmitTagsRequest>& reqs);
   /// Validates handles, then moderates as one backend batch (one quality
   /// pass per project; per-shard-parallel on the sharded core).
   BatchDecideResponse BatchDecide(const BatchDecideRequest& req);

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -118,6 +119,19 @@ Result<size_t> Socket::ReadSome(void* buf, size_t n) const {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
     return Errno("recv");
+  }
+}
+
+Result<size_t> Socket::WritevSome(const iovec* iov, size_t iovcnt) const {
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = iovcnt;
+  for (;;) {
+    ssize_t sent = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (sent >= 0) return static_cast<size_t>(sent);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("sendmsg");
   }
 }
 

@@ -8,6 +8,8 @@
 #include "common/result.h"
 #include "common/status.h"
 
+struct iovec;  // <sys/uio.h>
+
 namespace itag {
 
 /// Thin RAII wrapper over a POSIX TCP socket, shared by the net server
@@ -33,6 +35,8 @@ class Socket {
 
   /// Creates a listening socket bound to `host:port` (SO_REUSEADDR set).
   /// Port 0 binds an ephemeral port; read it back with LocalPort().
+  /// `backlog` sizes the kernel accept queue — a server expecting connection
+  /// storms (the 10k-connection soak) wants this well above the default.
   static Result<Socket> Listen(const std::string& host, uint16_t port,
                                int backlog = 128);
 
@@ -65,6 +69,14 @@ class Socket {
   /// fails with IOError and the stream should be considered broken (an
   /// unknown prefix of the data may have been sent).
   Status WriteAll(const void* buf, size_t n, int timeout_ms = -1) const;
+
+  /// Gathering write: sends as much of `iov[0..iovcnt)` as the socket
+  /// accepts in ONE syscall (the reactor's frame-coalescing flush — many
+  /// queued response frames leave in a single sendmsg). Returns the byte
+  /// count actually sent (which may split an iov entry), 0 when the fd is
+  /// nonblocking and the send buffer is full, or a Status error. Never
+  /// raises SIGPIPE.
+  Result<size_t> WritevSome(const iovec* iov, size_t iovcnt) const;
 
  private:
   int fd_ = -1;

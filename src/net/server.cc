@@ -2,19 +2,38 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <iterator>
 #include <utility>
 #include <vector>
 
+#include "common/sharding.h"
 #include "obs/metrics.h"
 
 namespace itag::net {
 
-/// Registry mirrors of the ServerStats counters plus the two live levels
-/// only the registry carries (in-flight dispatch depth, open connections).
-/// One process-wide set: servers are rare (one per daemon), and tests
+namespace {
+
+/// Error replies a flooding peer has left undrained before we give up on
+/// the connection (each refusal is ~100 bytes, so this is thousands of
+/// unanswered-and-unread refusals — a peer that far behind is not a
+/// client, it is a hose).
+constexpr size_t kErrorBacklogBytes = 1u << 20;
+
+/// iovec entries per gathering write; deeper queues just take another
+/// syscall per 64 frames.
+constexpr size_t kMaxIov = 64;
+
+}  // namespace
+
+/// Registry mirrors of the ServerStats counters plus the live levels and
+/// shapes only the registry carries (in-flight dispatch depth, open
+/// connections, dispatch batch sizes, frames per flush syscall). One
+/// process-wide set: servers are rare (one per daemon), and tests
 /// asserting exact counts use stats(), which stays per-instance.
 struct Server::Metrics {
   obs::Counter* connections;
@@ -28,6 +47,11 @@ struct Server::Metrics {
   obs::Counter* bytes_out;
   obs::Gauge* in_flight;
   obs::Gauge* open_connections;
+  /// Requests per dispatch-group pool task — the adaptive batching window
+  /// made visible: p50 of 1 at low load, rising with pipelining depth.
+  obs::Histogram* batch_size;
+  /// Whole response frames retired per flush syscall (writev coalescing).
+  obs::Histogram* coalesced_frames;
 
   static const Metrics& Get() {
     static const Metrics m = [] {
@@ -44,10 +68,38 @@ struct Server::Metrics {
       n.bytes_out = reg.GetCounter("net.bytes_out");
       n.in_flight = reg.GetGauge("net.in_flight");
       n.open_connections = reg.GetGauge("net.open_connections");
+      n.batch_size = reg.GetHistogram("net.dispatch.batch_size");
+      n.coalesced_frames = reg.GetHistogram("net.flush.coalesced_frames");
       return n;
     }();
     return m;
   }
+};
+
+/// One reactor: an epoll loop plus the connections it owns. Everything
+/// except the inbox (mu + the three hand-off vectors) is touched only by
+/// the reactor's own thread.
+struct Server::Reactor {
+  size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  /// Connections with an armed write deadline (lazily pruned).
+  std::vector<std::shared_ptr<Conn>> deadlined;
+
+  /// Cross-thread inbox: reactor 0 hands off accepted sockets, workers
+  /// hand off flush-ready and abandoned connections; the owner drains on
+  /// its eventfd wake.
+  std::mutex mu;
+  std::vector<Socket> pending_accepts;
+  std::vector<std::shared_ptr<Conn>> flush_ready;
+  std::vector<std::shared_ptr<Conn>> dead_conns;
+
+  /// Per-reactor registry counters (net.reactor.<i>.*) — the balance
+  /// check for the round-robin handoff.
+  obs::Counter* frames = nullptr;
+  obs::Counter* connections = nullptr;
 };
 
 Server::Server(api::Service* service, ServerOptions options)
@@ -58,58 +110,115 @@ Server::Server(api::Service* service, ServerOptions options)
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
-  if (io_thread_.joinable()) {
+  if (started_) {
     return Status::FailedPrecondition("server already started");
   }
-  ITAG_ASSIGN_OR_RETURN(listener_,
-                        Socket::Listen(options_.host, options_.port));
+  ITAG_ASSIGN_OR_RETURN(
+      listener_,
+      Socket::Listen(options_.host, options_.port, options_.listen_backlog));
   ITAG_ASSIGN_OR_RETURN(uint16_t port, listener_.LocalPort());
   port_ = port;
   ITAG_RETURN_IF_ERROR(listener_.SetNonBlocking(true));
 
-  epoll_fd_ = ::epoll_create1(0);
-  if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-    return Status::IOError("eventfd failed");
+  // The shard-hint routing mirrors the backend's `global % num_shards`;
+  // a single-system backend degenerates to one routing bucket.
+  core::ShardedSystem* sharded = service_->sharded();
+  num_shards_ =
+      (sharded != nullptr && sharded->num_shards() > 0) ? sharded->num_shards()
+                                                        : 1;
+
+  size_t n_reactors = options_.reactors;
+  if (n_reactors == 0) {
+    n_reactors = std::max(1u, std::thread::hardware_concurrency());
   }
+  auto teardown = [this] {
+    for (auto& r : reactors_) {
+      if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+      if (r->wake_fd >= 0) ::close(r->wake_fd);
+    }
+    reactors_.clear();
+    listener_.Close();
+  };
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  for (size_t i = 0; i < n_reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->epoll_fd = ::epoll_create1(0);
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (r->epoll_fd < 0 || r->wake_fd < 0) {
+      reactors_.push_back(std::move(r));
+      teardown();
+      return Status::IOError("epoll_create1/eventfd failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    ::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+    const std::string prefix = "net.reactor." + std::to_string(i) + ".";
+    r->frames = reg.GetCounter(prefix + "frames");
+    r->connections = reg.GetCounter(prefix + "connections");
+    reactors_.push_back(std::move(r));
+  }
+  // Reactor 0 owns the listener and hands accepted sockets off round-robin.
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listener_.fd();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ::epoll_ctl(reactors_[0]->epoll_fd, EPOLL_CTL_ADD, listener_.fd(), &ev);
 
   stopping_.store(false, std::memory_order_release);
+  next_reactor_ = 0;
   pool_ = std::make_unique<ThreadPool>(options_.workers);
-  io_thread_ = std::thread(&Server::IoLoop, this);
+  for (auto& r : reactors_) {
+    r->thread = std::thread(&Server::ReactorLoop, this, std::ref(*r));
+  }
+  started_ = true;
   return Status::OK();
 }
 
 void Server::Stop() {
-  if (!io_thread_.joinable()) return;
+  if (!started_) return;
   stopping_.store(true, std::memory_order_release);
-  uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  io_thread_.join();
-  // Drain the workers: in-flight dispatches still write their responses
-  // (their Conn references keep the sockets open).
-  pool_.reset();
-  metrics_->open_connections->Sub(static_cast<int64_t>(conns_.size()));
-  conns_.clear();
-  {
-    // Connections abandoned after the IO thread exited would otherwise
-    // hold their sockets open (and their peers' Awaits hostage) until the
-    // Server object itself is destroyed.
-    std::lock_guard<std::mutex> lock(dead_mu_);
-    dead_conns_.clear();
+  for (auto& r : reactors_) WakeReactor(*r);
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
   }
+  // Drain the workers. Their responses land in the output queues (and
+  // their flush notifications on still-open eventfds, harmlessly — the
+  // loops have exited).
+  pool_.reset();
+  // Final bounded flush: deliver what the drain queued, then tear down.
+  for (auto& r : reactors_) {
+    for (auto& [fd, conn] : r->conns) {
+      if (conn->dead.load(std::memory_order_acquire)) continue;
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      for (size_t i = 0; i < conn->outq.size(); ++i) {
+        const std::string& s = conn->outq[i];
+        const char* data = s.data();
+        size_t len = s.size();
+        if (i == 0) {
+          data += conn->out_head;
+          len -= conn->out_head;
+        }
+        if (!conn->sock.WriteAll(data, len, options_.write_timeout_ms).ok()) {
+          break;
+        }
+        bytes_sent_.fetch_add(len, std::memory_order_relaxed);
+        metrics_->bytes_out->Inc(len);
+      }
+      conn->outq.clear();
+      conn->out_head = 0;
+      conn->out_bytes = 0;
+      conn->dead.store(true, std::memory_order_release);
+    }
+    metrics_->open_connections->Sub(static_cast<int64_t>(r->conns.size()));
+    r->conns.clear();
+    r->deadlined.clear();
+    if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+  }
+  reactors_.clear();
   listener_.Close();
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
 }
 
 ServerStats Server::stats() const {
@@ -126,100 +235,151 @@ ServerStats Server::stats() const {
   return s;
 }
 
-void Server::IoLoop() {
-  std::vector<epoll_event> events(64);
+void Server::ReactorLoop(Reactor& r) {
+  std::vector<epoll_event> events(128);
+  DispatchGroups groups;
   while (!stopping_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epoll_fd_, events.data(),
-                         static_cast<int>(events.size()), -1);
+    int n = ::epoll_wait(r.epoll_fd, events.data(),
+                         static_cast<int>(events.size()), NextTimeoutMs(r));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         uint64_t drain;
-        [[maybe_unused]] ssize_t got = ::read(wake_fd_, &drain, sizeof(drain));
-        ReapDead();  // stop flag re-checked at the loop head
+        [[maybe_unused]] ssize_t got = ::read(r.wake_fd, &drain, sizeof(drain));
+        DrainInbox(r);  // stop flag re-checked at the loop head
         continue;
       }
-      if (fd == listener_.fd()) {
-        AcceptOne();
+      if (r.index == 0 && fd == listener_.fd()) {
+        AcceptBurst(r);
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;
+      auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;  // handlers may erase the entry
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        CloseConn(fd);
-      } else if (events[i].events & EPOLLIN) {
-        HandleReadable(it->second);
+        CloseConn(r, fd);
+        continue;
       }
+      if (events[i].events & EPOLLOUT) FlushConn(r, conn);
+      if (events[i].events & EPOLLIN) HandleReadable(r, conn, groups);
+    }
+    // End of the event burst — the adaptive batching window closes and
+    // every accumulated group goes to the pool as one task.
+    FlushDispatchGroups(groups);
+    ExpireWriteDeadlines(r, std::chrono::steady_clock::now());
+  }
+}
+
+int Server::NextTimeoutMs(Reactor& r) const {
+  if (r.deadlined.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  int timeout = -1;
+  for (const auto& conn : r.deadlined) {
+    if (conn->dead.load(std::memory_order_acquire) || !conn->has_deadline) {
+      continue;
+    }
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    conn->deadline - now)
+                    .count();
+    int t = left <= 0 ? 0 : static_cast<int>(left) + 1;
+    timeout = timeout < 0 ? t : std::min(timeout, t);
+  }
+  return timeout;
+}
+
+void Server::AcceptBurst(Reactor& r0) {
+  for (;;) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // EAGAIN — the burst is drained
+    Socket sock = std::move(accepted).value();
+    if (!sock.SetNonBlocking(true).ok()) continue;
+    (void)sock.SetNoDelay(true);
+    size_t target = next_reactor_ % reactors_.size();
+    ++next_reactor_;
+    if (target == 0) {
+      RegisterConn(r0, std::move(sock));
+    } else {
+      Reactor& rt = *reactors_[target];
+      {
+        std::lock_guard<std::mutex> lock(rt.mu);
+        rt.pending_accepts.push_back(std::move(sock));
+      }
+      WakeReactor(rt);
     }
   }
 }
 
-void Server::AcceptOne() {
-  Result<Socket> accepted = listener_.Accept();
-  if (!accepted.ok()) return;  // transient (EAGAIN after a racing accept)
-  Socket sock = std::move(accepted).value();
-  if (!sock.SetNonBlocking(true).ok()) return;
-  (void)sock.SetNoDelay(true);
+void Server::RegisterConn(Reactor& r, Socket sock) {
   int fd = sock.fd();
   auto conn = std::make_shared<Conn>(std::move(sock));
+  conn->owner = &r;
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return;
-  conns_.emplace(fd, std::move(conn));
+  if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) return;
+  r.conns.emplace(fd, std::move(conn));
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   metrics_->connections->Inc();
   metrics_->open_connections->Add(1);
+  r.connections->Inc();
 }
 
-void Server::CloseConn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  it->second->dead.store(true, std::memory_order_release);
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  // The fd itself closes when the last worker holding this Conn finishes.
-  conns_.erase(it);
-  metrics_->open_connections->Sub(1);
-}
-
-void Server::ReapDead() {
+void Server::DrainInbox(Reactor& r) {
+  std::vector<Socket> accepts;
+  std::vector<std::shared_ptr<Conn>> flush;
   std::vector<std::shared_ptr<Conn>> dead;
   {
-    std::lock_guard<std::mutex> lock(dead_mu_);
-    dead.swap(dead_conns_);
+    std::lock_guard<std::mutex> lock(r.mu);
+    accepts.swap(r.pending_accepts);
+    flush.swap(r.flush_ready);
+    dead.swap(r.dead_conns);
   }
+  for (Socket& s : accepts) RegisterConn(r, std::move(s));
+  for (const std::shared_ptr<Conn>& conn : flush) FlushConn(r, conn);
   for (const std::shared_ptr<Conn>& conn : dead) {
     // Identity check: only close if this fd still maps to *this*
     // connection (it may already have been reaped via EPOLLHUP).
     int fd = conn->sock.fd();
-    auto it = conns_.find(fd);
-    if (it != conns_.end() && it->second == conn) CloseConn(fd);
+    auto it = r.conns.find(fd);
+    if (it != r.conns.end() && it->second == conn) CloseConn(r, fd);
   }
 }
 
-void Server::Wake() {
+void Server::CloseConn(Reactor& r, int fd) {
+  auto it = r.conns.find(fd);
+  if (it == r.conns.end()) return;
+  it->second->dead.store(true, std::memory_order_release);
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  // The fd itself closes when the last worker holding this Conn finishes.
+  r.conns.erase(it);
+  metrics_->open_connections->Sub(1);
+}
+
+void Server::WakeReactor(Reactor& r) {
   uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  [[maybe_unused]] ssize_t n = ::write(r.wake_fd, &one, sizeof(one));
 }
 
 void Server::AbandonConn(const std::shared_ptr<Conn>& conn) {
   conn->dead.store(true, std::memory_order_release);
+  Reactor& r = *conn->owner;
   {
-    std::lock_guard<std::mutex> lock(dead_mu_);
-    dead_conns_.push_back(conn);
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.dead_conns.push_back(conn);
   }
-  Wake();
+  WakeReactor(r);
 }
 
-void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
+void Server::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn,
+                            DispatchGroups& groups) {
   int fd = conn->sock.fd();
   if (conn->dead.load(std::memory_order_acquire)) {
-    // A worker gave up on this peer (write error or timeout); reap it.
-    CloseConn(fd);
+    // A worker gave up on this peer (write error or overflow); reap it.
+    CloseConn(r, fd);
     return;
   }
   char buf[16384];
@@ -250,20 +410,22 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
       // can be framed reliably, so the only safe move is to hang up.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       metrics_->protocol_errors->Inc();
-      CloseConn(fd);
+      CloseConn(r, fd);
       return;
     }
     if (consumed == 0) break;  // need more bytes
     parsed += consumed;
-    HandleFrame(conn, std::move(frame));
+    HandleFrame(r, conn, std::move(frame), groups);
   }
   conn->inbuf.erase(0, parsed);
-  if (peer_gone) CloseConn(fd);
+  if (peer_gone) CloseConn(r, fd);
 }
 
-void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
+void Server::HandleFrame(Reactor& r, const std::shared_ptr<Conn>& conn,
+                         Frame frame, DispatchGroups& groups) {
   frames_received_.fetch_add(1, std::memory_order_relaxed);
   metrics_->frames->Inc();
+  r.frames->Inc();
   if (frame.kind != FrameKind::kRequest) {
     SendError(conn, frame.correlation,
               Status::InvalidArgument("expected a request frame"), frame.type);
@@ -293,81 +455,321 @@ void Server::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
     return;
   }
   // Payload decoding (and everything after) runs on the pool: a frame near
-  // the size cap must not stall the IO thread's accepts and reads for
-  // every other connection. The IO thread does framing only.
+  // the size cap must not stall this reactor's accepts and reads for every
+  // other connection. Reactors do framing and routing only.
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
   metrics_->in_flight->Add(1);
-  pool_->Submit([this, conn, frame = std::move(frame)]() {
-    api::AnyRequest request;
-    Status decoded =
-        DecodeRequestPayload(frame.type, frame.payload, &request);
-    if (!decoded.ok()) {
-      errors_sent_.fetch_add(1, std::memory_order_relaxed);
-      metrics_->errors->Inc();
-      WriteToConn(conn,
-                  EncodeErrorFrame(frame.correlation, decoded, frame.type));
-    } else {
-      if (options_.before_dispatch) options_.before_dispatch(request);
-      api::AnyResponse response = service_->Dispatch(request);
-      std::string bytes = EncodeResponseFrame(frame.correlation, response);
-      if (bytes.size() - kHeaderSize > options_.max_frame_bytes) {
-        // A legal request can amplify into a response the peer's decoder
-        // would reject as unrecoverable (its frame cap mirrors ours).
-        // Answer with a typed refusal instead of breaking the stream.
-        errors_sent_.fetch_add(1, std::memory_order_relaxed);
-        metrics_->errors->Inc();
-        WriteToConn(conn,
-                    EncodeErrorFrame(
-                        frame.correlation,
-                        Status::ResourceExhausted(
-                            "response of " +
-                            std::to_string(bytes.size() - kHeaderSize) +
-                            " bytes exceeds the frame cap; narrow the "
-                            "request (fewer items / details)"),
-                        frame.type));
-      } else {
-        // Count before writing: once the client holds the reply, the stat
-        // must already reflect it (tests assert equality right after).
-        responses_sent_.fetch_add(1, std::memory_order_relaxed);
-        metrics_->responses->Inc();
-        WriteToConn(conn, bytes);
-      }
-    }
-    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
-    metrics_->in_flight->Sub(1);
+  if (frame.type == api::kRequestTypeIndex<api::BatchSubmitTagsRequest>) {
+    // Mergeable: the whole group becomes ONE backend batch (see
+    // Service::BatchSubmitTagsMulti for the bit-equality argument).
+    groups.submits.push_back(Work{conn, std::move(frame)});
+    return;
+  }
+  size_t shard = ShardHintOf(frame);
+  if (shard != SIZE_MAX) {
+    groups.by_shard[shard].push_back(Work{conn, std::move(frame)});
+    return;
+  }
+  // Unroutable (registrations, Step, Checkpoint, MetricsQuery, malformed):
+  // one pool task each, preserving worker parallelism for endpoints that
+  // fan out internally or block.
+  pool_->Submit([this, w = Work{conn, std::move(frame)}]() mutable {
+    DispatchOne(w);
   });
 }
 
-void Server::WriteToConn(const std::shared_ptr<Conn>& conn,
-                         const std::string& bytes) {
-  if (conn->dead.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (conn->dead.load(std::memory_order_acquire)) return;
-  if (conn->sock.WriteAll(bytes.data(), bytes.size(),
-                          options_.write_timeout_ms)
-          .ok()) {
-    bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
-    metrics_->bytes_out->Inc(bytes.size());
-  } else {
-    // Peer went away mid-write, or stopped draining for longer than
-    // write_timeout_ms. Hand the connection to the IO thread for a real
-    // close — otherwise a peer with outstanding Awaits would hang forever
-    // on a half-abandoned socket.
-    AbandonConn(conn);
+size_t Server::ShardHintOf(const Frame& frame) const {
+  // Requests whose encoded payload leads with the target project's global
+  // id (little-endian u64, per docs/wire-protocol.md): BatchUploadResources,
+  // BatchControl and ProjectQuery at offset 0; BatchAcceptTasks carries the
+  // tagger id first, project id at offset 8. Everything else (or a payload
+  // too short to peek — the decode on the worker answers it with a typed
+  // error) has no single-shard routing.
+  size_t off;
+  switch (frame.type) {
+    case api::kRequestTypeIndex<api::BatchUploadResourcesRequest>:
+    case api::kRequestTypeIndex<api::BatchControlRequest>:
+    case api::kRequestTypeIndex<api::ProjectQueryRequest>:
+      off = 0;
+      break;
+    case api::kRequestTypeIndex<api::BatchAcceptTasksRequest>:
+      off = 8;
+      break;
+    default:
+      return SIZE_MAX;
   }
+  if (frame.payload.size() < off + 8) return SIZE_MAX;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(frame.payload.data()) + off;
+  uint64_t project = 0;
+  for (int i = 7; i >= 0; --i) {
+    project = (project << 8) | static_cast<uint64_t>(p[i]);
+  }
+  return ShardOfId(project, num_shards_);
+}
+
+void Server::FlushDispatchGroups(DispatchGroups& groups) {
+  const size_t cap =
+      options_.max_dispatch_batch == 0 ? 1 : options_.max_dispatch_batch;
+  auto submit_chunks = [&](std::vector<Work>& vec, bool merged) {
+    for (size_t start = 0; start < vec.size(); start += cap) {
+      const size_t end = std::min(vec.size(), start + cap);
+      metrics_->batch_size->Observe(end - start);
+      if (end - start == 1) {
+        // Low load: a singleton group dispatches exactly like the
+        // unbatched server — no added latency.
+        pool_->Submit([this, w = std::move(vec[start])]() mutable {
+          DispatchOne(w);
+        });
+        continue;
+      }
+      std::vector<Work> chunk(std::make_move_iterator(vec.begin() + start),
+                              std::make_move_iterator(vec.begin() + end));
+      if (merged) {
+        pool_->Submit([this, g = std::move(chunk)]() mutable {
+          DispatchMergedSubmits(g);
+        });
+      } else {
+        pool_->Submit([this, g = std::move(chunk)]() mutable {
+          for (Work& w : g) DispatchOne(w);
+        });
+      }
+    }
+    vec.clear();
+  };
+  for (auto& [shard, vec] : groups.by_shard) submit_chunks(vec, false);
+  groups.by_shard.clear();
+  submit_chunks(groups.submits, true);
+}
+
+void Server::DispatchOne(Work& work) {
+  api::AnyRequest request;
+  Status decoded =
+      DecodeRequestPayload(work.frame.type, work.frame.payload, &request);
+  if (!decoded.ok()) {
+    errors_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors->Inc();
+    QueueWrite(work.conn,
+               EncodeErrorFrame(work.frame.correlation, decoded,
+                                work.frame.type));
+  } else {
+    if (options_.before_dispatch) options_.before_dispatch(request);
+    FinishDispatch(work, service_->Dispatch(request));
+  }
+  work.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  metrics_->in_flight->Sub(1);
+}
+
+void Server::DispatchMergedSubmits(std::vector<Work>& group) {
+  std::vector<api::BatchSubmitTagsRequest> reqs;
+  std::vector<size_t> origin;  // group index of reqs[k]
+  reqs.reserve(group.size());
+  origin.reserve(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    Work& w = group[i];
+    api::AnyRequest request;
+    Status decoded =
+        DecodeRequestPayload(w.frame.type, w.frame.payload, &request);
+    if (!decoded.ok()) {
+      errors_sent_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->errors->Inc();
+      QueueWrite(w.conn, EncodeErrorFrame(w.frame.correlation, decoded,
+                                          w.frame.type));
+      w.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      metrics_->in_flight->Sub(1);
+      continue;
+    }
+    if (options_.before_dispatch) options_.before_dispatch(request);
+    reqs.push_back(std::get<api::BatchSubmitTagsRequest>(std::move(request)));
+    origin.push_back(i);
+  }
+  if (reqs.empty()) return;
+  std::vector<api::BatchSubmitTagsResponse> resps =
+      service_->BatchSubmitTagsMulti(reqs);
+  for (size_t k = 0; k < resps.size(); ++k) {
+    Work& w = group[origin[k]];
+    FinishDispatch(w, api::AnyResponse(std::move(resps[k])));
+    w.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_->in_flight->Sub(1);
+  }
+}
+
+void Server::FinishDispatch(const Work& work,
+                            const api::AnyResponse& response) {
+  std::string bytes = EncodeResponseFrame(work.frame.correlation, response);
+  if (bytes.size() - kHeaderSize > options_.max_frame_bytes) {
+    // A legal request can amplify into a response the peer's decoder
+    // would reject as unrecoverable (its frame cap mirrors ours).
+    // Answer with a typed refusal instead of breaking the stream.
+    errors_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors->Inc();
+    QueueWrite(work.conn,
+               EncodeErrorFrame(
+                   work.frame.correlation,
+                   Status::ResourceExhausted(
+                       "response of " +
+                       std::to_string(bytes.size() - kHeaderSize) +
+                       " bytes exceeds the frame cap; narrow the "
+                       "request (fewer items / details)"),
+                   work.frame.type));
+    return;
+  }
+  // Count before queueing: once the client holds the reply, the stat must
+  // already reflect it (tests assert equality right after).
+  responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->responses->Inc();
+  QueueWrite(work.conn, std::move(bytes));
+}
+
+void Server::QueueWrite(const std::shared_ptr<Conn>& conn, std::string bytes) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  bool notify = false;
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    if (conn->out_bytes + bytes.size() > options_.max_pending_write_bytes) {
+      overflow = true;
+    } else {
+      conn->out_bytes += bytes.size();
+      conn->outq.push_back(std::move(bytes));
+      if (!conn->flush_queued) {
+        conn->flush_queued = true;
+        notify = true;
+      }
+    }
+  }
+  if (overflow) {
+    // The peer pipelined far more than it is willing to read. Cutting the
+    // connection is the only bounded-memory option left.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->protocol_errors->Inc();
+    AbandonConn(conn);
+    return;
+  }
+  if (notify) {
+    Reactor& r = *conn->owner;
+    {
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.flush_ready.push_back(conn);
+    }
+    WakeReactor(r);
+  }
+}
+
+void Server::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(conn->write_mu);
+  for (;;) {
+    if (conn->outq.empty()) {
+      conn->flush_queued = false;
+      lock.unlock();
+      // Fully drained: back to read-only interest, deadline disarmed.
+      if (conn->want_epollout) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn->sock.fd();
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->sock.fd(), &ev);
+        conn->want_epollout = false;
+      }
+      conn->has_deadline = false;
+      return;
+    }
+    iovec iov[kMaxIov];
+    size_t n = 0;
+    size_t head = conn->out_head;
+    for (const std::string& s : conn->outq) {
+      if (n == kMaxIov) break;
+      iov[n].iov_base = const_cast<char*>(s.data()) + head;
+      iov[n].iov_len = s.size() - head;
+      head = 0;
+      ++n;
+    }
+    Result<size_t> sent = conn->sock.WritevSome(iov, n);
+    if (!sent.ok()) {
+      // Peer went away mid-write; drop the queue with the connection.
+      lock.unlock();
+      CloseConn(r, conn->sock.fd());
+      return;
+    }
+    if (*sent == 0) {
+      // Socket buffer full: hand the rest to EPOLLOUT, bounded by the
+      // write deadline — the queue survives, this thread moves on.
+      lock.unlock();
+      if (!conn->want_epollout) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->sock.fd();
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->sock.fd(), &ev);
+        conn->want_epollout = true;
+      }
+      if (!conn->has_deadline) {
+        conn->has_deadline = true;
+        conn->deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.write_timeout_ms);
+        r.deadlined.push_back(conn);
+      }
+      return;
+    }
+    bytes_sent_.fetch_add(*sent, std::memory_order_relaxed);
+    metrics_->bytes_out->Inc(*sent);
+    size_t remaining = *sent;
+    uint64_t frames_done = 0;
+    while (remaining > 0) {
+      std::string& front = conn->outq.front();
+      const size_t avail = front.size() - conn->out_head;
+      if (remaining >= avail) {
+        remaining -= avail;
+        conn->out_bytes -= avail;
+        conn->outq.pop_front();
+        conn->out_head = 0;
+        ++frames_done;
+      } else {
+        conn->out_head += remaining;
+        conn->out_bytes -= remaining;
+        remaining = 0;
+      }
+    }
+    if (frames_done > 0) metrics_->coalesced_frames->Observe(frames_done);
+  }
+}
+
+void Server::ExpireWriteDeadlines(Reactor& r,
+                                  std::chrono::steady_clock::time_point now) {
+  if (r.deadlined.empty()) return;
+  std::vector<std::shared_ptr<Conn>> keep;
+  for (const std::shared_ptr<Conn>& conn : r.deadlined) {
+    if (conn->dead.load(std::memory_order_acquire) || !conn->has_deadline) {
+      continue;  // resolved (drained, or closed by another path)
+    }
+    if (now >= conn->deadline) {
+      // Stalled past write_timeout_ms with the peer not draining; queued
+      // responses are dropped with the connection, like the blocking
+      // write timeout before it.
+      CloseConn(r, conn->sock.fd());
+      continue;
+    }
+    keep.push_back(conn);
+  }
+  r.deadlined.swap(keep);
 }
 
 void Server::SendError(const std::shared_ptr<Conn>& conn,
                        uint64_t correlation, const Status& error,
                        uint16_t type) {
-  // Small slack above max_in_flight: enough for the overload refusal
-  // itself to ride the pool, while bounding how much queued write work a
-  // frame-flooding peer can pile up. Past the slack the peer is
-  // disconnected — never silently unanswered, which would strand its
-  // Await forever (see docs/wire-protocol.md).
-  constexpr size_t kErrorSlack = 16;
-  if (conn->in_flight.load(std::memory_order_acquire) >=
-      options_.max_in_flight + kErrorSlack) {
+  // Error frames are tiny and encode in microseconds, so they are queued
+  // straight from the reactor — refusing a frame must not consume the
+  // worker capacity the refusal is protecting. The backlog check bounds a
+  // peer that floods requests while never reading its refusals: past the
+  // cap it is disconnected — never silently unanswered, which would
+  // strand its Await forever (see docs/wire-protocol.md).
+  size_t backlog;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    backlog = conn->out_bytes;
+  }
+  if (backlog > kErrorBacklogBytes) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     metrics_->protocol_errors->Inc();
     AbandonConn(conn);
@@ -375,14 +777,7 @@ void Server::SendError(const std::shared_ptr<Conn>& conn,
   }
   errors_sent_.fetch_add(1, std::memory_order_relaxed);
   metrics_->errors->Inc();
-  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
-  metrics_->in_flight->Add(1);
-  pool_->Submit(
-      [this, conn, bytes = EncodeErrorFrame(correlation, error, type)]() {
-        WriteToConn(conn, bytes);
-        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
-        metrics_->in_flight->Sub(1);
-      });
+  QueueWrite(conn, EncodeErrorFrame(correlation, error, type));
 }
 
 }  // namespace itag::net

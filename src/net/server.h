@@ -2,7 +2,9 @@
 #define ITAG_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -23,6 +25,11 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the actual one back with port().
   uint16_t port = 0;
+  /// IO reactor threads. Each reactor owns an epoll loop, a disjoint set of
+  /// connections (accepted round-robin), and the write side of those
+  /// connections; 0 picks hardware_concurrency (at least 1). One reactor
+  /// reproduces the original single-IO-thread server exactly.
+  size_t reactors = 1;
   /// Dispatch worker threads; 0 picks hardware_concurrency (at least 1).
   size_t workers = 0;
   /// Per-connection cap on requests dispatched but not yet answered. A
@@ -31,12 +38,23 @@ struct ServerOptions {
   /// retry on, instead of unbounded queueing.
   size_t max_in_flight = 256;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Cap on how long one response write may wait for the peer to drain its
-  /// receive buffer. A client that stops reading while keeping requests in
-  /// flight would otherwise park dispatch workers forever inside
-  /// WriteAll's poll; on expiry the connection is marked dead and its
-  /// remaining responses are dropped.
+  /// Cap on how long queued response bytes may wait for the peer to drain
+  /// its receive buffer. Workers never block on writes (they append to the
+  /// connection's output queue and the owning reactor flushes it); when a
+  /// flush stalls on a full socket buffer for longer than this, the
+  /// connection is marked dead and its remaining responses are dropped.
   int write_timeout_ms = 10000;
+  /// Cap on bytes buffered for one connection's unread responses. A peer
+  /// that pipelines hard while never reading is disconnected at this bound
+  /// instead of growing the queue until write_timeout_ms fires.
+  size_t max_pending_write_bytes = 64u << 20;
+  /// Requests grouped into one dispatch task (and one merged backend batch
+  /// for BatchSubmitTags) never exceed this, so a deep burst still spreads
+  /// across workers.
+  size_t max_dispatch_batch = 64;
+  /// Kernel accept-queue depth; connection storms (the 10k soak) need this
+  /// well above the 128 default.
+  int listen_backlog = 1024;
   /// Test seam: runs on the worker thread right before Service::Dispatch.
   /// Lets tests hold workers busy deterministically (e.g. to force the
   /// overload path); leave unset in production.
@@ -54,8 +72,8 @@ struct ServerStats {
   uint64_t overload_rejections = 0;
   uint64_t version_rejections = 0;
   /// Connections the server closed defensively: unparseable framing (bad
-  /// magic/kind/CRC, oversized payload) or flooding past the error-reply
-  /// slack above max_in_flight.
+  /// magic/kind/CRC, oversized payload) or an error-reply backlog the peer
+  /// refuses to drain.
   uint64_t protocol_errors = 0;
   uint64_t bytes_received = 0;  ///< raw socket bytes in (incl. framing)
   uint64_t bytes_sent = 0;      ///< raw socket bytes out (incl. framing)
@@ -63,15 +81,23 @@ struct ServerStats {
 
 /// Multi-client TCP front over an api::Service.
 ///
-/// One epoll IO thread accepts connections and decodes frames; each decoded
-/// request is dispatched on a ThreadPool and its response frame is written
-/// back by the worker that finished it — out of request order when a later
-/// request completes first. The correlation id ties replies to requests, so
-/// clients may pipeline freely.
+/// N reactor threads each run an epoll loop over a disjoint subset of the
+/// connections (reactor 0 accepts and hands new sockets off round-robin).
+/// A reactor decodes frames, groups the requests of one event burst by
+/// destination shard (peeking the project id out of the encoded payload),
+/// and submits each group as ONE worker-pool task — so under load a single
+/// pool handoff, and for BatchSubmitTags a single merged backend batch,
+/// amortizes over many requests, while an idle connection's lone request
+/// still dispatches immediately (the batching window is the event burst:
+/// it adapts to load and adds no timer latency). Responses are appended to
+/// a per-connection output queue and flushed by the owning reactor with
+/// one gathering writev per syscall — workers never block on a slow peer.
 ///
-/// The wrapped Service must be thread-safe whenever `workers > 1` or more
-/// than one client connects — i.e. back it with a core::ShardedSystem
-/// (see api/service.h). Protocol rules, the error taxonomy, and the
+/// The correlation id ties replies to requests, so clients may pipeline
+/// freely; replies can overtake each other. The wrapped Service must be
+/// thread-safe whenever `workers > 1`, `reactors > 1`, or more than one
+/// client connects — i.e. back it with a core::ShardedSystem (see
+/// api/service.h). Protocol rules, the error taxonomy, and the
 /// backpressure contract are specified in docs/wire-protocol.md.
 class Server {
  public:
@@ -82,76 +108,126 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, then spawns the IO thread and worker pool. Fails with IOError
-  /// when the address cannot be bound, FailedPrecondition when already
-  /// started.
+  /// Binds, then spawns the reactor threads and worker pool. Fails with
+  /// IOError when the address cannot be bound, FailedPrecondition when
+  /// already started.
   Status Start();
 
-  /// Stops accepting, joins the IO thread, and drains in-flight dispatches
-  /// (their responses are still written). Idempotent.
+  /// Stops accepting, joins the reactors, drains in-flight dispatches, and
+  /// makes a final bounded attempt to flush queued responses. Idempotent.
   void Stop();
 
   /// The bound port (valid after a successful Start()).
   uint16_t port() const { return port_; }
 
+  /// Reactor threads actually running (valid after Start()).
+  size_t reactor_count() const { return reactors_.size(); }
+
   ServerStats stats() const;
 
  private:
-  /// Per-connection state. IO thread owns inbuf/parsing; workers share the
-  /// write side under write_mu. Kept alive by shared_ptr until the last
-  /// in-flight worker response has been written.
+  struct Reactor;
+
+  /// Per-connection state. The owning reactor runs inbuf/parsing and the
+  /// flush; workers append responses under write_mu. Kept alive by
+  /// shared_ptr until the last in-flight worker and queue entry are done.
   struct Conn {
     explicit Conn(Socket s) : sock(std::move(s)) {}
     Socket sock;
-    std::string inbuf;
+    Reactor* owner = nullptr;
+    std::string inbuf;  ///< owning reactor only
+
     std::mutex write_mu;
+    /// Encoded response frames awaiting flush (guarded by write_mu).
+    /// out_head is how much of outq.front() already went out;
+    /// out_bytes the queued total; flush_queued whether the conn is
+    /// already on its owner's flush list.
+    std::deque<std::string> outq;
+    size_t out_head = 0;
+    size_t out_bytes = 0;
+    bool flush_queued = false;
+
+    /// Owning reactor only: EPOLLOUT armed, and the stalled-write deadline.
+    bool want_epollout = false;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+
     std::atomic<size_t> in_flight{0};
     std::atomic<bool> dead{false};
   };
 
-  void IoLoop();
-  void AcceptOne();
-  void HandleReadable(const std::shared_ptr<Conn>& conn);
-  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame);
-  void CloseConn(int fd);
-  /// Reaps connections whose writer gave up (IO thread only).
-  void ReapDead();
-  /// Wakes the IO thread out of epoll_wait.
-  void Wake();
-  /// Marks `conn` dead and schedules it for an IO-thread close. Safe from
-  /// any thread.
+  /// One (connection, decoded frame) unit of dispatch work.
+  struct Work {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+  };
+
+  /// The dispatch groups of one event burst: requests routable to a single
+  /// shard keyed by that shard, mergeable BatchSubmitTags requests
+  /// together, everything else dispatched as it arrives.
+  struct DispatchGroups {
+    std::unordered_map<size_t, std::vector<Work>> by_shard;
+    std::vector<Work> submits;
+  };
+
+  void ReactorLoop(Reactor& r);
+  void AcceptBurst(Reactor& r);
+  void RegisterConn(Reactor& r, Socket sock);
+  void DrainInbox(Reactor& r);
+  void HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn,
+                      DispatchGroups& groups);
+  void HandleFrame(Reactor& r, const std::shared_ptr<Conn>& conn,
+                   Frame frame, DispatchGroups& groups);
+  /// Submits every non-empty group of the burst to the pool, one task per
+  /// group (chunked at max_dispatch_batch).
+  void FlushDispatchGroups(DispatchGroups& groups);
+  /// Decode + before_dispatch + Dispatch + queue-response for one unit.
+  void DispatchOne(Work& work);
+  /// The merged path: N BatchSubmitTags requests through one backend batch.
+  void DispatchMergedSubmits(std::vector<Work>& group);
+  /// Encodes and queues `response` (or the oversize refusal) for `work`.
+  void FinishDispatch(const Work& work, const api::AnyResponse& response);
+  void CloseConn(Reactor& r, int fd);
+  /// Flushes the connection's output queue with gathering writes; arms
+  /// EPOLLOUT + the write deadline when the socket stops accepting bytes.
+  void FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn);
+  /// Kills connections whose flush has been stalled past write_timeout_ms.
+  void ExpireWriteDeadlines(Reactor& r, std::chrono::steady_clock::time_point now);
+  /// epoll_wait timeout honoring the earliest write deadline (-1 = none).
+  int NextTimeoutMs(Reactor& r) const;
+  /// Wakes a reactor out of epoll_wait.
+  void WakeReactor(Reactor& r);
+  /// Marks `conn` dead and schedules an owner-reactor close. Any thread.
   void AbandonConn(const std::shared_ptr<Conn>& conn);
-  /// Serializes `bytes` onto the connection; drops them once it is dead.
-  /// On a write failure/timeout, marks the connection dead and schedules
-  /// it for reaping. Called from pool workers.
-  void WriteToConn(const std::shared_ptr<Conn>& conn,
-                   const std::string& bytes);
-  /// Queues a typed error reply on the worker pool (the IO thread must
-  /// never block on a peer's full receive buffer). Error tasks get a small
-  /// in-flight slack above max_in_flight so an overload refusal is still
-  /// deliverable; beyond the slack the reply is dropped — the peer is
-  /// flooding and nothing was executed for it anyway.
+  /// Appends an encoded frame to the connection's output queue and
+  /// notifies the owning reactor. Drops the bytes once the conn is dead;
+  /// disconnects when the queue cap is exceeded. Any thread; never blocks
+  /// on the peer.
+  void QueueWrite(const std::shared_ptr<Conn>& conn, std::string bytes);
+  /// Queues a typed error reply directly (error frames are small and
+  /// encode in microseconds — no pool hop). A peer that floods frames
+  /// while refusing to drain its error replies is disconnected once
+  /// kErrorBacklogBytes of refusals pile up.
   void SendError(const std::shared_ptr<Conn>& conn, uint64_t correlation,
                  const Status& error, uint16_t type);
+  /// Destination-shard hint peeked from an encoded request payload, or
+  /// SIZE_MAX when the request has no single-shard routing.
+  size_t ShardHintOf(const Frame& frame) const;
 
   api::Service* service_;
   ServerOptions options_;
+  /// Shard count of the backend (1 for a single-system backend); the
+  /// modulus of the global-id shard routing mirrored by ShardHintOf.
+  size_t num_shards_ = 1;
 
   Socket listener_;
   uint16_t port_ = 0;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Round-robin accept cursor (touched only by reactor 0).
+  size_t next_reactor_ = 0;
   std::atomic<bool> stopping_{false};
-  /// fd -> connection; touched only by the IO thread.
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
-  /// Connections a worker marked dead, awaiting an IO-thread close
-  /// (guarded by dead_mu_; workers push, IO thread drains). Holding the
-  /// shared_ptr (not the raw fd) keeps the fd from being reused before
-  /// the reap, and ReapDead double-checks identity against conns_.
-  std::mutex dead_mu_;
-  std::vector<std::shared_ptr<Conn>> dead_conns_;
+  bool started_ = false;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_received_{0};

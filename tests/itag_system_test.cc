@@ -1,6 +1,7 @@
 #include "itag/itag_system.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -316,7 +317,9 @@ TEST_F(ITagSystemTest, ProjectListingSortsByQuality) {
 
 TEST(ITagSystemDurabilityTest, StateSurvivesRestart) {
   std::string dir =
-      (fs::temp_directory_path() / "itag_system_durability").string();
+      (fs::temp_directory_path() /
+       ("itag_system_durability." + std::to_string(::getpid())))
+          .string();
   fs::remove_all(dir);
   ITagSystemOptions opts;
   opts.db.directory = dir;

@@ -10,6 +10,13 @@
 //    reply and the connection survives (bump-safe negotiation);
 //  - requests beyond max_in_flight get a typed ResourceExhausted reply;
 //  - unparseable bytes close only the offending connection.
+//
+// The load-bearing guarantees run parameterized at reactors ∈ {1, 4}
+// (NetServerReactorTest / NetServerHammerTest): the multi-reactor server
+// must be observationally identical to the single-IO-thread original —
+// same bytes, same typed errors, same backpressure — with only the thread
+// topology changing. Reactor-only behaviors (round-robin connection
+// spread, merged BatchSubmitTags dispatch) get their own tests below.
 
 #include "net/server.h"
 
@@ -17,6 +24,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +35,7 @@
 #include "net/client.h"
 #include "net/wire.h"
 #include "net_test_scenario.h"
+#include "obs/metrics.h"
 
 namespace itag::net {
 namespace {
@@ -59,7 +68,17 @@ TEST(NetServerTest, StartsOnEphemeralPortAndStops) {
   server.Stop();  // idempotent
 }
 
-TEST(NetServerTest, FullScriptOverLoopbackBitEqualToInProcess) {
+/// The guarantee suite that must hold unchanged at every reactor count.
+class NetServerReactorTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Reactors, NetServerReactorTest,
+                         ::testing::Values(size_t{1}, size_t{4}),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::to_string(info.param) + "reactor" +
+                                  (info.param == 1 ? "" : "s");
+                         });
+
+TEST_P(NetServerReactorTest, FullScriptOverLoopbackBitEqualToInProcess) {
   std::vector<api::AnyRequest> script = nettest::FullCoverageScript();
 
   // Two identically-configured backends: one behind the server, one driven
@@ -71,8 +90,10 @@ TEST(NetServerTest, FullScriptOverLoopbackBitEqualToInProcess) {
 
   ServerOptions opts;
   opts.workers = 2;
+  opts.reactors = GetParam();
   Server server(&served, opts);
   ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.reactor_count(), GetParam());
 
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
@@ -206,7 +227,7 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
   server.Stop();
 }
 
-TEST(NetServerTest, OverloadAnswersTypedResourceExhausted) {
+TEST_P(NetServerReactorTest, OverloadAnswersTypedResourceExhausted) {
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
 
@@ -217,6 +238,7 @@ TEST(NetServerTest, OverloadAnswersTypedResourceExhausted) {
   ServerOptions opts;
   opts.workers = 2;
   opts.max_in_flight = 2;
+  opts.reactors = GetParam();
   opts.before_dispatch = [&](const api::AnyRequest&) {
     ++arrived;
     while (!release.load(std::memory_order_acquire)) {
@@ -262,12 +284,13 @@ TEST(NetServerTest, OverloadAnswersTypedResourceExhausted) {
   server.Stop();
 }
 
-TEST(NetServerTest, SlowReaderIsTimedOutNotAllowedToWedgeWorkers) {
+TEST_P(NetServerReactorTest, SlowReaderIsTimedOutNotAllowedToWedgeWorkers) {
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
   ServerOptions opts;
   opts.workers = 1;  // one wedged worker would freeze the whole pool
   opts.write_timeout_ms = 250;
+  opts.reactors = GetParam();
   Server server(&service, opts);
   ASSERT_TRUE(server.Start().ok());
 
@@ -334,10 +357,12 @@ TEST(NetServerTest, FramesSentRightBeforeCloseAreStillDispatched) {
   server.Stop();
 }
 
-TEST(NetServerTest, GarbageBytesCloseOnlyTheOffendingConnection) {
+TEST_P(NetServerReactorTest, GarbageBytesCloseOnlyTheOffendingConnection) {
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
-  Server server(&service);
+  ServerOptions opts;
+  opts.reactors = GetParam();
+  Server server(&service, opts);
   ASSERT_TRUE(server.Start().ok());
 
   // A raw socket spews non-protocol bytes.
@@ -502,8 +527,20 @@ World BuildWorld(api::Service& service, size_t threads, size_t projects,
 // Acceptance gate: >= 4 concurrent wire clients against the sharded
 // backend, asserting the end state is bit-equal (full ProjectQuery
 // responses, per-item vectors and doubles included) to a single-threaded
-// in-process replay of the same per-project traffic.
-TEST(NetServerHammerTest, FourClientThreadsMatchInProcessReplayBitExact) {
+// in-process replay of the same per-project traffic. Runs at 1 and 4
+// reactors: with 4, the clients' connections spread across every reactor
+// and their concurrent submits exercise the shard-grouped and merged
+// dispatch paths, which must not change a single byte of backend state.
+class NetServerHammerTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Reactors, NetServerHammerTest,
+                         ::testing::Values(size_t{1}, size_t{4}),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::to_string(info.param) + "reactor" +
+                                  (info.param == 1 ? "" : "s");
+                         });
+
+TEST_P(NetServerHammerTest, FourClientThreadsMatchInProcessReplayBitExact) {
   constexpr size_t kThreads = 4;
   constexpr size_t kProjectsPerThread = 2;
   constexpr size_t kProjects = kThreads * kProjectsPerThread;
@@ -516,6 +553,7 @@ TEST(NetServerHammerTest, FourClientThreadsMatchInProcessReplayBitExact) {
   World world = BuildWorld(served, kThreads, kProjects, kBudget, kResources);
   ServerOptions opts;
   opts.workers = 4;
+  opts.reactors = GetParam();
   Server server(&served, opts);
   ASSERT_TRUE(server.Start().ok());
 
@@ -567,6 +605,117 @@ TEST(NetServerHammerTest, FourClientThreadsMatchInProcessReplayBitExact) {
   }
   EXPECT_EQ(served.sharded()->TotalPaidCents(),
             reference.sharded()->TotalPaidCents());
+  server.Stop();
+}
+
+// ------------------------------------------------- reactor-only behaviors
+
+// The accept handoff is strict round-robin, so 8 sequential connections
+// against 4 reactors land exactly 2 on each — verified through the
+// per-reactor registry counters (net.reactor.<i>.*), which are also the
+// operator's balance check in production.
+TEST(NetServerReactorSpreadTest, RoundRobinSpreadsConnectionsAcrossReactors) {
+  constexpr size_t kReactors = 4;
+  constexpr size_t kClientsPerReactor = 2;
+  api::Service service(ShardOpts(1, 1));
+  ASSERT_TRUE(service.Init().ok());
+  ServerOptions opts;
+  opts.reactors = kReactors;
+  Server server(&service, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  uint64_t conns_before[kReactors];
+  uint64_t frames_before[kReactors];
+  for (size_t i = 0; i < kReactors; ++i) {
+    const std::string prefix = "net.reactor." + std::to_string(i) + ".";
+    conns_before[i] = reg.GetCounter(prefix + "connections")->value();
+    frames_before[i] = reg.GetCounter(prefix + "frames")->value();
+  }
+
+  // One served round trip per client proves its connection is registered
+  // on *some* reactor before we count.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t c = 0; c < kReactors * kClientsPerReactor; ++c) {
+    clients.push_back(std::make_unique<Client>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(clients.back()->Step({0}).ok());
+  }
+  for (size_t i = 0; i < kReactors; ++i) {
+    SCOPED_TRACE("reactor " + std::to_string(i));
+    const std::string prefix = "net.reactor." + std::to_string(i) + ".";
+    EXPECT_EQ(reg.GetCounter(prefix + "connections")->value() -
+                  conns_before[i],
+              kClientsPerReactor);
+    EXPECT_EQ(reg.GetCounter(prefix + "frames")->value() - frames_before[i],
+              kClientsPerReactor);  // one Step frame per client
+  }
+  server.Stop();
+}
+
+// Pipelined BatchSubmitTags from one connection arrive in one read burst
+// and ride the merged dispatch path (one backend batch for the whole
+// group). The merge is an optimization, not a semantic: every response —
+// and the project end state — must be bit-identical to a single-threaded
+// in-process replay submitting one request at a time.
+TEST(NetServerMergeTest, PipelinedSubmitsMergeBitExactWithSequentialReplay) {
+  constexpr uint32_t kBudget = 24;
+  constexpr size_t kResources = 6;
+  api::Service served(ShardOpts(2, 2));
+  api::Service oracle(ShardOpts(2, 2));
+  ASSERT_TRUE(served.Init().ok());
+  ASSERT_TRUE(oracle.Init().ok());
+  World world = BuildWorld(served, 1, 1, kBudget, kResources);
+  World ref_world = BuildWorld(oracle, 1, 1, kBudget, kResources);
+  ASSERT_EQ(world.projects, ref_world.projects);
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.reactors = 2;
+  Server server(&served, opts);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Draw the same tasks on both sides (allocation is deterministic).
+  api::BatchAcceptTasksResponse tasks = Unwrap(
+      client.BatchAcceptTasks({world.taggers[0], world.projects[0], 20}));
+  api::BatchAcceptTasksResponse ref_tasks = oracle.BatchAcceptTasks(
+      {ref_world.taggers[0], ref_world.projects[0], 20});
+  ASSERT_TRUE(tasks.status.ok());
+  ASSERT_EQ(tasks.tasks.size(), ref_tasks.tasks.size());
+
+  // Fire every submit before awaiting any: the frames land back-to-back,
+  // so the server is free to merge them (and must merge invisibly).
+  std::vector<uint64_t> correlations;
+  for (const AcceptedTask& task : tasks.tasks) {
+    api::BatchSubmitTagsRequest submit;
+    submit.items.push_back({world.taggers[0], task.handle, TagsFor(task)});
+    Result<uint64_t> c = client.DispatchAsync(api::AnyRequest{submit});
+    ASSERT_TRUE(c.ok());
+    correlations.push_back(c.value());
+  }
+  std::vector<api::AnyResponse> replies;
+  for (uint64_t c : correlations) {
+    Result<api::AnyResponse> r = client.Await(c);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    replies.push_back(std::move(r).value());
+  }
+  for (size_t i = 0; i < ref_tasks.tasks.size(); ++i) {
+    SCOPED_TRACE("submit #" + std::to_string(i));
+    api::BatchSubmitTagsRequest submit;
+    submit.items.push_back({ref_world.taggers[0], ref_tasks.tasks[i].handle,
+                            TagsFor(ref_tasks.tasks[i])});
+    EXPECT_EQ(Bytes(replies[i]), Bytes(oracle.BatchSubmitTags(submit)));
+  }
+
+  // End state, byte for byte.
+  api::ProjectQueryRequest query;
+  query.project = world.projects[0];
+  query.include_feed = true;
+  Result<api::AnyResponse> over_wire = client.Dispatch(query);
+  ASSERT_TRUE(over_wire.ok());
+  EXPECT_EQ(Bytes(over_wire.value()), Bytes(oracle.Dispatch(query)));
   server.Stop();
 }
 

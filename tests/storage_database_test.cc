@@ -1,6 +1,7 @@
 #include "storage/database.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -21,7 +22,9 @@ Row Kv(int64_t k, const std::string& v) {
 class DatabaseTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "itag_db_test").string();
+    dir_ = (fs::temp_directory_path() /
+            ("itag_db_test." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

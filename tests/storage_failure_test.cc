@@ -3,6 +3,7 @@
 // failures that must never reach the log.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -24,7 +25,9 @@ Row Kv(int64_t k, const std::string& v) {
 class StorageFailureTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "itag_storage_failure").string();
+    dir_ = (fs::temp_directory_path() /
+            ("itag_storage_failure." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -1,6 +1,7 @@
 #include "storage/pager/paged_btree.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -26,7 +27,9 @@ std::vector<uint8_t> Val(const std::string& s) {
 class PagedBTreeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "itag_btree_test").string();
+    dir_ = (fs::temp_directory_path() /
+            ("itag_btree_test." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     PagerOptions opts;

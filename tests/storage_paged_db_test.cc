@@ -1,6 +1,7 @@
 #include "storage/database.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -38,7 +39,9 @@ std::map<RowId, Row> Dump(const Database& db, const std::string& table) {
 class PagedDatabaseTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "itag_paged_db_test").string();
+    dir_ = (fs::temp_directory_path() /
+            ("itag_paged_db_test." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -1,6 +1,7 @@
 #include "storage/pager/pager.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -19,7 +20,9 @@ namespace fs = std::filesystem;
 class PagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "itag_pager_test").string();
+    dir_ = (fs::temp_directory_path() /
+            ("itag_pager_test." + std::to_string(::getpid())))
+               .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     path_ = dir_ + "/pages.db";

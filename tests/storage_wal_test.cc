@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -13,7 +14,8 @@ namespace fs = std::filesystem;
 class WalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "itag_wal_test";
+    dir_ = fs::temp_directory_path() /
+           ("itag_wal_test." + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     path_ = (dir_ / "wal.log").string();
