@@ -5,6 +5,7 @@
 // admin endpoint, and the v3 MetricsQuery observability endpoint.
 //
 //   ./itag_client [port] [--dump FILE] [--query ID] [--metrics [PREFIX]]
+//                 [--traces [--slow-us N] [--endpoint NAME]]
 //
 // Default (session mode): runs the provider+tagger session, checkpoints,
 // and — with --dump — writes the project's canonical final state (the
@@ -18,6 +19,11 @@
 // PREFIX) and prints the plain-text rendering — one `name value` line per
 // counter/gauge, `name count=… p50=…` per histogram (the CI loadgen smoke
 // greps this output). See docs/observability.md for the catalogue.
+// With --traces (v4) the client fetches the server's retained request
+// traces and prints each as an indented span tree with durations and
+// self-times; --slow-us N keeps only traces whose root took >= N µs, and
+// --endpoint NAME filters by endpoint ("BatchSubmitTags", ...). Traces
+// exist only when the server samples (--trace-sample-n / --trace-slow-us).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 #include "net/client.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace itag;  // NOLINT
 
@@ -78,12 +85,21 @@ int main(int argc, char** argv) {
   long long query_id = -1;
   bool metrics_mode = false;
   std::string metrics_prefix;
+  bool traces_mode = false;
+  long long traces_slow_us = 0;
+  std::string traces_endpoint;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       query_id = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--traces") == 0) {
+      traces_mode = true;
+    } else if (std::strcmp(argv[i], "--slow-us") == 0 && i + 1 < argc) {
+      traces_slow_us = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--endpoint") == 0 && i + 1 < argc) {
+      traces_endpoint = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_mode = true;
       // Optional prefix operand: must look like a metric name (contain a
@@ -99,7 +115,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [--dump FILE] [--query ID] "
-                   "[--metrics [PREFIX]]\n",
+                   "[--metrics [PREFIX]] [--traces [--slow-us N] "
+                   "[--endpoint NAME]]\n",
                    argv[0]);
       return 2;
     }
@@ -114,6 +131,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("connected (api v%u)\n", api::kApiVersion);
+
+  if (traces_mode) {
+    // Tracing mode: the server's retained span trees, newest first,
+    // rendered exactly like the obs::RenderTraceText goldens in the tests.
+    api::TraceQueryRequest req;
+    req.min_duration_us = traces_slow_us > 0
+                              ? static_cast<uint64_t>(traces_slow_us)
+                              : 0;
+    req.endpoint = traces_endpoint;
+    auto traces = Must(client.Traces(req), "TraceQuery");
+    std::printf("%s", obs::RenderTraceText(traces.traces).c_str());
+    std::printf("traces: %zu retained\n", traces.traces.size());
+    return 0;
+  }
 
   if (metrics_mode) {
     // Observability mode: no session, just the server's metrics snapshot,

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "api/requests.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "net/client.h"
 #include "obs/metrics.h"
@@ -330,6 +331,14 @@ int main(int argc, char** argv) {
       page_cache_mb = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--idle-conns") == 0 && i + 1 < argc) {
       idle_conns = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      LogLevel level;
+      if (!ParseLogLevel(argv[++i], &level)) {
+        std::fprintf(stderr, "bad --log-level %s (debug|info|warn|error)\n",
+                     argv[i]);
+        return 2;
+      }
+      Logger::SetLevel(level);
     } else if (std::strcmp(argv[i], "--list") == 0) {
       ListScenarios();
       return 0;
@@ -340,7 +349,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [port] [--scenario NAME] [--threads N] "
                    "[--seconds S] [--projects P] [--page-cache-mb N] "
-                   "[--idle-conns N] [--list]\n",
+                   "[--idle-conns N] [--log-level LEVEL] [--list]\n",
                    argv[0]);
       return 2;
     }

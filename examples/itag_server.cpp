@@ -2,10 +2,12 @@
 // behind the binary wire protocol, serving any number of TCP clients.
 //
 //   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
-//                 [--page-cache-mb=N] [--reactors=N]
+//                 [--page-cache-mb=N] [--reactors=N] [--log-level=LEVEL]
+//                 [--trace-sample-n=N] [--trace-slow-us=N]
+//                 [--trace-export=FILE]
 //
 // Defaults: port 7421, run until SIGINT/SIGTERM, 4 shards, 1 reactor,
-// in-memory.
+// in-memory, log level info, tracing 1-in-1024 + slow capture at 10ms.
 // A non-zero max_seconds self-terminates after that long (handy for CI
 // smoke runs). Port 0 binds an ephemeral port; the "listening on" line
 // reports the real one.
@@ -21,6 +23,14 @@
 // --reactors=N runs N IO reactor threads (epoll loops), each owning a
 // disjoint, round-robin-assigned subset of the connections — the knob for
 // many-connection fleets; 0 picks one reactor per hardware thread.
+// --log-level=LEVEL (debug|info|warn|error) sets the stderr log threshold.
+// --trace-sample-n=N head-samples every Nth request into the trace ring
+// (0 disables the coin, 1 traces everything); --trace-slow-us=N
+// additionally retains any request whose root span took >= N µs even when
+// it lost the coin (0 disables slow capture). Read traces back live with
+// `itag_client PORT --traces`, or pass --trace-export=FILE to dump the
+// ring as Chrome trace-event JSON (chrome://tracing, Perfetto) on
+// shutdown. See docs/observability.md.
 // On SIGINT/SIGTERM the daemon shuts down gracefully: stop accepting,
 // drain in-flight requests, checkpoint (snapshot + WAL truncate, bounding
 // the next start's recovery time), exit 0.
@@ -36,9 +46,13 @@
 #include <string>
 #include <thread>
 
+#include <fstream>
+
 #include "api/service.h"
+#include "common/logging.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -56,6 +70,9 @@ int main(int argc, char** argv) {
   size_t shards = 4;
   long page_cache_mb = -1;  // <0 = snapshot engine, >=0 = paged engine
   size_t reactors = 1;
+  uint64_t trace_sample_n = 1024;
+  uint64_t trace_slow_us = 10000;
+  std::string trace_export;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -67,6 +84,20 @@ int main(int argc, char** argv) {
       page_cache_mb = std::atol(arg + 16);
     } else if (std::strncmp(arg, "--reactors=", 11) == 0) {
       reactors = static_cast<size_t>(std::atol(arg + 11));
+    } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
+      LogLevel level;
+      if (!ParseLogLevel(arg + 12, &level)) {
+        std::fprintf(stderr,
+                     "bad --log-level %s (debug|info|warn|error)\n", arg + 12);
+        return 2;
+      }
+      Logger::SetLevel(level);
+    } else if (std::strncmp(arg, "--trace-sample-n=", 17) == 0) {
+      trace_sample_n = static_cast<uint64_t>(std::atoll(arg + 17));
+    } else if (std::strncmp(arg, "--trace-slow-us=", 16) == 0) {
+      trace_slow_us = static_cast<uint64_t>(std::atoll(arg + 16));
+    } else if (std::strncmp(arg, "--trace-export=", 15) == 0) {
+      trace_export = arg + 15;
     } else if (positional == 0) {
       port = static_cast<uint16_t>(std::atoi(arg));
       ++positional;
@@ -76,7 +107,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [max_seconds] [--db-dir=DIR] "
-                   "[--shards=N] [--page-cache-mb=N] [--reactors=N]\n",
+                   "[--shards=N] [--page-cache-mb=N] [--reactors=N] "
+                   "[--log-level=LEVEL] [--trace-sample-n=N] "
+                   "[--trace-slow-us=N] [--trace-export=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -85,6 +118,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--page-cache-mb requires --db-dir\n");
     return 2;
   }
+  obs::Tracer::Default().Configure(trace_sample_n, trace_slow_us);
 
   // The server front is concurrent, so the backend must be the sharded,
   // thread-safe core. With --db-dir, Init() is the recovery path: each
@@ -164,5 +198,20 @@ int main(int argc, char** argv) {
   std::printf("--- metrics ---\n%s",
               obs::RenderText(obs::MetricsRegistry::Default().Snapshot())
                   .c_str());
+  if (!trace_export.empty()) {
+    // The retained trace ring as Chrome trace-event JSON — load it in
+    // chrome://tracing or Perfetto's legacy importer.
+    std::ofstream out(trace_export, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --trace-export file %s\n",
+                   trace_export.c_str());
+      return 1;
+    }
+    out << obs::Tracer::Default().ExportChromeJson();
+    std::printf("itag_server: exported %llu traces to %s\n",
+                static_cast<unsigned long long>(
+                    obs::Tracer::Default().traces_retained()),
+                trace_export.c_str());
+  }
   return 0;
 }

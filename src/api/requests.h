@@ -15,6 +15,7 @@
 #include "itag/project.h"
 #include "itag/quality_manager.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "strategy/strategy.h"
 #include "tagging/resource.h"
 
@@ -27,8 +28,9 @@ namespace itag::api {
 /// History: v1 — the original ten-endpoint batch surface; v2 — added the
 /// Checkpoint admin endpoint (new AnyRequest/AnyResponse alternative, which
 /// shifts the wire's closed type-tag space and is therefore incompatible);
-/// v3 — added the MetricsQuery observability endpoint (same reason).
-inline constexpr uint32_t kApiVersion = 3;
+/// v3 — added the MetricsQuery observability endpoint (same reason);
+/// v4 — added the TraceQuery tracing endpoint (same reason).
+inline constexpr uint32_t kApiVersion = 4;
 
 /// True iff a peer speaking `version` can be served by this binary. The rule
 /// is exact match while the surface still evolves; when a compatibility
@@ -275,6 +277,28 @@ struct MetricsQueryResponse {
   std::vector<obs::MetricSample> metrics;
 };
 
+/// Reads retained request traces out of the process trace ring
+/// (obs::Tracer::Default()): per-request span trees from frame decode to
+/// WAL append, captured by 1-in-N head sampling plus the unconditional
+/// slow-trace net (see docs/observability.md). Read-only and always OK;
+/// like MetricsQuery it never touches a shard mutex.
+struct TraceQueryRequest {
+  /// Only traces whose root span lasted at least this long are returned
+  /// (0 = all).
+  uint64_t min_duration_us = 0;
+  /// Exact endpoint-name filter ("BatchSubmitTags", ...); empty = any.
+  std::string endpoint;
+  /// Cap on returned traces; 0 means the full ring (server-side clamped to
+  /// the ring capacity either way).
+  uint32_t max_traces = 32;
+};
+struct TraceQueryResponse {
+  Status status;
+  /// Newest first. Within each trace the root span comes first, the rest
+  /// sorted by start time.
+  std::vector<obs::TraceRecord> traces;
+};
+
 // ------------------------------------------------------------- dispatcher
 
 /// The closed set of requests Service::Dispatch routes. Kept in lock-step
@@ -286,7 +310,7 @@ using AnyRequest =
                  BatchControlRequest, ProjectQueryRequest,
                  BatchAcceptTasksRequest, BatchSubmitTagsRequest,
                  BatchDecideRequest, StepRequest, CheckpointRequest,
-                 MetricsQueryRequest>;
+                 MetricsQueryRequest, TraceQueryRequest>;
 
 using AnyResponse =
     std::variant<RegisterProviderResponse, RegisterTaggerResponse,
@@ -294,7 +318,7 @@ using AnyResponse =
                  BatchControlResponse, ProjectQueryResponse,
                  BatchAcceptTasksResponse, BatchSubmitTagsResponse,
                  BatchDecideResponse, StepResponse, CheckpointResponse,
-                 MetricsQueryResponse>;
+                 MetricsQueryResponse, TraceQueryResponse>;
 
 /// Number of request alternatives. The wire protocol uses the variant index
 /// as its request/response type tag, so alternative order is part of the
@@ -308,7 +332,7 @@ inline const char* RequestTypeName(size_t index) {
       "RegisterProvider", "RegisterTagger",  "CreateProject",
       "BatchUploadResources", "BatchControl", "ProjectQuery",
       "BatchAcceptTasks", "BatchSubmitTags", "BatchDecide",
-      "Step", "Checkpoint", "MetricsQuery",
+      "Step", "Checkpoint", "MetricsQuery", "TraceQuery",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kRequestTypeCount,
                 "RequestTypeName out of sync with AnyRequest");
@@ -338,7 +362,7 @@ template <typename T>
 inline constexpr size_t kRequestTypeIndex =
     detail::VariantIndexOf<T, AnyRequest>::value;
 
-static_assert(kRequestTypeIndex<MetricsQueryRequest> ==
+static_assert(kRequestTypeIndex<TraceQueryRequest> ==
                   kRequestTypeCount - 1,
               "kRequestTypeIndex out of sync with AnyRequest");
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace itag::api {
 
@@ -37,17 +38,33 @@ const EndpointMetrics& MetricsForType(size_t type) {
   return kMetrics[type];
 }
 
+/// `api.<Endpoint>` span names by type index, interned once so the span
+/// constructor never concatenates on the hot path.
+const char* SpanNameForType(size_t type) {
+  static const std::array<std::string, kRequestTypeCount> kNames = [] {
+    std::array<std::string, kRequestTypeCount> a{};
+    for (size_t i = 0; i < kRequestTypeCount; ++i) {
+      a[i] = std::string("api.") + RequestTypeName(i);
+    }
+    return a;
+  }();
+  return kNames[type].c_str();
+}
+
 /// RAII per-endpoint probe: counts the call on entry, observes its wall
-/// time on exit. Instantiated at the top of every endpoint with that
-/// endpoint's compile-time type index.
+/// time on exit, and — when the calling thread carries a recorded
+/// TraceContext — opens the endpoint child span of the request's trace.
+/// Instantiated at the top of every endpoint with that endpoint's
+/// compile-time type index.
 class ApiCallScope {
  public:
   explicit ApiCallScope(size_t type)
-      : timer_(MetricsForType(type).latency) {
+      : span_(SpanNameForType(type)), timer_(MetricsForType(type).latency) {
     MetricsForType(type).requests->Inc();
   }
 
  private:
+  obs::Span span_;
   obs::ScopedTimer timer_;
 };
 
@@ -419,6 +436,15 @@ MetricsQueryResponse Service::MetricsQuery(const MetricsQueryRequest& req) {
   return resp;
 }
 
+TraceQueryResponse Service::TraceQuery(const TraceQueryRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<TraceQueryRequest>);
+  TraceQueryResponse resp;
+  resp.status = Status::OK();
+  resp.traces = obs::Tracer::Default().Query(req.min_duration_us, req.endpoint,
+                                             req.max_traces);
+  return resp;
+}
+
 AnyResponse Service::Dispatch(const AnyRequest& req) {
   return std::visit(
       [this](const auto& r) -> AnyResponse {
@@ -445,9 +471,11 @@ AnyResponse Service::Dispatch(const AnyRequest& req) {
           return Step(r);
         } else if constexpr (std::is_same_v<T, CheckpointRequest>) {
           return Checkpoint(r);
-        } else {
-          static_assert(std::is_same_v<T, MetricsQueryRequest>);
+        } else if constexpr (std::is_same_v<T, MetricsQueryRequest>) {
           return MetricsQuery(r);
+        } else {
+          static_assert(std::is_same_v<T, TraceQueryRequest>);
+          return TraceQuery(r);
         }
       },
       req);

@@ -102,6 +102,11 @@ class Service {
   /// the request's name prefix. Read-only, always OK, lock-free against
   /// the backend (metrics are relaxed atomics; no shard mutex is taken).
   MetricsQueryResponse MetricsQuery(const MetricsQueryRequest& req);
+  /// Retained request traces from the process trace ring
+  /// (obs::Tracer::Default()), newest first, filtered by minimum root
+  /// duration and endpoint name. Read-only, always OK; never touches a
+  /// shard mutex. See docs/observability.md for sampling semantics.
+  TraceQueryResponse TraceQuery(const TraceQueryRequest& req);
 
   /// Routes a type-erased request to its endpoint — the single entry point a
   /// wire frontend needs. Thread-safe iff the backend is sharded.

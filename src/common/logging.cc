@@ -1,14 +1,28 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "obs/trace.h"
 
 namespace itag {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
-const char* LevelName(LogLevel level) {
+/// Process-local logical thread id: small, stable, and allocation-free —
+/// the native id would be as unique but is long and non-deterministic,
+/// which the format test cares about.
+uint64_t LocalThreadId() {
+  static std::atomic<uint64_t> next{0};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -21,7 +35,21 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void Logger::SetLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -31,11 +59,39 @@ LogLevel Logger::GetLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::string Logger::FormatLine(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC with millisecond precision: 2026-08-08T12:34:56.789Z
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ [%s] tid=%llu ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis),
+                LogLevelName(level),
+                static_cast<unsigned long long>(LocalThreadId()));
+  std::string line = prefix + message;
+  // Join the log stream to the span tree: a sampled trace on this thread
+  // stamps its id onto every line emitted while it is active.
+  obs::TraceContext trace = obs::CurrentTrace();
+  if (trace.active() && trace.sampled) {
+    line += " trace=" + std::to_string(trace.trace_id);
+  }
+  return line;
+}
+
 void Logger::Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::string line = FormatLine(level, message);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace itag

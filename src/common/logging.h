@@ -9,8 +9,24 @@ namespace itag {
 /// Log severities, in increasing order of importance.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Stable display name ("DEBUG", "INFO", "WARN", "ERROR").
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" (case-sensitive, the spelling
+/// the --log-level flags document). False on anything else; *out untouched.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
 /// Minimal leveled logger writing to stderr. The global threshold defaults to
-/// kWarn so that tests and benchmarks stay quiet; examples raise it to kInfo.
+/// kWarn so that tests and benchmarks stay quiet; the daemon binaries expose
+/// it as --log-level.
+///
+/// Every emitted line is prefixed with an ISO-8601 UTC timestamp
+/// (millisecond precision), the severity, and a process-local logical
+/// thread id, and suffixed with `trace=<id>` when the calling thread has a
+/// sampled obs::TraceContext installed — so a grep for one trace id joins
+/// the log stream to the span tree `itag_client --traces` shows:
+///
+///   2026-08-08T12:34:56.789Z [WARN] tid=3 wal append stalled trace=4711
 class Logger {
  public:
   /// Sets the global minimum level that will be emitted.
@@ -21,6 +37,10 @@ class Logger {
 
   /// Emits one line at `level` (no-op below the threshold).
   static void Log(LogLevel level, const std::string& message);
+
+  /// The fully-prefixed line Log() would write (without the trailing
+  /// newline), exposed so tests can golden the format.
+  static std::string FormatLine(LogLevel level, const std::string& message);
 };
 
 /// Stream-style logging statement: ITAG_LOG(kInfo) << "budget=" << b;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "obs/trace.h"
+
 namespace itag::core {
 
 using tagging::ResourceId;
@@ -96,10 +98,15 @@ Result<CheckpointInfo> ShardedSystem::Checkpoint() {
   if (!initialized_) return Status::FailedPrecondition("call Init() first");
   std::vector<Result<CheckpointInfo>> results(
       shards_.size(), Result<CheckpointInfo>(CheckpointInfo{}));
+  const obs::TraceContext trace = obs::CurrentTrace();
+  const uint64_t parent_span = obs::CurrentSpanId();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    tasks.push_back([this, s, &results] {
+    tasks.push_back([this, s, &results, trace, parent_span] {
+      obs::ScopedTraceContext trace_scope(trace, parent_span);
+      obs::Span span("core.shard");
+      span.Annotate("shard", static_cast<uint64_t>(s));
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       results[s] = shard.system->Checkpoint();
@@ -136,6 +143,8 @@ auto ShardedSystem::WithProject(ProjectId project, Fn&& fn) const
   size_t s = ShardOf(project);
   Shard& shard = *shards_[s];
   shard.ops->Inc();
+  obs::Span span("core.shard");  // no-op unless this request is traced
+  span.Annotate("shard", static_cast<uint64_t>(s));
   std::lock_guard<std::mutex> lock(shard.mu);
   return fn(s, shard.system.get(), local);
 }
@@ -165,12 +174,21 @@ std::vector<Status> ShardedSystem::RouteByHandle(
     g.slots.push_back(i);
   }
   metrics_.route_items->Inc(items.size());
+  // Fan-out tasks run on pool threads with no trace installed; carry the
+  // caller's context in so each shard's work shows up as a core.shard
+  // child span of the request (see obs/trace.h).
+  const obs::TraceContext trace = obs::CurrentTrace();
+  const uint64_t parent_span = obs::CurrentSpanId();
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < groups.size(); ++s) {
     if (groups[s].items.empty()) continue;
     shards_[s]->ops->Inc(groups[s].items.size());
-    tasks.push_back([this, s, &groups, &out, &run_shard] {
+    tasks.push_back([this, s, &groups, &out, &run_shard, trace, parent_span] {
+      obs::ScopedTraceContext trace_scope(trace, parent_span);
       const Group& g = groups[s];
+      obs::Span span("core.shard");
+      span.Annotate("shard", static_cast<uint64_t>(s));
+      span.Annotate("items", static_cast<uint64_t>(g.items.size()));
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       run_shard(s, shard.system.get(), g.items, g.slots, &out);
@@ -739,10 +757,15 @@ Status ShardedSystem::Step(Tick ticks) {
   obs::ScopedTimer step_timer(metrics_.step_latency_us);
   if (ticks > 0) metrics_.step_ticks->Inc(static_cast<uint64_t>(ticks));
   std::vector<Status> results(shards_.size());
+  const obs::TraceContext trace = obs::CurrentTrace();
+  const uint64_t parent_span = obs::CurrentSpanId();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    tasks.push_back([this, s, ticks, &results] {
+    tasks.push_back([this, s, ticks, &results, trace, parent_span] {
+      obs::ScopedTraceContext trace_scope(trace, parent_span);
+      obs::Span span("core.shard");
+      span.Annotate("shard", static_cast<uint64_t>(s));
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       Tick target = shard.system->clock().Now() + (ticks > 0 ? ticks : 0);

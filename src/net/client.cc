@@ -166,5 +166,9 @@ Result<api::MetricsQueryResponse> Client::Metrics(
     const api::MetricsQueryRequest& req) {
   return Call<api::MetricsQueryResponse>(req);
 }
+Result<api::TraceQueryResponse> Client::Traces(
+    const api::TraceQueryRequest& req) {
+  return Call<api::TraceQueryResponse>(req);
+}
 
 }  // namespace itag::net

@@ -86,6 +86,9 @@ class Client {
   /// v3 observability endpoint: the server's metrics snapshot, optionally
   /// filtered by name prefix (see api::MetricsQueryRequest).
   Result<api::MetricsQueryResponse> Metrics(const api::MetricsQueryRequest& req);
+  /// v4 tracing endpoint: retained request traces (span trees), newest
+  /// first, filtered by min duration / endpoint (see api::TraceQueryRequest).
+  Result<api::TraceQueryResponse> Traces(const api::TraceQueryRequest& req);
 
   /// The version stamped on outgoing frames. Defaults to api::kApiVersion;
   /// overridable so tests (and future downgrade shims) can exercise the

@@ -13,6 +13,7 @@
 
 #include "common/sharding.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace itag::net {
 
@@ -459,23 +460,38 @@ void Server::HandleFrame(Reactor& r, const std::shared_ptr<Conn>& conn,
   // other connection. Reactors do framing and routing only.
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
   metrics_->in_flight->Add(1);
+  // The trace root opens here — frame decoded, request admitted — so the
+  // root duration covers the pool queue wait, dispatch, and response
+  // encode. Untraced requests pay one atomic increment and carry an empty
+  // context.
+  obs::TraceContext trace = obs::Tracer::Default().Begin();
+  std::shared_ptr<obs::Span> root;
+  if (trace.active()) {
+    root = std::make_shared<obs::Span>("net.request", trace, 0);
+    root->Annotate("reactor", static_cast<uint64_t>(r.index));
+    root->Annotate("conn", static_cast<uint64_t>(conn->sock.fd()));
+    root->Annotate("correlation", frame.correlation);
+  }
   if (frame.type == api::kRequestTypeIndex<api::BatchSubmitTagsRequest>) {
     // Mergeable: the whole group becomes ONE backend batch (see
     // Service::BatchSubmitTagsMulti for the bit-equality argument).
-    groups.submits.push_back(Work{conn, std::move(frame)});
+    groups.submits.push_back(
+        Work{conn, std::move(frame), trace, std::move(root)});
     return;
   }
   size_t shard = ShardHintOf(frame);
   if (shard != SIZE_MAX) {
-    groups.by_shard[shard].push_back(Work{conn, std::move(frame)});
+    groups.by_shard[shard].push_back(
+        Work{conn, std::move(frame), trace, std::move(root)});
     return;
   }
   // Unroutable (registrations, Step, Checkpoint, MetricsQuery, malformed):
   // one pool task each, preserving worker parallelism for endpoints that
   // fan out internally or block.
-  pool_->Submit([this, w = Work{conn, std::move(frame)}]() mutable {
-    DispatchOne(w);
-  });
+  pool_->Submit(
+      [this, w = Work{conn, std::move(frame), trace, std::move(root)}]() mutable {
+        DispatchOne(w);
+      });
 }
 
 size_t Server::ShardHintOf(const Frame& frame) const {
@@ -553,9 +569,14 @@ void Server::DispatchOne(Work& work) {
                EncodeErrorFrame(work.frame.correlation, decoded,
                                 work.frame.type));
   } else {
+    // Make the request's trace current on this worker so the api/core/
+    // storage spans opened inside Dispatch parent under the net root.
+    obs::ScopedTraceContext trace_scope(
+        work.trace, work.root ? work.root->span_id() : 0);
     if (options_.before_dispatch) options_.before_dispatch(request);
     FinishDispatch(work, service_->Dispatch(request));
   }
+  CloseRootSpan(work);
   work.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   metrics_->in_flight->Sub(1);
 }
@@ -575,6 +596,7 @@ void Server::DispatchMergedSubmits(std::vector<Work>& group) {
       metrics_->errors->Inc();
       QueueWrite(w.conn, EncodeErrorFrame(w.frame.correlation, decoded,
                                           w.frame.type));
+      CloseRootSpan(w);
       w.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
       metrics_->in_flight->Sub(1);
       continue;
@@ -584,11 +606,37 @@ void Server::DispatchMergedSubmits(std::vector<Work>& group) {
     origin.push_back(i);
   }
   if (reqs.empty()) return;
-  std::vector<api::BatchSubmitTagsResponse> resps =
-      service_->BatchSubmitTagsMulti(reqs);
+  // The merged backend call serves every request in the group at once, so
+  // each traced request gets its own api.BatchSubmitTags span covering the
+  // whole merged call (that IS the latency it experienced), annotated with
+  // the merge width. The core/storage spans the call emits attach to the
+  // FIRST traced request — one backend pass cannot belong to N traces.
+  std::vector<obs::Span> api_spans;
+  api_spans.reserve(origin.size());
+  const obs::TraceContext* lead_ctx = nullptr;
+  uint64_t lead_parent = 0;
+  for (size_t k = 0; k < origin.size(); ++k) {
+    Work& w = group[origin[k]];
+    api_spans.emplace_back("api.BatchSubmitTags", w.trace,
+                           w.root ? w.root->span_id() : 0);
+    if (!api_spans.back().active()) continue;
+    api_spans.back().Annotate("merged", static_cast<uint64_t>(reqs.size()));
+    if (lead_ctx == nullptr) {
+      lead_ctx = &w.trace;
+      lead_parent = api_spans.back().span_id();
+    }
+  }
+  std::vector<api::BatchSubmitTagsResponse> resps;
+  {
+    obs::ScopedTraceContext trace_scope(
+        lead_ctx != nullptr ? *lead_ctx : obs::TraceContext{}, lead_parent);
+    resps = service_->BatchSubmitTagsMulti(reqs);
+  }
+  for (obs::Span& s : api_spans) s.End();
   for (size_t k = 0; k < resps.size(); ++k) {
     Work& w = group[origin[k]];
     FinishDispatch(w, api::AnyResponse(std::move(resps[k])));
+    CloseRootSpan(w);
     w.conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
     metrics_->in_flight->Sub(1);
   }
@@ -619,6 +667,20 @@ void Server::FinishDispatch(const Work& work,
   responses_sent_.fetch_add(1, std::memory_order_relaxed);
   metrics_->responses->Inc();
   QueueWrite(work.conn, std::move(bytes));
+}
+
+void Server::CloseRootSpan(Work& work) {
+  if (!work.root) return;
+  size_t queued = 0;
+  {
+    // out_bytes is guarded by write_mu (it is not atomic); the response
+    // queued by FinishDispatch is already counted, so this is the depth
+    // the reply is waiting behind.
+    std::lock_guard<std::mutex> lock(work.conn->write_mu);
+    queued = work.conn->out_bytes;
+  }
+  work.root->Annotate("write_queue_bytes", static_cast<uint64_t>(queued));
+  work.root.reset();  // ends the root span; the trace is retained or dropped
 }
 
 void Server::QueueWrite(const std::shared_ptr<Conn>& conn, std::string bytes) {

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 
 namespace itag::net {
 
@@ -157,9 +158,17 @@ class Server {
   };
 
   /// One (connection, decoded frame) unit of dispatch work.
+  ///
+  /// Carries the request's trace context across the reactor→worker hop.
+  /// The root span lives behind a shared_ptr only because ThreadPool
+  /// tasks must stay copyable; exactly one Work ever owns it, and the
+  /// dispatch path resets it (ending the span) after the response is
+  /// queued.
   struct Work {
     std::shared_ptr<Conn> conn;
     Frame frame;
+    obs::TraceContext trace;
+    std::shared_ptr<obs::Span> root;
   };
 
   /// The dispatch groups of one event burst: requests routable to a single
@@ -187,6 +196,9 @@ class Server {
   void DispatchMergedSubmits(std::vector<Work>& group);
   /// Encodes and queues `response` (or the oversize refusal) for `work`.
   void FinishDispatch(const Work& work, const api::AnyResponse& response);
+  /// Annotates the root span with the connection's queued write bytes and
+  /// ends it (no-op when the request is untraced).
+  void CloseRootSpan(Work& work);
   void CloseConn(Reactor& r, int fd);
   /// Flushes the connection's output queue with gathering writes; arms
   /// EPOLLOUT + the write deadline when the socket stops accepting bytes.

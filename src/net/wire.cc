@@ -159,6 +159,12 @@ void Put(WireWriter& w, const api::DecideItem& m);
 bool Get(WireReader& r, api::DecideItem* m);
 void Put(WireWriter& w, const obs::MetricSample& m);
 bool Get(WireReader& r, obs::MetricSample* m);
+void Put(WireWriter& w, const obs::SpanAnnotation& m);
+bool Get(WireReader& r, obs::SpanAnnotation* m);
+void Put(WireWriter& w, const obs::SpanRecord& m);
+bool Get(WireReader& r, obs::SpanRecord* m);
+void Put(WireWriter& w, const obs::TraceRecord& m);
+bool Get(WireReader& r, obs::TraceRecord* m);
 
 template <typename T>
 void PutVec(WireWriter& w, const std::vector<T>& v) {
@@ -416,6 +422,16 @@ bool Get(WireReader& r, api::MetricsQueryRequest* m) {
   return r.Str(&m->prefix);
 }
 
+void Put(WireWriter& w, const api::TraceQueryRequest& m) {
+  w.U64(m.min_duration_us);
+  w.Str(m.endpoint);
+  w.U32(m.max_traces);
+}
+bool Get(WireReader& r, api::TraceQueryRequest* m) {
+  return r.U64(&m->min_duration_us) && r.Str(&m->endpoint) &&
+         r.U32(&m->max_traces);
+}
+
 // ---- response structs
 
 void Put(WireWriter& w, const api::RegisterProviderResponse& m) {
@@ -539,6 +555,54 @@ void Put(WireWriter& w, const api::MetricsQueryResponse& m) {
 }
 bool Get(WireReader& r, api::MetricsQueryResponse* m) {
   return Get(r, &m->status) && GetVec(r, &m->metrics);
+}
+
+// ---- tracing structs (v4 TraceQuery)
+
+void Put(WireWriter& w, const obs::SpanAnnotation& m) {
+  w.Str(m.key);
+  w.Str(m.value);
+}
+bool Get(WireReader& r, obs::SpanAnnotation* m) {
+  return r.Str(&m->key) && r.Str(&m->value);
+}
+
+void Put(WireWriter& w, const obs::SpanRecord& m) {
+  w.U64(m.span_id);
+  w.U64(m.parent_span_id);
+  w.Str(m.name);
+  w.U64(m.start_ns);
+  w.U64(m.end_ns);
+  PutVec(w, m.annotations);
+}
+bool Get(WireReader& r, obs::SpanRecord* m) {
+  return r.U64(&m->span_id) && r.U64(&m->parent_span_id) && r.Str(&m->name) &&
+         r.U64(&m->start_ns) && r.U64(&m->end_ns) &&
+         GetVec(r, &m->annotations) &&
+         // A span that ends before it starts (or a zero id) cannot have
+         // been produced by the tracer; reject it as malformed rather than
+         // letting renderers underflow the duration.
+         m->span_id != 0 && m->end_ns >= m->start_ns;
+}
+
+void Put(WireWriter& w, const obs::TraceRecord& m) {
+  w.U64(m.trace_id);
+  PutBool(w, m.sampled);
+  w.U64(m.duration_ns);
+  w.Str(m.endpoint);
+  PutVec(w, m.spans);
+}
+bool Get(WireReader& r, obs::TraceRecord* m) {
+  return r.U64(&m->trace_id) && GetBool(r, &m->sampled) &&
+         r.U64(&m->duration_ns) && r.Str(&m->endpoint) && GetVec(r, &m->spans);
+}
+
+void Put(WireWriter& w, const api::TraceQueryResponse& m) {
+  Put(w, m.status);
+  PutVec(w, m.traces);
+}
+bool Get(WireReader& r, api::TraceQueryResponse* m) {
+  return Get(r, &m->status) && GetVec(r, &m->traces);
 }
 
 /// Parses `payload` as message type T (rejecting trailing bytes) and stores
@@ -685,7 +749,7 @@ std::string EncodeResponsePayload(const api::AnyResponse& response) {
 
 Status DecodeRequestPayload(uint16_t type, std::string_view payload,
                             api::AnyRequest* out) {
-  static_assert(api::kRequestTypeCount == 12,
+  static_assert(api::kRequestTypeCount == 13,
                 "new AnyRequest alternative: extend the codec switches");
   const char* name = api::RequestTypeName(type);
   switch (type) {
@@ -713,6 +777,8 @@ Status DecodeRequestPayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::CheckpointRequest>(payload, out, name);
     case 11:
       return DecodeInto<api::MetricsQueryRequest>(payload, out, name);
+    case 12:
+      return DecodeInto<api::TraceQueryRequest>(payload, out, name);
     default:
       return Status::Unimplemented("unknown request type tag " +
                                    std::to_string(type));
@@ -747,6 +813,8 @@ Status DecodeResponsePayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::CheckpointResponse>(payload, out, name);
     case 11:
       return DecodeInto<api::MetricsQueryResponse>(payload, out, name);
+    case 12:
+      return DecodeInto<api::TraceQueryResponse>(payload, out, name);
     default:
       return Status::Unimplemented("unknown response type tag " +
                                    std::to_string(type));

@@ -160,10 +160,13 @@ struct MetricSample {
   std::vector<uint64_t> buckets;
 };
 
-/// Estimated q-quantile (q in [0,1]) of a histogram sample: the exclusive
-/// upper bound of the first bucket whose cumulative count reaches
-/// q * count (the saturated last bucket reports its lower bound). 0 when
-/// the sample is empty or not a histogram.
+/// Estimated q-quantile of a histogram sample: the exclusive upper bound
+/// of the first bucket whose cumulative count reaches ceil(q * count)
+/// (the saturated last bucket reports its lower bound). Edge behavior,
+/// pinned by obs_test: 0 when the sample is empty (count == 0) or not a
+/// histogram; q outside [0,1] clamps; a torn snapshot whose count exceeds
+/// the bucket sum falls back to the last bucket holding data; a
+/// short/truncated bucket vector walks only what it has.
 uint64_t ApproxQuantile(const MetricSample& sample, double q);
 
 /// Name-keyed registry of process metrics. Get-or-create is mutex-guarded

@@ -1,0 +1,421 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace itag::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Registry mirrors (obs.trace.*), cached once like every other layer's
+/// metrics struct. `begun`/`sampled` are bumped only while tracing is
+/// enabled, so a disabled tracer stays off the metrics hot path too.
+struct TraceMetrics {
+  Counter* begun;
+  Counter* sampled;
+  Counter* retained;
+  Counter* slow_retained;
+  Counter* dropped_spans;
+
+  static const TraceMetrics& Get() {
+    static const TraceMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Default();
+      return TraceMetrics{reg.GetCounter("obs.trace.begun"),
+                          reg.GetCounter("obs.trace.sampled"),
+                          reg.GetCounter("obs.trace.retained"),
+                          reg.GetCounter("obs.trace.slow_retained"),
+                          reg.GetCounter("obs.trace.dropped_spans")};
+    }();
+    return m;
+  }
+};
+
+// The thread-local trace context. Plain thread_locals (no atomics): only
+// the owning thread reads or writes them; cross-thread propagation always
+// goes through an explicit ScopedTraceContext install.
+thread_local TraceContext t_ctx;
+thread_local uint64_t t_span = 0;
+
+/// Minimal JSON string escaping for the Chrome export (span names and
+/// annotations are internal ASCII, but a tag value could carry anything).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives static teardown
+  return *tracer;
+}
+
+void Tracer::Configure(uint64_t sample_one_in_n, uint64_t slow_us) {
+  sample_n_.store(sample_one_in_n, std::memory_order_relaxed);
+  slow_us_.store(slow_us, std::memory_order_relaxed);
+  coin_.store(0, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::Begin() {
+  const uint64_t n = sample_n_.load(std::memory_order_relaxed);
+  const uint64_t slow = slow_us_.load(std::memory_order_relaxed);
+  if (n == 0 && slow == 0) return {};
+  TraceMetrics::Get().begun->Inc();
+  // Requests n, 2n, 3n, ... win the coin: a 1-in-1M setting must not
+  // sample the very first request of the process.
+  bool sampled =
+      n != 0 && (coin_.fetch_add(1, std::memory_order_relaxed) + 1) % n == 0;
+  if (!sampled && slow == 0) return {};  // lost the coin, no slow net armed
+  if (sampled) TraceMetrics::Get().sampled->Inc();
+  TraceContext ctx;
+  ctx.trace_id = NextId();
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  // One cache entry per (thread, tracer) pair; the vector is nearly always
+  // length 1 (tests may exercise a second Tracer instance).
+  thread_local std::vector<std::pair<Tracer*, ThreadBuffer*>> cache;
+  for (const auto& [owner, buf] : cache) {
+    if (owner == this) return buf;
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buf = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  cache.emplace_back(this, buf);
+  return buf;
+}
+
+void Tracer::RecordSpan(uint64_t trace_id, SpanRecord span) {
+  ThreadBuffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->spans.size() >= kMaxBufferedSpansPerThread) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    TraceMetrics::Get().dropped_spans->Inc();
+    return;
+  }
+  buf->spans.emplace_back(trace_id, std::move(span));
+}
+
+void Tracer::FinishRoot(const TraceContext& ctx, SpanRecord root) {
+  const uint64_t duration_ns = root.duration_ns();
+  const uint64_t slow = slow_us_.load(std::memory_order_relaxed);
+  const bool is_slow = slow != 0 && duration_ns >= slow * 1000;
+  const bool retain = ctx.sampled || is_slow;
+
+  // Drain this trace's spans out of every thread buffer — retained or not,
+  // the buffers must not accumulate spans of finished traces. All child
+  // spans completed before the root ended (fan-outs join before the
+  // response is queued), so nothing of this trace can arrive later.
+  std::vector<SpanRecord> spans;
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffers.reserve(buffers_.size());
+    for (const auto& b : buffers_) buffers.push_back(b.get());
+  }
+  for (ThreadBuffer* buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    auto& vec = buf->spans;
+    for (size_t i = 0; i < vec.size();) {
+      if (vec[i].first == ctx.trace_id) {
+        if (retain) spans.push_back(std::move(vec[i].second));
+        vec[i] = std::move(vec.back());
+        vec.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (!retain) return;
+
+  TraceRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.sampled = ctx.sampled;
+  rec.duration_ns = duration_ns;
+  rec.spans.reserve(spans.size() + 1);
+  rec.spans.push_back(std::move(root));
+  // Drained order is per-thread-FIFO but arbitrary across threads; sort by
+  // start time so renderers and tests see a deterministic sibling order.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.span_id < b.span_id;
+            });
+  for (SpanRecord& s : spans) rec.spans.push_back(std::move(s));
+  for (const SpanRecord& s : rec.spans) {
+    if (s.name.rfind("api.", 0) == 0) {
+      rec.endpoint = s.name.substr(4);
+      break;
+    }
+  }
+
+  retained_total_.fetch_add(1, std::memory_order_relaxed);
+  TraceMetrics::Get().retained->Inc();
+  if (!ctx.sampled) TraceMetrics::Get().slow_retained->Inc();
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.push_back(std::move(rec));
+  while (ring_.size() > kTraceRingCapacity) ring_.pop_front();
+}
+
+std::vector<TraceRecord> Tracer::Query(uint64_t min_duration_us,
+                                       const std::string& endpoint,
+                                       size_t max_traces) const {
+  if (max_traces == 0) max_traces = kTraceRingCapacity;
+  std::vector<TraceRecord> out;
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < max_traces;
+       ++it) {
+    if (it->duration_ns < min_duration_us * 1000) continue;
+    if (!endpoint.empty() && it->endpoint != endpoint) continue;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::deque<TraceRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    snapshot = ring_;
+  }
+  // One complete ("X") event per span; each trace gets its own tid row so
+  // Perfetto stacks the tree under one named track. Timestamps are the
+  // spans' monotonic microseconds — one shared timeline for the whole dump.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  uint64_t tid = 0;
+  for (const TraceRecord& t : snapshot) {
+    ++tid;
+    if (!first) out += ",";
+    first = false;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%llu,\"args\":{\"name\":\"trace %llu %s\"}}",
+                  static_cast<unsigned long long>(tid),
+                  static_cast<unsigned long long>(t.trace_id),
+                  t.endpoint.empty() ? "?" : t.endpoint.c_str());
+    out += head;
+    for (const SpanRecord& s : t.spans) {
+      char ev[224];
+      std::snprintf(
+          ev, sizeof(ev),
+          ",{\"name\":\"%s\",\"cat\":\"itag\",\"ph\":\"X\",\"pid\":1,"
+          "\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+          s.name.c_str(), static_cast<unsigned long long>(tid),
+          static_cast<double>(s.start_ns) / 1000.0,
+          static_cast<double>(s.duration_ns()) / 1000.0);
+      out += ev;
+      for (size_t i = 0; i < s.annotations.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"";
+        AppendJsonEscaped(&out, s.annotations[i].key);
+        out += "\":\"";
+        AppendJsonEscaped(&out, s.annotations[i].value);
+        out += "\"";
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_.clear();
+  }
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    for (const auto& b : buffers_) buffers.push_back(b.get());
+  }
+  for (ThreadBuffer* buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->spans.clear();
+  }
+}
+
+// ------------------------------------------------------------ thread context
+
+TraceContext CurrentTrace() { return t_ctx; }
+
+uint64_t CurrentSpanId() { return t_span; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx,
+                                       uint64_t parent_span_id)
+    : prev_ctx_(t_ctx), prev_span_(t_span) {
+  t_ctx = ctx;
+  t_span = parent_span_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_ctx = prev_ctx_;
+  t_span = prev_span_;
+}
+
+// --------------------------------------------------------------------- spans
+
+Span::Span(const char* name) {
+  if (!t_ctx.active()) return;
+  ctx_ = t_ctx;
+  rec_.span_id = Tracer::Default().NextId();
+  rec_.parent_span_id = t_span;
+  rec_.name = name;
+  rec_.start_ns = NowNs();
+  t_span = rec_.span_id;
+  thread_current_ = true;
+}
+
+Span::Span(const char* name, const TraceContext& ctx, uint64_t parent_span_id) {
+  if (!ctx.active()) return;
+  ctx_ = ctx;
+  rec_.span_id = Tracer::Default().NextId();
+  rec_.parent_span_id = parent_span_id;
+  rec_.name = name;
+  rec_.start_ns = NowNs();
+}
+
+Span::Span(Span&& other) noexcept
+    : ctx_(other.ctx_),
+      rec_(std::move(other.rec_)),
+      thread_current_(other.thread_current_) {
+  other.ctx_ = TraceContext{};
+  other.thread_current_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    ctx_ = other.ctx_;
+    rec_ = std::move(other.rec_);
+    thread_current_ = other.thread_current_;
+    other.ctx_ = TraceContext{};
+    other.thread_current_ = false;
+  }
+  return *this;
+}
+
+void Span::Annotate(const char* key, std::string value) {
+  if (!ctx_.active()) return;
+  rec_.annotations.push_back({key, std::move(value)});
+}
+
+void Span::Annotate(const char* key, uint64_t value) {
+  if (!ctx_.active()) return;
+  rec_.annotations.push_back({key, std::to_string(value)});
+}
+
+void Span::End() {
+  if (!ctx_.active()) return;
+  rec_.end_ns = NowNs();
+  if (thread_current_) t_span = rec_.parent_span_id;
+  if (rec_.parent_span_id == 0) {
+    Tracer::Default().FinishRoot(ctx_, std::move(rec_));
+  } else {
+    Tracer::Default().RecordSpan(ctx_.trace_id, std::move(rec_));
+  }
+  ctx_ = TraceContext{};
+  thread_current_ = false;
+  rec_ = SpanRecord{};
+}
+
+// ------------------------------------------------------------ text rendering
+
+std::string RenderTraceText(const std::vector<TraceRecord>& traces) {
+  std::string out;
+  char buf[256];
+  for (const TraceRecord& t : traces) {
+    std::snprintf(buf, sizeof(buf),
+                  "trace %llu endpoint=%s duration=%.1fus spans=%zu %s\n",
+                  static_cast<unsigned long long>(t.trace_id),
+                  t.endpoint.empty() ? "?" : t.endpoint.c_str(),
+                  static_cast<double>(t.duration_ns) / 1000.0, t.spans.size(),
+                  t.sampled ? "(sampled)" : "(slow)");
+    out += buf;
+    // Children keyed by parent id, in stored (start-time) order.
+    std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+    const SpanRecord* root = nullptr;
+    for (const SpanRecord& s : t.spans) {
+      if (s.parent_span_id == 0 && root == nullptr) {
+        root = &s;
+      } else {
+        children[s.parent_span_id].push_back(&s);
+      }
+    }
+    if (root == nullptr) continue;
+    // Iterative DFS keeping sibling order.
+    std::vector<std::pair<const SpanRecord*, int>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto [span, depth] = stack.back();
+      stack.pop_back();
+      uint64_t child_ns = 0;
+      auto it = children.find(span->span_id);
+      if (it != children.end()) {
+        for (const SpanRecord* c : it->second) child_ns += c->duration_ns();
+      }
+      uint64_t self_ns =
+          span->duration_ns() > child_ns ? span->duration_ns() - child_ns : 0;
+      std::snprintf(buf, sizeof(buf), "%*s%s %.1fus (self %.1fus)",
+                    depth * 2 + 2, "", span->name.c_str(),
+                    static_cast<double>(span->duration_ns()) / 1000.0,
+                    static_cast<double>(self_ns) / 1000.0);
+      out += buf;
+      for (const SpanAnnotation& a : span->annotations) {
+        out += " " + a.key + "=" + a.value;
+      }
+      out += "\n";
+      if (it != children.end()) {
+        for (auto c = it->second.rbegin(); c != it->second.rend(); ++c) {
+          stack.emplace_back(*c, depth + 1);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace itag::obs

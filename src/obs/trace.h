@@ -1,0 +1,268 @@
+#ifndef ITAG_OBS_TRACE_H_
+#define ITAG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace itag::obs {
+
+// The tracing subsystem: per-request span trees from the wire to the WAL,
+// following the metrics philosophy next door (metrics.h) — hot paths touch
+// relaxed atomics and thread-local state only, mutexes guard rare
+// registration and the drain/query paths, and everything is
+// ThreadSanitizer-clean by construction.
+//
+// Life of a trace:
+//  1. `Tracer::Begin()` runs the head-based sampling decision when a frame
+//     is decoded. A request is *recorded* when it wins the 1-in-N coin
+//     (`sample_one_in_n`) or when slow-trace capture is armed
+//     (`slow_us > 0` records everything provisionally). Otherwise the
+//     returned TraceContext is inactive and every Span on the request's
+//     path collapses to a single branch.
+//  2. Each RAII `Span` on a recorded request appends a completed SpanRecord
+//     to its *thread's* span buffer (one uncontended mutex per thread;
+//     spans complete on reactor, dispatch-worker, and shard-pool threads).
+//  3. When the root span ends, the Tracer drains that trace's spans out of
+//     every thread buffer and decides retention: sampled traces are always
+//     kept; unsampled ones are kept only when the root exceeded `slow_us`
+//     (the slow-trace net that catches the p99.9 outlier a 1-in-1M coin
+//     would miss). Retained traces enter a bounded process-wide ring
+//     (newest win), served by the TraceQuery endpoint and dumped as Chrome
+//     trace-event JSON by `itag_server --trace-export=FILE`.
+//
+// Span parenting uses two thread-locals (current TraceContext + current
+// span id). They propagate across thread hops explicitly: the net server
+// installs the context on the dispatch worker with ScopedTraceContext, and
+// core::ShardedSystem re-installs it inside each shard fan-out task.
+
+/// The per-request trace identity carried across threads. `trace_id == 0`
+/// means "not recorded" — every probe on the request's path is a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  /// Won the head-sampling coin (retained unconditionally). A recorded but
+  /// unsampled context is a slow-capture candidate: its spans are collected
+  /// provisionally and discarded unless the root span exceeds the slow bar.
+  bool sampled = false;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// One key=value annotation on a span (shard id, reactor index, ...).
+struct SpanAnnotation {
+  std::string key;
+  std::string value;
+};
+
+/// A completed span, as stored in the ring and carried by the v4
+/// TraceQuery response (see docs/wire-protocol.md).
+struct SpanRecord {
+  uint64_t span_id = 0;
+  /// Parent span id; 0 marks the trace's root span.
+  uint64_t parent_span_id = 0;
+  std::string name;
+  /// Monotonic (steady_clock) nanoseconds; subtract the root's start_ns for
+  /// trace-relative time. Comparable only within one process lifetime.
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::vector<SpanAnnotation> annotations;
+
+  uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// One retained trace: the root span first, then the remaining spans in
+/// completion order.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  /// False when the trace was retained by slow capture, not the coin.
+  bool sampled = false;
+  /// Root span duration.
+  uint64_t duration_ns = 0;
+  /// Endpoint name ("BatchSubmitTags", ...), derived from the `api.*` span;
+  /// empty when the request never reached an endpoint (e.g. decode error).
+  std::string endpoint;
+  std::vector<SpanRecord> spans;
+};
+
+/// Completed traces the ring retains; oldest are evicted first.
+inline constexpr size_t kTraceRingCapacity = 256;
+
+/// Per-thread cap on buffered (completed but not yet drained) spans; spans
+/// beyond it are dropped and counted in `obs.trace.dropped_spans`.
+inline constexpr size_t kMaxBufferedSpansPerThread = 4096;
+
+/// Process-wide trace collector. Thread-safe; one instance per process
+/// (Default()), never destroyed so cached pointers and thread buffers
+/// outlive static teardown.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The collector every layer records into.
+  static Tracer& Default();
+
+  /// Reconfigures sampling. `sample_one_in_n`: 0 disables the coin, 1
+  /// samples everything, N samples every Nth Begin(). `slow_us`: 0 disables
+  /// slow capture; otherwise every request is recorded provisionally and
+  /// unsampled traces are retained iff the root span took >= slow_us.
+  void Configure(uint64_t sample_one_in_n, uint64_t slow_us);
+
+  uint64_t sample_one_in_n() const {
+    return sample_n_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_us() const { return slow_us_.load(std::memory_order_relaxed); }
+
+  /// True when Begin() can return an active context at all.
+  bool enabled() const { return sample_one_in_n() != 0 || slow_us() != 0; }
+
+  /// Head-sampling decision for a new request. Inactive context when
+  /// tracing is off or this request lost the coin with slow capture
+  /// disarmed. With `sample_one_in_n == N`, requests N, 2N, 3N, ... are
+  /// sampled (never the first N-1 — a 1-in-1M setting must not sample the
+  /// first request of the process).
+  TraceContext Begin();
+
+  /// Traces retained in the ring, newest first, filtered by minimum root
+  /// duration and (when non-empty) exact endpoint name. At most
+  /// `max_traces` (0 = kTraceRingCapacity).
+  std::vector<TraceRecord> Query(uint64_t min_duration_us,
+                                 const std::string& endpoint,
+                                 size_t max_traces) const;
+
+  /// The whole ring as Chrome trace-event JSON (chrome://tracing /
+  /// Perfetto's legacy loader): one "X" complete event per span, one
+  /// process row per trace. See docs/observability.md for the walkthrough.
+  std::string ExportChromeJson() const;
+
+  /// Drops every retained trace and buffered span (tests).
+  void Clear();
+
+  /// Traces pushed into the ring since process start (monotonic; also
+  /// mirrored to the `obs.trace.retained` counter).
+  uint64_t traces_retained() const {
+    return retained_total_.load(std::memory_order_relaxed);
+  }
+  /// Spans dropped on full thread buffers (monotonic).
+  uint64_t spans_dropped() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------ span plumbing
+  // Called by Span / ScopedTraceContext; not part of the instrumentation
+  // API surface.
+
+  /// Process-unique span id (also used for trace ids), never 0.
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Appends a completed non-root span to the calling thread's buffer.
+  void RecordSpan(uint64_t trace_id, SpanRecord span);
+  /// Ends a trace: drains its spans from every thread buffer and retains
+  /// the assembled record in the ring iff sampled or slow enough.
+  void FinishRoot(const TraceContext& ctx, SpanRecord root);
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    /// (trace id, completed span); drained by FinishRoot.
+    std::vector<std::pair<uint64_t, SpanRecord>> spans;
+  };
+
+  /// The calling thread's buffer, registered on first use and leaked with
+  /// the Tracer (spans of a dying thread stay drainable).
+  ThreadBuffer* LocalBuffer();
+
+  std::atomic<uint64_t> sample_n_{0};
+  std::atomic<uint64_t> slow_us_{0};
+  std::atomic<uint64_t> coin_{0};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> retained_total_{0};
+  std::atomic<uint64_t> dropped_spans_{0};
+
+  mutable std::mutex buffers_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  mutable std::mutex ring_mu_;
+  std::deque<TraceRecord> ring_;
+};
+
+/// The TraceContext installed on this thread (inactive by default).
+TraceContext CurrentTrace();
+/// The innermost open span id on this thread (0 = parent is the root /
+/// nothing open).
+uint64_t CurrentSpanId();
+
+/// Installs `ctx` (and the parent span new spans should hang under) on this
+/// thread for the current scope — the explicit cross-thread propagation
+/// step at every pool handoff. Restores the previous context on exit.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(const TraceContext& ctx, uint64_t parent_span_id);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_ctx_;
+  uint64_t prev_span_;
+};
+
+/// RAII span. The default constructor opens a child of the thread's
+/// current span under the thread's current trace (and becomes the current
+/// span until destroyed); it is a no-op costing one thread-local read when
+/// no trace is installed. The explicit-context constructor serves the two
+/// places RAII nesting cannot: the root span (which crosses the
+/// reactor→worker handoff inside the server's Work item) and the merged
+/// submit path (one backend call serving several traces).
+class Span {
+ public:
+  /// Inactive span (placeholder slot).
+  Span() = default;
+  /// Child of the calling thread's current trace/span; no-op without one.
+  explicit Span(const char* name);
+  /// Span with an explicit context and parent (0 = this is the root span).
+  /// Does not touch the thread-local current span.
+  Span(const char* name, const TraceContext& ctx, uint64_t parent_span_id);
+
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool active() const { return ctx_.active(); }
+  uint64_t span_id() const { return rec_.span_id; }
+  const TraceContext& context() const { return ctx_; }
+
+  /// Attaches key=value (small sets only; one heap pair per call). No-op on
+  /// an inactive span.
+  void Annotate(const char* key, std::string value);
+  void Annotate(const char* key, uint64_t value);
+
+  /// Closes the span early (records it); idempotent, also run by ~Span.
+  void End();
+
+ private:
+  TraceContext ctx_;  ///< inactive when the span is a no-op
+  SpanRecord rec_;
+  /// This span replaced the thread-local current span (default ctor only);
+  /// End() must restore rec_.parent_span_id.
+  bool thread_current_ = false;
+};
+
+/// Renders span trees the way `itag_client --traces` prints them: one
+/// header line per trace, then the spans indented by tree depth with
+/// duration and self-time (duration minus direct children). Lives here so
+/// the client binary and tests share one golden-able renderer.
+std::string RenderTraceText(const std::vector<TraceRecord>& traces);
+
+}  // namespace itag::obs
+
+#endif  // ITAG_OBS_TRACE_H_

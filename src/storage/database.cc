@@ -8,6 +8,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/pager/paged_engine.h"
 #include "storage/row_store.h"
 
@@ -296,6 +297,8 @@ Status Database::LogOp(WalOp op, const std::string& table, RowId row_id,
   }
   rec.lsn = next_lsn_++;
   size_t payload_bytes = rec.payload.size();
+  obs::Span span("storage.wal.append");  // no-op unless the request is traced
+  span.Annotate("bytes", static_cast<uint64_t>(payload_bytes));
   Status s = wal_.Append(rec);
   if (!s.ok()) {
     wal_error_ = s;
@@ -329,6 +332,9 @@ Status Database::CommitBatch() {
   rec.payload = std::move(batch_buf_);
   batch_buf_.clear();
   size_t payload_bytes = rec.payload.size();
+  obs::Span span("storage.wal.append");
+  span.Annotate("bytes", static_cast<uint64_t>(payload_bytes));
+  span.Annotate("batch_ops", static_cast<uint64_t>(batch_ops));
   Status s = wal_.Append(rec);
   if (!s.ok()) {
     wal_error_ = s;
@@ -419,6 +425,7 @@ Status Database::Checkpoint() {
   // acknowledged mutations the log does not, and a checkpoint would make
   // that divergence permanent and invisible.
   if (!wal_error_.ok()) return wal_error_;
+  obs::Span span("storage.checkpoint");
   auto checkpoint_start = std::chrono::steady_clock::now();
 
   if (paged()) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace itag::storage::pager {
 
@@ -104,6 +105,10 @@ Result<PageRef> PageCache::Pin(PageId id) {
   }
   ++stats_.misses;
   CacheMetrics::Get().misses->Inc();
+  // A miss is the cache's only IO-bearing path (evict may write, the fill
+  // always reads) — worth a span of its own on traced requests.
+  obs::Span span("storage.page_cache.miss");
+  span.Annotate("page", static_cast<uint64_t>(id));
   ITAG_RETURN_IF_ERROR(EvictForSpace());
   Frame frame;
   ITAG_RETURN_IF_ERROR(pager_->ReadPage(id, &frame.image));

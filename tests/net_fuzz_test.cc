@@ -37,6 +37,7 @@
 #include "net/server.h"
 #include "net/wire.h"
 #include "net_test_scenario.h"
+#include "obs/trace.h"
 
 namespace itag::net {
 namespace {
@@ -76,6 +77,33 @@ std::vector<std::string> BuildCorpus() {
       correlation, Status::ResourceExhausted("server overloaded"), 9));
   corpus.push_back(EncodeErrorFrame(
       correlation + 1, Status::InvalidArgument("malformed payload"), 7));
+
+  // The script's TraceQuery reply is deterministic-by-emptiness; hand the
+  // mutator a *populated* one too, so the nested TraceRecord → SpanRecord →
+  // annotation vectors (the deepest payload in the protocol) get fuzzed.
+  api::TraceQueryResponse deep;
+  deep.status = Status::OK();
+  for (uint64_t t = 1; t <= 3; ++t) {
+    obs::TraceRecord trace;
+    trace.trace_id = 0x1000 + t;
+    trace.sampled = t % 2 == 0;
+    trace.duration_ns = 250000 * t;
+    trace.endpoint = "BatchSubmitTags";
+    for (uint64_t s = 1; s <= 4; ++s) {
+      obs::SpanRecord span;
+      span.span_id = t * 100 + s;
+      span.parent_span_id = s == 1 ? 0 : t * 100 + 1;
+      span.name = s == 1 ? "net.request" : "core.shard";
+      span.start_ns = s * 1000;
+      span.end_ns = s * 1000 + 500;
+      span.annotations.push_back({"shard", std::to_string(s)});
+      span.annotations.push_back({"note", "tags with \"quotes\"\nand NULs"});
+      trace.spans.push_back(std::move(span));
+    }
+    deep.traces.push_back(std::move(trace));
+  }
+  corpus.push_back(
+      EncodeResponseFrame(correlation + 2, api::AnyResponse{deep}));
   return corpus;
 }
 

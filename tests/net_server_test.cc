@@ -178,20 +178,24 @@ TEST(NetServerTest, VersionMismatchGetsTypedReplyAndConnectionSurvives) {
 }
 
 // Stale-frame negotiation across the version history: a v1 frame (any
-// pre-durability client) and a v2 frame (any pre-observability client)
-// each get the typed FailedPrecondition reply naming both versions, never
-// a hangup, and the negotiation hooks cover the newest variant.
-TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
-  static_assert(api::kApiVersion == 3,
+// pre-durability client), a v2 frame (any pre-observability client), and a
+// v3 frame (any pre-tracing client) each get the typed FailedPrecondition
+// reply naming both versions, never a hangup, and the negotiation hooks
+// cover the newest variant.
+TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV4Bump) {
+  static_assert(api::kApiVersion == 4,
                 "update this test alongside the next version bump");
   static_assert(!api::IsCompatibleApiVersion(1),
-                "v1 frames must be refused by a v3 server");
+                "v1 frames must be refused by a v4 server");
   static_assert(!api::IsCompatibleApiVersion(2),
-                "v2 frames must be refused by a v3 server");
+                "v2 frames must be refused by a v4 server");
+  static_assert(!api::IsCompatibleApiVersion(3),
+                "v3 frames must be refused by a v4 server");
   static_assert(api::IsCompatibleApiVersion(api::kApiVersion));
   EXPECT_STREQ(api::RequestTypeName(10), "Checkpoint");
   EXPECT_STREQ(api::RequestTypeName(11), "MetricsQuery");
-  EXPECT_EQ(api::kRequestTypeCount, 12u);
+  EXPECT_STREQ(api::RequestTypeName(12), "TraceQuery");
+  EXPECT_EQ(api::kRequestTypeCount, 13u);
 
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
@@ -200,7 +204,7 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
 
-  for (uint32_t stale : {uint32_t{1}, uint32_t{2}}) {
+  for (uint32_t stale : {uint32_t{1}, uint32_t{2}, uint32_t{3}}) {
     SCOPED_TRACE("stale version " + std::to_string(stale));
     client.set_wire_version(stale);
     Result<api::AnyResponse> r =
@@ -213,7 +217,7 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
               std::string::npos);
   }
 
-  // Same connection, current version: both newer endpoints are served.
+  // Same connection, current version: the newer endpoints are served.
   client.set_wire_version(api::kApiVersion);
   Result<api::CheckpointResponse> ck = client.Checkpoint({});
   ASSERT_TRUE(ck.ok()) << ck.status().ToString();
@@ -223,7 +227,10 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV3Bump) {
   ASSERT_TRUE(mq.ok()) << mq.status().ToString();
   EXPECT_TRUE(mq.value().status.ok());
   EXPECT_FALSE(mq.value().metrics.empty());
-  EXPECT_EQ(server.stats().version_rejections, 2u);
+  Result<api::TraceQueryResponse> tq = client.Traces({});
+  ASSERT_TRUE(tq.ok()) << tq.status().ToString();
+  EXPECT_TRUE(tq.value().status.ok());  // ring may be empty; the call works
+  EXPECT_EQ(server.stats().version_rejections, 3u);
   server.Stop();
 }
 

@@ -172,6 +172,12 @@ inline std::vector<api::AnyRequest> BuildFullCoverageScript(
   // these bit-equality replays.
   Play(scratch, &script, api::MetricsQueryRequest{"~no-such-metric~/"});
 
+  // --- tracing (v4): an endpoint filter matching no trace, for the same
+  // determinism reason — the process trace ring is global, and another test
+  // in the binary may have retained traces into it.
+  Play(scratch, &script,
+       api::TraceQueryRequest{0, "~no-such-endpoint~", 8});
+
   // Final snapshot so the script's last response aggregates everything.
   Play(scratch, &script, api::ProjectQueryRequest{project, true, {}});
   Play(scratch, &script, api::CheckpointRequest{});

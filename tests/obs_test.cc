@@ -101,6 +101,51 @@ TEST(ObsHistogramTest, ApproxQuantileWalksCumulativeBuckets) {
   EXPECT_EQ(ApproxQuantile(small, 0.33), HistogramBucketUpperBound(0));
 }
 
+TEST(ObsHistogramTest, ApproxQuantileEdges) {
+  // Out-of-range q clamps instead of under/overflowing the rank.
+  MetricSample one;
+  one.kind = MetricKind::kHistogram;
+  one.buckets.assign(kHistogramBuckets, 0);
+  one.buckets[5] = 1;
+  one.count = 1;
+  EXPECT_EQ(ApproxQuantile(one, -3.0), HistogramBucketUpperBound(5));
+  EXPECT_EQ(ApproxQuantile(one, 0.0), HistogramBucketUpperBound(5));
+  EXPECT_EQ(ApproxQuantile(one, 7.0), HistogramBucketUpperBound(5));
+
+  // A zero-count histogram is 0 at every quantile (not a crash, not the
+  // first bucket bound).
+  MetricSample empty;
+  empty.kind = MetricKind::kHistogram;
+  empty.buckets.assign(kHistogramBuckets, 0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(ApproxQuantile(empty, q), 0u) << "q=" << q;
+  }
+  // Non-histogram kinds are 0 regardless of count.
+  MetricSample counter;
+  counter.kind = MetricKind::kCounter;
+  counter.count = 1000;
+  EXPECT_EQ(ApproxQuantile(counter, 0.5), 0u);
+
+  // Everything in the LAST bucket reports its lower bound (there is no
+  // finite upper bound to report).
+  MetricSample top;
+  top.kind = MetricKind::kHistogram;
+  top.buckets.assign(kHistogramBuckets, 0);
+  top.buckets[kHistogramBuckets - 1] = 4;
+  top.count = 4;
+  EXPECT_EQ(ApproxQuantile(top, 0.5),
+            HistogramBucketLowerBound(kHistogramBuckets - 1));
+
+  // A sample whose bucket vector is short (truncated wire payload) walks
+  // only what it has.
+  MetricSample shorty;
+  shorty.kind = MetricKind::kHistogram;
+  shorty.buckets.assign(3, 0);
+  shorty.buckets[2] = 2;
+  shorty.count = 2;
+  EXPECT_EQ(ApproxQuantile(shorty, 1.0), HistogramBucketUpperBound(2));
+}
+
 // --------------------------------------------------------------- registry
 
 TEST(ObsRegistryTest, GetOrCreateReturnsStablePointers) {
@@ -162,6 +207,23 @@ TEST(ObsRegistryTest, RenderTextFormatsEachKind) {
   EXPECT_NE(text.find("h count=10 sum=1000 p50=128 p95=128 p99=128\n"),
             std::string::npos)
       << text;
+}
+
+TEST(ObsRegistryTest, RenderTextGoldenIsByteExact) {
+  // The text format is part of the operator surface (itag_client --metrics
+  // pipes it to grep/awk); pin it byte-for-byte on a fixed snapshot.
+  MetricsRegistry reg;
+  reg.GetCounter("api.Step.requests")->Inc(7);
+  reg.GetGauge("net.in_flight")->Set(-2);
+  Histogram* h = reg.GetHistogram("api.Step.latency_us");
+  h->Observe(3);    // bucket 1 [2,4)
+  h->Observe(100);  // bucket 6 [64,128)
+  h->Observe(100);
+  EXPECT_EQ(RenderText(reg.Snapshot()),
+            "api.Step.latency_us count=3 sum=203 p50=128 p95=128 p99=128\n"
+            "api.Step.requests 7\n"
+            "net.in_flight -2\n");
+  EXPECT_EQ(RenderText({}), "");
 }
 
 // ------------------------------------------------- concurrency (TSan job)
@@ -324,12 +386,12 @@ TEST(ObsWireTest, MetricsQueryOverTheWireReflectsDrivenLoad) {
   server.Stop();
 }
 
-// The v2→v3 bump: a version-2 frame — what any pre-observability client
+// The v3→v4 bump: a version-2 frame — what any pre-observability client
 // still sends — gets the typed FailedPrecondition reply naming both
 // versions (never a hangup), and the same connection is served normally at
-// v3 afterwards.
-TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterV3Bump) {
-  static_assert(api::kApiVersion == 3,
+// the current version afterwards.
+TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterV4Bump) {
+  static_assert(api::kApiVersion == 4,
                 "update this test alongside the next version bump");
   static_assert(!api::IsCompatibleApiVersion(2));
 
@@ -346,7 +408,7 @@ TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterV3Bump) {
   EXPECT_TRUE(stale.status().IsFailedPrecondition())
       << stale.status().ToString();
   EXPECT_NE(stale.status().message().find("2"), std::string::npos);
-  EXPECT_NE(stale.status().message().find("3"), std::string::npos);
+  EXPECT_NE(stale.status().message().find("4"), std::string::npos);
 
   client.set_wire_version(api::kApiVersion);
   Result<api::MetricsQueryResponse> ok = client.Metrics({"api."});

@@ -1,0 +1,532 @@
+// End-to-end request tracing (obs/trace.h):
+//  - Tracer unit behavior: the 1-in-N head-sampling coin (which must never
+//    sample the first requests of a 1-in-1M process), the bounded trace
+//    ring, slow-trace capture, and Clear();
+//  - span parenting: RAII nesting on one thread, explicit-context roots,
+//    and ScopedTraceContext propagation across thread hops;
+//  - the acceptance loopback: one traced request through a real
+//    net::Server + sharded durable backend yields a SINGLE rooted span
+//    tree containing net, api, core-shard, and storage spans, fetched back
+//    over the wire via the v4 TraceQuery endpoint;
+//  - slow capture over the wire: a deliberately-stalled request is
+//    retained even at 1-in-1M sampling;
+//  - the Chrome trace-event export and the plain-text renderer;
+//  - the logging prefix format and its trace=<id> suffix.
+//
+// This suite runs under TSan in CI: spans complete on reactor, worker, and
+// shard-pool threads concurrently, so it doubles as the race wall for the
+// whole tracing path.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <regex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "common/logging.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace itag::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test drives the process-global Tracer::Default(); reset it around
+/// each test so configuration and retained traces never leak across tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Default().Configure(0, 0);
+    Tracer::Default().Clear();
+  }
+  void TearDown() override {
+    Tracer::Default().Configure(0, 0);
+    Tracer::Default().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerReturnsInactiveContexts) {
+  EXPECT_FALSE(Tracer::Default().enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Tracer::Default().Begin().active());
+  }
+  // Spans opened without a context are free no-ops.
+  Span span("net.request");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.span_id(), 0u);
+}
+
+TEST_F(TraceTest, CoinSamplesEveryNthNeverTheFirst) {
+  Tracer::Default().Configure(4, 0);
+  std::vector<bool> sampled;
+  for (int i = 0; i < 12; ++i) {
+    TraceContext ctx = Tracer::Default().Begin();
+    sampled.push_back(ctx.active() && ctx.sampled);
+  }
+  // Requests 4, 8, 12 (1-based) win; everything else is not even recorded
+  // (slow capture is off).
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(sampled[i], (i + 1) % 4 == 0) << "request " << i + 1;
+  }
+
+  // A 1-in-1M coin must not sample a short process's requests at all.
+  Tracer::Default().Configure(1000000, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(Tracer::Default().Begin().active()) << "request " << i + 1;
+  }
+
+  // sample_one_in_n == 1 samples everything.
+  Tracer::Default().Configure(1, 0);
+  for (int i = 0; i < 10; ++i) {
+    TraceContext ctx = Tracer::Default().Begin();
+    EXPECT_TRUE(ctx.active());
+    EXPECT_TRUE(ctx.sampled);
+  }
+}
+
+TEST_F(TraceTest, NestedSpansFormOneRootedTree) {
+  Tracer::Default().Configure(1, 0);
+  TraceContext ctx = Tracer::Default().Begin();
+  ASSERT_TRUE(ctx.active());
+
+  uint64_t root_id, api_id, shard_id;
+  {
+    Span root("net.request", ctx, 0);
+    root.Annotate("reactor", uint64_t{0});
+    root_id = root.span_id();
+    ScopedTraceContext scope(ctx, root.span_id());
+    {
+      Span api_span("api.Step");
+      api_id = api_span.span_id();
+      {
+        Span shard_span("core.shard");
+        shard_span.Annotate("shard", uint64_t{3});
+        shard_id = shard_span.span_id();
+      }
+    }
+  }  // root ends last → FinishRoot drains and retains
+
+  std::vector<TraceRecord> traces = Tracer::Default().Query(0, "", 0);
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& t = traces[0];
+  EXPECT_EQ(t.trace_id, ctx.trace_id);
+  EXPECT_TRUE(t.sampled);
+  EXPECT_EQ(t.endpoint, "Step");
+  ASSERT_EQ(t.spans.size(), 3u);
+  // Root first, then children sorted by start time — which is open order.
+  EXPECT_EQ(t.spans[0].name, "net.request");
+  EXPECT_EQ(t.spans[0].span_id, root_id);
+  EXPECT_EQ(t.spans[0].parent_span_id, 0u);
+  EXPECT_EQ(t.spans[1].name, "api.Step");
+  EXPECT_EQ(t.spans[1].span_id, api_id);
+  EXPECT_EQ(t.spans[1].parent_span_id, root_id);
+  EXPECT_EQ(t.spans[2].name, "core.shard");
+  EXPECT_EQ(t.spans[2].span_id, shard_id);
+  EXPECT_EQ(t.spans[2].parent_span_id, api_id);
+  ASSERT_EQ(t.spans[2].annotations.size(), 1u);
+  EXPECT_EQ(t.spans[2].annotations[0].key, "shard");
+  EXPECT_EQ(t.spans[2].annotations[0].value, "3");
+  // Containment: children start no earlier and end no later than the root.
+  EXPECT_GE(t.spans[1].start_ns, t.spans[0].start_ns);
+  EXPECT_LE(t.spans[1].end_ns, t.spans[0].end_ns);
+}
+
+TEST_F(TraceTest, ScopedContextPropagatesAcrossAThreadHop) {
+  Tracer::Default().Configure(1, 0);
+  TraceContext ctx = Tracer::Default().Begin();
+  ASSERT_TRUE(ctx.active());
+  {
+    Span root("net.request", ctx, 0);
+    std::thread worker([&] {
+      // The worker thread has no context until one is installed.
+      EXPECT_FALSE(CurrentTrace().active());
+      Span orphan("core.shard");
+      EXPECT_FALSE(orphan.active());
+      ScopedTraceContext scope(ctx, root.span_id());
+      Span shard_span("core.shard");
+      EXPECT_TRUE(shard_span.active());
+    });
+    worker.join();
+  }
+  std::vector<TraceRecord> traces = Tracer::Default().Query(0, "", 0);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].spans.size(), 2u);  // the orphan recorded nothing
+  EXPECT_EQ(traces[0].spans[1].name, "core.shard");
+  EXPECT_EQ(traces[0].spans[1].parent_span_id, traces[0].spans[0].span_id);
+}
+
+TEST_F(TraceTest, RingIsBoundedAndQueryReturnsNewestFirst) {
+  Tracer::Default().Configure(1, 0);
+  const size_t total = kTraceRingCapacity + 17;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < total; ++i) {
+    TraceContext ctx = Tracer::Default().Begin();
+    ids.push_back(ctx.trace_id);
+    Span root("net.request", ctx, 0);
+  }
+  std::vector<TraceRecord> traces = Tracer::Default().Query(0, "", 0);
+  ASSERT_EQ(traces.size(), kTraceRingCapacity);
+  // Newest first; the oldest 17 were evicted.
+  EXPECT_EQ(traces.front().trace_id, ids.back());
+  EXPECT_EQ(traces.back().trace_id, ids[total - kTraceRingCapacity]);
+  // max_traces caps the reply.
+  EXPECT_EQ(Tracer::Default().Query(0, "", 5).size(), 5u);
+  Tracer::Default().Clear();
+  EXPECT_TRUE(Tracer::Default().Query(0, "", 0).empty());
+}
+
+TEST_F(TraceTest, SlowCaptureRetainsOnlySlowUnsampledTraces) {
+  // 1-in-1M coin (never wins here) + a 5 ms slow bar.
+  Tracer::Default().Configure(1000000, 5000);
+
+  {  // fast request: recorded provisionally, discarded at root close
+    TraceContext ctx = Tracer::Default().Begin();
+    ASSERT_TRUE(ctx.active());
+    EXPECT_FALSE(ctx.sampled);
+    Span root("net.request", ctx, 0);
+  }
+  EXPECT_TRUE(Tracer::Default().Query(0, "", 0).empty());
+
+  {  // stalled request: crosses the bar, retained despite losing the coin
+    TraceContext ctx = Tracer::Default().Begin();
+    ASSERT_TRUE(ctx.active());
+    Span root("net.request", ctx, 0);
+    ScopedTraceContext scope(ctx, root.span_id());
+    Span api_span("api.Step");
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  }
+  std::vector<TraceRecord> traces = Tracer::Default().Query(0, "", 0);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_FALSE(traces[0].sampled);
+  EXPECT_EQ(traces[0].endpoint, "Step");
+  EXPECT_GE(traces[0].duration_ns, uint64_t{5000} * 1000);
+}
+
+// ------------------------------------------------------------ the loopback
+
+core::ShardedSystemOptions DurableShardOpts(const std::string& dir) {
+  core::ShardedSystemOptions opts;
+  opts.num_shards = 2;
+  opts.pool_threads = 2;
+  opts.shard.db.directory = dir;
+  return opts;
+}
+
+/// Runs the canonical provider→tagger flow so a BatchSubmitTags request
+/// crosses every layer; returns the submit's per-item OK count.
+size_t RunSubmitFlow(net::Client& client) {
+  auto provider = client.RegisterProvider({"alice"});
+  EXPECT_TRUE(provider.ok());
+  api::CreateProjectRequest create;
+  create.provider = provider.value().provider;
+  create.spec.name = "traced";
+  create.spec.kind = tagging::ResourceKind::kImage;
+  create.spec.budget = 16;
+  create.spec.pay_cents = 5;
+  auto project = client.CreateProject(create);
+  EXPECT_TRUE(project.ok());
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project.value().project;
+  for (int i = 0; i < 4; ++i) {
+    upload.items.push_back({tagging::ResourceKind::kImage,
+                            "img-" + std::to_string(i), "", {}});
+  }
+  EXPECT_TRUE(client.BatchUploadResources(upload).ok());
+  EXPECT_TRUE(client
+                  .BatchControl({project.value().project,
+                                 {{api::ControlAction::kStart, 0, 0, {}}}})
+                  .ok());
+  auto tagger = client.RegisterTagger({"bob"});
+  EXPECT_TRUE(tagger.ok());
+  auto tasks = client.BatchAcceptTasks(
+      {tagger.value().tagger, project.value().project, 4});
+  EXPECT_TRUE(tasks.ok());
+  EXPECT_FALSE(tasks.value().tasks.empty());
+  api::BatchSubmitTagsRequest submit;
+  for (const core::AcceptedTask& task : tasks.value().tasks) {
+    submit.items.push_back({tagger.value().tagger, task.handle, {"beach"}});
+  }
+  auto submitted = client.BatchSubmitTags(submit);
+  EXPECT_TRUE(submitted.ok());
+  return submitted.ok() ? submitted.value().outcome.ok_count : 0;
+}
+
+/// The root span closes AFTER the response is queued for flush (so the
+/// trace covers the full server-side path) — which means a client can hold
+/// the reply a beat before its trace lands in the ring. Poll briefly.
+template <typename Pred>
+Result<api::TraceQueryResponse> AwaitTrace(net::Client& client,
+                                           const api::TraceQueryRequest& req,
+                                           Pred ready) {
+  Result<api::TraceQueryResponse> resp = Status::Internal("never queried");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    resp = client.Traces(req);
+    if (!resp.ok() || ready(resp.value())) return resp;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return resp;
+}
+
+// The acceptance test: trace-everything sampling, one real request over a
+// real server with a durable sharded backend, and the TraceQuery reply must
+// contain a single rooted span tree touching all four layers.
+TEST_F(TraceTest, LoopbackRequestYieldsOneRootedTreeAcrossAllLayers) {
+  std::string dir =
+      (fs::temp_directory_path() / "itag_trace_loopback").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  {
+    api::Service service(DurableShardOpts(dir));
+    ASSERT_TRUE(service.Init().ok());
+    net::Server server(&service);
+    ASSERT_TRUE(server.Start().ok());
+    net::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+    Tracer::Default().Configure(1, 0);  // trace every request
+    ASSERT_GT(RunSubmitFlow(client), 0u);
+
+    Result<api::TraceQueryResponse> resp =
+        AwaitTrace(client, {0, "BatchSubmitTags", 0},
+                   [](const api::TraceQueryResponse& r) {
+                     return !r.traces.empty();
+                   });
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp.value().status.ok());
+    ASSERT_FALSE(resp.value().traces.empty());
+    const TraceRecord& t = resp.value().traces.front();
+    EXPECT_EQ(t.endpoint, "BatchSubmitTags");
+    EXPECT_TRUE(t.sampled);
+    EXPECT_GT(t.duration_ns, 0u);
+
+    // Exactly one root, and every other span's parent is in the tree —
+    // i.e. the spans form a single rooted tree.
+    std::set<uint64_t> ids;
+    size_t roots = 0;
+    for (const SpanRecord& s : t.spans) {
+      EXPECT_TRUE(ids.insert(s.span_id).second) << "duplicate span id";
+      if (s.parent_span_id == 0) ++roots;
+    }
+    EXPECT_EQ(roots, 1u);
+    EXPECT_EQ(t.spans[0].parent_span_id, 0u);
+    EXPECT_EQ(t.spans[0].name, "net.request");
+    for (const SpanRecord& s : t.spans) {
+      if (s.parent_span_id != 0) {
+        EXPECT_TRUE(ids.count(s.parent_span_id))
+            << s.name << " dangles from unknown parent " << s.parent_span_id;
+      }
+      EXPECT_GE(s.end_ns, s.start_ns);
+    }
+
+    // All four layers are present.
+    auto count_named = [&](const char* name) {
+      return std::count_if(
+          t.spans.begin(), t.spans.end(),
+          [&](const SpanRecord& s) { return s.name == name; });
+    };
+    EXPECT_EQ(count_named("net.request"), 1);
+    EXPECT_EQ(count_named("api.BatchSubmitTags"), 1);
+    EXPECT_GE(count_named("core.shard"), 1);
+    EXPECT_GE(count_named("storage.wal.append"), 1);
+
+    // The root carries the wire-side annotations.
+    std::set<std::string> root_keys;
+    for (const SpanAnnotation& a : t.spans[0].annotations) {
+      root_keys.insert(a.key);
+    }
+    EXPECT_TRUE(root_keys.count("reactor"));
+    EXPECT_TRUE(root_keys.count("correlation"));
+    EXPECT_TRUE(root_keys.count("write_queue_bytes"));
+
+    // The renderer accepts the wire-decoded record and shows the tree.
+    std::string text = RenderTraceText(resp.value().traces);
+    EXPECT_NE(text.find("net.request"), std::string::npos);
+    EXPECT_NE(text.find("  api.BatchSubmitTags"), std::string::npos);
+    EXPECT_NE(text.find("endpoint=BatchSubmitTags"), std::string::npos);
+
+    server.Stop();
+  }
+  fs::remove_all(dir);
+}
+
+// Slow capture over the wire: at 1-in-1M sampling nothing wins the coin,
+// but a deliberately-stalled request must still be retained and queryable.
+TEST_F(TraceTest, StalledRequestIsCapturedAtOneInAMillionSampling) {
+  api::Service service(core::ShardedSystemOptions{});
+  ASSERT_TRUE(service.Init().ok());
+  net::ServerOptions opts;
+  opts.before_dispatch = [](const api::AnyRequest& req) {
+    if (std::holds_alternative<api::StepRequest>(req)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  };
+  net::Server server(&service, opts);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Tracer::Default().Configure(1000000, 10000);  // slow bar: 10 ms
+  Result<api::StepResponse> stepped = client.Step({0});
+  ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+
+  Result<api::TraceQueryResponse> resp =
+      AwaitTrace(client, {0, "Step", 0}, [](const api::TraceQueryResponse& r) {
+        return !r.traces.empty();
+      });
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_FALSE(resp.value().traces.empty());
+  const TraceRecord& t = resp.value().traces.front();
+  EXPECT_FALSE(t.sampled);  // retained by the slow net, not the coin
+  EXPECT_GE(t.duration_ns, uint64_t{10000} * 1000);
+  EXPECT_EQ(t.spans[0].name, "net.request");
+
+  // The TraceQuery itself (fast, unsampled) must not have been retained.
+  for (const TraceRecord& r : resp.value().traces) {
+    EXPECT_NE(r.endpoint, "TraceQuery");
+  }
+  server.Stop();
+}
+
+// ------------------------------------------------------------------ export
+
+TEST_F(TraceTest, ChromeExportIsWellFormedAndEscaped) {
+  Tracer::Default().Configure(1, 0);
+  {
+    TraceContext ctx = Tracer::Default().Begin();
+    Span root("net.request", ctx, 0);
+    ScopedTraceContext scope(ctx, root.span_id());
+    Span api_span("api.Step");
+    api_span.Annotate("note", std::string("say \"hi\"\nline2"));
+  }
+  std::string json = Tracer::Default().ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"api.Step\""), std::string::npos);
+  // The annotation's quote and newline arrived escaped, not raw.
+  EXPECT_NE(json.find("say \\\"hi\\\"\\nline2"), std::string::npos);
+  EXPECT_EQ(json.find("say \"hi\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check; no JSON parser in-tree).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // An empty ring exports an empty (but valid) document.
+  Tracer::Default().Clear();
+  EXPECT_EQ(Tracer::Default().ExportChromeJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+// ---------------------------------------------------------------- renderer
+
+TEST_F(TraceTest, RenderTraceTextGolden) {
+  // Synthetic trace with fixed ids and durations → byte-exact golden.
+  TraceRecord t;
+  t.trace_id = 42;
+  t.sampled = true;
+  t.duration_ns = 10500;  // 10.5 us
+  t.endpoint = "Step";
+  SpanRecord root;
+  root.span_id = 1;
+  root.parent_span_id = 0;
+  root.name = "net.request";
+  root.start_ns = 0;
+  root.end_ns = 10500;
+  root.annotations.push_back({"reactor", "0"});
+  SpanRecord api_span;
+  api_span.span_id = 2;
+  api_span.parent_span_id = 1;
+  api_span.name = "api.Step";
+  api_span.start_ns = 1000;
+  api_span.end_ns = 9000;
+  SpanRecord shard0;
+  shard0.span_id = 3;
+  shard0.parent_span_id = 2;
+  shard0.name = "core.shard";
+  shard0.start_ns = 2000;
+  shard0.end_ns = 5000;
+  shard0.annotations.push_back({"shard", "0"});
+  SpanRecord shard1;
+  shard1.span_id = 4;
+  shard1.parent_span_id = 2;
+  shard1.name = "core.shard";
+  shard1.start_ns = 2500;
+  shard1.end_ns = 6000;
+  shard1.annotations.push_back({"shard", "1"});
+  t.spans = {root, api_span, shard0, shard1};
+
+  EXPECT_EQ(RenderTraceText({t}),
+            "trace 42 endpoint=Step duration=10.5us spans=4 (sampled)\n"
+            "  net.request 10.5us (self 2.5us) reactor=0\n"
+            "    api.Step 8.0us (self 1.5us)\n"
+            "      core.shard 3.0us (self 3.0us) shard=0\n"
+            "      core.shard 3.5us (self 3.5us) shard=1\n");
+
+  // Slow-retained traces are labeled (slow); empty endpoint renders as ?.
+  t.sampled = false;
+  t.endpoint.clear();
+  std::string text = RenderTraceText({t});
+  EXPECT_NE(text.find("endpoint=? "), std::string::npos);
+  EXPECT_NE(text.find("(slow)\n"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- logging
+
+TEST_F(TraceTest, LogLinePrefixFormatIsStable) {
+  std::string line = Logger::FormatLine(LogLevel::kWarn, "wal append stalled");
+  // 2026-08-08T12:34:56.789Z [WARN] tid=N wal append stalled
+  std::regex shape(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[WARN\] tid=\d+ )"
+      R"(wal append stalled$)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+  EXPECT_NE(Logger::FormatLine(LogLevel::kError, "x").find("[ERROR]"),
+            std::string::npos);
+
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  LogLevel parsed;
+  EXPECT_TRUE(ParseLogLevel("debug", &parsed));
+  EXPECT_EQ(parsed, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("error", &parsed));
+  EXPECT_EQ(parsed, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &parsed));
+  EXPECT_FALSE(ParseLogLevel("WARN", &parsed));  // spelling is lowercase
+}
+
+TEST_F(TraceTest, LogLinesCarryTheSampledTraceId) {
+  // No context → no suffix.
+  EXPECT_EQ(Logger::FormatLine(LogLevel::kInfo, "msg").find("trace="),
+            std::string::npos);
+
+  TraceContext sampled;
+  sampled.trace_id = 4711;
+  sampled.sampled = true;
+  {
+    ScopedTraceContext scope(sampled, 0);
+    std::string line = Logger::FormatLine(LogLevel::kInfo, "msg");
+    EXPECT_NE(line.find("msg trace=4711"), std::string::npos) << line;
+  }
+  // A slow-capture candidate (recorded but unsampled) does NOT stamp lines:
+  // its id is usually discarded, and a grep for it would find nothing.
+  TraceContext unsampled;
+  unsampled.trace_id = 4712;
+  unsampled.sampled = false;
+  {
+    ScopedTraceContext scope(unsampled, 0);
+    EXPECT_EQ(Logger::FormatLine(LogLevel::kInfo, "msg").find("trace="),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace itag::obs
