@@ -5,7 +5,7 @@
 // admin endpoint, and the v3 MetricsQuery observability endpoint.
 //
 //   ./itag_client [port] [--dump FILE] [--query ID] [--metrics [PREFIX]]
-//                 [--traces [--slow-us N] [--endpoint NAME]]
+//                 [--placement] [--traces [--slow-us N] [--endpoint NAME]]
 //
 // Default (session mode): runs the provider+tagger session, checkpoints,
 // and — with --dump — writes the project's canonical final state (the
@@ -19,17 +19,26 @@
 // PREFIX) and prints the plain-text rendering — one `name value` line per
 // counter/gauge, `name count=… p50=…` per histogram (the CI loadgen smoke
 // greps this output). See docs/observability.md for the catalogue.
+// With --placement the client renders the sharded server's live
+// project->shard routing table plus the rebalancer's counters, all
+// derived from the same MetricsQuery wire path as --metrics (prefix
+// "core." — no dedicated frame type): one row per
+// core.placement.project.<id> gauge, the per-shard core.shard.<i>.ops
+// totals, and core.rebalance.{migrations,moved_ops,stall_us} with the
+// current core.placement.version. See docs/rebalancing.md.
 // With --traces (v4) the client fetches the server's retained request
 // traces and prints each as an indented span tree with durations and
 // self-times; --slow-us N keeps only traces whose root took >= N µs, and
 // --endpoint NAME filters by endpoint ("BatchSubmitTags", ...). Traces
 // exist only when the server samples (--trace-sample-n / --trace-slow-us).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/client.h"
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
   long long query_id = -1;
   bool metrics_mode = false;
   std::string metrics_prefix;
+  bool placement_mode = false;
   bool traces_mode = false;
   long long traces_slow_us = 0;
   std::string traces_endpoint;
@@ -94,6 +104,8 @@ int main(int argc, char** argv) {
       dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       query_id = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--placement") == 0) {
+      placement_mode = true;
     } else if (std::strcmp(argv[i], "--traces") == 0) {
       traces_mode = true;
     } else if (std::strcmp(argv[i], "--slow-us") == 0 && i + 1 < argc) {
@@ -115,8 +127,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [--dump FILE] [--query ID] "
-                   "[--metrics [PREFIX]] [--traces [--slow-us N] "
-                   "[--endpoint NAME]]\n",
+                   "[--metrics [PREFIX]] [--placement] "
+                   "[--traces [--slow-us N] [--endpoint NAME]]\n",
                    argv[0]);
       return 2;
     }
@@ -143,6 +155,70 @@ int main(int argc, char** argv) {
     auto traces = Must(client.Traces(req), "TraceQuery");
     std::printf("%s", obs::RenderTraceText(traces.traces).c_str());
     std::printf("traces: %zu retained\n", traces.traces.size());
+    return 0;
+  }
+
+  if (placement_mode) {
+    // Placement debug mode: the project->shard routing table and the
+    // rebalancer's counters, all reconstructed client-side from one
+    // MetricsQuery("core.") — the same wire path as --metrics, no
+    // dedicated frame type.
+    auto metrics = Must(client.Metrics({"core."}), "MetricsQuery");
+    constexpr char kProject[] = "core.placement.project.";
+    constexpr size_t kProjectLen = sizeof(kProject) - 1;
+    std::vector<std::pair<uint64_t, size_t>> rows;  // project -> shard
+    std::vector<std::pair<size_t, uint64_t>> shard_ops;
+    uint64_t version = 0, migrations = 0, moved_ops = 0, stall_us = 0;
+    for (const obs::MetricSample& s : metrics.metrics) {
+      if (s.name.compare(0, kProjectLen, kProject) == 0) {
+        rows.emplace_back(
+            std::strtoull(s.name.c_str() + kProjectLen, nullptr, 10),
+            static_cast<size_t>(s.gauge));
+      } else if (s.name.compare(0, 11, "core.shard.") == 0 &&
+                 s.name.size() > 15 &&
+                 s.name.compare(s.name.size() - 4, 4, ".ops") == 0) {
+        shard_ops.emplace_back(
+            static_cast<size_t>(std::atol(s.name.c_str() + 11)), s.count);
+      } else if (s.name == "core.placement.version") {
+        version = static_cast<uint64_t>(s.gauge);
+      } else if (s.name == "core.rebalance.migrations") {
+        migrations = s.count;
+      } else if (s.name == "core.rebalance.moved_ops") {
+        moved_ops = s.count;
+      } else if (s.name == "core.rebalance.stall_us") {
+        stall_us = s.count;
+      }
+    }
+    if (shard_ops.empty()) {
+      std::fprintf(stderr,
+                   "--placement needs a sharded server (no core.shard.* "
+                   "metrics reported)\n");
+      return 1;
+    }
+    std::sort(rows.begin(), rows.end());
+    std::sort(shard_ops.begin(), shard_ops.end());
+    size_t num_shards = shard_ops.size();
+    std::printf("placement (version %llu, %zu shards, %zu projects):\n",
+                static_cast<unsigned long long>(version), num_shards,
+                rows.size());
+    std::printf("  %-12s %-6s %-6s\n", "project", "shard", "home");
+    for (const auto& [project, shard] : rows) {
+      size_t home = static_cast<size_t>(project % num_shards);
+      std::printf("  %-12llu %-6zu %-6zu%s\n",
+                  static_cast<unsigned long long>(project), shard, home,
+                  shard == home ? "" : "  (moved)");
+    }
+    std::printf("shard ops (lifetime routed op units):\n");
+    for (const auto& [shard, ops] : shard_ops) {
+      std::printf("  shard %zu: %llu\n", shard,
+                  static_cast<unsigned long long>(ops));
+    }
+    std::printf(
+        "rebalancer: %llu migrations, %llu attributed ops moved, "
+        "%llu us total write stall\n",
+        static_cast<unsigned long long>(migrations),
+        static_cast<unsigned long long>(moved_ops),
+        static_cast<unsigned long long>(stall_us));
     return 0;
   }
 

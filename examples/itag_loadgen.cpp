@@ -2,7 +2,7 @@
 //
 //   ./itag_loadgen [port] [--scenario NAME] [--threads N] [--seconds S]
 //                  [--projects P] [--page-cache-mb N] [--idle-conns N]
-//                  [--list]
+//                  [--hot-project-pct P] [--list]
 //
 // Drives the server with a named traffic shape from N concurrent
 // pipelined net::Clients, then prints a metrics-backed summary: the
@@ -30,6 +30,22 @@
 // heavy tails — Golder & Huberman; Liu et al.), and tag choice draws from
 // a Zipf-ranked vocabulary (rank-frequency skew). `--scenario uniform` is
 // the control shape with the skew turned off.
+//
+// --hot-project-pct P overrides the scenario's project sampler with a
+// single-hotspot shape: P% of every project-routed op lands on project 0
+// and the rest spread uniformly — the skew the sharded core's rebalancer
+// is built to dissolve. The run then adds a second reconciliation: each
+// worker attributes its project-routed op units (1 per accept and per
+// query section, one per submit/decide item) to the project it targeted,
+// the summary maps
+// projects to shards via the server's core.placement.project.<id> gauges,
+// and the per-shard client totals must equal the server's
+// core.shard.<i>.ops deltas exactly — proving routed-op attribution (the
+// rebalancer's input signal) is not just monotone but exact. The check
+// FAILS the run on any per-shard mismatch; it needs stable placement and
+// no pre-routing rejections, so it downgrades itself to skipped when the
+// server's placement version moved during the run (rebalancer fired) or
+// typed errors occurred (e.g. --admission-rps throttling).
 //
 // --page-cache-mb N declares that the server was started with the paged
 // storage engine and an N-MiB page cache: the summary then includes the
@@ -137,6 +153,11 @@ struct WorkerCounts {
   /// the client side of the end-of-run reconciliation against the
   /// server's api.<Endpoint>.requests counters.
   uint64_t sent[api::kRequestTypeCount] = {};
+  /// Routed op units attributed per project index (1 per accept and per
+  /// query section, one per submit/decide item) — the client side of the
+  /// per-shard core.shard.<i>.ops reconciliation in hotspot runs. Sized
+  /// by main.
+  std::vector<uint64_t> project_ops;
 };
 
 /// Exits the worker loop on transport failure; typed errors just count.
@@ -148,7 +169,8 @@ bool CheckTransport(const Result<T>& r, WorkerCounts* counts) {
 }
 
 void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
-               core::ProviderId provider, core::UserTaggerId tagger,
+               size_t hot_pct, core::ProviderId provider,
+               core::UserTaggerId tagger,
                const std::vector<core::ProjectId>& projects,
                std::chrono::steady_clock::time_point deadline,
                WorkerCounts* counts) {
@@ -161,6 +183,15 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
   ZipfSampler project_pick(static_cast<uint32_t>(projects.size()),
                            cfg.project_zipf_s);
   ZipfSampler tag_pick(200, cfg.tag_zipf_s);
+  // --hot-project-pct replaces the scenario's Zipf shape with a single
+  // hotspot: hot_pct% of picks land on project 0, the rest uniform.
+  auto pick_project = [&]() -> size_t {
+    if (hot_pct == 0 || projects.size() < 2) {
+      return hot_pct != 0 ? 0 : project_pick.Sample(&rng);
+    }
+    if (rng.Uniform(100) < hot_pct) return 0;
+    return 1 + rng.Uniform(static_cast<uint32_t>(projects.size() - 1));
+  };
   uint64_t ops = 0;
 
   while (std::chrono::steady_clock::now() < deadline) {
@@ -179,12 +210,16 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       // the socket back-to-back; Await matches out-of-order replies.
       std::vector<uint64_t> flight;
       for (size_t i = 0; i < cfg.query_pipeline; ++i) {
+        size_t pidx = pick_project();
         api::ProjectQueryRequest q;
-        q.project = projects[project_pick.Sample(&rng)];
+        q.project = projects[pidx];
         q.include_feed = (i % 4 == 0);
         Result<uint64_t> c = client.DispatchAsync(api::AnyRequest{q});
         if (!CheckTransport(c, counts)) return;
         ++counts->sent[api::kRequestTypeIndex<api::ProjectQueryRequest>];
+        // Each ProjectQuery section is its own routed backend call: the
+        // info snapshot always, plus one more when the feed rides along.
+        counts->project_ops[pidx] += q.include_feed ? 2 : 1;
         flight.push_back(*c);
       }
       for (uint64_t c : flight) {
@@ -195,11 +230,13 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
     } else if (draw < cfg.query_weight + cfg.tag_weight) {
       // One tagging cycle. The submit is pipelined with an independent
       // monitoring peek (never with the decide that depends on it).
-      core::ProjectId project = projects[project_pick.Sample(&rng)];
+      size_t pidx = pick_project();
+      core::ProjectId project = projects[pidx];
       Result<api::BatchAcceptTasksResponse> accepted = client.BatchAcceptTasks(
           {tagger, project, cfg.accept_batch});
       if (!CheckTransport(accepted, counts)) return;
       ++counts->sent[api::kRequestTypeIndex<api::BatchAcceptTasksRequest>];
+      ++counts->project_ops[pidx];
       if (!accepted.value().status.ok() || accepted.value().tasks.empty()) {
         // Budget exhausted / project paused — expected under long runs.
         ++counts->starved;
@@ -220,9 +257,11 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       Result<uint64_t> c1 = client.DispatchAsync(api::AnyRequest{submit});
       if (!CheckTransport(c1, counts)) return;
       ++counts->sent[api::kRequestTypeIndex<api::BatchSubmitTagsRequest>];
+      counts->project_ops[pidx] += submit.items.size();
       Result<uint64_t> c2 = client.DispatchAsync(api::AnyRequest{peek});
       if (!CheckTransport(c2, counts)) return;
       ++counts->sent[api::kRequestTypeIndex<api::ProjectQueryRequest>];
+      ++counts->project_ops[pidx];
       Result<api::AnyResponse> submitted = client.Await(*c1);
       if (!CheckTransport(submitted, counts)) return;
       Result<api::AnyResponse> peeked = client.Await(*c2);
@@ -238,6 +277,7 @@ void RunWorker(uint16_t port, const ScenarioConfig& cfg, size_t thread_index,
       Result<api::BatchDecideResponse> decided = client.BatchDecide(decide);
       if (!CheckTransport(decided, counts)) return;
       ++counts->sent[api::kRequestTypeIndex<api::BatchDecideRequest>];
+      counts->project_ops[pidx] += decide.items.size();
       counts->tasks_approved += decided.value().outcome.ok_count;
       ++counts->tag_cycles;
     } else if (draw < cfg.query_weight + cfg.tag_weight + cfg.step_weight) {
@@ -317,6 +357,7 @@ int main(int argc, char** argv) {
   size_t projects_override = 0;
   long page_cache_mb = -1;  // >=0: server runs the paged engine; verify it
   size_t idle_conns = 0;
+  size_t hot_project_pct = 0;  // >0: single-hotspot shape + shard-op check
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
@@ -331,6 +372,13 @@ int main(int argc, char** argv) {
       page_cache_mb = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--idle-conns") == 0 && i + 1 < argc) {
       idle_conns = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hot-project-pct") == 0 &&
+               i + 1 < argc) {
+      hot_project_pct = static_cast<size_t>(std::atol(argv[++i]));
+      if (hot_project_pct > 100) {
+        std::fprintf(stderr, "--hot-project-pct must be in [0, 100]\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
       LogLevel level;
       if (!ParseLogLevel(argv[++i], &level)) {
@@ -349,7 +397,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [port] [--scenario NAME] [--threads N] "
                    "[--seconds S] [--projects P] [--page-cache-mb N] "
-                   "[--idle-conns N] [--log-level LEVEL] [--list]\n",
+                   "[--idle-conns N] [--hot-project-pct P] "
+                   "[--log-level LEVEL] [--list]\n",
                    argv[0]);
       return 2;
     }
@@ -427,6 +476,12 @@ int main(int argc, char** argv) {
       "resources, project zipf s=%.2f, %zu idle conns\n",
       cfg.name, cfg.description, threads, seconds, port, cfg.num_projects,
       cfg.resources_per_project, cfg.project_zipf_s, idle_conns);
+  if (hot_project_pct != 0) {
+    std::printf(
+        "  hotspot shape: %zu%% of project-routed ops on project %llu, "
+        "rest uniform (per-shard op reconciliation armed)\n",
+        hot_project_pct, static_cast<unsigned long long>(projects[0]));
+  }
 
   // The reconciliation baseline: server counters after provisioning but
   // before any load. Everything the run sends from here on is inside the
@@ -459,10 +514,11 @@ int main(int argc, char** argv) {
   auto deadline =
       start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
   std::vector<WorkerCounts> counts(threads);
+  for (WorkerCounts& c : counts) c.project_ops.assign(projects.size(), 0);
   std::vector<std::thread> workers;
   for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back(RunWorker, port, std::cref(cfg), t, provider,
-                         taggers[t], std::cref(projects), deadline,
+    workers.emplace_back(RunWorker, port, std::cref(cfg), t, hot_project_pct,
+                         provider, taggers[t], std::cref(projects), deadline,
                          &counts[t]);
   }
   for (std::thread& w : workers) w.join();
@@ -474,6 +530,7 @@ int main(int argc, char** argv) {
 
   // --- client-side summary ------------------------------------------------
   WorkerCounts total;
+  total.project_ops.assign(projects.size(), 0);
   bool all_ok = true;
   for (const WorkerCounts& c : counts) {
     total.queries += c.queries;
@@ -487,6 +544,9 @@ int main(int argc, char** argv) {
     all_ok = all_ok && c.transport_ok;
     for (size_t i = 0; i < api::kRequestTypeCount; ++i) {
       total.sent[i] += c.sent[i];
+    }
+    for (size_t p = 0; p < projects.size(); ++p) {
+      total.project_ops[p] += c.project_ops[p];
     }
   }
   uint64_t idle_pings = 0;
@@ -609,6 +669,96 @@ int main(int argc, char** argv) {
         "\nreconciliation skipped: %llu typed errors (rejected frames never "
         "reach the api counters)\n",
         static_cast<unsigned long long>(total.typed_errors));
+  }
+  if (hot_project_pct != 0) {
+    // --- per-shard routed-op reconciliation -------------------------------
+    // Map each project to its shard via the server's placement gauges, sum
+    // the client-side op units per shard, and compare against the
+    // core.shard.<i>.ops counter deltas. Exact only when placement never
+    // changed mid-run and no request was rejected before routing, so this
+    // path expects a server without --rebalance-interval-ms or
+    // --admission-rps; a typed-error run skips the check like the frame
+    // reconciliation above.
+    size_t num_shards = 0;
+    while (FindMetric(samples, "core.shard." + std::to_string(num_shards) +
+                                   ".ops") != nullptr) {
+      ++num_shards;
+    }
+    if (num_shards == 0) {
+      std::fprintf(stderr,
+                   "\nFAIL: --hot-project-pct needs a sharded server — no "
+                   "core.shard.<i>.ops counters reported\n");
+      return 1;
+    }
+    uint64_t all_units = 0;
+    for (uint64_t n : total.project_ops) all_units += n;
+    std::printf("\nhotspot shape observed: project %llu took %.1f%% of "
+                "%llu routed op units (target %zu%%)\n",
+                static_cast<unsigned long long>(projects[0]),
+                all_units == 0 ? 0.0
+                               : 100.0 * static_cast<double>(
+                                             total.project_ops[0]) /
+                                     static_cast<double>(all_units),
+                static_cast<unsigned long long>(all_units), hot_project_pct);
+    const obs::MetricSample* v0 =
+        FindMetric(before_metrics.metrics, "core.placement.version");
+    const obs::MetricSample* v1 =
+        FindMetric(samples, "core.placement.version");
+    if (total.typed_errors != 0) {
+      std::printf("per-shard reconciliation skipped: typed errors\n");
+    } else if (v0 == nullptr || v1 == nullptr || v0->gauge != v1->gauge) {
+      // A rebalancing server moved a project mid-run; ops the migration
+      // raced are attributed to whichever shard served them, so exactness
+      // only holds under a stable placement.
+      std::printf(
+          "per-shard reconciliation skipped: placement changed during the "
+          "run (version %llu -> %llu)\n",
+          static_cast<unsigned long long>(
+              v0 == nullptr ? 0 : static_cast<uint64_t>(v0->gauge)),
+          static_cast<unsigned long long>(
+              v1 == nullptr ? 0 : static_cast<uint64_t>(v1->gauge)));
+    } else {
+      std::vector<uint64_t> expected(num_shards, 0);
+      bool placed_ok = true;
+      for (size_t p = 0; p < projects.size(); ++p) {
+        const obs::MetricSample* g = FindMetric(
+            samples,
+            "core.placement.project." + std::to_string(projects[p]));
+        // Never-moved projects may predate the gauge; their home is the
+        // id codec (global % shards).
+        size_t shard = g != nullptr
+                           ? static_cast<size_t>(g->gauge)
+                           : static_cast<size_t>(projects[p] % num_shards);
+        if (shard >= num_shards) {
+          placed_ok = false;
+          break;
+        }
+        expected[shard] += total.project_ops[p];
+      }
+      std::printf("per-shard reconciliation (client op units vs "
+                  "core.shard.<i>.ops deltas):\n");
+      bool shard_ok = placed_ok;
+      for (size_t s = 0; s < num_shards; ++s) {
+        std::string name = "core.shard." + std::to_string(s) + ".ops";
+        uint64_t delta = MetricCount(samples, name) -
+                         MetricCount(before_metrics.metrics, name);
+        bool match = placed_ok && expected[s] == delta;
+        std::printf("  shard %zu: client %10llu  server %10llu%s\n", s,
+                    static_cast<unsigned long long>(
+                        placed_ok ? expected[s] : 0),
+                    static_cast<unsigned long long>(delta),
+                    match ? "" : "  MISMATCH");
+        shard_ok = shard_ok && match;
+      }
+      if (!shard_ok) {
+        std::fprintf(stderr,
+                     "\nFAIL: per-shard op attribution disagrees with the "
+                     "server — routing counted ops on the wrong shard, or "
+                     "placement moved mid-run\n");
+        return 1;
+      }
+      std::printf("  routed-op attribution exact on every shard\n");
+    }
   }
   if (page_cache_mb >= 0) {
     // The server was declared paged: the load must have driven actual page

@@ -2,7 +2,9 @@
 // behind the binary wire protocol, serving any number of TCP clients.
 //
 //   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
-//                 [--page-cache-mb=N] [--reactors=N] [--log-level=LEVEL]
+//                 [--page-cache-mb=N] [--reactors=N]
+//                 [--rebalance-interval-ms=N] [--rebalance-hot-ratio=R]
+//                 [--admission-rps=N] [--log-level=LEVEL]
 //                 [--trace-sample-n=N] [--trace-slow-us=N]
 //                 [--trace-export=FILE]
 //
@@ -23,6 +25,15 @@
 // --reactors=N runs N IO reactor threads (epoll loops), each owning a
 // disjoint, round-robin-assigned subset of the connections — the knob for
 // many-connection fleets; 0 picks one reactor per hardware thread.
+// --rebalance-interval-ms=N turns on the background shard rebalancer: it
+// samples per-shard op-rate every N ms and live-migrates a hot shard's
+// busiest project when that shard's share of the window's ops exceeds
+// --rebalance-hot-ratio=R (default 0.45). 0 (the default) leaves
+// placement static. Watch it work with `itag_client PORT --placement`.
+// --admission-rps=N caps each project at N request units per second at
+// the api tier; over-limit requests fail with ResourceExhausted instead
+// of queueing behind a hot project's shard mutex. 0 (default) disables.
+// See docs/rebalancing.md for both subsystems.
 // --log-level=LEVEL (debug|info|warn|error) sets the stderr log threshold.
 // --trace-sample-n=N head-samples every Nth request into the trace ring
 // (0 disables the coin, 1 traces everything); --trace-slow-us=N
@@ -70,6 +81,9 @@ int main(int argc, char** argv) {
   size_t shards = 4;
   long page_cache_mb = -1;  // <0 = snapshot engine, >=0 = paged engine
   size_t reactors = 1;
+  size_t rebalance_interval_ms = 0;  // 0 = static placement
+  double rebalance_hot_ratio = 0.45;
+  uint64_t admission_rps = 0;  // 0 = no per-project admission cap
   uint64_t trace_sample_n = 1024;
   uint64_t trace_slow_us = 10000;
   std::string trace_export;
@@ -84,6 +98,16 @@ int main(int argc, char** argv) {
       page_cache_mb = std::atol(arg + 16);
     } else if (std::strncmp(arg, "--reactors=", 11) == 0) {
       reactors = static_cast<size_t>(std::atol(arg + 11));
+    } else if (std::strncmp(arg, "--rebalance-interval-ms=", 24) == 0) {
+      rebalance_interval_ms = static_cast<size_t>(std::atol(arg + 24));
+    } else if (std::strncmp(arg, "--rebalance-hot-ratio=", 22) == 0) {
+      rebalance_hot_ratio = std::atof(arg + 22);
+      if (rebalance_hot_ratio <= 0.0 || rebalance_hot_ratio >= 1.0) {
+        std::fprintf(stderr, "--rebalance-hot-ratio must be in (0, 1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--admission-rps=", 16) == 0) {
+      admission_rps = static_cast<uint64_t>(std::atoll(arg + 16));
     } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
       LogLevel level;
       if (!ParseLogLevel(arg + 12, &level)) {
@@ -108,8 +132,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [port] [max_seconds] [--db-dir=DIR] "
                    "[--shards=N] [--page-cache-mb=N] [--reactors=N] "
-                   "[--log-level=LEVEL] [--trace-sample-n=N] "
-                   "[--trace-slow-us=N] [--trace-export=FILE]\n",
+                   "[--rebalance-interval-ms=N] [--rebalance-hot-ratio=R] "
+                   "[--admission-rps=N] [--log-level=LEVEL] "
+                   "[--trace-sample-n=N] [--trace-slow-us=N] "
+                   "[--trace-export=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -130,12 +156,15 @@ int main(int argc, char** argv) {
     shard_opts.shard.db.paged = true;
     shard_opts.shard.db.page_cache_mb = static_cast<size_t>(page_cache_mb);
   }
+  shard_opts.rebalance_interval_ms = rebalance_interval_ms;
+  shard_opts.rebalance_hot_ratio = rebalance_hot_ratio;
   api::Service service(shard_opts);
   Status init = service.Init();
   if (!init.ok()) {
     std::fprintf(stderr, "init failed: %s\n", init.ToString().c_str());
     return 1;
   }
+  service.SetAdmissionLimit(admission_rps);
 
   net::ServerOptions opts;
   opts.port = port;
@@ -153,11 +182,23 @@ int main(int argc, char** argv) {
                                   std::to_string(page_cache_mb) +
                                   " MiB cache): " + db_dir
                             : "durable: " + db_dir);
+  char placement[64];
+  if (rebalance_interval_ms == 0) {
+    std::snprintf(placement, sizeof(placement), "static placement");
+  } else {
+    std::snprintf(placement, sizeof(placement),
+                  "rebalancing every %zu ms at hot-ratio %.2f",
+                  rebalance_interval_ms, rebalance_hot_ratio);
+  }
   std::printf(
       "itag_server listening on 127.0.0.1:%u (api v%u, %zu shards, "
-      "%zu reactors, %s)\n",
+      "%zu reactors, %s, %s%s)\n",
       server.port(), api::kApiVersion, shard_opts.num_shards,
-      server.reactor_count(), backend.c_str());
+      server.reactor_count(), backend.c_str(), placement,
+      admission_rps == 0
+          ? ""
+          : (", admission " + std::to_string(admission_rps) + " rps/project")
+                .c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

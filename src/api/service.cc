@@ -1,6 +1,9 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -72,7 +75,60 @@ class ApiCallScope {
 Tick NowOf(core::ITagSystem* system) { return system->clock().Now(); }
 Tick NowOf(core::ShardedSystem* sharded) { return sharded->Now(); }
 
+/// The typed per-item / whole-call admission failure.
+Status AdmissionDenied(uint64_t project) {
+  return Status::ResourceExhausted("project " + std::to_string(project) +
+                                   " admission limit exceeded");
+}
+
 }  // namespace
+
+AdmissionController::AdmissionController(uint64_t rps)
+    : rps_(static_cast<double>(rps)),
+      rejected_(obs::MetricsRegistry::Default().GetCounter(
+          "api.admission.rejected")) {}
+
+AdmissionController::Bucket& AdmissionController::BucketFor(
+    uint64_t project) {
+  auto [it, inserted] = buckets_.try_emplace(project);
+  if (inserted) {
+    it->second.tokens = rps_;
+    it->second.last = std::chrono::steady_clock::now();
+  }
+  return it->second;
+}
+
+void AdmissionController::RefillLocked(Bucket* bucket) {
+  auto now = std::chrono::steady_clock::now();
+  double elapsed = std::chrono::duration<double>(now - bucket->last).count();
+  bucket->last = now;
+  bucket->tokens = std::min(rps_, bucket->tokens + elapsed * rps_);
+}
+
+uint64_t AdmissionController::AdmitUpTo(uint64_t project, uint64_t want) {
+  if (want == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(project);
+  RefillLocked(&bucket);
+  uint64_t grant =
+      std::min(want, static_cast<uint64_t>(bucket.tokens));
+  bucket.tokens -= static_cast<double>(grant);
+  if (grant < want) rejected_->Inc(want - grant);
+  return grant;
+}
+
+bool AdmissionController::AdmitExactly(uint64_t project, uint64_t want) {
+  if (want == 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(project);
+  RefillLocked(&bucket);
+  if (static_cast<uint64_t>(bucket.tokens) < want) {
+    rejected_->Inc(want);
+    return false;
+  }
+  bucket.tokens -= static_cast<double>(want);
+  return true;
+}
 
 Service::Service(core::ITagSystemOptions options)
     : owned_(std::make_unique<core::ITagSystem>(std::move(options))),
@@ -91,6 +147,11 @@ Status Service::Init() {
   if (owned_ != nullptr) return owned_->Init();
   if (owned_sharded_ != nullptr) return owned_sharded_->Init();
   return Status::OK();
+}
+
+void Service::SetAdmissionLimit(uint64_t rps) {
+  admission_ =
+      rps == 0 ? nullptr : std::make_unique<AdmissionController>(rps);
 }
 
 RegisterProviderResponse Service::RegisterProvider(
@@ -168,6 +229,17 @@ BatchUploadResourcesResponse Service::BatchUploadResources(
       routed.push_back(i);
     }
   }
+  // Admission: the granted prefix proceeds; the rest fail typed without
+  // touching the backend.
+  if (admission_ != nullptr && !uploads.empty()) {
+    size_t granted = static_cast<size_t>(
+        admission_->AdmitUpTo(req.project, uploads.size()));
+    for (size_t j = granted; j < routed.size(); ++j) {
+      resp.outcome.statuses[routed[j]] = AdmissionDenied(req.project);
+    }
+    uploads.resize(granted);
+    routed.resize(granted);
+  }
   std::visit(
       [&](auto* sys) {
         std::vector<tagging::ResourceId> ids;
@@ -189,12 +261,22 @@ BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<BatchControlRequest>);
   BatchControlResponse resp;
   resp.outcome.statuses.reserve(req.items.size());
+  size_t granted = req.items.size();
+  if (admission_ != nullptr) {
+    granted = static_cast<size_t>(
+        admission_->AdmitUpTo(req.project, req.items.size()));
+  }
   // Deliberately per-item on the sharded backend (one route + snapshot
   // refresh per verb): control batches are a console session's worth of
   // lifecycle verbs, not a bulk-ingest path like BatchUploadResources.
   std::visit(
       [&](auto* sys) {
-        for (const ControlItem& item : req.items) {
+        for (size_t i = 0; i < req.items.size(); ++i) {
+          if (i >= granted) {
+            Record(&resp.outcome, AdmissionDenied(req.project));
+            continue;
+          }
+          const ControlItem& item = req.items[i];
           Status s;
           switch (item.action) {
             case ControlAction::kStart:
@@ -234,6 +316,10 @@ BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
 ProjectQueryResponse Service::ProjectQuery(const ProjectQueryRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<ProjectQueryRequest>);
   ProjectQueryResponse resp;
+  if (admission_ != nullptr && !admission_->AdmitExactly(req.project, 1)) {
+    resp.status = AdmissionDenied(req.project);
+    return resp;
+  }
   std::visit(
       [&](auto* sys) {
         Result<core::ProjectInfo> info = sys->GetProjectInfo(req.project);
@@ -259,6 +345,13 @@ BatchAcceptTasksResponse Service::BatchAcceptTasks(
   BatchAcceptTasksResponse resp;
   if (req.count == 0) {
     resp.status = Status::InvalidArgument("count must be positive");
+    return resp;
+  }
+  // All-or-nothing: a partially admitted accept would hand out fewer tasks
+  // than granted tokens paid for on retry, so charge the full count.
+  if (admission_ != nullptr &&
+      !admission_->AdmitExactly(req.project, req.count)) {
+    resp.status = AdmissionDenied(req.project);
     return resp;
   }
   std::visit(

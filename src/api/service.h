@@ -1,14 +1,52 @@
 #ifndef ITAG_API_SERVICE_H_
 #define ITAG_API_SERVICE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <variant>
 
 #include "api/requests.h"
 #include "itag/itag_system.h"
 #include "itag/sharded_system.h"
+#include "obs/metrics.h"
 
 namespace itag::api {
+
+/// Per-project token buckets for request admission. Each project may spend
+/// `rps` request units per steady-clock second (bucket capacity == refill
+/// rate, so a cold project can burst one second's worth). Denied units bump
+/// `api.admission.rejected`. Thread-safe; one mutex — admission is two
+/// arithmetic ops per request, far off any contention cliff.
+class AdmissionController {
+ public:
+  explicit AdmissionController(uint64_t rps);
+
+  /// Consumes up to `want` units, returning how many were granted — the
+  /// prefix contract for per-item batch endpoints (items beyond the grant
+  /// get ResourceExhausted without reaching the backend).
+  uint64_t AdmitUpTo(uint64_t project, uint64_t want);
+
+  /// All-or-nothing variant for whole-call endpoints: consumes `want` units
+  /// iff all are available.
+  bool AdmitExactly(uint64_t project, uint64_t want);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last;
+  };
+
+  Bucket& BucketFor(uint64_t project);  // mu_ held
+  void RefillLocked(Bucket* bucket);    // mu_ held
+
+  const double rps_;
+  obs::Counter* rejected_;  ///< api.admission.rejected
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+};
 
 /// The batch-first service surface: every call takes a typed request,
 /// validates it, routes it to the backend, and returns a typed response
@@ -49,6 +87,17 @@ class Service {
   /// Initializes an owned backend; no-op (OK) when wrapping, so callers can
   /// Init() unconditionally.
   Status Init();
+
+  /// Enables per-project admission control: each project may spend at most
+  /// `rps` request units per second (0 disables — the default). Charged
+  /// endpoints: BatchAcceptTasks (`count` units, all-or-nothing),
+  /// BatchUploadResources and BatchControl (one unit per item; items past
+  /// the grant fail with per-item ResourceExhausted), ProjectQuery (one
+  /// unit). BatchSubmitTags and BatchDecide are exempt by design: they are
+  /// handle-keyed — the work was admitted when the task was accepted, and
+  /// throttling them would strand accepted tasks. Call before serving
+  /// traffic; not synchronized against in-flight requests.
+  void SetAdmissionLimit(uint64_t rps);
 
   /// The request/response schema version this binary serves.
   static constexpr uint32_t version() { return kApiVersion; }
@@ -130,6 +179,7 @@ class Service {
   std::unique_ptr<core::ITagSystem> owned_;
   std::unique_ptr<core::ShardedSystem> owned_sharded_;
   std::variant<core::ITagSystem*, core::ShardedSystem*> backend_;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace itag::api

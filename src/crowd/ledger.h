@@ -38,6 +38,27 @@ class PaymentLedger {
   using PaySink = std::function<void(ProjectRef, WorkerId, uint32_t)>;
   void set_pay_sink(PaySink sink) { sink_ = std::move(sink); }
 
+  /// Migration entry points: move a project's spend account between
+  /// ledgers wholesale (shard rebalancing). DropProjectSpend removes the
+  /// account and returns its balance; AdoptProjectSpend installs it on the
+  /// receiving ledger. Both keep total_ consistent so TotalPaid() summed
+  /// across shards is invariant under migration; count_ stays put (payment
+  /// *events* are history owned by the shard where they happened). Neither
+  /// fires the sink — the caller persists the transfer itself.
+  uint64_t DropProjectSpend(ProjectRef project) {
+    auto it = project_spend_.find(project);
+    if (it == project_spend_.end()) return 0;
+    uint64_t cents = it->second;
+    project_spend_.erase(it);
+    total_ -= cents;
+    return cents;
+  }
+  void AdoptProjectSpend(ProjectRef project, uint64_t cents) {
+    if (cents == 0) return;
+    project_spend_[project] += cents;
+    total_ += cents;
+  }
+
   /// Recovery entry points: reinstate balances read back from storage.
   /// Bypass the sink (the rows being restored already exist).
   void RestoreProjectSpend(ProjectRef project, uint64_t cents) {

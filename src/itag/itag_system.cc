@@ -707,6 +707,152 @@ Result<size_t> ITagSystem::ExportProject(ProjectId project,
   return tag_manager_->ExportCsv(*corpus, path);
 }
 
+// ---------------------------------------------------------- shard migration
+
+Result<ITagSystem::ProjectBundle> ITagSystem::ExtractProject(
+    ProjectId project) const {
+  const QualityManager::ProjectRec* rec = quality_->GetRec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  // Platform traffic references this shard's simulator (task ids, worker
+  // state) and cannot be carried across; the rebalancer retries once the
+  // in-flight window drains. Audience workflow entries are plain data and
+  // travel with the bundle.
+  for (const auto* in_flight : {&in_flight_mturk_, &in_flight_social_}) {
+    for (const auto& [task, flight] : *in_flight) {
+      (void)task;
+      if (flight.project == project) {
+        return Status::FailedPrecondition(
+            "project " + std::to_string(project) +
+            " has in-flight platform tasks");
+      }
+    }
+  }
+  for (const auto& [handle, sub] : pending_) {
+    (void)handle;
+    if (sub.project == project && sub.platform_task != 0) {
+      return Status::FailedPrecondition(
+          "project " + std::to_string(project) +
+          " has undecided platform submissions");
+    }
+  }
+
+  ProjectBundle bundle;
+  bundle.provider = rec->provider;
+  ITAG_ASSIGN_OR_RETURN(bundle.project_row,
+                        quality_->EncodeProjectRow(project));
+  bundle.feed = quality_->QualityFeed(project);
+  ITAG_ASSIGN_OR_RETURN(bundle.corpus, resources_->ExtractCorpus(project));
+  for (const auto& [handle, task] : accepted_) {
+    if (task.project != project) continue;
+    auto by = accepted_by_.find(handle);
+    bundle.accepted.push_back(
+        {handle, task.resource, task.uri, task.pay_cents,
+         by == accepted_by_.end() ? static_cast<UserTaggerId>(-1)
+                                  : by->second});
+  }
+  for (const auto& [handle, sub] : pending_) {
+    if (sub.project != project) continue;
+    bundle.pending.push_back(
+        {handle, sub.resource, sub.tagger, sub.conscientious_hint, sub.tags});
+  }
+  bundle.ledger_spend_cents = ledger_.ProjectSpend(project);
+  return bundle;
+}
+
+Result<ProjectId> ITagSystem::AdoptProject(
+    const ProjectBundle& bundle,
+    std::vector<std::pair<TaskHandle, TaskHandle>>* handle_map) {
+  BatchScope batch(&db_);
+  ProjectId id = quality_->next_project_id();
+  ITAG_RETURN_IF_ERROR(resources_->AdoptCorpus(id, bundle.corpus));
+  ITAG_RETURN_IF_ERROR(
+      quality_->AdoptProject(id, bundle.project_row, bundle.feed));
+  // Workflow entries are renumbered onto this shard's handle counter (the
+  // source handles may already be taken here); the caller records the
+  // mapping so client-held handles keep resolving.
+  for (const ProjectBundle::BundledAccepted& a : bundle.accepted) {
+    AcceptedTask task;
+    task.handle = next_handle_++;
+    task.project = id;
+    task.resource = a.resource;
+    task.uri = a.uri;
+    task.pay_cents = a.pay_cents;
+    accepted_.emplace(task.handle, task);
+    accepted_by_.emplace(task.handle, a.tagger);
+    PersistAccepted(task, a.tagger);
+    handle_map->emplace_back(a.handle, task.handle);
+  }
+  for (const ProjectBundle::BundledPending& p : bundle.pending) {
+    PendingSubmission sub;
+    sub.handle = next_handle_++;
+    sub.project = id;
+    sub.resource = p.resource;
+    sub.tagger = p.tagger;
+    sub.conscientious_hint = p.conscientious;
+    sub.tags = p.tags;
+    PersistPending(sub);
+    handle_map->emplace_back(p.handle, sub.handle);
+    pending_.emplace(sub.handle, std::move(sub));
+  }
+  ledger_.AdoptProjectSpend(id, bundle.ledger_spend_cents);
+  if (persist() && bundle.ledger_spend_cents > 0) {
+    Row prow = {Value::Int(static_cast<int64_t>(id)),
+                Value::Int(static_cast<int64_t>(ledger_.ProjectSpend(id)))};
+    Result<storage::RowId> rid = db_.Insert(tables::kLedgerProjects, prow);
+    if (rid.ok()) ledger_project_rows_[id] = rid.value();
+    ByteWriter totals;
+    totals.U64(ledger_.TotalPaid());
+    totals.U64(ledger_.PaymentCount());
+    PersistSys(kSysLedger, totals.Take());
+  }
+  PersistCore();
+  return id;
+}
+
+Status ITagSystem::EraseProject(ProjectId project) {
+  if (quality_->GetRec(project) == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  BatchScope batch(&db_);
+  for (auto it = accepted_.begin(); it != accepted_.end();) {
+    if (it->second.project != project) {
+      ++it;
+      continue;
+    }
+    TaskHandle handle = it->first;
+    it = accepted_.erase(it);
+    accepted_by_.erase(handle);
+    DeleteAccepted(handle);
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.project != project) {
+      ++it;
+      continue;
+    }
+    TaskHandle handle = it->first;
+    it = pending_.erase(it);
+    DeletePending(handle);
+  }
+  uint64_t spend = ledger_.DropProjectSpend(project);
+  if (persist()) {
+    auto rit = ledger_project_rows_.find(project);
+    if (rit != ledger_project_rows_.end()) {
+      (void)db_.Delete(tables::kLedgerProjects, rit->second);
+      ledger_project_rows_.erase(rit);
+    }
+    if (spend > 0) {
+      ByteWriter totals;
+      totals.U64(ledger_.TotalPaid());
+      totals.U64(ledger_.PaymentCount());
+      PersistSys(kSysLedger, totals.Take());
+    }
+  }
+  ITAG_RETURN_IF_ERROR(quality_->DropProject(project));
+  return resources_->DropCorpus(project);
+}
+
 // -------------------------------------------------------------- tagger API
 
 std::vector<ProjectInfo> ITagSystem::ListOpenProjects() const {

@@ -281,6 +281,58 @@ class ITagSystem {
   /// The platform used by a project (nullptr for audience projects).
   crowd::CrowdPlatform* PlatformFor(ProjectId project);
 
+  // -------------------------------------------------------- shard migration
+  /// Everything one project owns, lifted out of a shard: the project row
+  /// (spec, state, serialized engine), the quality feed, the corpus, the
+  /// open workflow entries (accepted tasks and audience pending
+  /// submissions), and the ledger spend balance. Self-contained — no
+  /// storage or pointer state — so ShardedSystem can extract on one shard
+  /// and adopt on another under a different local id.
+  struct ProjectBundle {
+    ProviderId provider = 0;
+    storage::Row project_row;
+    std::vector<QualityPoint> feed;
+    ResourceManager::CorpusTransfer corpus;
+    struct BundledAccepted {
+      TaskHandle handle = 0;  ///< source-shard handle (remapped on adopt)
+      tagging::ResourceId resource = 0;
+      std::string uri;
+      uint32_t pay_cents = 0;
+      UserTaggerId tagger = 0;
+    };
+    std::vector<BundledAccepted> accepted;
+    struct BundledPending {
+      TaskHandle handle = 0;  ///< source-shard handle (remapped on adopt)
+      tagging::ResourceId resource = 0;
+      UserTaggerId tagger = 0;
+      bool conscientious = true;
+      std::vector<std::string> tags;
+    };
+    std::vector<BundledPending> pending;
+    uint64_t ledger_spend_cents = 0;
+  };
+
+  /// Serializes project `project` (shard-local id) for migration.
+  /// FailedPrecondition while the project has platform traffic in flight
+  /// (posted platform tasks or platform-worker submissions awaiting
+  /// decision) — those reference this shard's simulator state and cannot
+  /// move; audience projects are always migratable.
+  Result<ProjectBundle> ExtractProject(ProjectId project) const;
+
+  /// Installs a bundle under the next free local project id (returned).
+  /// Workflow entries are renumbered onto this shard's handle counter;
+  /// `handle_map` (required) receives the (source handle, new handle)
+  /// pairs so the caller can forward client-held handles.
+  Result<ProjectId> AdoptProject(
+      const ProjectBundle& bundle,
+      std::vector<std::pair<TaskHandle, TaskHandle>>* handle_map);
+
+  /// Removes a migrated-away project: record, corpus, workflow entries,
+  /// ledger spend, and all their persisted rows. The handle counter and
+  /// tasks_accepted_total() stay — they are shard history, not project
+  /// state.
+  Status EraseProject(ProjectId project);
+
  private:
   struct InFlight {
     ProjectId project = 0;

@@ -55,6 +55,25 @@ bool DecodeEngine(const std::string& blob, EngineState* s,
   return true;
 }
 
+/// The kProjects row for one record — the single row shape PersistProject,
+/// EncodeProjectRow and AdoptProject all share.
+Row BuildProjectRow(ProjectId project, const QualityManager::ProjectRec& rec) {
+  return {Value::Int(static_cast<int64_t>(project)),
+          Value::Int(static_cast<int64_t>(rec.provider)),
+          Value::Str(rec.spec.name),
+          Value::Int(static_cast<int64_t>(rec.spec.kind)),
+          Value::Str(rec.spec.description),
+          Value::Int(rec.spec.budget),
+          Value::Int(rec.spec.pay_cents),
+          Value::Int(static_cast<int64_t>(rec.spec.platform)),
+          Value::Int(static_cast<int64_t>(rec.spec.strategy)),
+          Value::Int(static_cast<int64_t>(rec.state)),
+          Value::Int(rec.tasks_completed),
+          Value::Bool(rec.exhausted_notified),
+          Value::Bool(rec.engine != nullptr),
+          Value::Str(EncodeEngine(rec))};
+}
+
 }  // namespace
 
 QualityManager::QualityManager(ResourceManager* resources, TagManager* tags,
@@ -150,24 +169,22 @@ Status QualityManager::Attach() {
   return Status::OK();
 }
 
-Status QualityManager::RestoreProject(ProjectId project, const Row& row,
-                                      storage::RowId rid) {
-  ITAG_RETURN_IF_ERROR(resources_->RestoreCorpus(project));
-  ProjectRec rec;
-  rec.provider = static_cast<ProviderId>(row[1].as_int());
-  rec.spec.name = row[2].as_string();
-  rec.spec.kind = static_cast<tagging::ResourceKind>(row[3].as_int());
-  rec.spec.description = row[4].as_string();
-  rec.spec.budget = static_cast<uint32_t>(row[5].as_int());
-  rec.spec.pay_cents = static_cast<uint32_t>(row[6].as_int());
-  rec.spec.platform = static_cast<PlatformChoice>(row[7].as_int());
-  rec.spec.strategy = static_cast<strategy::StrategyKind>(row[8].as_int());
-  rec.state = static_cast<ProjectState>(row[9].as_int());
-  rec.tasks_completed = static_cast<uint32_t>(row[10].as_int());
-  rec.exhausted_notified = row[11].as_bool();
+Status QualityManager::DecodeProjectRow(ProjectId project, const Row& row,
+                                        ProjectRec* rec) {
+  rec->provider = static_cast<ProviderId>(row[1].as_int());
+  rec->spec.name = row[2].as_string();
+  rec->spec.kind = static_cast<tagging::ResourceKind>(row[3].as_int());
+  rec->spec.description = row[4].as_string();
+  rec->spec.budget = static_cast<uint32_t>(row[5].as_int());
+  rec->spec.pay_cents = static_cast<uint32_t>(row[6].as_int());
+  rec->spec.platform = static_cast<PlatformChoice>(row[7].as_int());
+  rec->spec.strategy = static_cast<strategy::StrategyKind>(row[8].as_int());
+  rec->state = static_cast<ProjectState>(row[9].as_int());
+  rec->tasks_completed = static_cast<uint32_t>(row[10].as_int());
+  rec->exhausted_notified = row[11].as_bool();
   if (row[12].as_bool()) {
     EngineState state;
-    if (!DecodeEngine(row[13].as_string(), &state, &rec.stopped)) {
+    if (!DecodeEngine(row[13].as_string(), &state, &rec->stopped)) {
       return Status::Corruption("malformed engine state for project " +
                                 std::to_string(project));
     }
@@ -176,10 +193,18 @@ Status QualityManager::RestoreProject(ProjectId project, const Row& row,
     EngineOptions opts;
     opts.budget = state.budget_remaining;
     opts.seed = EngineSeed(project);
-    rec.engine = std::make_unique<AllocationEngine>(
-        corpus, strategy::MakeStrategy(rec.spec.strategy), opts);
-    rec.engine->RestoreState(state);
+    rec->engine = std::make_unique<AllocationEngine>(
+        corpus, strategy::MakeStrategy(rec->spec.strategy), opts);
+    rec->engine->RestoreState(state);
   }
+  return Status::OK();
+}
+
+Status QualityManager::RestoreProject(ProjectId project, const Row& row,
+                                      storage::RowId rid) {
+  ITAG_RETURN_IF_ERROR(resources_->RestoreCorpus(project));
+  ProjectRec rec;
+  ITAG_RETURN_IF_ERROR(DecodeProjectRow(project, row, &rec));
   projects_.emplace(project, std::move(rec));
   project_rows_[project] = rid;
   next_project_ = std::max(next_project_, project + 1);
@@ -189,20 +214,7 @@ Status QualityManager::RestoreProject(ProjectId project, const Row& row,
 void QualityManager::PersistProject(ProjectId project,
                                     const ProjectRec& rec) {
   if (!persist()) return;
-  Row row = {Value::Int(static_cast<int64_t>(project)),
-             Value::Int(static_cast<int64_t>(rec.provider)),
-             Value::Str(rec.spec.name),
-             Value::Int(static_cast<int64_t>(rec.spec.kind)),
-             Value::Str(rec.spec.description),
-             Value::Int(rec.spec.budget),
-             Value::Int(rec.spec.pay_cents),
-             Value::Int(static_cast<int64_t>(rec.spec.platform)),
-             Value::Int(static_cast<int64_t>(rec.spec.strategy)),
-             Value::Int(static_cast<int64_t>(rec.state)),
-             Value::Int(rec.tasks_completed),
-             Value::Bool(rec.exhausted_notified),
-             Value::Bool(rec.engine != nullptr),
-             Value::Str(EncodeEngine(rec))};
+  Row row = BuildProjectRow(project, rec);
   auto it = project_rows_.find(project);
   if (it == project_rows_.end()) {
     Result<storage::RowId> rid = db_->Insert(tables::kProjects, row);
@@ -210,6 +222,69 @@ void QualityManager::PersistProject(ProjectId project,
   } else {
     (void)db_->Update(tables::kProjects, it->second, row);
   }
+}
+
+Result<Row> QualityManager::EncodeProjectRow(ProjectId project) const {
+  const ProjectRec* rec = GetRec(project);
+  if (rec == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  return BuildProjectRow(project, *rec);
+}
+
+Status QualityManager::AdoptProject(ProjectId project, const Row& row,
+                                    std::vector<QualityPoint> feed) {
+  if (projects_.count(project)) {
+    return Status::AlreadyExists("project " + std::to_string(project));
+  }
+  if (resources_->GetCorpus(project) == nullptr) {
+    return Status::FailedPrecondition("corpus for project " +
+                                      std::to_string(project) +
+                                      " not adopted yet");
+  }
+  ProjectRec rec;
+  ITAG_RETURN_IF_ERROR(DecodeProjectRow(project, row, &rec));
+  rec.feed = std::move(feed);
+  auto [it, inserted] = projects_.emplace(project, std::move(rec));
+  (void)inserted;
+  next_project_ = std::max(next_project_, project + 1);
+  if (persist()) {
+    // Re-key the row under the destination-local id; the engine blob is
+    // regenerated from the restored engine, so the write-through matches
+    // what PersistProject would produce after the same history.
+    Result<storage::RowId> rid =
+        db_->Insert(tables::kProjects, BuildProjectRow(project, it->second));
+    if (rid.ok()) project_rows_[project] = rid.value();
+    for (const QualityPoint& p : it->second.feed) {
+      (void)db_->Insert(tables::kQualityFeed,
+                        {Value::Int(static_cast<int64_t>(project)),
+                         Value::Int(p.tasks), Value::Real(p.quality),
+                         Value::Int(p.time)});
+    }
+  }
+  return Status::OK();
+}
+
+Status QualityManager::DropProject(ProjectId project) {
+  auto it = projects_.find(project);
+  if (it == projects_.end()) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  projects_.erase(it);
+  if (persist()) {
+    auto rid = project_rows_.find(project);
+    if (rid != project_rows_.end()) {
+      (void)db_->Delete(tables::kProjects, rid->second);
+      project_rows_.erase(rid);
+    }
+    if (storage::Table* feed = db_->GetTable(tables::kQualityFeed)) {
+      Value key = Value::Int(static_cast<int64_t>(project));
+      for (storage::RowId r : feed->LookupEqual("project", key)) {
+        (void)db_->Delete(tables::kQualityFeed, r);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void QualityManager::PushNotification(ProviderId provider, Notification n) {

@@ -151,6 +151,31 @@ class QualityManager {
   /// The provider's notification inbox.
   NotificationQueue& Notifications(ProviderId provider);
 
+  /// The id the next CreateProject (or AdoptProject at the migration
+  /// destination) will use. Shard migration reads this to pre-claim the
+  /// destination slot before the copy lands.
+  ProjectId next_project_id() const { return next_project_; }
+
+  /// Serializes a project record into its storage-row form — the same row
+  /// PersistProject writes, but produced regardless of persistence mode.
+  /// Shard migration carries this row (plus the corpus transfer and the
+  /// quality feed) to the destination shard.
+  Result<storage::Row> EncodeProjectRow(ProjectId project) const;
+
+  /// Installs a transferred project under `project` (which must be free,
+  /// with its corpus already adopted): decodes the row, rebuilds the
+  /// engine at the saved RNG position (running projects continue
+  /// bit-exactly), installs the feed, and writes the project + feed rows
+  /// through on durable databases.
+  Status AdoptProject(ProjectId project, const storage::Row& row,
+                      std::vector<QualityPoint> feed);
+
+  /// Removes a project record and its persisted project/feed rows (the
+  /// migration source's cleanup half). The corpus is dropped separately
+  /// via ResourceManager::DropCorpus; notifications stay with the
+  /// provider's inbox (they are history, not project state).
+  Status DropProject(ProjectId project);
+
   /// Internal per-project record (exposed read-only for the facade).
   struct ProjectRec {
     ProviderId provider = 0;
@@ -181,6 +206,10 @@ class QualityManager {
   /// Restores one persisted project row into projects_.
   Status RestoreProject(ProjectId project, const storage::Row& row,
                         storage::RowId rid);
+  /// Decodes a project row into `rec` (engine rebuilt from the project's
+  /// corpus, which must already exist). Shared by recovery and adoption.
+  Status DecodeProjectRow(ProjectId project, const storage::Row& row,
+                          ProjectRec* rec);
 
   ResourceManager* resources_;
   TagManager* tags_;

@@ -205,4 +205,118 @@ size_t ResourceManager::ResourceCount(ProjectId project) const {
   return corpus == nullptr ? 0 : corpus->size();
 }
 
+Result<ResourceManager::CorpusTransfer> ResourceManager::ExtractCorpus(
+    ProjectId project) const {
+  const tagging::Corpus* corpus = GetCorpus(project);
+  if (corpus == nullptr) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  CorpusTransfer out;
+  // Dictionary in id order. Taking it wholesale (not just tags reachable
+  // from posts) preserves intern order for tags that were uploaded but
+  // never landed in an approved post — AdoptCorpus must reassign the same
+  // ids or the engine's assignment vectors would shift meaning.
+  out.dict.reserve(corpus->dict().size());
+  for (tagging::TagId t = 0; t < corpus->dict().size(); ++t) {
+    out.dict.push_back(corpus->dict().Text(t));
+  }
+  out.resources.reserve(corpus->size());
+  for (tagging::ResourceId r = 0; r < corpus->size(); ++r) {
+    const tagging::Resource& res = corpus->resource(r);
+    out.resources.push_back({res.kind, res.uri, res.description});
+    for (const tagging::Post& post : corpus->posts(r)) {
+      CorpusTransfer::PostRec rec;
+      rec.resource = r;
+      rec.tagger = post.tagger;
+      rec.time = post.time;
+      rec.tags.reserve(post.tags.size());
+      for (tagging::TagId t : post.tags) {
+        rec.tags.push_back(corpus->dict().Text(t));
+      }
+      out.posts.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+Status ResourceManager::AdoptCorpus(ProjectId project,
+                                    const CorpusTransfer& transfer) {
+  if (corpora_.count(project)) {
+    return Status::AlreadyExists("corpus for project " +
+                                 std::to_string(project));
+  }
+  auto corpus = std::make_unique<tagging::Corpus>();
+  // Arm write-through *before* interning so the destination's dict table
+  // records every tag in order, exactly as if it had been interned live.
+  ArmDictHook(project, corpus.get());
+  for (size_t i = 0; i < transfer.dict.size(); ++i) {
+    tagging::TagId got = corpus->dict().Intern(transfer.dict[i]);
+    if (got != static_cast<tagging::TagId>(i)) {
+      return Status::Corruption("adopted dict diverged for project " +
+                                std::to_string(project) + ": tag '" +
+                                transfer.dict[i] + "' got id " +
+                                std::to_string(got) + ", expected " +
+                                std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < transfer.resources.size(); ++i) {
+    const CorpusTransfer::Res& res = transfer.resources[i];
+    tagging::ResourceId id =
+        corpus->AddResource(res.kind, res.uri, res.description);
+    Row row = {Value::Int(static_cast<int64_t>(project)),
+               Value::Int(static_cast<int64_t>(id)),
+               Value::Str(tagging::ResourceKindName(res.kind)),
+               Value::Str(res.uri), Value::Str(res.description)};
+    ITAG_ASSIGN_OR_RETURN(storage::RowId rid,
+                          db_->Insert(tables::kResources, row));
+    (void)rid;
+  }
+  for (const CorpusTransfer::PostRec& rec : transfer.posts) {
+    tagging::Post post;
+    post.tagger = rec.tagger;
+    post.time = rec.time;
+    for (const std::string& text : rec.tags) {
+      post.tags.push_back(corpus->dict().Intern(text));
+    }
+    ByteWriter tags;
+    tags.StrVec(rec.tags);
+    Row row = {Value::Int(static_cast<int64_t>(project)),
+               Value::Int(static_cast<int64_t>(rec.resource)),
+               Value::Int(static_cast<int64_t>(rec.tagger)),
+               Value::Int(rec.time), Value::Str(tags.Take())};
+    ITAG_RETURN_IF_ERROR(corpus->AddPost(rec.resource, std::move(post)));
+    ITAG_ASSIGN_OR_RETURN(storage::RowId rid,
+                          db_->Insert(tables::kPosts, row));
+    (void)rid;
+  }
+  corpora_.emplace(project, std::move(corpus));
+  return Status::OK();
+}
+
+Status ResourceManager::DropCorpus(ProjectId project) {
+  auto it = corpora_.find(project);
+  if (it == corpora_.end()) {
+    return Status::NotFound("project " + std::to_string(project));
+  }
+  corpora_.erase(it);
+  Value key = Value::Int(static_cast<int64_t>(project));
+  // Delete persisted rows in reverse-dependency order. LookupEqual returns
+  // a snapshot of row ids, so deleting while iterating is safe.
+  for (const char* table : {tables::kPosts, tables::kResources}) {
+    if (storage::Table* t = db_->GetTable(table)) {
+      for (storage::RowId rid : t->LookupEqual("project", key)) {
+        ITAG_RETURN_IF_ERROR(db_->Delete(table, rid));
+      }
+    }
+  }
+  if (db_->durable()) {
+    if (storage::Table* dict = db_->GetTable(tables::kDict)) {
+      for (storage::RowId rid : dict->LookupEqual("project", key)) {
+        ITAG_RETURN_IF_ERROR(db_->Delete(tables::kDict, rid));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace itag::core

@@ -58,6 +58,46 @@ class ResourceManager {
   /// Number of resources in a project (0 for unknown projects).
   size_t ResourceCount(ProjectId project) const;
 
+  /// Self-contained, storage-free image of one project's corpus: dictionary
+  /// in intern order, resources in upload order, posts with tag *texts*
+  /// (ids are corpus-local and do not survive the move). Shard migration
+  /// extracts this on the source shard and adopts it on the destination
+  /// under a different project id; replaying it rebuilds a bit-equal corpus
+  /// for the same reason RestoreCorpus does — TagStats is a pure fold over
+  /// the per-resource post sequence.
+  struct CorpusTransfer {
+    std::vector<std::string> dict;  ///< tag texts, id order (0, 1, ...)
+    struct Res {
+      tagging::ResourceKind kind;
+      std::string uri;
+      std::string description;
+    };
+    std::vector<Res> resources;
+    struct PostRec {
+      tagging::ResourceId resource;
+      tagging::TaggerId tagger;
+      int64_t time;
+      std::vector<std::string> tags;
+    };
+    std::vector<PostRec> posts;  ///< grouped by resource, in-order within
+  };
+
+  /// Serializes a project's corpus from memory (works on durable and
+  /// in-memory databases alike).
+  Result<CorpusTransfer> ExtractCorpus(ProjectId project) const;
+
+  /// Installs a transferred corpus under `project` (which must be free):
+  /// re-interns the dictionary in order, re-adds resources and posts, and
+  /// writes the resource/post rows through to this database. The dict rows
+  /// are written by the write-through hook (durable databases only, same as
+  /// CreateProjectCorpus).
+  Status AdoptCorpus(ProjectId project, const CorpusTransfer& transfer);
+
+  /// Removes a project's corpus and its resource/post rows (the migration
+  /// source's cleanup half; dict rows are deleted too on durable
+  /// databases).
+  Status DropCorpus(ProjectId project);
+
  private:
   /// Arms the corpus dictionary's new-tag hook to write-through into the
   /// dict table (durable databases only).

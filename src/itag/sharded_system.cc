@@ -1,10 +1,12 @@
 #include "itag/sharded_system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <set>
 
 #include "obs/trace.h"
+#include "storage/schema.h"
 
 namespace itag::core {
 
@@ -19,6 +21,12 @@ size_t DefaultPoolThreads(size_t num_shards) {
   if (hw == 0) hw = 1;
   return std::max<size_t>(1, std::min(num_shards, hw));
 }
+
+// Placement-database tables (see docs/rebalancing.md for the formats).
+constexpr char kPlacementTable[] = "placement";  // project → (shard, local)
+constexpr char kSlotsTable[] = "slots";          // slot codec-key → owner
+constexpr char kHandlesTable[] = "handles";      // old handle → current
+constexpr char kIntentTable[] = "intent";        // in-progress migrations
 
 }  // namespace
 
@@ -50,14 +58,29 @@ ShardedSystem::ShardedSystem(ShardedSystemOptions options)
   metrics_.route_items = reg.GetCounter("core.route.items");
   metrics_.route_fanouts = reg.GetCounter("core.route.fanouts");
   metrics_.route_bad_handle = reg.GetCounter("core.route.bad_handle");
+  metrics_.rebalance_migrations = reg.GetCounter("core.rebalance.migrations");
+  metrics_.rebalance_moved_ops = reg.GetCounter("core.rebalance.moved_ops");
+  metrics_.rebalance_stall_us = reg.GetCounter("core.rebalance.stall_us");
+  metrics_.placement_version = reg.GetGauge("core.placement.version");
+  placement_ = PlacementMap(options_.num_shards);
+  last_shard_ops_.assign(options_.num_shards, 0);
 }
 
-ShardedSystem::~ShardedSystem() = default;
+ShardedSystem::~ShardedSystem() {
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    rebalance_stop_ = true;
+  }
+  rebalance_cv_.notify_all();
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
+}
 
 Status ShardedSystem::Init() {
   if (initialized_) return Status::FailedPrecondition("already initialized");
-  // Durable shards recover independently (own directory, own WAL), so the
-  // whole reopen parallelizes across the pool.
+  // Phase 1 — durable shards recover independently (own directory, own
+  // WAL), so the whole reopen parallelizes across the pool. Counters and
+  // snapshots wait: globalizing a migrated project needs the placement map,
+  // which loads after the shards.
   std::vector<Status> results(shards_.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards_.size());
@@ -66,12 +89,6 @@ Status ShardedSystem::Init() {
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       results[s] = shard.system->Init();
-      if (!results[s].ok()) return;
-      // Re-derive the per-shard counters from recovered state and publish
-      // fresh snapshots so the lock-free monitoring path works immediately.
-      shard.projects_created = shard.system->quality_manager().ProjectCount();
-      shard.tasks_accepted = shard.system->tasks_accepted_total();
-      RefreshShard(s);
     });
   }
   pool_->RunAll(std::move(tasks));
@@ -82,15 +99,51 @@ Status ShardedSystem::Init() {
                                            results[s].message());
     }
   }
+  // Phase 2 — the placement overlay, then any migration the last process
+  // did not finish. Intents must resolve before counters are derived:
+  // resolving one can delete a half-copied project.
+  ITAG_RETURN_IF_ERROR(OpenPlacement());
+  ITAG_RETURN_IF_ERROR(ResolveIntents());
+  // Phase 3 — re-derive the per-shard counters from recovered state and
+  // publish fresh snapshots so the lock-free monitoring path works
+  // immediately.
+  std::vector<std::function<void()>> refresh;
+  refresh.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    refresh.push_back([this, s] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.projects_created = shard.system->quality_manager().ProjectCount();
+      shard.tasks_accepted = shard.system->tasks_accepted_total();
+      RefreshShard(s);
+    });
+  }
+  pool_->RunAll(std::move(refresh));
   // Cross-shard counters: the round-robin cursor equals the number of
-  // successful creates; all shard clocks advance in lockstep.
+  // successful creates (a migration moves one projects_created from source
+  // to destination, leaving the sum unchanged); all shard clocks advance in
+  // lockstep.
   uint64_t projects = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     projects += shard->projects_created;
   }
   next_project_shard_.store(projects, std::memory_order_release);
   now_.store(shards_[0]->system->clock().Now(), std::memory_order_release);
+  // Debug surface: one placement gauge per live project.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const ProjectInfo& info :
+         shard.system->ListProjects(static_cast<ProviderId>(-1))) {
+      SetPlacementGauge(GlobalProjectOf(s, info.id), s);
+    }
+  }
+  metrics_.placement_version->Set(
+      static_cast<int64_t>(placement_version_.load(std::memory_order_acquire)));
   initialized_ = true;
+  if (options_.rebalance_interval_ms > 0) {
+    rebalance_thread_ = std::thread([this] { RebalanceLoop(); });
+  }
   return Status::OK();
 }
 
@@ -125,7 +178,146 @@ Result<CheckpointInfo> ShardedSystem::Checkpoint() {
     total.tables += info.tables;
     total.rows += info.rows;
   }
+  if (placement_db_ && placement_db_->durable()) {
+    // migrate_mu_ keeps the snapshot from splitting a migration's batch.
+    std::lock_guard<std::mutex> migration(migrate_mu_);
+    ITAG_RETURN_IF_ERROR(placement_db_->Checkpoint());
+    total.tables += placement_db_->TableNames().size();
+    total.rows += placement_db_->TotalRows();
+  }
   return total;
+}
+
+// ------------------------------------------------------------- placement
+
+Status ShardedSystem::OpenPlacement() {
+  storage::DatabaseOptions popt = options_.shard.db;
+  popt.paged = false;  // four tiny tables; snapshot mode restarts O(map)
+  if (!popt.directory.empty()) popt.directory += "/placement";
+  placement_db_ = std::make_unique<storage::Database>();
+  ITAG_RETURN_IF_ERROR(placement_db_->Open(popt));
+  storage::Database& db = *placement_db_;
+  using storage::SchemaBuilder;
+  if (db.GetTable(kPlacementTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db.CreateTable(kPlacementTable,
+                                        SchemaBuilder()
+                                            .Int("project")
+                                            .Int("shard")
+                                            .Int("local")
+                                            .Int("version")
+                                            .Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db.AddUniqueIndex(kPlacementTable, "project"));
+  if (db.GetTable(kSlotsTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db.CreateTable(
+        kSlotsTable, SchemaBuilder().Int("slot").Int("project").Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db.AddUniqueIndex(kSlotsTable, "slot"));
+  if (db.GetTable(kHandlesTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db.CreateTable(
+        kHandlesTable, SchemaBuilder().Int("old").Int("new").Build()));
+  }
+  ITAG_RETURN_IF_ERROR(db.AddUniqueIndex(kHandlesTable, "old"));
+  if (db.GetTable(kIntentTable) == nullptr) {
+    ITAG_RETURN_IF_ERROR(db.CreateTable(kIntentTable,
+                                        SchemaBuilder()
+                                            .Int("project")
+                                            .Int("from_shard")
+                                            .Int("from_local")
+                                            .Int("to_shard")
+                                            .Int("to_local")
+                                            .Int("state")
+                                            .Build()));
+  }
+  std::unique_lock<std::shared_mutex> pl(placement_mu_);
+  db.GetTable(kPlacementTable)
+      ->Scan([&](storage::RowId rid, const storage::Row& row) {
+        PlacementMap::Location at;
+        at.shard = static_cast<size_t>(row[1].as_int());
+        at.local = static_cast<uint64_t>(row[2].as_int());
+        uint64_t project = static_cast<uint64_t>(row[0].as_int());
+        placement_.RestoreOverride(project, at,
+                                   static_cast<uint64_t>(row[3].as_int()));
+        placement_rows_[project] = rid;
+        return true;
+      });
+  db.GetTable(kSlotsTable)
+      ->Scan([&](storage::RowId, const storage::Row& row) {
+        placement_.RestoreSlot(static_cast<uint64_t>(row[0].as_int()),
+                               static_cast<uint64_t>(row[1].as_int()));
+        return true;
+      });
+  db.GetTable(kHandlesTable)
+      ->Scan([&](storage::RowId rid, const storage::Row& row) {
+        uint64_t old_handle = static_cast<uint64_t>(row[0].as_int());
+        placement_.RestoreHandle(old_handle,
+                                 static_cast<uint64_t>(row[1].as_int()));
+        handle_rows_[old_handle] = rid;
+        return true;
+      });
+  placement_version_.store(placement_.version(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedSystem::ResolveIntents() {
+  struct Intent {
+    storage::RowId rid = 0;
+    uint64_t from_local = 0;
+    uint64_t to_local = 0;
+    size_t from_shard = 0;
+    size_t to_shard = 0;
+    int64_t state = 0;
+  };
+  std::vector<Intent> found;
+  placement_db_->GetTable(kIntentTable)
+      ->Scan([&](storage::RowId rid, const storage::Row& row) {
+        Intent in;
+        in.rid = rid;
+        in.from_shard = static_cast<size_t>(row[1].as_int());
+        in.from_local = static_cast<uint64_t>(row[2].as_int());
+        in.to_shard = static_cast<size_t>(row[3].as_int());
+        in.to_local = static_cast<uint64_t>(row[4].as_int());
+        in.state = row[5].as_int();
+        found.push_back(in);
+        return true;
+      });
+  for (const Intent& in : found) {
+    if (in.state == 0) {
+      // Crash before the commit: routing still points at the source, which
+      // stayed authoritative — purge whatever partial copy reached the
+      // destination.
+      Shard& dst = *shards_[in.to_shard];
+      std::lock_guard<std::mutex> lock(dst.mu);
+      if (dst.system->quality_manager().GetRec(
+              static_cast<ProjectId>(in.to_local)) != nullptr) {
+        ITAG_RETURN_IF_ERROR(
+            dst.system->EraseProject(static_cast<ProjectId>(in.to_local)));
+      }
+    } else {
+      // Crash after the commit: the persisted placement already routes to
+      // the destination — the source copy is the leftover.
+      Shard& src = *shards_[in.from_shard];
+      std::lock_guard<std::mutex> lock(src.mu);
+      if (src.system->quality_manager().GetRec(
+              static_cast<ProjectId>(in.from_local)) != nullptr) {
+        ITAG_RETURN_IF_ERROR(
+            src.system->EraseProject(static_cast<ProjectId>(in.from_local)));
+      }
+    }
+    ITAG_RETURN_IF_ERROR(placement_db_->Delete(kIntentTable, in.rid));
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedSystem::GlobalProjectOf(size_t shard, uint64_t local) const {
+  std::shared_lock<std::shared_mutex> pl(placement_mu_);
+  return placement_.GlobalOf(shard, local);
+}
+
+void ShardedSystem::SetPlacementGauge(uint64_t global, size_t shard) const {
+  obs::MetricsRegistry::Default()
+      .GetGauge("core.placement.project." + std::to_string(global))
+      ->Set(static_cast<int64_t>(shard));
 }
 
 // --------------------------------------------------------------- routing
@@ -136,17 +328,75 @@ auto ShardedSystem::WithProject(ProjectId project, Fn&& fn) const
                    ProjectId{0})) {
   using R = decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
                         ProjectId{0}));
-  ProjectId local = ToLocal(project);
-  if (local == 0) {  // no shard hands out local id 0 — global id is bogus
-    return R(Status::NotFound("project " + std::to_string(project)));
+  if (project == 0) {  // 0 is never issued — reject before resolving
+    return R(Status::NotFound("project 0"));
   }
-  size_t s = ShardOf(project);
-  Shard& shard = *shards_[s];
-  shard.ops->Inc();
-  obs::Span span("core.shard");  // no-op unless this request is traced
-  span.Annotate("shard", static_cast<uint64_t>(s));
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return fn(s, shard.system.get(), local);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    PlacementMap::Location loc;
+    {
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      if (!placement_.Resolve(project, &loc)) {
+        return R(Status::NotFound("project " + std::to_string(project)));
+      }
+    }
+    if (loc.local == 0) {  // no shard hands out local id 0 — global is bogus
+      return R(Status::NotFound("project " + std::to_string(project)));
+    }
+    Shard& shard = *shards_[loc.shard];
+    shard.ops->Inc();
+    obs::Span span("core.shard");  // no-op unless this request is traced
+    span.Annotate("shard", static_cast<uint64_t>(loc.shard));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    {
+      // A migration may have landed between the lookup and the lock;
+      // re-resolve under the lock and re-route if the project moved.
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      PlacementMap::Location now;
+      if (!placement_.Resolve(project, &now) || now.shard != loc.shard ||
+          now.local != loc.local) {
+        continue;
+      }
+    }
+    shard.project_ops[project]++;  // rebalancer attribution (under mu)
+    return fn(loc.shard, shard.system.get(),
+              static_cast<ProjectId>(loc.local));
+  }
+  return R(Status::Aborted("placement moved repeatedly while routing project " +
+                           std::to_string(project)));
+}
+
+template <typename Fn>
+auto ShardedSystem::WithHandle(TaskHandle handle, const char* noun,
+                               Fn&& fn) const
+    -> decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                   TaskHandle{0})) {
+  using R = decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                        TaskHandle{0}));
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    uint64_t cur;
+    {
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      cur = placement_.TranslateHandle(handle);
+    }
+    uint64_t local = ToLocal(cur);
+    if (local == 0) {  // report the handle the caller used, not the alias
+      return R(Status::NotFound(std::string(noun) + " " +
+                                std::to_string(handle)));
+    }
+    size_t s = ShardOf(cur);
+    Shard& shard = *shards_[s];
+    shard.ops->Inc();
+    obs::Span span("core.shard");
+    span.Annotate("shard", static_cast<uint64_t>(s));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    {
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      if (placement_.TranslateHandle(handle) != cur) continue;
+    }
+    return fn(s, shard.system.get(), static_cast<TaskHandle>(local));
+  }
+  return R(Status::Aborted("placement moved repeatedly while routing " +
+                           std::string(noun) + " " + std::to_string(handle)));
 }
 
 template <typename Item, typename HandleOf, typename Relabel,
@@ -155,50 +405,71 @@ std::vector<Status> ShardedSystem::RouteByHandle(
     const std::vector<Item>& items, const char* noun, HandleOf handle_of,
     Relabel relabel, RunShard run_shard) {
   std::vector<Status> out(items.size());
-  struct Group {
-    std::vector<Item> items;    // handles rewritten shard-local
-    std::vector<size_t> slots;  // request positions
-  };
-  std::vector<Group> groups(shards_.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    uint64_t handle = handle_of(items[i]);
-    uint64_t local = ToLocal(handle);
-    if (local == 0) {  // no shard hands out local id 0 — global is bogus
-      out[i] =
-          Status::NotFound(std::string(noun) + " " + std::to_string(handle));
-      metrics_.route_bad_handle->Inc();
-      continue;
-    }
-    Group& g = groups[ShardOf(handle)];
-    g.items.push_back(relabel(items[i], local));
-    g.slots.push_back(i);
-  }
   metrics_.route_items->Inc(items.size());
-  // Fan-out tasks run on pool threads with no trace installed; carry the
-  // caller's context in so each shard's work shows up as a core.shard
-  // child span of the request (see obs/trace.h).
-  const obs::TraceContext trace = obs::CurrentTrace();
-  const uint64_t parent_span = obs::CurrentSpanId();
-  std::vector<std::function<void()>> tasks;
-  for (size_t s = 0; s < groups.size(); ++s) {
-    if (groups[s].items.empty()) continue;
-    shards_[s]->ops->Inc(groups[s].items.size());
-    tasks.push_back([this, s, &groups, &out, &run_shard, trace, parent_span] {
-      obs::ScopedTraceContext trace_scope(trace, parent_span);
-      const Group& g = groups[s];
-      obs::Span span("core.shard");
-      span.Annotate("shard", static_cast<uint64_t>(s));
-      span.Annotate("items", static_cast<uint64_t>(g.items.size()));
-      Shard& shard = *shards_[s];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      run_shard(s, shard.system.get(), g.items, g.slots, &out);
-    });
-  }
-  if (tasks.size() == 1) {
-    tasks.front()();  // single shard involved — skip the pool round-trip
-  } else if (!tasks.empty()) {
-    metrics_.route_fanouts->Inc();
-    pool_->RunAll(std::move(tasks));
+  std::vector<size_t> todo(items.size());
+  for (size_t i = 0; i < items.size(); ++i) todo[i] = i;
+  // The batch races migrations without per-item locking: route against the
+  // placement version captured up front, and when a migration lands while
+  // the fan-out runs, re-route only the NotFound items (NotFound has no
+  // side effects — the handle simply was not there — so a stale route that
+  // missed is safe to retry at the project's new home).
+  for (int round = 0; round < 3 && !todo.empty(); ++round) {
+    const uint64_t v0 = placement_version_.load(std::memory_order_acquire);
+    struct Group {
+      std::vector<Item> items;    // handles rewritten shard-local
+      std::vector<size_t> slots;  // request positions
+    };
+    std::vector<Group> groups(shards_.size());
+    {
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      for (size_t i : todo) {
+        uint64_t handle = handle_of(items[i]);
+        uint64_t cur = placement_.TranslateHandle(handle);
+        uint64_t local = ToLocal(cur);
+        if (local == 0) {  // no shard hands out local id 0 — global is bogus
+          out[i] = Status::NotFound(std::string(noun) + " " +
+                                    std::to_string(handle));
+          if (round == 0) metrics_.route_bad_handle->Inc();
+          continue;
+        }
+        Group& g = groups[ShardOf(cur)];
+        g.items.push_back(relabel(items[i], local));
+        g.slots.push_back(i);
+      }
+    }
+    // Fan-out tasks run on pool threads with no trace installed; carry the
+    // caller's context in so each shard's work shows up as a core.shard
+    // child span of the request (see obs/trace.h).
+    const obs::TraceContext trace = obs::CurrentTrace();
+    const uint64_t parent_span = obs::CurrentSpanId();
+    std::vector<std::function<void()>> tasks;
+    for (size_t s = 0; s < groups.size(); ++s) {
+      if (groups[s].items.empty()) continue;
+      shards_[s]->ops->Inc(groups[s].items.size());
+      tasks.push_back(
+          [this, s, &groups, &out, &run_shard, trace, parent_span] {
+            obs::ScopedTraceContext trace_scope(trace, parent_span);
+            const Group& g = groups[s];
+            obs::Span span("core.shard");
+            span.Annotate("shard", static_cast<uint64_t>(s));
+            span.Annotate("items", static_cast<uint64_t>(g.items.size()));
+            Shard& shard = *shards_[s];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            run_shard(s, shard.system.get(), g.items, g.slots, &out);
+          });
+    }
+    if (tasks.size() == 1) {
+      tasks.front()();  // single shard involved — skip the pool round-trip
+    } else if (!tasks.empty()) {
+      metrics_.route_fanouts->Inc();
+      pool_->RunAll(std::move(tasks));
+    }
+    if (placement_version_.load(std::memory_order_acquire) == v0) break;
+    std::vector<size_t> retry;
+    for (size_t i : todo) {
+      if (out[i].IsNotFound()) retry.push_back(i);
+    }
+    todo = std::move(retry);
   }
   return out;
 }
@@ -207,6 +478,10 @@ void ShardedSystem::RefreshSnapshot(size_t shard_index,
                                     ProjectId local) const {
   Shard& shard = *shards_[shard_index];
   Result<ProjectInfo> info = shard.system->GetProjectInfo(local);
+  // Slot history, not the codec: a migrated project's snapshot must carry
+  // the global id it was created under. Resolved before snap_mu (leaf
+  // order: shard.mu → placement_mu_, snap_mu independent).
+  const uint64_t global = GlobalProjectOf(shard_index, local);
   std::unique_lock<std::shared_mutex> lock(shard.snap_mu);
   if (!info.ok()) {
     shard.snapshots.erase(local);
@@ -214,7 +489,7 @@ void ShardedSystem::RefreshSnapshot(size_t shard_index,
   }
   QualitySnapshot& snap = shard.snapshots[local];
   const ProjectInfo& pi = info.value();
-  snap.project = ToGlobal(local, shard_index);
+  snap.project = global;
   snap.state = pi.state;
   snap.quality = pi.quality;
   snap.projected_gain = pi.projected_gain;
@@ -351,7 +626,11 @@ Result<ProjectId> ShardedSystem::CreateProject(ProviderId provider,
   ++shard.projects_created;
   RefreshSnapshot(s, r.value());
   RefreshStats(s);
-  return ToGlobal(r.value(), s);
+  // Fresh projects own their codec slot — no placement entry needed, only
+  // the debug gauge.
+  uint64_t global = ToGlobal(r.value(), s);
+  SetPlacementGauge(global, s);
+  return global;
 }
 
 Result<ResourceId> ShardedSystem::UploadResource(
@@ -370,20 +649,17 @@ Result<ResourceId> ShardedSystem::UploadResource(
 std::vector<Status> ShardedSystem::UploadResourceBatch(
     ProjectId project, const std::vector<ResourceUpload>& items,
     std::vector<ResourceId>* ids) {
-  ProjectId local = ToLocal(project);
-  if (local == 0) {
-    ids->assign(items.size(), tagging::kInvalidResource);
-    return std::vector<Status>(
-        items.size(),
-        Status::NotFound("project " + std::to_string(project)));
-  }
-  size_t s = ShardOf(project);
-  Shard& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  std::vector<Status> out =
-      shard.system->UploadResourceBatch(local, items, ids);
-  RefreshSnapshot(s, local);
-  return out;
+  Result<std::vector<Status>> r = WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys,
+          ProjectId local) -> Result<std::vector<Status>> {
+        std::vector<Status> out = sys->UploadResourceBatch(local, items, ids);
+        RefreshSnapshot(s, local);
+        return out;
+      });
+  if (r.ok()) return std::move(r).value();
+  ids->assign(items.size(), tagging::kInvalidResource);
+  return std::vector<Status>(items.size(), r.status());
 }
 
 Status ShardedSystem::ImportPost(ProjectId project, ResourceId resource,
@@ -485,11 +761,11 @@ Status ShardedSystem::ResumeResource(ProjectId project,
 Result<ProjectInfo> ShardedSystem::GetProjectInfo(ProjectId project) const {
   return WithProject(
       project,
-      [&](size_t s, ITagSystem* sys, ProjectId local) -> Result<ProjectInfo> {
+      [&](size_t, ITagSystem* sys, ProjectId local) -> Result<ProjectInfo> {
         Result<ProjectInfo> r = sys->GetProjectInfo(local);
         if (!r.ok()) return r;
         ProjectInfo info = std::move(r).value();
-        info.id = ToGlobal(local, s);
+        info.id = project;  // the id the caller routed by — codec or moved
         return info;
       });
 }
@@ -501,7 +777,7 @@ std::vector<ProjectInfo> ShardedSystem::ListProjects(
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (ProjectInfo info : shard.system->ListProjects(provider)) {
-      info.id = ToGlobal(info.id, s);
+      info.id = GlobalProjectOf(s, info.id);
       out.push_back(std::move(info));
     }
   }
@@ -515,11 +791,13 @@ std::vector<ProjectInfo> ShardedSystem::ListProjects(
 
 std::vector<QualityPoint> ShardedSystem::QualityFeed(
     ProjectId project) const {
-  ProjectId local = ToLocal(project);
-  if (local == 0) return {};
-  Shard& shard = *shards_[ShardOf(project)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.system->QualityFeed(local);
+  Result<std::vector<QualityPoint>> r = WithProject(
+      project,
+      [&](size_t, ITagSystem* sys,
+          ProjectId local) -> Result<std::vector<QualityPoint>> {
+        return sys->QualityFeed(local);
+      });
+  return r.ok() ? std::move(r).value() : std::vector<QualityPoint>{};
 }
 
 Result<QualityManager::ResourceDetail> ShardedSystem::GetResourceDetail(
@@ -539,7 +817,7 @@ std::vector<Notification> ShardedSystem::LatestNotifications(
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (Notification n : shard.system->LatestNotifications(provider, limit)) {
-      if (n.project != 0) n.project = ToGlobal(n.project, s);
+      if (n.project != 0) n.project = GlobalProjectOf(s, n.project);
       merged.push_back(std::move(n));
     }
   }
@@ -553,36 +831,37 @@ std::vector<Notification> ShardedSystem::LatestNotifications(
 
 std::vector<PendingSubmission> ShardedSystem::PendingApprovals(
     ProjectId project) const {
-  ProjectId local = ToLocal(project);
-  if (local == 0) return {};
-  size_t s = ShardOf(project);
-  Shard& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  std::vector<PendingSubmission> out = shard.system->PendingApprovals(local);
-  for (PendingSubmission& sub : out) {
-    sub.handle = ToGlobal(sub.handle, s);
-    sub.project = project;
-  }
-  return out;
+  Result<std::vector<PendingSubmission>> r = WithProject(
+      project,
+      [&](size_t s, ITagSystem* sys,
+          ProjectId local) -> Result<std::vector<PendingSubmission>> {
+        std::vector<PendingSubmission> out = sys->PendingApprovals(local);
+        for (PendingSubmission& sub : out) {
+          // Handles are re-minted on the owning shard, so the codec global
+          // of a live pending handle is always current.
+          sub.handle = ToGlobal(sub.handle, s);
+          sub.project = project;
+        }
+        return out;
+      });
+  return r.ok() ? std::move(r).value() : std::vector<PendingSubmission>{};
 }
 
 Status ShardedSystem::Decide(ProviderId provider, TaskHandle handle,
                              bool approve) {
-  TaskHandle local = ToLocal(handle);
-  if (local == 0) {
-    return Status::NotFound("submission " + std::to_string(handle));
-  }
-  size_t s = ShardOf(handle);
-  Shard& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  // Resolve the touched project before the decision consumes the handle.
-  Result<ProjectId> project = shard.system->PendingProjectOf(local);
-  Status st = shard.system->Decide(provider, local, approve);
-  if (st.ok()) {
-    if (project.ok()) RefreshSnapshot(s, project.value());
-    RefreshStats(s);
-  }
-  return st;
+  return WithHandle(
+      handle, "submission",
+      [&](size_t s, ITagSystem* sys, TaskHandle local) -> Status {
+        // Resolve the touched project before the decision consumes the
+        // handle.
+        Result<ProjectId> project = sys->PendingProjectOf(local);
+        Status st = sys->Decide(provider, local, approve);
+        if (st.ok()) {
+          if (project.ok()) RefreshSnapshot(s, project.value());
+          RefreshStats(s);
+        }
+        return st;
+      });
 }
 
 std::vector<Status> ShardedSystem::DecideBatch(
@@ -633,7 +912,7 @@ std::vector<ProjectInfo> ShardedSystem::ListOpenProjects() const {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (ProjectInfo info : shard.system->ListOpenProjects()) {
-      info.id = ToGlobal(info.id, s);
+      info.id = GlobalProjectOf(s, info.id);
       out.push_back(std::move(info));
     }
   }
@@ -652,8 +931,8 @@ Result<AcceptedTask> ShardedSystem::AcceptTask(UserTaggerId tagger,
         Result<AcceptedTask> r = sys->AcceptTask(tagger, local);
         if (!r.ok()) return r;
         AcceptedTask task = std::move(r).value();
-        task.handle = ToGlobal(task.handle, s);
-        task.project = ToGlobal(local, s);
+        task.handle = ToGlobal(task.handle, s);  // fresh handle: codec
+        task.project = project;  // the global id the caller routed by
         ++shards_[s]->tasks_accepted;
         RefreshSnapshot(s, local);
         RefreshStats(s);
@@ -672,8 +951,8 @@ Result<std::vector<AcceptedTask>> ShardedSystem::AcceptTasks(
         if (!r.ok()) return r;
         std::vector<AcceptedTask> tasks = std::move(r).value();
         for (AcceptedTask& task : tasks) {
-          task.handle = ToGlobal(task.handle, s);
-          task.project = ToGlobal(local, s);
+          task.handle = ToGlobal(task.handle, s);  // fresh handles: codec
+          task.project = project;
         }
         shards_[s]->tasks_accepted += tasks.size();
         RefreshSnapshot(s, local);
@@ -684,11 +963,10 @@ Result<std::vector<AcceptedTask>> ShardedSystem::AcceptTasks(
 
 Status ShardedSystem::SubmitTags(UserTaggerId tagger, TaskHandle handle,
                                  const std::vector<std::string>& raw_tags) {
-  TaskHandle local = ToLocal(handle);
-  if (local == 0) return Status::NotFound("task " + std::to_string(handle));
-  Shard& shard = *shards_[ShardOf(handle)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.system->SubmitTags(tagger, local, raw_tags);
+  return WithHandle(handle, "task",
+                    [&](size_t, ITagSystem* sys, TaskHandle local) -> Status {
+                      return sys->SubmitTags(tagger, local, raw_tags);
+                    });
 }
 
 std::vector<Status> ShardedSystem::SubmitTagsBatch(
@@ -721,11 +999,12 @@ void ShardedSystem::SetPostSource(PostSource source) {
       shard.system->SetPostSource(nullptr);
       continue;
     }
-    // The source sees global project ids, whatever shard it runs on.
+    // The source sees global project ids, whatever shard it runs on —
+    // including a migrated project's original id (slot history).
     shard.system->SetPostSource(
-        [source, s, n](ProjectId project, ResourceId resource,
-                       double reliability, Tick now, Rng* rng) {
-          return source(EncodeShardedId(project, s, n), resource, reliability,
+        [this, source, s](ProjectId project, ResourceId resource,
+                          double reliability, Tick now, Rng* rng) {
+          return source(GlobalProjectOf(s, project), resource, reliability,
                         now, rng);
         });
   }
@@ -742,11 +1021,13 @@ void ShardedSystem::SetApprovalPolicy(ProviderId provider,
       continue;
     }
     // The policy sees global handle/project ids, whatever shard decides.
+    // Handles are codec (live handles always belong to the deciding
+    // shard); project ids go through slot history for migrated projects.
     shard.system->SetApprovalPolicy(
-        provider, [policy, s, n](const PendingSubmission& sub) {
+        provider, [this, policy, s, n](const PendingSubmission& sub) {
           PendingSubmission global = sub;
           global.handle = EncodeShardedId(sub.handle, s, n);
-          global.project = EncodeShardedId(sub.project, s, n);
+          global.project = GlobalProjectOf(s, sub.project);
           return policy(global);
         });
   }
@@ -787,17 +1068,29 @@ Status ShardedSystem::Step(Tick ticks) {
 // ---------------------------------------------------------- observability
 
 Result<QualitySnapshot> ShardedSystem::PeekQuality(ProjectId project) const {
-  ProjectId local = ToLocal(project);
-  if (local == 0) {
-    return Status::NotFound("project " + std::to_string(project));
+  // Lock-free with respect to shard mutexes even mid-migration: the
+  // destination snapshot is published (under the new slot) before routing
+  // flips, so a reader either sees the source entry or the destination
+  // one. A racing flip can make one probe miss both; one retry after a
+  // version change covers it.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const uint64_t v0 = placement_version_.load(std::memory_order_acquire);
+    PlacementMap::Location loc;
+    {
+      std::shared_lock<std::shared_mutex> pl(placement_mu_);
+      if (!placement_.Resolve(project, &loc) || loc.local == 0) {
+        return Status::NotFound("project " + std::to_string(project));
+      }
+    }
+    Shard& shard = *shards_[loc.shard];
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.snap_mu);
+      auto it = shard.snapshots.find(static_cast<ProjectId>(loc.local));
+      if (it != shard.snapshots.end()) return it->second;
+    }
+    if (placement_version_.load(std::memory_order_acquire) == v0) break;
   }
-  Shard& shard = *shards_[ShardOf(project)];
-  std::shared_lock<std::shared_mutex> lock(shard.snap_mu);
-  auto it = shard.snapshots.find(local);
-  if (it == shard.snapshots.end()) {
-    return Status::NotFound("project " + std::to_string(project));
-  }
-  return it->second;
+  return Status::NotFound("project " + std::to_string(project));
 }
 
 ShardStats ShardedSystem::StatsOf(size_t shard) const {
@@ -810,6 +1103,270 @@ uint64_t ShardedSystem::TotalPaidCents() const {
     total += shard->stats.Read().paid_cents;
   }
   return total;
+}
+
+// ------------------------------------------------------------ rebalancing
+
+Status ShardedSystem::MigrateProject(ProjectId project, size_t to_shard,
+                                     uint64_t moved_ops_hint) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  if (to_shard >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(to_shard));
+  }
+  // One migration at a time; this also serializes every placement_db_
+  // write, so the routing overlay and its persisted mirror stay in step.
+  std::lock_guard<std::mutex> migration(migrate_mu_);
+  PlacementMap::Location loc;
+  {
+    std::shared_lock<std::shared_mutex> pl(placement_mu_);
+    if (!placement_.Resolve(project, &loc) || loc.local == 0) {
+      return Status::NotFound("project " + std::to_string(project));
+    }
+  }
+  if (loc.shard == to_shard) return Status::OK();
+  const size_t from = loc.shard;
+  const ProjectId local = static_cast<ProjectId>(loc.local);
+  obs::Span span("core.rebalance.migrate");
+  span.Annotate("project", static_cast<uint64_t>(project));
+  span.Annotate("from", static_cast<uint64_t>(from));
+  span.Annotate("to", static_cast<uint64_t>(to_shard));
+  const auto t0 = std::chrono::steady_clock::now();
+  Shard& src = *shards_[from];
+  Shard& dst = *shards_[to_shard];
+  // The one place two shard mutexes are held at once: scoped_lock orders
+  // them deadlock-free and migrate_mu_ keeps migrations single-file, so no
+  // cycle can form. Writes to the project stall here; reads keep serving
+  // from the snapshot path.
+  std::scoped_lock locks(src.mu, dst.mu);
+  Result<ITagSystem::ProjectBundle> bundle = src.system->ExtractProject(local);
+  ITAG_RETURN_IF_ERROR(bundle.status());
+  const ProjectId to_local = dst.system->quality_manager().next_project_id();
+  // Crash protocol: the intent row lands (WAL'd) before any copy. A crash
+  // between here and the commit below leaves state 0 → recovery purges the
+  // destination copy; the commit flips it to 1 → recovery purges the
+  // source copy. Either way exactly one copy survives.
+  Result<storage::RowId> intent = placement_db_->Insert(
+      kIntentTable, {storage::Value::Int(static_cast<int64_t>(project)),
+                     storage::Value::Int(static_cast<int64_t>(from)),
+                     storage::Value::Int(static_cast<int64_t>(local)),
+                     storage::Value::Int(static_cast<int64_t>(to_shard)),
+                     storage::Value::Int(static_cast<int64_t>(to_local)),
+                     storage::Value::Int(0)});
+  ITAG_RETURN_IF_ERROR(intent.status());
+  std::vector<std::pair<TaskHandle, TaskHandle>> renumbered;
+  Result<ProjectId> adopted =
+      dst.system->AdoptProject(bundle.value(), &renumbered);
+  if (!adopted.ok()) {
+    // Nothing routes to the destination yet — best-effort cleanup, then
+    // surface the adopt failure. The source stayed untouched.
+    if (dst.system->quality_manager().GetRec(to_local) != nullptr) {
+      (void)dst.system->EraseProject(to_local);
+    }
+    (void)placement_db_->Delete(kIntentTable, intent.value());
+    return adopted.status();
+  }
+  if (adopted.value() != to_local) {  // read under dst.mu — cannot drift
+    return Status::Internal("adopted project id drifted");
+  }
+  {
+    // Record the destination slot before publishing its snapshot, so the
+    // arriving copy globalizes to `project` while routing still points at
+    // the source.
+    std::unique_lock<std::shared_mutex> pl(placement_mu_);
+    placement_.RecordSlot(project, {to_shard, to_local});
+  }
+  RefreshSnapshot(to_shard, to_local);
+  // Commit: flip routing + handle translations in memory, then persist the
+  // whole mirror (placement row, slot row, handle rows, intent → committed)
+  // as one WAL batch.
+  std::vector<std::pair<uint64_t, uint64_t>> handle_updates;
+  uint64_t version = 0;
+  {
+    std::unique_lock<std::shared_mutex> pl(placement_mu_);
+    placement_.Move(project, {to_shard, to_local});
+    version = placement_.version();
+    const size_t n = shards_.size();
+    for (const auto& [old_local, new_local] : renumbered) {
+      uint64_t old_g = EncodeShardedId(old_local, from, n);
+      uint64_t new_g = EncodeShardedId(new_local, to_shard, n);
+      for (uint64_t changed : placement_.MapHandle(old_g, new_g)) {
+        handle_updates.emplace_back(changed, new_g);
+      }
+    }
+    placement_version_.store(version, std::memory_order_release);
+  }
+  {
+    storage::BatchScope batch(placement_db_.get());
+    storage::Row prow = {storage::Value::Int(static_cast<int64_t>(project)),
+                         storage::Value::Int(static_cast<int64_t>(to_shard)),
+                         storage::Value::Int(static_cast<int64_t>(to_local)),
+                         storage::Value::Int(static_cast<int64_t>(version))};
+    auto it = placement_rows_.find(project);
+    if (it != placement_rows_.end()) {
+      ITAG_RETURN_IF_ERROR(
+          placement_db_->Update(kPlacementTable, it->second, prow));
+    } else {
+      Result<storage::RowId> rid = placement_db_->Insert(kPlacementTable, prow);
+      ITAG_RETURN_IF_ERROR(rid.status());
+      placement_rows_[project] = rid.value();
+    }
+    ITAG_RETURN_IF_ERROR(
+        placement_db_
+            ->Insert(kSlotsTable,
+                     {storage::Value::Int(static_cast<int64_t>(EncodeShardedId(
+                          to_local, to_shard, shards_.size()))),
+                      storage::Value::Int(static_cast<int64_t>(project))})
+            .status());
+    for (const auto& [old_h, new_h] : handle_updates) {
+      storage::Row hrow = {storage::Value::Int(static_cast<int64_t>(old_h)),
+                           storage::Value::Int(static_cast<int64_t>(new_h))};
+      auto hit = handle_rows_.find(old_h);
+      if (hit != handle_rows_.end()) {
+        ITAG_RETURN_IF_ERROR(
+            placement_db_->Update(kHandlesTable, hit->second, hrow));
+      } else {
+        Result<storage::RowId> rid = placement_db_->Insert(kHandlesTable, hrow);
+        ITAG_RETURN_IF_ERROR(rid.status());
+        handle_rows_[old_h] = rid.value();
+      }
+    }
+    ITAG_RETURN_IF_ERROR(placement_db_->Update(
+        kIntentTable, intent.value(),
+        {storage::Value::Int(static_cast<int64_t>(project)),
+         storage::Value::Int(static_cast<int64_t>(from)),
+         storage::Value::Int(static_cast<int64_t>(local)),
+         storage::Value::Int(static_cast<int64_t>(to_shard)),
+         storage::Value::Int(static_cast<int64_t>(to_local)),
+         storage::Value::Int(1)}));
+    ITAG_RETURN_IF_ERROR(batch.Commit());
+  }
+  SetPlacementGauge(project, to_shard);
+  metrics_.placement_version->Set(static_cast<int64_t>(version));
+  // The move is durable and routed; drop the source copy, its stale
+  // snapshot, and the intent.
+  Status erase = src.system->EraseProject(local);
+  {
+    std::unique_lock<std::shared_mutex> snap_lock(src.snap_mu);
+    src.snapshots.erase(local);
+  }
+  ITAG_RETURN_IF_ERROR(placement_db_->Delete(kIntentTable, intent.value()));
+  --src.projects_created;
+  ++dst.projects_created;
+  src.project_ops.erase(project);
+  RefreshStats(from);
+  RefreshStats(to_shard);
+  const uint64_t stall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics_.rebalance_migrations->Inc();
+  if (moved_ops_hint > 0) metrics_.rebalance_moved_ops->Inc(moved_ops_hint);
+  metrics_.rebalance_stall_us->Inc(stall_us);
+  span.Annotate("stall_us", stall_us);
+  return erase;
+}
+
+void ShardedSystem::RebalanceLoop() {
+  std::unique_lock<std::mutex> lk(rebalance_mu_);
+  const auto interval =
+      std::chrono::milliseconds(options_.rebalance_interval_ms);
+  while (!rebalance_stop_) {
+    rebalance_cv_.wait_for(lk, interval, [this] { return rebalance_stop_; });
+    if (rebalance_stop_) break;
+    lk.unlock();
+    RebalanceOnce();
+    lk.lock();
+  }
+}
+
+void ShardedSystem::RebalanceOnce() {
+  const size_t n = shards_.size();
+  if (n < 2) return;
+  std::vector<uint64_t> delta(n, 0);
+  uint64_t total = 0;
+  for (size_t s = 0; s < n; ++s) {
+    uint64_t now = shards_[s]->ops->value();
+    delta[s] = now - last_shard_ops_[s];
+    last_shard_ops_[s] = now;
+    total += delta[s];
+  }
+  auto clear_attribution = [&] {
+    for (size_t s = 0; s < n; ++s) {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.project_ops.clear();
+    }
+  };
+  if (total < options_.rebalance_min_ops) {  // idle window — never on noise
+    hot_streak_ = 0;
+    clear_attribution();
+    return;
+  }
+  size_t hot = 0;
+  for (size_t s = 1; s < n; ++s) {
+    if (delta[s] > delta[hot]) hot = s;
+  }
+  const double ratio = static_cast<double>(delta[hot]) / total;
+  if (ratio < options_.rebalance_hot_ratio) {
+    hot_streak_ = 0;
+    clear_attribution();
+    return;
+  }
+  if (++hot_streak_ < 2) {
+    // Hysteresis: one hot window can be a blip. Reset the attribution so a
+    // second hot window is judged on fresh numbers.
+    clear_attribution();
+    return;
+  }
+  // Two consecutive hot windows — pick a victim from the hot shard's
+  // per-project attribution.
+  std::vector<std::pair<uint64_t, uint64_t>> attributed;  // (ops, global)
+  {
+    Shard& shard = *shards_[hot];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    attributed.reserve(shard.project_ops.size());
+    for (const auto& [global, ops] : shard.project_ops) {
+      attributed.emplace_back(ops, global);
+    }
+    shard.project_ops.clear();
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (s == hot) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.project_ops.clear();
+  }
+  hot_streak_ = 0;  // cool-down whether or not the migration lands
+  if (attributed.empty()) return;
+  std::sort(attributed.begin(), attributed.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  uint64_t attributed_total = 0;
+  for (const auto& [ops, global] : attributed) attributed_total += ops;
+  // Victim choice: when one project dominates the shard, moving *it* just
+  // relocates the hotspot — evacuate the heaviest co-resident instead,
+  // isolating the hot project. Otherwise move the heaviest project to the
+  // coldest shard.
+  size_t victim;
+  if (attributed.size() >= 2 && attributed[0].first * 2 >= attributed_total) {
+    victim = 1;
+  } else {
+    uint64_t hosted;
+    {
+      Shard& shard = *shards_[hot];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      hosted = shard.projects_created;
+    }
+    if (hosted < 2) return;  // a lone project has nowhere better to be
+    victim = 0;
+  }
+  size_t cold = hot == 0 ? 1 : 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (s != hot && delta[s] < delta[cold]) cold = s;
+  }
+  // FailedPrecondition (platform tasks in flight) just means "not this
+  // window" — the next hot streak retries.
+  (void)MigrateProject(static_cast<ProjectId>(attributed[victim].second),
+                       cold, attributed[victim].first);
 }
 
 }  // namespace itag::core

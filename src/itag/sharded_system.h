@@ -2,10 +2,12 @@
 #define ITAG_ITAG_SHARDED_SYSTEM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -30,9 +32,24 @@ struct ShardedSystemOptions {
   size_t pool_threads = 0;
 
   /// Template for every shard's ITagSystem. A non-empty `db.directory`
-  /// becomes `<directory>/shard-<i>` per shard; `seed` is offset per shard
-  /// so the simulated worker pools differ across shards.
+  /// becomes `<directory>/shard-<i>` per shard (the placement map database
+  /// lives at `<directory>/placement`); `seed` is offset per shard so the
+  /// simulated worker pools differ across shards.
   ITagSystemOptions shard;
+
+  /// Sampling window of the background rebalancer, in milliseconds.
+  /// 0 (the default) disables the thread entirely; placement can still be
+  /// moved explicitly through MigrateProject().
+  size_t rebalance_interval_ms = 0;
+
+  /// A shard is "hot" when its share of the window's routed ops exceeds
+  /// this ratio. Two consecutive hot windows (hysteresis) trigger one
+  /// migration; any migration resets the streak (cool-down).
+  double rebalance_hot_ratio = 0.45;
+
+  /// Windows with fewer total routed ops than this are ignored — idle
+  /// systems never migrate on noise.
+  uint64_t rebalance_min_ops = 64;
 };
 
 /// Lock-free-readable per-project quality snapshot (the monitoring hot
@@ -81,8 +98,16 @@ struct ShardStats {
 ///  - Quality reads (PeekQuality, StatsOf) bypass shard mutexes entirely:
 ///    snapshots live behind a shared_mutex-guarded table refreshed on every
 ///    mutation, and shard counters behind a seqlock.
-///  - Lock ordering: users_mu_ before any shard mutex; shard mutexes are
-///    never nested; snapshot locks only inside a shard lock.
+///  - Lock ordering: users_mu_ before any shard mutex; snapshot locks only
+///    inside a shard lock; placement_mu_ is a leaf (taken after a shard
+///    mutex, never around one). MigrateProject is the single path that
+///    holds two shard mutexes at once (std::scoped_lock, deadlock-free),
+///    serialized by migrate_mu_.
+///
+/// Placement model: routing starts from the static id codec but consults a
+/// versioned PlacementMap overlay, so a project can *move* between shards.
+/// The map is persisted in its own database (WAL'd + checkpointed) and an
+/// intent row makes every migration crash-atomic — see docs/rebalancing.md.
 class ShardedSystem {
  public:
   explicit ShardedSystem(ShardedSystemOptions options = {});
@@ -202,6 +227,27 @@ class ShardedSystem {
   /// Grand total paid across all shard ledgers (seqlock reads, no mutex).
   uint64_t TotalPaidCents() const;
 
+  // ------------------------------------------------------------ placement
+  /// Moves a project (record, corpus, posts, accepted/pending tasks,
+  /// ledger spend) to `to_shard` under a brief write stall of both shards;
+  /// reads keep serving from the snapshot path throughout. The project
+  /// keeps its global id; task handles are re-minted on the destination
+  /// and the old ones keep working through the placement map's handle
+  /// translation. Crash-atomic: an intent row written before the copy is
+  /// resolved on the next Init (pending → destination copy purged,
+  /// committed → source copy purged). FailedPrecondition when the project
+  /// has tasks in flight on an external platform; callers (the rebalancer)
+  /// simply retry a later window. No-op OK when already on `to_shard`.
+  /// `moved_ops_hint` only feeds the core.rebalance.moved_ops counter.
+  Status MigrateProject(ProjectId project, size_t to_shard,
+                        uint64_t moved_ops_hint = 0);
+
+  /// Current placement-map version (bumped once per migration). Batch
+  /// routers re-check this to re-route items that raced a migration.
+  uint64_t placement_version() const {
+    return placement_version_.load(std::memory_order_acquire);
+  }
+
   /// Direct access to one shard's facade for tests — unsynchronized; the
   /// caller must guarantee no concurrent use of this ShardedSystem.
   ITagSystem& shard_system(size_t shard) { return *shards_[shard]->system; }
@@ -218,6 +264,9 @@ class ShardedSystem {
     // Counters feeding ShardStats; guarded by mu.
     uint64_t projects_created = 0;
     uint64_t tasks_accepted = 0;
+    /// Per-project routed-op attribution for the rebalancer, keyed by
+    /// *global* id. Guarded by mu; snapshotted + cleared once per window.
+    std::unordered_map<uint64_t, uint64_t> project_ops;
     /// Registry mirror `core.shard.<i>.ops`: ops routed to this shard
     /// (single-project routes, batch-group runs, creates). Relaxed atomic,
     /// bumped outside mu by design.
@@ -231,6 +280,10 @@ class ShardedSystem {
     obs::Counter* route_items;         ///< items through RouteByHandle
     obs::Counter* route_fanouts;       ///< RouteByHandle calls hitting >1 shard
     obs::Counter* route_bad_handle;    ///< items rejected before routing
+    obs::Counter* rebalance_migrations;  ///< completed migrations
+    obs::Counter* rebalance_moved_ops;   ///< window ops attributed to movers
+    obs::Counter* rebalance_stall_us;    ///< summed write-stall wall time
+    obs::Gauge* placement_version;       ///< mirrors placement_version_
   };
 
   size_t ShardOf(uint64_t global_id) const {
@@ -242,13 +295,27 @@ class ShardedSystem {
   uint64_t ToGlobal(uint64_t local_id, size_t shard) const {
     return EncodeShardedId(local_id, shard, shards_.size());
   }
+  /// Global id of the project living at (shard, local) — the placement
+  /// map's slot history, falling back to the codec for never-moved slots.
+  uint64_t GlobalProjectOf(size_t shard, uint64_t local) const;
 
-  /// Locks the owning shard and invokes fn(shard_index, system, local_id).
-  /// Centralizes routing + the bad-id (local == 0) guard.
+  /// Resolves `project` through the placement map and locks the owning
+  /// shard, re-checking under the lock (a migration may land between the
+  /// lookup and the lock) and retrying on a move. Invokes
+  /// fn(shard_index, system, local_id); centralizes routing + the bad-id
+  /// guard + per-project op attribution.
   template <typename Fn>
   auto WithProject(ProjectId project, Fn&& fn) const
       -> decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
                      ProjectId{0}));
+
+  /// Handle-keyed twin of WithProject: translates `handle` through the
+  /// placement map's handle table (migrations re-mint handles), locks the
+  /// owning shard, re-checks + retries on a racing migration.
+  template <typename Fn>
+  auto WithHandle(TaskHandle handle, const char* noun, Fn&& fn) const
+      -> decltype(fn(size_t{0}, static_cast<ITagSystem*>(nullptr),
+                     TaskHandle{0}));
 
   /// Shared scaffolding of the cross-shard batch entry points: groups
   /// `items` by the shard their global handle (`handle_of(item)`) encodes
@@ -271,6 +338,20 @@ class ShardedSystem {
   /// Publishes current ledger/project counters (shard mutex held).
   void RefreshStats(size_t shard_index) const;
 
+  /// Publishes `core.placement.project.<global>` = shard (debug surface).
+  void SetPlacementGauge(uint64_t global, size_t shard) const;
+  /// Opens <dir>/placement (in-memory when the shards are), creates its
+  /// tables, and loads the routing overlay + persisted-row maps.
+  Status OpenPlacement();
+  /// Replays unresolved migration intents left by a crash: pending →
+  /// purge the destination copy, committed → purge the source copy.
+  Status ResolveIntents();
+  /// Rebalancer thread body: sleeps rebalance_interval_ms between windows.
+  void RebalanceLoop();
+  /// One sampling window: reads per-shard op deltas, applies the
+  /// hot-ratio + hysteresis rules, migrates at most one project.
+  void RebalanceOnce();
+
   ShardedSystemOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
@@ -283,6 +364,27 @@ class ShardedSystem {
   std::atomic<uint64_t> next_project_shard_{0};
   std::atomic<Tick> now_{0};
   bool initialized_ = false;
+
+  /// Movable routing overlay. placement_mu_ is a leaf lock: always
+  /// acquired after any shard mutex, never around one.
+  mutable std::shared_mutex placement_mu_;
+  PlacementMap placement_{1};  // re-built with num_shards in the ctor
+  /// Mirror of placement_.version(), readable without placement_mu_.
+  std::atomic<uint64_t> placement_version_{0};
+  /// Placement persistence. migrate_mu_ serializes migrations and every
+  /// write to placement_db_ (Checkpoint takes it too).
+  std::mutex migrate_mu_;
+  std::unique_ptr<storage::Database> placement_db_;
+  std::unordered_map<uint64_t, storage::RowId> placement_rows_;  // by project
+  std::unordered_map<uint64_t, storage::RowId> handle_rows_;     // by old handle
+
+  // Rebalancer thread state (thread-owned except the stop flag).
+  std::thread rebalance_thread_;
+  std::mutex rebalance_mu_;
+  std::condition_variable rebalance_cv_;
+  bool rebalance_stop_ = false;
+  std::vector<uint64_t> last_shard_ops_;
+  int hot_streak_ = 0;
 };
 
 }  // namespace itag::core

@@ -501,6 +501,111 @@ TEST_F(RecoveryTest, PlatformWorkloadResumesBitEqualAfterRestart) {
             Bytes(b.Dispatch(api::AnyRequest{q})));
 }
 
+// ------------------------------------------------- migration recovery
+
+// A completed migration must be exactly as durable as any other mutation:
+// the process is torn down with no checkpoint (kill-9 shape — only the
+// WALs survive), and the reopened system must serve the identical project
+// state from the *destination* shard, keep honoring pre-migration task
+// handles, and survive a second migration + checkpoint + restart with the
+// same guarantees (handle chains collapse across moves).
+TEST_F(RecoveryTest, ShardedMigrationSurvivesKill9Restart) {
+  constexpr size_t kShards = 3;
+  constexpr uint32_t kBudget = 12;
+  ShardedSystemOptions opts = DurableShardOpts(Dir("db"), kShards);
+  auto spec = [](const std::string& name, uint32_t budget) {
+    core::ProjectSpec s;
+    s.name = name;
+    s.budget = budget;
+    s.platform = core::PlatformChoice::kAudience;
+    s.strategy = strategy::StrategyKind::kFewestPostsFirst;
+    return s;
+  };
+
+  core::ProviderId provider = 0;
+  core::UserTaggerId tagger = 0;
+  ProjectId project = 0;
+  std::vector<core::TaskHandle> old_handles;
+  api::ProjectQueryRequest q;
+  std::string before;
+  {
+    api::Service service(opts);
+    ASSERT_TRUE(service.Init().ok());
+    core::ShardedSystem* sys = service.sharded();
+    ASSERT_NE(sys, nullptr);
+    provider = sys->RegisterProvider("prov").value();
+    tagger = sys->RegisterTagger("tag").value();
+    project = sys->CreateProject(provider, spec("mover", kBudget)).value();
+    ASSERT_EQ(ShardOfId(project, kShards), 0u);
+    // Bystanders so shards 1 and 2 aren't empty.
+    (void)sys->CreateProject(provider, spec("b1", 5)).value();
+    (void)sys->CreateProject(provider, spec("b2", 5)).value();
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(sys->UploadResource(project, tagging::ResourceKind::kWebUrl,
+                                      "u" + std::to_string(r), "")
+                      .ok());
+    }
+    ASSERT_TRUE(sys->StartProject(project).ok());
+    auto tasks = sys->AcceptTasks(tagger, project, 4);
+    ASSERT_TRUE(tasks.ok());
+    for (const core::AcceptedTask& task : tasks.value()) {
+      ASSERT_TRUE(sys->SubmitTags(tagger, task.handle, {"x", "y"}).ok());
+    }
+    ASSERT_TRUE(sys->Decide(provider, tasks.value()[0].handle, true).ok());
+    ASSERT_TRUE(sys->Decide(provider, tasks.value()[1].handle, false).ok());
+    old_handles = {tasks.value()[2].handle, tasks.value()[3].handle};
+
+    ASSERT_TRUE(sys->MigrateProject(project, 2).ok());
+    // Post-migration traffic lands in the destination shard's WAL.
+    auto extra = sys->AcceptTask(tagger, project);
+    ASSERT_TRUE(extra.ok());
+    ASSERT_TRUE(sys->SubmitTags(tagger, extra.value().handle, {"late"}).ok());
+
+    q.project = project;
+    q.include_feed = true;
+    q.detail_resources = {0, 1, 2};
+    before = Bytes(service.Dispatch(api::AnyRequest{q}));
+    // Destroyed here without any checkpoint: WAL-only recovery.
+  }
+  {
+    api::Service service(opts);
+    ASSERT_TRUE(service.Init().ok());
+    core::ShardedSystem* sys = service.sharded();
+    EXPECT_EQ(Bytes(service.Dispatch(api::AnyRequest{q})), before)
+        << "migrated project state diverged across a kill-9 restart";
+    // The placement overlay recovered too: the project is hosted (and
+    // counted) on shard 2, its codec home shard is empty.
+    EXPECT_EQ(sys->StatsOf(0).projects, 0u);
+    EXPECT_EQ(sys->StatsOf(2).projects, 2u);
+    // All three undecided submissions survived, and the ones addressed by
+    // pre-migration handles are still decidable through the recovered
+    // handle-translation table.
+    ASSERT_EQ(sys->PendingApprovals(project).size(), 3u);
+    ASSERT_TRUE(sys->Decide(provider, old_handles[0], true).ok());
+    core::ProjectInfo info = sys->GetProjectInfo(project).value();
+    size_t pending = sys->PendingApprovals(project).size();
+    EXPECT_EQ(pending, 2u);
+    // Budget partition is exact: every unit is remaining, completed, or
+    // awaiting decision (rejections were refunded).
+    EXPECT_EQ(info.budget_remaining + info.tasks_completed + pending,
+              kBudget);
+
+    // Second hop, then a checkpoint and a clean-shutdown reopen.
+    ASSERT_TRUE(sys->MigrateProject(project, 1).ok());
+    api::CheckpointResponse ck = service.Checkpoint({});
+    ASSERT_TRUE(ck.status.ok());
+    EXPECT_TRUE(ck.durable);
+    before = Bytes(service.Dispatch(api::AnyRequest{q}));
+  }
+  api::Service service(opts);
+  ASSERT_TRUE(service.Init().ok());
+  EXPECT_EQ(Bytes(service.Dispatch(api::AnyRequest{q})), before)
+      << "second migration diverged across checkpoint + restart";
+  EXPECT_EQ(service.sharded()->StatsOf(1).projects, 2u);
+  // A handle now two migrations old still resolves in one hop.
+  EXPECT_TRUE(service.sharded()->Decide(provider, old_handles[1], true).ok());
+}
+
 // ----------------------------------------------------- checkpoint paths
 
 TEST_F(RecoveryTest, CheckpointBoundsRecoveryAndSurvivesRestart) {

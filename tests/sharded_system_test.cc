@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/service.h"
 #include "common/sharding.h"
 #include "itag/sharded_system.h"
+#include "obs/metrics.h"
 
 namespace itag {
 namespace {
@@ -328,6 +332,358 @@ TEST(ShardedSystemTest, ApprovalPolicySeesGlobalIds) {
   for (ProjectId id : seen) EXPECT_EQ(id, p);
 }
 
+// ------------------------------------------------------------- migration
+
+/// Everything a provider can observe about one project, plus the global
+/// money/tagger totals — the yardstick for "migration changed nothing".
+/// Doubles are compared bit-exactly: the engine RNG travels in the bundle,
+/// so a migrated project must evolve identically to one that never moved.
+struct ProjectFingerprint {
+  ProjectInfo info;
+  std::vector<core::QualityPoint> feed;
+  std::vector<core::QualityManager::ResourceDetail> details;
+  uint64_t paid_cents = 0;
+  core::TaggerProfile tagger;
+};
+
+ProjectFingerprint FingerprintOf(ShardedSystem& sys, ProjectId project,
+                                 UserTaggerId tagger) {
+  ProjectFingerprint fp;
+  auto info = sys.GetProjectInfo(project);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  if (info.ok()) fp.info = info.value();
+  fp.feed = sys.QualityFeed(project);
+  for (size_t r = 0; r < fp.info.num_resources; ++r) {
+    auto detail = sys.GetResourceDetail(project, r);
+    EXPECT_TRUE(detail.ok()) << detail.status().ToString();
+    if (detail.ok()) fp.details.push_back(detail.value());
+  }
+  fp.paid_cents = sys.TotalPaidCents();
+  auto profile = sys.GetTagger(tagger);
+  EXPECT_TRUE(profile.ok());
+  if (profile.ok()) fp.tagger = profile.value();
+  return fp;
+}
+
+void ExpectSameFingerprint(const ProjectFingerprint& a,
+                           const ProjectFingerprint& b) {
+  EXPECT_EQ(a.info.id, b.info.id);
+  EXPECT_EQ(static_cast<int>(a.info.state), static_cast<int>(b.info.state));
+  EXPECT_EQ(a.info.budget_remaining, b.info.budget_remaining);
+  EXPECT_EQ(a.info.tasks_completed, b.info.tasks_completed);
+  EXPECT_EQ(a.info.num_resources, b.info.num_resources);
+  EXPECT_EQ(a.info.quality, b.info.quality);
+  EXPECT_EQ(a.info.projected_gain, b.info.projected_gain);
+  ASSERT_EQ(a.feed.size(), b.feed.size());
+  for (size_t i = 0; i < a.feed.size(); ++i) {
+    EXPECT_EQ(a.feed[i].tasks, b.feed[i].tasks) << "feed point " << i;
+    EXPECT_EQ(a.feed[i].quality, b.feed[i].quality) << "feed point " << i;
+  }
+  ASSERT_EQ(a.details.size(), b.details.size());
+  for (size_t i = 0; i < a.details.size(); ++i) {
+    EXPECT_EQ(a.details[i].posts, b.details[i].posts) << "resource " << i;
+    EXPECT_EQ(a.details[i].quality, b.details[i].quality) << "resource " << i;
+    EXPECT_EQ(a.details[i].stopped, b.details[i].stopped) << "resource " << i;
+  }
+  EXPECT_EQ(a.paid_cents, b.paid_cents);
+  EXPECT_EQ(a.tagger.approved, b.tagger.approved);
+  EXPECT_EQ(a.tagger.earned_cents, b.tagger.earned_cents);
+}
+
+TEST(ShardedMigrationTest, ValidatesArguments) {
+  ShardedSystem sys(Opts(3));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  ProjectId p = sys.CreateProject(provider, AudienceSpec("p", 5)).value();
+  EXPECT_TRUE(sys.MigrateProject(p, 7).IsInvalidArgument());
+  EXPECT_TRUE(sys.MigrateProject(0, 1).IsNotFound());
+  EXPECT_TRUE(sys.MigrateProject(999999, 1).IsNotFound());
+  // Migrating to the current shard is a no-op, not an error.
+  uint64_t v0 = sys.placement_version();
+  EXPECT_TRUE(sys.MigrateProject(p, ShardOfId(p, 3)).ok());
+  EXPECT_EQ(sys.placement_version(), v0);
+}
+
+TEST(ShardedMigrationTest, ProjectKeepsIdAndHandlesAcrossMoves) {
+  ShardedSystem sys(Opts(4));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("prov").value();
+  UserTaggerId tagger = sys.RegisterTagger("tag").value();
+  // Eight projects, two per shard; p = the first one (shard 0).
+  std::vector<ProjectId> projects;
+  for (int i = 0; i < 8; ++i) {
+    projects.push_back(
+        sys.CreateProject(provider, AudienceSpec("p" + std::to_string(i), 20))
+            .value());
+  }
+  ProjectId p = projects[0];
+  ASSERT_EQ(ShardOfId(p, 4), 0u);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                   "u" + std::to_string(r), "")
+                    .ok());
+  }
+  ASSERT_TRUE(sys.StartProject(p).ok());
+  auto tasks = sys.AcceptTasks(tagger, p, 4);
+  ASSERT_TRUE(tasks.ok());
+  // Two submitted (pending approval), two still only accepted.
+  ASSERT_TRUE(sys.SubmitTags(tagger, tasks.value()[0].handle, {"a"}).ok());
+  ASSERT_TRUE(sys.SubmitTags(tagger, tasks.value()[1].handle, {"b"}).ok());
+  ProjectInfo before = sys.GetProjectInfo(p).value();
+
+  uint64_t v0 = sys.placement_version();
+  ASSERT_TRUE(sys.MigrateProject(p, 2).ok());
+  EXPECT_EQ(sys.placement_version(), v0 + 1);
+
+  // Same global id everywhere; state carried over verbatim.
+  ProjectInfo after = sys.GetProjectInfo(p).value();
+  EXPECT_EQ(after.id, p);
+  EXPECT_EQ(after.budget_remaining, before.budget_remaining);
+  EXPECT_EQ(after.tasks_completed, before.tasks_completed);
+  EXPECT_EQ(after.num_resources, before.num_resources);
+  EXPECT_EQ(after.quality, before.quality);
+  EXPECT_EQ(sys.PeekQuality(p).value().project, p);
+  // Shard accounting followed the project.
+  EXPECT_EQ(sys.StatsOf(0).projects, 1u);
+  EXPECT_EQ(sys.StatsOf(2).projects, 3u);
+  // Listings still show the project exactly once, under its original id.
+  size_t seen = 0;
+  for (const ProjectInfo& info : sys.ListProjects(provider)) {
+    if (info.id == p) ++seen;
+  }
+  EXPECT_EQ(seen, 1u);
+
+  // Old handles keep working through the handle-translation table: the two
+  // accepted-but-unsubmitted tasks submit, and all four decide, by the
+  // handles issued before the move.
+  ASSERT_TRUE(sys.SubmitTags(tagger, tasks.value()[2].handle, {"c"}).ok());
+  ASSERT_TRUE(sys.SubmitTags(tagger, tasks.value()[3].handle, {"d"}).ok());
+  std::vector<PendingSubmission> pending = sys.PendingApprovals(p);
+  ASSERT_EQ(pending.size(), 4u);
+  for (const PendingSubmission& sub : pending) EXPECT_EQ(sub.project, p);
+  for (const AcceptedTask& task : tasks.value()) {
+    EXPECT_TRUE(sys.Decide(provider, task.handle, true).ok());
+  }
+  EXPECT_EQ(sys.GetProjectInfo(p).value().tasks_completed, 4u);
+  EXPECT_EQ(sys.TotalPaidCents(), 4u * 5u);
+
+  // Re-migration: a handle minted *between* the two moves still resolves
+  // (chains collapse to one hop), and the codec alias of the slot the
+  // project vacated doesn't leak a foreign project.
+  AcceptedTask mid = sys.AcceptTask(tagger, p).value();
+  EXPECT_EQ(mid.project, p);
+  ASSERT_TRUE(sys.MigrateProject(p, 1).ok());
+  ASSERT_TRUE(sys.SubmitTags(tagger, mid.handle, {"e"}).ok());
+  EXPECT_TRUE(sys.Decide(provider, mid.handle, false).ok());
+  EXPECT_EQ(sys.GetProjectInfo(p).value().tasks_completed, 4u);
+  // New work on the migrated project routes cleanly.
+  AcceptedTask fresh = sys.AcceptTask(tagger, p).value();
+  EXPECT_EQ(fresh.project, p);
+  ASSERT_TRUE(sys.SubmitTags(tagger, fresh.handle, {"f"}).ok());
+  EXPECT_TRUE(sys.Decide(provider, fresh.handle, true).ok());
+  EXPECT_EQ(sys.TotalPaidCents(), 5u * 5u);
+}
+
+TEST(ShardedMigrationTest, MigrationIsEquivalentToNoMigrationReplay) {
+  // The same deterministic script, with and without a mid-script migration
+  // (injected while two submissions sit undecided); every observable must
+  // be bit-identical — the engine RNG and all quality state travel in the
+  // bundle.
+  auto run = [](bool migrate_mid) {
+    ShardedSystem sys(Opts(4));
+    EXPECT_TRUE(sys.Init().ok());
+    ProviderId provider = sys.RegisterProvider("prov").value();
+    UserTaggerId tagger = sys.RegisterTagger("tag").value();
+    ProjectId p = sys.CreateProject(provider, AudienceSpec("p", 30)).value();
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_TRUE(sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                     "u" + std::to_string(r), "")
+                      .ok());
+    }
+    EXPECT_TRUE(sys.ImportPost(p, 0, {"seed", "alpha"}).ok());
+    EXPECT_TRUE(sys.StartProject(p).ok());
+    for (int round = 0; round < 3; ++round) {
+      auto tasks = sys.AcceptTasks(tagger, p, 3);
+      EXPECT_TRUE(tasks.ok());
+      for (size_t i = 0; i < tasks.value().size(); ++i) {
+        EXPECT_TRUE(sys.SubmitTags(tagger, tasks.value()[i].handle,
+                                   {"t" + std::to_string(round), "common"})
+                        .ok());
+      }
+      if (migrate_mid && round == 1) {
+        EXPECT_TRUE(sys.MigrateProject(p, 3).ok());
+      }
+      // Decide via the pre-captured (possibly pre-migration) handles.
+      for (size_t i = 0; i < tasks.value().size(); ++i) {
+        EXPECT_TRUE(
+            sys.Decide(provider, tasks.value()[i].handle, i != 1).ok());
+      }
+    }
+    return FingerprintOf(sys, p, tagger);
+  };
+  ProjectFingerprint baseline = run(false);
+  ProjectFingerprint migrated = run(true);
+  ExpectSameFingerprint(baseline, migrated);
+}
+
+TEST(ShardedMigrationTest, ConcurrentTrafficDuringMigrationMatchesReplay) {
+  // Hammer SubmitTags + project queries while the project bounces between
+  // shards; record which ops succeeded, then replay exactly those ops on a
+  // migration-free system. Failed routes (NotFound/Aborted) are
+  // side-effect-free by contract, so the two worlds must end bit-identical.
+  constexpr int kOps = 48;
+  ShardedSystem sys(Opts(4));
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("prov").value();
+  UserTaggerId tagger = sys.RegisterTagger("tag").value();
+  ProjectId p = sys.CreateProject(provider, AudienceSpec("hot", 100)).value();
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(sys.UploadResource(p, tagging::ResourceKind::kWebUrl,
+                                   "u" + std::to_string(r), "")
+                    .ok());
+  }
+  ASSERT_TRUE(sys.StartProject(p).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto info = sys.GetProjectInfo(p);
+      EXPECT_TRUE(info.ok()) << info.status().ToString();
+      if (info.ok()) {
+        EXPECT_EQ(info.value().id, p);
+      }
+      auto snap = sys.PeekQuality(p);
+      EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+      if (snap.ok()) {
+        EXPECT_EQ(snap.value().project, p);
+      }
+    }
+  });
+  std::thread migrator([&] {
+    size_t to = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      Status st = sys.MigrateProject(p, to % 4);
+      EXPECT_TRUE(st.ok() || st.IsNotFound() || st.IsAborted())
+          << st.ToString();
+      ++to;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // The writer records each op's outcome; handles are referenced by accept
+  // index so the replay can use its own handle values.
+  struct OpLog {
+    bool accepted = false;
+    bool submitted = false;
+    bool decided = false;
+    bool approve = false;
+  };
+  std::vector<OpLog> ops(kOps);
+  {
+    std::vector<TaskHandle> handles(kOps, 0);
+    for (int i = 0; i < kOps; ++i) {
+      auto task = sys.AcceptTask(tagger, p);
+      EXPECT_TRUE(task.ok() || task.status().IsNotFound() ||
+                  task.status().IsAborted())
+          << task.status().ToString();
+      if (!task.ok()) continue;
+      ops[i].accepted = true;
+      handles[i] = task.value().handle;
+      Status submitted =
+          sys.SubmitTags(tagger, handles[i], {"w" + std::to_string(i % 5)});
+      EXPECT_TRUE(submitted.ok() || submitted.IsNotFound() ||
+                  submitted.IsAborted())
+          << submitted.ToString();
+      if (!submitted.ok()) continue;
+      ops[i].submitted = true;
+      ops[i].approve = (i % 3) != 0;
+      Status decided = sys.Decide(provider, handles[i], ops[i].approve);
+      EXPECT_TRUE(decided.ok() || decided.IsNotFound() || decided.IsAborted())
+          << decided.ToString();
+      ops[i].decided = decided.ok();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  migrator.join();
+
+  // Park the project on its home shard so fingerprints come from a settled
+  // system, then replay the successful ops on a migration-free twin.
+  ASSERT_TRUE(sys.MigrateProject(p, ShardOfId(p, 4)).ok());
+  ProjectFingerprint hammered = FingerprintOf(sys, p, tagger);
+
+  ShardedSystem replay(Opts(4));
+  ASSERT_TRUE(replay.Init().ok());
+  ProviderId rprovider = replay.RegisterProvider("prov").value();
+  UserTaggerId rtagger = replay.RegisterTagger("tag").value();
+  ProjectId rp =
+      replay.CreateProject(rprovider, AudienceSpec("hot", 100)).value();
+  ASSERT_EQ(rp, p);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(replay
+                    .UploadResource(rp, tagging::ResourceKind::kWebUrl,
+                                    "u" + std::to_string(r), "")
+                    .ok());
+  }
+  ASSERT_TRUE(replay.StartProject(rp).ok());
+  for (int i = 0; i < kOps; ++i) {
+    if (!ops[i].accepted) continue;
+    auto task = replay.AcceptTask(rtagger, rp);
+    ASSERT_TRUE(task.ok()) << task.status().ToString();
+    if (!ops[i].submitted) continue;
+    ASSERT_TRUE(replay
+                    .SubmitTags(rtagger, task.value().handle,
+                                {"w" + std::to_string(i % 5)})
+                    .ok());
+    if (!ops[i].decided) continue;
+    ASSERT_TRUE(
+        replay.Decide(rprovider, task.value().handle, ops[i].approve).ok());
+  }
+  ProjectFingerprint replayed = FingerprintOf(replay, rp, rtagger);
+  ExpectSameFingerprint(replayed, hammered);
+}
+
+TEST(ShardedMigrationTest, RebalancerMovesLoadOffTheHotShard) {
+  ShardedSystemOptions opts = Opts(4);
+  opts.rebalance_interval_ms = 20;
+  opts.rebalance_min_ops = 16;
+  opts.rebalance_hot_ratio = 0.45;
+  ShardedSystem sys(opts);
+  ASSERT_TRUE(sys.Init().ok());
+  ProviderId provider = sys.RegisterProvider("p").value();
+  std::vector<ProjectId> projects;
+  for (int i = 0; i < 8; ++i) {
+    projects.push_back(
+        sys.CreateProject(provider, AudienceSpec("p" + std::to_string(i), 10))
+            .value());
+  }
+  obs::Counter* migrations =
+      obs::MetricsRegistry::Default().GetCounter("core.rebalance.migrations");
+  uint64_t migrations0 = migrations->value();
+  // Hammer shard 0's two residents (heavily skewed toward the first) until
+  // the rebalancer reacts; every other shard stays near-idle.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (migrations->value() == migrations0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      (void)sys.GetProjectInfo(projects[0]);
+      if (i % 8 == 0) (void)sys.GetProjectInfo(projects[4]);
+    }
+  }
+  EXPECT_GT(migrations->value(), migrations0)
+      << "rebalancer never reacted to a 4x-skewed shard";
+  // The system stayed coherent through the autonomous move: both residents
+  // still resolve under their original ids, exactly one copy each.
+  for (ProjectId p : {projects[0], projects[4]}) {
+    auto info = sys.GetProjectInfo(p);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().id, p);
+  }
+  size_t hosted = 0;
+  for (size_t s = 0; s < 4; ++s) hosted += sys.StatsOf(s).projects;
+  EXPECT_EQ(hosted, 8u);
+}
+
 TEST(ShardedServiceTest, EndpointsRouteThroughShardedBackend) {
   api::Service service(Opts(4));
   ASSERT_TRUE(service.Init().ok());
@@ -386,6 +742,64 @@ TEST(ShardedServiceTest, EndpointsRouteThroughShardedBackend) {
   ASSERT_NE(step, nullptr);
   EXPECT_TRUE(step->status.ok());
   EXPECT_EQ(step->now, 10);
+}
+
+TEST(ShardedServiceTest, AdmissionControlThrottlesPerProject) {
+  api::Service service(Opts(2));
+  ASSERT_TRUE(service.Init().ok());
+  service.SetAdmissionLimit(8);
+
+  core::ProviderId provider = service.RegisterProvider({"p"}).provider;
+  UserTaggerId tagger = service.RegisterTagger({"t"}).tagger;
+  api::CreateProjectRequest create;
+  create.provider = provider;
+  create.spec = AudienceSpec("limited", 50);
+  ProjectId project = service.CreateProject(create).project;
+  create.spec = AudienceSpec("bystander", 50);
+  ProjectId other = service.CreateProject(create).project;
+
+  // 3 uploads + 1 control verb + 4 accepted tasks exhaust the 8-unit
+  // bucket exactly.
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
+  for (int i = 0; i < 3; ++i) {
+    upload.items.push_back(
+        {tagging::ResourceKind::kWebUrl, "u" + std::to_string(i), "", {}});
+  }
+  ASSERT_TRUE(service.BatchUploadResources(upload).outcome.all_ok());
+  ASSERT_TRUE(
+      service.BatchControl({project, {{api::ControlAction::kStart}}})
+          .outcome.all_ok());
+  auto accepted = service.BatchAcceptTasks({tagger, project, 4});
+  ASSERT_TRUE(accepted.status.ok());
+  ASSERT_EQ(accepted.tasks.size(), 4u);
+
+  // The bucket is empty: whole-call endpoints fail typed...
+  EXPECT_TRUE(service.BatchAcceptTasks({tagger, project, 1})
+                  .status.IsResourceExhausted());
+  EXPECT_TRUE(
+      service.ProjectQuery({project, false, {}}).status.IsResourceExhausted());
+  // ...and per-item endpoints fail exactly the items past the grant.
+  api::BatchUploadResourcesResponse denied =
+      service.BatchUploadResources(upload);
+  EXPECT_EQ(denied.outcome.ok_count, 0u);
+  for (const Status& s : denied.outcome.statuses) {
+    EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  }
+
+  // Handle-keyed traffic stays exempt: already-accepted work completes.
+  api::BatchSubmitTagsRequest submit;
+  api::BatchDecideRequest decide;
+  decide.provider = provider;
+  for (const AcceptedTask& task : accepted.tasks) {
+    submit.items.push_back({tagger, task.handle, {"sea"}});
+    decide.items.push_back({task.handle, true});
+  }
+  EXPECT_TRUE(service.BatchSubmitTags(submit).outcome.all_ok());
+  EXPECT_TRUE(service.BatchDecide(decide).outcome.all_ok());
+
+  // Other projects have their own bucket.
+  EXPECT_TRUE(service.ProjectQuery({other, false, {}}).status.ok());
 }
 
 }  // namespace
