@@ -1,0 +1,343 @@
+// E16 — read-replica payoff and replication lag: pipelined ProjectQuery
+// round-trips/sec against the fleet as read replicas are added (0, 1, 2
+// followers — every server in the fleet hammered concurrently, rates
+// summed), the single-server follower-vs-primary read rate, and the
+// steady-state repl.lag_batches gauge while a mixed writer pounds the
+// primary.
+//
+// The follower serves reads from its own replayed ShardedSystem, so its
+// read path is byte-for-byte the primary's read path — the interesting
+// questions are only (a) does a follower add ~1x a server's read capacity
+// to the fleet, and (b) does the stream keep lag bounded (and drain to
+// zero when the writer stops).
+//
+// Prints an ASCII table, then a machine-readable JSON summary (also
+// written to BENCH_repl.json). The follower-read gate (follower >= 0.9x
+// primary single-server reads) is informational — shared runners are
+// noisy and both sides run identical code; the bench exits non-zero only
+// when replication itself breaks (no convergence, lag never drains).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/service.h"
+#include "itag/sharded_system.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "repl/repl.h"
+
+using namespace itag;  // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kPipelineWindow = 64;
+constexpr size_t kClientsPerServer = 4;
+constexpr size_t kReadOpsPerServer = 24000;
+constexpr double kFollowerReadGate = 0.9;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+core::ShardedSystemOptions DurableOpts(const std::string& dir,
+                                       bool read_only) {
+  core::ShardedSystemOptions opts;
+  opts.num_shards = 2;
+  opts.pool_threads = 2;
+  opts.shard.db.directory = dir;
+  opts.shard.db.retain_wal = true;
+  opts.read_only = read_only;
+  return opts;
+}
+
+/// A served node: primary (with stream hooks) or read replica (with a
+/// follower pulling from the primary).
+struct Node {
+  std::unique_ptr<api::Service> service;
+  std::unique_ptr<net::Server> server;
+  std::unique_ptr<repl::Primary> streamer;   // primary only
+  std::unique_ptr<repl::Follower> follower;  // replicas only
+
+  ~Node() {
+    if (follower != nullptr) follower->Stop();
+    if (streamer != nullptr) streamer->Stop();
+    if (server != nullptr) server->Stop();
+  }
+};
+
+std::unique_ptr<Node> MakePrimary(const std::string& dir) {
+  auto node = std::make_unique<Node>();
+  node->service = std::make_unique<api::Service>(DurableOpts(dir, false));
+  if (!node->service->Init().ok()) return nullptr;
+  node->streamer = std::make_unique<repl::Primary>(node->service->sharded());
+  node->server = std::make_unique<net::Server>(node->service.get());
+  node->server->SetReplHooks(node->streamer->Hooks());
+  if (!node->server->Start().ok()) return nullptr;
+  return node;
+}
+
+std::unique_ptr<Node> MakeFollower(const std::string& dir,
+                                   uint16_t primary_port) {
+  auto node = std::make_unique<Node>();
+  node->service = std::make_unique<api::Service>(DurableOpts(dir, true));
+  if (!node->service->Init().ok()) return nullptr;
+  node->service->SetReplicaMode("127.0.0.1:" +
+                                std::to_string(primary_port));
+  repl::FollowerOptions fopts;
+  fopts.primary_port = primary_port;
+  node->follower =
+      std::make_unique<repl::Follower>(node->service->sharded(), fopts);
+  if (!node->follower->Start().ok()) return nullptr;
+  node->server = std::make_unique<net::Server>(node->service.get());
+  if (!node->server->Start().ok()) return nullptr;
+  return node;
+}
+
+bool WaitCaughtUp(const repl::Follower& follower, core::ShardedSystem& primary,
+                  int timeout_ms = 30000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (follower.applied_lsns() == primary.ReplLsns()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+/// Seeds the primary with a monitorable project and returns its id.
+core::ProjectId SeedWorld(api::Service& service) {
+  core::ProviderId provider = service.RegisterProvider({"bench"}).provider;
+  api::CreateProjectRequest create;
+  create.provider = provider;
+  create.spec.name = "repl-bench";
+  create.spec.budget = 100000;
+  create.spec.platform = core::PlatformChoice::kAudience;
+  core::ProjectId project = service.CreateProject(create).project;
+  api::BatchUploadResourcesRequest upload;
+  upload.project = project;
+  for (int r = 0; r < 16; ++r) {
+    api::UploadResourceItem item;
+    item.uri = "r-" + std::to_string(r);
+    upload.items.push_back(std::move(item));
+  }
+  (void)service.BatchUploadResources(upload);
+  (void)service.BatchControl(
+      {project, {{api::ControlAction::kStart, 0, 0, {}}}});
+  return project;
+}
+
+/// One client keeps kPipelineWindow ProjectQuery requests outstanding.
+double PipelinedClient(uint16_t port, const api::AnyRequest& req,
+                       size_t ops) {
+  net::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) return 0.0;
+  std::vector<uint64_t> window;
+  auto t0 = std::chrono::steady_clock::now();
+  size_t sent = 0, done = 0;
+  while (done < ops) {
+    while (sent < ops && window.size() < kPipelineWindow) {
+      Result<uint64_t> c = client.DispatchAsync(req);
+      if (!c.ok()) return 0.0;
+      window.push_back(c.value());
+      ++sent;
+    }
+    if (!client.Await(window.front()).ok()) return 0.0;
+    window.erase(window.begin());
+    ++done;
+  }
+  return ops / SecondsSince(t0);
+}
+
+/// Hammers every port concurrently (kClientsPerServer pipelined clients
+/// each) and returns the fleet's aggregate round-trips/sec.
+double RunFleetReads(const std::vector<uint16_t>& ports,
+                     const api::AnyRequest& req) {
+  size_t per_client = kReadOpsPerServer / kClientsPerServer;
+  std::vector<double> rates(ports.size() * kClientsPerServer, 0.0);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < ports.size(); ++p) {
+    for (size_t c = 0; c < kClientsPerServer; ++c) {
+      threads.emplace_back([&, p, c] {
+        rates[p * kClientsPerServer + c] =
+            PipelinedClient(ports[p], req, per_client);
+      });
+    }
+  }
+  for (std::thread& th : threads) th.join();
+  for (double r : rates) {
+    if (r == 0.0) return 0.0;  // a client failed
+  }
+  return (per_client * kClientsPerServer * ports.size()) / SecondsSince(t0);
+}
+
+}  // namespace
+
+int main() {
+  const size_t cores = std::thread::hardware_concurrency();
+  const std::string root =
+      (fs::temp_directory_path() /
+       ("itag_bench_repl." + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::unique_ptr<Node> primary = MakePrimary(root + "/primary");
+  if (primary == nullptr) {
+    std::fprintf(stderr, "failed to start primary\n");
+    return 1;
+  }
+  core::ProjectId project = SeedWorld(*primary->service);
+  api::ProjectQueryRequest query;
+  query.project = project;
+  api::AnyRequest read_req{query};
+
+  std::printf("repl bench: %zu cores, 2 shards, window %u, %zu clients/server\n\n",
+              cores, kPipelineWindow, kClientsPerServer);
+
+  // ---- read scaling: 0, 1, 2 followers --------------------------------
+  std::vector<uint16_t> ports = {primary->server->port()};
+  std::vector<double> fleet_rps;
+  std::vector<std::unique_ptr<Node>> followers;
+  double follower_solo = 0.0;
+  for (size_t n = 0; n <= 2; ++n) {
+    if (n > 0) {
+      auto f = MakeFollower(root + "/follower-" + std::to_string(n),
+                            primary->server->port());
+      if (f == nullptr || !WaitCaughtUp(*f->follower,
+                                        *primary->service->sharded())) {
+        std::fprintf(stderr, "follower %zu failed to converge\n", n);
+        return 1;
+      }
+      ports.push_back(f->server->port());
+      followers.push_back(std::move(f));
+    }
+    double rps = RunFleetReads(ports, read_req);
+    fleet_rps.push_back(rps);
+    std::printf("  %zu follower(s): fleet reads %10.0f rt/s\n", n, rps);
+  }
+  // Single-server follower rate, measured alone (no concurrent load on
+  // the primary), against the primary's equally-solo rate.
+  follower_solo = RunFleetReads({followers[0]->server->port()}, read_req);
+  double primary_solo2 = RunFleetReads({ports[0]}, read_req);
+  double read_ratio =
+      primary_solo2 > 0 ? follower_solo / primary_solo2 : 0.0;
+  std::printf("  follower solo %10.0f rt/s vs primary solo %10.0f rt/s "
+              "(%.2fx)\n\n",
+              follower_solo, primary_solo2, read_ratio);
+
+  // ---- steady-state lag under a mixed writer --------------------------
+  obs::Gauge* lag_gauge =
+      obs::MetricsRegistry::Default().GetGauge("repl.lag_batches");
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    core::UserTaggerId tagger =
+        primary->service->RegisterTagger({"w"}).tagger;
+    uint64_t n = 0;
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      api::BatchAcceptTasksRequest accept;
+      accept.tagger = tagger;
+      accept.project = project;
+      accept.count = 4;
+      auto tasks = primary->service->BatchAcceptTasks(accept);
+      api::BatchSubmitTagsRequest submit;
+      for (const auto& t : tasks.tasks) {
+        submit.items.push_back(
+            {tagger, t.handle, {"tag-" + std::to_string(n++ % 97)}});
+      }
+      if (!submit.items.empty()) {
+        (void)primary->service->BatchSubmitTags(submit);
+      }
+      (void)primary->service->Step({1});
+    }
+  });
+  // NOTE: the gauge is process-global; in this bench the process hosts
+  // both followers, so the samples are the worst lag across the fleet
+  // (the last PublishBurst wins — either way a bounded-lag signal).
+  std::vector<int64_t> samples;
+  auto sample_until = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(1500);
+  while (std::chrono::steady_clock::now() < sample_until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    samples.push_back(lag_gauge->value());
+  }
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+  bool drained = true;
+  for (auto& f : followers) {
+    drained = drained &&
+              WaitCaughtUp(*f->follower, *primary->service->sharded());
+  }
+  int64_t lag_final = lag_gauge->value();
+  std::sort(samples.begin(), samples.end());
+  int64_t lag_p50 = samples.empty() ? 0 : samples[samples.size() / 2];
+  int64_t lag_max = samples.empty() ? 0 : samples.back();
+  std::printf("steady-state lag under mixed writer: p50 %lld max %lld "
+              "batches; drained to %lld after quiesce (%s)\n",
+              static_cast<long long>(lag_p50),
+              static_cast<long long>(lag_max),
+              static_cast<long long>(lag_final),
+              drained ? "converged" : "NEVER CONVERGED");
+
+  bool ratio_pass = read_ratio >= kFollowerReadGate;
+  bool pass = drained;
+  if (!ratio_pass) {
+    // Informational: re-measure once — solo rates on shared runners wobble.
+    follower_solo = std::max(
+        follower_solo, RunFleetReads({followers[0]->server->port()}, read_req));
+    read_ratio = primary_solo2 > 0 ? follower_solo / primary_solo2 : 0.0;
+    ratio_pass = read_ratio >= kFollowerReadGate;
+  }
+
+  // Machine-readable summary (stdout + BENCH_repl.json).
+  std::string json = "{\"bench\":\"repl\",\"host_cores\":" +
+                     std::to_string(cores) +
+                     ",\"pipeline_window\":" + std::to_string(kPipelineWindow);
+  auto add = [&json](const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    json += ",\"" + key + "\":" + buf;
+  };
+  json += ",\"fleet_read_rps\":[";
+  for (size_t i = 0; i < fleet_rps.size(); ++i) {
+    if (i > 0) json += ",";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"followers\":%zu,\"rps\":%.1f}", i,
+                  fleet_rps[i]);
+    json += buf;
+  }
+  json += "]";
+  add("primary_solo_read_rps", primary_solo2);
+  add("follower_solo_read_rps", follower_solo);
+  add("follower_primary_read_ratio", read_ratio);
+  json += ",\"lag_batches_p50\":" + std::to_string(lag_p50) +
+          ",\"lag_batches_max\":" + std::to_string(lag_max) +
+          ",\"lag_batches_after_quiesce\":" + std::to_string(lag_final);
+  json += std::string(",\"read_ratio_gate\":\"") +
+          (ratio_pass ? "pass" : "informational-miss") +
+          "\",\"verdict\":\"" + (pass ? "pass" : "fail") + "\"}";
+  std::printf("\n%s\n", json.c_str());
+  std::ofstream("BENCH_repl.json") << json << "\n";
+
+  followers.clear();
+  primary.reset();
+  fs::remove_all(root);
+  std::printf("\nverdict: %s (read scaling informational, lag %s)\n",
+              pass ? "pass" : "FAIL",
+              drained ? "drains to zero" : "DOES NOT DRAIN");
+  return pass ? 0 : 1;
+}

@@ -5,7 +5,8 @@
 // admin endpoint, and the v3 MetricsQuery observability endpoint.
 //
 //   ./itag_client [port] [--dump FILE] [--query ID] [--metrics [PREFIX]]
-//                 [--placement] [--traces [--slow-us N] [--endpoint NAME]]
+//                 [--placement] [--promote]
+//                 [--traces [--slow-us N] [--endpoint NAME]]
 //
 // Default (session mode): runs the provider+tagger session, checkpoints,
 // and — with --dump — writes the project's canonical final state (the
@@ -26,6 +27,12 @@
 // core.placement.project.<id> gauge, the per-shard core.shard.<i>.ops
 // totals, and core.rebalance.{migrations,moved_ops,stall_us} with the
 // current core.placement.version. See docs/rebalancing.md.
+// With --promote (v5) the client flips a read replica into a writable
+// primary: the server replays the received WAL tail, resolves migration
+// intents, and starts accepting writes. Exits 0 when the server reports
+// it was a replica and is now writable, 1 otherwise (already writable, no
+// replica support). The failover smoke in CI runs exactly this after
+// kill -9 on the primary. See docs/replication.md.
 // With --traces (v4) the client fetches the server's retained request
 // traces and prints each as an indented span tree with durations and
 // self-times; --slow-us N keeps only traces whose root took >= N µs, and
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
   bool metrics_mode = false;
   std::string metrics_prefix;
   bool placement_mode = false;
+  bool promote_mode = false;
   bool traces_mode = false;
   long long traces_slow_us = 0;
   std::string traces_endpoint;
@@ -106,6 +114,8 @@ int main(int argc, char** argv) {
       query_id = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--placement") == 0) {
       placement_mode = true;
+    } else if (std::strcmp(argv[i], "--promote") == 0) {
+      promote_mode = true;
     } else if (std::strcmp(argv[i], "--traces") == 0) {
       traces_mode = true;
     } else if (std::strcmp(argv[i], "--slow-us") == 0 && i + 1 < argc) {
@@ -127,7 +137,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [port] [--dump FILE] [--query ID] "
-                   "[--metrics [PREFIX]] [--placement] "
+                   "[--metrics [PREFIX]] [--placement] [--promote] "
                    "[--traces [--slow-us N] [--endpoint NAME]]\n",
                    argv[0]);
       return 2;
@@ -143,6 +153,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("connected (api v%u)\n", api::kApiVersion);
+
+  if (promote_mode) {
+    // Failover mode: flip the replica writable. The typed response tells
+    // apart "promoted now" (was_replica) from "already writable".
+    auto promoted = Must(client.Promote(api::PromoteRequest{}), "Promote");
+    if (!promoted.status.ok()) {
+      std::fprintf(stderr, "promote refused: %s\n",
+                   promoted.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("promoted: %s\n",
+                promoted.was_replica ? "replica is now writable"
+                                     : "was already writable");
+    return 0;
+  }
 
   if (traces_mode) {
     // Tracing mode: the server's retained span trees, newest first,

@@ -2,7 +2,7 @@
 // behind the binary wire protocol, serving any number of TCP clients.
 //
 //   ./itag_server [port] [max_seconds] [--db-dir=DIR] [--shards=N]
-//                 [--page-cache-mb=N] [--reactors=N]
+//                 [--page-cache-mb=N] [--reactors=N] [--follow=HOST:PORT]
 //                 [--rebalance-interval-ms=N] [--rebalance-hot-ratio=R]
 //                 [--admission-rps=N] [--log-level=LEVEL]
 //                 [--trace-sample-n=N] [--trace-slow-us=N]
@@ -22,6 +22,16 @@
 // an N-MiB page cache per shard, so tables may exceed RAM and a clean
 // restart reads only the page-file meta + catalog instead of replaying
 // the WAL (see docs/paged-storage.md). Requires --db-dir.
+// --follow=HOST:PORT starts the daemon as a WAL-shipping read replica of
+// the primary at HOST:PORT (which must be durable): writes answer a typed
+// FailedPrecondition naming the leader, reads serve locally, and the
+// follower reconnects with backoff if the stream drops. Requires --db-dir
+// (the follower's own durable state is its resume cursor) and the same
+// --shards as the primary. `itag_client PORT --promote` flips it into a
+// writable primary after replaying the received tail. Every durable
+// server retains its WAL across checkpoints and accepts subscribers, so
+// a promoted follower can immediately feed the next replica. See
+// docs/replication.md.
 // --reactors=N runs N IO reactor threads (epoll loops), each owning a
 // disjoint, round-robin-assigned subset of the connections — the knob for
 // many-connection fleets; 0 picks one reactor per hardware thread.
@@ -54,6 +64,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -64,6 +75,7 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "repl/repl.h"
 
 namespace {
 
@@ -84,6 +96,7 @@ int main(int argc, char** argv) {
   size_t rebalance_interval_ms = 0;  // 0 = static placement
   double rebalance_hot_ratio = 0.45;
   uint64_t admission_rps = 0;  // 0 = no per-project admission cap
+  std::string follow;          // empty = primary, HOST:PORT = read replica
   uint64_t trace_sample_n = 1024;
   uint64_t trace_slow_us = 10000;
   std::string trace_export;
@@ -106,6 +119,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--rebalance-hot-ratio must be in (0, 1)\n");
         return 2;
       }
+    } else if (std::strncmp(arg, "--follow=", 9) == 0) {
+      follow = arg + 9;
     } else if (std::strncmp(arg, "--admission-rps=", 16) == 0) {
       admission_rps = static_cast<uint64_t>(std::atoll(arg + 16));
     } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
@@ -132,6 +147,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [port] [max_seconds] [--db-dir=DIR] "
                    "[--shards=N] [--page-cache-mb=N] [--reactors=N] "
+                   "[--follow=HOST:PORT] "
                    "[--rebalance-interval-ms=N] [--rebalance-hot-ratio=R] "
                    "[--admission-rps=N] [--log-level=LEVEL] "
                    "[--trace-sample-n=N] [--trace-slow-us=N] "
@@ -144,6 +160,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--page-cache-mb requires --db-dir\n");
     return 2;
   }
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  if (!follow.empty()) {
+    if (db_dir.empty()) {
+      std::fprintf(stderr, "--follow requires --db-dir\n");
+      return 2;
+    }
+    size_t colon = follow.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == follow.size()) {
+      std::fprintf(stderr, "--follow wants HOST:PORT, got %s\n",
+                   follow.c_str());
+      return 2;
+    }
+    follow_host = follow.substr(0, colon);
+    follow_port = static_cast<uint16_t>(std::atoi(follow.c_str() + colon + 1));
+  }
   obs::Tracer::Default().Configure(trace_sample_n, trace_slow_us);
 
   // The server front is concurrent, so the backend must be the sharded,
@@ -152,6 +185,10 @@ int main(int argc, char** argv) {
   core::ShardedSystemOptions shard_opts;
   shard_opts.num_shards = shards == 0 ? 1 : shards;
   shard_opts.shard.db.directory = db_dir;
+  // Durable servers keep their WAL across checkpoints: the log is the
+  // replication feed, and recovery stays exact via the checkpoint LSN.
+  shard_opts.shard.db.retain_wal = !db_dir.empty();
+  shard_opts.read_only = !follow.empty();
   if (page_cache_mb >= 0) {
     shard_opts.shard.db.paged = true;
     shard_opts.shard.db.page_cache_mb = static_cast<size_t>(page_cache_mb);
@@ -166,10 +203,37 @@ int main(int argc, char** argv) {
   }
   service.SetAdmissionLimit(admission_rps);
 
+  // Every durable server accepts replication subscribers (so a promoted
+  // follower can feed the next replica without a restart); a --follow
+  // server additionally runs the receive side until promoted.
+  std::unique_ptr<repl::Primary> primary;
+  std::unique_ptr<repl::Follower> follower;
+  if (!db_dir.empty()) {
+    primary = std::make_unique<repl::Primary>(service.sharded());
+  }
+  if (!follow.empty()) {
+    service.SetReplicaMode(follow);
+    repl::FollowerOptions fopts;
+    fopts.primary_host = follow_host;
+    fopts.primary_port = follow_port;
+    follower = std::make_unique<repl::Follower>(service.sharded(), fopts);
+    service.SetPromoteHandler([&service, &follower] {
+      follower->Stop();
+      return service.sharded()->Promote();
+    });
+    Status fstart = follower->Start();
+    if (!fstart.ok()) {
+      std::fprintf(stderr, "follower start failed: %s\n",
+                   fstart.ToString().c_str());
+      return 1;
+    }
+  }
+
   net::ServerOptions opts;
   opts.port = port;
   opts.reactors = reactors;
   net::Server server(&service, opts);
+  if (primary != nullptr) server.SetReplHooks(primary->Hooks());
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
@@ -182,6 +246,7 @@ int main(int argc, char** argv) {
                                   std::to_string(page_cache_mb) +
                                   " MiB cache): " + db_dir
                             : "durable: " + db_dir);
+  if (!follow.empty()) backend += ", following " + follow;
   char placement[64];
   if (rebalance_interval_ms == 0) {
     std::snprintf(placement, sizeof(placement), "static placement");
@@ -212,8 +277,11 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  // Graceful shutdown: drain first (Stop joins in-flight dispatches), then
-  // checkpoint what they wrote, then report and exit 0.
+  // Graceful shutdown: sever the replication stream first (a mid-apply
+  // burst finishes; the cursor is durable either way), drain the wire
+  // (Stop joins in-flight dispatches), then checkpoint what they wrote.
+  if (follower != nullptr) follower->Stop();
+  if (primary != nullptr) primary->Stop();
   server.Stop();
   api::CheckpointResponse checkpoint = service.Checkpoint({});
   if (!checkpoint.status.ok()) {

@@ -29,8 +29,10 @@ namespace itag::api {
 /// Checkpoint admin endpoint (new AnyRequest/AnyResponse alternative, which
 /// shifts the wire's closed type-tag space and is therefore incompatible);
 /// v3 — added the MetricsQuery observability endpoint (same reason);
-/// v4 — added the TraceQuery tracing endpoint (same reason).
-inline constexpr uint32_t kApiVersion = 4;
+/// v4 — added the TraceQuery tracing endpoint (same reason);
+/// v5 — added the Promote admin endpoint and the replication frame kinds
+/// (ReplSubscribe/ReplBatch/ReplAck — see docs/wire-protocol.md).
+inline constexpr uint32_t kApiVersion = 5;
 
 /// True iff a peer speaking `version` can be served by this binary. The rule
 /// is exact match while the surface still evolves; when a compatibility
@@ -256,6 +258,19 @@ struct CheckpointResponse {
   uint64_t rows = 0;
 };
 
+/// Promotes a read replica to writable primary (replication failover). The
+/// follower finishes draining whatever stream tail it has, detaches from the
+/// dead primary, resolves any in-flight migration intents, and starts
+/// accepting writes. On an already-writable server the call fails with
+/// FailedPrecondition and changes nothing, so firing it at the wrong address
+/// is harmless. See docs/replication.md for the promote procedure.
+struct PromoteRequest {};
+struct PromoteResponse {
+  Status status;
+  /// True when this call performed the flip (false on the error paths).
+  bool was_replica = false;
+};
+
 // ----------------------------------------------------------- observability
 
 /// Reads a point-in-time snapshot of the process metrics registry
@@ -310,7 +325,7 @@ using AnyRequest =
                  BatchControlRequest, ProjectQueryRequest,
                  BatchAcceptTasksRequest, BatchSubmitTagsRequest,
                  BatchDecideRequest, StepRequest, CheckpointRequest,
-                 MetricsQueryRequest, TraceQueryRequest>;
+                 MetricsQueryRequest, TraceQueryRequest, PromoteRequest>;
 
 using AnyResponse =
     std::variant<RegisterProviderResponse, RegisterTaggerResponse,
@@ -318,7 +333,7 @@ using AnyResponse =
                  BatchControlResponse, ProjectQueryResponse,
                  BatchAcceptTasksResponse, BatchSubmitTagsResponse,
                  BatchDecideResponse, StepResponse, CheckpointResponse,
-                 MetricsQueryResponse, TraceQueryResponse>;
+                 MetricsQueryResponse, TraceQueryResponse, PromoteResponse>;
 
 /// Number of request alternatives. The wire protocol uses the variant index
 /// as its request/response type tag, so alternative order is part of the
@@ -332,7 +347,7 @@ inline const char* RequestTypeName(size_t index) {
       "RegisterProvider", "RegisterTagger",  "CreateProject",
       "BatchUploadResources", "BatchControl", "ProjectQuery",
       "BatchAcceptTasks", "BatchSubmitTags", "BatchDecide",
-      "Step", "Checkpoint", "MetricsQuery", "TraceQuery",
+      "Step", "Checkpoint", "MetricsQuery", "TraceQuery", "Promote",
   };
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == kRequestTypeCount,
                 "RequestTypeName out of sync with AnyRequest");
@@ -362,8 +377,7 @@ template <typename T>
 inline constexpr size_t kRequestTypeIndex =
     detail::VariantIndexOf<T, AnyRequest>::value;
 
-static_assert(kRequestTypeIndex<TraceQueryRequest> ==
-                  kRequestTypeCount - 1,
+static_assert(kRequestTypeIndex<PromoteRequest> == kRequestTypeCount - 1,
               "kRequestTypeIndex out of sync with AnyRequest");
 
 }  // namespace itag::api

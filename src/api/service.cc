@@ -154,10 +154,24 @@ void Service::SetAdmissionLimit(uint64_t rps) {
       rps == 0 ? nullptr : std::make_unique<AdmissionController>(rps);
 }
 
+void Service::SetReplicaMode(const std::string& leader_addr) {
+  leader_addr_ = leader_addr;
+  replica_.store(true, std::memory_order_release);
+}
+
+Status Service::ReplicaRejected() const {
+  return Status::FailedPrecondition(
+      "read replica rejects writes; redirect to leader=" + leader_addr_);
+}
+
 RegisterProviderResponse Service::RegisterProvider(
     const RegisterProviderRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<RegisterProviderRequest>);
   RegisterProviderResponse resp;
+  if (replica_mode()) {
+    resp.status = ReplicaRejected();
+    return resp;
+  }
   if (req.name.empty()) {
     resp.status = Status::InvalidArgument("provider name must be non-empty");
     return resp;
@@ -176,6 +190,10 @@ RegisterTaggerResponse Service::RegisterTagger(
     const RegisterTaggerRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<RegisterTaggerRequest>);
   RegisterTaggerResponse resp;
+  if (replica_mode()) {
+    resp.status = ReplicaRejected();
+    return resp;
+  }
   if (req.name.empty()) {
     resp.status = Status::InvalidArgument("tagger name must be non-empty");
     return resp;
@@ -193,6 +211,10 @@ RegisterTaggerResponse Service::RegisterTagger(
 CreateProjectResponse Service::CreateProject(const CreateProjectRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<CreateProjectRequest>);
   CreateProjectResponse resp;
+  if (replica_mode()) {
+    resp.status = ReplicaRejected();
+    return resp;
+  }
   if (req.spec.name.empty()) {
     resp.status = Status::InvalidArgument("project name must be non-empty");
     return resp;
@@ -213,6 +235,10 @@ BatchUploadResourcesResponse Service::BatchUploadResources(
   BatchUploadResourcesResponse resp;
   resp.outcome.statuses.resize(req.items.size());
   resp.resources.assign(req.items.size(), tagging::kInvalidResource);
+  if (replica_mode()) {
+    for (Status& s : resp.outcome.statuses) s = ReplicaRejected();
+    return resp;
+  }
   // Pre-validate, then upload the valid items as one backend batch — a
   // single routed, locked pass on the sharded core. `routed` maps backend
   // results back to the request slots that passed validation.
@@ -261,6 +287,12 @@ BatchControlResponse Service::BatchControl(const BatchControlRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<BatchControlRequest>);
   BatchControlResponse resp;
   resp.outcome.statuses.reserve(req.items.size());
+  if (replica_mode()) {
+    for (size_t i = 0; i < req.items.size(); ++i) {
+      Record(&resp.outcome, ReplicaRejected());
+    }
+    return resp;
+  }
   size_t granted = req.items.size();
   if (admission_ != nullptr) {
     granted = static_cast<size_t>(
@@ -343,6 +375,10 @@ BatchAcceptTasksResponse Service::BatchAcceptTasks(
     const BatchAcceptTasksRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<BatchAcceptTasksRequest>);
   BatchAcceptTasksResponse resp;
+  if (replica_mode()) {
+    resp.status = ReplicaRejected();
+    return resp;
+  }
   if (req.count == 0) {
     resp.status = Status::InvalidArgument("count must be positive");
     return resp;
@@ -370,6 +406,10 @@ BatchSubmitTagsResponse Service::BatchSubmitTags(
   ApiCallScope obs_scope(kRequestTypeIndex<BatchSubmitTagsRequest>);
   BatchSubmitTagsResponse resp;
   resp.outcome.statuses.resize(req.items.size());
+  if (replica_mode()) {
+    for (Status& s : resp.outcome.statuses) s = ReplicaRejected();
+    return resp;
+  }
   // Pre-validate, then hand the valid items to the backend as one batch —
   // the sharded core groups them per shard and fans out on its pool.
   // `routed` maps backend results back to the request slots that passed.
@@ -413,6 +453,18 @@ std::vector<BatchSubmitTagsResponse> Service::BatchSubmitTagsMulti(
   auto t0 = std::chrono::steady_clock::now();
 
   std::vector<BatchSubmitTagsResponse> resps(reqs.size());
+  if (replica_mode()) {
+    for (size_t r = 0; r < reqs.size(); ++r) {
+      resps[r].outcome.statuses.assign(reqs[r].items.size(),
+                                       ReplicaRejected());
+    }
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    for (size_t r = 0; r < reqs.size(); ++r) em.latency->Observe(us);
+    return resps;
+  }
   // Same per-item validation as BatchSubmitTags, with (request, slot)
   // routing so backend statuses scatter back to the right response.
   std::vector<core::TagSubmission> submissions;
@@ -459,6 +511,10 @@ BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<BatchDecideRequest>);
   BatchDecideResponse resp;
   resp.outcome.statuses.resize(req.items.size());
+  if (replica_mode()) {
+    for (Status& s : resp.outcome.statuses) s = ReplicaRejected();
+    return resp;
+  }
   // Pre-validate, then let the backend group all approvals of a project into
   // one CompletePostBatch pass (per-shard-parallel on the sharded core).
   std::vector<std::pair<core::TaskHandle, bool>> decisions;
@@ -490,6 +546,11 @@ BatchDecideResponse Service::BatchDecide(const BatchDecideRequest& req) {
 StepResponse Service::Step(const StepRequest& req) {
   ApiCallScope obs_scope(kRequestTypeIndex<StepRequest>);
   StepResponse resp;
+  if (replica_mode()) {
+    resp.status = ReplicaRejected();
+    std::visit([&](auto* sys) { resp.now = NowOf(sys); }, backend_);
+    return resp;
+  }
   std::visit(
       [&](auto* sys) {
         if (req.ticks < 0) {
@@ -538,6 +599,29 @@ TraceQueryResponse Service::TraceQuery(const TraceQueryRequest& req) {
   return resp;
 }
 
+PromoteResponse Service::Promote(const PromoteRequest& req) {
+  ApiCallScope obs_scope(kRequestTypeIndex<PromoteRequest>);
+  (void)req;
+  PromoteResponse resp;
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  if (!replica_mode()) {
+    resp.status =
+        Status::FailedPrecondition("already writable: not a replica");
+    return resp;
+  }
+  if (!promote_handler_) {
+    resp.status =
+        Status::FailedPrecondition("replica has no promote handler installed");
+    return resp;
+  }
+  resp.status = promote_handler_();
+  if (resp.status.ok()) {
+    resp.was_replica = true;
+    replica_.store(false, std::memory_order_release);
+  }
+  return resp;
+}
+
 AnyResponse Service::Dispatch(const AnyRequest& req) {
   return std::visit(
       [this](const auto& r) -> AnyResponse {
@@ -566,9 +650,11 @@ AnyResponse Service::Dispatch(const AnyRequest& req) {
           return Checkpoint(r);
         } else if constexpr (std::is_same_v<T, MetricsQueryRequest>) {
           return MetricsQuery(r);
-        } else {
-          static_assert(std::is_same_v<T, TraceQueryRequest>);
+        } else if constexpr (std::is_same_v<T, TraceQueryRequest>) {
           return TraceQuery(r);
+        } else {
+          static_assert(std::is_same_v<T, PromoteRequest>);
+          return Promote(r);
         }
       },
       req);

@@ -1,10 +1,13 @@
 #ifndef ITAG_API_SERVICE_H_
 #define ITAG_API_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <variant>
 
@@ -102,6 +105,27 @@ class Service {
   /// The request/response schema version this binary serves.
   static constexpr uint32_t version() { return kApiVersion; }
 
+  // ----------------------------------------------------------- replication
+  /// Enters replica mode: every write endpoint answers a typed
+  /// FailedPrecondition whose message carries "leader=<leader_addr>" so
+  /// clients can redirect. Reads (ProjectQuery, MetricsQuery, TraceQuery)
+  /// and Checkpoint (local durability) keep working. Call before serving
+  /// traffic; `leader_addr` is immutable afterwards.
+  void SetReplicaMode(const std::string& leader_addr);
+
+  /// True while writes are rejected.
+  bool replica_mode() const {
+    return replica_.load(std::memory_order_acquire);
+  }
+
+  /// What Promote() runs to perform the actual flip — stop the follower
+  /// stream, replay the tail, ShardedSystem::Promote(). Installed by the
+  /// embedder (itag_server, tests) before serving.
+  using PromoteHandler = std::function<Status()>;
+  void SetPromoteHandler(PromoteHandler handler) {
+    promote_handler_ = std::move(handler);
+  }
+
   // -------------------------------------------------------------- endpoints
   // Each endpoint documents only what it adds on top of the backend call it
   // routes to; per-item semantics live on the request structs in requests.h.
@@ -156,6 +180,11 @@ class Service {
   /// duration and endpoint name. Read-only, always OK; never touches a
   /// shard mutex. See docs/observability.md for sampling semantics.
   TraceQueryResponse TraceQuery(const TraceQueryRequest& req);
+  /// Failover: runs the installed promote handler and, on success, leaves
+  /// replica mode. FailedPrecondition when the server is already writable
+  /// or no handler is installed; serialized so concurrent Promote calls
+  /// cannot double-run the flip.
+  PromoteResponse Promote(const PromoteRequest& req);
 
   /// Routes a type-erased request to its endpoint — the single entry point a
   /// wire frontend needs. Thread-safe iff the backend is sharded.
@@ -176,10 +205,20 @@ class Service {
   }
 
  private:
+  /// The typed write rejection of replica mode; message carries the
+  /// "leader=<addr>" token clients redirect on.
+  Status ReplicaRejected() const;
+
   std::unique_ptr<core::ITagSystem> owned_;
   std::unique_ptr<core::ShardedSystem> owned_sharded_;
   std::variant<core::ITagSystem*, core::ShardedSystem*> backend_;
   std::unique_ptr<AdmissionController> admission_;
+  /// Replica mode (see SetReplicaMode). leader_addr_ is written once,
+  /// before traffic; the flag alone flips at promote time.
+  std::atomic<bool> replica_{false};
+  std::string leader_addr_;
+  PromoteHandler promote_handler_;
+  std::mutex promote_mu_;  ///< serializes Promote()
 };
 
 }  // namespace itag::api

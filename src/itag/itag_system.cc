@@ -21,6 +21,38 @@ ITagSystem::ITagSystem(ITagSystemOptions options)
 Status ITagSystem::Init() {
   if (initialized_) return Status::FailedPrecondition("already initialized");
   ITAG_RETURN_IF_ERROR(db_.Open(options_.db));
+  ITAG_RETURN_IF_ERROR(AttachManagers());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status ITagSystem::Reattach() {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  if (!persist()) {
+    return Status::FailedPrecondition(
+        "Reattach needs a durable database to re-derive state from");
+  }
+  // Reset to the post-construction baseline; AttachManagers then restores
+  // from the tables exactly as a fresh Init on this directory would. The
+  // database itself stays open — its contents are the input here.
+  clock_ = SimClock();
+  rng_ = Rng(options_.seed);
+  ledger_ = crowd::PaymentLedger();
+  in_flight_mturk_.clear();
+  in_flight_social_.clear();
+  pending_.clear();
+  accepted_.clear();
+  accepted_by_.clear();
+  next_handle_ = 1;
+  tasks_accepted_total_ = 0;
+  in_flight_rows_.clear();
+  sys_rows_.clear();
+  ledger_project_rows_.clear();
+  ledger_worker_rows_.clear();
+  return AttachManagers();
+}
+
+Status ITagSystem::AttachManagers() {
   users_ = std::make_unique<UserManager>(&db_);
   ITAG_RETURN_IF_ERROR(users_->Attach());
   resources_ = std::make_unique<ResourceManager>(&db_);
@@ -44,9 +76,7 @@ Status ITagSystem::Init() {
   social_ = std::make_unique<crowd::SocialNetSim>(
       crowd::GenerateWorkerPool(social_pool, &pool_rng), &ledger_,
       options_.social);
-  ITAG_RETURN_IF_ERROR(AttachRuntimeState());
-  initialized_ = true;
-  return Status::OK();
+  return AttachRuntimeState();
 }
 
 Result<CheckpointInfo> ITagSystem::Checkpoint() {

@@ -121,6 +121,17 @@ class ITagSystem {
   /// to the uninterrupted run. Must be called once before use.
   Status Init();
 
+  /// Re-derives every piece of in-memory state from the (already open)
+  /// database, exactly like a fresh Init would — managers, workflow maps,
+  /// ledger, clock, RNG stream, platform simulators. A replication follower
+  /// calls this after applying a burst of shipped WAL records: the records
+  /// update tables, Reattach rebuilds everything derived from them. Only
+  /// meaningful on a durable system (FailedPrecondition otherwise — an
+  /// in-memory database has no authoritative tables to re-derive from).
+  /// Installed code (post source, approval policies) survives; it is code,
+  /// not data.
+  Status Reattach();
+
   /// Compacts durability state: snapshots all tables and truncates the WAL
   /// (storage::Database::Checkpoint). Every mutation is already written
   /// through, so this bounds recovery time, not durability. OK with
@@ -351,6 +362,10 @@ class ITagSystem {
   // ----------------------------------------------------------- persistence
   /// True when runtime state must be written through to storage.
   bool persist() const { return db_.durable(); }
+  /// Everything Init does after opening the database: construct the
+  /// managers in dependency order, regenerate the worker pools from the
+  /// seed, restore the runtime state. Shared with Reattach.
+  Status AttachManagers();
   /// Creates the workflow/ledger/sys tables and restores their contents.
   Status AttachRuntimeState();
   /// Upserts one sys key/value row.

@@ -101,9 +101,14 @@ Status ShardedSystem::Init() {
   }
   // Phase 2 — the placement overlay, then any migration the last process
   // did not finish. Intents must resolve before counters are derived:
-  // resolving one can delete a half-copied project.
+  // resolving one can delete a half-copied project. A follower must NOT
+  // resolve: its intent rows mirror the primary's, where the migration may
+  // well complete — Promote() resolves whatever is left at failover.
   ITAG_RETURN_IF_ERROR(OpenPlacement());
-  ITAG_RETURN_IF_ERROR(ResolveIntents());
+  read_only_.store(options_.read_only, std::memory_order_release);
+  if (!options_.read_only) {
+    ITAG_RETURN_IF_ERROR(ResolveIntents());
+  }
   // Phase 3 — re-derive the per-shard counters from recovered state and
   // publish fresh snapshots so the lock-free monitoring path works
   // immediately.
@@ -141,6 +146,129 @@ Status ShardedSystem::Init() {
   metrics_.placement_version->Set(
       static_cast<int64_t>(placement_version_.load(std::memory_order_acquire)));
   initialized_ = true;
+  if (options_.rebalance_interval_ms > 0 && !options_.read_only) {
+    rebalance_thread_ = std::thread([this] { RebalanceLoop(); });
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- replication
+
+std::vector<std::string> ShardedSystem::ReplWalPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(shards_.size() + 1);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    paths.push_back(shard->system->database().wal_path());
+  }
+  paths.push_back(placement_db_ ? placement_db_->wal_path() : "");
+  return paths;
+}
+
+std::vector<uint64_t> ShardedSystem::ReplLsns() const {
+  std::vector<uint64_t> lsns;
+  lsns.reserve(shards_.size() + 1);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    lsns.push_back(shard->system->database().last_lsn());
+  }
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    lsns.push_back(placement_db_ ? placement_db_->last_lsn() : 0);
+  }
+  return lsns;
+}
+
+Status ShardedSystem::ApplyReplicated(size_t db_index,
+                                      const storage::WalRecord& rec) {
+  if (db_index < shards_.size()) {
+    Shard& shard = *shards_[db_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.system->database().ApplyReplicated(rec);
+  }
+  if (db_index == shards_.size() && placement_db_) {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    return placement_db_->ApplyReplicated(rec);
+  }
+  return Status::InvalidArgument("replicated db index " +
+                                 std::to_string(db_index) + " out of range");
+}
+
+Status ShardedSystem::ReattachShard(size_t shard_index) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ITAG_RETURN_IF_ERROR(shard.system->Reattach());
+  shard.projects_created = shard.system->quality_manager().ProjectCount();
+  shard.tasks_accepted = shard.system->tasks_accepted_total();
+  RefreshShard(shard_index);
+  // Shard clocks advance in lockstep on the primary, so the follower's
+  // monotonic maximum converges to the primary's Now().
+  Tick shard_now = shard.system->clock().Now();
+  Tick seen = now_.load(std::memory_order_acquire);
+  while (shard_now > seen &&
+         !now_.compare_exchange_weak(seen, shard_now,
+                                     std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+Status ShardedSystem::ReloadPlacement() {
+  if (!placement_db_) {
+    return Status::FailedPrecondition("placement database not open");
+  }
+  ITAG_RETURN_IF_ERROR(LoadPlacementOverlay());
+  metrics_.placement_version->Set(
+      static_cast<int64_t>(placement_version_.load(std::memory_order_acquire)));
+  return Status::OK();
+}
+
+Status ShardedSystem::Promote() {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  if (!read_only_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("not a replica: already writable");
+  }
+  // The stream is stopped (caller's contract), so the tables are frozen at
+  // whatever the follower durably applied. This is exactly the post-crash
+  // recovery picture — run the same deterministic steps a primary restart
+  // would: re-derive in-memory state from the tables, then resolve
+  // half-done migrations (which consults that state), then refresh the
+  // cross-shard counters.
+  std::vector<Status> results(shards_.size());
+  std::vector<std::function<void()>> reattach;
+  reattach.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    reattach.push_back([this, s, &results] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      results[s] = shard.system->Reattach();
+    });
+  }
+  pool_->RunAll(std::move(reattach));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!results[s].ok()) {
+      return Status(results[s].code(), "shard " + std::to_string(s) +
+                                           " failed to promote: " +
+                                           results[s].message());
+    }
+  }
+  ITAG_RETURN_IF_ERROR(ReloadPlacement());
+  ITAG_RETURN_IF_ERROR(ResolveIntents());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.projects_created = shard.system->quality_manager().ProjectCount();
+    shard.tasks_accepted = shard.system->tasks_accepted_total();
+    RefreshShard(s);
+  }
+  uint64_t projects = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    projects += shard->projects_created;
+  }
+  next_project_shard_.store(projects, std::memory_order_release);
+  now_.store(shards_[0]->system->clock().Now(), std::memory_order_release);
+  read_only_.store(false, std::memory_order_release);
   if (options_.rebalance_interval_ms > 0) {
     rebalance_thread_ = std::thread([this] { RebalanceLoop(); });
   }
@@ -229,7 +357,15 @@ Status ShardedSystem::OpenPlacement() {
                                             .Int("state")
                                             .Build()));
   }
+  return LoadPlacementOverlay();
+}
+
+Status ShardedSystem::LoadPlacementOverlay() {
+  storage::Database& db = *placement_db_;
   std::unique_lock<std::shared_mutex> pl(placement_mu_);
+  placement_ = PlacementMap(shards_.size());
+  placement_rows_.clear();
+  handle_rows_.clear();
   db.GetTable(kPlacementTable)
       ->Scan([&](storage::RowId rid, const storage::Row& row) {
         PlacementMap::Location at;

@@ -50,6 +50,13 @@ struct ShardedSystemOptions {
   /// Windows with fewer total routed ops than this are ignored — idle
   /// systems never migrate on noise.
   uint64_t rebalance_min_ops = 64;
+
+  /// Replication-follower mode: the system serves reads while a
+  /// repl::Follower applies shipped WAL records underneath it. Init skips
+  /// everything that *writes* (migration-intent resolution, the
+  /// rebalancer) — those run when Promote() flips the system writable.
+  /// Requires durable shards (the stream lands in real WALs).
+  bool read_only = false;
 };
 
 /// Lock-free-readable per-project quality snapshot (the monitoring hot
@@ -130,6 +137,10 @@ class ShardedSystem {
   Result<CheckpointInfo> Checkpoint();
 
   size_t num_shards() const { return shards_.size(); }
+
+  /// The construction options (e.g. for the replication handshake: a
+  /// follower must prove its shard count and seed match the primary's).
+  const ShardedSystemOptions& options() const { return options_; }
 
   // ------------------------------------------------------------ users
   /// Registers a provider on every shard (identical id everywhere).
@@ -252,6 +263,48 @@ class ShardedSystem {
   /// caller must guarantee no concurrent use of this ShardedSystem.
   ITagSystem& shard_system(size_t shard) { return *shards_[shard]->system; }
 
+  // ----------------------------------------------------------- replication
+  /// Databases a replication stream covers: one per shard, plus the
+  /// placement database at stream index num_shards().
+  size_t NumReplDbs() const { return shards_.size() + 1; }
+
+  /// WAL file path of each replicated DB in stream-index order (placement
+  /// last); empty strings when the system is in-memory. What a
+  /// repl::Primary hands to its WalTailers.
+  std::vector<std::string> ReplWalPaths() const;
+
+  /// Last LSN appended to (primary) or applied into (follower) each
+  /// replicated DB, stream-index order. A follower subscribes from these;
+  /// each is read under the owning DB's lock.
+  std::vector<uint64_t> ReplLsns() const;
+
+  /// Applies one shipped WAL record into DB `db_index` under its lock
+  /// (shard mutex, or migrate_mu_ for the placement DB). Errors as
+  /// storage::Database::ApplyReplicated: OK on a duplicate, OutOfRange on
+  /// a gap (the follower resubscribes).
+  Status ApplyReplicated(size_t db_index, const storage::WalRecord& rec);
+
+  /// Re-derives one shard's in-memory state from its database
+  /// (ITagSystem::Reattach) and refreshes its counters + snapshots; a
+  /// follower calls this for every shard a burst touched, once caught up.
+  Status ReattachShard(size_t shard_index);
+
+  /// Rebuilds the placement routing overlay from the placement database
+  /// (follower, after placement-DB records were applied).
+  Status ReloadPlacement();
+
+  /// Follower → writable primary: resolves any replicated migration
+  /// intents, re-derives the cross-shard counters, starts the rebalancer,
+  /// and clears read_only(). FailedPrecondition when already writable.
+  /// The caller must have stopped the replication stream first.
+  Status Promote();
+
+  /// True while this system is a replication follower (writes rejected at
+  /// the service layer).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Shard {
     std::unique_ptr<ITagSystem> system;
@@ -343,6 +396,9 @@ class ShardedSystem {
   /// Opens <dir>/placement (in-memory when the shards are), creates its
   /// tables, and loads the routing overlay + persisted-row maps.
   Status OpenPlacement();
+  /// (Re)builds placement_/placement_rows_/handle_rows_ from the placement
+  /// tables; shared by OpenPlacement and ReloadPlacement.
+  Status LoadPlacementOverlay();
   /// Replays unresolved migration intents left by a crash: pending →
   /// purge the destination copy, committed → purge the source copy.
   Status ResolveIntents();
@@ -364,6 +420,8 @@ class ShardedSystem {
   std::atomic<uint64_t> next_project_shard_{0};
   std::atomic<Tick> now_{0};
   bool initialized_ = false;
+  /// Replication-follower flag; cleared by Promote().
+  std::atomic<bool> read_only_{false};
 
   /// Movable routing overlay. placement_mu_ is a leaf lock: always
   /// acquired after any shard mutex, never around one.
@@ -373,7 +431,7 @@ class ShardedSystem {
   std::atomic<uint64_t> placement_version_{0};
   /// Placement persistence. migrate_mu_ serializes migrations and every
   /// write to placement_db_ (Checkpoint takes it too).
-  std::mutex migrate_mu_;
+  mutable std::mutex migrate_mu_;
   std::unique_ptr<storage::Database> placement_db_;
   std::unordered_map<uint64_t, storage::RowId> placement_rows_;  // by project
   std::unordered_map<uint64_t, storage::RowId> handle_rows_;     // by old handle

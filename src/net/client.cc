@@ -71,9 +71,12 @@ Result<api::AnyResponse> Client::InterpretFrame(const Frame& frame) {
       return response;
     }
     case FrameKind::kRequest:
+    case FrameKind::kReplSubscribe:
+    case FrameKind::kReplBatch:
+    case FrameKind::kReplAck:
       break;
   }
-  return Status::Corruption("server sent a request frame");
+  return Status::Corruption("server sent a non-response frame");
 }
 
 Result<api::AnyResponse> Client::Await(uint64_t correlation) {
@@ -169,6 +172,10 @@ Result<api::MetricsQueryResponse> Client::Metrics(
 Result<api::TraceQueryResponse> Client::Traces(
     const api::TraceQueryRequest& req) {
   return Call<api::TraceQueryResponse>(req);
+}
+
+Result<api::PromoteResponse> Client::Promote(const api::PromoteRequest& req) {
+  return Call<api::PromoteResponse>(req);
 }
 
 }  // namespace itag::net

@@ -89,6 +89,9 @@ class Client {
   /// v4 tracing endpoint: retained request traces (span trees), newest
   /// first, filtered by min duration / endpoint (see api::TraceQueryRequest).
   Result<api::TraceQueryResponse> Traces(const api::TraceQueryRequest& req);
+  /// v5 failover endpoint: flips a read replica writable (see
+  /// api::PromoteRequest for the idempotency contract).
+  Result<api::PromoteResponse> Promote(const api::PromoteRequest& req);
 
   /// The version stamped on outgoing frames. Defaults to api::kApiVersion;
   /// overridable so tests (and future downgrade shims) can exercise the

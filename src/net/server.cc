@@ -317,6 +317,7 @@ void Server::AcceptBurst(Reactor& r0) {
 void Server::RegisterConn(Reactor& r, Socket sock) {
   int fd = sock.fd();
   auto conn = std::make_shared<Conn>(std::move(sock));
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
   conn->owner = &r;
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -353,6 +354,7 @@ void Server::DrainInbox(Reactor& r) {
 void Server::CloseConn(Reactor& r, int fd) {
   auto it = r.conns.find(fd);
   if (it == r.conns.end()) return;
+  if (repl_hooks_.on_close) repl_hooks_.on_close(it->second->id);
   it->second->dead.store(true, std::memory_order_release);
   ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   // The fd itself closes when the last worker holding this Conn finishes.
@@ -427,6 +429,23 @@ void Server::HandleFrame(Reactor& r, const std::shared_ptr<Conn>& conn,
   frames_received_.fetch_add(1, std::memory_order_relaxed);
   metrics_->frames->Inc();
   r.frames->Inc();
+  if (frame.kind == FrameKind::kReplSubscribe ||
+      frame.kind == FrameKind::kReplBatch ||
+      frame.kind == FrameKind::kReplAck) {
+    if (!repl_hooks_.on_frame) {
+      SendError(conn, frame.correlation,
+                Status::FailedPrecondition(
+                    "replication is not enabled on this server"),
+                frame.type);
+      return;
+    }
+    // The Sender closure pins the Conn; the hook owner must drop it on
+    // on_close so the socket can actually be reclaimed.
+    repl_hooks_.on_frame(
+        conn->id, std::move(frame),
+        [this, conn](std::string bytes) { QueueWrite(conn, std::move(bytes)); });
+    return;
+  }
   if (frame.kind != FrameKind::kRequest) {
     SendError(conn, frame.correlation,
               Status::InvalidArgument("expected a request frame"), frame.type);

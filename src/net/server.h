@@ -62,6 +62,22 @@ struct ServerOptions {
   std::function<void(const api::AnyRequest&)> before_dispatch;
 };
 
+/// Replication seam: when installed, frames carrying a replication kind
+/// (kReplSubscribe / kReplBatch / kReplAck) are routed to `on_frame` on
+/// the owning reactor thread instead of the request path, together with a
+/// Sender that queues already-encoded frames back onto that connection
+/// (callable from any thread; it never blocks on the peer and drops bytes
+/// once the connection dies). `on_close` fires on the reactor thread when
+/// the connection goes away — the last chance to forget its Sender.
+/// `conn_id` is unique per accepted connection for the server's lifetime
+/// (never recycled, unlike fds). Without hooks, replication frames get a
+/// typed FailedPrecondition error reply. Install before Start().
+struct ReplHooks {
+  using Sender = std::function<void(std::string)>;
+  std::function<void(uint64_t conn_id, Frame frame, Sender sender)> on_frame;
+  std::function<void(uint64_t conn_id)> on_close;
+};
+
 /// Monotonic counters, readable while the server runs. Each one is
 /// mirrored into the process metrics registry under `net.*` (see
 /// docs/observability.md), so MetricsQuery sees the same numbers.
@@ -124,6 +140,9 @@ class Server {
   /// Reactor threads actually running (valid after Start()).
   size_t reactor_count() const { return reactors_.size(); }
 
+  /// Installs the replication seam (see ReplHooks). Call before Start().
+  void SetReplHooks(ReplHooks hooks) { repl_hooks_ = std::move(hooks); }
+
   ServerStats stats() const;
 
  private:
@@ -135,6 +154,7 @@ class Server {
   struct Conn {
     explicit Conn(Socket s) : sock(std::move(s)) {}
     Socket sock;
+    uint64_t id = 0;  ///< process-unique, never recycled (fds are)
     Reactor* owner = nullptr;
     std::string inbuf;  ///< owning reactor only
 
@@ -228,6 +248,8 @@ class Server {
 
   api::Service* service_;
   ServerOptions options_;
+  ReplHooks repl_hooks_;
+  std::atomic<uint64_t> next_conn_id_{1};
   /// Shard count of the backend (1 for a single-system backend); the
   /// modulus of the global-id shard routing mirrored by ShardHintOf.
   size_t num_shards_ = 1;

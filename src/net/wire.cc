@@ -605,6 +605,23 @@ bool Get(WireReader& r, api::TraceQueryResponse* m) {
   return Get(r, &m->status) && GetVec(r, &m->traces);
 }
 
+// ---- replication admin (v5 Promote)
+
+void Put(WireWriter& w, const api::PromoteRequest& m) { (void)w; (void)m; }
+bool Get(WireReader& r, api::PromoteRequest* m) {
+  (void)r;
+  (void)m;
+  return true;  // empty payload; DecodeInto's AtEnd() rejects extra bytes
+}
+
+void Put(WireWriter& w, const api::PromoteResponse& m) {
+  Put(w, m.status);
+  PutBool(w, m.was_replica);
+}
+bool Get(WireReader& r, api::PromoteResponse* m) {
+  return Get(r, &m->status) && GetBool(r, &m->was_replica);
+}
+
 /// Parses `payload` as message type T (rejecting trailing bytes) and stores
 /// it into the variant `*out`.
 template <typename T, typename Variant>
@@ -701,7 +718,7 @@ Status TryDecodeFrame(std::string_view buf, Frame* out, size_t* consumed,
   r.U32(&payload_size);
   r.U32(&crc);
   if (magic != kMagic) return Status::Corruption("bad frame magic");
-  if (kind > static_cast<uint8_t>(FrameKind::kError)) {
+  if (kind > static_cast<uint8_t>(FrameKind::kReplAck)) {
     return Status::Corruption("bad frame kind " + std::to_string(kind));
   }
   if (reserved != 0) {
@@ -749,7 +766,7 @@ std::string EncodeResponsePayload(const api::AnyResponse& response) {
 
 Status DecodeRequestPayload(uint16_t type, std::string_view payload,
                             api::AnyRequest* out) {
-  static_assert(api::kRequestTypeCount == 13,
+  static_assert(api::kRequestTypeCount == 14,
                 "new AnyRequest alternative: extend the codec switches");
   const char* name = api::RequestTypeName(type);
   switch (type) {
@@ -779,6 +796,8 @@ Status DecodeRequestPayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::MetricsQueryRequest>(payload, out, name);
     case 12:
       return DecodeInto<api::TraceQueryRequest>(payload, out, name);
+    case 13:
+      return DecodeInto<api::PromoteRequest>(payload, out, name);
     default:
       return Status::Unimplemented("unknown request type tag " +
                                    std::to_string(type));
@@ -815,10 +834,75 @@ Status DecodeResponsePayload(uint16_t type, std::string_view payload,
       return DecodeInto<api::MetricsQueryResponse>(payload, out, name);
     case 12:
       return DecodeInto<api::TraceQueryResponse>(payload, out, name);
+    case 13:
+      return DecodeInto<api::PromoteResponse>(payload, out, name);
     default:
       return Status::Unimplemented("unknown response type tag " +
                                    std::to_string(type));
   }
+}
+
+// ------------------------------------------------------------- replication
+
+std::string EncodeReplSubscribeFrame(uint64_t correlation,
+                                     const ReplSubscribe& msg,
+                                     uint32_t version) {
+  WireWriter w;
+  w.U32(msg.num_dbs);
+  w.U32(msg.num_shards);
+  w.U64(msg.seed);
+  PutVec(w, msg.from_lsns);
+  return EncodeFrame(FrameKind::kReplSubscribe, 0, correlation, version,
+                     w.buffer());
+}
+
+std::string EncodeReplBatchFrame(uint64_t correlation, const ReplBatch& msg) {
+  WireWriter w;
+  w.U32(msg.db_index);
+  w.U64(msg.head_lsn);
+  w.U64(msg.head_bytes);
+  w.Str(msg.record);
+  return EncodeFrame(FrameKind::kReplBatch, 0, correlation, api::kApiVersion,
+                     w.buffer());
+}
+
+std::string EncodeReplAckFrame(uint64_t correlation, const ReplAck& msg) {
+  WireWriter w;
+  PutVec(w, msg.applied_lsns);
+  return EncodeFrame(FrameKind::kReplAck, 0, correlation, api::kApiVersion,
+                     w.buffer());
+}
+
+Status DecodeReplSubscribe(const Frame& frame, ReplSubscribe* out) {
+  WireReader r(frame.payload);
+  ReplSubscribe msg;
+  if (!r.U32(&msg.num_dbs) || !r.U32(&msg.num_shards) || !r.U64(&msg.seed) ||
+      !GetVec(r, &msg.from_lsns) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed ReplSubscribe payload");
+  }
+  *out = std::move(msg);
+  return Status::OK();
+}
+
+Status DecodeReplBatch(const Frame& frame, ReplBatch* out) {
+  WireReader r(frame.payload);
+  ReplBatch msg;
+  if (!r.U32(&msg.db_index) || !r.U64(&msg.head_lsn) ||
+      !r.U64(&msg.head_bytes) || !r.Str(&msg.record) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed ReplBatch payload");
+  }
+  *out = std::move(msg);
+  return Status::OK();
+}
+
+Status DecodeReplAck(const Frame& frame, ReplAck* out) {
+  WireReader r(frame.payload);
+  ReplAck msg;
+  if (!GetVec(r, &msg.applied_lsns) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed ReplAck payload");
+  }
+  *out = std::move(msg);
+  return Status::OK();
 }
 
 }  // namespace itag::net

@@ -45,6 +45,14 @@ enum class FrameKind : uint8_t {
   /// (FailedPrecondition), overload (ResourceExhausted), malformed payload
   /// (InvalidArgument), unknown type tag (Unimplemented).
   kError = 2,
+  /// Replication stream (v5). A follower opens an ordinary connection and
+  /// sends one kReplSubscribe; the primary answers with a continuous flow of
+  /// kReplBatch frames (one WAL record each) and the follower reports
+  /// progress with periodic kReplAck frames. `type` is 0 for all three; the
+  /// kind alone routes them. See docs/replication.md.
+  kReplSubscribe = 3,
+  kReplBatch = 4,
+  kReplAck = 5,
 };
 
 /// One decoded frame. For kRequest/kResponse `type` is the variant index;
@@ -154,6 +162,55 @@ Status DecodeRequestPayload(uint16_t type, std::string_view payload,
                             api::AnyRequest* out);
 Status DecodeResponsePayload(uint16_t type, std::string_view payload,
                              api::AnyResponse* out);
+
+// ------------------------------------------------------------- replication
+//
+// The v5 stream messages (kinds 3–5). They ride the same framing (magic,
+// version, CRC) as requests, so the fuzz harness and the frame decoder
+// treat them uniformly; only the payload schema differs.
+
+/// Follower → primary: start (or resume) streaming. The config triple must
+/// match the primary's exactly — a follower replaying the same deterministic
+/// init against a different shard count or seed would diverge silently, so
+/// the primary answers a mismatch with a kError frame and closes.
+struct ReplSubscribe {
+  uint32_t num_dbs = 0;    ///< shard DBs + 1 placement DB; must match
+  uint32_t num_shards = 0; ///< primary's shard count; must match
+  uint64_t seed = 0;       ///< primary's base seed; must match
+  /// Resume cursors, one per DB in index order (placement last): the highest
+  /// LSN the follower has durably applied; the primary streams strictly
+  /// after these.
+  std::vector<uint64_t> from_lsns;
+};
+
+/// Primary → follower: one committed WAL record of one DB, plus the
+/// primary's log head at send time so the follower can compute lag without
+/// a round-trip.
+struct ReplBatch {
+  uint32_t db_index = 0;   ///< which DB the record belongs to
+  uint64_t head_lsn = 0;   ///< primary's highest LSN in this DB's log
+  uint64_t head_bytes = 0; ///< primary's log size in bytes (for lag_bytes)
+  std::string record;      ///< storage::EncodeWalRecord payload (has its LSN)
+};
+
+/// Follower → primary: durable progress, one LSN per DB in index order.
+/// Advisory in this version (the primary logs it); carried on the wire so
+/// a future primary can gate WAL truncation on subscriber progress.
+struct ReplAck {
+  std::vector<uint64_t> applied_lsns;
+};
+
+std::string EncodeReplSubscribeFrame(uint64_t correlation,
+                                     const ReplSubscribe& msg,
+                                     uint32_t version = api::kApiVersion);
+std::string EncodeReplBatchFrame(uint64_t correlation, const ReplBatch& msg);
+std::string EncodeReplAckFrame(uint64_t correlation, const ReplAck& msg);
+
+/// Parse the payload of a frame whose kind already matched. InvalidArgument
+/// on a malformed (or trailing-bytes) payload, like the request decoders.
+Status DecodeReplSubscribe(const Frame& frame, ReplSubscribe* out);
+Status DecodeReplBatch(const Frame& frame, ReplBatch* out);
+Status DecodeReplAck(const Frame& frame, ReplAck* out);
 
 }  // namespace itag::net
 

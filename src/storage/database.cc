@@ -46,6 +46,10 @@ struct StorageMetrics {
   }
 };
 
+/// First word of a v2 snapshot file. A v1 snapshot leads with its table
+/// count, which can never be ~0u, so one word distinguishes the formats.
+constexpr uint32_t kSnapshotV2Sentinel = 0xFFFFFFFFu;
+
 }  // namespace
 
 Database::Database() = default;
@@ -57,6 +61,7 @@ Status Database::Open(const DatabaseOptions& options) {
   tables_.clear();
   engine_.reset();
   next_lsn_ = 1;
+  snapshot_lsn_ = 0;
   recovery_stats_ = RecoveryStats{};
   if (!durable_) return Status::OK();
 
@@ -82,11 +87,16 @@ Status Database::Recover() {
   std::vector<WalRecord> records;
   ITAG_RETURN_IF_ERROR(
       ReadWal(options_.directory + "/" + options_.wal_file, &records));
-  uint64_t max_lsn = 0;
+  uint64_t max_lsn = snapshot_lsn_;
   for (const WalRecord& rec : records) {
     ++recovery_stats_.wal_records_scanned;
     recovery_stats_.wal_bytes_scanned += rec.payload.size();
     if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+    // A v2 snapshot records the highest LSN it contains, so a retained WAL
+    // (retain_wal: checkpoints keep the log for replication subscribers)
+    // replays only the frames past it. Pre-v2 snapshots leave snapshot_lsn_
+    // at 0 and replay everything, with the historical tolerance below.
+    if (rec.lsn != 0 && rec.lsn <= snapshot_lsn_) continue;
     ++recovery_stats_.wal_records_replayed;
     Status s = ApplyWalRecord(rec);
     if (!s.ok()) {
@@ -264,6 +274,23 @@ Status Database::LoadSnapshot(const std::string& path) {
   uint32_t ntables;
   std::memcpy(&ntables, data.data(), 4);
   off += 4;
+  if (ntables == kSnapshotV2Sentinel) {
+    // v2 layout: [sentinel][u32 version][u64 checkpoint_lsn][u32 ntables]…
+    // The sentinel can never be a real table count, so v1 files (which lead
+    // with the count) are told apart by the first word alone.
+    if (data.size() < off + 16) return Status::Corruption("snapshot too short");
+    uint32_t version;
+    std::memcpy(&version, data.data() + off, 4);
+    off += 4;
+    if (version != 2) {
+      return Status::Corruption("unsupported snapshot version " +
+                                std::to_string(version));
+    }
+    std::memcpy(&snapshot_lsn_, data.data() + off, 8);
+    off += 8;
+    std::memcpy(&ntables, data.data() + off, 4);
+    off += 4;
+  }
   for (uint32_t i = 0; i < ntables; ++i) {
     auto t = std::make_unique<Table>("", Schema());
     if (!Table::DecodeFrom(data, &off, t.get())) {
@@ -443,7 +470,9 @@ Status Database::Checkpoint() {
     }
     const uint64_t ckpt_lsn = next_lsn_ - 1;
     ITAG_RETURN_IF_ERROR(engine_->Checkpoint(ckpt_lsn));
-    Status reset = wal_.Reset();
+    // retain_wal keeps the log for replication subscribers; recovery still
+    // skips frames with lsn <= the engine's recorded checkpoint LSN.
+    Status reset = options_.retain_wal ? Status::OK() : wal_.Reset();
     if (reset.ok()) {
       StorageMetrics::Get().checkpoints->Inc();
       StorageMetrics::Get().checkpoint_latency_us->Observe(
@@ -455,7 +484,15 @@ Status Database::Checkpoint() {
     return reset;
   }
 
+  // v2 snapshot: sentinel + version + the highest LSN the snapshot contains,
+  // so recovery with a retained WAL replays only the tail past it.
   std::string data;
+  const uint32_t sentinel = kSnapshotV2Sentinel;
+  const uint32_t version = 2;
+  const uint64_t ckpt_lsn = next_lsn_ - 1;
+  data.append(reinterpret_cast<const char*>(&sentinel), 4);
+  data.append(reinterpret_cast<const char*>(&version), 4);
+  data.append(reinterpret_cast<const char*>(&ckpt_lsn), 8);
   uint32_t ntables = static_cast<uint32_t>(tables_.size());
   data.append(reinterpret_cast<const char*>(&ntables), 4);
   for (const auto& [name, table] : tables_) {
@@ -477,7 +514,8 @@ Status Database::Checkpoint() {
   std::error_code ec;
   fs::rename(tmp, snap, ec);
   if (ec) return Status::IOError("snapshot rename failed: " + ec.message());
-  Status reset = wal_.Reset();
+  snapshot_lsn_ = ckpt_lsn;
+  Status reset = options_.retain_wal ? Status::OK() : wal_.Reset();
   if (reset.ok()) {
     // Count and time only completed checkpoints, so the counter and the
     // histogram's count stay a consistent pair for operators.
@@ -489,6 +527,48 @@ Status Database::Checkpoint() {
                 .count()));
   }
   return reset;
+}
+
+uint64_t Database::checkpoint_lsn() const {
+  return engine_ ? engine_->checkpoint_lsn() : snapshot_lsn_;
+}
+
+std::string Database::wal_path() const {
+  return durable_ ? options_.directory + "/" + options_.wal_file : "";
+}
+
+Status Database::ApplyReplicated(const WalRecord& rec) {
+  if (rec.lsn == 0) {
+    return Status::InvalidArgument("replicated record without an lsn");
+  }
+  if (batch_depth_ > 0) {
+    return Status::FailedPrecondition("replicated apply inside an open batch");
+  }
+  if (rec.lsn < next_lsn_) return Status::OK();  // duplicate: already applied
+  if (rec.lsn > next_lsn_) {
+    return Status::OutOfRange("replication gap: have lsn " +
+                              std::to_string(next_lsn_ - 1) + ", got " +
+                              std::to_string(rec.lsn));
+  }
+  if (durable_) {
+    // WAL-first, exactly like a local mutation: the record lands in this
+    // database's own log verbatim (original LSN), so a follower restart
+    // recovers to the same cursor it acked.
+    if (!wal_error_.ok()) return wal_error_;
+    obs::Span span("storage.wal.append");
+    span.Annotate("bytes", static_cast<uint64_t>(rec.payload.size()));
+    Status s = wal_.Append(rec);
+    if (!s.ok()) {
+      wal_error_ = s;
+      return s;
+    }
+    StorageMetrics::Get().wal_appends->Inc();
+    StorageMetrics::Get().wal_bytes->Inc(rec.payload.size());
+  }
+  next_lsn_ = rec.lsn + 1;
+  Status s = ApplyWalRecord(rec);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  return Status::OK();
 }
 
 std::vector<std::string> Database::TableNames() const {

@@ -48,6 +48,15 @@ struct DatabaseOptions {
 
   /// Compress page payloads (pagez) on write (paged mode).
   bool page_compression = false;
+
+  /// Keep the WAL across checkpoints instead of truncating it. Replication
+  /// primaries need this: a follower resumes by asking for "everything after
+  /// LSN N", which only works while the log still holds those frames.
+  /// Recovery stays exact either way — the snapshot (v2) and the paged
+  /// engine both record their checkpoint LSN, and replay skips frames the
+  /// checkpoint already contains. Costs unbounded log growth; see
+  /// docs/replication.md.
+  bool retain_wal = false;
 };
 
 /// What the last Open() had to do to reach the recovered state; tests use
@@ -145,6 +154,29 @@ class Database {
   /// (benchmarks and tests inspect page/cache counters through it).
   pager::PagedEngine* engine() { return engine_.get(); }
 
+  // ------------------------------------------------------------ replication
+  /// LSN of the last record appended (or replicated in); 0 when empty.
+  /// With `retain_wal` this is the resume cursor a follower subscribes from.
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  /// Highest LSN contained in the last durable checkpoint (snapshot v2 or
+  /// paged meta); 0 when never checkpointed or pre-v2.
+  uint64_t checkpoint_lsn() const;
+
+  /// Absolute path of the WAL file ("" when in-memory) — what a replication
+  /// primary hands to its storage::WalTailer.
+  std::string wal_path() const;
+
+  /// Applies one record shipped from a primary. The record keeps its
+  /// original LSN: a duplicate (lsn <= last_lsn()) is skipped silently (OK)
+  /// so re-delivery after a reconnect can never double-apply, a gap
+  /// (lsn > last_lsn() + 1) fails with OutOfRange so the follower knows to
+  /// resubscribe from its cursor, and the in-order record is appended to
+  /// this database's own WAL verbatim and applied to the tables. AlreadyExists
+  /// from replay (a deterministic local init raced the stream's copy of the
+  /// same DDL) is tolerated, matching Recover().
+  Status ApplyReplicated(const WalRecord& rec);
+
  private:
   Status LogOp(WalOp op, const std::string& table, RowId row_id,
                std::string payload);
@@ -162,6 +194,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::unique_ptr<pager::PagedEngine> engine_;  ///< set iff paged mode
   uint64_t next_lsn_ = 1;  ///< LSN the next appended WAL frame gets
+  uint64_t snapshot_lsn_ = 0;  ///< checkpoint LSN of the loaded/written snapshot
   RecoveryStats recovery_stats_;
   size_t batch_depth_ = 0;
   std::string batch_buf_;  ///< length-prefixed sub-records of the open batch

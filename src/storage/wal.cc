@@ -78,6 +78,41 @@ bool DecodeWalRecord(const std::string& payload, WalRecord* out) {
   return true;
 }
 
+Status WalTailer::Next(WalRecord* out, bool* have) {
+  *have = false;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) return Status::OK();  // not created yet — nothing to read
+  if (size < offset_) {
+    return Status::FailedPrecondition(
+        "wal " + path_ + " shrank below the tail cursor (history truncated); "
+        "subscriber must resync");
+  }
+  if (size - offset_ < 8) return Status::OK();
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot read wal: " + path_);
+  in.seekg(static_cast<std::streamoff>(offset_));
+  uint32_t len = 0, crc = 0;
+  in.read(reinterpret_cast<char*>(&len), 4);
+  in.read(reinterpret_cast<char*>(&crc), 4);
+  if (in.gcount() < 4) return Status::OK();
+  if (size - offset_ - 8 < len) return Status::OK();  // torn tail: wait
+  std::string payload(len, '\0');
+  in.read(payload.data(), len);
+  if (static_cast<uint32_t>(in.gcount()) < len) return Status::OK();
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("wal checksum mismatch in " + path_);
+  }
+  if (!DecodeWalRecord(payload, out)) {
+    return Status::Corruption("wal record malformed in " + path_);
+  }
+  offset_ += 8 + len;
+  if (out->lsn > head_lsn_) head_lsn_ = out->lsn;
+  if (offset_ > head_bytes_) head_bytes_ = offset_;
+  *have = true;
+  return Status::OK();
+}
+
 Status ReadWal(const std::string& path, std::vector<WalRecord>* records) {
   records->clear();
   if (!std::filesystem::exists(path)) return Status::OK();

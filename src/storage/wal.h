@@ -75,6 +75,49 @@ class WalWriter {
 /// (checksum mismatch on a complete frame).
 Status ReadWal(const std::string& path, std::vector<WalRecord>* records);
 
+/// Incremental reader over a live, append-only WAL file — the primary side
+/// of replication tails each shard's log with one of these. Next() returns
+/// complete frames one at a time and remembers the byte offset it has
+/// consumed, so a frame whose tail has not hit the file yet (the writer is
+/// mid-append) is simply "not there yet": Next() reports no record now and
+/// re-reads from the same offset on the next call. The file is reopened on
+/// every poll burst, which keeps the tailer correct across the writer's own
+/// close/reopen cycles and costs nothing at the poll rates replication runs
+/// at.
+///
+/// A file that *shrinks* below the consumed offset means the history was
+/// truncated underneath us (a checkpoint without retain_wal) — that is not
+/// recoverable by waiting, so Next() fails with FailedPrecondition and the
+/// subscriber must resync from a fresh copy.
+class WalTailer {
+ public:
+  explicit WalTailer(std::string path) : path_(std::move(path)) {}
+
+  /// Reads the next complete record at the cursor. Returns OK with
+  /// *have=true and the record in *out when one was available, OK with
+  /// *have=false when the tail is (currently) exhausted, Corruption on a
+  /// checksum/decode failure of a complete frame, FailedPrecondition when
+  /// the file shrank below the cursor.
+  Status Next(WalRecord* out, bool* have);
+
+  /// Byte offset of the cursor (start of the next unread frame).
+  uint64_t offset() const { return offset_; }
+
+  /// Highest LSN this tailer has observed in the file — including frames
+  /// already returned. Streams stamp this on outgoing batches so followers
+  /// can compute lag without asking the primary's (locked) database.
+  uint64_t head_lsn() const { return head_lsn_; }
+
+  /// Total file bytes behind the last complete frame seen (for lag_bytes).
+  uint64_t head_bytes() const { return head_bytes_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t head_lsn_ = 0;
+  uint64_t head_bytes_ = 0;
+};
+
 /// Serializes a record payload (everything after the frame header).
 std::string EncodeWalRecord(const WalRecord& record);
 

@@ -38,6 +38,7 @@
 #include "net/wire.h"
 #include "net_test_scenario.h"
 #include "obs/trace.h"
+#include "storage/wal.h"
 
 namespace itag::net {
 namespace {
@@ -104,6 +105,32 @@ std::vector<std::string> BuildCorpus() {
   }
   corpus.push_back(
       EncodeResponseFrame(correlation + 2, api::AnyResponse{deep}));
+
+  // The v5 replication frames (kinds 3-5), so stream-message mutations hit
+  // the repl payload decoders and the server's repl routing too.
+  ReplSubscribe sub;
+  sub.num_dbs = 3;
+  sub.num_shards = 2;
+  sub.seed = 2014;
+  sub.from_lsns = {41, 7, 0};
+  corpus.push_back(EncodeReplSubscribeFrame(correlation + 3, sub));
+
+  ReplBatch batch;
+  batch.db_index = 1;
+  batch.head_lsn = 42;
+  batch.head_bytes = 4096;
+  storage::WalRecord rec;
+  rec.op = storage::WalOp::kInsert;
+  rec.lsn = 42;
+  rec.table = "projects";
+  rec.row_id = 7;
+  rec.payload = std::string("row bytes with \0 NULs", 21);
+  batch.record = storage::EncodeWalRecord(rec);
+  corpus.push_back(EncodeReplBatchFrame(correlation + 4, batch));
+
+  ReplAck ack;
+  ack.applied_lsns = {41, 42, 0};
+  corpus.push_back(EncodeReplAckFrame(correlation + 5, ack));
   return corpus;
 }
 
@@ -179,7 +206,9 @@ std::string Mutate(const std::vector<std::string>& corpus,
                // parses, the decoded payload cannot — typed error, not UB
       if (buf.size() >= kHeaderSize) {
         switch (rng() % 3) {
-          case 0: buf[8] = static_cast<char>(rng() % 4); break;    // kind
+          case 0: buf[8] = static_cast<char>(rng() % 7); break;    // kind
+                  // (% 7: the repl kinds 3-5 and one invalid value, so a
+                  // scrambled frame can become a stream message mid-request)
           case 1: buf[10] = static_cast<char>(rng() % 32); break;  // type
           case 2: buf[4] = static_cast<char>(rng() % 8); break;    // version
         }
@@ -227,6 +256,17 @@ TEST(NetFuzzTest, DecodersNeverCrashNorOverconsume) {
       Status ps = DecodeResponsePayload(frame.type, frame.payload, &resp);
       EXPECT_TRUE(ps.ok() || ps.IsInvalidArgument() || ps.IsUnimplemented())
           << ps.ToString();
+      // The repl payload decoders get the same treatment — any framed bytes
+      // must yield OK or a typed InvalidArgument, never UB.
+      ReplSubscribe sub;
+      Status ss = DecodeReplSubscribe(frame, &sub);
+      EXPECT_TRUE(ss.ok() || ss.IsInvalidArgument()) << ss.ToString();
+      ReplBatch batch;
+      Status bs = DecodeReplBatch(frame, &batch);
+      EXPECT_TRUE(bs.ok() || bs.IsInvalidArgument()) << bs.ToString();
+      ReplAck ack;
+      Status as = DecodeReplAck(frame, &ack);
+      EXPECT_TRUE(as.ok() || as.IsInvalidArgument()) << as.ToString();
     }
   }
 }

@@ -178,24 +178,28 @@ TEST(NetServerTest, VersionMismatchGetsTypedReplyAndConnectionSurvives) {
 }
 
 // Stale-frame negotiation across the version history: a v1 frame (any
-// pre-durability client), a v2 frame (any pre-observability client), and a
-// v3 frame (any pre-tracing client) each get the typed FailedPrecondition
-// reply naming both versions, never a hangup, and the negotiation hooks
-// cover the newest variant.
-TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV4Bump) {
-  static_assert(api::kApiVersion == 4,
+// pre-durability client), a v2 frame (any pre-observability client), a v3
+// frame (any pre-tracing client), and a v4 frame (any pre-replication
+// client) each get the typed FailedPrecondition reply naming both
+// versions, never a hangup, and the negotiation hooks cover the newest
+// variant.
+TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterBump) {
+  static_assert(api::kApiVersion == 5,
                 "update this test alongside the next version bump");
   static_assert(!api::IsCompatibleApiVersion(1),
-                "v1 frames must be refused by a v4 server");
+                "v1 frames must be refused by a v5 server");
   static_assert(!api::IsCompatibleApiVersion(2),
-                "v2 frames must be refused by a v4 server");
+                "v2 frames must be refused by a v5 server");
   static_assert(!api::IsCompatibleApiVersion(3),
-                "v3 frames must be refused by a v4 server");
+                "v3 frames must be refused by a v5 server");
+  static_assert(!api::IsCompatibleApiVersion(4),
+                "v4 frames must be refused by a v5 server");
   static_assert(api::IsCompatibleApiVersion(api::kApiVersion));
   EXPECT_STREQ(api::RequestTypeName(10), "Checkpoint");
   EXPECT_STREQ(api::RequestTypeName(11), "MetricsQuery");
   EXPECT_STREQ(api::RequestTypeName(12), "TraceQuery");
-  EXPECT_EQ(api::kRequestTypeCount, 13u);
+  EXPECT_STREQ(api::RequestTypeName(13), "Promote");
+  EXPECT_EQ(api::kRequestTypeCount, 14u);
 
   api::Service service(ShardOpts(1, 1));
   ASSERT_TRUE(service.Init().ok());
@@ -204,7 +208,7 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV4Bump) {
   Client client;
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
 
-  for (uint32_t stale : {uint32_t{1}, uint32_t{2}, uint32_t{3}}) {
+  for (uint32_t stale : {uint32_t{1}, uint32_t{2}, uint32_t{3}, uint32_t{4}}) {
     SCOPED_TRACE("stale version " + std::to_string(stale));
     client.set_wire_version(stale);
     Result<api::AnyResponse> r =
@@ -230,7 +234,7 @@ TEST(NetServerTest, StaleVersionFramesGetTypedReplyAfterV4Bump) {
   Result<api::TraceQueryResponse> tq = client.Traces({});
   ASSERT_TRUE(tq.ok()) << tq.status().ToString();
   EXPECT_TRUE(tq.value().status.ok());  // ring may be empty; the call works
-  EXPECT_EQ(server.stats().version_rejections, 3u);
+  EXPECT_EQ(server.stats().version_rejections, 4u);
   server.Stop();
 }
 

@@ -178,6 +178,11 @@ inline std::vector<api::AnyRequest> BuildFullCoverageScript(
   Play(scratch, &script,
        api::TraceQueryRequest{0, "~no-such-endpoint~", 8});
 
+  // --- failover (v5): Promote on a writable (non-replica) backend is the
+  // deterministic typed refusal; the success path needs a real replica and
+  // lives in repl_test / repl_failover_test.
+  Play(scratch, &script, api::PromoteRequest{});
+
   // Final snapshot so the script's last response aggregates everything.
   Play(scratch, &script, api::ProjectQueryRequest{project, true, {}});
   Play(scratch, &script, api::CheckpointRequest{});

@@ -386,12 +386,12 @@ TEST(ObsWireTest, MetricsQueryOverTheWireReflectsDrivenLoad) {
   server.Stop();
 }
 
-// The v3→v4 bump: a version-2 frame — what any pre-observability client
-// still sends — gets the typed FailedPrecondition reply naming both
-// versions (never a hangup), and the same connection is served normally at
-// the current version afterwards.
-TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterV4Bump) {
-  static_assert(api::kApiVersion == 4,
+// The version bumps since v2: a version-2 frame — what any
+// pre-observability client still sends — gets the typed FailedPrecondition
+// reply naming both versions (never a hangup), and the same connection is
+// served normally at the current version afterwards.
+TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterBump) {
+  static_assert(api::kApiVersion == 5,
                 "update this test alongside the next version bump");
   static_assert(!api::IsCompatibleApiVersion(2));
 
@@ -408,7 +408,7 @@ TEST(ObsWireTest, VersionTwoFrameGetsTypedReplyAfterV4Bump) {
   EXPECT_TRUE(stale.status().IsFailedPrecondition())
       << stale.status().ToString();
   EXPECT_NE(stale.status().message().find("2"), std::string::npos);
-  EXPECT_NE(stale.status().message().find("4"), std::string::npos);
+  EXPECT_NE(stale.status().message().find("5"), std::string::npos);
 
   client.set_wire_version(api::kApiVersion);
   Result<api::MetricsQueryResponse> ok = client.Metrics({"api."});

@@ -20,6 +20,7 @@
 #include "obs/trace.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -281,7 +282,9 @@ Result<api::TraceQueryResponse> AwaitTrace(net::Client& client,
 // contain a single rooted span tree touching all four layers.
 TEST_F(TraceTest, LoopbackRequestYieldsOneRootedTreeAcrossAllLayers) {
   std::string dir =
-      (fs::temp_directory_path() / "itag_trace_loopback").string();
+      (fs::temp_directory_path() /
+       ("itag_trace_loopback." + std::to_string(::getpid())))
+          .string();
   fs::remove_all(dir);
   fs::create_directories(dir);
 

@@ -15,6 +15,7 @@
 //    in-flight windows and the payment ledger all survive.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -75,11 +76,15 @@ ShardedSystemOptions DurableShardOpts(const std::string& dir, size_t shards) {
 class RecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Test name + pid: gtest_discover_tests registers each TEST as its own
+    // ctest entry, so under `ctest -j` several instances of this binary run
+    // concurrently — the pid keeps their scratch directories disjoint.
     root_ = (fs::temp_directory_path() /
              ("itag_recovery_" +
               std::string(::testing::UnitTest::GetInstance()
                               ->current_test_info()
-                              ->name())))
+                              ->name()) +
+              "_" + std::to_string(::getpid())))
                 .string();
     fs::remove_all(root_);
     fs::create_directories(root_);
